@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Ablation X1: NIC registration-resource usage — the paper's Tables
+ * 1-2 and the OCEAN anecdote ("the original system could not execute
+ * OCEAN with 32 processors because of memory registration limits;
+ * CableS, with its memory extensions, was able to run it").
+ *
+ * Reports per-NIC region usage for OCEAN on both backends across
+ * processor counts, and sweeps the region limit to find where the base
+ * system stops running.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "apps/splash.hh"
+#include "cables/memory.hh"
+
+using namespace cables;
+using namespace cables::apps;
+using cs::Backend;
+
+namespace {
+
+struct Usage
+{
+    bool failed;
+    size_t maxRegions;
+    size_t maxRegisteredMb;
+    double parMs;
+};
+
+Usage
+oceanUsage(Backend b, int np, size_t region_limit)
+{
+    ClusterConfig cfg = splashConfig(b, np);
+    cfg.vmmc.maxRegionsPerNode = region_limit;
+    AppOut out;
+    size_t max_regions = 0, max_bytes = 0;
+    RunResult r = runProgram(cfg, [&](Runtime &rt, RunResult &res) {
+        m4::M4Env env(rt);
+        OceanParams p;
+        p.nprocs = np;
+        runOcean(env, p, out);
+        for (int n = 0; n < cfg.nodes; ++n) {
+            max_regions =
+                std::max(max_regions, rt.comm().usage(n).regions);
+            max_bytes = std::max(max_bytes,
+                                 rt.comm().usage(n).registeredBytes);
+        }
+    });
+    return Usage{r.registrationFailure, max_regions,
+                 max_bytes / (1024 * 1024), sim::toMs(out.parallel)};
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Ablation: NIC registration usage, OCEAN\n");
+    std::printf("%8s %6s | %12s %10s %8s\n", "backend", "procs",
+                "max regions", "max regMB", "status");
+    for (int np : {4, 8, 16, 32}) {
+        for (Backend b : {Backend::BaseSvm, Backend::CableS}) {
+            Usage u = oceanUsage(b, np, 1u << 20); // effectively no cap
+            std::printf("%8s %6d | %12zu %10zu %8s\n",
+                        b == Backend::BaseSvm ? "base" : "cables", np,
+                        u.maxRegions, u.maxRegisteredMb,
+                        u.failed ? "FAILED" : "ok");
+        }
+    }
+
+    std::printf("\nregion-limit sweep at 32 procs (paper anecdote):\n");
+    std::printf("%12s %10s %10s\n", "limit", "base", "cables");
+    for (size_t limit : {256, 512, 1024, 4096}) {
+        Usage ub = oceanUsage(Backend::BaseSvm, 32, limit);
+        Usage uc = oceanUsage(Backend::CableS, 32, limit);
+        std::printf("%12zu %10s %10s\n", limit,
+                    ub.failed ? "FAILED" : "ok",
+                    uc.failed ? "FAILED" : "ok");
+    }
+    std::printf("\nexpected: base usage grows with fragmented home "
+                "runs and imports; CableS registers one extendable "
+                "region per node (double mapping) and survives limits "
+                "that stop the base system.\n");
+    return 0;
+}

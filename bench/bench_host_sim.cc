@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Host-performance microbenchmarks (google-benchmark): how fast the
+ * simulator itself runs — fiber context switches, the protocol access
+ * fast path, barrier rounds — wall-clock, not simulated time.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cables/memory.hh"
+#include "cables/runtime.hh"
+#include "cables/shared.hh"
+#include "sim/engine.hh"
+#include "svm/addr_space.hh"
+
+using namespace cables;
+
+static void
+BM_FiberSwitch(benchmark::State &state)
+{
+    for (auto _ : state) {
+        state.PauseTiming();
+        sim::Engine e;
+        const int iters = 1000;
+        for (int t = 0; t < 2; ++t) {
+            e.spawn("t", [&e, iters]() {
+                for (int i = 0; i < iters; ++i) {
+                    e.advance(100);
+                    e.sync();
+                }
+            }, t); // stagger so both yield every step
+        }
+        state.ResumeTiming();
+        e.run();
+        benchmark::DoNotOptimize(e.switches());
+    }
+}
+BENCHMARK(BM_FiberSwitch);
+
+static void
+BM_ProtocolAccessFastPath(benchmark::State &state)
+{
+    cs::ClusterConfig cfg;
+    cfg.nodes = 2;
+    cfg.sharedBytes = 8 * 1024 * 1024;
+    cs::Runtime rt(cfg);
+    rt.run([&]() {
+        auto arr = cs::GArray<int64_t>::alloc(rt, 1 << 16);
+        arr.span(0, 1 << 16, true); // fault everything in
+        for (auto _ : state) {
+            int64_t s = 0;
+            for (size_t i = 0; i < (1 << 16); i += 64)
+                s += arr.read(i);
+            benchmark::DoNotOptimize(s);
+        }
+    });
+}
+BENCHMARK(BM_ProtocolAccessFastPath);
+
+static void
+BM_BarrierRound(benchmark::State &state)
+{
+    for (auto _ : state) {
+        cs::ClusterConfig cfg;
+        cfg.nodes = 4;
+        cfg.sharedBytes = 8 * 1024 * 1024;
+        cs::Runtime rt(cfg);
+        rt.run([&]() {
+            int b = rt.barrierCreate();
+            const int P = 8, rounds = 100;
+            std::vector<int> tids;
+            auto body = [&]() {
+                for (int i = 0; i < rounds; ++i)
+                    rt.barrier(b, P);
+            };
+            for (int i = 1; i < P; ++i)
+                tids.push_back(rt.threadCreate(body));
+            body();
+            for (int t : tids)
+                rt.join(t);
+        });
+        benchmark::DoNotOptimize(rt.attachCount());
+    }
+}
+BENCHMARK(BM_BarrierRound);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Reproduces Table 6: speedups of the OdinMP-translated OpenMP
+ * SPLASH-2 programs (FFT, LU, OCEAN) on 4, 8 and 16 processors, against
+ * the 1-processor run of the same translated program. Data is
+ * master-initialized (the OdinMP serial region), so placement is poor —
+ * the reason the paper's numbers are far from linear.
+ */
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/omp_ports.hh"
+
+using namespace cables;
+using namespace cables::apps;
+using cs::Backend;
+
+int
+main()
+{
+    const std::vector<int> procs = {1, 4, 8, 16};
+
+    struct Prog
+    {
+        std::string name;
+        std::function<void(Runtime &, int, AppOut &)> run;
+        std::map<int, double> paper;
+    };
+    std::vector<Prog> progs = {
+        {"FFT",
+         [](Runtime &rt, int np, AppOut &out) {
+             runOmpFft(rt, np, 20, out);
+         },
+         {{4, 1.61}, {8, 2.05}, {16, 2.44}}},
+        {"LU",
+         [](Runtime &rt, int np, AppOut &out) {
+             runOmpLu(rt, np, 384, 32, out);
+         },
+         {{4, 3.17}, {8, 3.71}, {16, 7.10}}},
+        {"OCEAN",
+         [](Runtime &rt, int np, AppOut &out) {
+             runOmpOcean(rt, np, 514, 3, out);
+         },
+         {{4, 1.33}, {8, 1.43}, {16, 1.92}}},
+    };
+
+    std::printf("Table 6: OpenMP (OdinMP-translated) SPLASH-2 speedups "
+                "on CableS\n");
+    std::printf("%-8s %10s %10s %10s %10s   %s\n", "PROGRAM", "procs",
+                "par (ms)", "speedup", "paper", "check");
+    for (auto &prog : progs) {
+        double base_ms = 0.0;
+        for (int np : procs) {
+            AppOut out;
+            runProgram(splashConfig(Backend::CableS, np),
+                       [&](Runtime &rt, RunResult &res) {
+                           prog.run(rt, np, out);
+                       });
+            double ms = sim::toMs(out.parallel);
+            if (np == 1) {
+                base_ms = ms;
+                std::printf("%-8s %10d %10.1f %10s %10s   %s\n",
+                            prog.name.c_str(), np, ms, "1.00", "-",
+                            out.valid ? "ok" : "INVALID");
+            } else {
+                std::printf("%-8s %10d %10.1f %10.2f %10.2f   %s\n",
+                            prog.name.c_str(), np, ms, base_ms / ms,
+                            prog.paper[np],
+                            out.valid ? "ok" : "INVALID");
+            }
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Shared helpers for the workload suite: deterministic per-index random
+ * values (so data can be regenerated for verification instead of
+ * stored), worker-team spawning, and simple reduction helpers.
+ */
+
+#ifndef CABLES_APPS_COMMON_HH
+#define CABLES_APPS_COMMON_HH
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+
+#include "m4/m4.hh"
+
+namespace cables {
+namespace apps {
+
+/** Stateless 64-bit mix (SplitMix64 finalizer). */
+inline uint64_t
+hash64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Deterministic uniform double in [0,1) for (seed, index). */
+inline double
+hashReal(uint64_t seed, uint64_t index)
+{
+    return (hash64(seed * 0x100000001b3ULL + index) >> 11) *
+           (1.0 / 9007199254740992.0);
+}
+
+/** Deterministic integer in [0, bound) for (seed, index). */
+inline uint64_t
+hashInt(uint64_t seed, uint64_t index, uint64_t bound)
+{
+    return hash64(seed * 0x100000001b3ULL + index) % bound;
+}
+
+/**
+ * Run @p body as @p nprocs workers (ids 0..nprocs-1). Worker 0 is the
+ * calling (master) thread — the SPLASH convention; the rest are created
+ * through the M4 CREATE macro and joined before returning.
+ */
+inline void
+runWorkers(m4::M4Env &env, int nprocs,
+           const std::function<void(int)> &body)
+{
+    for (int p = 1; p < nprocs; ++p)
+        env.create([&body, p]() { body(p); });
+    body(0);
+    env.waitForEnd();
+}
+
+/** Contiguous [begin, end) slice of @p total items for worker @p pid. */
+inline std::pair<size_t, size_t>
+sliceOf(size_t total, int nprocs, int pid)
+{
+    size_t per = total / nprocs;
+    size_t rem = total % nprocs;
+    size_t begin = pid * per + std::min<size_t>(pid, rem);
+    size_t len = per + (static_cast<size_t>(pid) < rem ? 1 : 0);
+    return {begin, begin + len};
+}
+
+} // namespace apps
+} // namespace cables
+
+#endif // CABLES_APPS_COMMON_HH

@@ -1,0 +1,84 @@
+#include "apps/harness.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace cables {
+namespace apps {
+
+RunResult
+runProgram(const ClusterConfig &cfg, const Program &prog)
+{
+    Runtime rt(cfg);
+    RunResult res;
+    bool failed = false;
+    std::string reason;
+
+    rt.run([&]() {
+        try {
+            cs::csStart(rt);
+            prog(rt, res);
+            cs::csEnd(rt);
+        } catch (const vmmc::RegistrationError &e) {
+            failed = true;
+            reason = e.what();
+        }
+    });
+
+    res.total = rt.engine().maxTime();
+    if (!rt.abortReason().empty()) {
+        failed = true;
+        reason = rt.abortReason();
+    }
+    res.registrationFailure = failed;
+    res.failureReason = reason;
+    res.proto = rt.protocol().totalStats();
+    res.mem = rt.memory().stats();
+    res.ops = rt.opStats();
+    res.attaches = rt.attachCount();
+    res.messages = rt.network().stats().messages +
+                   rt.network().stats().fetches +
+                   rt.network().stats().notifications;
+    res.netBytes = rt.network().stats().bytes;
+    res.homes = rt.memory().homeSnapshot();
+    if (failed)
+        res.valid = false;
+    return res;
+}
+
+ClusterConfig
+splashConfig(cs::Backend backend, int nprocs)
+{
+    ClusterConfig cfg;
+    cfg.backend = backend;
+    cfg.procsPerNode = 2;
+    cfg.maxThreadsPerNode = 2;
+    int needed = (nprocs + 1) / 2;
+    // The base system only initializes the nodes it will use; CableS
+    // has the whole cluster available and attaches on demand.
+    cfg.nodes = backend == cs::Backend::BaseSvm ? std::max(needed, 1) : 16;
+    if (nprocs > 32)
+        cfg.nodes = std::max(cfg.nodes, (nprocs + 1) / 2);
+    return cfg;
+}
+
+double
+misplacedPct(const std::vector<int16_t> &base_homes,
+             const std::vector<int16_t> &cables_homes)
+{
+    const int16_t invalid = static_cast<int16_t>(net::InvalidNode);
+    size_t n = std::min(base_homes.size(), cables_homes.size());
+    uint64_t both = 0, differ = 0;
+    for (size_t i = 0; i < n; ++i) {
+        if (base_homes[i] == invalid || cables_homes[i] == invalid)
+            continue;
+        ++both;
+        if (base_homes[i] != cables_homes[i])
+            ++differ;
+    }
+    return both ? 100.0 * differ / both : 0.0;
+}
+
+} // namespace apps
+} // namespace cables

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Run harness for workloads: builds a Runtime from a ClusterConfig,
+ * executes a program function as the master thread, and collects the
+ * metrics the paper's evaluation reports (execution time, protocol
+ * event counts, per-operation means, home placement map).
+ */
+
+#ifndef CABLES_APPS_HARNESS_HH
+#define CABLES_APPS_HARNESS_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cables/memory.hh"
+#include "cables/runtime.hh"
+#include "cables/shared.hh"
+#include "m4/m4.hh"
+
+namespace cables {
+namespace apps {
+
+using cs::ClusterConfig;
+using cs::Runtime;
+using sim::Tick;
+
+/** Everything a run reports. */
+struct RunResult
+{
+    /** End-to-end simulated execution time (the makespan). */
+    Tick total = 0;
+
+    /** Simulated time of the parallel section (app-defined). */
+    Tick parallel = 0;
+
+    /** Application checksum (for verification). */
+    double checksum = 0.0;
+
+    /** Did the application's self-check pass? */
+    bool valid = false;
+
+    /** Did the run abort on a registration limit (OCEAN-at-32)? */
+    bool registrationFailure = false;
+    std::string failureReason;
+
+    svm::ProtoStats proto;        ///< aggregated protocol events
+    cs::MemStats mem;             ///< memory-manager events
+    cs::OpStats ops;              ///< per-operation means (Table 5)
+    int attaches = 0;             ///< node attach count
+    uint64_t messages = 0;        ///< SAN messages
+    uint64_t netBytes = 0;        ///< SAN bytes
+    std::vector<int16_t> homes;   ///< final per-page home map (Fig. 6)
+};
+
+/** A program to run: receives the runtime and fills in results. */
+using Program = std::function<void(Runtime &, RunResult &)>;
+
+/**
+ * Execute @p prog on a cluster configured by @p cfg.
+ *
+ * A RegistrationError raised anywhere in the run (NIC region / pin
+ * limits) is reported through RunResult::registrationFailure rather
+ * than propagated — the paper's "could not execute OCEAN with 32
+ * processors" outcome.
+ */
+RunResult runProgram(const ClusterConfig &cfg, const Program &prog);
+
+/**
+ * Cluster sized for an n-processor SPLASH-style run on 2-way nodes:
+ * ceil(nprocs/2) nodes for the base backend (all must exist up front),
+ * the full 16 for CableS (attached on demand).
+ */
+ClusterConfig splashConfig(cs::Backend backend, int nprocs);
+
+/**
+ * Misplaced-page percentage between two home maps (Fig. 6): pages bound
+ * in both runs whose homes differ, over pages bound in both.
+ */
+double misplacedPct(const std::vector<int16_t> &base_homes,
+                    const std::vector<int16_t> &cables_homes);
+
+} // namespace apps
+} // namespace cables
+
+#endif // CABLES_APPS_HARNESS_HH

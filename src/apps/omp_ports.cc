@@ -1,0 +1,446 @@
+#include "apps/omp_ports.hh"
+
+#include <cmath>
+#include <numbers>
+
+#include "cables/shared.hh"
+#include "util/logging.hh"
+
+namespace cables {
+namespace apps {
+
+using cs::GArray;
+using cs::Runtime;
+
+OmpTeam::OmpTeam(Runtime &rt, int nthreads) : rt(rt), n(nthreads)
+{
+    fatal_if(n <= 0, "OmpTeam needs at least one thread");
+    m = rt.mutexCreate();
+    cv = rt.condCreate();
+    done_cv = rt.condCreate();
+    for (int i = 1; i < n; ++i)
+        tids.push_back(rt.threadCreate([this, i]() { workerLoop(i); }));
+}
+
+OmpTeam::~OmpTeam()
+{
+    rt.mutexLock(m);
+    shutdown = true;
+    rt.condBroadcast(cv);
+    rt.mutexUnlock(m);
+    for (int tid : tids)
+        rt.join(tid);
+}
+
+void
+OmpTeam::workerLoop(int id)
+{
+    uint64_t my_gen = 0;
+    while (true) {
+        rt.mutexLock(m);
+        while (generation == my_gen && !shutdown)
+            rt.condWait(cv, m);
+        if (shutdown) {
+            rt.mutexUnlock(m);
+            return;
+        }
+        my_gen = generation;
+        size_t tot = total;
+        const auto *b = body;
+        rt.mutexUnlock(m);
+
+        auto [lo, hi] = sliceOf(tot, n, id);
+        (*b)(lo, hi, id);
+
+        rt.mutexLock(m);
+        if (++finished == n)
+            rt.condSignal(done_cv);
+        rt.mutexUnlock(m);
+    }
+}
+
+void
+OmpTeam::parallelFor(size_t tot,
+                     const std::function<void(size_t, size_t, int)> &fn)
+{
+    rt.mutexLock(m);
+    total = tot;
+    body = &fn;
+    finished = 0;
+    ++generation;
+    rt.condBroadcast(cv);
+    rt.mutexUnlock(m);
+
+    auto [lo, hi] = sliceOf(tot, n, 0);
+    fn(lo, hi, 0);
+
+    rt.mutexLock(m);
+    ++finished;
+    while (finished < n)
+        rt.condWait(done_cv, m);
+    // Every arrival but the last consumed the count; re-signal so other
+    // potential waiters (none in OdinMP's scheme) are unaffected.
+    rt.mutexUnlock(m);
+}
+
+// ---------------------------------------------------------------------
+// OpenMP FFT
+// ---------------------------------------------------------------------
+
+namespace {
+
+void
+ompFft1d(double *a, size_t nn, int dir)
+{
+    for (size_t i = 1, j = 0; i < nn; ++i) {
+        size_t bit = nn >> 1;
+        for (; j & bit; bit >>= 1)
+            j ^= bit;
+        j ^= bit;
+        if (i < j) {
+            std::swap(a[2 * i], a[2 * j]);
+            std::swap(a[2 * i + 1], a[2 * j + 1]);
+        }
+    }
+    for (size_t len = 2; len <= nn; len <<= 1) {
+        double ang = dir * 2.0 * std::numbers::pi / len;
+        double wr = std::cos(ang), wi = std::sin(ang);
+        for (size_t i = 0; i < nn; i += len) {
+            double cr = 1.0, ci = 0.0;
+            for (size_t k = 0; k < len / 2; ++k) {
+                size_t u = i + k, v = i + k + len / 2;
+                double xr = a[2 * v] * cr - a[2 * v + 1] * ci;
+                double xi = a[2 * v] * ci + a[2 * v + 1] * cr;
+                a[2 * v] = a[2 * u] - xr;
+                a[2 * v + 1] = a[2 * u + 1] - xi;
+                a[2 * u] += xr;
+                a[2 * u + 1] += xi;
+                double ncr = cr * wr - ci * wi;
+                ci = cr * wi + ci * wr;
+                cr = ncr;
+            }
+        }
+    }
+}
+
+} // namespace
+
+void
+runOmpFft(Runtime &rt, int nprocs, int mexp, AppOut &out)
+{
+    fatal_if(mexp % 2 != 0, "omp fft: m must be even");
+    const size_t R = size_t(1) << (mexp / 2);
+    const size_t N = R * R;
+
+    auto A = GArray<double>::alloc(rt, 2 * N);
+    auto B = GArray<double>::alloc(rt, 2 * N);
+
+    // Serial region: the master initializes everything (the OdinMP
+    // translation keeps the sequential init loop) — every page is
+    // first-touched, and therefore homed, on the master.
+    {
+        double *a = A.span(0, 2 * N, true);
+        for (size_t i = 0; i < N; ++i) {
+            a[2 * i] = 2.0 * hashReal(0x501, i) - 1.0;
+            a[2 * i + 1] = 2.0 * hashReal(0x502, i) - 1.0;
+        }
+        rt.computeFlops(2 * N);
+    }
+
+    OmpTeam team(rt, nprocs);
+    Tick pstart = rt.now();
+
+    auto transpose = [&](GArray<double> &src, GArray<double> &dst) {
+        team.parallelFor(R, [&](size_t rb, size_t re, int) {
+            constexpr size_t BL = 16;
+            double tmp[2 * BL * BL];
+            for (size_t r0 = rb; r0 < re; r0 += BL) {
+                size_t rl = std::min(BL, re - r0);
+                for (size_t c0 = 0; c0 < R; c0 += BL) {
+                    size_t cl = std::min(BL, R - c0);
+                    for (size_t c = 0; c < cl; ++c) {
+                        const double *s = src.span(
+                            2 * ((c0 + c) * R + r0), 2 * rl, false);
+                        for (size_t r = 0; r < rl; ++r) {
+                            tmp[2 * (r * BL + c)] = s[2 * r];
+                            tmp[2 * (r * BL + c) + 1] = s[2 * r + 1];
+                        }
+                    }
+                    for (size_t r = 0; r < rl; ++r) {
+                        double *d = dst.span(2 * ((r0 + r) * R + c0),
+                                             2 * cl, true);
+                        for (size_t c = 0; c < cl; ++c) {
+                            d[2 * c] = tmp[2 * (r * BL + c)];
+                            d[2 * c + 1] = tmp[2 * (r * BL + c) + 1];
+                        }
+                    }
+                }
+            }
+            rt.computeFlops((re - rb) * R * 2);
+        });
+    };
+    auto rowPhase = [&](GArray<double> &x, int dir, bool twiddle) {
+        team.parallelFor(R, [&](size_t rb, size_t re, int) {
+            for (size_t r = rb; r < re; ++r) {
+                double *row = x.span(2 * r * R, 2 * R, true);
+                ompFft1d(row, R, dir);
+                if (twiddle) {
+                    for (size_t c = 0; c < R; ++c) {
+                        double ang = dir * 2.0 * std::numbers::pi *
+                                     double(r) * double(c) / double(N);
+                        double wr = std::cos(ang), wi = std::sin(ang);
+                        double xr = row[2 * c], xi = row[2 * c + 1];
+                        row[2 * c] = xr * wr - xi * wi;
+                        row[2 * c + 1] = xr * wi + xi * wr;
+                    }
+                }
+                rt.computeFlops(5 * R * mexp / 2 + (twiddle ? 8 * R : 0));
+            }
+        });
+    };
+    auto pipeline = [&](GArray<double> &src, GArray<double> &dst,
+                        int dir) {
+        transpose(src, dst);
+        rowPhase(dst, dir, true);
+        transpose(dst, src);
+        rowPhase(src, dir, false);
+        transpose(src, dst);
+    };
+
+    pipeline(A, B, -1);
+    pipeline(B, A, +1);
+    out.parallel = rt.now() - pstart;
+
+    double max_err = 0.0;
+    for (size_t i = 0; i < N; i += 37) {
+        double er = 2.0 * hashReal(0x501, i) - 1.0;
+        double ei = 2.0 * hashReal(0x502, i) - 1.0;
+        max_err = std::max(max_err, std::abs(A.read(2 * i) / N - er));
+        max_err =
+            std::max(max_err, std::abs(A.read(2 * i + 1) / N - ei));
+    }
+    out.checksum = max_err;
+    out.valid = max_err < 1e-9;
+}
+
+// ---------------------------------------------------------------------
+// OpenMP LU
+// ---------------------------------------------------------------------
+
+void
+runOmpLu(Runtime &rt, int nprocs, int n, int block, AppOut &out)
+{
+    fatal_if(n % block != 0, "omp lu: n must be a multiple of block");
+    const int B = block;
+    const int nb = n / B;
+
+    auto A = GArray<double>::alloc(rt, size_t(n) * n);
+    auto base = [&](int bi, int bj) {
+        return (size_t(bi) * nb + bj) * B * B;
+    };
+
+    // Serial master initialization.
+    {
+        for (int bi = 0; bi < nb; ++bi) {
+            for (int bj = 0; bj < nb; ++bj) {
+                double *blk = A.span(base(bi, bj), size_t(B) * B, true);
+                for (int i = 0; i < B; ++i) {
+                    for (int j = 0; j < B; ++j) {
+                        int gi = bi * B + i, gj = bj * B + j;
+                        double v =
+                            2.0 * hashReal(0x10, uint64_t(gi) * n + gj) -
+                            1.0;
+                        if (gi == gj)
+                            v += 2.0 * n;
+                        blk[i * B + j] = v;
+                    }
+                }
+            }
+        }
+        rt.computeFlops(uint64_t(n) * n);
+    }
+
+    OmpTeam team(rt, nprocs);
+    Tick pstart = rt.now();
+
+    for (int k = 0; k < nb; ++k) {
+        // Diagonal factorization in the serial region (master).
+        {
+            double *d = A.span(base(k, k), size_t(B) * B, true);
+            for (int kk = 0; kk < B; ++kk) {
+                double pivot = d[kk * B + kk];
+                for (int i = kk + 1; i < B; ++i) {
+                    d[i * B + kk] /= pivot;
+                    double mul = d[i * B + kk];
+                    for (int j = kk + 1; j < B; ++j)
+                        d[i * B + j] -= mul * d[kk * B + j];
+                }
+            }
+            rt.computeFlops(uint64_t(2) * B * B * B / 3);
+        }
+
+        int rem = nb - k - 1;
+        if (rem == 0)
+            break;
+
+        // Perimeter updates in parallel.
+        team.parallelFor(size_t(rem) * 2, [&](size_t lo, size_t hi,
+                                              int) {
+            const double *d = A.span(base(k, k), size_t(B) * B, false);
+            for (size_t w = lo; w < hi; ++w) {
+                bool below = w < size_t(rem);
+                int idx = k + 1 + int(below ? w : w - rem);
+                if (below) {
+                    double *blk =
+                        A.span(base(idx, k), size_t(B) * B, true);
+                    for (int kk = 0; kk < B; ++kk) {
+                        double pivot = d[kk * B + kk];
+                        for (int i = 0; i < B; ++i) {
+                            blk[i * B + kk] /= pivot;
+                            double mul = blk[i * B + kk];
+                            for (int j = kk + 1; j < B; ++j)
+                                blk[i * B + j] -= mul * d[kk * B + j];
+                        }
+                    }
+                } else {
+                    double *blk =
+                        A.span(base(k, idx), size_t(B) * B, true);
+                    for (int kk = 0; kk < B; ++kk) {
+                        for (int i = kk + 1; i < B; ++i) {
+                            double mul = d[i * B + kk];
+                            for (int j = 0; j < B; ++j)
+                                blk[i * B + j] -= mul * blk[kk * B + j];
+                        }
+                    }
+                }
+                rt.computeFlops(uint64_t(B) * B * B);
+            }
+        });
+
+        // Interior updates in parallel.
+        team.parallelFor(size_t(rem) * rem, [&](size_t lo, size_t hi,
+                                                int) {
+            for (size_t w = lo; w < hi; ++w) {
+                int bi = k + 1 + int(w / rem);
+                int bj = k + 1 + int(w % rem);
+                const double *l =
+                    A.span(base(bi, k), size_t(B) * B, false);
+                const double *u =
+                    A.span(base(k, bj), size_t(B) * B, false);
+                double *c = A.span(base(bi, bj), size_t(B) * B, true);
+                for (int i = 0; i < B; ++i) {
+                    for (int kk = 0; kk < B; ++kk) {
+                        double mul = l[i * B + kk];
+                        for (int j = 0; j < B; ++j)
+                            c[i * B + j] -= mul * u[kk * B + j];
+                    }
+                }
+                rt.computeFlops(uint64_t(2) * B * B * B);
+            }
+        });
+    }
+    out.parallel = rt.now() - pstart;
+
+    // Residual check via substitution (as in the M4 version).
+    auto elemA = [&](int i, int j) {
+        double v = 2.0 * hashReal(0x10, uint64_t(i) * n + j) - 1.0;
+        if (i == j)
+            v += 2.0 * n;
+        return v;
+    };
+    auto elemLU = [&](int i, int j) {
+        return A.read(base(i / B, j / B) + size_t(i % B) * B + (j % B));
+    };
+    std::vector<double> b(n, 0.0);
+    for (int i = 0; i < n; ++i)
+        for (int j = 0; j < n; ++j)
+            b[i] += elemA(i, j);
+    std::vector<double> y(n), x(n);
+    for (int i = 0; i < n; ++i) {
+        double s = b[i];
+        for (int j = 0; j < i; ++j)
+            s -= elemLU(i, j) * y[j];
+        y[i] = s;
+    }
+    for (int i = n - 1; i >= 0; --i) {
+        double s = y[i];
+        for (int j = i + 1; j < n; ++j)
+            s -= elemLU(i, j) * x[j];
+        x[i] = s / elemLU(i, i);
+    }
+    double max_err = 0.0;
+    for (int i = 0; i < n; ++i)
+        max_err = std::max(max_err, std::abs(x[i] - 1.0));
+    out.checksum = max_err;
+    out.valid = max_err < 1e-6;
+}
+
+// ---------------------------------------------------------------------
+// OpenMP OCEAN
+// ---------------------------------------------------------------------
+
+void
+runOmpOcean(Runtime &rt, int nprocs, int n, int steps, AppOut &out)
+{
+    auto u = GArray<double>::alloc(rt, size_t(n) * n);
+    auto f = GArray<double>::alloc(rt, size_t(n) * n);
+
+    {
+        double *uu = u.span(0, size_t(n) * n, true);
+        double *ff = f.span(0, size_t(n) * n, true);
+        for (size_t i = 0; i < size_t(n) * n; ++i) {
+            uu[i] = 0.0;
+            ff[i] = 0.05 * (hashReal(0x77, i) - 0.5);
+        }
+        rt.computeFlops(size_t(n) * n);
+    }
+
+    OmpTeam team(rt, nprocs);
+    Tick pstart = rt.now();
+
+    auto sweep = [&](int colour) {
+        team.parallelFor(size_t(n) - 2, [&](size_t lo, size_t hi, int) {
+            const double w = 1.2;
+            for (size_t r = lo + 1; r < hi + 1; ++r) {
+                double *row = u.span(r * n, n, true);
+                const double *up = u.span((r - 1) * n, n, false);
+                const double *dn = u.span((r + 1) * n, n, false);
+                const double *fr = f.span(r * n, n, false);
+                for (size_t c = 1 + ((r + colour) & 1); c < size_t(n) - 1;
+                     c += 2) {
+                    double gs = 0.25 * (up[c] + dn[c] + row[c - 1] +
+                                        row[c + 1] - fr[c]);
+                    row[c] = (1.0 - w) * row[c] + w * gs;
+                }
+                rt.computeFlops(3 * n);
+            }
+        });
+    };
+
+    for (int s = 0; s < steps * 4; ++s) {
+        sweep(0);
+        sweep(1);
+    }
+    out.parallel = rt.now() - pstart;
+
+    // Residual must be below the initial RHS energy.
+    double res = 0.0, energy = 0.0;
+    for (int r = 1; r < n - 1; ++r) {
+        for (int c = 1; c < n - 1; ++c) {
+            double fr = 0.05 * (hashReal(0x77, size_t(r) * n + c) - 0.5);
+            energy += fr * fr;
+            double v = u.read(size_t(r) * n + c);
+            double lap = u.read(size_t(r - 1) * n + c) +
+                         u.read(size_t(r + 1) * n + c) +
+                         u.read(size_t(r) * n + c - 1) +
+                         u.read(size_t(r) * n + c + 1) - 4.0 * v;
+            double rr = lap - fr;
+            res += rr * rr;
+        }
+    }
+    out.checksum = res;
+    out.valid = std::isfinite(res) && res < energy;
+}
+
+} // namespace apps
+} // namespace cables

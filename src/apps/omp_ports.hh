@@ -1,0 +1,82 @@
+/**
+ * @file
+ * OdinMP-style OpenMP ports (paper Section 3.3 / Tables 5-6): the
+ * OpenMP source is "translated" the way the OdinMP compiler does for
+ * SMPs — a persistent worker pool driven with mutexes and condition
+ * variables, static loop scheduling, and *master-initialized data*
+ * (the serial region touches everything first, so every page is homed
+ * on the master: the placement that limits these programs' speedup on
+ * a DSM system).
+ */
+
+#ifndef CABLES_APPS_OMP_PORTS_HH
+#define CABLES_APPS_OMP_PORTS_HH
+
+#include <functional>
+
+#include "apps/splash.hh"
+
+namespace cables {
+namespace apps {
+
+/**
+ * The OdinMP runtime a translated program links against: a thread pool
+ * plus parallel-for, built only from pthreads mutexes and conditions.
+ */
+class OmpTeam
+{
+  public:
+    OmpTeam(cs::Runtime &rt, int nthreads);
+
+    /** Join the pool (end of program). */
+    ~OmpTeam();
+
+    OmpTeam(const OmpTeam &) = delete;
+    OmpTeam &operator=(const OmpTeam &) = delete;
+
+    int threads() const { return n; }
+
+    /**
+     * '#pragma omp parallel for schedule(static)': run
+     * @p body(begin, end, thread_id) over [0, total) split statically;
+     * the caller (master) participates and the call returns after the
+     * implicit barrier.
+     */
+    void parallelFor(size_t total,
+                     const std::function<void(size_t, size_t, int)> &body);
+
+  private:
+    void workerLoop(int id);
+    void condBarrier();
+
+    cs::Runtime &rt;
+    int n;
+    std::vector<int> tids;
+
+    int m;           ///< pool mutex
+    int cv;          ///< work-available condition
+    int done_cv;     ///< generation-complete condition
+
+    // Shared pool state (host-side is fine: control state of the
+    // translated program itself, not application data).
+    uint64_t generation = 0;
+    size_t total = 0;
+    const std::function<void(size_t, size_t, int)> *body = nullptr;
+    int finished = 0;
+    bool shutdown = false;
+};
+
+/** OpenMP FFT (translated): master-initialized six-step FFT. */
+void runOmpFft(cs::Runtime &rt, int nprocs, int m, AppOut &out);
+
+/** OpenMP LU (translated). */
+void runOmpLu(cs::Runtime &rt, int nprocs, int n, int block, AppOut &out);
+
+/** OpenMP OCEAN (translated). */
+void runOmpOcean(cs::Runtime &rt, int nprocs, int n, int steps,
+                 AppOut &out);
+
+} // namespace apps
+} // namespace cables
+
+#endif // CABLES_APPS_OMP_PORTS_HH

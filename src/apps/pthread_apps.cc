@@ -1,0 +1,272 @@
+#include "apps/pthread_apps.hh"
+
+#include <cmath>
+
+#include "cables/shared.hh"
+#include "util/logging.hh"
+
+namespace cables {
+namespace apps {
+
+using cs::GArray;
+using cs::GlobalVar;
+using cs::Runtime;
+
+namespace {
+
+// The paper's GLOBAL type qualifier: shared static variables, placed in
+// the GLOBAL_DATA section on the master node at pthread_start().
+GlobalVar<uint64_t> pnNextChunk;   // GLOBAL uint64_t pn_next_chunk;
+GlobalVar<uint64_t> pnPrimeCount;  // GLOBAL uint64_t pn_prime_count;
+GlobalVar<uint64_t> pnChunksDone;  // GLOBAL uint64_t pn_chunks_done;
+
+bool
+isPrime(uint64_t v)
+{
+    if (v < 2)
+        return false;
+    for (uint64_t d = 2; d * d <= v; ++d)
+        if (v % d == 0)
+            return false;
+    return true;
+}
+
+} // namespace
+
+void
+runPn(Runtime &rt, const PnParams &p, AppOut &out)
+{
+    pnNextChunk.set(rt, 0);
+    pnPrimeCount.set(rt, 0);
+    pnChunksDone.set(rt, 0);
+
+    int work_mutex = rt.mutexCreate();
+    int progress_cond = rt.condCreate();
+    int progress_mutex = rt.mutexCreate();
+    const uint64_t nchunks = (p.limit + p.chunk - 1) / p.chunk;
+
+    // Progress reporter: sleeps on a condition signalled per chunk,
+    // cancelled by the master once the workers have joined.
+    int reporter = rt.threadCreate([&]() {
+        uint64_t seen = 0;
+        rt.mutexLock(progress_mutex);
+        while (true) {
+            rt.condWait(progress_cond, progress_mutex);
+            seen = pnChunksDone.get(rt);
+            (void)seen;
+        }
+        // Unreachable: terminated via cancellation.
+    });
+
+    auto worker = [&]() {
+        while (true) {
+            rt.mutexLock(work_mutex);
+            uint64_t c = pnNextChunk.get(rt);
+            pnNextChunk.set(rt, c + 1);
+            rt.mutexUnlock(work_mutex);
+            if (c >= nchunks)
+                break;
+            uint64_t lo = c * p.chunk;
+            uint64_t hi = std::min(p.limit, lo + p.chunk);
+            uint64_t found = 0;
+            for (uint64_t v = lo; v < hi; ++v)
+                if (isPrime(v))
+                    ++found;
+            rt.computeFlops((hi - lo) * 12);
+            rt.mutexLock(work_mutex);
+            pnPrimeCount.set(rt, pnPrimeCount.get(rt) + found);
+            pnChunksDone.set(rt, pnChunksDone.get(rt) + 1);
+            rt.mutexUnlock(work_mutex);
+            rt.mutexLock(progress_mutex);
+            rt.condSignal(progress_cond);
+            rt.mutexUnlock(progress_mutex);
+        }
+    };
+
+    std::vector<int> tids;
+    for (int t = 1; t < p.threads; ++t)
+        tids.push_back(rt.threadCreate(worker));
+    worker();
+    for (int tid : tids)
+        rt.join(tid);
+
+    rt.cancel(reporter);
+    rt.join(reporter);
+
+    // Host-side sieve for verification.
+    std::vector<bool> comp(p.limit, false);
+    uint64_t expect = 0;
+    for (uint64_t v = 2; v < p.limit; ++v) {
+        if (!comp[v]) {
+            ++expect;
+            for (uint64_t m = v * v; m < p.limit; m += v)
+                comp[m] = true;
+        }
+    }
+    uint64_t got = pnPrimeCount.get(rt);
+    out.checksum = double(got);
+    out.valid = got == expect;
+    out.parallel = rt.now();
+}
+
+void
+runPc(Runtime &rt, const PcParams &p, AppOut &out)
+{
+    auto buffer = GArray<uint64_t>::alloc(rt, p.capacity);
+    auto state = GArray<int64_t>::alloc(rt, 3); // head, tail, count
+    state.write(0, 0);
+    state.write(1, 0);
+    state.write(2, 0);
+
+    int m = rt.mutexCreate();
+    int not_full = rt.condCreate();
+    int not_empty = rt.condCreate();
+    int scratch_key = rt.keyCreate();
+
+    auto sumSlot = GArray<uint64_t>::alloc(rt, 1);
+    sumSlot.write(0, 0);
+
+    int consumer = rt.threadCreate([&]() {
+        rt.setSpecific(scratch_key, 0xc0);
+        uint64_t sum = 0;
+        for (int i = 0; i < p.items; ++i) {
+            rt.mutexLock(m);
+            while (state.read(2) == 0)
+                rt.condWait(not_empty, m);
+            int64_t head = state.read(0);
+            uint64_t v = buffer.read(head % p.capacity);
+            state.write(0, head + 1);
+            state.write(2, state.read(2) - 1);
+            rt.condSignal(not_full);
+            rt.mutexUnlock(m);
+            sum += v;
+            rt.computeFlops(20);
+        }
+        sumSlot.write(0, sum);
+    });
+
+    // Producer runs on the calling (master) thread.
+    rt.setSpecific(scratch_key, 0xb0); // thread-specific context
+    for (int i = 0; i < p.items; ++i) {
+        uint64_t v = hash64(0x7000 + i) % 1000;
+        rt.mutexLock(m);
+        while (state.read(2) == p.capacity)
+            rt.condWait(not_full, m);
+        int64_t tail = state.read(1);
+        buffer.write(tail % p.capacity, v);
+        state.write(1, tail + 1);
+        state.write(2, state.read(2) + 1);
+        rt.condSignal(not_empty);
+        rt.mutexUnlock(m);
+        rt.computeFlops(20);
+    }
+    rt.join(consumer);
+
+    uint64_t expect = 0;
+    for (int i = 0; i < p.items; ++i)
+        expect += hash64(0x7000 + i) % 1000;
+    uint64_t got = sumSlot.read(0);
+    out.checksum = double(got);
+    out.valid = got == expect;
+    out.parallel = rt.now();
+}
+
+void
+runPipe(Runtime &rt, const PipeParams &p, AppOut &out)
+{
+    const int S = p.stages;
+    const uint64_t sentinel = ~0ull;
+
+    // One bounded queue per stage: values + (head, tail, count).
+    std::vector<GArray<uint64_t>> q;
+    std::vector<GArray<int64_t>> qs;
+    std::vector<int> qm, qfull, qempty;
+    for (int s = 0; s < S; ++s) {
+        q.push_back(GArray<uint64_t>::alloc(rt, p.capacity));
+        qs.push_back(GArray<int64_t>::alloc(rt, 3));
+        qs[s].write(0, 0);
+        qs[s].write(1, 0);
+        qs[s].write(2, 0);
+        qm.push_back(rt.mutexCreate());
+        qfull.push_back(rt.condCreate());
+        qempty.push_back(rt.condCreate());
+    }
+    auto result = GArray<uint64_t>::alloc(rt, 1);
+    result.write(0, 0);
+    int stage_key = rt.keyCreate();
+
+    auto push = [&](int s, uint64_t v) {
+        rt.mutexLock(qm[s]);
+        while (qs[s].read(2) == p.capacity)
+            rt.condWait(qfull[s], qm[s]);
+        int64_t tail = qs[s].read(1);
+        q[s].write(tail % p.capacity, v);
+        qs[s].write(1, tail + 1);
+        qs[s].write(2, qs[s].read(2) + 1);
+        rt.condSignal(qempty[s]);
+        rt.mutexUnlock(qm[s]);
+    };
+    auto pop = [&](int s) {
+        rt.mutexLock(qm[s]);
+        while (qs[s].read(2) == 0)
+            rt.condWait(qempty[s], qm[s]);
+        int64_t head = qs[s].read(0);
+        uint64_t v = q[s].read(head % p.capacity);
+        qs[s].write(0, head + 1);
+        qs[s].write(2, qs[s].read(2) - 1);
+        rt.condSignal(qfull[s]);
+        rt.mutexUnlock(qm[s]);
+        return v;
+    };
+
+    // The per-stage calculation (deterministic, order-preserving).
+    auto transform = [&](uint64_t v, int stage) {
+        rt.computeFlops(200);
+        return hash64(v + stage);
+    };
+
+    std::vector<int> tids;
+    for (int s = 0; s < S; ++s) {
+        tids.push_back(rt.threadCreate([&, s]() {
+            rt.setSpecific(stage_key, uint64_t(s));
+            uint64_t acc = 0;
+            while (true) {
+                uint64_t v = pop(s);
+                if (v == sentinel) {
+                    if (s + 1 < S)
+                        push(s + 1, sentinel);
+                    else
+                        result.write(0, acc);
+                    break;
+                }
+                int stage = int(rt.getSpecific(stage_key));
+                uint64_t w = transform(v, stage);
+                if (s + 1 < S)
+                    push(s + 1, w);
+                else
+                    acc += w % 100000;
+            }
+        }));
+    }
+
+    for (int i = 0; i < p.items; ++i)
+        push(0, hash64(0x9000 + i) % 100000);
+    push(0, sentinel);
+    for (int tid : tids)
+        rt.join(tid);
+
+    uint64_t expect = 0;
+    for (int i = 0; i < p.items; ++i) {
+        uint64_t v = hash64(0x9000 + i) % 100000;
+        for (int s = 0; s < S; ++s)
+            v = hash64(v + s);
+        expect += v % 100000;
+    }
+    uint64_t got = result.read(0);
+    out.checksum = double(got);
+    out.valid = got == expect;
+    out.parallel = rt.now();
+}
+
+} // namespace apps
+} // namespace cables

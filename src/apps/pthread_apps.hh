@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The publicly-available pthreads programs of the paper's Table 5:
+ *
+ *  PN   — prime counting: workers pull ranges from a GLOBAL chunk
+ *         counter under a mutex; a progress reporter sleeps on a
+ *         condition and is cancelled at the end (create / join /
+ *         mutexes / conditions / cancel / GLOBAL statics).
+ *  PC   — producer-consumer over a bounded shared buffer with a mutex
+ *         and two conditions; two threads, one node; also exercises
+ *         thread-specific data.
+ *  PIPE — a threaded pipeline: each stage owns an inbound queue
+ *         (mutex + condition) and uses thread-specific data for its
+ *         stage context; drained with sentinels, monitor cancelled.
+ *
+ * All run on the CableS backend only (they need dynamic threads and
+ * dynamic allocation).
+ */
+
+#ifndef CABLES_APPS_PTHREAD_APPS_HH
+#define CABLES_APPS_PTHREAD_APPS_HH
+
+#include "apps/splash.hh"
+
+namespace cables {
+namespace apps {
+
+struct PnParams
+{
+    int threads = 8;
+    uint64_t limit = 120000; ///< count primes below this
+    uint64_t chunk = 4000;
+};
+void runPn(cs::Runtime &rt, const PnParams &p, AppOut &out);
+
+struct PcParams
+{
+    int items = 1500;
+    int capacity = 16;
+};
+void runPc(cs::Runtime &rt, const PcParams &p, AppOut &out);
+
+struct PipeParams
+{
+    int stages = 4;
+    int items = 400;
+    int capacity = 8;
+};
+void runPipe(cs::Runtime &rt, const PipeParams &p, AppOut &out);
+
+} // namespace apps
+} // namespace cables
+
+#endif // CABLES_APPS_PTHREAD_APPS_HH

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * RAYTRACE-style ray caster: a read-shared sphere scene, an image
+ * partitioned into row-tiles handed out through a lock-protected task
+ * queue (dynamic load balancing, like the SPLASH task queues), real
+ * ray-sphere intersection and Lambert shading per pixel.
+ *
+ * Verification: the image checksum is independent of which processor
+ * rendered which tile, and must match a serial host-side render.
+ */
+
+#include <cmath>
+
+#include "apps/splash.hh"
+#include "cables/shared.hh"
+#include "util/logging.hh"
+
+namespace cables {
+namespace apps {
+
+using cs::GArray;
+using m4::M4Env;
+
+namespace {
+
+struct Sphere
+{
+    double x, y, z, r;
+    double shade;
+};
+
+Sphere
+sphereOf(int i)
+{
+    return Sphere{4.0 * hashReal(0x301, i) - 2.0,
+                  4.0 * hashReal(0x302, i) - 2.0,
+                  3.0 + 4.0 * hashReal(0x303, i),
+                  0.15 + 0.35 * hashReal(0x304, i),
+                  0.2 + 0.8 * hashReal(0x305, i)};
+}
+
+/** Shade of the primary ray through pixel (px, py). */
+double
+tracePixel(const double *scene, int nspheres, int image, int px, int py)
+{
+    // Camera at origin looking down +z; pixel on plane z=1.
+    double dx = (2.0 * (px + 0.5) / image - 1.0);
+    double dy = (2.0 * (py + 0.5) / image - 1.0);
+    double dz = 1.0;
+    double len = std::sqrt(dx * dx + dy * dy + dz * dz);
+    dx /= len;
+    dy /= len;
+    dz /= len;
+
+    double best_t = 1e30;
+    double value = 0.02; // background
+    for (int s = 0; s < nspheres; ++s) {
+        const double *sp = scene + 5 * s;
+        double ox = -sp[0], oy = -sp[1], oz = -sp[2];
+        double b = ox * dx + oy * dy + oz * dz;
+        double c = ox * ox + oy * oy + oz * oz - sp[3] * sp[3];
+        double disc = b * b - c;
+        if (disc <= 0.0)
+            continue;
+        double t = -b - std::sqrt(disc);
+        if (t <= 1e-9 || t >= best_t)
+            continue;
+        best_t = t;
+        // Lambert against a fixed light direction.
+        double hx = t * dx + ox, hy = t * dy + oy, hz = t * dz + oz;
+        double nl = std::sqrt(hx * hx + hy * hy + hz * hz);
+        double lambert =
+            std::max(0.0, (hx * 0.5 + hy * 0.5 - hz * 0.7071) / nl);
+        value = sp[4] * (0.15 + 0.85 * lambert);
+    }
+    return value;
+}
+
+} // namespace
+
+void
+runRaytrace(M4Env &env, const RaytraceParams &p, AppOut &out)
+{
+    auto &rt = env.runtime();
+    const int P = p.nprocs;
+    const int W = p.image;
+
+    auto scene = env.gMallocArray<double>(size_t(p.spheres) * 5);
+    auto image = env.gMallocArray<double>(size_t(W) * W);
+    auto nextTask = env.gMallocArray<int64_t>(1);
+    auto bar = env.barInit();
+    auto qlock = env.lockInit();
+    Tick pstart = 0;
+
+    const int tiles = (W + p.tileRows - 1) / p.tileRows;
+
+    runWorkers(env, P, [&](int pid) {
+        if (pid == 0) {
+            // The scene and the frame buffer are loaded/zeroed by the
+            // master (the SPLASH-2 convention), so their placement is
+            // identical in both systems; tiles are then written
+            // remotely through the task queue.
+            double *s = scene.span(0, size_t(p.spheres) * 5, true);
+            for (int i = 0; i < p.spheres; ++i) {
+                Sphere sp = sphereOf(i);
+                s[5 * i] = sp.x;
+                s[5 * i + 1] = sp.y;
+                s[5 * i + 2] = sp.z;
+                s[5 * i + 3] = sp.r;
+                s[5 * i + 4] = sp.shade;
+            }
+            double *img = image.span(0, size_t(W) * W, true);
+            for (size_t i = 0; i < size_t(W) * W; ++i)
+                img[i] = 0.0;
+            nextTask.write(0, 0);
+        }
+        env.barrier(bar, P);
+        if (pid == 0)
+            pstart = rt.now();
+
+        const double *sc =
+            scene.span(0, size_t(p.spheres) * 5, false);
+        while (true) {
+            env.lock(qlock);
+            int64_t t = nextTask.read(0);
+            nextTask.write(0, t + 1);
+            env.unlock(qlock);
+            if (t >= tiles)
+                break;
+            int r0 = int(t) * p.tileRows;
+            int rl = std::min(p.tileRows, W - r0);
+            double *rows = image.span(size_t(r0) * W, size_t(rl) * W,
+                                      true);
+            for (int r = 0; r < rl; ++r)
+                for (int c = 0; c < W; ++c)
+                    rows[r * W + c] =
+                        tracePixel(sc, p.spheres, W, c, r0 + r);
+            rt.computeFlops(uint64_t(rl) * W * p.spheres * 12);
+        }
+        env.barrier(bar, P);
+    });
+
+    out.parallel = rt.now() - pstart;
+
+    // Serial reference render (host-side).
+    std::vector<double> ref(size_t(p.spheres) * 5);
+    for (int i = 0; i < p.spheres; ++i) {
+        Sphere sp = sphereOf(i);
+        ref[5 * i] = sp.x;
+        ref[5 * i + 1] = sp.y;
+        ref[5 * i + 2] = sp.z;
+        ref[5 * i + 3] = sp.r;
+        ref[5 * i + 4] = sp.shade;
+    }
+    double sum = 0.0, err = 0.0;
+    for (int r = 0; r < W; ++r) {
+        for (int c = 0; c < W; ++c) {
+            double got = image.read(size_t(r) * W + c);
+            sum += got;
+            err = std::max(err,
+                           std::abs(got - tracePixel(ref.data(),
+                                                     p.spheres, W, c,
+                                                     r)));
+        }
+    }
+    out.checksum = sum;
+    out.valid = err < 1e-12;
+}
+
+} // namespace apps
+} // namespace cables

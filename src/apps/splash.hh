@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The SPLASH-2-style workload suite used by the paper's evaluation
+ * (Section 3.4): FFT, LU, OCEAN, RADIX, WATER-SPATIAL, WATER-SPAT-FL,
+ * RAYTRACE and VOLREND, written against the M4 macro layer so each runs
+ * unchanged on the base (GeNIMA) and CableS backends.
+ *
+ * The kernels perform real computation on shared data and validate
+ * their numerical output; problem sizes are scaled down from the paper
+ * (the substrate is a simulator) but keep each application's
+ * characteristic data layout, ownership pattern and synchronization
+ * structure — which is what determines placement behaviour under the
+ * 64 KByte mapping granularity.
+ */
+
+#ifndef CABLES_APPS_SPLASH_HH
+#define CABLES_APPS_SPLASH_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "apps/common.hh"
+#include "apps/harness.hh"
+#include "m4/m4.hh"
+
+namespace cables {
+namespace apps {
+
+/** Result of one kernel execution. */
+struct AppOut
+{
+    Tick parallel = 0;     ///< simulated time of the parallel section
+    double checksum = 0.0; ///< application-defined checksum
+    bool valid = false;    ///< numerical self-check passed
+};
+
+/** FFT: radix-sqrt(n) six-step 1D FFT with blocked transposes. */
+struct FftParams
+{
+    int nprocs = 4;
+    int m = 16;  ///< 2^m complex points; m must be even
+};
+void runFft(m4::M4Env &env, const FftParams &p, AppOut &out);
+
+/** LU: blocked dense LU with 2D-scattered block ownership. */
+struct LuParams
+{
+    int nprocs = 4;
+    int n = 384;     ///< matrix dimension
+    int block = 32;  ///< block size (8 KByte per block at 32)
+};
+void runLu(m4::M4Env &env, const LuParams &p, AppOut &out);
+
+/** OCEAN: red-black SOR over a multigrid-style family of grids. */
+struct OceanParams
+{
+    int nprocs = 4;
+    int n = 514;     ///< grid dimension (including boundary; paper size)
+    int steps = 4;   ///< outer time steps
+    int levels = 3;  ///< multigrid levels
+};
+void runOcean(m4::M4Env &env, const OceanParams &p, AppOut &out);
+
+/** RADIX: parallel radix sort with scattered permutation writes. */
+struct RadixParams
+{
+    int nprocs = 4;
+    size_t keys = size_t(1) << 19;
+    int radixBits = 8;
+    int maxKeyBits = 24;
+};
+void runRadix(m4::M4Env &env, const RadixParams &p, AppOut &out);
+
+/** WATER-SPATIAL: cell-decomposed short-range molecular dynamics. */
+struct WaterParams
+{
+    int nprocs = 4;
+    int molecules = 4096;
+    int steps = 3;
+    /**
+     * False-sharing-limited layout (the -FL variant): molecule state is
+     * blocked per owner so one page holds one owner's data.
+     */
+    bool ownerBlockedLayout = false;
+};
+void runWater(m4::M4Env &env, const WaterParams &p, AppOut &out);
+
+/** RAYTRACE: sphere-scene ray caster with a dynamic task queue. */
+struct RaytraceParams
+{
+    int nprocs = 4;
+    int image = 96;    ///< square image side
+    int spheres = 128;
+    int tileRows = 4;  ///< task granularity in image rows
+};
+void runRaytrace(m4::M4Env &env, const RaytraceParams &p, AppOut &out);
+
+/** VOLREND: ray casting through a shared volume, fine-grained tasks. */
+struct VolrendParams
+{
+    int nprocs = 4;
+    int volume = 48;   ///< cubic volume side
+    int image = 64;    ///< square image side
+    int frames = 3;    ///< rendered rotations
+};
+void runVolrend(m4::M4Env &env, const VolrendParams &p, AppOut &out);
+
+/** A suite entry: name plus a runner with default (benchmark) sizes. */
+struct SplashAppEntry
+{
+    std::string name;
+    std::function<void(m4::M4Env &, int nprocs, AppOut &)> run;
+};
+
+/** The eight applications of the paper's Figure 5 / Figure 6. */
+const std::vector<SplashAppEntry> &splashSuite();
+
+} // namespace apps
+} // namespace cables
+
+#endif // CABLES_APPS_SPLASH_HH

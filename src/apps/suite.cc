@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The Figure 5 / Figure 6 application registry with the benchmark
+ * problem sizes (scaled from the paper's; see EXPERIMENTS.md).
+ */
+
+#include "apps/splash.hh"
+
+namespace cables {
+namespace apps {
+
+const std::vector<SplashAppEntry> &
+splashSuite()
+{
+    static const std::vector<SplashAppEntry> suite = {
+        {"FFT",
+         [](m4::M4Env &env, int np, AppOut &out) {
+             FftParams p;
+             p.nprocs = np;
+             runFft(env, p, out);
+         }},
+        {"LU",
+         [](m4::M4Env &env, int np, AppOut &out) {
+             LuParams p;
+             p.nprocs = np;
+             runLu(env, p, out);
+         }},
+        {"OCEAN",
+         [](m4::M4Env &env, int np, AppOut &out) {
+             OceanParams p;
+             p.nprocs = np;
+             runOcean(env, p, out);
+         }},
+        {"RADIX",
+         [](m4::M4Env &env, int np, AppOut &out) {
+             RadixParams p;
+             p.nprocs = np;
+             runRadix(env, p, out);
+         }},
+        {"WATER-SPATIAL",
+         [](m4::M4Env &env, int np, AppOut &out) {
+             WaterParams p;
+             p.nprocs = np;
+             runWater(env, p, out);
+         }},
+        {"WATER-SPAT-FL",
+         [](m4::M4Env &env, int np, AppOut &out) {
+             WaterParams p;
+             p.nprocs = np;
+             p.ownerBlockedLayout = true;
+             runWater(env, p, out);
+         }},
+        {"VOLREND",
+         [](m4::M4Env &env, int np, AppOut &out) {
+             VolrendParams p;
+             p.nprocs = np;
+             runVolrend(env, p, out);
+         }},
+        {"RAYTRACE",
+         [](m4::M4Env &env, int np, AppOut &out) {
+             RaytraceParams p;
+             p.nprocs = np;
+             runRaytrace(env, p, out);
+         }},
+    };
+    return suite;
+}
+
+} // namespace apps
+} // namespace cables

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * WATER-SPATIAL-style molecular dynamics: molecules live in a 3D cell
+ * grid; each processor owns a contiguous range of cells and computes
+ * short-range pair forces against the 26 neighbouring cells, then
+ * integrates its own molecules. A lock-protected global accumulator
+ * reduces the potential energy each step.
+ *
+ * Two layouts reproduce the paper's WATER-SPATIAL vs WATER-SPAT-FL
+ * pair: the plain layout stores molecule state in input order (cells
+ * interleave within pages — false sharing and fine-grained first
+ * touch), the "-FL" layout blocks molecules by owning processor so
+ * pages are single-owner.
+ *
+ * Verification: the parallel energies must match a serial host-side
+ * recomputation.
+ */
+
+#include <cmath>
+
+#include "apps/splash.hh"
+#include "cables/shared.hh"
+#include "util/logging.hh"
+
+namespace cables {
+namespace apps {
+
+using cs::GArray;
+using m4::M4Env;
+
+namespace {
+
+struct Mol
+{
+    double x, y, z;
+};
+
+/** Deterministic initial position of molecule @p i in the unit box. */
+inline Mol
+initPos(uint64_t i)
+{
+    return Mol{hashReal(0x201, i), hashReal(0x202, i),
+               hashReal(0x203, i)};
+}
+
+/** Short-range pair potential and force magnitude (cheap LJ-like). */
+inline double
+pairEnergy(double r2)
+{
+    double inv = 1.0 / (r2 + 0.01);
+    double inv3 = inv * inv * inv;
+    return inv3 - inv;
+}
+
+} // namespace
+
+void
+runWater(M4Env &env, const WaterParams &p, AppOut &out)
+{
+    auto &rt = env.runtime();
+    const int P = p.nprocs;
+    const int n = p.molecules;
+
+    // Cell grid: side chosen so a cell holds a handful of molecules.
+    int side = 1;
+    while (side * side * side * 4 < n)
+        ++side;
+    const int cells = side * side * side;
+    const double cell_w = 1.0 / side;
+    const double cutoff2 = cell_w * cell_w;
+
+    // Cell assignment from the (fixed) initial positions.
+    auto cellOf = [&](const Mol &m) {
+        int cx = std::min(side - 1, int(m.x / cell_w));
+        int cy = std::min(side - 1, int(m.y / cell_w));
+        int cz = std::min(side - 1, int(m.z / cell_w));
+        return (cx * side + cy) * side + cz;
+    };
+
+    // Host-side index structure (replicated, read-only; the real
+    // SPLASH code builds shared linked lists, which only add pointer
+    // chasing on the same pages).
+    std::vector<std::vector<int>> members(cells);
+    for (int i = 0; i < n; ++i)
+        members[cellOf(initPos(i))].push_back(i);
+
+    // Storage order: plain = input order (cell-scattered);
+    // FL = blocked by owning processor (cells banded per proc).
+    std::vector<int> slotOf(n);
+    if (!p.ownerBlockedLayout) {
+        for (int i = 0; i < n; ++i)
+            slotOf[i] = i;
+    } else {
+        int next = 0;
+        for (int c = 0; c < cells; ++c)
+            for (int i : members[c])
+                slotOf[i] = next++;
+    }
+
+    // Molecule state records: position, force and padding to 80 bytes
+    // (the SPLASH molecule struct is larger still); the array layout —
+    // cell-scattered (plain) vs owner-blocked (-FL) — decides how page
+    // ownership interleaves.
+    constexpr size_t stride = 10; // doubles per molecule record
+    auto mol = env.gMallocArray<double>(size_t(n) * stride);
+    auto px = [&](int s) { return mol.addr(size_t(s) * stride + 0); };
+    auto py = [&](int s) { return mol.addr(size_t(s) * stride + 1); };
+    auto pz = [&](int s) { return mol.addr(size_t(s) * stride + 2); };
+    auto energy = env.gMallocArray<double>(1);
+    auto energyLog = env.gMallocArray<double>(p.steps);
+    auto bar = env.barInit();
+    auto elock = env.lockInit();
+    Tick pstart = 0;
+
+    // Neighbour list of a cell (including itself), half-shell to count
+    // each pair once.
+    auto forEachNeighbour = [&](int c, auto &&fn) {
+        int cx = c / (side * side), cy = (c / side) % side, cz = c % side;
+        for (int dx = -1; dx <= 1; ++dx) {
+            for (int dy = -1; dy <= 1; ++dy) {
+                for (int dz = -1; dz <= 1; ++dz) {
+                    int nx = cx + dx, ny = cy + dy, nz = cz + dz;
+                    if (nx < 0 || ny < 0 || nz < 0 || nx >= side ||
+                        ny >= side || nz >= side)
+                        continue;
+                    int nc = (nx * side + ny) * side + nz;
+                    if (nc >= c)
+                        fn(nc);
+                }
+            }
+        }
+    };
+
+    runWorkers(env, P, [&](int pid) {
+        auto [cb, ce] = sliceOf(cells, P, pid);
+        // Owners initialize the state of molecules in their cells.
+        for (size_t c = cb; c < ce; ++c) {
+            for (int i : members[c]) {
+                Mol m = initPos(i);
+                int s = slotOf[i];
+                double *rec =
+                    mol.span(size_t(s) * stride, stride, true);
+                rec[0] = m.x;
+                rec[1] = m.y;
+                rec[2] = m.z;
+                for (size_t k = 3; k < stride; ++k)
+                    rec[k] = 0.0;
+            }
+        }
+        if (pid == 0)
+            energy.write(0, 0.0);
+        rt.computeFlops(6 * (n / std::max(P, 1)));
+        env.barrier(bar, P);
+        if (pid == 0)
+            pstart = rt.now();
+
+        for (int step = 0; step < p.steps; ++step) {
+            // Force computation: pairs between owned cells and their
+            // upper-shell neighbours (which may be remote).
+            double epot = 0.0;
+            uint64_t pairs = 0;
+            for (size_t c = cb; c < ce; ++c) {
+                forEachNeighbour(int(c), [&](int nc) {
+                    for (int i : members[c]) {
+                        int si = slotOf[i];
+                        double xi = rt.read<double>(px(si));
+                        double yi = rt.read<double>(py(si));
+                        double zi = rt.read<double>(pz(si));
+                        for (int j : members[nc]) {
+                            if (nc == int(c) && j <= i)
+                                continue;
+                            int sj = slotOf[j];
+                            double dx = xi - rt.read<double>(px(sj));
+                            double dy = yi - rt.read<double>(py(sj));
+                            double dz = zi - rt.read<double>(pz(sj));
+                            double r2 = dx * dx + dy * dy + dz * dz;
+                            ++pairs;
+                            if (r2 >= cutoff2)
+                                continue;
+                            double e = pairEnergy(r2);
+                            epot += e;
+                            double g = 1e-6 * e;
+                            double *ri = mol.span(
+                                size_t(si) * stride, stride, true);
+                            ri[3] += g * dx;
+                            ri[4] += g * dy;
+                            ri[5] += g * dz;
+                            double *rj = mol.span(
+                                size_t(sj) * stride, stride, true);
+                            rj[3] -= g * dx;
+                            rj[4] -= g * dy;
+                            rj[5] -= g * dz;
+                        }
+                    }
+                });
+            }
+            rt.computeFlops(40 * pairs);
+
+            env.lock(elock);
+            energy[0] += epot;
+            env.unlock(elock);
+            env.barrier(bar, P);
+
+            // Integrate own molecules (positions stay within cells for
+            // the tiny force scale used here).
+            for (size_t c = cb; c < ce; ++c) {
+                for (int i : members[c]) {
+                    int s = slotOf[i];
+                    double *rec =
+                        mol.span(size_t(s) * stride, stride, true);
+                    rec[0] += 1e-7 * rec[3];
+                    rec[1] += 1e-7 * rec[4];
+                    rec[2] += 1e-7 * rec[5];
+                }
+            }
+            rt.computeFlops(6 * (n / std::max(P, 1)));
+            env.barrier(bar, P);
+            if (pid == 0) {
+                energyLog.write(step, energy.read(0));
+                energy.write(0, 0.0);
+            }
+            env.barrier(bar, P);
+        }
+    });
+
+    out.parallel = rt.now() - pstart;
+
+    // Serial host-side recomputation of the first step's energy.
+    double expect = 0.0;
+    for (int c = 0; c < cells; ++c) {
+        forEachNeighbour(c, [&](int nc) {
+            for (int i : members[c]) {
+                Mol a = initPos(i);
+                for (int j : members[nc]) {
+                    if (nc == c && j <= i)
+                        continue;
+                    Mol b = initPos(j);
+                    double dx = a.x - b.x, dy = a.y - b.y,
+                           dz = a.z - b.z;
+                    double r2 = dx * dx + dy * dy + dz * dz;
+                    if (r2 >= cutoff2)
+                        continue;
+                    expect += pairEnergy(r2);
+                }
+            }
+        });
+    }
+    double first = energyLog.read(0);
+    out.checksum = first;
+    out.valid = std::isfinite(first) &&
+                std::abs(first - expect) <
+                    1e-6 * std::max(1.0, std::abs(expect));
+}
+
+} // namespace apps
+} // namespace cables

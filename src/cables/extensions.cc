@@ -1,0 +1,196 @@
+#include "cables/extensions.hh"
+
+#include "util/logging.hh"
+
+namespace cables {
+namespace cs {
+
+ThreadPool::ThreadPool(Runtime &rt, int workers) : rt(rt), n(workers)
+{
+    fatal_if(n <= 0, "thread pool needs at least one worker");
+    m = rt.mutexCreate();
+    work_cv = rt.condCreate();
+    done_cv = rt.condCreate();
+    for (int i = 0; i < n; ++i)
+        tids.push_back(rt.threadCreate([this]() { workerLoop(); }));
+}
+
+ThreadPool::~ThreadPool()
+{
+    drain();
+    rt.mutexLock(m);
+    shuttingDown = true;
+    rt.condBroadcast(work_cv);
+    rt.mutexUnlock(m);
+    for (int tid : tids)
+        rt.join(tid);
+}
+
+void
+ThreadPool::workerLoop()
+{
+    while (true) {
+        rt.mutexLock(m);
+        while (queue.empty() && !shuttingDown)
+            rt.condWait(work_cv, m);
+        if (queue.empty() && shuttingDown) {
+            rt.mutexUnlock(m);
+            return;
+        }
+        auto [ticket, task] = std::move(queue.front());
+        queue.pop_front();
+        rt.mutexUnlock(m);
+
+        task();
+
+        rt.mutexLock(m);
+        ++completed;
+        if (static_cast<size_t>(ticket) >= doneTickets.size())
+            doneTickets.resize(ticket + 1, false);
+        doneTickets[ticket] = true;
+        rt.condBroadcast(done_cv);
+        rt.mutexUnlock(m);
+    }
+}
+
+int
+ThreadPool::submit(std::function<void()> task)
+{
+    rt.mutexLock(m);
+    int ticket = nextTicket++;
+    queue.emplace_back(ticket, std::move(task));
+    rt.condSignal(work_cv);
+    rt.mutexUnlock(m);
+    return ticket;
+}
+
+void
+ThreadPool::wait(int t)
+{
+    rt.mutexLock(m);
+    while (static_cast<size_t>(t) >= doneTickets.size() ||
+           !doneTickets[t]) {
+        rt.condWait(done_cv, m);
+    }
+    rt.mutexUnlock(m);
+}
+
+void
+ThreadPool::drain()
+{
+    rt.mutexLock(m);
+    while (completed < nextTicket)
+        rt.condWait(done_cv, m);
+    rt.mutexUnlock(m);
+}
+
+RwLock::RwLock(Runtime &rt) : rt(rt)
+{
+    m = rt.mutexCreate();
+    readers_cv = rt.condCreate();
+    writers_cv = rt.condCreate();
+}
+
+void
+RwLock::rdLock()
+{
+    rt.mutexLock(m);
+    // Writer preference: readers yield while writers wait.
+    while (writer || waitingWriters > 0)
+        rt.condWait(readers_cv, m);
+    ++readers;
+    rt.mutexUnlock(m);
+}
+
+bool
+RwLock::tryRdLock()
+{
+    rt.mutexLock(m);
+    bool ok = !writer && waitingWriters == 0;
+    if (ok)
+        ++readers;
+    rt.mutexUnlock(m);
+    return ok;
+}
+
+void
+RwLock::wrLock()
+{
+    rt.mutexLock(m);
+    ++waitingWriters;
+    while (writer || readers > 0)
+        rt.condWait(writers_cv, m);
+    --waitingWriters;
+    writer = true;
+    rt.mutexUnlock(m);
+}
+
+bool
+RwLock::tryWrLock()
+{
+    rt.mutexLock(m);
+    bool ok = !writer && readers == 0;
+    if (ok)
+        writer = true;
+    rt.mutexUnlock(m);
+    return ok;
+}
+
+void
+RwLock::unlock()
+{
+    rt.mutexLock(m);
+    if (writer) {
+        writer = false;
+    } else {
+        panic_if(readers <= 0, "rwlock unlock with no holders");
+        --readers;
+    }
+    if (readers == 0) {
+        if (waitingWriters > 0)
+            rt.condSignal(writers_cv);
+        else
+            rt.condBroadcast(readers_cv);
+    }
+    rt.mutexUnlock(m);
+}
+
+Once::Once(Runtime &rt) : rt(rt)
+{
+    m = rt.mutexCreate();
+    cv = rt.condCreate();
+}
+
+void
+Once::call(const std::function<void()> &fn)
+{
+    rt.mutexLock(m);
+    if (state == 2) {
+        rt.mutexUnlock(m);
+        return;
+    }
+    if (state == 1) {
+        while (state != 2)
+            rt.condWait(cv, m);
+        rt.mutexUnlock(m);
+        return;
+    }
+    state = 1;
+    rt.mutexUnlock(m);
+
+    fn();
+
+    rt.mutexLock(m);
+    state = 2;
+    rt.condBroadcast(cv);
+    rt.mutexUnlock(m);
+}
+
+int
+preAttach(Runtime &rt, int count)
+{
+    return rt.preAttachNodes(count);
+}
+
+} // namespace cs
+} // namespace cables

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * CableS extensions beyond the paper's core system, each motivated by
+ * the paper's own discussion:
+ *
+ *  - ThreadPool: the paper notes its pthread_create times "show the
+ *    potential for pooling threads on nodes to save time"; this pool
+ *    keeps finished workers parked on their nodes and reuses them, so
+ *    a task dispatch costs condition-variable traffic instead of a
+ *    thread create (or a multi-second node attach).
+ *
+ *  - Pre-attach: node attach dominates CableS startup (Table 4's
+ *    3.7 s). preAttach() starts the attach sequences of several nodes
+ *    concurrently and out of the application's critical path, so later
+ *    thread creates find nodes already (or sooner) available.
+ *
+ *  - RwLock / Once: the rest of the pthreads synchronization surface
+ *    (pthread_rwlock_*, pthread_once), built on CableS mutexes and
+ *    conditions exactly as a library implementation would.
+ */
+
+#ifndef CABLES_CABLES_EXTENSIONS_HH
+#define CABLES_CABLES_EXTENSIONS_HH
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "cables/runtime.hh"
+
+namespace cables {
+namespace cs {
+
+/**
+ * A reusable pool of CableS threads (see file comment).
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * Create the pool with @p workers threads (placed — and nodes
+     * attached — up front, like a long-running server would).
+     */
+    ThreadPool(Runtime &rt, int workers);
+
+    /** Join all workers (drains pending tasks first). */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Submit a task; an idle pooled worker picks it up.
+     * @return a ticket to pass to wait().
+     */
+    int submit(std::function<void()> task);
+
+    /** Block until ticket @p t (from submit) has completed. */
+    void wait(int t);
+
+    /** Block until every submitted task has completed. */
+    void drain();
+
+    int workers() const { return n; }
+
+  private:
+    void workerLoop();
+
+    Runtime &rt;
+    int n;
+    std::vector<int> tids;
+
+    int m;       ///< pool mutex
+    int work_cv; ///< task available
+    int done_cv; ///< task completed
+
+    // Control state of the pool itself (host-side, like any runtime
+    // library's bookkeeping).
+    std::deque<std::pair<int, std::function<void()>>> queue;
+    int nextTicket = 0;
+    int completed = 0;
+    std::vector<bool> doneTickets;
+    bool shuttingDown = false;
+};
+
+/**
+ * pthread_rwlock: multiple readers or one writer, writer preference,
+ * built from a CableS mutex and two condition variables.
+ */
+class RwLock
+{
+  public:
+    explicit RwLock(Runtime &rt);
+
+    void rdLock();
+    bool tryRdLock();
+    void wrLock();
+    bool tryWrLock();
+    void unlock();
+
+    int activeReaders() const { return readers; }
+    bool writerActive() const { return writer; }
+
+  private:
+    Runtime &rt;
+    int m;
+    int readers_cv;
+    int writers_cv;
+    int readers = 0;
+    bool writer = false;
+    int waitingWriters = 0;
+};
+
+/**
+ * pthread_once: run an initializer exactly once across the cluster.
+ */
+class Once
+{
+  public:
+    explicit Once(Runtime &rt);
+
+    /** Run @p fn if nobody has; everyone returns after it completed. */
+    void call(const std::function<void()> &fn);
+
+    bool done() const { return state == 2; }
+
+  private:
+    Runtime &rt;
+    int m;
+    int cv;
+    int state = 0; // 0 = never, 1 = running, 2 = done
+};
+
+/**
+ * Start attaching @p count additional nodes concurrently, off the
+ * caller's critical path. Returns immediately; the nodes report in as
+ * their (overlapped) attach sequences complete, after which thread
+ * creation finds them available. @return number of attaches started.
+ */
+int preAttach(Runtime &rt, int count);
+
+} // namespace cs
+} // namespace cables
+
+#endif // CABLES_CABLES_EXTENSIONS_HH

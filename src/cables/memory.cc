@@ -1,0 +1,328 @@
+#include "cables/memory.hh"
+
+#include <algorithm>
+
+#include "cables/runtime.hh"
+#include "util/logging.hh"
+
+namespace cables {
+namespace cs {
+
+using svm::pageOf;
+using svm::pageBase;
+using svm::pageSize;
+
+bool
+RegionTracker::add(PageId page, NodeId home)
+{
+    if (static_cast<size_t>(home) >= perHome.size())
+        perHome.resize(home + 1, 0);
+
+    auto left = runOfPage.find(page - 1);
+    auto right = runOfPage.find(page + 1);
+    bool left_ok = left != runOfPage.end() && left->second.home == home;
+    bool right_ok = right != runOfPage.end() && right->second.home == home;
+
+    if (left_ok) {
+        runOfPage[page] = left->second;
+        runSize[left->second.id] += 1;
+        if (right_ok && right->second.id != left->second.id) {
+            // Joining two runs: the right run merges into the left one.
+            int dead = right->second.id;
+            int keep = left->second.id;
+            for (auto &kv : runOfPage) {
+                if (kv.second.id == dead)
+                    kv.second.id = keep;
+            }
+            runSize[keep] += runSize[dead];
+            runSize.erase(dead);
+            perHome[home] -= 1;
+        }
+        return false;
+    }
+    if (right_ok) {
+        runOfPage[page] = right->second;
+        runSize[right->second.id] += 1;
+        return false;
+    }
+    runOfPage[page] = Run{home, nextId};
+    runSize[nextId] = 1;
+    ++nextId;
+    perHome[home] += 1;
+    return true;
+}
+
+int
+RegionTracker::regionOf(PageId page) const
+{
+    auto it = runOfPage.find(page);
+    return it == runOfPage.end() ? -1 : it->second.id;
+}
+
+size_t
+RegionTracker::regionsOf(NodeId home) const
+{
+    return static_cast<size_t>(home) < perHome.size() ? perHome[home] : 0;
+}
+
+void
+RegionTracker::erase(PageId first, PageId last)
+{
+    for (PageId p = first; p <= last; ++p) {
+        auto it = runOfPage.find(p);
+        if (it == runOfPage.end())
+            continue;
+        auto sz = runSize.find(it->second.id);
+        if (sz != runSize.end() && --sz->second == 0) {
+            perHome[it->second.home] -= 1;
+            runSize.erase(sz);
+        }
+        runOfPage.erase(it);
+    }
+}
+
+MemoryManager::MemoryManager(Runtime &rt)
+    : rt(rt), homeRegions(rt.config().nodes),
+      importedHomeRegion(rt.config().nodes,
+                         std::vector<bool>(rt.config().nodes, false)),
+      segInfoCached(rt.config().nodes)
+{}
+
+const MemoryManager::Segment *
+MemoryManager::segmentOf(GAddr addr) const
+{
+    auto it = segments.upper_bound(addr);
+    if (it == segments.begin())
+        return nullptr;
+    --it;
+    const Segment &s = it->second;
+    if (!s.live || addr >= s.base + s.len)
+        return nullptr;
+    return &s;
+}
+
+GAddr
+MemoryManager::alloc(size_t len)
+{
+    const bool base = rt.config().backend == Backend::BaseSvm;
+    fatal_if(base && initSealed,
+             "base SVM backend: global shared memory can only be "
+             "allocated during program initialization");
+
+    // Segments are page-aligned so home binding never straddles
+    // allocations within a page.
+    GAddr a = rt.space().alloc(len, pageSize);
+    fatal_if(a == GNull, "out of global shared memory allocating {} "
+             "bytes ({} in use)", len, rt.space().used());
+    segments[a] = Segment{a, len, true};
+    liveBytes_ += len;
+    ++stats_.allocs;
+
+    NodeId node = rt.self().node;
+    // Directory entry creation in the ACB.
+    rt.charge(CostKind::LocalCables, rt.config().costs.acbLocalOp);
+    if (node != 0)
+        rt.adminRequest(node);
+    return a;
+}
+
+void
+MemoryManager::free(GAddr addr)
+{
+    fatal_if(rt.config().backend == Backend::BaseSvm,
+             "base SVM backend does not support freeing shared memory");
+    auto it = segments.find(addr);
+    fatal_if(it == segments.end() || !it->second.live,
+             "cs_free of unknown address {}", addr);
+    Segment &s = it->second;
+    s.live = false;
+    liveBytes_ -= s.len;
+    ++stats_.frees;
+
+    PageId first = pageOf(s.base);
+    PageId last = pageOf(s.base + s.len - 1);
+    for (PageId p = first; p <= last; ++p) {
+        if (rt.protocol().home(p) != net::InvalidNode)
+            rt.protocol().unbindPage(p);
+    }
+    // Invalidate cached directory info everywhere.
+    for (auto &cache : segInfoCached)
+        cache.erase(s.base);
+
+    rt.space().free(s.base, s.len);
+    segments.erase(it);
+
+    NodeId node = rt.self().node;
+    rt.charge(CostKind::LocalCables, rt.config().costs.acbLocalOp);
+    if (node != 0)
+        rt.adminRequest(node);
+}
+
+void
+MemoryManager::chargeOwnerDetect(NodeId toucher, GAddr seg_base)
+{
+    auto &cache = segInfoCached[toucher];
+    auto it = cache.find(seg_base);
+    if (it != cache.end()) {
+        // "segment owner detect": info cached locally, 1 us.
+        rt.charge(CostKind::LocalCables, rt.config().costs.ownerDetectLocal);
+        ++stats_.ownerDetectsLocal;
+        return;
+    }
+    cache[seg_base] = true;
+    rt.charge(CostKind::LocalCables, rt.config().costs.ownerDetectLocal);
+    if (toucher != 0) {
+        // First time: fetch the directory entry from the ACB owner.
+        Tick t0 = rt.engine().now();
+        rt.comm().fetch(toucher, 0, 64);
+        rt.note(CostKind::Communication, rt.engine().now() - t0);
+        ++stats_.ownerDetectsRemote;
+    } else {
+        ++stats_.ownerDetectsLocal;
+    }
+}
+
+void
+MemoryManager::chargeBind(NodeId toucher)
+{
+    const CablesCosts &cc = rt.config().costs;
+    const OsParams &os = rt.config().os;
+    rt.charge(CostKind::LocalCables, cc.segmentBindLocal);
+    rt.charge(CostKind::LocalOs, os.mapOpCost);
+    if (toucher != 0) {
+        // Take ownership in the directory on the ACB owner node:
+        // read-modify-write of the segment entry.
+        Tick t0 = rt.engine().now();
+        rt.comm().fetch(toucher, 0, 64);
+        rt.comm().writeSync(toucher, 0, 64);
+        rt.note(CostKind::Communication, rt.engine().now() - t0);
+    }
+}
+
+NodeId
+MemoryManager::bindOnTouch(NodeId toucher, PageId page, bool write)
+{
+    const ClusterConfig &cfg = rt.config();
+    const bool cables_mode = cfg.backend == Backend::CableS;
+
+    const Segment *seg = segmentOf(pageBase(page));
+    fatal_if(!seg, "touch of unallocated global address {} (page {})",
+             pageBase(page), page);
+
+    chargeOwnerDetect(toucher, seg->base);
+
+    // Granularity of home binding: the OS mapping granularity under
+    // CableS (64 KByte on WindowsNT), a single page under the base
+    // system's explicit placement.
+    size_t gran_pages =
+        cables_mode ? std::max<size_t>(1, cfg.os.mapGranularity / pageSize)
+                    : 1;
+
+    PageId gfirst = (page / gran_pages) * gran_pages;
+    PageId glast = gfirst + gran_pages - 1;
+    // Clip to the segment so neighbouring allocations are unaffected.
+    gfirst = std::max(gfirst, pageOf(seg->base));
+    glast = std::min(glast, pageOf(seg->base + seg->len - 1));
+
+    // Placement policy decides the home of the whole granule.
+    NodeId home = toucher;
+    switch (cfg.placement) {
+      case Placement::FirstTouch:
+        home = toucher;
+        break;
+      case Placement::RoundRobin:
+        home = static_cast<NodeId>(granuleCursor++ % rt.attachedNodes());
+        break;
+      case Placement::MasterAll:
+        home = 0;
+        break;
+    }
+
+    chargeBind(toucher);
+    ++stats_.granuleBinds;
+
+    size_t bound = 0;
+    for (PageId p = gfirst; p <= glast; ++p) {
+        if (rt.protocol().home(p) != net::InvalidNode)
+            continue;
+        rt.protocol().bindHome(p, home);
+        ++bound;
+        if (!cables_mode) {
+            if (baseRegions.add(p, home)) {
+                // A fresh non-contiguous home run: one more NIC region
+                // exported at the home. The base system establishes all
+                // mappings eagerly — every other node imports the new
+                // region (the paper's "all nodes perform all necessary
+                // steps at initialization"), which is what exhausts NIC
+                // resources for allocation-heavy applications.
+                Tick c = rt.comm().exportRegionCost(pageSize);
+                rt.charge(CostKind::LocalOs, c);
+                rt.comm().accountExport(home, pageSize);
+                ++stats_.regionExports;
+                for (NodeId o = 0; o < rt.config().nodes; ++o) {
+                    if (o != home) {
+                        rt.comm().importAccounted(o);
+                        ++stats_.regionImports;
+                    }
+                }
+            } else {
+                rt.comm().accountExtend(home, pageSize);
+            }
+        }
+    }
+
+    if (cables_mode && bound > 0) {
+        // Double mapping: extend the home node's single contiguous
+        // protocol region by the newly homed pages.
+        HomeRegion &hr = homeRegions[home];
+        size_t add = bound * pageSize;
+        if (hr.region < 0) {
+            hr.region = rt.comm().exportRegionAccounted(home, add);
+            hr.bytes = add;
+            ++stats_.regionExports;
+        } else {
+            rt.comm().extendRegionAccounted(home, hr.region,
+                                            hr.bytes + add);
+            hr.bytes += add;
+            ++stats_.regionExtends;
+        }
+        // The registration extension is performed by the map operation
+        // charged in chargeBind(); only the accounting happens here.
+    }
+
+    return home;
+}
+
+void
+MemoryManager::onFirstFetch(NodeId reader, NodeId home, PageId page)
+{
+    const bool cables_mode = rt.config().backend == Backend::CableS;
+    if (!cables_mode)
+        return; // base: everything was imported eagerly at bind time
+    // Segment owner detection: the first fault a node takes on a
+    // segment consults the global directory (Table 4's "segment owner
+    // detect" rows); afterwards the information is cached locally.
+    if (const Segment *seg = segmentOf(svm::pageBase(page)))
+        chargeOwnerDetect(reader, seg->base);
+    if (importedHomeRegion[reader][home])
+        return;
+    importedHomeRegion[reader][home] = true;
+    // One import of the home's contiguous protocol region suffices for
+    // all pages it will ever hold: the double-mapping payoff.
+    rt.comm().importAccounted(reader);
+    rt.charge(CostKind::Communication, rt.comm().params().importCost);
+    ++stats_.regionImports;
+}
+
+std::vector<int16_t>
+MemoryManager::homeSnapshot() const
+{
+    size_t n = rt.space().numPages();
+    std::vector<int16_t> homes(n, int16_t(net::InvalidNode));
+    for (size_t p = 0; p < n; ++p)
+        homes[p] = static_cast<int16_t>(rt.protocol().home(p));
+    return homes;
+}
+
+} // namespace cs
+} // namespace cables

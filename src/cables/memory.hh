@@ -1,0 +1,185 @@
+/**
+ * @file
+ * CableS dynamic memory management (and the base-GeNIMA model it is
+ * compared against).
+ *
+ * CableS backend:
+ *  - malloc/free of global shared memory at any point in the run;
+ *  - delayed home binding: a page gets its home on first touch, at the
+ *    OS virtual-memory mapping granularity (64 KByte on WindowsNT), so
+ *    the first toucher of a *granule* homes all of its pages — the
+ *    source of the paper's misplacement overhead;
+ *  - double mapping: each node's home pages form one contiguous
+ *    protocol region registered with the NIC in a single (extendable)
+ *    operation, escaping the NIC region-count limit;
+ *  - segment directory in the ACB: owner detection and first-touch
+ *    binding charge the paper's Table 4 costs.
+ *
+ * Base backend:
+ *  - allocation only during program initialization;
+ *  - first-touch at page (4 KByte) granularity — the "proper" placement
+ *    the paper compares against;
+ *  - NIC registration per contiguous home-page run, plus one import per
+ *    (reader node, remote region): this is what exhausts NIC regions
+ *    for OCEAN at 32 processors in the paper.
+ */
+
+#ifndef CABLES_CABLES_MEMORY_HH
+#define CABLES_CABLES_MEMORY_HH
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "cables/params.hh"
+#include "svm/addr_space.hh"
+
+namespace cables {
+namespace cs {
+
+using svm::GAddr;
+using svm::GNull;
+using svm::PageId;
+
+class Runtime;
+
+/** Memory-management event counters. */
+struct MemStats
+{
+    uint64_t allocs = 0;
+    uint64_t frees = 0;
+    uint64_t granuleBinds = 0;
+    uint64_t ownerDetectsLocal = 0;
+    uint64_t ownerDetectsRemote = 0;
+    uint64_t regionExports = 0;
+    uint64_t regionImports = 0;
+    uint64_t regionExtends = 0;
+};
+
+/**
+ * Tracks contiguous runs of same-home pages for the base backend's
+ * NIC-region accounting. Each run is one exported region; merging
+ * happens when adjacent pages share a home.
+ */
+class RegionTracker
+{
+  public:
+    /**
+     * Record that @p page is homed at @p home.
+     * @return true when a new region had to be created (no adjacent
+     *         same-home run existed).
+     */
+    bool add(PageId page, NodeId home);
+
+    /** Distinct region id covering @p page (-1 when untracked). */
+    int regionOf(PageId page) const;
+
+
+    /** Number of live regions for @p home. */
+    size_t regionsOf(NodeId home) const;
+
+    /** Drop all runs intersecting [first, last] (segment freed). */
+    void erase(PageId first, PageId last);
+
+  private:
+    struct Run
+    {
+        NodeId home;
+        int id;
+    };
+
+    std::unordered_map<PageId, Run> runOfPage;
+    std::unordered_map<int, uint32_t> runSize;
+    std::vector<size_t> perHome;
+    int nextId = 0;
+};
+
+/**
+ * The memory subsystem of a Runtime; installed as the SVM protocol's
+ * home binder. See file comment.
+ */
+class MemoryManager
+{
+  public:
+    explicit MemoryManager(Runtime &rt);
+
+    /** cs_malloc: allocate global shared memory. */
+    GAddr alloc(size_t len);
+
+    /** cs_free: release a block (CableS backend only). */
+    void free(GAddr addr);
+
+    /**
+     * Called by the base backend / M4 layer once initialization is done
+     * (threads created); later allocation attempts become fatal there.
+     */
+    void sealInitPhase() { initSealed = true; }
+
+    /** Home binder installed into the SVM protocol. */
+    NodeId bindOnTouch(NodeId toucher, PageId page, bool write);
+
+    /** First-fetch hook: import accounting per (reader, home region). */
+    void onFirstFetch(NodeId reader, NodeId home, PageId page);
+
+    const MemStats &stats() const { return stats_; }
+
+    /** Pages with an assigned home (for misplacement comparisons). */
+    std::vector<int16_t> homeSnapshot() const;
+
+    /** Bytes of live allocations. */
+    size_t liveBytes() const { return liveBytes_; }
+
+    /** Bytes of home pages registered by @p node (CableS backend). */
+    size_t
+    homeBytesOf(NodeId node) const
+    {
+        return homeRegions[node].bytes;
+    }
+
+  private:
+    struct Segment
+    {
+        GAddr base;
+        size_t len;
+        bool live;
+    };
+
+    /** Segment containing @p addr, or nullptr. */
+    const Segment *segmentOf(GAddr addr) const;
+
+    /** Charge owner-detection cost (cached vs first time). */
+    void chargeOwnerDetect(NodeId toucher, GAddr seg_base);
+
+    /** Charge the first-touch binding cost (Table 4 "migration"). */
+    void chargeBind(NodeId toucher);
+
+    Runtime &rt;
+    std::map<GAddr, Segment> segments;   // keyed by base address
+    bool initSealed = false;
+
+    // CableS double mapping: one extendable home region per node.
+    struct HomeRegion
+    {
+        int region = -1;
+        size_t bytes = 0;
+    };
+    std::vector<HomeRegion> homeRegions;
+
+    // Import accounting (CableS home regions; the base backend imports
+    // eagerly at bind time and needs no per-reader tracking).
+    std::vector<std::vector<bool>> importedHomeRegion; // [reader][home]
+
+    // Per-node cache of segment-directory entries (owner detect).
+    std::vector<std::unordered_map<GAddr, bool>> segInfoCached;
+
+    RegionTracker baseRegions;
+    uint64_t granuleCursor = 0;   // RoundRobin placement state
+    size_t liveBytes_ = 0;
+    MemStats stats_;
+};
+
+} // namespace cs
+} // namespace cables
+
+#endif // CABLES_CABLES_MEMORY_HH

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Configuration of a CableS cluster run: backend selection, cluster
+ * shape, OS cost model (WindowsNT-flavoured defaults), and the software
+ * cost constants of the CableS layer itself. Defaults are calibrated so
+ * the Table 3 / Table 4 microbenchmarks land near the paper's values.
+ */
+
+#ifndef CABLES_CABLES_PARAMS_HH
+#define CABLES_CABLES_PARAMS_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "net/network.hh"
+#include "svm/protocol.hh"
+#include "svm/sync.hh"
+#include "vmmc/vmmc.hh"
+
+namespace cables {
+namespace cs {
+
+using net::NodeId;
+using sim::Tick;
+using sim::US;
+using sim::MS;
+
+/**
+ * Which memory/thread-management backend runs the program.
+ *
+ * BaseSvm models the original GeNIMA system: every node present at
+ * initialization, allocation only during startup, 4 KByte-granularity
+ * placement, per-fragment NIC registration (subject to region limits),
+ * native barriers.
+ *
+ * CableS is the paper's system: one node at startup, dynamic node
+ * attach, allocation at any time, first-touch placement at the OS
+ * mapping granularity (64 KByte on WindowsNT), one contiguous protocol
+ * registration per node (the double mapping).
+ */
+enum class Backend { BaseSvm, CableS };
+
+/** Home-placement policy for newly touched memory. */
+enum class Placement {
+    FirstTouch, ///< granule homed at the node that first touches it
+    RoundRobin, ///< granules homed round-robin over attached nodes
+    MasterAll,  ///< everything homed on the master (worst case)
+};
+
+/** Host OS cost model (defaults: the paper's WindowsNT measurements). */
+struct OsParams
+{
+    /** Local CreateThread() (Table 4: 626 us). */
+    Tick threadCreateCost = 626 * US;
+
+    /** Remote-side OS thread creation (Table 4 footnote: 622 us). */
+    Tick remoteThreadCreateCost = 622 * US;
+
+    /** Remote OS process creation during node attach (2031 ms). */
+    Tick processSpawnCost = 2031 * MS;
+
+    /** Master-side OS work during node attach (523 ms). */
+    Tick attachLocalOsCost = 523 * MS;
+
+    /** Map/remap one virtual memory segment (VirtualAlloc/MapView). */
+    Tick mapOpCost = 65 * US;
+
+    /** Block the calling thread on an OS event. */
+    Tick eventWaitCost = 5 * US;
+
+    /** Signal an OS event. */
+    Tick eventSetCost = 2 * US;
+
+    /** Scheduler latency from event-set to the sleeper running again. */
+    Tick eventWakeLatency = 10 * US;
+
+    /**
+     * Virtual-memory mapping granularity. 64 KByte on WindowsNT — the
+     * limitation responsible for the paper's page misplacement.
+     */
+    size_t mapGranularity = 64 * 1024;
+};
+
+/** CableS-layer software cost constants (calibrated to Table 4). */
+struct CablesCosts
+{
+    /** ACB field access on the master node. */
+    Tick acbLocalOp = 1 * US;
+
+    /** Administration request processing (local part; total 20 us). */
+    Tick adminLocalOp = 2 * US;
+
+    /** Master-side CableS work when attaching a node. */
+    Tick attachMasterCables = 1 * MS;
+
+    /** New-node CableS initialization during attach (base). */
+    Tick attachRemoteCablesBase = 1650 * MS;
+
+    /** Extra new-node init work per already-attached node. */
+    Tick attachRemoteCablesPerNode = 110 * MS;
+
+    /** Buffer import/export rendezvous per already-attached node. */
+    Tick attachCommPerNode = 1100 * MS;
+
+    /** Local CableS bookkeeping for a local thread create (140 us). */
+    Tick createLocalCables = 140 * US;
+
+    /** Creator-side bookkeeping for a remote create (110 us). */
+    Tick createRemoteLocalCables = 110 * US;
+
+    /** Target-side CableS bookkeeping for a remote create (40 us). */
+    Tick createRemoteCables = 40 * US;
+
+    /** First-time mutex bookkeeping (registration in the ACB). */
+    Tick mutexFirstUseLocal = 10 * US;
+
+    /** Extra first-time cost when the mutex home is remote. */
+    Tick mutexFirstUseRemote = 35 * US;
+
+    /** Mutex wrapper overhead on top of the SVM lock (local path). */
+    Tick mutexLocalOverhead = 2 * US;
+
+    /** Condition-wait local processing (5 us). */
+    Tick condWaitLocal = 5 * US;
+
+    /** Condition-signal local processing (14 us). */
+    Tick condSignalLocal = 14 * US;
+
+    /** Condition-broadcast local processing (7 us). */
+    Tick condBroadcastLocal = 7 * US;
+
+    /** Segment first-touch bookkeeping, toucher side (92-95 us). */
+    Tick segmentBindLocal = 92 * US;
+
+    /** Segment owner detection when info is cached locally (1 us). */
+    Tick ownerDetectLocal = 1 * US;
+
+    /** Competitive-spinning bound before blocking on an OS event. */
+    Tick spinLimit = 1 * MS;
+};
+
+/** Full configuration of a cluster run. */
+struct ClusterConfig
+{
+    Backend backend = Backend::CableS;
+
+    /** Physical nodes in the cluster. */
+    int nodes = 16;
+
+    /** Processors per SMP node. */
+    int procsPerNode = 2;
+
+    /**
+     * Threads a node accepts before CableS attaches a new node
+     * (round-robin policy). Defaults to procsPerNode at construction
+     * when left 0.
+     */
+    int maxThreadsPerNode = 0;
+
+    /** Size of the global shared virtual address space. */
+    size_t sharedBytes = 512ull * 1024 * 1024;
+
+    Placement placement = Placement::FirstTouch;
+
+    /** Simulated per-FLOP cost used by workloads (200 MHz class CPU). */
+    Tick nsPerFlop = 25;
+
+    uint64_t seed = 1;
+
+    net::NetParams net;
+    vmmc::VmmcParams vmmc;
+    svm::ProtoParams proto;
+    svm::SyncParams sync;
+    OsParams os;
+    CablesCosts costs;
+};
+
+/** Cost categories matching Table 4's breakdown columns. */
+enum class CostKind : int {
+    LocalCables = 0,
+    RemoteCables,
+    LocalOs,
+    RemoteOs,
+    Communication,
+    NumKinds
+};
+
+/** Accumulated per-category costs of one measured operation. */
+struct CostBreakdown
+{
+    Tick total = 0;
+    Tick part[static_cast<int>(CostKind::NumKinds)] = {};
+
+    Tick
+    get(CostKind k) const
+    {
+        return part[static_cast<int>(k)];
+    }
+
+    void
+    add(CostKind k, Tick t)
+    {
+        part[static_cast<int>(k)] += t;
+    }
+
+    void
+    merge(const CostBreakdown &o)
+    {
+        total += o.total;
+        for (int i = 0; i < static_cast<int>(CostKind::NumKinds); ++i)
+            part[i] += o.part[i];
+    }
+};
+
+} // namespace cs
+} // namespace cables
+
+#endif // CABLES_CABLES_PARAMS_HH

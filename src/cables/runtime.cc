@@ -1,0 +1,569 @@
+#include "cables/runtime.hh"
+
+#include <algorithm>
+
+#include "cables/memory.hh"
+#include "util/logging.hh"
+
+namespace cables {
+namespace cs {
+
+using sim::toMs;
+
+Runtime *Runtime::activeRuntime = nullptr;
+
+Runtime::Runtime(const ClusterConfig &config)
+    : cfg(config)
+{
+    fatal_if(cfg.nodes <= 0 || cfg.nodes > 1024, "bad node count {}",
+             cfg.nodes);
+    fatal_if(cfg.procsPerNode <= 0, "bad processors per node {}",
+             cfg.procsPerNode);
+    if (cfg.maxThreadsPerNode <= 0)
+        cfg.maxThreadsPerNode = cfg.procsPerNode;
+
+    engine_ = std::make_unique<sim::Engine>();
+    network_ = std::make_unique<net::Network>(cfg.nodes, cfg.net);
+    comm_ = std::make_unique<vmmc::Vmmc>(*engine_, *network_, cfg.vmmc);
+    space_ = std::make_unique<svm::AddressSpace>(cfg.sharedBytes);
+    proto_ = std::make_unique<svm::Protocol>(*engine_, *comm_, *space_,
+                                             cfg.nodes, cfg.proto);
+    svmLocks_ = std::make_unique<svm::LockTable>(*engine_, *network_,
+                                                 *proto_, cfg.sync);
+    svmBarriers_ = std::make_unique<svm::BarrierTable>(
+        *engine_, *network_, *proto_, cfg.sync);
+    memory_ = std::make_unique<MemoryManager>(*this);
+
+    proto_->setHomeBinder(
+        [this](NodeId toucher, PageId page, bool write) {
+            return memory_->bindOnTouch(toucher, page, write);
+        });
+    proto_->setFetchHook(
+        [this](NodeId reader, NodeId home, PageId page) {
+            memory_->onFirstFetch(reader, home, page);
+        });
+
+    attached.assign(cfg.nodes, false);
+    attachPending.assign(cfg.nodes, false);
+    nodeThreads.assign(cfg.nodes, 0);
+    nextProc.assign(cfg.nodes, 0);
+    procs.resize(static_cast<size_t>(cfg.nodes) * cfg.procsPerNode);
+}
+
+Runtime::~Runtime() = default;
+
+Runtime &
+Runtime::active()
+{
+    panic_if(!activeRuntime, "no active Runtime");
+    return *activeRuntime;
+}
+
+void
+Runtime::run(std::function<void()> main_fn)
+{
+    panic_if(activeRuntime, "Runtime::run is not reentrant");
+    activeRuntime = this;
+
+    if (cfg.backend == Backend::BaseSvm) {
+        // The base system requires every node present at startup; all
+        // initialization happens before time zero.
+        for (NodeId n = 0; n < cfg.nodes; ++n)
+            attached[n] = true;
+        numAttached = cfg.nodes;
+        // Pairwise VMMC message buffers registered at init.
+        for (NodeId a = 0; a < cfg.nodes; ++a) {
+            for (NodeId b = 0; b < cfg.nodes; ++b) {
+                if (a != b)
+                    comm_->importAccounted(a);
+            }
+        }
+    } else {
+        attached[0] = true;
+        numAttached = 1;
+    }
+
+    startThread(0, std::move(main_fn), 0);
+    engine_->run(true);
+    if (abortReason_.empty()) {
+        // No resource abort: leftover blocked threads are a real bug.
+        for (int tid = 0; tid < totalThreadsCreated(); ++tid) {
+            const CsThread &t = *threads[tid];
+            sim::SimThread &st = engine_->thread(t.simTid);
+            if (st.state == sim::SimThread::State::Blocked) {
+                activeRuntime = nullptr;
+                fatal("deadlock: thread {} still blocked on '{}'", tid,
+                      st.blockReason);
+            }
+        }
+    }
+    activeRuntime = nullptr;
+}
+
+sim::Processor &
+Runtime::procOf(const CsThread &t)
+{
+    return procs[static_cast<size_t>(t.node) * cfg.procsPerNode + t.proc];
+}
+
+void
+Runtime::compute(Tick ns)
+{
+    procOf(self()).compute(*engine_, ns);
+}
+
+void
+Runtime::charge(CostKind k, Tick t)
+{
+    engine_->advance(t);
+    note(k, t);
+}
+
+void
+Runtime::note(CostKind k, Tick t)
+{
+    CsThread &me = self();
+    if (me.measuring)
+        me.measuring->add(k, t);
+}
+
+CostBreakdown
+Runtime::measure(const std::function<void()> &op)
+{
+    CsThread &me = self();
+    CostBreakdown acc;
+    CostBreakdown *prev = me.measuring;
+    me.measuring = &acc;
+    Tick t0 = engine_->now();
+    op();
+    acc.total = engine_->now() - t0;
+    self().measuring = prev;
+    return acc;
+}
+
+void
+Runtime::blockSelf(const char *why)
+{
+    CsThread &me = self();
+    if (me.pendingWake >= 0) {
+        Tick at = me.pendingWake;
+        me.pendingWake = -1;
+        if (at > engine_->now())
+            engine_->advance(at - engine_->now());
+        return;
+    }
+    engine_->block(why);
+}
+
+void
+Runtime::wakeThread(int tid, Tick at, const char *expected)
+{
+    CsThread &t = *threads.at(tid);
+    sim::SimThread &st = engine_->thread(t.simTid);
+    if (st.state == sim::SimThread::State::Blocked &&
+        std::string_view(st.blockReason) == expected) {
+        engine_->wake(t.simTid, at);
+    } else {
+        t.pendingWake = std::max(t.pendingWake, at);
+    }
+}
+
+void
+Runtime::acbRead(NodeId node, size_t bytes)
+{
+    charge(CostKind::LocalCables, cfg.costs.acbLocalOp);
+    if (node != 0) {
+        Tick t0 = engine_->now();
+        comm_->fetch(node, 0, bytes);
+        note(CostKind::Communication, engine_->now() - t0);
+    }
+}
+
+void
+Runtime::acbWrite(NodeId node, size_t bytes)
+{
+    charge(CostKind::LocalCables, cfg.costs.acbLocalOp);
+    if (node != 0) {
+        Tick t0 = engine_->now();
+        comm_->writeSync(node, 0, bytes);
+        note(CostKind::Communication, engine_->now() - t0);
+    }
+}
+
+void
+Runtime::adminRequest(NodeId node)
+{
+    charge(CostKind::LocalCables, cfg.costs.adminLocalOp);
+    if (node != 0) {
+        engine_->sync();
+        Tick t0 = engine_->now();
+        Tick t = network_->notify(node, 0, 32, t0);
+        engine_->advance(t - t0);
+        note(CostKind::Communication, t - t0);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Thread management
+// ---------------------------------------------------------------------
+
+int
+Runtime::startThread(NodeId node, std::function<void()> fn, Tick start_at)
+{
+    int tid = static_cast<int>(threads.size());
+    auto ct = std::make_unique<CsThread>();
+    ct->tid = tid;
+    ct->node = node;
+    ct->proc = nextProc[node]++ % cfg.procsPerNode;
+    nodeThreads[node] += 1;
+    CsThread *ptr = ct.get();
+    threads.push_back(std::move(ct));
+
+    sim::ThreadId st = engine_->spawn(
+        csprintf("cs-thread-{}", tid),
+        [this, tid, fn = std::move(fn)]() {
+            try {
+                fn();
+            } catch (const ThreadExit &) {
+            } catch (const ThreadCancelled &) {
+            } catch (const vmmc::RegistrationError &e) {
+                // Resource exhaustion aborts the whole run (the paper's
+                // "could not execute" outcome): stop the simulation so
+                // no peer resumes into freed program state.
+                if (abortReason_.empty())
+                    abortReason_ = e.what();
+                engine_->stop();
+            }
+            finishThread(tid);
+        },
+        start_at);
+    ptr->simTid = st;
+    if (simToCs.size() <= static_cast<size_t>(st))
+        simToCs.resize(st + 1, nullptr);
+    simToCs[st] = ptr;
+    return tid;
+}
+
+NodeId
+Runtime::placeThread()
+{
+    while (true) {
+        // Round-robin with a per-node cap: nodes fill in index order
+        // (the same thread->node mapping the base system's one-process-
+        // per-processor convention produces), and a new node is
+        // attached only when every attached node is full.
+        for (NodeId cand = 0; cand < cfg.nodes; ++cand) {
+            if (attached[cand] &&
+                nodeThreads[cand] < cfg.maxThreadsPerNode) {
+                return cand;
+            }
+        }
+        if (cfg.backend != Backend::CableS)
+            break;
+        // An overlapped attach already in flight? Wait for it rather
+        // than starting another multi-second sequence.
+        bool pending = false;
+        for (NodeId n = 0; n < cfg.nodes; ++n)
+            pending = pending || attachPending[n];
+        if (pending) {
+            attachWaiters.push_back(self().tid);
+            blockSelf("attach-wait");
+            continue;
+        }
+        // Everyone is full: attach a fresh node if one exists.
+        for (NodeId cand = 0; cand < cfg.nodes; ++cand) {
+            if (!attached[cand]) {
+                attachNode(cand);
+                return cand;
+            }
+        }
+        break;
+    }
+    // Cluster exhausted: oversubscribe the least-loaded attached node.
+    NodeId best = 0;
+    int best_count = INT32_MAX;
+    for (NodeId n = 0; n < cfg.nodes; ++n) {
+        if (attached[n] && nodeThreads[n] < best_count) {
+            best = n;
+            best_count = nodeThreads[n];
+        }
+    }
+    return best;
+}
+
+void
+Runtime::attachNode(NodeId n)
+{
+    CsThread &me = self();
+    Tick t0 = engine_->now();
+
+    charge(CostKind::LocalCables, cfg.costs.attachMasterCables);
+    // Master-side OS work overlaps the remote process spawn.
+    note(CostKind::LocalOs, cfg.os.attachLocalOsCost);
+
+    engine_->sync();
+    Tick s = engine_->now();
+    Tick t = network_->transfer(me.node, n, 64, s);   // spawn request
+    t += cfg.os.processSpawnCost;
+    note(CostKind::RemoteOs, cfg.os.processSpawnCost);
+
+    // New-node CableS init: VMMC setup, buffer import/export with every
+    // attached node, mapping of already-allocated segments, ACB fetch.
+    Tick init = cfg.costs.attachRemoteCablesBase +
+                cfg.costs.attachRemoteCablesPerNode * (numAttached - 1);
+    t += init;
+    note(CostKind::RemoteCables, init);
+    // Import rendezvous time is spent inside the init interval.
+    note(CostKind::Communication,
+         cfg.costs.attachCommPerNode * numAttached);
+
+    Tick ack = network_->transfer(n, me.node, 64, t);
+    engine_->advance(std::max<Tick>(0, ack - engine_->now()));
+
+    // VMMC message buffers between the new node and every attached node.
+    for (NodeId o = 0; o < cfg.nodes; ++o) {
+        if (o != n && attached[o]) {
+            comm_->importAccounted(o);
+            comm_->importAccounted(n);
+        }
+    }
+
+    attached[n] = true;
+    numAttached += 1;
+    attaches += 1;
+    opStats_.attach.sample(toMs(engine_->now() - t0));
+}
+
+int
+Runtime::preAttachNodes(int count)
+{
+    fatal_if(cfg.backend != Backend::CableS,
+             "preAttachNodes requires the CableS backend");
+    int started = 0;
+    for (NodeId n = 0; n < cfg.nodes && started < count; ++n) {
+        if (!attached[n] && !attachPending[n]) {
+            startAsyncAttach(n);
+            ++started;
+        }
+    }
+    return started;
+}
+
+void
+Runtime::startAsyncAttach(NodeId n)
+{
+    CsThread &me = self();
+    attachPending[n] = true;
+    charge(CostKind::LocalCables, cfg.costs.attachMasterCables);
+    engine_->sync();
+    Tick start = engine_->now();
+    // The same sequence as attachNode(), but nobody blocks on it: the
+    // remote spawn and init run concurrently with the application.
+    Tick t = network_->transfer(me.node, n, 64, start);
+    t += cfg.os.processSpawnCost;
+    t += cfg.costs.attachRemoteCablesBase +
+         cfg.costs.attachRemoteCablesPerNode * (numAttached - 1);
+    Tick ack = network_->transfer(n, me.node, 64, t);
+    engine_->schedule(ack, [this, n, start, ack]() {
+        completeAttach(n, start, ack);
+    });
+}
+
+void
+Runtime::completeAttach(NodeId n, Tick started, Tick at)
+{
+    attachPending[n] = false;
+    for (NodeId o = 0; o < cfg.nodes; ++o) {
+        if (o != n && attached[o]) {
+            comm_->importAccounted(o);
+            comm_->importAccounted(n);
+        }
+    }
+    attached[n] = true;
+    numAttached += 1;
+    attaches += 1;
+    opStats_.attach.sample(toMs(at - started));
+    std::vector<int> waiters;
+    waiters.swap(attachWaiters);
+    for (int tid : waiters)
+        wakeThread(tid, at, "attach-wait");
+}
+
+void
+Runtime::detachNode(NodeId n)
+{
+    // Tear down ACB node state; remote resources are reclaimed lazily.
+    charge(CostKind::LocalCables, cfg.costs.acbLocalOp);
+    attached[n] = false;
+    numAttached -= 1;
+    nextProc[n] = 0;
+}
+
+int
+Runtime::threadCreate(std::function<void()> fn)
+{
+    CsThread &me = self();
+    engine_->sync();
+    Tick t0 = engine_->now();
+
+    NodeId target = placeThread();
+    int tid;
+
+    if (target == me.node) {
+        charge(CostKind::LocalCables, cfg.costs.createLocalCables);
+        charge(CostKind::LocalOs, cfg.os.threadCreateCost);
+        tid = startThread(target, std::move(fn), engine_->now());
+    } else {
+        charge(CostKind::LocalCables, cfg.costs.createRemoteLocalCables);
+        engine_->sync();
+        Tick s = engine_->now();
+        Tick t = network_->notify(me.node, target, 64, s);
+        Tick req_comm = t - s;
+        t += cfg.os.remoteThreadCreateCost;
+        note(CostKind::RemoteOs, cfg.os.remoteThreadCreateCost);
+        t += cfg.costs.createRemoteCables;
+        note(CostKind::RemoteCables, cfg.costs.createRemoteCables);
+        Tick ack = network_->transfer(target, me.node, 32, t);
+        note(CostKind::Communication, req_comm + (ack - t));
+        tid = startThread(target, std::move(fn), t);
+        engine_->advance(std::max<Tick>(0, ack - engine_->now()));
+    }
+
+    opStats_.create.sample(toMs(engine_->now() - t0));
+    return tid;
+}
+
+void
+Runtime::finishThread(int tid)
+{
+    CsThread &t = *threads[tid];
+    engine_->sync();
+    t.finished = true;
+
+    if (t.node != 0)
+        adminRequest(t.node);
+    else
+        charge(CostKind::LocalCables, cfg.costs.acbLocalOp);
+
+    if (t.joiner >= 0) {
+        CsThread &j = *threads[t.joiner];
+        Tick at = engine_->now();
+        if (j.node != t.node)
+            at = network_->notify(t.node, j.node, 32, at);
+        wakeThread(t.joiner, at, "pthread-join");
+    }
+
+    nodeThreads[t.node] -= 1;
+    if (cfg.backend == Backend::CableS && t.node != 0 &&
+        nodeThreads[t.node] == 0 &&
+        memory_->homeBytesOf(t.node) == 0) {
+        detachNode(t.node);
+    }
+}
+
+void
+Runtime::join(int tid)
+{
+    CsThread &me = self();
+    fatal_if(tid < 0 || static_cast<size_t>(tid) >= threads.size(),
+             "join of unknown thread {}", tid);
+    CsThread &t = *threads[tid];
+    fatal_if(tid == me.tid, "thread joining itself");
+
+    acbRead(me.node);
+    if (t.finished)
+        return;
+    panic_if(t.joiner >= 0, "two joiners for thread {}", tid);
+    t.joiner = me.tid;
+    acbWrite(me.node);
+    blockSelf("pthread-join");
+    charge(CostKind::LocalCables, cfg.costs.acbLocalOp);
+}
+
+void
+Runtime::exitThread()
+{
+    throw ThreadExit{};
+}
+
+bool
+Runtime::threadFinished(int tid)
+{
+    acbRead(self().node);
+    return threads.at(tid)->finished;
+}
+
+void
+Runtime::cancel(int tid)
+{
+    CsThread &me = self();
+    adminRequest(me.node);
+    CsThread &t = *threads.at(tid);
+    if (t.finished)
+        return;
+    t.cancelRequested = true;
+
+    // A waiter blocked on a condition must be woken so it can observe
+    // the (deferred) cancellation at its cancellation point.
+    for (auto &cv : conds) {
+        for (auto it = cv.waiters.begin(); it != cv.waiters.end(); ++it) {
+            if (it->tid == tid) {
+                cv.waiters.erase(it);
+                Tick at = engine_->now();
+                if (t.node != me.node)
+                    at = network_->notify(me.node, t.node, 32, at);
+                wakeThread(tid, at, "cond-wait");
+                return;
+            }
+        }
+    }
+}
+
+void
+Runtime::testCancel()
+{
+    if (self().cancelRequested)
+        throw ThreadCancelled{};
+}
+
+int
+Runtime::keyCreate()
+{
+    adminRequest(self().node);
+    return nextKey++;
+}
+
+void
+Runtime::setSpecific(int key, uint64_t value)
+{
+    charge(CostKind::LocalCables, cfg.costs.acbLocalOp);
+    self().specific[key] = value;
+}
+
+uint64_t
+Runtime::getSpecific(int key)
+{
+    charge(CostKind::LocalCables, cfg.costs.acbLocalOp);
+    auto &m = self().specific;
+    auto it = m.find(key);
+    return it == m.end() ? 0 : it->second;
+}
+
+// ---------------------------------------------------------------------
+// Memory
+// ---------------------------------------------------------------------
+
+GAddr
+Runtime::malloc(size_t len)
+{
+    return memory_->alloc(len);
+}
+
+void
+Runtime::free(GAddr addr)
+{
+    memory_->free(addr);
+}
+
+} // namespace cs
+} // namespace cables

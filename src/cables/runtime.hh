@@ -1,0 +1,414 @@
+/**
+ * @file
+ * The CableS runtime: a single-cluster-image pthreads environment on top
+ * of the GeNIMA SVM substrate.
+ *
+ * One Runtime instance models one application run. The application's
+ * main function executes as a simulated thread on the master node
+ * (node 0); it may create threads at any time (CableS attaches nodes on
+ * demand, round-robin placement), allocate and free global shared
+ * memory, and use mutexes, condition variables and the
+ * pthread_barrier() extension.
+ *
+ * Global state that the paper keeps in the Application Control Block
+ * (ACB) on the master node lives in this class; operations on it charge
+ * local costs on the master and remote-operation costs elsewhere.
+ */
+
+#ifndef CABLES_CABLES_RUNTIME_HH
+#define CABLES_CABLES_RUNTIME_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cables/params.hh"
+#include "net/network.hh"
+#include "sim/engine.hh"
+#include "svm/addr_space.hh"
+#include "svm/protocol.hh"
+#include "svm/sync.hh"
+#include "util/stats.hh"
+#include "vmmc/vmmc.hh"
+
+namespace cables {
+namespace cs {
+
+using svm::GAddr;
+using svm::GNull;
+using svm::PageId;
+
+class MemoryManager;
+
+/** Thrown by exitThread() to unwind the calling thread cleanly. */
+struct ThreadExit
+{};
+
+/** Thrown at cancellation points of a cancelled thread. */
+struct ThreadCancelled
+{};
+
+/** Per-thread CableS metadata (an ACB thread-table entry). */
+struct CsThread
+{
+    int tid = -1;                       ///< CableS thread id
+    sim::ThreadId simTid = sim::InvalidThreadId;
+    NodeId node = net::InvalidNode;     ///< node the thread runs on
+    int proc = 0;                       ///< processor index within node
+    bool finished = false;
+    bool cancelRequested = false;
+    int joiner = -1;                    ///< tid blocked in join(), or -1
+    sim::Tick pendingWake = -1;         ///< wake arrived before block
+    std::unordered_map<int, uint64_t> specific; ///< thread-specific data
+    CostBreakdown *measuring = nullptr; ///< active measurement scope
+};
+
+/** Mean per-operation times recorded during a run (Table 5). */
+struct OpStats
+{
+    Stat create;     ///< thread create (includes any node attach)
+    Stat attach;     ///< node attach ("spawn")
+    Stat lock;       ///< mutex lock
+    Stat unlock;     ///< mutex unlock
+    Stat wait;       ///< condition wait (includes application wait time)
+    Stat signal;     ///< condition signal
+    Stat broadcast;  ///< condition broadcast
+    Stat barrier;    ///< barrier entry
+};
+
+/**
+ * A CableS cluster runtime. See file comment.
+ */
+class Runtime
+{
+  public:
+    explicit Runtime(const ClusterConfig &cfg);
+    ~Runtime();
+
+    Runtime(const Runtime &) = delete;
+    Runtime &operator=(const Runtime &) = delete;
+
+    /**
+     * Run @p main_fn as the program's initial thread on the master node
+     * and simulate to completion (all threads finished).
+     */
+    void run(std::function<void()> main_fn);
+
+    /** The runtime of the program currently executing (run() active). */
+    static Runtime &active();
+
+    /// @name Component access
+    /// @{
+    const ClusterConfig &config() const { return cfg; }
+    sim::Engine &engine() { return *engine_; }
+    net::Network &network() { return *network_; }
+    vmmc::Vmmc &comm() { return *comm_; }
+    svm::AddressSpace &space() { return *space_; }
+    svm::Protocol &protocol() { return *proto_; }
+    svm::LockTable &svmLocks() { return *svmLocks_; }
+    svm::BarrierTable &svmBarriers() { return *svmBarriers_; }
+    MemoryManager &memory() { return *memory_; }
+    /// @}
+
+    /// @name Identity / cluster state
+    /// @{
+
+    /** Metadata of the calling simulated thread. */
+    CsThread &
+    self()
+    {
+        return *simToCs[engine_->current()->id];
+    }
+    int selfTid() { return self().tid; }
+    NodeId selfNode() { return self().node; }
+
+    int attachedNodes() const { return numAttached; }
+    bool nodeAttached(NodeId n) const { return attached[n]; }
+    int liveThreadsOn(NodeId n) const { return nodeThreads[n]; }
+    int totalThreadsCreated() const
+    {
+        return static_cast<int>(threads.size());
+    }
+
+    /// @}
+
+    /// @name Thread management (pthread_create/join/exit/cancel)
+    /// @{
+
+    /**
+     * Create a thread running @p fn. Placement is round-robin over
+     * attached nodes; a new node is attached when all are full.
+     * @return the new thread's CableS tid.
+     */
+    int threadCreate(std::function<void()> fn);
+
+    /** Wait for thread @p tid to finish. */
+    void join(int tid);
+
+    /** Terminate the calling thread (pthread_exit). */
+    [[noreturn]] void exitThread();
+
+    /** Request cancellation of @p tid (deferred, honoured at
+     *  cancellation points). */
+    void cancel(int tid);
+
+    /** Cancellation point: throws ThreadCancelled if requested. */
+    void testCancel();
+
+    /** True once @p tid has finished. */
+    bool threadFinished(int tid);
+
+    /**
+     * Begin attaching up to @p count additional nodes concurrently and
+     * off the caller's critical path (overlapped attach sequences).
+     * @return the number of attaches actually started.
+     */
+    int preAttachNodes(int count);
+
+    /// @}
+
+    /// @name Thread-specific data (pthread_key / get/setspecific)
+    /// @{
+    int keyCreate();
+    void setSpecific(int key, uint64_t value);
+    uint64_t getSpecific(int key);
+    /// @}
+
+    /// @name Mutexes
+    /// @{
+    int mutexCreate();
+    void mutexDestroy(int m);
+    void mutexLock(int m);
+    bool mutexTryLock(int m);
+    void mutexUnlock(int m);
+    /// @}
+
+    /// @name Condition variables
+    /// @{
+    int condCreate();
+    void condDestroy(int c);
+    void condWait(int c, int m);
+    void condSignal(int c);
+    void condBroadcast(int c);
+    /// @}
+
+    /// @name Barriers
+    /// @{
+
+    /** Create a barrier object for the pthread_barrier() extension. */
+    int barrierCreate();
+
+    /** The CableS pthread_barrier(number_of_threads) extension. */
+    void barrier(int b, int nthreads);
+
+    /**
+     * A barrier built only from a mutex, a condition variable and a
+     * shared counter — the "pthreads barrier" of Table 4, used for
+     * comparison against the native extension.
+     */
+    void condBarrier(int b, int nthreads);
+
+    /// @}
+
+    /// @name Dynamic global shared memory
+    /// @{
+
+    /** Allocate @p len bytes of global shared memory (any time). */
+    GAddr malloc(size_t len);
+
+    /** Free a block returned by malloc(). */
+    void free(GAddr addr);
+
+    /// @}
+
+    /// @name Shared data access
+    /// @{
+
+    /** Fault-in [a, a+len) for the calling thread's node. */
+    void
+    access(GAddr a, size_t len, bool write)
+    {
+        proto_->access(self().node, a, len, write);
+    }
+
+    uint8_t *hostPtr(GAddr a) { return space_->host(a); }
+
+    template <typename T>
+    T
+    read(GAddr a)
+    {
+        access(a, sizeof(T), false);
+        return *space_->hostAs<T>(a);
+    }
+
+    template <typename T>
+    void
+    write(GAddr a, T v)
+    {
+        access(a, sizeof(T), true);
+        *space_->hostAs<T>(a) = v;
+    }
+
+    /// @}
+
+    /// @name Time and computation
+    /// @{
+
+    Tick now() { return engine_->now(); }
+
+    /** Charge @p ns of computation to the caller's processor. */
+    void compute(Tick ns);
+
+    /** Charge @p flops of computation at the configured FLOP cost. */
+    void
+    computeFlops(uint64_t flops)
+    {
+        compute(static_cast<Tick>(flops) * cfg.nsPerFlop);
+    }
+
+    /// @}
+
+    /// @name Cost accounting
+    /// @{
+
+    /** Advance simulated time and attribute it to category @p k. */
+    void charge(CostKind k, Tick t);
+
+    /** Attribute @p t to category @p k without advancing (overlapped
+     *  remote work). */
+    void note(CostKind k, Tick t);
+
+    /** Run @p op and return its cost breakdown (Table 4 instrument). */
+    CostBreakdown measure(const std::function<void()> &op);
+
+    /// @}
+
+    OpStats &opStats() { return opStats_; }
+
+    /** Number of node-attach operations performed. */
+    int attachCount() const { return attaches; }
+
+    /**
+     * Non-empty when a thread aborted the run on a resource failure
+     * (NIC registration limits); blocked threads are then expected at
+     * the end of the simulation rather than treated as a deadlock.
+     */
+    const std::string &abortReason() const { return abortReason_; }
+
+  private:
+    friend class MemoryManager;
+
+    struct CsMutex
+    {
+        svm::LockId lock = -1;     ///< created lazily on first use
+        bool live = true;
+        std::vector<bool> usedByNode; ///< first-use tracking per node
+    };
+
+    struct CondWaiter
+    {
+        int tid;
+        NodeId node;
+        bool signalled = false;
+    };
+
+    struct CsCond
+    {
+        bool live = true;
+        std::deque<CondWaiter> waiters;
+    };
+
+    struct CsBarrier
+    {
+        svm::BarrierId native = -1;
+        // State of the mutex+cond comparison implementation:
+        int mutex = -1;
+        int cond = -1;
+        GAddr counter = GNull;   ///< shared arrival counter
+        GAddr generation = GNull;
+    };
+
+    /** Attach node @p n to the application (expensive, Table 4). */
+    void attachNode(NodeId n);
+
+    /** Launch an overlapped attach of @p n; completes via an event. */
+    void startAsyncAttach(NodeId n);
+
+    /** Event-side completion of an overlapped attach. */
+    void completeAttach(NodeId n, Tick started, Tick at);
+
+    /** Detach node @p n once no threads remain on it. */
+    void detachNode(NodeId n);
+
+    /** Pick a node for a new thread (round-robin; may attach). */
+    NodeId placeThread();
+
+    /** Spawn the simulated thread and register ACB state. */
+    int startThread(NodeId node, std::function<void()> fn, Tick start_at);
+
+    /** Called by the thread wrapper when a thread's function returns. */
+    void finishThread(int tid);
+
+    /** Cost of an ACB read from @p node (remote fetch off-master). */
+    void acbRead(NodeId node, size_t bytes = 64);
+
+    /** Cost of an ACB update from @p node. */
+    void acbWrite(NodeId node, size_t bytes = 64);
+
+    /** Administration request: notification to the master (Table 4). */
+    void adminRequest(NodeId node);
+
+    /** Processor the calling thread is bound to. */
+    sim::Processor &procOf(const CsThread &t);
+
+    /**
+     * Block the calling thread, honouring a wake that raced ahead of the
+     * block (the waker saw us runnable and left a pending wake).
+     */
+    void blockSelf(const char *why);
+
+    /** Wake @p tid blocked for @p expected, or leave a pending wake. */
+    void wakeThread(int tid, Tick at, const char *expected);
+
+    ClusterConfig cfg;
+    std::unique_ptr<sim::Engine> engine_;
+    std::unique_ptr<net::Network> network_;
+    std::unique_ptr<vmmc::Vmmc> comm_;
+    std::unique_ptr<svm::AddressSpace> space_;
+    std::unique_ptr<svm::Protocol> proto_;
+    std::unique_ptr<svm::LockTable> svmLocks_;
+    std::unique_ptr<svm::BarrierTable> svmBarriers_;
+    std::unique_ptr<MemoryManager> memory_;
+
+    std::vector<std::unique_ptr<CsThread>> threads;
+    std::vector<CsThread *> simToCs;  ///< dense map: sim tid -> metadata
+
+    std::vector<bool> attached;
+    std::vector<bool> attachPending;  ///< overlapped attach in flight
+    std::vector<int> attachWaiters;   ///< tids waiting for any attach
+    std::vector<int> nodeThreads;     ///< live threads per node
+    std::vector<int> nextProc;        ///< round-robin proc within node
+    int numAttached = 0;
+    int attaches = 0;
+
+    std::vector<sim::Processor> procs; ///< node * procsPerNode + proc
+
+    std::vector<CsMutex> mutexes;
+    std::vector<CsCond> conds;
+    std::vector<CsBarrier> barriers;
+    int nextKey = 0;
+
+    OpStats opStats_;
+    std::string abortReason_;
+
+    static Runtime *activeRuntime;
+};
+
+} // namespace cs
+} // namespace cables
+
+#endif // CABLES_CABLES_RUNTIME_HH

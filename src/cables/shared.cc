@@ -1,0 +1,56 @@
+#include "cables/shared.hh"
+
+#include "cables/memory.hh"
+#include "util/logging.hh"
+
+namespace cables {
+namespace cs {
+
+GlobalVarBase::GlobalVarBase()
+{
+    registry().push_back(this);
+}
+
+std::vector<GlobalVarBase *> &
+GlobalVarBase::registry()
+{
+    static std::vector<GlobalVarBase *> r;
+    return r;
+}
+
+void
+GlobalVarBase::placeAll(Runtime &rt)
+{
+    size_t total = 0;
+    for (GlobalVarBase *v : registry())
+        total += (v->size() + 7) & ~size_t(7);
+    if (total == 0)
+        return;
+
+    // The GLOBAL_DATA section: one shared segment whose primary copies
+    // live on the first (master) node, established at initialization.
+    GAddr seg = rt.malloc(total);
+    GAddr a = seg;
+    for (GlobalVarBase *v : registry()) {
+        v->place(rt, a);
+        a += (v->size() + 7) & ~size_t(7);
+    }
+    // Master becomes home for the whole section by touching it.
+    rt.access(seg, total, true);
+}
+
+void
+csStart(Runtime &rt)
+{
+    GlobalVarBase::placeAll(rt);
+}
+
+void
+csEnd(Runtime &rt)
+{
+    // Program teardown: nothing beyond ordinary run completion in the
+    // simulated environment; kept for API fidelity with the paper.
+}
+
+} // namespace cs
+} // namespace cables

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Typed access to global shared memory.
+ *
+ * GArray<T> wraps a global address range; element access goes through
+ * the SVM protocol (page faults, first-touch placement) and then reads
+ * or writes the host backing store. span() faults a whole range at once
+ * and hands back a raw pointer for tight loops.
+ *
+ * GlobalVar<T> models the paper's GLOBAL type qualifier for static
+ * variables: declared at namespace scope, registered automatically, and
+ * placed in a shared "GLOBAL_DATA" segment homed on the master node at
+ * program start (Section 2.1.3 of the paper).
+ */
+
+#ifndef CABLES_CABLES_SHARED_HH
+#define CABLES_CABLES_SHARED_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "cables/runtime.hh"
+
+namespace cables {
+namespace cs {
+
+/**
+ * Reference proxy distinguishing reads from writes so the protocol sees
+ * the correct access type.
+ */
+template <typename T>
+class GRef
+{
+  public:
+    GRef(Runtime &rt, GAddr a) : rt(rt), a(a) {}
+
+    operator T() const { return rt.read<T>(a); }
+
+    GRef &
+    operator=(T v)
+    {
+        rt.write<T>(a, v);
+        return *this;
+    }
+
+    GRef &
+    operator=(const GRef &o)
+    {
+        rt.write<T>(a, static_cast<T>(o));
+        return *this;
+    }
+
+    GRef &
+    operator+=(T v)
+    {
+        rt.write<T>(a, rt.read<T>(a) + v);
+        return *this;
+    }
+
+    GRef &
+    operator-=(T v)
+    {
+        rt.write<T>(a, rt.read<T>(a) - v);
+        return *this;
+    }
+
+  private:
+    Runtime &rt;
+    GAddr a;
+};
+
+/**
+ * A typed view of a global shared array.
+ */
+template <typename T>
+class GArray
+{
+  public:
+    GArray() : rt(nullptr), base(GNull), n(0) {}
+
+    GArray(Runtime &rt, GAddr base, size_t n)
+        : rt(&rt), base(base), n(n)
+    {}
+
+    /** Allocate a fresh shared array of @p n elements. */
+    static GArray
+    alloc(Runtime &rt, size_t n)
+    {
+        return GArray(rt, rt.malloc(n * sizeof(T)), n);
+    }
+
+    size_t size() const { return n; }
+    GAddr addr(size_t i = 0) const { return base + i * sizeof(T); }
+    bool valid() const { return base != GNull; }
+
+    GRef<T>
+    operator[](size_t i)
+    {
+        return GRef<T>(*rt, addr(i));
+    }
+
+    T
+    read(size_t i) const
+    {
+        return rt->read<T>(addr(i));
+    }
+
+    void
+    write(size_t i, T v)
+    {
+        rt->write<T>(addr(i), v);
+    }
+
+    /**
+     * Fault in elements [first, first+count) and return a raw host
+     * pointer for tight loops. The caller promises the access mode.
+     */
+    T *
+    span(size_t first, size_t count, bool write)
+    {
+        rt->access(addr(first), count * sizeof(T), write);
+        return reinterpret_cast<T *>(rt->hostPtr(addr(first)));
+    }
+
+    /** Release the underlying allocation (CableS backend). */
+    void
+    free()
+    {
+        rt->free(base);
+        base = GNull;
+        n = 0;
+    }
+
+  private:
+    Runtime *rt;
+    GAddr base;
+    size_t n;
+};
+
+/** Non-template base used by the registration machinery. */
+class GlobalVarBase
+{
+  public:
+    GlobalVarBase();
+    virtual ~GlobalVarBase() = default;
+
+    /** Bytes this variable occupies in the GLOBAL_DATA segment. */
+    virtual size_t size() const = 0;
+
+    /** Called by the runtime with the variable's assigned address. */
+    virtual void place(Runtime &rt, GAddr a) = 0;
+
+    /** All registered GLOBAL variables (program image order). */
+    static std::vector<GlobalVarBase *> &registry();
+
+    /**
+     * Allocate the GLOBAL_DATA segment, home it on the master, and
+     * place every registered variable. Called by csStart().
+     */
+    static void placeAll(Runtime &rt);
+};
+
+/**
+ * A shared static variable (the paper's GLOBAL qualifier).
+ *
+ * Usage at namespace scope:
+ *   GlobalVar<int> counter;           // GLOBAL int counter;
+ * then inside the program: counter.set(rt, 3); counter.get(rt);
+ */
+template <typename T>
+class GlobalVar : public GlobalVarBase
+{
+  public:
+    size_t size() const override { return sizeof(T); }
+
+    void
+    place(Runtime &rt, GAddr a) override
+    {
+        addr_ = a;
+    }
+
+    GAddr addr() const { return addr_; }
+
+    T
+    get(Runtime &rt) const
+    {
+        return rt.read<T>(addr_);
+    }
+
+    void
+    set(Runtime &rt, T v) const
+    {
+        rt.write<T>(addr_, v);
+    }
+
+    GRef<T>
+    ref(Runtime &rt) const
+    {
+        return GRef<T>(rt, addr_);
+    }
+
+  private:
+    GAddr addr_ = GNull;
+};
+
+/**
+ * pthread_start(): the library call every CableS program adds at the
+ * top of main (paper Fig. 4). Places GLOBAL statics.
+ */
+void csStart(Runtime &rt);
+
+/** pthread_end(): the matching teardown call. */
+void csEnd(Runtime &rt);
+
+} // namespace cs
+} // namespace cables
+
+#endif // CABLES_CABLES_SHARED_HH

@@ -1,0 +1,313 @@
+/**
+ * @file
+ * CableS synchronization: pthreads mutexes (built on the SVM lock token
+ * mechanism plus ACB bookkeeping), condition variables (ACB waiter
+ * queues updated with direct remote operations), the native
+ * pthread_barrier() extension, and a mutex+condition barrier used for
+ * the Table 4 comparison.
+ */
+
+#include <algorithm>
+
+#include "cables/memory.hh"
+#include "cables/runtime.hh"
+#include "util/logging.hh"
+
+namespace cables {
+namespace cs {
+
+using sim::toMs;
+using svm::LockTable;
+
+int
+Runtime::mutexCreate()
+{
+    // pthread_mutex_init is a purely local operation; cluster-wide
+    // registration is deferred to first use (the Table 4 "first time"
+    // rows).
+    CsMutex m;
+    m.usedByNode.assign(cfg.nodes, false);
+    mutexes.push_back(std::move(m));
+    return static_cast<int>(mutexes.size()) - 1;
+}
+
+void
+Runtime::mutexDestroy(int m)
+{
+    mutexes.at(m).live = false;
+}
+
+void
+Runtime::mutexLock(int m)
+{
+    CsThread &me = self();
+    CsMutex &mx = mutexes.at(m);
+    panic_if(!mx.live, "locking destroyed mutex {}", m);
+    engine_->sync();
+    Tick t0 = engine_->now();
+
+    if (mx.lock < 0) {
+        // First locker anywhere: the underlying SVM lock is created
+        // with its manager on this node.
+        mx.lock = svmLocks_->create(me.node);
+    }
+    if (!mx.usedByNode[me.node]) {
+        mx.usedByNode[me.node] = true;
+        charge(CostKind::LocalCables, cfg.costs.mutexFirstUseLocal);
+        if (me.node != 0)
+            charge(CostKind::RemoteCables, cfg.costs.mutexFirstUseRemote);
+        adminRequest(me.node); // register the mutex mapping in the ACB
+    }
+
+    charge(CostKind::LocalCables, cfg.costs.mutexLocalOverhead);
+
+    LockTable::AcquireInfo info;
+    svmLocks_->acquire(me.node, mx.lock, &info);
+
+    Tick waited = engine_->now() - t0;
+    switch (info.path) {
+      case LockTable::AcquireInfo::LocalHit:
+        break;
+      case LockTable::AcquireInfo::RemoteFree: {
+        Tick remote = cfg.sync.managerProcCost +
+                      (info.forwarded ? cfg.sync.holderProcCost : 0);
+        note(CostKind::RemoteCables, remote);
+        Tick locals = cfg.sync.grantProcCost + cfg.sync.localAcquireCost;
+        note(CostKind::Communication,
+             std::max<Tick>(0, waited - remote - locals));
+        break;
+      }
+      case LockTable::AcquireInfo::Queued:
+        // Competitive spinning: burn the CPU up to the spin limit, then
+        // block on an OS event and pay the wake-up path.
+        procOf(me).occupyUntil(
+            t0 + std::min<Tick>(waited, cfg.costs.spinLimit));
+        if (waited > cfg.costs.spinLimit) {
+            charge(CostKind::LocalOs,
+                   cfg.os.eventWaitCost + cfg.os.eventWakeLatency);
+        }
+        break;
+    }
+
+    opStats_.lock.sample(toMs(engine_->now() - t0));
+}
+
+bool
+Runtime::mutexTryLock(int m)
+{
+    CsThread &me = self();
+    CsMutex &mx = mutexes.at(m);
+    panic_if(!mx.live, "trylock of destroyed mutex {}", m);
+    engine_->sync();
+    if (mx.lock < 0)
+        mx.lock = svmLocks_->create(me.node);
+    if (!mx.usedByNode[me.node]) {
+        mx.usedByNode[me.node] = true;
+        charge(CostKind::LocalCables, cfg.costs.mutexFirstUseLocal);
+        adminRequest(me.node);
+    }
+    charge(CostKind::LocalCables, cfg.costs.mutexLocalOverhead);
+    return svmLocks_->tryAcquire(me.node, mx.lock);
+}
+
+void
+Runtime::mutexUnlock(int m)
+{
+    CsThread &me = self();
+    CsMutex &mx = mutexes.at(m);
+    panic_if(mx.lock < 0, "unlock of never-locked mutex {}", m);
+    engine_->sync();
+    Tick t0 = engine_->now();
+    charge(CostKind::LocalCables, cfg.costs.mutexLocalOverhead);
+    svmLocks_->release(me.node, mx.lock);
+    opStats_.unlock.sample(toMs(engine_->now() - t0));
+}
+
+int
+Runtime::condCreate()
+{
+    conds.emplace_back();
+    return static_cast<int>(conds.size()) - 1;
+}
+
+void
+Runtime::condDestroy(int c)
+{
+    CsCond &cv = conds.at(c);
+    panic_if(!cv.waiters.empty(), "destroying condition {} with waiters",
+             c);
+    cv.live = false;
+}
+
+void
+Runtime::condWait(int c, int m)
+{
+    CsThread &me = self();
+    CsCond &cv = conds.at(c);
+    panic_if(!cv.live, "waiting on destroyed condition {}", c);
+    Tick t0 = engine_->now();
+
+    charge(CostKind::LocalCables, cfg.costs.condWaitLocal);
+    if (me.node != 0) {
+        // Register as a waiter in the ACB and arm the wake word: two
+        // direct remote writes.
+        engine_->sync();
+        Tick s = engine_->now();
+        comm_->writeSync(me.node, 0, 32);
+        comm_->writeSync(me.node, 0, 16);
+        note(CostKind::Communication, engine_->now() - s);
+    }
+    testCancel();
+    cv.waiters.push_back(CondWaiter{me.tid, me.node});
+
+    mutexUnlock(m);
+    Tick wait_start = engine_->now();
+    blockSelf("cond-wait");
+
+    Tick waited = engine_->now() - wait_start;
+    procOf(me).occupyUntil(
+        wait_start + std::min<Tick>(waited, cfg.costs.spinLimit));
+    if (waited > cfg.costs.spinLimit) {
+        charge(CostKind::LocalOs,
+               cfg.os.eventWaitCost + cfg.os.eventWakeLatency);
+    }
+    opStats_.wait.sample(toMs(engine_->now() - t0));
+    testCancel();
+    mutexLock(m);
+}
+
+void
+Runtime::condSignal(int c)
+{
+    CsThread &me = self();
+    CsCond &cv = conds.at(c);
+    panic_if(!cv.live, "signalling destroyed condition {}", c);
+    engine_->sync();
+    Tick t0 = engine_->now();
+
+    charge(CostKind::LocalCables, cfg.costs.condSignalLocal);
+    if (cv.waiters.empty()) {
+        opStats_.signal.sample(toMs(engine_->now() - t0));
+        return;
+    }
+
+    // Locate the first waiter in the ACB.
+    if (me.node != 0) {
+        Tick s = engine_->now();
+        comm_->fetch(me.node, 0, 64);
+        note(CostKind::Communication, engine_->now() - s);
+    }
+    CondWaiter w = cv.waiters.front();
+    cv.waiters.pop_front();
+    if (me.node != 0) {
+        // Dequeue update of the waiter list in the ACB.
+        engine_->sync();
+        Tick s2 = engine_->now();
+        comm_->writeSync(me.node, 0, 32);
+        note(CostKind::Communication, engine_->now() - s2);
+    }
+
+    Tick deliver = engine_->now();
+    if (w.node != me.node) {
+        // Wake the remote waiter: write its flag, then a notification
+        // kicks the blocked thread out of its OS event.
+        engine_->sync();
+        Tick s = engine_->now();
+        network_->transfer(me.node, w.node, 16, s);
+        deliver = network_->notify(me.node, w.node, 16, s);
+        engine_->advance(cfg.net.hostIssueCost);
+        note(CostKind::Communication, deliver - s);
+    } else {
+        charge(CostKind::LocalOs, cfg.os.eventSetCost);
+        deliver = engine_->now();
+    }
+    wakeThread(w.tid, deliver, "cond-wait");
+    opStats_.signal.sample(toMs(engine_->now() - t0));
+}
+
+void
+Runtime::condBroadcast(int c)
+{
+    CsThread &me = self();
+    CsCond &cv = conds.at(c);
+    panic_if(!cv.live, "broadcasting destroyed condition {}", c);
+    engine_->sync();
+    Tick t0 = engine_->now();
+
+    charge(CostKind::LocalCables, cfg.costs.condBroadcastLocal);
+    if (!cv.waiters.empty() && me.node != 0) {
+        Tick s = engine_->now();
+        comm_->fetch(me.node, 0, 64);
+        note(CostKind::Communication, engine_->now() - s);
+    }
+
+    // One remote write per waiting node/thread (the paper notes this
+    // scales with the number of waiters).
+    while (!cv.waiters.empty()) {
+        CondWaiter w = cv.waiters.front();
+        cv.waiters.pop_front();
+        Tick deliver = engine_->now();
+        if (w.node != me.node) {
+            engine_->sync();
+            Tick s = engine_->now();
+            deliver = network_->transfer(me.node, w.node, 16, s);
+            engine_->advance(cfg.net.hostIssueCost);
+            note(CostKind::Communication, deliver - s);
+        } else {
+            charge(CostKind::LocalOs, cfg.os.eventSetCost);
+            deliver = engine_->now();
+        }
+        wakeThread(w.tid, deliver, "cond-wait");
+    }
+    opStats_.broadcast.sample(toMs(engine_->now() - t0));
+}
+
+int
+Runtime::barrierCreate()
+{
+    CsBarrier b;
+    b.native = svmBarriers_->create(0);
+    // State of the mutex+cond comparison implementation, built eagerly
+    // so concurrent first entries need no initialization handshake.
+    b.mutex = mutexCreate();
+    b.cond = condCreate();
+    b.counter = malloc(sizeof(int64_t));
+    b.generation = malloc(sizeof(int64_t));
+    write<int64_t>(b.counter, 0);
+    write<int64_t>(b.generation, 0);
+    barriers.push_back(b);
+    return static_cast<int>(barriers.size()) - 1;
+}
+
+void
+Runtime::barrier(int b, int nthreads)
+{
+    CsThread &me = self();
+    CsBarrier &bar = barriers.at(b);
+    Tick t0 = engine_->now();
+    charge(CostKind::LocalCables, cfg.costs.mutexLocalOverhead);
+    svmBarriers_->enter(me.node, bar.native, nthreads);
+    opStats_.barrier.sample(toMs(engine_->now() - t0));
+}
+
+void
+Runtime::condBarrier(int b, int nthreads)
+{
+    CsBarrier &bar = barriers.at(b);
+    mutexLock(bar.mutex);
+    int64_t count = read<int64_t>(bar.counter) + 1;
+    write<int64_t>(bar.counter, count);
+    int64_t gen = read<int64_t>(bar.generation);
+    if (count < nthreads) {
+        while (read<int64_t>(bar.generation) == gen)
+            condWait(bar.cond, bar.mutex);
+    } else {
+        write<int64_t>(bar.counter, 0);
+        write<int64_t>(bar.generation, gen + 1);
+        condBroadcast(bar.cond);
+    }
+    mutexUnlock(bar.mutex);
+}
+
+} // namespace cs
+} // namespace cables

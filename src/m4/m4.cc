@@ -1,0 +1,97 @@
+#include "m4/m4.hh"
+
+#include "cables/memory.hh"
+#include "util/logging.hh"
+
+namespace cables {
+namespace m4 {
+
+using cs::Backend;
+using cs::CostKind;
+
+M4Env::M4Env(Runtime &rt) : rt(rt)
+{}
+
+GAddr
+M4Env::gMalloc(size_t bytes)
+{
+    return rt.malloc(bytes);
+}
+
+int
+M4Env::create(std::function<void()> fn)
+{
+    if (!sealed && rt.config().backend == Backend::BaseSvm) {
+        // Figure 2 template: once threads exist, the initialization
+        // phase is over and allocation is no longer possible.
+        rt.memory().sealInitPhase();
+        sealed = true;
+    }
+    int idx = static_cast<int>(workers.size());
+    workers.push_back(rt.threadCreate(std::move(fn)));
+    return idx;
+}
+
+void
+M4Env::waitForEnd()
+{
+    for (int tid : workers)
+        rt.join(tid);
+    workers.clear();
+}
+
+M4Lock
+M4Env::lockInit()
+{
+    if (rt.config().backend == Backend::BaseSvm) {
+        baseLocks.push_back(rt.svmLocks().create(rt.selfNode()));
+        return static_cast<M4Lock>(baseLocks.size()) - 1;
+    }
+    return rt.mutexCreate();
+}
+
+void
+M4Env::lock(M4Lock l)
+{
+    if (rt.config().backend == Backend::BaseSvm)
+        rt.svmLocks().acquire(rt.selfNode(), baseLocks.at(l));
+    else
+        rt.mutexLock(l);
+}
+
+void
+M4Env::unlock(M4Lock l)
+{
+    if (rt.config().backend == Backend::BaseSvm)
+        rt.svmLocks().release(rt.selfNode(), baseLocks.at(l));
+    else
+        rt.mutexUnlock(l);
+}
+
+M4Barrier
+M4Env::barInit()
+{
+    if (rt.config().backend == Backend::BaseSvm) {
+        baseBarriers.push_back(rt.svmBarriers().create(0));
+        return static_cast<M4Barrier>(baseBarriers.size()) - 1;
+    }
+    return rt.barrierCreate();
+}
+
+void
+M4Env::barrier(M4Barrier b, int n)
+{
+    if (rt.config().backend == Backend::BaseSvm)
+        rt.svmBarriers().enter(rt.selfNode(), baseBarriers.at(b), n);
+    else
+        rt.barrier(b, n);
+}
+
+Tick
+M4Env::clock() const
+{
+    return rt.now();
+}
+
+} // namespace m4
+} // namespace cables

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The ANL/M4 macro environment used by SPLASH-2-style applications,
+ * implemented over both backends:
+ *
+ *  - On the base (GeNIMA) backend, LOCK/BARRIER map to the native SVM
+ *    lock and barrier primitives and G_MALLOC is restricted to the
+ *    initialization phase — the programming template of the paper's
+ *    Figure 2.
+ *  - On the CableS backend, this is the paper's "implementation of the
+ *    M4 macros for pthreads": LOCK maps to pthreads mutexes and BARRIER
+ *    to the pthread_barrier() extension (Section 3.4).
+ */
+
+#ifndef CABLES_M4_M4_HH
+#define CABLES_M4_M4_HH
+
+#include <functional>
+#include <vector>
+
+#include "cables/runtime.hh"
+#include "cables/shared.hh"
+
+namespace cables {
+namespace m4 {
+
+using cs::GAddr;
+using cs::Runtime;
+using sim::Tick;
+
+/** Handle to an M4 lock (LOCKDEC/LOCKINIT). */
+using M4Lock = int;
+
+/** Handle to an M4 barrier (BARDEC/BARINIT). */
+using M4Barrier = int;
+
+/**
+ * One application's M4 environment (MAIN_ENV). Construct inside the
+ * master thread; workers share it by reference.
+ */
+class M4Env
+{
+  public:
+    explicit M4Env(Runtime &rt);
+
+    Runtime &runtime() { return rt; }
+
+    /** G_MALLOC: allocate global shared memory. */
+    GAddr gMalloc(size_t bytes);
+
+    /** Typed G_MALLOC convenience. */
+    template <typename T>
+    cs::GArray<T>
+    gMallocArray(size_t n)
+    {
+        return cs::GArray<T>(rt, gMalloc(n * sizeof(T)), n);
+    }
+
+    /** CREATE: start a worker. @return dense worker index (0-based). */
+    int create(std::function<void()> fn);
+
+    /** WAIT_FOR_END: join all created workers. */
+    void waitForEnd();
+
+    /** LOCKINIT. */
+    M4Lock lockInit();
+    /** LOCK. */
+    void lock(M4Lock l);
+    /** UNLOCK. */
+    void unlock(M4Lock l);
+
+    /** BARINIT. */
+    M4Barrier barInit();
+    /** BARRIER(b, n). */
+    void barrier(M4Barrier b, int n);
+
+    /** CLOCK: current simulated time. */
+    Tick clock() const;
+
+    int created() const { return static_cast<int>(workers.size()); }
+
+  private:
+    Runtime &rt;
+    std::vector<int> workers;       // cables tids
+    std::vector<svm::LockId> baseLocks;
+    std::vector<svm::BarrierId> baseBarriers;
+    bool sealed = false;
+};
+
+} // namespace m4
+} // namespace cables
+
+#endif // CABLES_M4_M4_HH

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Model of a Myrinet-class system area network (SAN).
+ *
+ * The model is parameterized directly by the quantities the paper
+ * measures in Table 3: one-way latency of a minimal send, per-byte
+ * latency growth, round-trip fetch latency, notification dispatch cost,
+ * and streaming bandwidth. Latency and occupancy are separate: a 4 KByte
+ * send has a 52 us end-to-end latency, but back-to-back sends stream at
+ * 125 MBytes/s because per-message overheads pipeline.
+ *
+ * Contention is modelled with per-NIC transmit and receive occupancy
+ * windows; concurrent transfers through the same NIC serialize.
+ */
+
+#ifndef CABLES_NET_NETWORK_HH
+#define CABLES_NET_NETWORK_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/ticks.hh"
+
+namespace cables {
+namespace net {
+
+using sim::Tick;
+using sim::US;
+using sim::NS;
+
+/** Node index within the cluster. */
+using NodeId = int32_t;
+
+constexpr NodeId InvalidNode = -1;
+
+/**
+ * SAN timing parameters. Defaults reproduce the paper's Table 3
+ * (VMMC over Myrinet, PCI-limited).
+ */
+struct NetParams
+{
+    /** One-way latency of a 1-word send (7.8 us). */
+    Tick sendBase = Tick(7.8 * US);
+
+    /** Additional one-way latency per byte ((52-7.8)us / 4 KByte). */
+    double sendPerByte = 10.79 * NS;
+
+    /** Round-trip latency of a 1-word remote fetch (22 us). */
+    Tick fetchBase = 22 * US;
+
+    /** Additional fetch round-trip latency per byte ((81-22)us / 4 KB). */
+    double fetchPerByte = 14.41 * NS;
+
+    /** Latency from send to remote handler dispatch (notification). */
+    Tick notifyBase = 18 * US;
+
+    /** Streaming occupancy per byte: 8 ns/B == 125 MBytes/s. */
+    double occupancyPerByte = 8.0 * NS;
+
+    /** Fixed per-message NIC occupancy (DMA setup, descriptor). */
+    Tick occupancyBase = Tick(0.5 * US);
+
+    /** Host CPU time to issue any network operation. */
+    Tick hostIssueCost = 1 * US;
+};
+
+/** Aggregate traffic statistics. */
+struct NetStats
+{
+    uint64_t messages = 0;
+    uint64_t bytes = 0;
+    uint64_t fetches = 0;
+    uint64_t notifications = 0;
+};
+
+/**
+ * The cluster interconnect. All methods are pure timing computations
+ * over NIC occupancy state; data never moves here (the simulation keeps
+ * application data in a single host buffer).
+ */
+class Network
+{
+  public:
+    Network(int nodes, const NetParams &params);
+
+    const NetParams &params() const { return params_; }
+    int nodes() const { return static_cast<int>(nics.size()); }
+
+    /**
+     * One-way transfer (send or remote write) of @p bytes from @p src to
+     * @p dst, issued at @p start.
+     * @return completion (deposit) time at the destination.
+     */
+    Tick transfer(NodeId src, NodeId dst, size_t bytes, Tick start);
+
+    /**
+     * Synchronous remote fetch (read) of @p bytes from @p dst's memory,
+     * issued by @p src at @p start.
+     * @return completion time at the issuing node.
+     */
+    Tick fetch(NodeId src, NodeId dst, size_t bytes, Tick start);
+
+    /**
+     * Notification: a small message that invokes a handler on @p dst.
+     * @return dispatch time of the handler at the destination.
+     */
+    Tick notify(NodeId src, NodeId dst, size_t bytes, Tick start);
+
+    const NetStats &stats() const { return stats_; }
+    void resetStats() { stats_ = NetStats(); }
+
+  private:
+    struct Nic
+    {
+        Tick txFree = 0;
+        Tick rxFree = 0;
+    };
+
+    /** Reserve @p occ of occupancy on @p window from @p earliest. */
+    static Tick reserve(Tick &window, Tick earliest, Tick occ);
+
+    Tick occupancy(size_t bytes) const;
+
+    NetParams params_;
+    std::vector<Nic> nics;
+    NetStats stats_;
+};
+
+} // namespace net
+} // namespace cables
+
+#endif // CABLES_NET_NETWORK_HH

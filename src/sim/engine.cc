@@ -1,0 +1,200 @@
+#include "sim/engine.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace cables {
+namespace sim {
+
+Engine::Engine() = default;
+Engine::~Engine() = default;
+
+ThreadId
+Engine::spawn(std::string name, std::function<void()> fn, Tick start_at)
+{
+    ThreadId id = static_cast<ThreadId>(threads.size());
+    auto *self = this;
+    auto wrapped = [self, fn = std::move(fn)]() { fn(); };
+    threads.push_back(std::make_unique<SimThread>(
+        id, std::move(name), std::move(wrapped), start_at));
+    makeReady(*threads.back());
+    return id;
+}
+
+void
+Engine::schedule(Tick when, std::function<void()> fn)
+{
+    panic_if(when < 0, "scheduling event in negative time");
+    events.push(Event{when, seqCounter++, std::move(fn)});
+}
+
+SimThread &
+Engine::thread(ThreadId tid)
+{
+    panic_if(tid < 0 || static_cast<size_t>(tid) >= threads.size(),
+             "bad thread id {}", tid);
+    return *threads[tid];
+}
+
+bool
+Engine::finished(ThreadId tid)
+{
+    return thread(tid).state == SimThread::State::Finished;
+}
+
+Tick
+Engine::now() const
+{
+    panic_if(!currentThread, "now() called outside a simulated thread");
+    return currentThread->now;
+}
+
+void
+Engine::advance(Tick dt)
+{
+    panic_if(!currentThread, "advance() outside a simulated thread");
+    panic_if(dt < 0, "advancing by negative time ({}) in thread '{}'",
+             dt, currentThread->name);
+    currentThread->now += dt;
+}
+
+void
+Engine::makeReady(SimThread &t)
+{
+    t.state = SimThread::State::Runnable;
+    ready.push(ReadyEntry{t.now, seqCounter++, t.id});
+}
+
+SimThread *
+Engine::popReady()
+{
+    while (!ready.empty()) {
+        ReadyEntry e = ready.top();
+        SimThread &t = *threads[e.tid];
+        // Skip stale entries (thread re-queued at a different time, or
+        // no longer runnable).
+        if (t.state != SimThread::State::Runnable || t.now != e.when) {
+            ready.pop();
+            continue;
+        }
+        return &t;
+    }
+    return nullptr;
+}
+
+Tick
+Engine::earliestOther(const SimThread *self)
+{
+    // The currently running thread is never queued (run() pops it before
+    // switching in), so a plain peek over both queues suffices.
+    Tick best = events.empty() ? MaxTick : events.top().when;
+    if (SimThread *t = popReady())
+        best = std::min(best, t->now);
+    return best;
+}
+
+void
+Engine::sync()
+{
+    panic_if(!currentThread, "sync() outside a simulated thread");
+    SimThread *t = currentThread;
+    // Fast path: still the earliest entity — keep running.
+    if (t->now <= earliestOther(t))
+        return;
+    // Yield: requeue at our (advanced) clock and return to the scheduler.
+    makeReady(*t);
+    ++switchCount;
+    t->fiber.switchBack();
+}
+
+void
+Engine::block(const char *why)
+{
+    panic_if(!currentThread, "block() outside a simulated thread");
+    SimThread *t = currentThread;
+    t->state = SimThread::State::Blocked;
+    t->blockReason = why;
+    ++switchCount;
+    t->fiber.switchBack();
+    panic_if(t->state != SimThread::State::Runnable,
+             "blocked thread resumed without wake()");
+}
+
+void
+Engine::wake(ThreadId tid, Tick at)
+{
+    SimThread &t = thread(tid);
+    panic_if(t.state != SimThread::State::Blocked,
+             "waking thread '{}' which is not blocked", t.name);
+    t.now = std::max(t.now, at);
+    t.blockReason = "";
+    makeReady(t);
+}
+
+void
+Engine::run(bool allow_blocked)
+{
+    panic_if(running, "Engine::run is not reentrant");
+    running = true;
+
+    while (!stopped) {
+        SimThread *t = popReady();
+        bool have_event = !events.empty();
+
+        if (!t && !have_event)
+            break;
+
+        Tick tt = t ? t->now : MaxTick;
+        Tick et = have_event ? events.top().when : MaxTick;
+
+        if (et < tt || (et == tt && !t)) {
+            // Execute the earliest event on the scheduler stack.
+            Event ev = events.top();
+            events.pop();
+            maxObservedTime = std::max(maxObservedTime, ev.when);
+            ++eventCount;
+            ev.fn();
+            continue;
+        }
+
+        // Run the earliest thread until it yields, blocks or finishes.
+        ready.pop();
+        currentThread = t;
+        ++switchCount;
+        t->fiber.switchTo();
+        currentThread = nullptr;
+        maxObservedTime = std::max(maxObservedTime, t->now);
+        if (t->fiber.finished())
+            t->state = SimThread::State::Finished;
+    }
+
+    if (!allow_blocked && !stopped) {
+        for (const auto &t : threads) {
+            if (t->state == SimThread::State::Blocked) {
+                fatal("deadlock: thread '{}' still blocked on '{}' at end "
+                      "of simulation", t->name, t->blockReason);
+            }
+        }
+    }
+    running = false;
+}
+
+void
+Processor::compute(Engine &engine, Tick len)
+{
+    panic_if(len < 0, "negative compute length");
+    while (len > 0) {
+        engine.sync();
+        Tick slice = std::min(len, quantum);
+        Tick start = std::max(engine.now(), nextFree_);
+        Tick end = start + slice;
+        engine.advance(end - engine.now());
+        nextFree_ = end;
+        len -= slice;
+    }
+}
+
+} // namespace sim
+} // namespace cables

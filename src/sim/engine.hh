@@ -1,0 +1,248 @@
+/**
+ * @file
+ * The discrete-event simulation engine.
+ *
+ * Simulated threads are fibers with private virtual clocks. The engine
+ * maintains the invariant that the fiber currently executing holds the
+ * globally minimum clock among all runnable threads and pending events,
+ * *at every visible operation*. Pure local computation merely advances
+ * the local clock; before any operation that observes or mutates shared
+ * simulation state (messages, locks, page tables) the caller invokes
+ * sync(), which yields until the thread is earliest again.
+ *
+ * This "earliest-first" discipline gives deterministic, repeatable
+ * parallel-time simulation on a single host thread.
+ */
+
+#ifndef CABLES_SIM_ENGINE_HH
+#define CABLES_SIM_ENGINE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/fiber.hh"
+#include "sim/ticks.hh"
+
+namespace cables {
+namespace sim {
+
+/** Identifier of a simulated thread; dense, never reused within a run. */
+using ThreadId = int32_t;
+
+constexpr ThreadId InvalidThreadId = -1;
+
+/**
+ * One simulated thread: a fiber plus a virtual clock and run state.
+ */
+class SimThread
+{
+  public:
+    enum class State { Runnable, Blocked, Finished };
+
+    SimThread(ThreadId id, std::string name, std::function<void()> fn,
+              Tick start_at)
+        : id(id), name(std::move(name)), now(start_at),
+          fiber(std::move(fn))
+    {}
+
+    const ThreadId id;
+    const std::string name;
+
+    /** Local virtual clock (ns). */
+    Tick now;
+
+    State state = State::Runnable;
+
+    /** Why the thread is blocked (diagnostics only). */
+    const char *blockReason = "";
+
+    Fiber fiber;
+};
+
+/**
+ * The simulation engine. Owns all threads and the event queue.
+ *
+ * Events are one-shot callbacks executed on the scheduler stack at a
+ * given tick; they model remote handler invocations and timers. Events
+ * may spawn/wake threads and schedule further events but must not block.
+ */
+class Engine
+{
+  public:
+    Engine();
+    ~Engine();
+
+    Engine(const Engine &) = delete;
+    Engine &operator=(const Engine &) = delete;
+
+    /**
+     * Create a new simulated thread.
+     *
+     * @param name diagnostic name.
+     * @param fn entry function (runs on the thread's fiber).
+     * @param start_at initial clock value of the new thread.
+     * @return the new thread's id.
+     */
+    ThreadId spawn(std::string name, std::function<void()> fn,
+                   Tick start_at);
+
+    /** Schedule a one-shot event at tick @p when. */
+    void schedule(Tick when, std::function<void()> fn);
+
+    /**
+     * Run the simulation until no runnable threads and no events remain.
+     * Blocked threads left over at completion indicate a deadlock and
+     * trigger a fatal error unless @p allow_blocked is set.
+     */
+    void run(bool allow_blocked = false);
+
+    /**
+     * Abort the simulation: run() returns once the current fiber
+     * yields, and no further thread or event is scheduled. Unfinished
+     * fibers are never resumed (their stacks are reclaimed with the
+     * engine, but objects on them are not destroyed — acceptable for a
+     * failed run that is about to be torn down).
+     */
+    void stop() { stopped = true; }
+
+    /** True once stop() was called. */
+    bool isStopped() const { return stopped; }
+
+    /// @name Fiber-side API (callable only from inside a simulated thread)
+    /// @{
+
+    /** The currently executing simulated thread (null on the scheduler). */
+    SimThread *current() { return currentThread; }
+
+    /** Current thread's clock. */
+    Tick now() const;
+
+    /** Advance the current thread's clock by @p dt without yielding. */
+    void advance(Tick dt);
+
+    /**
+     * Ensure the current thread holds the globally minimum clock; yields
+     * to earlier threads/events if not. Must be called before touching
+     * any shared simulation state.
+     */
+    void sync();
+
+    /**
+     * Block the current thread until another thread or an event wakes it
+     * via wake(). @p why is kept for deadlock diagnostics.
+     */
+    void block(const char *why);
+
+    /// @}
+
+    /**
+     * Make a blocked thread runnable. Its clock becomes
+     * max(own clock, @p at). Callable from fibers and events.
+     */
+    void wake(ThreadId tid, Tick at);
+
+    /** Look up a thread (alive for the whole run). */
+    SimThread &thread(ThreadId tid);
+
+    /** True if the thread has finished executing its entry function. */
+    bool finished(ThreadId tid);
+
+    /** Number of threads ever spawned. */
+    size_t threadCount() const { return threads.size(); }
+
+    /** Total fiber context switches performed (host-perf metric). */
+    uint64_t switches() const { return switchCount; }
+
+    /** Total events executed. */
+    uint64_t eventsRun() const { return eventCount; }
+
+    /** Largest clock reached by any thread or event (the makespan). */
+    Tick maxTime() const { return maxObservedTime; }
+
+  private:
+    struct ReadyEntry
+    {
+        Tick when;
+        uint64_t seq;
+        ThreadId tid;
+        bool operator>(const ReadyEntry &o) const
+        {
+            return when != o.when ? when > o.when : seq > o.seq;
+        }
+    };
+
+    struct Event
+    {
+        Tick when;
+        uint64_t seq;
+        std::function<void()> fn;
+    };
+
+    struct EventOrder
+    {
+        bool operator()(const Event &a, const Event &b) const
+        {
+            return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+        }
+    };
+
+    /** Earliest time of any runnable thread other than @p self or event. */
+    Tick earliestOther(const SimThread *self);
+
+    /** Push a runnable thread onto the ready queue. */
+    void makeReady(SimThread &t);
+
+    /** Pop the next valid ready entry; null if none. */
+    SimThread *popReady();
+
+    std::vector<std::unique_ptr<SimThread>> threads;
+    std::priority_queue<ReadyEntry, std::vector<ReadyEntry>,
+                        std::greater<ReadyEntry>> ready;
+    std::priority_queue<Event, std::vector<Event>, EventOrder> events;
+
+    SimThread *currentThread = nullptr;
+    uint64_t seqCounter = 0;
+    uint64_t switchCount = 0;
+    uint64_t eventCount = 0;
+    Tick maxObservedTime = 0;
+    bool running = false;
+    bool stopped = false;
+};
+
+/**
+ * A processor modelled as an occupancy resource. Compute blocks run when
+ * both the thread and the processor are free; multiple threads bound to
+ * one processor serialize, approximating local OS timeslicing at
+ * @ref quantum granularity.
+ */
+class Processor
+{
+  public:
+    /** Timeslice used when several threads share the processor. */
+    static constexpr Tick quantum = 1 * MS;
+
+    /**
+     * Charge @p len of computation to the current thread, honouring the
+     * processor's occupancy. Slices longer than the quantum yield between
+     * slices so co-located threads interleave fairly.
+     */
+    void compute(Engine &engine, Tick len);
+
+    /** Next tick at which the processor is free. */
+    Tick nextFree() const { return nextFree_; }
+
+    /** Reserve the processor through tick @p t (handler execution). */
+    void occupyUntil(Tick t) { nextFree_ = std::max(nextFree_, t); }
+
+  private:
+    Tick nextFree_ = 0;
+};
+
+} // namespace sim
+} // namespace cables
+
+#endif // CABLES_SIM_ENGINE_HH

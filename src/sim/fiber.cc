@@ -1,0 +1,64 @@
+#include "sim/fiber.hh"
+
+#include "util/logging.hh"
+
+namespace cables {
+namespace sim {
+
+namespace {
+
+/**
+ * The fiber whose trampoline is about to run. makecontext() cannot
+ * portably pass pointers, so the target is staged here between
+ * switchTo() and the trampoline. The simulation is single host-threaded,
+ * so a file-static is safe.
+ */
+Fiber *startingFiber = nullptr;
+
+} // namespace
+
+Fiber::Fiber(std::function<void()> fn, size_t stack_size)
+    : entry(std::move(fn)), stack(new char[stack_size])
+{
+    panic_if(!entry, "Fiber requires an entry function");
+    getcontext(&context);
+    context.uc_stack.ss_sp = stack.get();
+    context.uc_stack.ss_size = stack_size;
+    context.uc_link = nullptr;
+    makecontext(&context, reinterpret_cast<void (*)()>(&Fiber::trampoline),
+                0);
+}
+
+Fiber::~Fiber() = default;
+
+void
+Fiber::trampoline()
+{
+    Fiber *self = startingFiber;
+    startingFiber = nullptr;
+    self->entry();
+    self->finished_ = true;
+    // Return to whoever last resumed us; never falls off the context.
+    while (true)
+        swapcontext(&self->context, &self->returnContext);
+}
+
+void
+Fiber::switchTo()
+{
+    panic_if(finished_, "switching to a finished fiber");
+    if (!started) {
+        started = true;
+        startingFiber = this;
+    }
+    swapcontext(&returnContext, &context);
+}
+
+void
+Fiber::switchBack()
+{
+    swapcontext(&context, &returnContext);
+}
+
+} // namespace sim
+} // namespace cables

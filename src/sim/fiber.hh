@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Cooperative user-level fibers built on ucontext. Each simulated thread
+ * owns one Fiber; the Engine switches between fibers and its own
+ * scheduler context. Fibers never run concurrently — the whole simulation
+ * is single host-threaded and therefore deterministic.
+ */
+
+#ifndef CABLES_SIM_FIBER_HH
+#define CABLES_SIM_FIBER_HH
+
+#include <ucontext.h>
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace cables {
+namespace sim {
+
+/**
+ * A suspendable execution context with its own stack.
+ *
+ * The owner (the Engine) calls switchTo() to enter the fiber; the fiber
+ * returns control by calling switchBack(), or implicitly when its entry
+ * function returns (after which finished() is true).
+ */
+class Fiber
+{
+  public:
+    /** Default stack size: enough for recursive kernels (FFT, octrees). */
+    static constexpr size_t defaultStackSize = 256 * 1024;
+
+    /**
+     * Create a fiber that will run @p fn when first switched to.
+     *
+     * @param fn entry function; runs on the fiber's own stack.
+     * @param stack_size stack size in bytes.
+     */
+    explicit Fiber(std::function<void()> fn,
+                   size_t stack_size = defaultStackSize);
+
+    ~Fiber();
+
+    Fiber(const Fiber &) = delete;
+    Fiber &operator=(const Fiber &) = delete;
+
+    /** Transfer control from the caller's context into the fiber. */
+    void switchTo();
+
+    /** Called from inside the fiber: return control to switchTo's caller. */
+    void switchBack();
+
+    /** True once the entry function has returned. */
+    bool finished() const { return finished_; }
+
+  private:
+    static void trampoline();
+
+    std::function<void()> entry;
+    std::unique_ptr<char[]> stack;
+    ucontext_t context;
+    ucontext_t returnContext;
+    bool started = false;
+    bool finished_ = false;
+};
+
+} // namespace sim
+} // namespace cables
+
+#endif // CABLES_SIM_FIBER_HH

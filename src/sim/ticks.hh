@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Simulated-time base types. One Tick is one nanosecond of simulated
+ * time; helper literals build readable durations (7800 * sim::US etc.).
+ */
+
+#ifndef CABLES_SIM_TICKS_HH
+#define CABLES_SIM_TICKS_HH
+
+#include <cstdint>
+
+namespace cables {
+namespace sim {
+
+/** Simulated time in nanoseconds. */
+using Tick = int64_t;
+
+/** Maximum representable tick, used as "never". */
+constexpr Tick MaxTick = INT64_MAX;
+
+constexpr Tick NS = 1;
+constexpr Tick US = 1000 * NS;
+constexpr Tick MS = 1000 * US;
+constexpr Tick SEC = 1000 * MS;
+
+/** Convert ticks to floating point microseconds (for reports). */
+constexpr double
+toUs(Tick t)
+{
+    return static_cast<double>(t) / US;
+}
+
+/** Convert ticks to floating point milliseconds (for reports). */
+constexpr double
+toMs(Tick t)
+{
+    return static_cast<double>(t) / MS;
+}
+
+/** Convert ticks to floating point seconds (for reports). */
+constexpr double
+toSec(Tick t)
+{
+    return static_cast<double>(t) / SEC;
+}
+
+} // namespace sim
+} // namespace cables
+
+#endif // CABLES_SIM_TICKS_HH

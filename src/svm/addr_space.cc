@@ -1,0 +1,98 @@
+#include "svm/addr_space.hh"
+
+#include <sys/mman.h>
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace cables {
+namespace svm {
+
+AddressSpace::AddressSpace(size_t capacity)
+    : capacity_((capacity + pageSize - 1) & ~(pageSize - 1))
+{
+    fatal_if(capacity_ == 0, "empty shared address space");
+    // Anonymous mmap: zero pages materialize lazily on the host, so a
+    // large simulated address space costs only what is touched.
+    void *p = mmap(nullptr, capacity_, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    fatal_if(p == MAP_FAILED, "cannot map {} bytes of shared space",
+             capacity_);
+    base = static_cast<uint8_t *>(p);
+    freeList.push_back(Block{0, capacity_});
+}
+
+AddressSpace::~AddressSpace()
+{
+    if (base)
+        munmap(base, capacity_);
+}
+
+uint8_t *
+AddressSpace::host(GAddr a) const
+{
+    panic_if(a >= capacity_, "global address {} out of range", a);
+    return base + a;
+}
+
+GAddr
+AddressSpace::alloc(size_t len, size_t align)
+{
+    if (len == 0)
+        len = 1;
+    align = std::max<size_t>(align, 8);
+    len = (len + align - 1) & ~(align - 1);
+
+    for (size_t i = 0; i < freeList.size(); ++i) {
+        Block &b = freeList[i];
+        GAddr aligned = (b.addr + align - 1) & ~(GAddr(align) - 1);
+        size_t pad = aligned - b.addr;
+        if (b.len < pad + len)
+            continue;
+        // Carve [aligned, aligned+len) out of the block.
+        GAddr result = aligned;
+        Block tail{aligned + len, b.len - pad - len};
+        if (pad > 0) {
+            b.len = pad;
+            if (tail.len > 0)
+                freeList.insert(freeList.begin() + i + 1, tail);
+        } else if (tail.len > 0) {
+            b = tail;
+        } else {
+            freeList.erase(freeList.begin() + i);
+        }
+        used_ += len;
+        return result;
+    }
+    return GNull;
+}
+
+void
+AddressSpace::free(GAddr addr, size_t len)
+{
+    panic_if(addr + len > capacity_, "freeing out-of-range block");
+    used_ -= std::min(used_, len);
+    // Insert sorted by address, then coalesce with neighbours.
+    auto it = std::lower_bound(
+        freeList.begin(), freeList.end(), addr,
+        [](const Block &b, GAddr a) { return b.addr < a; });
+    it = freeList.insert(it, Block{addr, len});
+    // Coalesce with successor.
+    auto next = it + 1;
+    if (next != freeList.end() && it->addr + it->len == next->addr) {
+        it->len += next->len;
+        freeList.erase(next);
+    }
+    // Coalesce with predecessor.
+    if (it != freeList.begin()) {
+        auto prev = it - 1;
+        if (prev->addr + prev->len == it->addr) {
+            prev->len += it->len;
+            freeList.erase(it);
+        }
+    }
+}
+
+} // namespace svm
+} // namespace cables

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The global shared virtual address space.
+ *
+ * Simulation note: all nodes' shared data lives in one host buffer (the
+ * "truth"). The SVM protocol tracks per-node page validity and charges
+ * time for fetches and diffs, but data is stored once — because the
+ * engine serializes fibers and benchmark applications are properly
+ * synchronized, numerical results are exact (see DESIGN.md §2).
+ *
+ * The allocator is a first-fit free list with coalescing; the base SVM
+ * backend only ever allocates (SPLASH-2 style), CableS also frees.
+ */
+
+#ifndef CABLES_SVM_ADDR_SPACE_HH
+#define CABLES_SVM_ADDR_SPACE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cables {
+namespace svm {
+
+/** Address within the global shared virtual address space. */
+using GAddr = uint64_t;
+
+/** Invalid / null global address. */
+constexpr GAddr GNull = ~0ull;
+
+/** SVM coherence unit: a 4 KByte page. */
+constexpr size_t pageShift = 12;
+constexpr size_t pageSize = size_t(1) << pageShift;
+
+/** Index of a page within the global address space. */
+using PageId = uint64_t;
+
+constexpr PageId
+pageOf(GAddr a)
+{
+    return a >> pageShift;
+}
+
+constexpr GAddr
+pageBase(PageId p)
+{
+    return static_cast<GAddr>(p) << pageShift;
+}
+
+/**
+ * Backing store + allocator for the global shared address space.
+ */
+class AddressSpace
+{
+  public:
+    /** @param capacity total shared address space size in bytes. */
+    explicit AddressSpace(size_t capacity);
+    ~AddressSpace();
+
+    AddressSpace(const AddressSpace &) = delete;
+    AddressSpace &operator=(const AddressSpace &) = delete;
+
+    /**
+     * Allocate @p len bytes (aligned to @p align, min 8).
+     * @return global address, or GNull when out of space.
+     */
+    GAddr alloc(size_t len, size_t align = 64);
+
+    /** Return a block to the free list (coalescing neighbours). */
+    void free(GAddr addr, size_t len);
+
+    /** Host pointer to global address @p a. */
+    uint8_t *host(GAddr a) const;
+
+    /** Typed host pointer. */
+    template <typename T>
+    T *
+    hostAs(GAddr a) const
+    {
+        return reinterpret_cast<T *>(host(a));
+    }
+
+    size_t capacity() const { return capacity_; }
+    size_t used() const { return used_; }
+    size_t numPages() const { return capacity_ >> pageShift; }
+
+  private:
+    struct Block
+    {
+        GAddr addr;
+        size_t len;
+    };
+
+    size_t capacity_;
+    size_t used_ = 0;
+    uint8_t *base = nullptr;
+    std::vector<Block> freeList;
+};
+
+} // namespace svm
+} // namespace cables
+
+#endif // CABLES_SVM_ADDR_SPACE_HH

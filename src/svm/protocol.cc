@@ -1,0 +1,278 @@
+#include "svm/protocol.hh"
+
+#include <algorithm>
+#include <cstring>
+
+namespace cables {
+namespace svm {
+
+Protocol::Protocol(sim::Engine &engine, vmmc::Vmmc &comm,
+                   AddressSpace &mem, int nodes,
+                   const ProtoParams &params)
+    : engine(engine), comm(comm), mem(mem), params_(params),
+      numNodes(nodes), pageCount(mem.numPages()),
+      homes(pageCount, int16_t(InvalidNode)),
+      versions(pageCount, 0),
+      state(size_t(nodes) * pageCount, StateInvalid),
+      cachedVersion(size_t(nodes) * pageCount, 0),
+      dirtyList(nodes), twins(nodes), appliedSeq(nodes, 0), stats(nodes)
+{
+    if (params_.migrationThreshold > 0) {
+        lastUser.assign(pageCount, int16_t(InvalidNode));
+        useRun.assign(pageCount, 0);
+    }
+}
+
+void
+Protocol::noteRemoteUse(NodeId node, PageId page)
+{
+    if (params_.migrationThreshold <= 0)
+        return;
+    if (lastUser[page] == node) {
+        if (++useRun[page] >= params_.migrationThreshold) {
+            useRun[page] = 0;
+            ++stats[node].migrations;
+            migratePage(page, node);
+        }
+    } else {
+        lastUser[page] = static_cast<int16_t>(node);
+        useRun[page] = 1;
+    }
+}
+
+void
+Protocol::bindHome(PageId page, NodeId node)
+{
+    panic_if(homes[page] != InvalidNode, "page {} already has home {}",
+             page, homes[page]);
+    homes[page] = static_cast<int16_t>(node);
+    // The home's copy is the primary copy: valid by construction.
+    state[index(node, page)] = StateReadShared;
+    cachedVersion[index(node, page)] = versions[page];
+    ++stats[node].homeBindings;
+}
+
+void
+Protocol::unbindPage(PageId page)
+{
+    homes[page] = static_cast<int16_t>(InvalidNode);
+    versions[page] = 0;
+    for (NodeId n = 0; n < numNodes; ++n) {
+        state[index(n, page)] = StateInvalid;
+        cachedVersion[index(n, page)] = 0;
+        twins[n].erase(page);
+    }
+    // Stale dirty-list entries are skipped at release time (state check).
+}
+
+void
+Protocol::migratePage(PageId page, NodeId new_home)
+{
+    NodeId old = homes[page];
+    panic_if(old == InvalidNode, "migrating unbound page {}", page);
+    if (old == new_home)
+        return;
+    engine.sync();
+    // New home pulls the current primary copy, then takes over.
+    if (state[index(new_home, page)] == StateInvalid) {
+        comm.fetch(new_home, old, pageSize + params_.diffHeaderBytes);
+        ++stats[new_home].pagesFetched;
+    }
+    homes[page] = static_cast<int16_t>(new_home);
+    versions[page] += 1;
+    state[index(new_home, page)] = StateReadShared;
+    cachedVersion[index(new_home, page)] = versions[page];
+    // Old home's copy is demoted to an ordinary cached copy.
+    state[index(old, page)] = StateReadShared;
+    cachedVersion[index(old, page)] = versions[page];
+    flushLog.push_back(FlushRecord{page, versions[page]});
+    ++stats[new_home].homeBindings;
+}
+
+void
+Protocol::fault(NodeId node, PageId page, bool write)
+{
+    engine.sync();
+    engine.advance(params_.faultTrapCost);
+
+    NodeId h = homes[page];
+    if (h == InvalidNode) {
+        panic_if(!homeBinder, "page {} touched with no home binder", page);
+        h = homeBinder(node, page, write);
+        panic_if(homes[page] == InvalidNode,
+                 "home binder did not bind page {}", page);
+    }
+
+    size_t idx = index(node, page);
+    uint8_t &s = state[idx];
+
+    if (write)
+        ++stats[node].writeFaults;
+    else
+        ++stats[node].readFaults;
+
+    if (s == StateInvalid) {
+        if (node == h) {
+            // Home always holds the primary copy.
+            s = StateReadShared;
+            cachedVersion[idx] = versions[page];
+        } else {
+            if (fetchHook)
+                fetchHook(node, h, page);
+            comm.fetch(node, h, pageSize + params_.diffHeaderBytes);
+            ++stats[node].pagesFetched;
+            s = StateReadShared;
+            cachedVersion[idx] = versions[page];
+            noteRemoteUse(node, page);
+        }
+    }
+
+    if (write && s == StateReadShared) {
+        if (node == h) {
+            s = StateHomeDirty;
+            dirtyList[node].push_back(page);
+        } else {
+            // Twin the page so the release-time diff captures our
+            // modifications.
+            auto twin = std::make_unique<uint8_t[]>(pageSize);
+            std::memcpy(twin.get(), mem.host(pageBase(page)), pageSize);
+            twins[node][page] = std::move(twin);
+            engine.advance(params_.twinCost);
+            ++stats[node].twinsCreated;
+            s = StateDirty;
+            dirtyList[node].push_back(page);
+        }
+    }
+}
+
+size_t
+Protocol::diffSize(NodeId node, PageId page) const
+{
+    auto it = twins[node].find(page);
+    panic_if(it == twins[node].end(), "diffing page {} with no twin",
+             page);
+    const uint64_t *twin =
+        reinterpret_cast<const uint64_t *>(it->second.get());
+    const uint64_t *cur =
+        reinterpret_cast<const uint64_t *>(mem.host(pageBase(page)));
+    size_t words = pageSize / sizeof(uint64_t);
+    size_t changed = 0;
+    for (size_t i = 0; i < words; ++i)
+        changed += (twin[i] != cur[i]);
+    return changed * sizeof(uint64_t);
+}
+
+Tick
+Protocol::flushPage(NodeId node, PageId page)
+{
+    size_t idx = index(node, page);
+    uint8_t &s = state[idx];
+    Tick deposit = engine.now();
+
+    if (s == StateHomeDirty) {
+        // Home modifications need no data movement, only a notice.
+        engine.advance(params_.homeFlushCost);
+        s = StateReadShared;
+    } else if (s == StateDirty) {
+        NodeId h = homes[page];
+        size_t diff = diffSize(node, page);
+        engine.advance(params_.diffScanCost);
+        deposit = comm.write(node, h, diff + params_.diffHeaderBytes);
+        twins[node].erase(page);
+        s = StateReadShared;
+        ++stats[node].diffsFlushed;
+        stats[node].diffBytes += diff;
+        noteRemoteUse(node, page);
+    } else {
+        // Page was invalidated or freed while on the dirty list.
+        return deposit;
+    }
+
+    versions[page] += 1;
+    cachedVersion[idx] = versions[page];
+    flushLog.push_back(FlushRecord{page, versions[page]});
+    return deposit;
+}
+
+void
+Protocol::release(NodeId node)
+{
+    if (dirtyList[node].empty())
+        return;
+    engine.sync();
+    // Detach the work list: flushPage() yields inside comm.write and a
+    // same-node thread may fault new pages dirty meanwhile; those
+    // belong to *its* next release, and appending to the live vector
+    // would invalidate this loop.
+    std::vector<PageId> work;
+    work.swap(dirtyList[node]);
+    Tick last_deposit = engine.now();
+    for (PageId p : work)
+        last_deposit = std::max(last_deposit, flushPage(node, p));
+    // Release semantics: all diffs must be applied at their homes before
+    // the release completes.
+    if (last_deposit > engine.now())
+        engine.advance(last_deposit - engine.now());
+}
+
+void
+Protocol::acquireUpTo(NodeId node, uint64_t seq)
+{
+    if (seq <= appliedSeq[node])
+        return;
+    engine.sync();
+    // Re-check: sync() may have yielded to a same-node thread that
+    // already applied these notices.
+    uint64_t start = appliedSeq[node];
+    if (seq <= start)
+        return;
+    uint64_t n = seq - start;
+    for (uint64_t i = start; i < seq; ++i) {
+        const FlushRecord &rec = flushLog[i];
+        size_t idx = index(node, rec.page);
+        if (homes[rec.page] == node)
+            continue;
+        uint8_t &s = state[idx];
+        if (s == StateInvalid || cachedVersion[idx] >= rec.version)
+            continue;
+        if (s == StateDirty || s == StateHomeDirty) {
+            // Concurrent writer (false sharing): flush our diff before
+            // dropping the copy.
+            flushPage(node, rec.page);
+        }
+        s = StateInvalid;
+        ++stats[node].invalidations;
+    }
+    // flushPage() above may have yielded and let a same-node thread
+    // advance the applied counter further; never move it backwards.
+    appliedSeq[node] = std::max(appliedSeq[node], seq);
+    engine.advance(static_cast<Tick>(n) * params_.noticeApplyCost);
+}
+
+ProtoStats
+Protocol::totalStats() const
+{
+    ProtoStats t;
+    for (const auto &s : stats) {
+        t.readFaults += s.readFaults;
+        t.writeFaults += s.writeFaults;
+        t.pagesFetched += s.pagesFetched;
+        t.twinsCreated += s.twinsCreated;
+        t.diffsFlushed += s.diffsFlushed;
+        t.diffBytes += s.diffBytes;
+        t.invalidations += s.invalidations;
+        t.homeBindings += s.homeBindings;
+        t.migrations += s.migrations;
+    }
+    return t;
+}
+
+void
+Protocol::resetStats()
+{
+    for (auto &s : stats)
+        s = ProtoStats();
+}
+
+} // namespace svm
+} // namespace cables

@@ -1,0 +1,269 @@
+/**
+ * @file
+ * GeNIMA-style home-based, page-level SVM protocol with release
+ * consistency (HLRC flavour).
+ *
+ * Every shared page has a *home* node holding the primary copy. Non-home
+ * nodes fetch the page on a read fault (direct remote fetch, no remote
+ * CPU), create a twin on a write fault, and at release time flush a diff
+ * (twin vs current contents) to the home with a direct remote write.
+ * Flushes append write notices to a global flush log; an acquiring node
+ * applies all notices up to the releaser's log position, invalidating
+ * stale copies.
+ *
+ * Simplification vs true per-interval vector timestamps: the log is a
+ * single global sequence, so acquires are slightly *eager* (see
+ * DESIGN.md §2); for barrier-synchronized applications the invalidation
+ * sets are identical.
+ */
+
+#ifndef CABLES_SVM_PROTOCOL_HH
+#define CABLES_SVM_PROTOCOL_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "svm/addr_space.hh"
+#include "vmmc/vmmc.hh"
+
+namespace cables {
+namespace svm {
+
+using net::NodeId;
+using net::InvalidNode;
+using sim::Tick;
+using sim::US;
+
+/** Protocol software costs. */
+struct ProtoParams
+{
+    /** OS trap + protocol entry on a page fault. */
+    Tick faultTrapCost = 8 * US;
+
+    /** Allocate and copy a twin page. */
+    Tick twinCost = 10 * US;
+
+    /** Scan one page against its twin and encode the diff. */
+    Tick diffScanCost = 12 * US;
+
+    /** Local bookkeeping when flushing a home-dirty page (no data). */
+    Tick homeFlushCost = 1 * US;
+
+    /** Per-write-notice processing at acquire time. */
+    Tick noticeApplyCost = 200; // 0.2 us
+
+    /** Bytes of a write notice on the wire. */
+    size_t noticeBytes = 8;
+
+    /** Diff message header bytes. */
+    size_t diffHeaderBytes = 32;
+
+    /**
+     * Home-migration policy threshold (an extension: the paper ships
+     * the migration *mechanism* but no policy). After this many
+     * consecutive remote uses (fetches or diff flushes) of a page by
+     * the same node, the page's home migrates there. 0 disables the
+     * policy — the paper's configuration.
+     */
+    int migrationThreshold = 0;
+};
+
+/** Per-node protocol event counters. */
+struct ProtoStats
+{
+    uint64_t readFaults = 0;
+    uint64_t writeFaults = 0;
+    uint64_t pagesFetched = 0;
+    uint64_t twinsCreated = 0;
+    uint64_t diffsFlushed = 0;
+    uint64_t diffBytes = 0;
+    uint64_t invalidations = 0;
+    uint64_t homeBindings = 0;
+    uint64_t migrations = 0;
+};
+
+/**
+ * The SVM protocol engine. One instance serves the whole cluster; state
+ * is segregated per node.
+ */
+class Protocol
+{
+  public:
+    /**
+     * Hook invoked on first touch of a page with no home; implemented by
+     * the memory-management layer (base SVM or CableS). It must bind the
+     * page (and possibly its whole granule/segment) via bindHome() and
+     * may charge simulated time, then return the chosen home.
+     */
+    using HomeBinder =
+        std::function<NodeId(NodeId toucher, PageId page, bool write)>;
+
+    Protocol(sim::Engine &engine, vmmc::Vmmc &comm, AddressSpace &mem,
+             int nodes, const ProtoParams &params);
+
+    const ProtoParams &params() const { return params_; }
+    int nodes() const { return numNodes; }
+    AddressSpace &space() { return mem; }
+
+    void setHomeBinder(HomeBinder b) { homeBinder = std::move(b); }
+
+    /**
+     * Hook invoked before every page fetch from a remote home; lets the
+     * memory-management layer account NIC region imports.
+     */
+    using FetchHook =
+        std::function<void(NodeId reader, NodeId home, PageId page)>;
+
+    void setFetchHook(FetchHook h) { fetchHook = std::move(h); }
+
+    /// @name Page table
+    /// @{
+
+    /** Home node of @p page (InvalidNode when unbound). */
+    NodeId
+    home(PageId page) const
+    {
+        return homes[page];
+    }
+
+    /** Bind @p page's primary copy to @p node (no time charged). */
+    void bindHome(PageId page, NodeId node);
+
+    /** Reset a page everywhere (after a free()); no time charged. */
+    void unbindPage(PageId page);
+
+    /**
+     * Move a page's home (the migration *mechanism*; CableS provides no
+     * policy, matching the paper). Charges fetch + bookkeeping time to
+     * the caller, who must run on @p new_home.
+     */
+    void migratePage(PageId page, NodeId new_home);
+
+    /// @}
+
+    /// @name Data access path
+    /// @{
+
+    /**
+     * Ensure node @p node may read (or write, if @p write) the byte
+     * range [addr, addr+len). Faults and charges time as needed; the
+     * fast path for valid pages is a couple of loads.
+     */
+    void
+    access(NodeId node, GAddr addr, size_t len, bool write)
+    {
+        PageId first = pageOf(addr);
+        PageId last = pageOf(addr + (len ? len - 1 : 0));
+        for (PageId p = first; p <= last; ++p) {
+            uint8_t s = state[index(node, p)];
+            if (write ? s >= StateDirty : s != StateInvalid)
+                continue;
+            fault(node, p, write);
+        }
+    }
+
+    /** True when @p node can access the page without faulting. */
+    bool
+    valid(NodeId node, PageId page, bool write) const
+    {
+        uint8_t s = state[index(node, page)];
+        return write ? s >= StateDirty : s != StateInvalid;
+    }
+
+    /// @}
+
+    /// @name Consistency operations
+    /// @{
+
+    /** Release: flush all dirty pages of @p node to their homes. */
+    void release(NodeId node);
+
+    /** Position of the global flush log (write-notice sequence). */
+    uint64_t flushSeq() const { return flushLog.size(); }
+
+    /** Write notices @p node has not applied yet. */
+    uint64_t
+    pendingNotices(NodeId node) const
+    {
+        return flushLog.size() - appliedSeq[node];
+    }
+
+    /**
+     * Acquire: apply write notices up to log position @p seq,
+     * invalidating stale copies on @p node.
+     */
+    void acquireUpTo(NodeId node, uint64_t seq);
+
+    /// @}
+
+    const ProtoStats &nodeStats(NodeId node) const { return stats[node]; }
+    ProtoStats totalStats() const;
+    void resetStats();
+
+  private:
+    // Page states (per node). Home nodes hold ReadShared/HomeDirty.
+    static constexpr uint8_t StateInvalid = 0;
+    static constexpr uint8_t StateReadShared = 1;
+    static constexpr uint8_t StateDirty = 2;     // non-home, twinned
+    static constexpr uint8_t StateHomeDirty = 3; // home, no twin
+
+    struct FlushRecord
+    {
+        PageId page;
+        uint32_t version;
+    };
+
+    size_t
+    index(NodeId node, PageId page) const
+    {
+        return static_cast<size_t>(node) * pageCount + page;
+    }
+
+    /** Slow path of access(). */
+    void fault(NodeId node, PageId page, bool write);
+
+    /** Migration policy: record a remote use, possibly migrating. */
+    void noteRemoteUse(NodeId node, PageId page);
+
+    /** Flush one dirty page of @p node; returns deposit time. */
+    Tick flushPage(NodeId node, PageId page);
+
+    /** Compute the diff size of a twinned page (word granularity). */
+    size_t diffSize(NodeId node, PageId page) const;
+
+    sim::Engine &engine;
+    vmmc::Vmmc &comm;
+    AddressSpace &mem;
+    ProtoParams params_;
+    int numNodes;
+    size_t pageCount;
+
+    HomeBinder homeBinder;
+    FetchHook fetchHook;
+
+    std::vector<int16_t> homes;           // per page
+    std::vector<uint32_t> versions;       // per page
+    std::vector<uint8_t> state;           // per node x page
+    std::vector<uint32_t> cachedVersion;  // per node x page
+
+    std::vector<std::vector<PageId>> dirtyList;  // per node
+    std::vector<std::unordered_map<PageId, std::unique_ptr<uint8_t[]>>>
+        twins;                                   // per node
+
+    std::vector<FlushRecord> flushLog;
+    std::vector<uint64_t> appliedSeq;     // per node
+
+    // Migration-policy state: last remote user and run length per page.
+    std::vector<int16_t> lastUser;
+    std::vector<uint8_t> useRun;
+
+    std::vector<ProtoStats> stats;        // per node
+};
+
+} // namespace svm
+} // namespace cables
+
+#endif // CABLES_SVM_PROTOCOL_HH

@@ -1,0 +1,214 @@
+#include "svm/sync.hh"
+
+#include <algorithm>
+
+namespace cables {
+namespace svm {
+
+LockTable::LockTable(sim::Engine &engine, net::Network &net,
+                     Protocol &proto, const SyncParams &params)
+    : engine(engine), net(net), proto(proto), params_(params)
+{}
+
+LockId
+LockTable::create(NodeId manager)
+{
+    Lock l;
+    l.manager = manager;
+    l.token = manager;
+    locks.push_back(l);
+    return static_cast<LockId>(locks.size()) - 1;
+}
+
+size_t
+LockTable::grantBytes(NodeId to) const
+{
+    return params_.requestBytes +
+           proto.pendingNotices(to) * proto.params().noticeBytes;
+}
+
+void
+LockTable::acquire(NodeId node, LockId id, AcquireInfo *info)
+{
+    engine.sync();
+    Lock &l = locks.at(id);
+    sim::ThreadId tid = engine.current()->id;
+
+    if (!l.held && l.token == node) {
+        // Token cached locally: the paper's "local mutex lock" path.
+        if (info)
+            info->path = AcquireInfo::LocalHit;
+        engine.advance(params_.localAcquireCost);
+        l.held = true;
+        l.holder = tid;
+        proto.acquireUpTo(node, l.releaseSeq);
+        return;
+    }
+
+    if (!l.held) {
+        if (info) {
+            info->path = AcquireInfo::RemoteFree;
+            info->forwarded = l.token != l.manager;
+        }
+        // Token free but remote: request via the manager, which forwards
+        // to the caching node; the grant returns directly to us.
+        Tick t0 = engine.now();
+        Tick t = net.notify(node, l.manager, params_.requestBytes, t0);
+        t += params_.managerProcCost;
+        if (l.token != l.manager) {
+            t = net.notify(l.manager, l.token, params_.requestBytes, t);
+            t += params_.holderProcCost;
+        }
+        t = net.notify(l.token, node, grantBytes(node), t);
+        engine.advance(std::max<Tick>(0, t - t0) + params_.grantProcCost);
+        l.token = node;
+        l.held = true;
+        l.holder = tid;
+        proto.acquireUpTo(node, l.releaseSeq);
+        return;
+    }
+
+    // Contended: queue at the manager and sleep; the releaser hands the
+    // token over and wakes us at grant-delivery time.
+    if (info)
+        info->path = AcquireInfo::Queued;
+    if (node != l.manager) {
+        Tick t0 = engine.now();
+        Tick t = net.notify(node, l.manager, params_.requestBytes, t0);
+        engine.advance(net.params().hostIssueCost);
+        (void)t;
+    } else {
+        engine.advance(params_.managerProcCost);
+    }
+    l.waiters.push_back(Waiter{node, tid});
+    engine.block("svm-lock");
+    // Woken as the new holder; token already moved by the releaser.
+    engine.advance(params_.grantProcCost);
+    proto.acquireUpTo(node, l.releaseSeq);
+}
+
+bool
+LockTable::tryAcquire(NodeId node, LockId id)
+{
+    engine.sync();
+    Lock &l = locks.at(id);
+    if (l.held)
+        return false;
+    if (l.token == node) {
+        engine.advance(params_.localAcquireCost);
+    } else {
+        Tick t0 = engine.now();
+        Tick t = net.notify(node, l.manager, params_.requestBytes, t0);
+        t += params_.managerProcCost;
+        if (l.token != l.manager) {
+            t = net.notify(l.manager, l.token, params_.requestBytes, t);
+            t += params_.holderProcCost;
+        }
+        t = net.notify(l.token, node, grantBytes(node), t);
+        engine.advance(std::max<Tick>(0, t - t0) + params_.grantProcCost);
+        l.token = node;
+    }
+    l.held = true;
+    l.holder = engine.current()->id;
+    proto.acquireUpTo(node, l.releaseSeq);
+    return true;
+}
+
+void
+LockTable::release(NodeId node, LockId id)
+{
+    // Release consistency: make our writes visible first.
+    proto.release(node);
+    engine.sync();
+    Lock &l = locks.at(id);
+    panic_if(!l.held, "releasing lock {} which is not held", id);
+    l.releaseSeq = proto.flushSeq();
+    engine.advance(params_.unlockCost);
+    l.held = false;
+    l.holder = sim::InvalidThreadId;
+
+    if (!l.waiters.empty()) {
+        Waiter w = l.waiters.front();
+        l.waiters.pop_front();
+        Tick t = engine.now() + params_.holderProcCost;
+        Tick delivery = net.notify(node, w.node, grantBytes(w.node), t);
+        l.token = w.node;
+        l.held = true;
+        l.holder = w.tid;
+        engine.wake(w.tid, delivery);
+    }
+}
+
+BarrierTable::BarrierTable(sim::Engine &engine, net::Network &net,
+                           Protocol &proto, const SyncParams &params)
+    : engine(engine), net(net), proto(proto), params_(params)
+{}
+
+BarrierId
+BarrierTable::create(NodeId manager)
+{
+    Barrier b;
+    b.manager = manager;
+    barriers.push_back(b);
+    return static_cast<BarrierId>(barriers.size()) - 1;
+}
+
+void
+BarrierTable::enter(NodeId node, BarrierId id, int count)
+{
+    panic_if(count <= 0, "barrier with non-positive count");
+    proto.release(node);
+    engine.sync();
+    engine.advance(params_.barrierEntryCost);
+    Barrier &b = barriers.at(id);
+    sim::ThreadId tid = engine.current()->id;
+
+    // Send the arrival message to the manager.
+    Tick arrival = engine.now();
+    if (node != b.manager) {
+        arrival = net.notify(node, b.manager, params_.requestBytes,
+                             engine.now());
+        engine.advance(net.params().hostIssueCost);
+    } else {
+        engine.advance(params_.barrierProcCost);
+        arrival = engine.now();
+    }
+    b.lastArrival = std::max(b.lastArrival, arrival);
+
+    if (++b.arrived < count) {
+        b.waiting.push_back(Waiter{node, tid});
+        engine.block("svm-barrier");
+        engine.advance(params_.barrierDepartCost);
+        proto.acquireUpTo(node, b.seqAtRelease);
+        return;
+    }
+
+    // Last arriver: the manager broadcasts departures carrying notices.
+    b.seqAtRelease = proto.flushSeq();
+    Tick t = b.lastArrival +
+             static_cast<Tick>(count) * params_.barrierProcCost;
+    Tick self_done = t;
+    for (const Waiter &w : b.waiting) {
+        size_t bytes = params_.requestBytes +
+                       proto.pendingNotices(w.node) *
+                           proto.params().noticeBytes;
+        Tick d = net.notify(b.manager, w.node, bytes, t);
+        engine.wake(w.tid, d);
+    }
+    if (node != b.manager) {
+        size_t bytes = params_.requestBytes +
+                       proto.pendingNotices(node) *
+                           proto.params().noticeBytes;
+        self_done = net.notify(b.manager, node, bytes, t);
+    }
+    if (self_done > engine.now())
+        engine.advance(self_done - engine.now());
+    engine.advance(params_.barrierDepartCost);
+    b.arrived = 0;
+    b.lastArrival = 0;
+    b.waiting.clear();
+    proto.acquireUpTo(node, b.seqAtRelease);
+}
+
+} // namespace svm
+} // namespace cables

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * SVM-level synchronization: system locks and the native GeNIMA barrier.
+ *
+ * Locks are token-based with a fixed manager node per lock. The token
+ * (lock ownership) caches at the last releasing node, so a re-acquire
+ * from the same node with no contention is a purely local operation —
+ * the paper's "local mutex lock" fast path. A remote acquire forwards
+ * request -> manager -> token holder -> grant; the grant message carries
+ * the requester's pending write notices (release consistency).
+ *
+ * The native barrier is centralized: arrivals flow to a manager node,
+ * which broadcasts departure messages carrying write notices.
+ */
+
+#ifndef CABLES_SVM_SYNC_HH
+#define CABLES_SVM_SYNC_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "svm/protocol.hh"
+
+namespace cables {
+namespace svm {
+
+/** Synchronization software costs. */
+struct SyncParams
+{
+    /** Local token-hit acquire cost. */
+    Tick localAcquireCost = 2 * US;
+
+    /** Request processing at the manager node. */
+    Tick managerProcCost = 15 * US;
+
+    /** Processing at the current token holder (forwarded request). */
+    Tick holderProcCost = 15 * US;
+
+    /** Requester-side processing of a received grant. */
+    Tick grantProcCost = 4 * US;
+
+    /** Local unlock bookkeeping. */
+    Tick unlockCost = 2 * US;
+
+    /** Barrier manager per-participant processing. */
+    Tick barrierProcCost = 5 * US;
+
+    /** Per-participant protocol work on barrier entry (timestamp
+     *  exchange, dirty-list scan even when clean). */
+    Tick barrierEntryCost = 12 * US;
+
+    /** Per-participant processing of the departure message. */
+    Tick barrierDepartCost = 8 * US;
+
+    /** Request / arrival message size on the wire. */
+    size_t requestBytes = 16;
+};
+
+using LockId = int32_t;
+using BarrierId = int32_t;
+
+/**
+ * Cluster-wide table of SVM locks.
+ */
+class LockTable
+{
+  public:
+    LockTable(sim::Engine &engine, net::Network &net, Protocol &proto,
+              const SyncParams &params);
+
+    /** How an acquire was satisfied (for cost attribution). */
+    struct AcquireInfo
+    {
+        enum Path { LocalHit, RemoteFree, Queued };
+        Path path = LocalHit;
+        bool forwarded = false; ///< manager forwarded to a token holder
+    };
+
+    /** Create a lock managed by @p manager. */
+    LockId create(NodeId manager);
+
+    /**
+     * Acquire lock @p id for the calling fiber running on @p node.
+     * Blocks (simulated) under contention; applies write notices.
+     */
+    void acquire(NodeId node, LockId id, AcquireInfo *info = nullptr);
+
+    /** Try-acquire without blocking. @return true on success. */
+    bool tryAcquire(NodeId node, LockId id);
+
+    /** Release lock @p id; flushes dirty pages first. */
+    void release(NodeId node, LockId id);
+
+    /** Node currently caching the token (diagnostics/tests). */
+    NodeId tokenNode(LockId id) const { return locks[id].token; }
+
+    /** True while some thread holds the lock. */
+    bool held(LockId id) const { return locks[id].held; }
+
+  private:
+    struct Waiter
+    {
+        NodeId node;
+        sim::ThreadId tid;
+    };
+
+    struct Lock
+    {
+        NodeId manager = InvalidNode;
+        NodeId token = InvalidNode;
+        bool held = false;
+        sim::ThreadId holder = sim::InvalidThreadId;
+        uint64_t releaseSeq = 0;   ///< flush-log position at last release
+        std::deque<Waiter> waiters;
+    };
+
+    /** Grant-message size: request header plus pending write notices. */
+    size_t grantBytes(NodeId to) const;
+
+    sim::Engine &engine;
+    net::Network &net;
+    Protocol &proto;
+    SyncParams params_;
+    std::vector<Lock> locks;
+};
+
+/**
+ * Cluster-wide table of native (GeNIMA-style) barriers.
+ */
+class BarrierTable
+{
+  public:
+    BarrierTable(sim::Engine &engine, net::Network &net, Protocol &proto,
+                 const SyncParams &params);
+
+    /** Create a barrier managed by @p manager. */
+    BarrierId create(NodeId manager);
+
+    /**
+     * Enter the barrier; returns when @p count participants arrived.
+     * Performs release before waiting and acquire after departure.
+     */
+    void enter(NodeId node, BarrierId id, int count);
+
+  private:
+    struct Waiter
+    {
+        NodeId node;
+        sim::ThreadId tid;
+    };
+
+    struct Barrier
+    {
+        NodeId manager = InvalidNode;
+        int arrived = 0;
+        Tick lastArrival = 0;
+        uint64_t seqAtRelease = 0;
+        std::vector<Waiter> waiting;
+    };
+
+    sim::Engine &engine;
+    net::Network &net;
+    Protocol &proto;
+    SyncParams params_;
+    std::vector<Barrier> barriers;
+};
+
+} // namespace svm
+} // namespace cables
+
+#endif // CABLES_SVM_SYNC_HH

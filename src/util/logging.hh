@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Error-reporting and logging helpers, modelled on gem5's logging.hh.
+ *
+ * panic()  — an internal invariant was violated (a bug in this library);
+ *            aborts so a debugger/core dump can be taken.
+ * fatal()  — the *user* asked for something impossible (bad configuration,
+ *            resource limits); throws FatalError so callers and tests can
+ *            observe it.
+ * warn()/inform() — advisory messages on stderr.
+ */
+
+#ifndef CABLES_UTIL_LOGGING_HH
+#define CABLES_UTIL_LOGGING_HH
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace cables {
+
+/** Exception thrown by fatal(): a user-correctable error. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+namespace detail {
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Minimal "{}"-style message formatter. */
+inline void
+formatInto(std::ostringstream &os, const char *fmt)
+{
+    os << fmt;
+}
+
+template <typename T, typename... Args>
+void
+formatInto(std::ostringstream &os, const char *fmt, const T &v,
+           Args &&...rest)
+{
+    for (const char *p = fmt; *p; ++p) {
+        if (p[0] == '{' && p[1] == '}') {
+            os << v;
+            formatInto(os, p + 2, std::forward<Args>(rest)...);
+            return;
+        }
+        os << *p;
+    }
+}
+
+template <typename... Args>
+std::string
+format(const char *fmt, Args &&...args)
+{
+    std::ostringstream os;
+    formatInto(os, fmt, std::forward<Args>(args)...);
+    return os.str();
+}
+
+} // namespace detail
+
+/** Format a "{}"-style message into a std::string. */
+template <typename... Args>
+std::string
+csprintf(const char *fmt, Args &&...args)
+{
+    return detail::format(fmt, std::forward<Args>(args)...);
+}
+
+} // namespace cables
+
+#define panic(...) \
+    ::cables::detail::panicImpl(__FILE__, __LINE__, \
+                                ::cables::detail::format(__VA_ARGS__))
+
+#define fatal(...) \
+    ::cables::detail::fatalImpl(__FILE__, __LINE__, \
+                                ::cables::detail::format(__VA_ARGS__))
+
+#define panic_if(cond, ...) \
+    do { \
+        if (cond) \
+            panic(__VA_ARGS__); \
+    } while (0)
+
+#define fatal_if(cond, ...) \
+    do { \
+        if (cond) \
+            fatal(__VA_ARGS__); \
+    } while (0)
+
+#define warn(...) \
+    ::cables::detail::warnImpl(::cables::detail::format(__VA_ARGS__))
+
+#define inform(...) \
+    ::cables::detail::informImpl(::cables::detail::format(__VA_ARGS__))
+
+#endif // CABLES_UTIL_LOGGING_HH

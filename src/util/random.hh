@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator (xoshiro256**) used
+ * throughout the simulator and workloads. std::mt19937 is avoided so the
+ * numeric streams are identical across standard library versions, keeping
+ * runs bit-reproducible.
+ */
+
+#ifndef CABLES_UTIL_RANDOM_HH
+#define CABLES_UTIL_RANDOM_HH
+
+#include <cstdint>
+
+namespace cables {
+
+/** Deterministic 64-bit PRNG with a small, copyable state. */
+class Random
+{
+  public:
+    explicit Random(uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    {
+        // SplitMix64 seeding as recommended by the xoshiro authors.
+        uint64_t x = seed;
+        for (auto &w : state) {
+            x += 0x9e3779b97f4a7c15ULL;
+            uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            w = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        auto rotl = [](uint64_t v, int k) {
+            return (v << k) | (v >> (64 - k));
+        };
+        const uint64_t result = rotl(state[1] * 5, 7) * 9;
+        const uint64_t t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t
+    range(int64_t lo, int64_t hi)
+    {
+        return lo + static_cast<int64_t>(below(hi - lo + 1));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    real()
+    {
+        return (next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+  private:
+    uint64_t state[4];
+};
+
+} // namespace cables
+
+#endif // CABLES_UTIL_RANDOM_HH

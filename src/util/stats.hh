@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Tiny statistics accumulators used by microbenchmarks and the protocol
+ * layers (mean / min / max / count over samples).
+ */
+
+#ifndef CABLES_UTIL_STATS_HH
+#define CABLES_UTIL_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+namespace cables {
+
+/** Running scalar statistic: count, sum, min, max. */
+class Stat
+{
+  public:
+    /** Record one sample. */
+    void
+    sample(double v)
+    {
+        ++count_;
+        sum_ += v;
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+
+    uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /** Merge another accumulator into this one. */
+    void
+    merge(const Stat &o)
+    {
+        count_ += o.count_;
+        sum_ += o.sum_;
+        min_ = std::min(min_, o.min_);
+        max_ = std::max(max_, o.max_);
+    }
+
+    void
+    reset()
+    {
+        *this = Stat();
+    }
+
+  private:
+    uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+} // namespace cables
+
+#endif // CABLES_UTIL_STATS_HH

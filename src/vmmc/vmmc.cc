@@ -1,0 +1,207 @@
+#include "vmmc/vmmc.hh"
+
+#include <algorithm>
+
+namespace cables {
+namespace vmmc {
+
+Vmmc::Vmmc(sim::Engine &engine, net::Network &network,
+           const VmmcParams &params)
+    : engine(engine), network(network), params_(params),
+      usage_(network.nodes()), regions(network.nodes()),
+      handlers(network.nodes())
+{}
+
+void
+Vmmc::charge(Tick t)
+{
+    engine.sync();
+    engine.advance(t);
+}
+
+size_t
+Vmmc::pagesOf(size_t len) const
+{
+    return (len + params_.pageSize - 1) / params_.pageSize;
+}
+
+void
+Vmmc::checkLimits(NodeId node, size_t add_regions, size_t add_bytes,
+                  size_t add_pinned) const
+{
+    const NicUsage &u = usage_[node];
+    if (u.regions + add_regions > params_.maxRegionsPerNode) {
+        throw RegistrationError(csprintf(
+            "node {}: NIC region limit exceeded ({} + {} > {})", node,
+            u.regions, add_regions, params_.maxRegionsPerNode));
+    }
+    if (u.registeredBytes + add_bytes > params_.maxRegisteredBytes) {
+        throw RegistrationError(csprintf(
+            "node {}: NIC registered-memory limit exceeded "
+            "({} + {} > {})", node, u.registeredBytes, add_bytes,
+            params_.maxRegisteredBytes));
+    }
+    if (u.pinnedBytes + add_pinned > params_.maxPinnedBytes) {
+        throw RegistrationError(csprintf(
+            "node {}: OS pinned-memory limit exceeded ({} + {} > {})",
+            node, u.pinnedBytes, add_pinned, params_.maxPinnedBytes));
+    }
+}
+
+int
+Vmmc::exportRegionAccounted(NodeId node, size_t len)
+{
+    checkLimits(node, 1, len, len);
+    usage_[node].regions += 1;
+    usage_[node].registeredBytes += len;
+    usage_[node].pinnedBytes += len;
+    regions[node].push_back(Region{0, len, true});
+    return static_cast<int>(regions[node].size()) - 1;
+}
+
+void
+Vmmc::extendRegionAccounted(NodeId node, int region, size_t new_len)
+{
+    Region &r = regions[node].at(region);
+    panic_if(!r.live, "extending dead region {} on node {}", region, node);
+    if (new_len <= r.len)
+        return;
+    size_t add = new_len - r.len;
+    checkLimits(node, 0, add, add);
+    usage_[node].registeredBytes += add;
+    usage_[node].pinnedBytes += add;
+    r.len = new_len;
+}
+
+void
+Vmmc::accountExport(NodeId node, size_t len)
+{
+    checkLimits(node, 1, len, len);
+    usage_[node].regions += 1;
+    usage_[node].registeredBytes += len;
+    usage_[node].pinnedBytes += len;
+}
+
+void
+Vmmc::accountExtend(NodeId node, size_t add)
+{
+    checkLimits(node, 0, add, add);
+    usage_[node].registeredBytes += add;
+    usage_[node].pinnedBytes += add;
+}
+
+void
+Vmmc::importAccounted(NodeId importer)
+{
+    checkLimits(importer, 1, 0, 0);
+    usage_[importer].regions += 1;
+}
+
+int
+Vmmc::exportRegion(NodeId node, uint64_t base, size_t len)
+{
+    checkLimits(node, 1, len, len);
+    charge(params_.registerBase + params_.registerPerPage * pagesOf(len));
+    usage_[node].regions += 1;
+    usage_[node].registeredBytes += len;
+    usage_[node].pinnedBytes += len;
+    regions[node].push_back(Region{base, len, true});
+    return static_cast<int>(regions[node].size()) - 1;
+}
+
+void
+Vmmc::unexportRegion(NodeId node, int region)
+{
+    Region &r = regions[node].at(region);
+    panic_if(!r.live, "unexporting dead region {} on node {}", region,
+             node);
+    charge(params_.registerBase);
+    usage_[node].regions -= 1;
+    usage_[node].registeredBytes -= r.len;
+    usage_[node].pinnedBytes -= r.len;
+    r.live = false;
+}
+
+void
+Vmmc::extendRegion(NodeId node, int region, size_t new_len)
+{
+    Region &r = regions[node].at(region);
+    panic_if(!r.live, "extending dead region {} on node {}", region, node);
+    if (new_len <= r.len)
+        return;
+    size_t add = new_len - r.len;
+    checkLimits(node, 0, add, add);
+    charge(params_.registerBase + params_.registerPerPage * pagesOf(add));
+    usage_[node].registeredBytes += add;
+    usage_[node].pinnedBytes += add;
+    r.len = new_len;
+}
+
+void
+Vmmc::importRegion(NodeId importer, NodeId exporter, int region)
+{
+    const Region &r = regions[exporter].at(region);
+    panic_if(!r.live, "importing dead region {} of node {}", region,
+             exporter);
+    checkLimits(importer, 1, 0, 0);
+    charge(params_.importCost);
+    usage_[importer].regions += 1;
+}
+
+Tick
+Vmmc::write(NodeId src, NodeId dst, size_t bytes)
+{
+    engine.sync();
+    Tick start = engine.now();
+    Tick done = network.transfer(src, dst, bytes, start);
+    engine.advance(network.params().hostIssueCost);
+    return done;
+}
+
+void
+Vmmc::writeSync(NodeId src, NodeId dst, size_t bytes)
+{
+    engine.sync();
+    Tick start = engine.now();
+    Tick done = network.transfer(src, dst, bytes, start);
+    engine.advance(std::max(done - start,
+                            network.params().hostIssueCost));
+}
+
+void
+Vmmc::fetch(NodeId src, NodeId dst, size_t bytes)
+{
+    engine.sync();
+    Tick start = engine.now();
+    Tick done = network.fetch(src, dst, bytes, start);
+    engine.advance(done - start);
+}
+
+int
+Vmmc::installHandler(NodeId node, Handler fn)
+{
+    handlers[node].push_back(std::move(fn));
+    return static_cast<int>(handlers[node].size()) - 1;
+}
+
+Tick
+Vmmc::notifyLatency(NodeId src, NodeId dst, size_t bytes, Tick start)
+{
+    return network.notify(src, dst, bytes, start);
+}
+
+void
+Vmmc::notify(NodeId src, NodeId dst, int handler, uint64_t arg,
+             size_t bytes)
+{
+    engine.sync();
+    Tick start = engine.now();
+    Tick dispatch = network.notify(src, dst, bytes, start);
+    engine.advance(network.params().hostIssueCost);
+    Handler &fn = handlers[dst].at(handler);
+    engine.schedule(dispatch + params_.handlerCpuCost,
+                    [&fn, src, arg]() { fn(src, arg); });
+}
+
+} // namespace vmmc
+} // namespace cables

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * VMMC — Virtual Memory Mapped Communication.
+ *
+ * A user-level communication layer in the style of VMMC-2 over Myrinet:
+ * nodes export memory regions (registering them with the NIC and pinning
+ * the pages), other nodes import them and then perform direct remote
+ * writes and fetches with no remote CPU involvement, or send
+ * notifications that invoke a handler on the remote host.
+ *
+ * The NIC resource limits the paper discusses are enforced here:
+ *   - number of regions registered per NIC (export + import entries),
+ *   - total bytes registered per NIC,
+ *   - total bytes pinned per node (an OS limit).
+ * Exceeding a limit throws RegistrationError, which the base SVM backend
+ * surfaces as "application cannot run" (the paper's OCEAN-at-32 story).
+ */
+
+#ifndef CABLES_VMMC_VMMC_HH
+#define CABLES_VMMC_VMMC_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/network.hh"
+#include "sim/engine.hh"
+#include "util/logging.hh"
+
+namespace cables {
+namespace vmmc {
+
+using net::NodeId;
+using sim::Tick;
+using sim::US;
+using sim::MS;
+
+/** Thrown when NIC/OS registration resources are exhausted. */
+class RegistrationError : public FatalError
+{
+  public:
+    explicit RegistrationError(const std::string &what)
+        : FatalError(what)
+    {}
+};
+
+/** NIC / driver resource limits and software costs. */
+struct VmmcParams
+{
+    /**
+     * Max regions (export + import entries) per NIC. Real SANs allow "a
+     * few thousand"; the default here is scaled with the benchmark
+     * problem sizes so the paper's OCEAN-at-32-processors behaviour is
+     * preserved (see EXPERIMENTS.md).
+     */
+    size_t maxRegionsPerNode = 512;
+
+    /** Max bytes registered per NIC ("a few hundred MBytes"). */
+    size_t maxRegisteredBytes = 256ull * 1024 * 1024;
+
+    /** Max bytes pinned per node (OS limit). */
+    size_t maxPinnedBytes = 224ull * 1024 * 1024;
+
+    /** Fixed software cost of one registration operation. */
+    Tick registerBase = 20 * US;
+
+    /** Per-page cost of pinning + NIC translation-table update. */
+    Tick registerPerPage = 2 * US;
+
+    /** Cost of importing a remote region (handshake bookkeeping). */
+    Tick importCost = 30 * US;
+
+    /** CPU time consumed by a notification handler dispatch. */
+    Tick handlerCpuCost = 3 * US;
+
+    /** Page size used for registration accounting. */
+    size_t pageSize = 4096;
+};
+
+/** Per-NIC registration statistics. */
+struct NicUsage
+{
+    size_t regions = 0;
+    size_t registeredBytes = 0;
+    size_t pinnedBytes = 0;
+};
+
+/**
+ * The cluster-wide VMMC instance. Holds per-node NIC state; all blocking
+ * calls must be made from within a simulated thread and charge simulated
+ * time according to the network model.
+ */
+class Vmmc
+{
+  public:
+    /** Notification handler: invoked on the destination node. */
+    using Handler = std::function<void(NodeId from, uint64_t arg)>;
+
+    Vmmc(sim::Engine &engine, net::Network &network,
+         const VmmcParams &params);
+
+    const VmmcParams &params() const { return params_; }
+    int nodes() const { return network.nodes(); }
+
+    /// @name Registration (charges simulated time to the caller)
+    /// @{
+
+    /**
+     * Export (register + pin) a region of @p len bytes on @p node.
+     * @return region handle.
+     * @throw RegistrationError when a NIC or pin limit would be exceeded.
+     */
+    int exportRegion(NodeId node, uint64_t base, size_t len);
+
+    /** Release an exported region and its NIC/pin resources. */
+    void unexportRegion(NodeId node, int region);
+
+    /**
+     * Grow an exported region in place (the CableS home-region extension
+     * path); charges registration cost only for the added pages.
+     */
+    void extendRegion(NodeId node, int region, size_t new_len);
+
+    /**
+     * Import @p exporter's region on @p importer, consuming an import
+     * entry on the importer's NIC.
+     */
+    void importRegion(NodeId importer, NodeId exporter, int region);
+
+    const NicUsage &usage(NodeId node) const { return usage_[node]; }
+
+    /// @name Accounting-only registration
+    ///
+    /// Variants that update NIC resource usage and enforce limits but do
+    /// not charge simulated time — for callers that attribute the cost
+    /// themselves (the CableS cost-category accounting) or that model
+    /// work done off the critical path.
+    /// @{
+
+    /** Software cost of exporting a region of @p len bytes. */
+    Tick
+    exportRegionCost(size_t len) const
+    {
+        return params_.registerBase +
+               params_.registerPerPage * pagesOf(len);
+    }
+
+    /** Software cost of extending a region by @p add bytes. */
+    Tick
+    extendCost(size_t add) const
+    {
+        return params_.registerBase +
+               params_.registerPerPage * pagesOf(add);
+    }
+
+    /** exportRegion() without the time charge. */
+    int exportRegionAccounted(NodeId node, size_t len);
+
+    /** extendRegion() without the time charge. */
+    void extendRegionAccounted(NodeId node, int region, size_t new_len);
+
+    /** Account an anonymous export (region tracked by the caller). */
+    void accountExport(NodeId node, size_t len);
+
+    /** Account growth of a caller-tracked exported region. */
+    void accountExtend(NodeId node, size_t add);
+
+    /** Account an import entry on @p importer's NIC. */
+    void importAccounted(NodeId importer);
+
+    /// @}
+
+    /// @name Data movement (blocking, called from fibers)
+    /// @{
+
+    /**
+     * Direct remote write of @p bytes into @p dst's exported memory.
+     * Sender-synchronous up to local issue; wire time overlaps.
+     * @return deposit completion time at the destination.
+     */
+    Tick write(NodeId src, NodeId dst, size_t bytes);
+
+    /** As write(), but the caller also waits for the deposit. */
+    void writeSync(NodeId src, NodeId dst, size_t bytes);
+
+    /** Direct remote fetch; the caller blocks for the round trip. */
+    void fetch(NodeId src, NodeId dst, size_t bytes);
+
+    /// @}
+
+    /// @name Notifications
+    /// @{
+
+    /** Install a handler on @p node; returns the handler id. */
+    int installHandler(NodeId node, Handler fn);
+
+    /**
+     * Asynchronously invoke handler @p handler on @p dst with @p arg.
+     * The caller pays only the local issue cost; the handler runs as a
+     * simulation event at the notification dispatch time.
+     */
+    void notify(NodeId src, NodeId dst, int handler, uint64_t arg,
+                size_t bytes = 64);
+
+    /** Dispatch time of a notification, without side effects. */
+    Tick notifyLatency(NodeId src, NodeId dst, size_t bytes, Tick start);
+
+    /// @}
+
+  private:
+    struct Region
+    {
+        uint64_t base = 0;
+        size_t len = 0;
+        bool live = false;
+    };
+
+    /** Charge the calling fiber @p t of simulated time. */
+    void charge(Tick t);
+
+    size_t pagesOf(size_t len) const;
+    void checkLimits(NodeId node, size_t add_regions, size_t add_bytes,
+                     size_t add_pinned) const;
+
+    sim::Engine &engine;
+    net::Network &network;
+    VmmcParams params_;
+    std::vector<NicUsage> usage_;
+    std::vector<std::vector<Region>> regions;   // per exporter node
+    std::vector<std::vector<Handler>> handlers; // per node
+};
+
+} // namespace vmmc
+} // namespace cables
+
+#endif // CABLES_VMMC_VMMC_HH

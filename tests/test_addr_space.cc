@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Global address space allocator tests: first fit, alignment,
+ * coalescing, exhaustion, host mapping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "svm/addr_space.hh"
+#include "util/logging.hh"
+
+using namespace cables;
+using namespace cables::svm;
+
+TEST(AddressSpace, AllocatesAlignedBlocks)
+{
+    AddressSpace as(1 << 20);
+    GAddr a = as.alloc(100, 64);
+    GAddr b = as.alloc(100, 64);
+    EXPECT_NE(a, GNull);
+    EXPECT_NE(b, GNull);
+    EXPECT_EQ(a % 64, 0u);
+    EXPECT_EQ(b % 64, 0u);
+    EXPECT_NE(a, b);
+}
+
+TEST(AddressSpace, HostPointersAreStableAndDistinct)
+{
+    AddressSpace as(1 << 20);
+    GAddr a = as.alloc(4096);
+    GAddr b = as.alloc(4096);
+    uint8_t *pa = as.host(a);
+    uint8_t *pb = as.host(b);
+    EXPECT_NE(pa, pb);
+    pa[0] = 0xaa;
+    pb[0] = 0xbb;
+    EXPECT_EQ(as.host(a)[0], 0xaa);
+    EXPECT_EQ(as.host(b)[0], 0xbb);
+}
+
+TEST(AddressSpace, MemoryIsZeroInitialized)
+{
+    AddressSpace as(1 << 20);
+    GAddr a = as.alloc(4096);
+    for (int i = 0; i < 4096; i += 97)
+        EXPECT_EQ(as.host(a)[i], 0);
+}
+
+TEST(AddressSpace, ExhaustionReturnsNull)
+{
+    AddressSpace as(64 * 1024);
+    GAddr a = as.alloc(60 * 1024);
+    EXPECT_NE(a, GNull);
+    EXPECT_EQ(as.alloc(16 * 1024), GNull);
+}
+
+TEST(AddressSpace, FreeMakesSpaceReusable)
+{
+    AddressSpace as(64 * 1024);
+    GAddr a = as.alloc(60 * 1024, 8);
+    as.free(a, 60 * 1024);
+    GAddr b = as.alloc(60 * 1024, 8);
+    EXPECT_NE(b, GNull);
+}
+
+TEST(AddressSpace, CoalescesAdjacentFreeBlocks)
+{
+    AddressSpace as(64 * 1024);
+    GAddr a = as.alloc(16 * 1024, 8);
+    GAddr b = as.alloc(16 * 1024, 8);
+    GAddr c = as.alloc(16 * 1024, 8);
+    (void)c;
+    as.free(a, 16 * 1024);
+    as.free(b, 16 * 1024);
+    // A 32K block must now exist (a+b coalesced).
+    GAddr d = as.alloc(32 * 1024, 8);
+    EXPECT_NE(d, GNull);
+}
+
+TEST(AddressSpace, UsedTracksLiveBytes)
+{
+    AddressSpace as(1 << 20);
+    size_t before = as.used();
+    GAddr a = as.alloc(8 * 1024, 8);
+    EXPECT_EQ(as.used(), before + 8 * 1024);
+    as.free(a, 8 * 1024);
+    EXPECT_EQ(as.used(), before);
+}
+
+TEST(AddressSpace, PageHelpers)
+{
+    EXPECT_EQ(pageOf(0), 0u);
+    EXPECT_EQ(pageOf(4095), 0u);
+    EXPECT_EQ(pageOf(4096), 1u);
+    EXPECT_EQ(pageBase(3), 3u * 4096);
+}
+
+TEST(AddressSpace, OutOfRangeHostAccessPanics)
+{
+    AddressSpace as(64 * 1024);
+    EXPECT_DEATH(as.host(1 << 20), "out of range");
+}

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Cost-model invariants, mostly as parameterized sweeps: the paper's
+ * qualitative statements about how costs scale (attach grows with
+ * cluster size, broadcast with waiters, grants with pending notices,
+ * barrier with participants) must hold across configurations, not just
+ * at the calibrated points.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cables/memory.hh"
+#include "cables/runtime.hh"
+#include "cables/shared.hh"
+#include "test_util.hh"
+
+using namespace cables;
+using namespace cables::cs;
+using sim::Tick;
+using sim::US;
+using sim::MS;
+
+namespace {
+
+ClusterConfig
+cfgOf(int nodes)
+{
+    ClusterConfig cfg;
+    cfg.backend = Backend::CableS;
+    cfg.nodes = nodes;
+    cfg.procsPerNode = 2;
+    cfg.maxThreadsPerNode = 2;
+    cfg.sharedBytes = 16 * 1024 * 1024;
+    return cfg;
+}
+
+/** Cost of the k-th node attach in an n-node cluster. */
+Tick
+attachCost(int nodes, int k)
+{
+    Runtime rt(cfgOf(nodes));
+    Tick cost = 0;
+    rt.run([&]() {
+        std::vector<int> tids;
+        // Fill master, then attach k nodes; measure the k-th.
+        tids.push_back(rt.threadCreate([&]() { rt.compute(900000 * MS); }));
+        for (int i = 0; i < k; ++i) {
+            Tick t0 = rt.now();
+            tids.push_back(rt.threadCreate(
+                [&]() { rt.compute(900000 * MS); }));
+            tids.push_back(rt.threadCreate(
+                [&]() { rt.compute(900000 * MS); }));
+            cost = rt.now() - t0;
+        }
+        for (int t : tids)
+            rt.join(t);
+    });
+    return cost;
+}
+
+} // namespace
+
+TEST(CostModel, AttachCostGrowsWithAttachedNodes)
+{
+    // The paper: "this time will increase as more nodes are introduced
+    // since more import/export links need to be established."
+    Tick first = attachCost(8, 1);
+    Tick fourth = attachCost(8, 4);
+    EXPECT_GT(fourth, first);
+    EXPECT_NEAR(sim::toMs(first), 3690.0, 400.0);
+}
+
+class BarrierScale : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(BarrierScale, CostGrowsWithParticipants)
+{
+    const int np = GetParam();
+    test::MiniCluster c(np);
+    svm::BarrierId b = c.barriers.create(0);
+    std::vector<Tick> cost(np, 0);
+    for (int n = 0; n < np; ++n) {
+        c.spawn("t", [&, n]() {
+            Tick t0 = c.engine.now();
+            c.barriers.enter(n, b, np);
+            cost[n] = c.engine.now() - t0;
+        });
+    }
+    c.run();
+    Tick worst = *std::max_element(cost.begin(), cost.end());
+    // Linear-ish in participants.
+    EXPECT_GT(worst, Tick(np) * 8 * US);
+    EXPECT_LT(worst, Tick(np) * 100 * US + 100 * US);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BarrierScale,
+                         ::testing::Values(2, 4, 8, 16));
+
+TEST(CostModel, GrantCarriesNoticesAndGrowsWithThem)
+{
+    // A lock grant's message carries the requester's pending write
+    // notices; more dirty history => a measurably longer acquire.
+    auto acquire_after = [&](int flushed_pages) {
+        test::MiniCluster c(2, 16 * 1024 * 1024);
+        svm::LockId l = c.locks.create(0);
+        svm::GAddr a = c.space.alloc(512 * 4096);
+        Tick cost = 0;
+        c.spawn("t", [&]() {
+            for (int i = 0; i < flushed_pages; ++i) {
+                c.proto.access(0, a + size_t(i) * 4096, 8, true);
+            }
+            c.proto.release(0);
+            c.locks.acquire(0, l);
+            c.locks.release(0, l);
+            // Node 1 acquires: grant carries all pending notices.
+            Tick t0 = c.engine.now();
+            c.locks.acquire(1, l);
+            cost = c.engine.now() - t0;
+            c.locks.release(1, l);
+        });
+        c.run();
+        return cost;
+    };
+    Tick small = acquire_after(4);
+    Tick large = acquire_after(400);
+    EXPECT_GT(large, small + 10 * US);
+}
+
+TEST(CostModel, BroadcastScalesWithWaiters)
+{
+    auto bcast_cost = [&](int waiters) {
+        ClusterConfig cfg = cfgOf(8);
+        cfg.maxThreadsPerNode = 1; // each waiter on its own node
+        Runtime rt(cfg);
+        Tick cost = 0;
+        rt.run([&]() {
+            int m = rt.mutexCreate();
+            int cv = rt.condCreate();
+            std::vector<int> tids;
+            for (int i = 0; i < waiters; ++i) {
+                tids.push_back(rt.threadCreate([&]() {
+                    rt.mutexLock(m);
+                    rt.condWait(cv, m);
+                    rt.mutexUnlock(m);
+                }));
+            }
+            rt.compute(60000 * MS); // everyone is asleep by now
+            CostBreakdown b =
+                rt.measure([&]() { rt.condBroadcast(cv); });
+            cost = b.total;
+            for (int t : tids)
+                rt.join(t);
+        });
+        return cost;
+    };
+    Tick one = bcast_cost(1);
+    Tick five = bcast_cost(5);
+    // "The current implementation of condition broadcast depends on
+    // the number of nodes waiting on the condition."
+    EXPECT_GT(five, one);
+}
+
+TEST(CostModel, RemoteFetchScalesWithContentionAtHome)
+{
+    // Many nodes fetching from one home serialize at its NIC.
+    auto last_fetch_done = [&](int readers) {
+        test::MiniCluster c(readers + 1, 16 * 1024 * 1024);
+        svm::GAddr a = c.space.alloc(64 * 4096);
+        c.spawn("home", [&]() { c.proto.access(0, a, 64 * 4096, true);
+                                c.proto.release(0); });
+        for (int r = 1; r <= readers; ++r) {
+            c.spawn("rd", [&, r]() {
+                c.engine.advance(10 * MS);
+                c.proto.access(r, a, 64 * 4096, false);
+            });
+        }
+        c.run();
+        return c.engine.maxTime();
+    };
+    Tick two = last_fetch_done(2);
+    Tick eight = last_fetch_done(8);
+    EXPECT_GT(eight, two);
+}
+
+TEST(CostModel, FlopCostConfigurable)
+{
+    for (Tick ns_per_flop : {Tick(10), Tick(25), Tick(100)}) {
+        ClusterConfig cfg = cfgOf(2);
+        cfg.nsPerFlop = ns_per_flop;
+        Runtime rt(cfg);
+        Tick elapsed = 0;
+        rt.run([&]() {
+            Tick t0 = rt.now();
+            rt.computeFlops(1000);
+            elapsed = rt.now() - t0;
+        });
+        EXPECT_EQ(elapsed, 1000 * ns_per_flop);
+    }
+}
+
+class NetScale : public ::testing::TestWithParam<size_t>
+{};
+
+TEST_P(NetScale, TransferLatencyMonotoneInSize)
+{
+    size_t bytes = GetParam();
+    net::Network n1(2, net::NetParams{});
+    net::Network n2(2, net::NetParams{});
+    Tick small = n1.transfer(0, 1, bytes, 0);
+    Tick larger = n2.transfer(0, 1, bytes * 2, 0);
+    EXPECT_GT(larger, small);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, NetScale,
+                         ::testing::Values(size_t(64), size_t(1024),
+                                           size_t(4096),
+                                           size_t(64 * 1024)));
+
+TEST(CostModel, SpinLimitZeroAlwaysPaysEventPath)
+{
+    // Compare the *charged OS overhead* of the wait directly: with a
+    // generous spin limit a short wait never touches the OS event
+    // path; with limit 0 it always pays wait + wake latency.
+    auto os_overhead = [&](Tick spin_limit) {
+        ClusterConfig cfg = cfgOf(2);
+        cfg.costs.spinLimit = spin_limit;
+        Runtime rt(cfg);
+        Tick os_part = -1;
+        rt.run([&]() {
+            int m = rt.mutexCreate();
+            int cv = rt.condCreate();
+            int t = rt.threadCreate([&]() {
+                rt.mutexLock(m);
+                CostBreakdown b =
+                    rt.measure([&]() { rt.condWait(cv, m); });
+                os_part = b.get(CostKind::LocalOs);
+                rt.mutexUnlock(m);
+            });
+            rt.compute(100 * US); // signal within any spin window
+            rt.mutexLock(m);
+            rt.condSignal(cv);
+            rt.mutexUnlock(m);
+            rt.join(t);
+        });
+        return os_part;
+    };
+    ClusterConfig ref = cfgOf(2);
+    Tick event_path = ref.os.eventWaitCost + ref.os.eventWakeLatency;
+    EXPECT_EQ(os_overhead(1 * MS), 0);
+    EXPECT_EQ(os_overhead(0), event_path);
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Determinism tests: identical configurations must produce bit-identical
+ * simulated times and event counts across repeated runs — the property
+ * the whole measurement methodology rests on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/pthread_apps.hh"
+#include "apps/splash.hh"
+
+using namespace cables;
+using namespace cables::apps;
+using cs::Backend;
+
+namespace {
+
+struct Fingerprint
+{
+    sim::Tick total;
+    sim::Tick parallel;
+    double checksum;
+    uint64_t faults;
+    uint64_t messages;
+
+    bool
+    operator==(const Fingerprint &o) const
+    {
+        return total == o.total && parallel == o.parallel &&
+               checksum == o.checksum && faults == o.faults &&
+               messages == o.messages;
+    }
+};
+
+Fingerprint
+fingerprintSplash(const std::string &name, Backend b, int procs)
+{
+    ClusterConfig cfg = splashConfig(b, procs);
+    AppOut out;
+    RunResult r = runProgram(cfg, [&](Runtime &rt, RunResult &res) {
+        m4::M4Env env(rt);
+        for (const auto &e : splashSuite()) {
+            if (e.name == name) {
+                e.run(env, procs, out);
+                break;
+            }
+        }
+        res.valid = out.valid;
+    });
+    EXPECT_TRUE(out.valid);
+    return Fingerprint{r.total, out.parallel, out.checksum,
+                       r.proto.readFaults + r.proto.writeFaults,
+                       r.messages};
+}
+
+} // namespace
+
+TEST(Determinism, RadixIdenticalAcrossRuns)
+{
+    auto a = fingerprintSplash("RADIX", Backend::CableS, 4);
+    auto b = fingerprintSplash("RADIX", Backend::CableS, 4);
+    EXPECT_TRUE(a == b);
+}
+
+TEST(Determinism, OceanIdenticalAcrossRunsBothBackends)
+{
+    for (Backend bk : {Backend::BaseSvm, Backend::CableS}) {
+        auto a = fingerprintSplash("OCEAN", bk, 8);
+        auto b = fingerprintSplash("OCEAN", bk, 8);
+        EXPECT_TRUE(a == b);
+    }
+}
+
+TEST(Determinism, PnIdenticalAcrossRuns)
+{
+    auto run_once = [&]() {
+        AppOut out;
+        PnParams p;
+        p.limit = 20000;
+        RunResult r = runProgram(splashConfig(Backend::CableS, 8),
+                                 [&](Runtime &rt, RunResult &res) {
+                                     runPn(rt, p, out);
+                                     res.valid = out.valid;
+                                 });
+        EXPECT_TRUE(out.valid);
+        return std::pair<sim::Tick, uint64_t>(r.total, r.messages);
+    };
+    EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Determinism, DifferentProcCountsDifferButVerify)
+{
+    auto a = fingerprintSplash("FFT", Backend::BaseSvm, 2);
+    auto b = fingerprintSplash("FFT", Backend::BaseSvm, 8);
+    EXPECT_NE(a.total, b.total);
+    EXPECT_NEAR(a.checksum, b.checksum, 1e-9);
+}

@@ -1,0 +1,318 @@
+/**
+ * @file
+ * Tests for the CableS extensions: thread pooling (reuse instead of
+ * create/attach), overlapped node pre-attach, the home-migration
+ * policy, and the remaining pthreads API surface (rwlock, once).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cables/extensions.hh"
+#include "cables/memory.hh"
+#include "cables/shared.hh"
+
+using namespace cables;
+using namespace cables::cs;
+using sim::Tick;
+using sim::US;
+using sim::MS;
+
+namespace {
+
+ClusterConfig
+extCluster(int nodes = 8)
+{
+    ClusterConfig cfg;
+    cfg.backend = Backend::CableS;
+    cfg.nodes = nodes;
+    cfg.procsPerNode = 2;
+    cfg.maxThreadsPerNode = 2;
+    cfg.sharedBytes = 32 * 1024 * 1024;
+    return cfg;
+}
+
+} // namespace
+
+TEST(ThreadPool, ExecutesAllTasks)
+{
+    Runtime rt(extCluster());
+    int64_t total = 0;
+    rt.run([&]() {
+        auto acc = GArray<int64_t>::alloc(rt, 1);
+        acc.write(0, 0);
+        int m = rt.mutexCreate();
+        {
+            ThreadPool pool(rt, 4);
+            for (int i = 0; i < 20; ++i) {
+                pool.submit([&, i]() {
+                    rt.compute(1 * MS);
+                    rt.mutexLock(m);
+                    acc[0] += i;
+                    rt.mutexUnlock(m);
+                });
+            }
+            pool.drain();
+        }
+        total = acc.read(0);
+    });
+    EXPECT_EQ(total, 190); // sum 0..19
+}
+
+TEST(ThreadPool, ReuseIsCheaperThanCreate)
+{
+    // The paper: "the pthread_create times show ... the potential for
+    // pooling threads on nodes to save time."
+    Runtime rt(extCluster());
+    Tick create_cost = 0, dispatch_cost = 0;
+    rt.run([&]() {
+        ThreadPool pool(rt, 4); // pays creates + attaches up front
+        // Warm dispatch path.
+        pool.wait(pool.submit([]() {}));
+        Tick t0 = rt.now();
+        pool.wait(pool.submit([]() {}));
+        dispatch_cost = rt.now() - t0;
+
+        t0 = rt.now();
+        int t = rt.threadCreate([]() {});
+        create_cost = rt.now() - t0;
+        rt.join(t);
+    });
+    // A pooled dispatch round trip beats even a local create (766 us).
+    EXPECT_LT(dispatch_cost, create_cost);
+}
+
+TEST(ThreadPool, WaitBlocksForSpecificTicket)
+{
+    Runtime rt(extCluster());
+    bool done_when_waited = false;
+    rt.run([&]() {
+        ThreadPool pool(rt, 2);
+        auto flag = GArray<int64_t>::alloc(rt, 1);
+        flag.write(0, 0);
+        int t = pool.submit([&]() {
+            rt.compute(50 * MS);
+            flag.write(0, 1);
+        });
+        pool.wait(t);
+        done_when_waited = flag.read(0) == 1;
+    });
+    EXPECT_TRUE(done_when_waited);
+}
+
+TEST(PreAttach, OverlapsAttachSequences)
+{
+    // Two serial attaches cost ~2 x 3.7 s; two overlapped ones finish
+    // in little more than one.
+    Tick serial = 0, overlapped = 0;
+    {
+        Runtime rt(extCluster());
+        rt.run([&]() {
+            Tick t0 = rt.now();
+            std::vector<int> tids;
+            for (int i = 0; i < 5; ++i) {
+                tids.push_back(
+                    rt.threadCreate([&]() { rt.compute(60000 * MS); }));
+            }
+            serial = rt.now() - t0;
+            for (int t : tids)
+                rt.join(t);
+        });
+        EXPECT_EQ(rt.attachCount(), 2);
+    }
+    {
+        Runtime rt(extCluster());
+        rt.run([&]() {
+            EXPECT_EQ(preAttach(rt, 2), 2);
+            Tick t0 = rt.now();
+            std::vector<int> tids;
+            for (int i = 0; i < 5; ++i) {
+                tids.push_back(
+                    rt.threadCreate([&]() { rt.compute(60000 * MS); }));
+            }
+            overlapped = rt.now() - t0;
+            for (int t : tids)
+                rt.join(t);
+        });
+        EXPECT_EQ(rt.attachCount(), 2);
+    }
+    EXPECT_GT(serial, Tick(7000 * MS));
+    EXPECT_LT(overlapped, serial / 3 * 2);
+}
+
+TEST(PreAttach, CreatorWaitsForInFlightAttachInsteadOfStartingOne)
+{
+    Runtime rt(extCluster());
+    rt.run([&]() {
+        preAttach(rt, 1);
+        // Fill node 0; the next create must wait for the pre-attach,
+        // not begin a second one.
+        int f = rt.threadCreate([&]() { rt.compute(60000 * MS); });
+        int t = rt.threadCreate([&]() {});
+        rt.join(t);
+        EXPECT_EQ(rt.attachCount(), 1);
+        rt.join(f);
+    });
+}
+
+TEST(Migration, PolicyMovesHomeToRepeatedUser)
+{
+    ClusterConfig cfg = extCluster();
+    cfg.maxThreadsPerNode = 1;
+    cfg.proto.migrationThreshold = 3;
+    Runtime rt(cfg);
+    rt.run([&]() {
+        GAddr a = rt.malloc(4096);
+        rt.write<int64_t>(a, 1); // homed on master
+        PageId p = svm::pageOf(a);
+        EXPECT_EQ(rt.protocol().home(p), 0);
+        int bar = rt.barrierCreate();
+        int t = rt.threadCreate([&]() {
+            // Repeatedly write + release from the remote node: each
+            // round flushes a diff to the master-homed page.
+            for (int i = 0; i < 6; ++i) {
+                rt.write<int64_t>(a, i);
+                rt.protocol().release(rt.selfNode());
+            }
+            rt.barrier(bar, 2);
+        });
+        rt.barrier(bar, 2);
+        rt.join(t);
+        EXPECT_NE(rt.protocol().home(p), 0);
+        EXPECT_GT(rt.protocol().totalStats().migrations, 0u);
+    });
+}
+
+TEST(Migration, DisabledByDefault)
+{
+    ClusterConfig cfg = extCluster();
+    cfg.maxThreadsPerNode = 1;
+    Runtime rt(cfg);
+    rt.run([&]() {
+        GAddr a = rt.malloc(4096);
+        rt.write<int64_t>(a, 1);
+        int t = rt.threadCreate([&]() {
+            for (int i = 0; i < 10; ++i) {
+                rt.write<int64_t>(a, i);
+                rt.protocol().release(rt.selfNode());
+            }
+        });
+        rt.join(t);
+        EXPECT_EQ(rt.protocol().home(svm::pageOf(a)), 0);
+        EXPECT_EQ(rt.protocol().totalStats().migrations, 0u);
+    });
+}
+
+TEST(RwLock, ManyConcurrentReaders)
+{
+    Runtime rt(extCluster());
+    int max_concurrent = 0;
+    rt.run([&]() {
+        RwLock rw(rt);
+        auto conc = GArray<int64_t>::alloc(rt, 2); // current, max
+        conc.write(0, 0);
+        conc.write(1, 0);
+        int cm = rt.mutexCreate();
+        auto reader = [&]() {
+            rw.rdLock();
+            rt.mutexLock(cm);
+            int64_t cur = conc.read(0) + 1;
+            conc.write(0, cur);
+            if (cur > conc.read(1))
+                conc.write(1, cur);
+            rt.mutexUnlock(cm);
+            rt.compute(20 * MS);
+            rt.mutexLock(cm);
+            conc.write(0, conc.read(0) - 1);
+            rt.mutexUnlock(cm);
+            rw.unlock();
+        };
+        std::vector<int> tids;
+        for (int i = 0; i < 4; ++i)
+            tids.push_back(rt.threadCreate(reader));
+        for (int t : tids)
+            rt.join(t);
+        max_concurrent = int(conc.read(1));
+    });
+    EXPECT_GT(max_concurrent, 1);
+}
+
+TEST(RwLock, WriterExcludesEveryone)
+{
+    Runtime rt(extCluster());
+    bool clean = true;
+    rt.run([&]() {
+        RwLock rw(rt);
+        auto v = GArray<int64_t>::alloc(rt, 1);
+        v.write(0, 0);
+        auto writer = [&]() {
+            for (int i = 0; i < 10; ++i) {
+                rw.wrLock();
+                int64_t x = v.read(0);
+                rt.compute(500 * US);
+                v.write(0, x + 1);
+                rw.unlock();
+            }
+        };
+        auto reader = [&]() {
+            for (int i = 0; i < 10; ++i) {
+                rw.rdLock();
+                int64_t a = v.read(0);
+                rt.compute(200 * US);
+                if (v.read(0) != a)
+                    clean = false; // saw a write inside a read section
+                rw.unlock();
+            }
+        };
+        std::vector<int> tids;
+        tids.push_back(rt.threadCreate(writer));
+        tids.push_back(rt.threadCreate(writer));
+        tids.push_back(rt.threadCreate(reader));
+        reader();
+        for (int t : tids)
+            rt.join(t);
+        clean = clean && v.read(0) == 20;
+    });
+    EXPECT_TRUE(clean);
+}
+
+TEST(RwLock, TryVariants)
+{
+    Runtime rt(extCluster());
+    rt.run([&]() {
+        RwLock rw(rt);
+        EXPECT_TRUE(rw.tryRdLock());
+        EXPECT_TRUE(rw.tryRdLock());
+        EXPECT_FALSE(rw.tryWrLock());
+        rw.unlock();
+        rw.unlock();
+        EXPECT_TRUE(rw.tryWrLock());
+        EXPECT_FALSE(rw.tryRdLock());
+        rw.unlock();
+    });
+}
+
+TEST(Once, RunsExactlyOnceAcrossThreads)
+{
+    Runtime rt(extCluster());
+    int runs = 0;
+    bool all_saw_done = true;
+    rt.run([&]() {
+        Once once(rt);
+        auto body = [&]() {
+            once.call([&]() {
+                rt.compute(20 * MS);
+                ++runs;
+            });
+            if (!once.done())
+                all_saw_done = false;
+        };
+        std::vector<int> tids;
+        for (int i = 0; i < 5; ++i)
+            tids.push_back(rt.threadCreate(body));
+        body();
+        for (int t : tids)
+            rt.join(t);
+    });
+    EXPECT_EQ(runs, 1);
+    EXPECT_TRUE(all_saw_done);
+}

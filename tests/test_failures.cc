@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Failure-injection tests: NIC/OS resource exhaustion must surface as
+ * structured, recoverable outcomes (the paper's "could not execute"
+ * result for OCEAN), never as crashes, hangs or corrupted state.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/splash.hh"
+#include "cables/memory.hh"
+#include "cables/runtime.hh"
+#include "cables/shared.hh"
+
+using namespace cables;
+using namespace cables::apps;
+using namespace cables::cs;
+using sim::MS;
+
+namespace {
+
+ClusterConfig
+tinyLimits(Backend b, size_t regions)
+{
+    ClusterConfig cfg;
+    cfg.backend = b;
+    cfg.nodes = 4;
+    cfg.procsPerNode = 2;
+    cfg.sharedBytes = 32 * 1024 * 1024;
+    cfg.vmmc.maxRegionsPerNode = regions;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Failures, RegionExhaustionAbortsRunCleanly)
+{
+    // Interleaved page ownership in the base backend creates a region
+    // per page; a tiny limit must abort, not crash or hang.
+    ClusterConfig cfg = tinyLimits(Backend::BaseSvm, 24);
+    cfg.maxThreadsPerNode = 1;
+    RunResult r = runProgram(cfg, [&](Runtime &rt, RunResult &res) {
+        auto arr = GArray<int64_t>::alloc(rt, 64 * 1024);
+        int bar = rt.barrierCreate();
+        int t = rt.threadCreate([&]() {
+            for (size_t i = 512; i < 64 * 1024; i += 1024)
+                arr.write(i, 1);
+            rt.barrier(bar, 2);
+        });
+        for (size_t i = 0; i < 64 * 1024; i += 1024)
+            arr.write(i, 1);
+        rt.barrier(bar, 2);
+        rt.join(t);
+        res.valid = true;
+    });
+    EXPECT_TRUE(r.registrationFailure);
+    EXPECT_FALSE(r.valid);
+    EXPECT_NE(r.failureReason.find("region limit"), std::string::npos);
+}
+
+TEST(Failures, OceanAnecdoteAtConfiguredLimit)
+{
+    // The paper: the original system could not execute OCEAN at 32
+    // processors because of registration limits; CableS could.
+    OceanParams p;
+    p.nprocs = 32;
+    p.steps = 1;
+
+    ClusterConfig base = splashConfig(Backend::BaseSvm, 32);
+    AppOut base_out;
+    RunResult br = runProgram(base, [&](Runtime &rt, RunResult &res) {
+        m4::M4Env env(rt);
+        runOcean(env, p, base_out);
+        res.valid = base_out.valid;
+    });
+    EXPECT_TRUE(br.registrationFailure);
+
+    ClusterConfig cables = splashConfig(Backend::CableS, 32);
+    AppOut cbl_out;
+    RunResult cr = runProgram(cables, [&](Runtime &rt, RunResult &res) {
+        m4::M4Env env(rt);
+        runOcean(env, p, cbl_out);
+        res.valid = cbl_out.valid;
+    });
+    EXPECT_FALSE(cr.registrationFailure);
+    EXPECT_TRUE(cbl_out.valid);
+}
+
+TEST(Failures, PinLimitSurfacesAsRegistrationFailure)
+{
+    ClusterConfig cfg = tinyLimits(Backend::CableS, 4096);
+    cfg.vmmc.maxPinnedBytes = 256 * 1024; // absurdly small
+    RunResult r = runProgram(cfg, [&](Runtime &rt, RunResult &res) {
+        auto arr = GArray<int64_t>::alloc(rt, 1 << 20); // 8 MB
+        for (size_t i = 0; i < (1 << 20); i += 512)
+            arr.write(i, 1); // home extensions exceed the pin limit
+        res.valid = true;
+    });
+    EXPECT_TRUE(r.registrationFailure);
+    EXPECT_NE(r.failureReason.find("pinned"), std::string::npos);
+}
+
+TEST(Failures, AbortLeavesNoRunnableWork)
+{
+    // After an abort the engine must stop promptly; total time must not
+    // run away with retries or spinning.
+    ClusterConfig cfg = tinyLimits(Backend::BaseSvm, 8);
+    cfg.maxThreadsPerNode = 1;
+    RunResult r = runProgram(cfg, [&](Runtime &rt, RunResult &res) {
+        auto arr = GArray<int64_t>::alloc(rt, 64 * 1024);
+        int t = rt.threadCreate([&]() {
+            for (size_t i = 512; i < 64 * 1024; i += 1024)
+                arr.write(i, 1);
+        });
+        for (size_t i = 0; i < 64 * 1024; i += 1024)
+            arr.write(i, 1);
+        rt.join(t);
+        res.valid = true;
+    });
+    EXPECT_TRUE(r.registrationFailure);
+    EXPECT_LT(sim::toSec(r.total), 60.0);
+}
+
+TEST(Failures, OutOfSharedSpaceIsFatalNotCorrupting)
+{
+    ClusterConfig cfg = tinyLimits(Backend::CableS, 4096);
+    cfg.sharedBytes = 1024 * 1024;
+    Runtime rt(cfg);
+    rt.run([&]() {
+        GAddr ok = rt.malloc(512 * 1024);
+        (void)ok;
+        EXPECT_THROW(rt.malloc(8 * 1024 * 1024), FatalError);
+        // The allocator must still function after the failed request.
+        GAddr more = rt.malloc(64 * 1024);
+        rt.write<int64_t>(more, 7);
+        EXPECT_EQ(rt.read<int64_t>(more), 7);
+    });
+}
+
+TEST(Failures, UnexportedResourcesComeBackAfterFree)
+{
+    // cs_free releases address space for reuse even under tight space.
+    ClusterConfig cfg = tinyLimits(Backend::CableS, 4096);
+    cfg.sharedBytes = 2 * 1024 * 1024;
+    Runtime rt(cfg);
+    rt.run([&]() {
+        for (int round = 0; round < 20; ++round) {
+            GAddr a = rt.malloc(1024 * 1024);
+            rt.write<int64_t>(a, round);
+            rt.free(a);
+        }
+        GAddr last = rt.malloc(1536 * 1024);
+        rt.write<int64_t>(last, 1);
+        EXPECT_EQ(rt.read<int64_t>(last), 1);
+    });
+}

@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Memory-management tests: dynamic allocation/free, first-touch at the
+ * OS mapping granularity (the 64 KByte WindowsNT limitation), placement
+ * policies, the double-mapping region accounting vs the base backend's
+ * per-run registration, the misplacement metric, and the RegionTracker.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/harness.hh"
+#include "cables/memory.hh"
+#include "cables/runtime.hh"
+#include "cables/shared.hh"
+
+using namespace cables;
+using namespace cables::cs;
+using sim::MS;
+
+namespace {
+
+ClusterConfig
+memCluster(Backend b = Backend::CableS, size_t gran = 64 * 1024)
+{
+    ClusterConfig cfg;
+    cfg.backend = b;
+    cfg.nodes = 4;
+    cfg.procsPerNode = 2;
+    cfg.maxThreadsPerNode = 2;
+    cfg.sharedBytes = 32 * 1024 * 1024;
+    cfg.os.mapGranularity = gran;
+    return cfg;
+}
+
+} // namespace
+
+TEST(RegionTracker, ContiguousSameHomePagesFormOneRegion)
+{
+    RegionTracker t;
+    EXPECT_TRUE(t.add(10, 0));
+    EXPECT_FALSE(t.add(11, 0));
+    EXPECT_FALSE(t.add(12, 0));
+    EXPECT_EQ(t.regionsOf(0), 1u);
+    EXPECT_EQ(t.regionOf(10), t.regionOf(12));
+}
+
+TEST(RegionTracker, DifferentHomesSplitRegions)
+{
+    RegionTracker t;
+    t.add(10, 0);
+    EXPECT_TRUE(t.add(11, 1));
+    EXPECT_TRUE(t.add(12, 0));
+    EXPECT_EQ(t.regionsOf(0), 2u);
+    EXPECT_EQ(t.regionsOf(1), 1u);
+}
+
+TEST(RegionTracker, FillingGapMergesRuns)
+{
+    RegionTracker t;
+    t.add(10, 0);
+    t.add(12, 0);
+    EXPECT_EQ(t.regionsOf(0), 2u);
+    EXPECT_FALSE(t.add(11, 0));
+    EXPECT_EQ(t.regionsOf(0), 1u);
+    EXPECT_EQ(t.regionOf(10), t.regionOf(12));
+}
+
+TEST(RegionTracker, EraseDropsRuns)
+{
+    RegionTracker t;
+    t.add(5, 1);
+    t.add(6, 1);
+    t.erase(5, 6);
+    EXPECT_EQ(t.regionsOf(1), 0u);
+    EXPECT_EQ(t.regionOf(5), -1);
+}
+
+TEST(Memory, MallocAndAccessAnyTime)
+{
+    Runtime rt(memCluster());
+    rt.run([&]() {
+        int t = rt.threadCreate([&]() {
+            // Dynamic allocation after thread creation: CableS allows.
+            GAddr a = rt.malloc(8192);
+            rt.write<int64_t>(a, 42);
+            EXPECT_EQ(rt.read<int64_t>(a), 42);
+            rt.free(a);
+        });
+        rt.join(t);
+    });
+}
+
+TEST(Memory, FreeUnbindsAndAllowsReuse)
+{
+    Runtime rt(memCluster());
+    rt.run([&]() {
+        GAddr a = rt.malloc(4096);
+        rt.write<int64_t>(a, 1);
+        PageId p = svm::pageOf(a);
+        EXPECT_EQ(rt.protocol().home(p), 0);
+        rt.free(a);
+        EXPECT_EQ(rt.protocol().home(p), net::InvalidNode);
+        GAddr b = rt.malloc(4096);
+        EXPECT_EQ(a, b); // allocator reuses the block
+        EXPECT_EQ(rt.read<int64_t>(b), 1); // host backing unchanged
+    });
+}
+
+TEST(Memory, DoubleFreeIsFatal)
+{
+    Runtime rt(memCluster());
+    rt.run([&]() {
+        GAddr a = rt.malloc(64);
+        rt.free(a);
+        EXPECT_THROW(rt.free(a), FatalError);
+    });
+}
+
+TEST(Memory, GranuleFirstTouchBindsWholeGranule)
+{
+    Runtime rt(memCluster());
+    rt.run([&]() {
+        // One 64K-aligned granule = 16 pages.
+        GAddr a = rt.malloc(64 * 1024);
+        rt.write<int64_t>(a, 1); // touch the first page only
+        int bound = 0;
+        for (PageId p = svm::pageOf(a); p < svm::pageOf(a) + 16; ++p)
+            bound += rt.protocol().home(p) == 0;
+        EXPECT_GE(bound, 8); // at least the aligned part of the granule
+        EXPECT_EQ(rt.memory().stats().granuleBinds, 1u);
+    });
+}
+
+TEST(Memory, BaseBackendBindsSinglePages)
+{
+    Runtime rt(memCluster(Backend::BaseSvm));
+    rt.run([&]() {
+        GAddr a = rt.malloc(64 * 1024);
+        rt.write<int64_t>(a, 1);
+        int bound = 0;
+        for (PageId p = svm::pageOf(a); p < svm::pageOf(a) + 16; ++p)
+            bound += rt.protocol().home(p) != net::InvalidNode;
+        EXPECT_EQ(bound, 1);
+    });
+}
+
+TEST(Memory, BaseBackendForbidsAllocationAfterInit)
+{
+    Runtime rt(memCluster(Backend::BaseSvm));
+    rt.run([&]() {
+        GAddr ok = rt.malloc(4096);
+        (void)ok;
+        rt.memory().sealInitPhase();
+        EXPECT_THROW(rt.malloc(4096), FatalError);
+    });
+}
+
+TEST(Memory, BaseBackendForbidsFree)
+{
+    Runtime rt(memCluster(Backend::BaseSvm));
+    rt.run([&]() {
+        GAddr a = rt.malloc(4096);
+        EXPECT_THROW(rt.free(a), FatalError);
+    });
+}
+
+TEST(Memory, CablesUsesOneProtocolRegionPerHomeNode)
+{
+    Runtime rt(memCluster());
+    rt.run([&]() {
+        GAddr a = rt.malloc(1024 * 1024);
+        // Touch many scattered granules from the master.
+        for (int g = 0; g < 16; ++g)
+            rt.write<int64_t>(a + g * 64 * 1024, g);
+        // All master-homed pages live in ONE extendable region.
+        EXPECT_EQ(rt.memory().stats().regionExports, 1u);
+        EXPECT_GE(rt.memory().stats().regionExtends, 15u);
+    });
+}
+
+TEST(Memory, BaseExportsOneRegionPerHomeRun)
+{
+    ClusterConfig cfg = memCluster(Backend::BaseSvm);
+    cfg.maxThreadsPerNode = 1; // force the second thread remote
+    Runtime rt(cfg);
+    rt.run([&]() {
+        GAddr a = rt.malloc(1024 * 1024);
+        int b = rt.barrierCreate();
+        // Interleave page ownership between two threads at page
+        // granularity: every page is its own run boundary.
+        int t = rt.threadCreate([&]() {
+            for (int i = 1; i < 32; i += 2)
+                rt.write<int64_t>(a + i * 4096, i);
+            rt.barrier(b, 2);
+        });
+        for (int i = 0; i < 32; i += 2)
+            rt.write<int64_t>(a + i * 4096, i);
+        rt.barrier(b, 2);
+        rt.join(t);
+        EXPECT_GE(rt.memory().stats().regionExports, 20u);
+    });
+}
+
+TEST(Memory, MasterAllPlacementHomesEverythingOnMaster)
+{
+    ClusterConfig cfg = memCluster();
+    cfg.placement = Placement::MasterAll;
+    Runtime rt(cfg);
+    rt.run([&]() {
+        GAddr a = rt.malloc(256 * 1024);
+        int t = rt.threadCreate([&]() {
+            for (int g = 0; g < 4; ++g)
+                rt.write<int64_t>(a + g * 64 * 1024, g);
+        });
+        rt.join(t);
+        for (int g = 0; g < 4; ++g)
+            EXPECT_EQ(rt.protocol().home(svm::pageOf(a + g * 64 * 1024)),
+                      0);
+    });
+}
+
+TEST(Memory, RoundRobinPlacementSpreadsGranules)
+{
+    ClusterConfig cfg = memCluster();
+    cfg.placement = Placement::RoundRobin;
+    Runtime rt(cfg);
+    std::set<int16_t> homes_seen;
+    rt.run([&]() {
+        // Attach a second node first so round-robin has targets.
+        int filler = rt.threadCreate([&]() { rt.compute(10000 * MS); });
+        int t = rt.threadCreate([&]() { rt.compute(10000 * MS); });
+        GAddr a = rt.malloc(512 * 1024);
+        for (int g = 0; g < 8; ++g) {
+            rt.write<int64_t>(a + g * 64 * 1024, g);
+            homes_seen.insert(
+                rt.protocol().home(svm::pageOf(a + g * 64 * 1024)));
+        }
+        rt.join(filler);
+        rt.join(t);
+    });
+    EXPECT_GT(homes_seen.size(), 1u);
+}
+
+TEST(Memory, MisplacementMetricComputesDifference)
+{
+    std::vector<int16_t> base = {0, 0, 1, 1, -1, 2};
+    std::vector<int16_t> cab = {0, 0, 0, 1, 3, -1};
+    // Pages bound in both: indices 0,1,2,3 -> one differs (index 2).
+    EXPECT_NEAR(apps::misplacedPct(base, cab), 25.0, 1e-9);
+}
+
+TEST(Memory, OwnerDetectCachedAfterFirstTouch)
+{
+    ClusterConfig cfg = memCluster();
+    cfg.maxThreadsPerNode = 1; // force the second thread remote
+    Runtime rt(cfg);
+    rt.run([&]() {
+        GAddr a = rt.malloc(256 * 1024);
+        rt.write<int64_t>(a, 1);
+        uint64_t remote0 = rt.memory().stats().ownerDetectsRemote;
+        int t = rt.threadCreate([&]() {
+            rt.write<int64_t>(a + 64 * 1024, 1);      // first detect
+            rt.write<int64_t>(a + 2 * 64 * 1024, 1);  // cached
+            rt.write<int64_t>(a + 3 * 64 * 1024, 1);  // cached
+        });
+        rt.join(t);
+        EXPECT_EQ(rt.memory().stats().ownerDetectsRemote, remote0 + 1);
+    });
+}

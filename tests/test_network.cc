@@ -1,0 +1,127 @@
+/**
+ * @file
+ * SAN model tests: the default parameters must reproduce the paper's
+ * Table 3 costs, and the occupancy model must serialize contended NICs
+ * while letting independent pairs proceed in parallel.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/network.hh"
+
+using namespace cables;
+using namespace cables::net;
+using sim::Tick;
+using sim::US;
+
+namespace {
+
+constexpr double usOf(Tick t) { return sim::toUs(t); }
+
+} // namespace
+
+TEST(Network, OneWordSendLatencyMatchesTable3)
+{
+    Network net(4, NetParams{});
+    Tick done = net.transfer(0, 1, 8, 0);
+    EXPECT_NEAR(usOf(done), 7.8, 0.5);
+}
+
+TEST(Network, FourKbSendLatencyMatchesTable3)
+{
+    Network net(4, NetParams{});
+    Tick done = net.transfer(0, 1, 4096, 0);
+    EXPECT_NEAR(usOf(done), 52.0, 3.0);
+}
+
+TEST(Network, OneWordFetchLatencyMatchesTable3)
+{
+    Network net(4, NetParams{});
+    Tick done = net.fetch(0, 1, 8, 0);
+    EXPECT_NEAR(usOf(done), 22.0, 1.5);
+}
+
+TEST(Network, FourKbFetchLatencyMatchesTable3)
+{
+    Network net(4, NetParams{});
+    Tick done = net.fetch(0, 1, 4096, 0);
+    EXPECT_NEAR(usOf(done), 81.0, 4.0);
+}
+
+TEST(Network, NotificationLatencyMatchesTable3)
+{
+    Network net(4, NetParams{});
+    Tick done = net.notify(0, 1, 8, 0);
+    EXPECT_NEAR(usOf(done), 18.0, 1.5);
+}
+
+TEST(Network, StreamingBandwidthMatchesTable3)
+{
+    Network net(2, NetParams{});
+    // Stream 100 x 64 KByte messages; bandwidth is limited by per-byte
+    // occupancy, not per-message latency.
+    const size_t msg = 64 * 1024;
+    const int count = 100;
+    Tick last = 0;
+    for (int i = 0; i < count; ++i)
+        last = net.transfer(0, 1, msg, 0);
+    double secs = sim::toSec(last);
+    double mbytes = double(msg) * count / (1024.0 * 1024.0);
+    EXPECT_NEAR(mbytes / secs, 125.0, 8.0);
+}
+
+TEST(Network, LoopbackIsFree)
+{
+    Network net(2, NetParams{});
+    EXPECT_EQ(net.transfer(0, 0, 4096, 1234), 1234);
+    EXPECT_EQ(net.fetch(1, 1, 4096, 99), 99);
+}
+
+TEST(Network, SenderNicSerializesBackToBackSends)
+{
+    Network net(3, NetParams{});
+    Tick d1 = net.transfer(0, 1, 4096, 0);
+    Tick d2 = net.transfer(0, 2, 4096, 0);
+    // The second send leaves after the first's occupancy window.
+    EXPECT_GT(d2, d1 - Tick(40 * US));
+    EXPECT_GT(d2, net.params().sendBase);
+}
+
+TEST(Network, ReceiverNicSerializesConcurrentDeposits)
+{
+    Network net(3, NetParams{});
+    Tick d1 = net.transfer(0, 2, 4096, 0);
+    Tick d2 = net.transfer(1, 2, 4096, 0);
+    EXPECT_NE(d1, d2);
+    EXPECT_GT(std::max(d1, d2), std::min(d1, d2));
+}
+
+TEST(Network, DisjointPairsDoNotInterfere)
+{
+    Network net(4, NetParams{});
+    Tick alone = net.transfer(0, 1, 4096, 0);
+    Network net2(4, NetParams{});
+    net2.transfer(2, 3, 4096, 0);
+    Tick with_other = net2.transfer(0, 1, 4096, 0);
+    EXPECT_EQ(alone, with_other);
+}
+
+TEST(Network, StatsAccumulate)
+{
+    Network net(2, NetParams{});
+    net.transfer(0, 1, 100, 0);
+    net.fetch(0, 1, 200, 0);
+    net.notify(0, 1, 50, 0);
+    EXPECT_EQ(net.stats().messages, 1u);
+    EXPECT_EQ(net.stats().fetches, 1u);
+    EXPECT_EQ(net.stats().notifications, 1u);
+    EXPECT_EQ(net.stats().bytes, 350u);
+    net.resetStats();
+    EXPECT_EQ(net.stats().bytes, 0u);
+}
+
+TEST(Network, RejectsBadEndpoints)
+{
+    Network net(2, NetParams{});
+    EXPECT_DEATH(net.transfer(0, 7, 8, 0), "bad transfer");
+}

@@ -1,0 +1,323 @@
+/**
+ * @file
+ * Property-based tests (parameterized sweeps): randomized synchronized
+ * programs must produce exactly the values a sequential model predicts,
+ * never deadlock, and placement/diff invariants must hold across
+ * granularities and write patterns.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/common.hh"
+#include "apps/harness.hh"
+#include "cables/memory.hh"
+#include "cables/runtime.hh"
+#include "cables/shared.hh"
+#include "util/random.hh"
+
+using namespace cables;
+using namespace cables::cs;
+using sim::MS;
+using sim::US;
+
+namespace {
+
+ClusterConfig
+propCluster(Backend b = Backend::CableS)
+{
+    ClusterConfig cfg;
+    cfg.backend = b;
+    cfg.nodes = 4;
+    cfg.procsPerNode = 2;
+    cfg.maxThreadsPerNode = 2;
+    cfg.sharedBytes = 32 * 1024 * 1024;
+    return cfg;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Property: barrier-synchronized random ownership patterns are coherent.
+// ---------------------------------------------------------------------
+
+class RandomPhases : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(RandomPhases, MatchesSequentialModel)
+{
+    const uint64_t seed = GetParam();
+    const int P = 4;
+    const size_t N = 4096; // int64 elements across several pages
+    const int phases = 5;
+
+    // Sequential model on the host.
+    std::vector<int64_t> model(N, 0);
+    {
+        Random rng(seed);
+        for (int ph = 0; ph < phases; ++ph) {
+            // Each phase: a random permutation of slice ownership.
+            std::vector<int> owner(P);
+            for (int i = 0; i < P; ++i)
+                owner[i] = int(rng.below(P));
+            for (size_t i = 0; i < N; ++i) {
+                int o = owner[(i * P) / N];
+                model[i] = model[i] * 3 + o + ph;
+            }
+        }
+    }
+
+    bool mismatch = false;
+    Runtime rt(propCluster());
+    rt.run([&]() {
+        auto arr = GArray<int64_t>::alloc(rt, N);
+        int bar = rt.barrierCreate();
+        Random rng(seed);
+        std::vector<std::vector<int>> owners(phases,
+                                             std::vector<int>(P));
+        for (int ph = 0; ph < phases; ++ph)
+            for (int i = 0; i < P; ++i)
+                owners[ph][i] = int(rng.below(P));
+
+        auto body = [&](int pid) {
+            for (int ph = 0; ph < phases; ++ph) {
+                for (size_t i = 0; i < N; ++i) {
+                    int o = owners[ph][(i * P) / N];
+                    if (o == pid) {
+                        int64_t v = arr.read(i);
+                        arr.write(i, v * 3 + o + ph);
+                    }
+                }
+                rt.barrier(bar, P);
+            }
+            // Some elements may belong to no one this phase — they are
+            // written by the slice's mapped owner only; elements whose
+            // mapped owner never equals any pid are untouched, which
+            // the model reproduces identically.
+        };
+        std::vector<int> tids;
+        for (int p = 1; p < P; ++p)
+            tids.push_back(rt.threadCreate([&, p]() { body(p); }));
+        body(0);
+        for (int t : tids)
+            rt.join(t);
+
+        for (size_t i = 0; i < N; ++i) {
+            if (arr.read(i) != model[i]) {
+                mismatch = true;
+                break;
+            }
+        }
+    });
+    EXPECT_FALSE(mismatch);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPhases,
+                         ::testing::Values(1, 2, 3, 17, 99, 12345));
+
+// ---------------------------------------------------------------------
+// Property: random mutex/cond traffic never deadlocks or loses counts.
+// ---------------------------------------------------------------------
+
+class RandomSync : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(RandomSync, CountsExactUnderRandomContention)
+{
+    const uint64_t seed = GetParam();
+    const int P = 5;
+    const int iters = 30;
+    int64_t result = 0;
+    Runtime rt(propCluster());
+    rt.run([&]() {
+        const int nlocks = 3;
+        std::vector<int> mutexes;
+        for (int i = 0; i < nlocks; ++i)
+            mutexes.push_back(rt.mutexCreate());
+        auto counters = GArray<int64_t>::alloc(rt, nlocks);
+        for (int i = 0; i < nlocks; ++i)
+            counters.write(i, 0);
+
+        auto body = [&](int pid) {
+            Random rng(seed * 131 + pid);
+            for (int i = 0; i < iters; ++i) {
+                int l = int(rng.below(nlocks));
+                rt.mutexLock(mutexes[l]);
+                int64_t v = counters.read(l);
+                rt.compute(sim::Tick(rng.below(200)) * US);
+                counters.write(l, v + 1);
+                rt.mutexUnlock(mutexes[l]);
+                rt.compute(sim::Tick(rng.below(100)) * US);
+            }
+        };
+        std::vector<int> tids;
+        for (int p = 1; p < P; ++p)
+            tids.push_back(rt.threadCreate([&, p]() { body(p); }));
+        body(0);
+        for (int t : tids)
+            rt.join(t);
+        for (int i = 0; i < nlocks; ++i)
+            result += counters.read(i);
+    });
+    EXPECT_EQ(result, int64_t(P) * iters);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSync,
+                         ::testing::Values(7, 21, 42, 1001));
+
+// ---------------------------------------------------------------------
+// Property: producer/consumer with random bursts delivers every item.
+// ---------------------------------------------------------------------
+
+class RandomQueue : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(RandomQueue, NoLostOrDuplicatedItems)
+{
+    const uint64_t seed = GetParam();
+    const int items = 200;
+    int64_t sum = 0, expect = 0;
+    Runtime rt(propCluster());
+    rt.run([&]() {
+        const int cap = 4;
+        auto buf = GArray<int64_t>::alloc(rt, cap);
+        auto st = GArray<int64_t>::alloc(rt, 3); // head, tail, count
+        for (int i = 0; i < 3; ++i)
+            st.write(i, 0);
+        int m = rt.mutexCreate();
+        int ne = rt.condCreate();
+        int nf = rt.condCreate();
+        auto res = GArray<int64_t>::alloc(rt, 1);
+        res.write(0, 0);
+
+        int cons = rt.threadCreate([&]() {
+            Random rng(seed + 5);
+            int64_t s = 0;
+            for (int i = 0; i < items; ++i) {
+                rt.mutexLock(m);
+                while (st.read(2) == 0)
+                    rt.condWait(ne, m);
+                int64_t h = st.read(0);
+                s += buf.read(h % cap);
+                st.write(0, h + 1);
+                st.write(2, st.read(2) - 1);
+                rt.condSignal(nf);
+                rt.mutexUnlock(m);
+                if (rng.below(3) == 0)
+                    rt.compute(sim::Tick(rng.below(300)) * US);
+            }
+            res.write(0, s);
+        });
+
+        Random rng(seed);
+        for (int i = 0; i < items; ++i) {
+            int64_t v = int64_t(apps::hash64(seed * 1000 + i) % 9973);
+            rt.mutexLock(m);
+            while (st.read(2) == cap)
+                rt.condWait(nf, m);
+            int64_t t = st.read(1);
+            buf.write(t % cap, v);
+            st.write(1, t + 1);
+            st.write(2, st.read(2) + 1);
+            rt.condSignal(ne);
+            rt.mutexUnlock(m);
+            if (rng.below(4) == 0)
+                rt.compute(sim::Tick(rng.below(200)) * US);
+        }
+        rt.join(cons);
+        sum = res.read(0);
+    });
+    for (int i = 0; i < items; ++i)
+        expect += int64_t(apps::hash64(seed * 1000 + i) % 9973);
+    EXPECT_EQ(sum, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomQueue,
+                         ::testing::Values(3, 13, 77));
+
+// ---------------------------------------------------------------------
+// Property: misplacement vanishes at page granularity and grows with
+// the mapping granule.
+// ---------------------------------------------------------------------
+
+class GranularitySweep : public ::testing::TestWithParam<size_t>
+{};
+
+TEST_P(GranularitySweep, InterleavedOwnershipMisplacement)
+{
+    const size_t gran = GetParam();
+    // Two threads interleave ownership in 8 KByte stripes.
+    auto homesWith = [&](size_t g) {
+        ClusterConfig cfg = propCluster();
+        cfg.os.mapGranularity = g;
+        cfg.maxThreadsPerNode = 1; // the two writers must be remote
+        Runtime rt(cfg);
+        std::vector<int16_t> homes;
+        rt.run([&]() {
+            auto arr = GArray<int64_t>::alloc(rt, 64 * 1024);
+            int bar = rt.barrierCreate();
+            int t = rt.threadCreate([&]() {
+                for (size_t i = 1024; i < 64 * 1024; i += 2048)
+                    arr.write(i, 1);
+                rt.barrier(bar, 2);
+            });
+            for (size_t i = 0; i < 64 * 1024; i += 2048)
+                arr.write(i, 1);
+            rt.barrier(bar, 2);
+            rt.join(t);
+            homes = rt.memory().homeSnapshot();
+        });
+        return homes;
+    };
+    auto fine = homesWith(4096);
+    auto coarse = homesWith(gran);
+    double pct = apps::misplacedPct(fine, coarse);
+    if (gran == 4096) {
+        EXPECT_NEAR(pct, 0.0, 1e-9);
+    } else {
+        EXPECT_GT(pct, 10.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grans, GranularitySweep,
+                         ::testing::Values(size_t(4096),
+                                           size_t(64 * 1024),
+                                           size_t(256 * 1024)));
+
+// ---------------------------------------------------------------------
+// Property: diff size equals the number of modified words.
+// ---------------------------------------------------------------------
+
+class DiffSizes : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(DiffSizes, DiffBytesMatchModifiedWords)
+{
+    const int words = GetParam();
+    ClusterConfig cfg = propCluster();
+    cfg.maxThreadsPerNode = 1; // force the writer onto a remote node
+    Runtime rt(cfg);
+    uint64_t diff_bytes = 0;
+    rt.run([&]() {
+        GAddr a = rt.malloc(4096);
+        rt.access(a, 4096, true);
+        rt.protocol().release(0);
+        int bar = rt.barrierCreate();
+        int t = rt.threadCreate([&]() {
+            rt.access(a, 8, true); // twin the page on the remote node
+            uint64_t *p =
+                reinterpret_cast<uint64_t *>(rt.hostPtr(a));
+            for (int i = 0; i < words; ++i)
+                p[i * 3 + 1] += 1;
+            rt.protocol().release(rt.selfNode());
+            rt.barrier(bar, 2);
+        });
+        rt.barrier(bar, 2);
+        rt.join(t);
+        for (int n = 0; n < rt.config().nodes; ++n)
+            diff_bytes += rt.protocol().nodeStats(n).diffBytes;
+    });
+    EXPECT_EQ(diff_bytes, uint64_t(words) * 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Words, DiffSizes,
+                         ::testing::Values(0, 1, 7, 64, 170));

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * SVM protocol tests: first-touch binding, fetch-on-fault, twins and
+ * diffs, release/acquire invalidation, home-writer notices, false
+ * sharing, and migration mechanics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "test_util.hh"
+
+using namespace cables;
+using namespace cables::test;
+using namespace cables::svm;
+using sim::Tick;
+using sim::US;
+
+TEST(Protocol, FirstTouchBindsHome)
+{
+    MiniCluster c(2);
+    GAddr a = c.space.alloc(4096);
+    c.spawn("n1", [&]() {
+        c.proto.access(1, a, 8, true);
+        EXPECT_EQ(c.proto.home(pageOf(a)), 1);
+    });
+    c.run();
+    EXPECT_EQ(c.proto.nodeStats(1).homeBindings, 1u);
+}
+
+TEST(Protocol, HomeAccessIsCheapRemoteFaultFetches)
+{
+    MiniCluster c(2);
+    GAddr a = c.space.alloc(4096);
+    Tick home_cost = -1, remote_cost = -1;
+    c.spawn("home", [&]() {
+        Tick t0 = c.engine.now();
+        c.proto.access(0, a, 8, false);
+        home_cost = c.engine.now() - t0;
+    });
+    c.spawn("remote", [&]() {
+        c.engine.advance(1 * sim::MS); // let node 0 bind first
+        c.engine.sync();
+        Tick t0 = c.engine.now();
+        c.proto.access(1, a, 8, false);
+        remote_cost = c.engine.now() - t0;
+    });
+    c.run();
+    EXPECT_LT(home_cost, Tick(20 * US));
+    // Remote read fault: trap + 4 KByte fetch (~81 us + trap).
+    EXPECT_NEAR(sim::toUs(remote_cost), 89.0, 10.0);
+    EXPECT_EQ(c.proto.nodeStats(1).pagesFetched, 1u);
+}
+
+TEST(Protocol, SecondAccessHitsNoFault)
+{
+    MiniCluster c(2);
+    GAddr a = c.space.alloc(4096);
+    c.spawn("t", [&]() {
+        c.proto.access(1, a, 8, false);
+        uint64_t faults = c.proto.nodeStats(1).readFaults;
+        c.proto.access(1, a + 64, 8, false);
+        EXPECT_EQ(c.proto.nodeStats(1).readFaults, faults);
+    });
+    c.run();
+}
+
+TEST(Protocol, NonHomeWriteCreatesTwin)
+{
+    MiniCluster c(2);
+    GAddr a = c.space.alloc(4096);
+    c.spawn("t", [&]() {
+        c.proto.access(0, a, 8, true);  // node 0 becomes home
+        c.proto.access(1, a, 8, true);  // node 1 writes remotely
+        EXPECT_EQ(c.proto.nodeStats(1).twinsCreated, 1u);
+        EXPECT_EQ(c.proto.nodeStats(0).twinsCreated, 0u);
+    });
+    c.run();
+}
+
+TEST(Protocol, ReleaseFlushesDiffSizedToChangedWords)
+{
+    MiniCluster c(2);
+    GAddr a = c.space.alloc(4096);
+    c.spawn("t", [&]() {
+        c.proto.access(0, a, 4096, true);
+        c.proto.release(0);
+        c.proto.access(1, a, 4096, true);
+        // Change exactly 10 words.
+        uint64_t *p = c.space.hostAs<uint64_t>(a);
+        for (int i = 0; i < 10; ++i)
+            p[i * 16] += 1;
+        c.proto.release(1);
+        EXPECT_EQ(c.proto.nodeStats(1).diffsFlushed, 1u);
+        EXPECT_EQ(c.proto.nodeStats(1).diffBytes, 10u * 8);
+    });
+    c.run();
+}
+
+TEST(Protocol, AcquireInvalidatesStaleCopies)
+{
+    MiniCluster c(2);
+    GAddr a = c.space.alloc(4096);
+    c.spawn("t", [&]() {
+        c.proto.access(0, a, 8, true);   // home: node 0
+        c.proto.access(1, a, 8, false);  // node 1 caches the page
+        // Node 0 writes and releases.
+        c.proto.access(0, a, 8, true);
+        c.proto.release(0);
+        uint64_t seq = c.proto.flushSeq();
+        EXPECT_TRUE(c.proto.valid(1, pageOf(a), false));
+        c.proto.acquireUpTo(1, seq);
+        EXPECT_FALSE(c.proto.valid(1, pageOf(a), false));
+        EXPECT_EQ(c.proto.nodeStats(1).invalidations, 1u);
+        // Next access refetches.
+        uint64_t fetched = c.proto.nodeStats(1).pagesFetched;
+        c.proto.access(1, a, 8, false);
+        EXPECT_EQ(c.proto.nodeStats(1).pagesFetched, fetched + 1);
+    });
+    c.run();
+}
+
+TEST(Protocol, HomeWriterGeneratesNoticesWithoutDataTransfer)
+{
+    MiniCluster c(2);
+    GAddr a = c.space.alloc(4096);
+    c.spawn("t", [&]() {
+        c.proto.access(0, a, 8, true);
+        uint64_t seq0 = c.proto.flushSeq();
+        c.proto.release(0);
+        EXPECT_EQ(c.proto.flushSeq(), seq0 + 1);
+        EXPECT_EQ(c.proto.nodeStats(0).diffsFlushed, 0u);
+    });
+    c.run();
+}
+
+TEST(Protocol, HomeCopyNeverInvalidated)
+{
+    MiniCluster c(2);
+    GAddr a = c.space.alloc(4096);
+    c.spawn("t", [&]() {
+        c.proto.access(0, a, 8, true);
+        c.proto.access(1, a, 8, true);
+        c.proto.release(1);
+        c.proto.acquireUpTo(0, c.proto.flushSeq());
+        EXPECT_TRUE(c.proto.valid(0, pageOf(a), false));
+    });
+    c.run();
+}
+
+TEST(Protocol, FalseSharingConcurrentWritersBothFlush)
+{
+    MiniCluster c(3);
+    GAddr a = c.space.alloc(4096);
+    c.spawn("setup", [&]() { c.proto.access(0, a, 4096, true);
+                             c.proto.release(0); });
+    c.spawn("w1", [&]() {
+        c.engine.advance(1 * sim::MS);
+        c.proto.access(1, a, 8, true);
+        c.space.hostAs<uint64_t>(a)[0] = 11;
+        c.proto.release(1);
+    });
+    c.spawn("w2", [&]() {
+        c.engine.advance(1 * sim::MS);
+        c.proto.access(2, a + 2048, 8, true);
+        c.space.hostAs<uint64_t>(a + 2048)[0] = 22;
+        c.proto.release(2);
+    });
+    c.run();
+    EXPECT_EQ(c.space.hostAs<uint64_t>(a)[0], 11u);
+    EXPECT_EQ(c.space.hostAs<uint64_t>(a + 2048)[0], 22u);
+    EXPECT_EQ(c.proto.nodeStats(1).diffsFlushed +
+                  c.proto.nodeStats(2).diffsFlushed,
+              2u);
+}
+
+TEST(Protocol, DirtyPageInvalidationFlushesFirst)
+{
+    MiniCluster c(2);
+    GAddr a = c.space.alloc(4096);
+    c.spawn("t", [&]() {
+        c.proto.access(0, a, 8, true); // home node 0
+        c.proto.release(0);
+        // Node 1 writes (dirty, twinned) ...
+        c.proto.access(1, a, 8, true);
+        c.space.hostAs<uint64_t>(a)[1] = 7;
+        // ... then node 0 writes and releases again.
+        c.proto.access(0, a + 8, 8, true);
+        c.proto.release(0);
+        // Node 1 acquires: its dirty copy must be flushed, then dropped.
+        uint64_t flushed = c.proto.nodeStats(1).diffsFlushed;
+        c.proto.acquireUpTo(1, c.proto.flushSeq());
+        EXPECT_EQ(c.proto.nodeStats(1).diffsFlushed, flushed + 1);
+        EXPECT_FALSE(c.proto.valid(1, pageOf(a), false));
+    });
+    c.run();
+}
+
+TEST(Protocol, MigrationMovesHome)
+{
+    MiniCluster c(2);
+    GAddr a = c.space.alloc(4096);
+    c.spawn("t", [&]() {
+        c.proto.access(0, a, 8, true);
+        EXPECT_EQ(c.proto.home(pageOf(a)), 0);
+        c.proto.migratePage(pageOf(a), 1);
+        EXPECT_EQ(c.proto.home(pageOf(a)), 1);
+        EXPECT_TRUE(c.proto.valid(1, pageOf(a), false));
+    });
+    c.run();
+}
+
+TEST(Protocol, UnbindResetsEverything)
+{
+    MiniCluster c(2);
+    GAddr a = c.space.alloc(4096);
+    c.spawn("t", [&]() {
+        c.proto.access(0, a, 8, true);
+        c.proto.access(1, a, 8, false);
+        c.proto.unbindPage(pageOf(a));
+        EXPECT_EQ(c.proto.home(pageOf(a)), net::InvalidNode);
+        EXPECT_FALSE(c.proto.valid(0, pageOf(a), false));
+        EXPECT_FALSE(c.proto.valid(1, pageOf(a), false));
+    });
+    c.run();
+}
+
+TEST(Protocol, MultiPageAccessFaultsEachPage)
+{
+    MiniCluster c(2);
+    GAddr a = c.space.alloc(4 * 4096);
+    c.spawn("t", [&]() {
+        c.proto.access(0, a, 4 * 4096, true);
+        c.proto.release(0);
+        c.proto.access(1, a, 4 * 4096, false);
+        EXPECT_EQ(c.proto.nodeStats(1).pagesFetched, 4u);
+    });
+    c.run();
+}
+
+TEST(Protocol, FetchHookFiresPerRemoteFetch)
+{
+    MiniCluster c(2);
+    GAddr a = c.space.alloc(4096);
+    int hook_calls = 0;
+    c.proto.setFetchHook(
+        [&](net::NodeId reader, net::NodeId home, PageId) {
+            ++hook_calls;
+            EXPECT_EQ(reader, 1);
+            EXPECT_EQ(home, 0);
+        });
+    c.spawn("t", [&]() {
+        c.proto.access(0, a, 8, true);
+        c.proto.access(1, a, 8, false);
+    });
+    c.run();
+    EXPECT_EQ(hook_calls, 1);
+}

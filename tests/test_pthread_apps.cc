@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests for the Table 5 pthreads programs (PN, PC, PIPE): verified
+ * output, and the per-operation statistics the table reports.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/pthread_apps.hh"
+
+using namespace cables;
+using namespace cables::apps;
+using cs::Backend;
+
+namespace {
+
+ClusterConfig
+cablesCluster(int procs)
+{
+    return splashConfig(Backend::CableS, procs);
+}
+
+} // namespace
+
+TEST(PthreadApps, PnCountsPrimesExactly)
+{
+    AppOut out;
+    PnParams p;
+    p.threads = 6;
+    p.limit = 30000;
+    RunResult r = runProgram(cablesCluster(8),
+                             [&](Runtime &rt, RunResult &res) {
+                                 runPn(rt, p, out);
+                                 res.valid = out.valid;
+                             });
+    EXPECT_TRUE(out.valid);
+    EXPECT_EQ(uint64_t(out.checksum), 3245u); // pi(30000)
+    // Table 5 columns: PN uses create, mutexes and conditions.
+    EXPECT_GT(r.ops.create.count(), 0u);
+    EXPECT_GT(r.ops.lock.count(), 0u);
+    EXPECT_GT(r.ops.signal.count(), 0u);
+    EXPECT_GT(r.ops.wait.count(), 0u);
+    EXPECT_GT(r.attaches, 0);
+}
+
+TEST(PthreadApps, PnScalesAcrossNodes)
+{
+    AppOut small_out, big_out;
+    PnParams p;
+    p.limit = 60000;
+    p.threads = 2;
+    runProgram(cablesCluster(2), [&](Runtime &rt, RunResult &res) {
+        runPn(rt, p, small_out);
+        res.valid = small_out.valid;
+    });
+    p.threads = 8;
+    runProgram(cablesCluster(8), [&](Runtime &rt, RunResult &res) {
+        runPn(rt, p, big_out);
+        res.valid = big_out.valid;
+    });
+    EXPECT_TRUE(small_out.valid);
+    EXPECT_TRUE(big_out.valid);
+    EXPECT_EQ(small_out.checksum, big_out.checksum);
+}
+
+TEST(PthreadApps, PcRunsOnOneNode)
+{
+    AppOut out;
+    PcParams p;
+    RunResult r = runProgram(cablesCluster(2),
+                             [&](Runtime &rt, RunResult &res) {
+                                 runPc(rt, p, out);
+                                 res.valid = out.valid;
+                             });
+    EXPECT_TRUE(out.valid);
+    // Producer + consumer fit on the master node: no attach.
+    EXPECT_EQ(r.attaches, 0);
+    // Local operation costs only: Table 5's PC row shows microsecond-
+    // scale means (reported in ms).
+    EXPECT_LT(r.ops.lock.mean(), 1.0);
+}
+
+TEST(PthreadApps, PcPreservesAllItems)
+{
+    AppOut out;
+    PcParams p;
+    p.items = 500;
+    p.capacity = 4;
+    runProgram(cablesCluster(2), [&](Runtime &rt, RunResult &res) {
+        runPc(rt, p, out);
+        res.valid = out.valid;
+    });
+    EXPECT_TRUE(out.valid);
+}
+
+TEST(PthreadApps, PipeComputesPipelineResult)
+{
+    AppOut out;
+    PipeParams p;
+    RunResult r = runProgram(cablesCluster(8),
+                             [&](Runtime &rt, RunResult &res) {
+                                 runPipe(rt, p, out);
+                                 res.valid = out.valid;
+                             });
+    EXPECT_TRUE(out.valid);
+    EXPECT_GT(r.ops.wait.count(), 0u);
+    EXPECT_GT(r.ops.signal.count(), 0u);
+}
+
+TEST(PthreadApps, PipeWorksWithManyStages)
+{
+    AppOut out;
+    PipeParams p;
+    p.stages = 7;
+    p.items = 100;
+    runProgram(cablesCluster(8), [&](Runtime &rt, RunResult &res) {
+        runPipe(rt, p, out);
+        res.valid = out.valid;
+    });
+    EXPECT_TRUE(out.valid);
+}

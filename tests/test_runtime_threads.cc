@@ -1,0 +1,269 @@
+/**
+ * @file
+ * CableS thread-management tests: dynamic creation, round-robin
+ * placement, on-demand node attach (with the paper's multi-second
+ * cost), join/exit/cancel semantics, thread-specific data, and idle
+ * node detach.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cables/memory.hh"
+#include "cables/runtime.hh"
+#include "cables/shared.hh"
+
+using namespace cables;
+using namespace cables::cs;
+using sim::Tick;
+using sim::US;
+using sim::MS;
+
+namespace {
+
+ClusterConfig
+smallCluster(Backend b = Backend::CableS, int nodes = 4)
+{
+    ClusterConfig cfg;
+    cfg.backend = b;
+    cfg.nodes = nodes;
+    cfg.procsPerNode = 2;
+    cfg.maxThreadsPerNode = 2;
+    cfg.sharedBytes = 16 * 1024 * 1024;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Threads, MasterRunsOnNodeZero)
+{
+    Runtime rt(smallCluster());
+    NodeId seen = -1;
+    rt.run([&]() { seen = rt.selfNode(); });
+    EXPECT_EQ(seen, 0);
+    EXPECT_EQ(rt.attachedNodes(), 1);
+}
+
+TEST(Threads, LocalCreateCostNearTable4)
+{
+    // Table 4: local thread create 766 us (140 CableS + 626 OS).
+    Runtime rt(smallCluster());
+    Tick cost = 0;
+    rt.run([&]() {
+        Tick t0 = rt.now();
+        int t = rt.threadCreate([]() {});
+        cost = rt.now() - t0;
+        rt.join(t);
+    });
+    EXPECT_NEAR(sim::toUs(cost), 766.0, 40.0);
+}
+
+TEST(Threads, RemoteCreateCostNearTable4)
+{
+    // Table 4: remote create 819 us on an already-attached node.
+    Runtime rt(smallCluster());
+    Tick cost = 0;
+    rt.run([&]() {
+        // Fill node 0, forcing an attach; then measure a create that
+        // lands on the already-attached node 1.
+        int a = rt.threadCreate([&]() { rt.compute(50 * MS); });
+        int b = rt.threadCreate([&]() { rt.compute(50 * MS); });
+        Tick t0 = rt.now();
+        int c = rt.threadCreate([]() {});
+        cost = rt.now() - t0;
+        rt.join(a);
+        rt.join(b);
+        rt.join(c);
+    });
+    EXPECT_NEAR(sim::toUs(cost), 819.0, 80.0);
+}
+
+TEST(Threads, NodeAttachCostIsSeconds)
+{
+    // Table 4: attach node ~3690 ms.
+    Runtime rt(smallCluster());
+    Tick cost = 0;
+    rt.run([&]() {
+        int a = rt.threadCreate([&]() { rt.compute(20 * MS); });
+        Tick t0 = rt.now();
+        int b = rt.threadCreate([&]() {}); // node 0 full -> attach
+        cost = rt.now() - t0;
+        rt.join(a);
+        rt.join(b);
+    });
+    EXPECT_NEAR(sim::toMs(cost), 3690.0, 400.0);
+    EXPECT_EQ(rt.attachCount(), 1);
+}
+
+TEST(Threads, RoundRobinFillsNodesBeforeAttaching)
+{
+    Runtime rt(smallCluster());
+    std::vector<NodeId> nodes;
+    rt.run([&]() {
+        std::vector<int> tids;
+        std::vector<NodeId> where(5, -1);
+        for (int i = 0; i < 5; ++i) {
+            tids.push_back(rt.threadCreate([&, i]() {
+                where[i] = rt.selfNode();
+                // Stay alive across all the (multi-second) attaches so
+                // node occupancy reflects placement, not lifetime.
+                rt.compute(30000 * MS);
+            }));
+        }
+        for (int t : tids)
+            rt.join(t);
+        nodes = where;
+    });
+    // Master occupies one slot on node 0: one more thread fits there,
+    // then nodes 1 and 2 fill, two threads each.
+    EXPECT_EQ(nodes[0], 0);
+    EXPECT_EQ(nodes[1], 1);
+    EXPECT_EQ(nodes[2], 1);
+    EXPECT_EQ(nodes[3], 2);
+    EXPECT_EQ(nodes[4], 2);
+    EXPECT_EQ(rt.attachCount(), 2);
+}
+
+TEST(Threads, BaseBackendNeverAttaches)
+{
+    Runtime rt(smallCluster(Backend::BaseSvm));
+    rt.run([&]() {
+        std::vector<int> tids;
+        for (int i = 0; i < 7; ++i)
+            tids.push_back(rt.threadCreate([&]() { rt.compute(MS); }));
+        for (int t : tids)
+            rt.join(t);
+    });
+    EXPECT_EQ(rt.attachCount(), 0);
+    EXPECT_EQ(rt.attachedNodes(), 4);
+}
+
+TEST(Threads, JoinWaitsForChild)
+{
+    Runtime rt(smallCluster());
+    Tick join_done = 0;
+    rt.run([&]() {
+        int t = rt.threadCreate([&]() { rt.compute(30 * MS); });
+        rt.join(t);
+        join_done = rt.now();
+        EXPECT_TRUE(rt.threadFinished(t));
+    });
+    EXPECT_GE(join_done, Tick(30 * MS));
+}
+
+TEST(Threads, JoinAfterChildAlreadyFinished)
+{
+    Runtime rt(smallCluster());
+    rt.run([&]() {
+        int t = rt.threadCreate([]() {});
+        rt.compute(50 * MS);
+        rt.join(t); // must not hang or crash
+        EXPECT_TRUE(rt.threadFinished(t));
+    });
+}
+
+TEST(Threads, ExitThreadUnwinds)
+{
+    Runtime rt(smallCluster());
+    bool after_exit = false;
+    rt.run([&]() {
+        int t = rt.threadCreate([&]() {
+            rt.exitThread();
+            after_exit = true; // must not run
+        });
+        rt.join(t);
+    });
+    EXPECT_FALSE(after_exit);
+}
+
+TEST(Threads, CancelBlockedCondWaiter)
+{
+    Runtime rt(smallCluster());
+    bool woke_normally = false;
+    rt.run([&]() {
+        int m = rt.mutexCreate();
+        int cv = rt.condCreate();
+        int t = rt.threadCreate([&]() {
+            rt.mutexLock(m);
+            rt.condWait(cv, m);
+            woke_normally = true;
+        });
+        rt.compute(10 * MS);
+        rt.cancel(t);
+        rt.join(t);
+    });
+    EXPECT_FALSE(woke_normally);
+}
+
+TEST(Threads, CancelRunningThreadAtTestCancel)
+{
+    Runtime rt(smallCluster());
+    int iterations = 0;
+    rt.run([&]() {
+        int t = rt.threadCreate([&]() {
+            for (int i = 0; i < 1000000; ++i) {
+                ++iterations;
+                rt.compute(1 * MS);
+                rt.testCancel();
+            }
+        });
+        rt.compute(20 * MS);
+        rt.cancel(t);
+        rt.join(t);
+    });
+    EXPECT_GT(iterations, 0);
+    EXPECT_LT(iterations, 1000000);
+}
+
+TEST(Threads, SpecificDataIsPerThread)
+{
+    Runtime rt(smallCluster());
+    uint64_t a = 0, b = 0;
+    rt.run([&]() {
+        int key = rt.keyCreate();
+        rt.setSpecific(key, 111);
+        int t = rt.threadCreate([&]() {
+            rt.setSpecific(key, 222);
+            b = rt.getSpecific(key);
+        });
+        rt.join(t);
+        a = rt.getSpecific(key);
+    });
+    EXPECT_EQ(a, 111u);
+    EXPECT_EQ(b, 222u);
+}
+
+TEST(Threads, IdleNodeDetachesWhenItHomesNoData)
+{
+    Runtime rt(smallCluster());
+    int attached_during = 0, attached_after = 0;
+    rt.run([&]() {
+        int a = rt.threadCreate([&]() { rt.compute(5 * MS); });
+        int b = rt.threadCreate([&]() { rt.compute(200 * MS); });
+        attached_during = rt.attachedNodes();
+        rt.join(a);
+        rt.join(b);
+        attached_after = rt.attachedNodes();
+    });
+    EXPECT_EQ(attached_during, 2);
+    EXPECT_EQ(attached_after, 1);
+}
+
+TEST(Threads, OversubscriptionWhenClusterFull)
+{
+    ClusterConfig cfg = smallCluster();
+    cfg.nodes = 2;
+    Runtime rt(cfg);
+    rt.run([&]() {
+        std::vector<int> tids;
+        for (int i = 0; i < 8; ++i) {
+            tids.push_back(
+                rt.threadCreate([&]() { rt.compute(20000 * MS); }));
+        }
+        for (int t : tids)
+            rt.join(t);
+    });
+    // Exactly one attach happened (the second and last node); the
+    // extra threads oversubscribed rather than failing.
+    EXPECT_EQ(rt.attachCount(), 1);
+    EXPECT_EQ(rt.totalThreadsCreated(), 9); // master + 8
+}

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Unit tests for the discrete-event engine: virtual clocks, the
+ * earliest-first discipline, events, block/wake, processor occupancy
+ * and deadlock detection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hh"
+#include "util/logging.hh"
+
+using namespace cables;
+using namespace cables::sim;
+
+TEST(Engine, SingleThreadAdvancesClock)
+{
+    Engine e;
+    Tick end = -1;
+    e.spawn("t", [&]() {
+        EXPECT_EQ(e.now(), 0);
+        e.advance(5 * US);
+        end = e.now();
+    }, 0);
+    e.run();
+    EXPECT_EQ(end, 5 * US);
+    EXPECT_EQ(e.maxTime(), 5 * US);
+}
+
+TEST(Engine, StartTimeRespected)
+{
+    Engine e;
+    Tick seen = -1;
+    e.spawn("late", [&]() { seen = e.now(); }, 3 * MS);
+    e.run();
+    EXPECT_EQ(seen, 3 * MS);
+}
+
+TEST(Engine, EarliestThreadRunsFirstAtSyncPoints)
+{
+    Engine e;
+    std::vector<int> order;
+    e.spawn("slow", [&]() {
+        e.advance(10 * US);
+        e.sync();
+        order.push_back(1);
+    }, 0);
+    e.spawn("fast", [&]() {
+        e.advance(1 * US);
+        e.sync();
+        order.push_back(0);
+    }, 0);
+    e.run();
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], 0);
+    EXPECT_EQ(order[1], 1);
+}
+
+TEST(Engine, EventsRunInTimeOrder)
+{
+    Engine e;
+    std::vector<int> order;
+    e.schedule(5 * US, [&]() { order.push_back(1); });
+    e.schedule(2 * US, [&]() { order.push_back(0); });
+    e.schedule(9 * US, [&]() { order.push_back(2); });
+    e.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+    EXPECT_EQ(e.eventsRun(), 3u);
+}
+
+TEST(Engine, EventsInterleaveWithThreads)
+{
+    Engine e;
+    std::vector<int> order;
+    e.schedule(5 * US, [&]() { order.push_back(1); });
+    e.spawn("t", [&]() {
+        e.advance(2 * US);
+        e.sync();
+        order.push_back(0);
+        e.advance(10 * US);
+        e.sync();
+        order.push_back(2);
+    }, 0);
+    e.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Engine, BlockAndWake)
+{
+    Engine e;
+    Tick woke_at = -1;
+    ThreadId sleeper = e.spawn("sleeper", [&]() {
+        e.block("test");
+        woke_at = e.now();
+    }, 0);
+    e.spawn("waker", [&]() {
+        e.advance(7 * US);
+        e.sync();
+        e.wake(sleeper, 9 * US);
+    }, 0);
+    e.run();
+    EXPECT_EQ(woke_at, 9 * US);
+}
+
+TEST(Engine, WakeNeverMovesClockBackwards)
+{
+    Engine e;
+    Tick woke_at = -1;
+    ThreadId sleeper = e.spawn("sleeper", [&]() {
+        e.advance(20 * US);
+        e.sync();
+        e.block("test");
+        woke_at = e.now();
+    }, 0);
+    e.spawn("waker", [&]() {
+        e.advance(30 * US);
+        e.sync();
+        e.wake(sleeper, 5 * US); // earlier than the sleeper's clock
+    }, 0);
+    e.run();
+    EXPECT_EQ(woke_at, 20 * US);
+}
+
+TEST(Engine, DeadlockDetected)
+{
+    Engine e;
+    e.spawn("stuck", [&]() { e.block("forever"); }, 0);
+    EXPECT_THROW(e.run(), FatalError);
+}
+
+TEST(Engine, DeadlockAllowedWhenRequested)
+{
+    Engine e;
+    e.spawn("stuck", [&]() { e.block("forever"); }, 0);
+    EXPECT_NO_THROW(e.run(true));
+}
+
+TEST(Engine, SpawnFromInsideThread)
+{
+    Engine e;
+    Tick child_time = -1;
+    e.spawn("parent", [&]() {
+        e.advance(4 * US);
+        e.spawn("child", [&]() { child_time = e.now(); }, e.now());
+    }, 0);
+    e.run();
+    EXPECT_EQ(child_time, 4 * US);
+}
+
+TEST(Engine, FinishedStateReported)
+{
+    Engine e;
+    ThreadId t = e.spawn("t", []() {}, 0);
+    e.run();
+    EXPECT_TRUE(e.finished(t));
+}
+
+TEST(Processor, SerializesThreads)
+{
+    Engine e;
+    Processor proc;
+    Tick t1 = 0, t2 = 0;
+    e.spawn("a", [&]() {
+        proc.compute(e, 4 * MS);
+        t1 = e.now();
+    }, 0);
+    e.spawn("b", [&]() {
+        proc.compute(e, 4 * MS);
+        t2 = e.now();
+    }, 0);
+    e.run();
+    // Two 4ms jobs on one CPU must take 8ms of simulated time in total.
+    EXPECT_EQ(std::max(t1, t2), 8 * MS);
+}
+
+TEST(Processor, IndependentProcessorsRunInParallel)
+{
+    Engine e;
+    Processor p0, p1;
+    Tick t1 = 0, t2 = 0;
+    e.spawn("a", [&]() {
+        p0.compute(e, 4 * MS);
+        t1 = e.now();
+    }, 0);
+    e.spawn("b", [&]() {
+        p1.compute(e, 4 * MS);
+        t2 = e.now();
+    }, 0);
+    e.run();
+    EXPECT_EQ(t1, 4 * MS);
+    EXPECT_EQ(t2, 4 * MS);
+}
+
+TEST(Processor, QuantumInterleavingIsFair)
+{
+    Engine e;
+    Processor proc;
+    Tick t1 = 0, t2 = 0;
+    e.spawn("a", [&]() {
+        proc.compute(e, 10 * MS);
+        t1 = e.now();
+    }, 0);
+    e.spawn("b", [&]() {
+        proc.compute(e, 2 * MS);
+        t2 = e.now();
+    }, 0);
+    e.run();
+    // The short job must not wait for the long one to finish entirely.
+    EXPECT_LT(t2, 6 * MS);
+    EXPECT_EQ(std::max(t1, t2), 12 * MS);
+}
+
+TEST(Processor, OccupyUntilBlocksLaterCompute)
+{
+    Engine e;
+    Processor proc;
+    Tick t1 = 0;
+    e.spawn("a", [&]() {
+        proc.occupyUntil(3 * MS);
+        proc.compute(e, 1 * MS);
+        t1 = e.now();
+    }, 0);
+    e.run();
+    EXPECT_EQ(t1, 4 * MS);
+}
+
+TEST(Engine, ManyThreadsDeterministicInterleave)
+{
+    auto run_once = [&]() {
+        Engine e;
+        std::vector<int> order;
+        for (int i = 0; i < 16; ++i) {
+            e.spawn("t", [&, i]() {
+                for (int k = 0; k < 5; ++k) {
+                    e.advance((i + 1) * US);
+                    e.sync();
+                    order.push_back(i);
+                }
+            }, 0);
+        }
+        e.run();
+        return order;
+    };
+    EXPECT_EQ(run_once(), run_once());
+}

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * SVM lock and native-barrier tests: token caching (the local-lock fast
+ * path), manager forwarding, FIFO contention, write-notice propagation
+ * through grants, and barrier cost/semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "test_util.hh"
+
+using namespace cables;
+using namespace cables::test;
+using namespace cables::svm;
+using sim::Tick;
+using sim::US;
+
+TEST(SvmLock, LocalReacquireIsCheap)
+{
+    MiniCluster c(2);
+    Tick first = 0, second = 0;
+    LockId l = c.locks.create(0);
+    c.spawn("t", [&]() {
+        Tick t0 = c.engine.now();
+        c.locks.acquire(0, l);
+        first = c.engine.now() - t0;
+        c.locks.release(0, l);
+        t0 = c.engine.now();
+        c.locks.acquire(0, l);
+        second = c.engine.now() - t0;
+        c.locks.release(0, l);
+    });
+    c.run();
+    EXPECT_LT(sim::toUs(second), 5.0);
+    EXPECT_LE(second, first);
+}
+
+TEST(SvmLock, RemoteAcquireCostsRoundTrips)
+{
+    MiniCluster c(2);
+    Tick cost = 0;
+    LockId l = c.locks.create(0);
+    c.spawn("t", [&]() {
+        Tick t0 = c.engine.now();
+        c.locks.acquire(1, l); // token at manager 0, requester 1
+        cost = c.engine.now() - t0;
+        c.locks.release(1, l);
+    });
+    c.run();
+    // Request + grant messages plus processing: tens of microseconds.
+    EXPECT_GT(sim::toUs(cost), 15.0);
+    EXPECT_LT(sim::toUs(cost), 120.0);
+}
+
+TEST(SvmLock, TokenMigratesToLastHolder)
+{
+    MiniCluster c(2);
+    LockId l = c.locks.create(0);
+    c.spawn("t", [&]() {
+        c.locks.acquire(1, l);
+        c.locks.release(1, l);
+        EXPECT_EQ(c.locks.tokenNode(l), 1);
+        // Re-acquire from node 1 is now the local fast path.
+        Tick t0 = c.engine.now();
+        c.locks.acquire(1, l);
+        EXPECT_LT(sim::toUs(c.engine.now() - t0), 5.0);
+        c.locks.release(1, l);
+    });
+    c.run();
+}
+
+TEST(SvmLock, ForwardedAcquireCostsExtraHop)
+{
+    MiniCluster c(3);
+    Tick direct = 0, forwarded = 0;
+    LockId l = c.locks.create(0);
+    c.spawn("t", [&]() {
+        Tick t0 = c.engine.now();
+        c.locks.acquire(1, l); // token at manager
+        direct = c.engine.now() - t0;
+        c.locks.release(1, l); // token cached at 1
+        t0 = c.engine.now();
+        c.locks.acquire(2, l); // manager forwards to node 1
+        forwarded = c.engine.now() - t0;
+        c.locks.release(2, l);
+    });
+    c.run();
+    EXPECT_GT(forwarded, direct);
+}
+
+TEST(SvmLock, ContendedFifoAndMutualExclusion)
+{
+    MiniCluster c(4);
+    LockId l = c.locks.create(0);
+    GAddr counter = c.space.alloc(8);
+    std::vector<int> order;
+    for (int n = 0; n < 4; ++n) {
+        c.spawn("t", [&, n]() {
+            c.engine.advance(n * 10 * US); // staggered arrival
+            c.locks.acquire(n, l);
+            order.push_back(n);
+            uint64_t *v = c.space.hostAs<uint64_t>(counter);
+            uint64_t old = *v;
+            c.engine.advance(50 * US);
+            c.engine.sync();
+            *v = old + 1; // would lose updates without mutual exclusion
+            c.locks.release(n, l);
+        });
+    }
+    c.run();
+    EXPECT_EQ(*c.space.hostAs<uint64_t>(counter), 4u);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(SvmLock, TryAcquireFailsWhenHeld)
+{
+    MiniCluster c(2);
+    LockId l = c.locks.create(0);
+    c.spawn("t", [&]() {
+        c.locks.acquire(0, l);
+        EXPECT_FALSE(c.locks.tryAcquire(1, l));
+        c.locks.release(0, l);
+        EXPECT_TRUE(c.locks.tryAcquire(1, l));
+        c.locks.release(1, l);
+    });
+    c.run();
+}
+
+TEST(SvmLock, GrantCarriesWriteNotices)
+{
+    MiniCluster c(2);
+    LockId l = c.locks.create(0);
+    GAddr a = c.space.alloc(4096);
+    c.spawn("t", [&]() {
+        c.locks.acquire(0, l);
+        c.proto.access(0, a, 8, true);
+        c.proto.access(1, a, 8, false); // node 1 caches
+        c.proto.access(0, a, 8, true);
+        c.locks.release(0, l); // flushes, appends notice
+        c.locks.acquire(1, l); // grant applies notices
+        EXPECT_FALSE(c.proto.valid(1, pageOf(a), false));
+        c.locks.release(1, l);
+    });
+    c.run();
+}
+
+TEST(SvmBarrier, ReleasesAllAtSameLogicalPoint)
+{
+    MiniCluster c(4);
+    BarrierId b = c.barriers.create(0);
+    std::vector<Tick> times(4, 0);
+    for (int n = 0; n < 4; ++n) {
+        c.spawn("t", [&, n]() {
+            c.engine.advance(n * 100 * US);
+            c.barriers.enter(n, b, 4);
+            times[n] = c.engine.now();
+        });
+    }
+    c.run();
+    // Everyone leaves after the last arrival (300 us).
+    for (int n = 0; n < 4; ++n)
+        EXPECT_GE(times[n], Tick(300 * US));
+    // Departures are within a broadcast of each other.
+    Tick lo = *std::min_element(times.begin(), times.end());
+    Tick hi = *std::max_element(times.begin(), times.end());
+    EXPECT_LT(sim::toUs(hi - lo), 60.0);
+}
+
+TEST(SvmBarrier, UncontendedCostNearPaper)
+{
+    // The paper's GeNIMA barrier: ~70 us on a small system.
+    MiniCluster c(4);
+    BarrierId b = c.barriers.create(0);
+    std::vector<Tick> cost(4, 0);
+    for (int n = 0; n < 4; ++n) {
+        c.spawn("t", [&, n]() {
+            Tick t0 = c.engine.now();
+            c.barriers.enter(n, b, 4);
+            cost[n] = c.engine.now() - t0;
+        });
+    }
+    c.run();
+    Tick worst = *std::max_element(cost.begin(), cost.end());
+    EXPECT_NEAR(sim::toUs(worst), 70.0, 40.0);
+}
+
+TEST(SvmBarrier, PropagatesWritesAcrossIt)
+{
+    MiniCluster c(2);
+    BarrierId b = c.barriers.create(0);
+    GAddr a = c.space.alloc(4096);
+    uint64_t seen = 0;
+    c.spawn("writer", [&]() {
+        c.proto.access(0, a, 8, true);
+        c.space.hostAs<uint64_t>(a)[0] = 123;
+        c.barriers.enter(0, b, 2);
+    });
+    c.spawn("reader", [&]() {
+        c.proto.access(1, a, 8, false); // cache before the write settles
+        c.barriers.enter(1, b, 2);
+        c.proto.access(1, a, 8, false);
+        seen = c.space.hostAs<uint64_t>(a)[0];
+    });
+    c.run();
+    EXPECT_EQ(seen, 123u);
+}
+
+TEST(SvmBarrier, Reusable)
+{
+    MiniCluster c(2);
+    BarrierId b = c.barriers.create(0);
+    int rounds_done = 0;
+    for (int n = 0; n < 2; ++n) {
+        c.spawn("t", [&, n]() {
+            for (int r = 0; r < 5; ++r) {
+                c.engine.advance((n + 1) * 10 * US);
+                c.barriers.enter(n, b, 2);
+            }
+            if (n == 0)
+                rounds_done = 5;
+        });
+    }
+    c.run();
+    EXPECT_EQ(rounds_done, 5);
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Shared scaffolding for unit tests: a miniature cluster (engine,
+ * network, vmmc, address space, protocol, lock/barrier tables) with
+ * helpers to run test bodies inside simulated threads.
+ */
+
+#ifndef CABLES_TESTS_TEST_UTIL_HH
+#define CABLES_TESTS_TEST_UTIL_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/network.hh"
+#include "sim/engine.hh"
+#include "svm/addr_space.hh"
+#include "svm/protocol.hh"
+#include "svm/sync.hh"
+#include "vmmc/vmmc.hh"
+
+namespace cables {
+namespace test {
+
+/** A bare substrate cluster (no CableS layer). */
+struct MiniCluster
+{
+    explicit MiniCluster(int nodes, size_t mem_bytes = 8 * 1024 * 1024)
+        : network(nodes, net::NetParams{}),
+          comm(engine, network, vmmc::VmmcParams{}),
+          space(mem_bytes),
+          proto(engine, comm, space, nodes, svm::ProtoParams{}),
+          locks(engine, network, proto, svm::SyncParams{}),
+          barriers(engine, network, proto, svm::SyncParams{})
+    {
+        // Default binder: plain first touch at page granularity.
+        proto.setHomeBinder(
+            [this](net::NodeId toucher, svm::PageId page, bool) {
+                proto.bindHome(page, toucher);
+                return toucher;
+            });
+    }
+
+    sim::Engine engine;
+    net::Network network;
+    vmmc::Vmmc comm;
+    svm::AddressSpace space;
+    svm::Protocol proto;
+    svm::LockTable locks;
+    svm::BarrierTable barriers;
+
+    /** Spawn a simulated thread at tick 0. */
+    sim::ThreadId
+    spawn(std::string name, std::function<void()> fn)
+    {
+        return engine.spawn(std::move(name), std::move(fn), 0);
+    }
+
+    void run() { engine.run(); }
+};
+
+} // namespace test
+} // namespace cables
+
+#endif // CABLES_TESTS_TEST_UTIL_HH

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * VMMC tests: registration resource accounting and limits (the paper's
+ * Table 1), data-movement timing, and notification handlers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "test_util.hh"
+
+using namespace cables;
+using namespace cables::test;
+using namespace cables::vmmc;
+using sim::Tick;
+using sim::US;
+
+TEST(Vmmc, ExportConsumesRegionAndPinResources)
+{
+    MiniCluster c(2);
+    c.spawn("t", [&]() {
+        c.comm.exportRegion(0, 0, 64 * 1024);
+        EXPECT_EQ(c.comm.usage(0).regions, 1u);
+        EXPECT_EQ(c.comm.usage(0).registeredBytes, 64u * 1024);
+        EXPECT_EQ(c.comm.usage(0).pinnedBytes, 64u * 1024);
+    });
+    c.run();
+}
+
+TEST(Vmmc, UnexportReleasesResources)
+{
+    MiniCluster c(2);
+    c.spawn("t", [&]() {
+        int r = c.comm.exportRegion(0, 0, 16 * 1024);
+        c.comm.unexportRegion(0, r);
+        EXPECT_EQ(c.comm.usage(0).regions, 0u);
+        EXPECT_EQ(c.comm.usage(0).registeredBytes, 0u);
+    });
+    c.run();
+}
+
+TEST(Vmmc, RegionCountLimitEnforced)
+{
+    MiniCluster c(2);
+    c.spawn("t", [&]() {
+        size_t limit = c.comm.params().maxRegionsPerNode;
+        for (size_t i = 0; i < limit; ++i)
+            c.comm.accountExport(0, 8);
+        EXPECT_THROW(c.comm.accountExport(0, 8), RegistrationError);
+    });
+    c.run();
+}
+
+TEST(Vmmc, RegisteredBytesLimitEnforced)
+{
+    MiniCluster c(2);
+    c.spawn("t", [&]() {
+        size_t limit = c.comm.params().maxRegisteredBytes;
+        EXPECT_THROW(c.comm.exportRegion(0, 0, limit + 1),
+                     RegistrationError);
+    });
+    c.run();
+}
+
+TEST(Vmmc, PinLimitIndependentOfRegisteredLimit)
+{
+    sim::Engine e;
+    net::Network n(2, net::NetParams{});
+    VmmcParams p;
+    p.maxPinnedBytes = 1024;
+    p.maxRegisteredBytes = 1 << 30;
+    Vmmc comm(e, n, p);
+    e.spawn("t", [&]() {
+        EXPECT_THROW(comm.exportRegion(0, 0, 4096), RegistrationError);
+    }, 0);
+    e.run();
+}
+
+TEST(Vmmc, ExtendChargesOnlyAddedPages)
+{
+    MiniCluster c(2);
+    Tick small = 0, large = 0;
+    c.spawn("t", [&]() {
+        int r = c.comm.exportRegion(0, 0, 4096);
+        Tick t0 = c.engine.now();
+        c.comm.extendRegion(0, r, 2 * 4096);
+        small = c.engine.now() - t0;
+        t0 = c.engine.now();
+        c.comm.extendRegion(0, r, 34 * 4096);
+        large = c.engine.now() - t0;
+        EXPECT_EQ(c.comm.usage(0).registeredBytes, 34u * 4096);
+    });
+    c.run();
+    EXPECT_GT(large, small);
+}
+
+TEST(Vmmc, ImportConsumesImporterRegionEntry)
+{
+    MiniCluster c(2);
+    c.spawn("t", [&]() {
+        int r = c.comm.exportRegion(1, 0, 4096);
+        c.comm.importRegion(0, 1, r);
+        EXPECT_EQ(c.comm.usage(0).regions, 1u);
+        EXPECT_EQ(c.comm.usage(1).regions, 1u);
+    });
+    c.run();
+}
+
+TEST(Vmmc, FetchBlocksForRoundTrip)
+{
+    MiniCluster c(2);
+    Tick elapsed = 0;
+    c.spawn("t", [&]() {
+        Tick t0 = c.engine.now();
+        c.comm.fetch(0, 1, 4096);
+        elapsed = c.engine.now() - t0;
+    });
+    c.run();
+    EXPECT_NEAR(sim::toUs(elapsed), 81.0, 5.0);
+}
+
+TEST(Vmmc, AsyncWriteChargesOnlyIssueCost)
+{
+    MiniCluster c(2);
+    Tick elapsed = 0;
+    c.spawn("t", [&]() {
+        Tick t0 = c.engine.now();
+        c.comm.write(0, 1, 4096);
+        elapsed = c.engine.now() - t0;
+    });
+    c.run();
+    EXPECT_LT(sim::toUs(elapsed), 5.0);
+}
+
+TEST(Vmmc, NotificationInvokesHandlerAtDispatchTime)
+{
+    MiniCluster c(2);
+    Tick handler_time = -1;
+    net::NodeId from = -1;
+    uint64_t arg_seen = 0;
+    int h = c.comm.installHandler(1, [&](net::NodeId f, uint64_t arg) {
+        handler_time = c.engine.maxTime();
+        from = f;
+        arg_seen = arg;
+    });
+    c.spawn("t", [&]() { c.comm.notify(0, 1, h, 42); });
+    c.run();
+    EXPECT_EQ(from, 0);
+    EXPECT_EQ(arg_seen, 42u);
+    EXPECT_GE(handler_time, Tick(18 * US));
+}
+
+TEST(Vmmc, AccountingVariantsChargeNoTime)
+{
+    MiniCluster c(2);
+    Tick elapsed = -1;
+    c.spawn("t", [&]() {
+        Tick t0 = c.engine.now();
+        c.comm.exportRegionAccounted(0, 64 * 1024);
+        c.comm.importAccounted(1);
+        elapsed = c.engine.now() - t0;
+    });
+    c.run();
+    EXPECT_EQ(elapsed, 0);
+    EXPECT_EQ(c.comm.usage(0).regions, 1u);
+    EXPECT_EQ(c.comm.usage(1).regions, 1u);
+}
