@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_migration.cc" "bench/CMakeFiles/bench_ablation_migration.dir/bench_ablation_migration.cc.o" "gcc" "bench/CMakeFiles/bench_ablation_migration.dir/bench_ablation_migration.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/cables_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/m4/CMakeFiles/cables_m4.dir/DependInfo.cmake"
+  "/root/repo/build/src/cables/CMakeFiles/cables_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/svm/CMakeFiles/cables_svm.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmmc/CMakeFiles/cables_vmmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cables_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cables_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cables_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

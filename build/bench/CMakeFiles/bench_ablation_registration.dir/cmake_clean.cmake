@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_registration.dir/bench_ablation_registration.cc.o"
+  "CMakeFiles/bench_ablation_registration.dir/bench_ablation_registration.cc.o.d"
+  "bench_ablation_registration"
+  "bench_ablation_registration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_registration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

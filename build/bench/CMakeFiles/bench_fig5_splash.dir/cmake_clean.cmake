@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_splash.dir/bench_fig5_splash.cc.o"
+  "CMakeFiles/bench_fig5_splash.dir/bench_fig5_splash.cc.o.d"
+  "bench_fig5_splash"
+  "bench_fig5_splash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_splash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

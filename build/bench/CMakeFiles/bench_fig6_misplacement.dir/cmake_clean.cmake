@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_misplacement.dir/bench_fig6_misplacement.cc.o"
+  "CMakeFiles/bench_fig6_misplacement.dir/bench_fig6_misplacement.cc.o.d"
+  "bench_fig6_misplacement"
+  "bench_fig6_misplacement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_misplacement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

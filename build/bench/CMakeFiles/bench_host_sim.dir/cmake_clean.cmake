@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_host_sim.dir/bench_host_sim.cc.o"
+  "CMakeFiles/bench_host_sim.dir/bench_host_sim.cc.o.d"
+  "bench_host_sim"
+  "bench_host_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_host_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

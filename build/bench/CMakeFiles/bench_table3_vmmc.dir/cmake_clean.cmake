@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_vmmc.dir/bench_table3_vmmc.cc.o"
+  "CMakeFiles/bench_table3_vmmc.dir/bench_table3_vmmc.cc.o.d"
+  "bench_table3_vmmc"
+  "bench_table3_vmmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_vmmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_mechanisms.dir/bench_table4_mechanisms.cc.o"
+  "CMakeFiles/bench_table4_mechanisms.dir/bench_table4_mechanisms.cc.o.d"
+  "bench_table4_mechanisms"
+  "bench_table4_mechanisms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_mechanisms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_openmp.dir/bench_table6_openmp.cc.o"
+  "CMakeFiles/bench_table6_openmp.dir/bench_table6_openmp.cc.o.d"
+  "bench_table6_openmp"
+  "bench_table6_openmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_openmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

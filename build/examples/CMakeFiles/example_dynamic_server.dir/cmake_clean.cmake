@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_dynamic_server.dir/dynamic_server.cpp.o"
+  "CMakeFiles/example_dynamic_server.dir/dynamic_server.cpp.o.d"
+  "dynamic_server"
+  "dynamic_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_dynamic_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

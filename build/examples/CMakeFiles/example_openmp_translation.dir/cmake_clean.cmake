@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_openmp_translation.dir/openmp_translation.cpp.o"
+  "CMakeFiles/example_openmp_translation.dir/openmp_translation.cpp.o.d"
+  "openmp_translation"
+  "openmp_translation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_openmp_translation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_splash_on_cables.dir/splash_on_cables.cpp.o"
+  "CMakeFiles/example_splash_on_cables.dir/splash_on_cables.cpp.o.d"
+  "splash_on_cables"
+  "splash_on_cables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_splash_on_cables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_splash_on_cables.
+# This may be replaced when dependencies are built.

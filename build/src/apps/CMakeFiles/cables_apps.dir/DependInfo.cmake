@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/fft.cc" "src/apps/CMakeFiles/cables_apps.dir/fft.cc.o" "gcc" "src/apps/CMakeFiles/cables_apps.dir/fft.cc.o.d"
+  "/root/repo/src/apps/harness.cc" "src/apps/CMakeFiles/cables_apps.dir/harness.cc.o" "gcc" "src/apps/CMakeFiles/cables_apps.dir/harness.cc.o.d"
+  "/root/repo/src/apps/lu.cc" "src/apps/CMakeFiles/cables_apps.dir/lu.cc.o" "gcc" "src/apps/CMakeFiles/cables_apps.dir/lu.cc.o.d"
+  "/root/repo/src/apps/ocean.cc" "src/apps/CMakeFiles/cables_apps.dir/ocean.cc.o" "gcc" "src/apps/CMakeFiles/cables_apps.dir/ocean.cc.o.d"
+  "/root/repo/src/apps/omp_ports.cc" "src/apps/CMakeFiles/cables_apps.dir/omp_ports.cc.o" "gcc" "src/apps/CMakeFiles/cables_apps.dir/omp_ports.cc.o.d"
+  "/root/repo/src/apps/pthread_apps.cc" "src/apps/CMakeFiles/cables_apps.dir/pthread_apps.cc.o" "gcc" "src/apps/CMakeFiles/cables_apps.dir/pthread_apps.cc.o.d"
+  "/root/repo/src/apps/radix.cc" "src/apps/CMakeFiles/cables_apps.dir/radix.cc.o" "gcc" "src/apps/CMakeFiles/cables_apps.dir/radix.cc.o.d"
+  "/root/repo/src/apps/raytrace.cc" "src/apps/CMakeFiles/cables_apps.dir/raytrace.cc.o" "gcc" "src/apps/CMakeFiles/cables_apps.dir/raytrace.cc.o.d"
+  "/root/repo/src/apps/suite.cc" "src/apps/CMakeFiles/cables_apps.dir/suite.cc.o" "gcc" "src/apps/CMakeFiles/cables_apps.dir/suite.cc.o.d"
+  "/root/repo/src/apps/volrend.cc" "src/apps/CMakeFiles/cables_apps.dir/volrend.cc.o" "gcc" "src/apps/CMakeFiles/cables_apps.dir/volrend.cc.o.d"
+  "/root/repo/src/apps/water.cc" "src/apps/CMakeFiles/cables_apps.dir/water.cc.o" "gcc" "src/apps/CMakeFiles/cables_apps.dir/water.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/m4/CMakeFiles/cables_m4.dir/DependInfo.cmake"
+  "/root/repo/build/src/cables/CMakeFiles/cables_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/svm/CMakeFiles/cables_svm.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmmc/CMakeFiles/cables_vmmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cables_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cables_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cables_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

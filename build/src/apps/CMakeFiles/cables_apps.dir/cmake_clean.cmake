@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cables_apps.dir/fft.cc.o"
+  "CMakeFiles/cables_apps.dir/fft.cc.o.d"
+  "CMakeFiles/cables_apps.dir/harness.cc.o"
+  "CMakeFiles/cables_apps.dir/harness.cc.o.d"
+  "CMakeFiles/cables_apps.dir/lu.cc.o"
+  "CMakeFiles/cables_apps.dir/lu.cc.o.d"
+  "CMakeFiles/cables_apps.dir/ocean.cc.o"
+  "CMakeFiles/cables_apps.dir/ocean.cc.o.d"
+  "CMakeFiles/cables_apps.dir/omp_ports.cc.o"
+  "CMakeFiles/cables_apps.dir/omp_ports.cc.o.d"
+  "CMakeFiles/cables_apps.dir/pthread_apps.cc.o"
+  "CMakeFiles/cables_apps.dir/pthread_apps.cc.o.d"
+  "CMakeFiles/cables_apps.dir/radix.cc.o"
+  "CMakeFiles/cables_apps.dir/radix.cc.o.d"
+  "CMakeFiles/cables_apps.dir/raytrace.cc.o"
+  "CMakeFiles/cables_apps.dir/raytrace.cc.o.d"
+  "CMakeFiles/cables_apps.dir/suite.cc.o"
+  "CMakeFiles/cables_apps.dir/suite.cc.o.d"
+  "CMakeFiles/cables_apps.dir/volrend.cc.o"
+  "CMakeFiles/cables_apps.dir/volrend.cc.o.d"
+  "CMakeFiles/cables_apps.dir/water.cc.o"
+  "CMakeFiles/cables_apps.dir/water.cc.o.d"
+  "libcables_apps.a"
+  "libcables_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cables_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cables/extensions.cc" "src/cables/CMakeFiles/cables_core.dir/extensions.cc.o" "gcc" "src/cables/CMakeFiles/cables_core.dir/extensions.cc.o.d"
+  "/root/repo/src/cables/memory.cc" "src/cables/CMakeFiles/cables_core.dir/memory.cc.o" "gcc" "src/cables/CMakeFiles/cables_core.dir/memory.cc.o.d"
+  "/root/repo/src/cables/runtime.cc" "src/cables/CMakeFiles/cables_core.dir/runtime.cc.o" "gcc" "src/cables/CMakeFiles/cables_core.dir/runtime.cc.o.d"
+  "/root/repo/src/cables/shared.cc" "src/cables/CMakeFiles/cables_core.dir/shared.cc.o" "gcc" "src/cables/CMakeFiles/cables_core.dir/shared.cc.o.d"
+  "/root/repo/src/cables/sync.cc" "src/cables/CMakeFiles/cables_core.dir/sync.cc.o" "gcc" "src/cables/CMakeFiles/cables_core.dir/sync.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/svm/CMakeFiles/cables_svm.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmmc/CMakeFiles/cables_vmmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cables_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cables_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cables_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

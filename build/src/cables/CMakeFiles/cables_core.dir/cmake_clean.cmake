@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cables_core.dir/extensions.cc.o"
+  "CMakeFiles/cables_core.dir/extensions.cc.o.d"
+  "CMakeFiles/cables_core.dir/memory.cc.o"
+  "CMakeFiles/cables_core.dir/memory.cc.o.d"
+  "CMakeFiles/cables_core.dir/runtime.cc.o"
+  "CMakeFiles/cables_core.dir/runtime.cc.o.d"
+  "CMakeFiles/cables_core.dir/shared.cc.o"
+  "CMakeFiles/cables_core.dir/shared.cc.o.d"
+  "CMakeFiles/cables_core.dir/sync.cc.o"
+  "CMakeFiles/cables_core.dir/sync.cc.o.d"
+  "libcables_core.a"
+  "libcables_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cables_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cables_m4.dir/m4.cc.o"
+  "CMakeFiles/cables_m4.dir/m4.cc.o.d"
+  "libcables_m4.a"
+  "libcables_m4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cables_m4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cables_net.dir/network.cc.o"
+  "CMakeFiles/cables_net.dir/network.cc.o.d"
+  "libcables_net.a"
+  "libcables_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cables_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cables_sim.dir/engine.cc.o"
+  "CMakeFiles/cables_sim.dir/engine.cc.o.d"
+  "CMakeFiles/cables_sim.dir/fiber.cc.o"
+  "CMakeFiles/cables_sim.dir/fiber.cc.o.d"
+  "libcables_sim.a"
+  "libcables_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cables_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

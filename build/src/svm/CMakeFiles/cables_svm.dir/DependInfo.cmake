@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/svm/addr_space.cc" "src/svm/CMakeFiles/cables_svm.dir/addr_space.cc.o" "gcc" "src/svm/CMakeFiles/cables_svm.dir/addr_space.cc.o.d"
+  "/root/repo/src/svm/protocol.cc" "src/svm/CMakeFiles/cables_svm.dir/protocol.cc.o" "gcc" "src/svm/CMakeFiles/cables_svm.dir/protocol.cc.o.d"
+  "/root/repo/src/svm/sync.cc" "src/svm/CMakeFiles/cables_svm.dir/sync.cc.o" "gcc" "src/svm/CMakeFiles/cables_svm.dir/sync.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vmmc/CMakeFiles/cables_vmmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cables_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cables_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cables_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

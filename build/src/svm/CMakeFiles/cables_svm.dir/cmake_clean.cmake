@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cables_svm.dir/addr_space.cc.o"
+  "CMakeFiles/cables_svm.dir/addr_space.cc.o.d"
+  "CMakeFiles/cables_svm.dir/protocol.cc.o"
+  "CMakeFiles/cables_svm.dir/protocol.cc.o.d"
+  "CMakeFiles/cables_svm.dir/sync.cc.o"
+  "CMakeFiles/cables_svm.dir/sync.cc.o.d"
+  "libcables_svm.a"
+  "libcables_svm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cables_svm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cables_util.dir/logging.cc.o"
+  "CMakeFiles/cables_util.dir/logging.cc.o.d"
+  "libcables_util.a"
+  "libcables_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cables_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

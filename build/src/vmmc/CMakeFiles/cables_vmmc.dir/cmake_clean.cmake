@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cables_vmmc.dir/vmmc.cc.o"
+  "CMakeFiles/cables_vmmc.dir/vmmc.cc.o.d"
+  "libcables_vmmc.a"
+  "libcables_vmmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cables_vmmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

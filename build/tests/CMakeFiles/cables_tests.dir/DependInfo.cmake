@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_addr_space.cc" "tests/CMakeFiles/cables_tests.dir/test_addr_space.cc.o" "gcc" "tests/CMakeFiles/cables_tests.dir/test_addr_space.cc.o.d"
+  "/root/repo/tests/test_apps.cc" "tests/CMakeFiles/cables_tests.dir/test_apps.cc.o" "gcc" "tests/CMakeFiles/cables_tests.dir/test_apps.cc.o.d"
+  "/root/repo/tests/test_cost_model.cc" "tests/CMakeFiles/cables_tests.dir/test_cost_model.cc.o" "gcc" "tests/CMakeFiles/cables_tests.dir/test_cost_model.cc.o.d"
+  "/root/repo/tests/test_determinism.cc" "tests/CMakeFiles/cables_tests.dir/test_determinism.cc.o" "gcc" "tests/CMakeFiles/cables_tests.dir/test_determinism.cc.o.d"
+  "/root/repo/tests/test_extensions.cc" "tests/CMakeFiles/cables_tests.dir/test_extensions.cc.o" "gcc" "tests/CMakeFiles/cables_tests.dir/test_extensions.cc.o.d"
+  "/root/repo/tests/test_failures.cc" "tests/CMakeFiles/cables_tests.dir/test_failures.cc.o" "gcc" "tests/CMakeFiles/cables_tests.dir/test_failures.cc.o.d"
+  "/root/repo/tests/test_global_vars.cc" "tests/CMakeFiles/cables_tests.dir/test_global_vars.cc.o" "gcc" "tests/CMakeFiles/cables_tests.dir/test_global_vars.cc.o.d"
+  "/root/repo/tests/test_m4.cc" "tests/CMakeFiles/cables_tests.dir/test_m4.cc.o" "gcc" "tests/CMakeFiles/cables_tests.dir/test_m4.cc.o.d"
+  "/root/repo/tests/test_memory.cc" "tests/CMakeFiles/cables_tests.dir/test_memory.cc.o" "gcc" "tests/CMakeFiles/cables_tests.dir/test_memory.cc.o.d"
+  "/root/repo/tests/test_network.cc" "tests/CMakeFiles/cables_tests.dir/test_network.cc.o" "gcc" "tests/CMakeFiles/cables_tests.dir/test_network.cc.o.d"
+  "/root/repo/tests/test_omp.cc" "tests/CMakeFiles/cables_tests.dir/test_omp.cc.o" "gcc" "tests/CMakeFiles/cables_tests.dir/test_omp.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/cables_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/cables_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_protocol.cc" "tests/CMakeFiles/cables_tests.dir/test_protocol.cc.o" "gcc" "tests/CMakeFiles/cables_tests.dir/test_protocol.cc.o.d"
+  "/root/repo/tests/test_pthread_apps.cc" "tests/CMakeFiles/cables_tests.dir/test_pthread_apps.cc.o" "gcc" "tests/CMakeFiles/cables_tests.dir/test_pthread_apps.cc.o.d"
+  "/root/repo/tests/test_runtime_sync.cc" "tests/CMakeFiles/cables_tests.dir/test_runtime_sync.cc.o" "gcc" "tests/CMakeFiles/cables_tests.dir/test_runtime_sync.cc.o.d"
+  "/root/repo/tests/test_runtime_threads.cc" "tests/CMakeFiles/cables_tests.dir/test_runtime_threads.cc.o" "gcc" "tests/CMakeFiles/cables_tests.dir/test_runtime_threads.cc.o.d"
+  "/root/repo/tests/test_sim_engine.cc" "tests/CMakeFiles/cables_tests.dir/test_sim_engine.cc.o" "gcc" "tests/CMakeFiles/cables_tests.dir/test_sim_engine.cc.o.d"
+  "/root/repo/tests/test_svm_sync.cc" "tests/CMakeFiles/cables_tests.dir/test_svm_sync.cc.o" "gcc" "tests/CMakeFiles/cables_tests.dir/test_svm_sync.cc.o.d"
+  "/root/repo/tests/test_vmmc.cc" "tests/CMakeFiles/cables_tests.dir/test_vmmc.cc.o" "gcc" "tests/CMakeFiles/cables_tests.dir/test_vmmc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/cables_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/m4/CMakeFiles/cables_m4.dir/DependInfo.cmake"
+  "/root/repo/build/src/cables/CMakeFiles/cables_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/svm/CMakeFiles/cables_svm.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmmc/CMakeFiles/cables_vmmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cables_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cables_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cables_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
