@@ -6,9 +6,9 @@
  * Sweep participant counts on both.
  */
 
-#include <cstdio>
 #include <vector>
 
+#include "bench_common.hh"
 #include "cables/memory.hh"
 #include "cables/runtime.hh"
 #include "cables/shared.hh"
@@ -18,52 +18,63 @@ using namespace cables::cs;
 using sim::Tick;
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::printf("Ablation: barrier implementations\n");
-    std::printf("%6s %16s %16s %10s\n", "procs", "extension (us)",
-                "mutex+cond (us)", "ratio");
-    for (int np : {2, 4, 8, 16, 32}) {
-        ClusterConfig cfg;
-        cfg.backend = Backend::CableS;
-        cfg.nodes = 16;
-        cfg.procsPerNode = 2;
-        cfg.maxThreadsPerNode = 2;
-        cfg.sharedBytes = 16 * 1024 * 1024;
-        Runtime rt(cfg);
-        Tick native = 0, cond_based = 0;
-        rt.run([&]() {
-            int b = rt.barrierCreate();
-            GAddr tn = rt.malloc(8), tc = rt.malloc(8);
-            const int rounds = 4;
-            auto body = [&](int pid) {
-                // Warm-up round aligns arrivals, then measure.
-                rt.barrier(b, np);
-                Tick t0 = rt.now();
-                for (int i = 0; i < rounds; ++i)
+    auto opts = bench::Options::parse(argc, argv, "ablation_barrier");
+
+    return bench::runBench(opts, [&](bench::Report &rep,
+                                     sim::Tracer *tracer) {
+        rep.setTitle("Ablation: barrier implementations");
+        rep.setColumns({{"procs"}, {"extension_us", 1},
+                        {"mutex_cond_us", 1}, {"ratio", 1}});
+
+        bool first = true;
+        for (int np : opts.procList({2, 4, 8, 16, 32})) {
+            ClusterConfig cfg;
+            cfg.backend = Backend::CableS;
+            cfg.nodes = 16;
+            cfg.procsPerNode = 2;
+            cfg.maxThreadsPerNode = 2;
+            cfg.sharedBytes = 16 * 1024 * 1024;
+            Runtime rt(cfg);
+            if (first && tracer)
+                rt.setTracer(tracer);
+            first = false;
+            Tick native = 0, cond_based = 0;
+            rt.run([&]() {
+                int b = rt.barrierCreate();
+                GAddr tn = rt.malloc(8), tc = rt.malloc(8);
+                const int rounds = 4;
+                auto body = [&](int pid) {
+                    // Warm-up round aligns arrivals, then measure.
                     rt.barrier(b, np);
-                if (pid == 0)
-                    rt.write<int64_t>(tn, (rt.now() - t0) / rounds);
-                rt.condBarrier(b, np);
-                t0 = rt.now();
-                for (int i = 0; i < rounds; ++i)
+                    Tick t0 = rt.now();
+                    for (int i = 0; i < rounds; ++i)
+                        rt.barrier(b, np);
+                    if (pid == 0)
+                        rt.write<int64_t>(tn, (rt.now() - t0) / rounds);
                     rt.condBarrier(b, np);
-                if (pid == 0)
-                    rt.write<int64_t>(tc, (rt.now() - t0) / rounds);
-            };
-            std::vector<int> tids;
-            for (int i = 1; i < np; ++i)
-                tids.push_back(rt.threadCreate([&, i]() { body(i); }));
-            body(0);
-            for (int t : tids)
-                rt.join(t);
-            native = rt.read<int64_t>(tn);
-            cond_based = rt.read<int64_t>(tc);
-        });
-        std::printf("%6d %16.1f %16.1f %10.1f\n", np, sim::toUs(native),
-                    sim::toUs(cond_based),
-                    double(cond_based) / double(std::max<Tick>(native, 1)));
-    }
-    std::printf("\npaper reference at small scale: 70 us vs 13 ms\n");
-    return 0;
+                    t0 = rt.now();
+                    for (int i = 0; i < rounds; ++i)
+                        rt.condBarrier(b, np);
+                    if (pid == 0)
+                        rt.write<int64_t>(tc, (rt.now() - t0) / rounds);
+                };
+                std::vector<int> tids;
+                for (int i = 1; i < np; ++i)
+                    tids.push_back(
+                        rt.threadCreate([&, i]() { body(i); }));
+                body(0);
+                for (int t : tids)
+                    rt.join(t);
+                native = rt.read<int64_t>(tn);
+                cond_based = rt.read<int64_t>(tc);
+            });
+            rep.addRow({np, sim::toUs(native), sim::toUs(cond_based),
+                        double(cond_based) /
+                            double(std::max<Tick>(native, 1))});
+            rep.attachMetrics(rt.metricsSnapshot());
+        }
+        rep.addNote("paper reference at small scale: 70 us vs 13 ms");
+    });
 }

@@ -8,60 +8,75 @@
  * misplaces heavily but tolerates it.
  */
 
-#include <cstdio>
 #include <vector>
 
 #include "apps/splash.hh"
+#include "bench_common.hh"
 
 using namespace cables;
 using namespace cables::apps;
 using cs::Backend;
 
 int
-main()
+main(int argc, char **argv)
 {
-    const int np = 16;
-    const std::vector<size_t> grans = {4096, 16 * 1024, 64 * 1024,
-                                       256 * 1024};
-    const std::vector<std::string> apps = {"LU", "RADIX", "VOLREND"};
+    auto opts = bench::Options::parse(argc, argv, "ablation_granularity");
 
-    std::printf("Ablation: mapping granularity sweep (%d procs)\n", np);
-    std::printf("%-10s %10s %12s %12s %8s\n", "app", "granule",
-                "misplaced%", "par ms", "check");
+    return bench::runBench(opts, [&](bench::Report &rep,
+                                     sim::Tracer *tracer) {
+        const int np = opts.procs > 0 ? opts.procs : 16;
+        rep.setTitle(csprintf(
+            "Ablation: mapping granularity sweep ({} procs)", np));
+        rep.setConfig("procs", np);
+        rep.setColumns({{"app"}, {"granule_kb"}, {"misplaced_pct", 1},
+                        {"par_ms", 1}, {"check"}});
 
-    for (const auto &name : apps) {
-        const SplashAppEntry *entry = nullptr;
-        for (const auto &e : splashSuite())
-            if (e.name == name)
-                entry = &e;
+        const std::vector<size_t> grans = {4096, 16 * 1024, 64 * 1024,
+                                           256 * 1024};
+        const std::vector<std::string> apps = {"LU", "RADIX", "VOLREND"};
 
-        // Reference placement: the base system.
-        AppOut base_out;
-        RunResult base_r = runProgram(
-            splashConfig(Backend::BaseSvm, np),
-            [&](Runtime &rt, RunResult &res) {
-                m4::M4Env env(rt);
-                entry->run(env, np, base_out);
-            });
+        bool first = true;
+        for (const auto &name : apps) {
+            const SplashAppEntry *entry = nullptr;
+            for (const auto &e : splashSuite())
+                if (e.name == name)
+                    entry = &e;
 
-        for (size_t g : grans) {
-            ClusterConfig cfg = splashConfig(Backend::CableS, np);
-            cfg.os.mapGranularity = g;
-            AppOut out;
-            RunResult r = runProgram(cfg, [&](Runtime &rt,
-                                              RunResult &res) {
-                m4::M4Env env(rt);
-                entry->run(env, np, out);
-            });
-            std::printf("%-10s %9zuK %12.1f %12.1f %8s\n", name.c_str(),
-                        g / 1024, misplacedPct(base_r.homes, r.homes),
-                        sim::toMs(out.parallel),
-                        out.valid ? "ok" : "INVALID");
+            // Reference placement: the base system.
+            AppOut base_out;
+            RunResult base_r = runProgram(
+                splashConfig(Backend::BaseSvm, np),
+                [&](Runtime &rt, RunResult &res) {
+                    m4::M4Env env(rt);
+                    entry->run(env, np, base_out);
+                });
+
+            for (size_t g : grans) {
+                ClusterConfig cfg = splashConfig(Backend::CableS, np);
+                cfg.os.mapGranularity = g;
+                AppOut out;
+                RunOptions ro;
+                if (first)
+                    ro.tracer = tracer;
+                first = false;
+                RunResult r = runProgram(cfg,
+                                         [&](Runtime &rt,
+                                             RunResult &res) {
+                                             m4::M4Env env(rt);
+                                             entry->run(env, np, out);
+                                         },
+                                         ro);
+                rep.addRow({name, g / 1024,
+                            misplacedPct(base_r.homes, r.homes),
+                            sim::toMs(out.parallel),
+                            out.valid ? "ok" : "INVALID"},
+                           util::Json(), name);
+                rep.attachMetrics(r.metrics);
+            }
         }
-        std::printf("\n");
-    }
-    std::printf("expected: misplacement ~0 at 4K, growing with the "
-                "granule; parallel time follows for VOLREND/RADIX but "
-                "barely moves for LU (high compute/comm ratio).\n");
-    return 0;
+        rep.addNote("expected: misplacement ~0 at 4K, growing with the "
+                    "granule; parallel time follows for VOLREND/RADIX "
+                    "but barely moves for LU (high compute/comm "
+                    "ratio).");
+    });
 }

@@ -9,37 +9,50 @@
  * no twins, no diffs, no remote flushes.
  */
 
-#include <cstdio>
-
 #include "apps/omp_ports.hh"
+#include "bench_common.hh"
 
 using namespace cables;
 using namespace cables::apps;
 using cs::Backend;
 
 int
-main()
+main(int argc, char **argv)
 {
-    const int np = 8;
-    std::printf("Ablation: home-migration policy (OpenMP OCEAN, %d "
-                "procs, master-initialized data)\n", np);
-    std::printf("%12s %12s %12s %12s %12s %8s\n", "threshold", "par ms",
-                "migrations", "diffs", "fetches", "check");
-    for (int threshold : {0, 2, 4, 8}) {
-        ClusterConfig cfg = splashConfig(Backend::CableS, np);
-        cfg.proto.migrationThreshold = threshold;
-        AppOut out;
-        RunResult r = runProgram(cfg, [&](Runtime &rt, RunResult &res) {
-            runOmpOcean(rt, np, 258, 4, out);
-        });
-        std::printf("%12d %12.1f %12llu %12llu %12llu %8s\n", threshold,
-                    sim::toMs(out.parallel),
-                    (unsigned long long)r.proto.migrations,
-                    (unsigned long long)r.proto.diffsFlushed,
-                    (unsigned long long)r.proto.pagesFetched,
-                    out.valid ? "ok" : "INVALID");
-    }
-    std::printf("\nthreshold 0 = the paper's configuration (mechanism "
-                "only, no policy).\n");
-    return 0;
+    auto opts = bench::Options::parse(argc, argv, "ablation_migration");
+
+    return bench::runBench(opts, [&](bench::Report &rep,
+                                     sim::Tracer *tracer) {
+        const int np = opts.procs > 0 ? opts.procs : 8;
+        rep.setTitle(csprintf(
+            "Ablation: home-migration policy (OpenMP OCEAN, {} procs, "
+            "master-initialized data)", np));
+        rep.setConfig("procs", np);
+        rep.setColumns({{"threshold"}, {"par_ms", 1}, {"migrations"},
+                        {"diffs"}, {"fetches"}, {"check"}});
+
+        bool first = true;
+        for (int threshold : {0, 2, 4, 8}) {
+            ClusterConfig cfg = splashConfig(Backend::CableS, np);
+            cfg.proto.migrationThreshold = threshold;
+            AppOut out;
+            RunOptions ro;
+            if (first)
+                ro.tracer = tracer;
+            first = false;
+            RunResult r = runProgram(cfg,
+                                     [&](Runtime &rt, RunResult &res) {
+                                         runOmpOcean(rt, np, 258, 4,
+                                                     out);
+                                     },
+                                     ro);
+            rep.addRow({threshold, sim::toMs(out.parallel),
+                        r.proto.migrations, r.proto.diffsFlushed,
+                        r.proto.pagesFetched,
+                        out.valid ? "ok" : "INVALID"});
+            rep.attachMetrics(r.metrics);
+        }
+        rep.addNote("threshold 0 = the paper's configuration "
+                    "(mechanism only, no policy).");
+    });
 }

@@ -6,10 +6,10 @@
  * (FFT) and neighbour-exchange (OCEAN) workloads.
  */
 
-#include <cstdio>
 #include <vector>
 
 #include "apps/splash.hh"
+#include "bench_common.hh"
 
 using namespace cables;
 using namespace cables::apps;
@@ -17,47 +17,60 @@ using cs::Backend;
 using cs::Placement;
 
 int
-main()
+main(int argc, char **argv)
 {
-    const int np = 16;
-    struct Policy
-    {
-        const char *name;
-        Placement p;
-    };
-    const std::vector<Policy> policies = {
-        {"first-touch", Placement::FirstTouch},
-        {"round-robin", Placement::RoundRobin},
-        {"master-all", Placement::MasterAll},
-    };
+    auto opts = bench::Options::parse(argc, argv, "ablation_placement");
 
-    std::printf("Ablation: placement policy (%d procs, CableS)\n", np);
-    std::printf("%-10s %-14s %12s %12s %12s %8s\n", "app", "policy",
-                "par ms", "fetches", "diff msgs", "check");
-    for (const char *app : {"FFT", "OCEAN"}) {
-        const SplashAppEntry *entry = nullptr;
-        for (const auto &e : splashSuite())
-            if (e.name == app)
-                entry = &e;
-        for (const Policy &pol : policies) {
-            ClusterConfig cfg = splashConfig(Backend::CableS, np);
-            cfg.placement = pol.p;
-            AppOut out;
-            RunResult r = runProgram(cfg, [&](Runtime &rt,
-                                              RunResult &res) {
-                m4::M4Env env(rt);
-                entry->run(env, np, out);
-            });
-            std::printf("%-10s %-14s %12.1f %12llu %12llu %8s\n", app,
-                        pol.name, sim::toMs(out.parallel),
-                        (unsigned long long)r.proto.pagesFetched,
-                        (unsigned long long)r.proto.diffsFlushed,
-                        out.valid ? "ok" : "INVALID");
+    return bench::runBench(opts, [&](bench::Report &rep,
+                                     sim::Tracer *tracer) {
+        const int np = opts.procs > 0 ? opts.procs : 16;
+        rep.setTitle(csprintf(
+            "Ablation: placement policy ({} procs, CableS)", np));
+        rep.setConfig("procs", np);
+        rep.setColumns({{"app"}, {"policy"}, {"par_ms", 1},
+                        {"fetches"}, {"diff_msgs"}, {"check"}});
+
+        struct Policy
+        {
+            const char *name;
+            Placement p;
+        };
+        const std::vector<Policy> policies = {
+            {"first-touch", Placement::FirstTouch},
+            {"round-robin", Placement::RoundRobin},
+            {"master-all", Placement::MasterAll},
+        };
+
+        bool first = true;
+        for (const char *app : {"FFT", "OCEAN"}) {
+            const SplashAppEntry *entry = nullptr;
+            for (const auto &e : splashSuite())
+                if (e.name == app)
+                    entry = &e;
+            for (const Policy &pol : policies) {
+                ClusterConfig cfg = splashConfig(Backend::CableS, np);
+                cfg.placement = pol.p;
+                AppOut out;
+                RunOptions ro;
+                if (first)
+                    ro.tracer = tracer;
+                first = false;
+                RunResult r = runProgram(cfg,
+                                         [&](Runtime &rt,
+                                             RunResult &res) {
+                                             m4::M4Env env(rt);
+                                             entry->run(env, np, out);
+                                         },
+                                         ro);
+                rep.addRow({app, pol.name, sim::toMs(out.parallel),
+                            r.proto.pagesFetched, r.proto.diffsFlushed,
+                            out.valid ? "ok" : "INVALID"},
+                           util::Json(), app);
+                rep.attachMetrics(r.metrics);
+            }
         }
-        std::printf("\n");
-    }
-    std::printf("expected: first touch wins for owner-initialized "
-                "data; master-all turns every remote access into "
-                "traffic to node 0.\n");
-    return 0;
+        rep.addNote("expected: first touch wins for owner-initialized "
+                    "data; master-all turns every remote access into "
+                    "traffic to node 0.");
+    });
 }

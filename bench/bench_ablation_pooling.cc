@@ -11,9 +11,9 @@
  *   pool     — a persistent worker pool (create/attach paid once).
  */
 
-#include <cstdio>
 #include <vector>
 
+#include "bench_common.hh"
 #include "cables/extensions.hh"
 #include "cables/shared.hh"
 
@@ -40,9 +40,12 @@ constexpr int tasks = 24;
 constexpr Tick taskWork = 20 * MS;
 
 Tick
-runCreatePerTask(bool preattach)
+runCreatePerTask(bool preattach, sim::Tracer *tracer,
+                 metrics::Snapshot *snap = nullptr)
 {
     Runtime rt(cfg16());
+    if (tracer)
+        rt.setTracer(tracer);
     Tick total = 0;
     rt.run([&]() {
         if (preattach)
@@ -57,6 +60,8 @@ runCreatePerTask(bool preattach)
             rt.join(t);
         total = rt.now() - t0;
     });
+    if (snap)
+        *snap = rt.metricsSnapshot();
     return total;
 }
 
@@ -79,21 +84,31 @@ runPooled()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::printf("Ablation: dynamic parallelism strategies (%d tasks of "
-                "%.0f ms on a 16-node cluster)\n",
-                tasks, sim::toMs(taskWork));
-    Tick create = runCreatePerTask(false);
-    Tick pre = runCreatePerTask(true);
-    Tick pooled = runPooled();
-    std::printf("%-28s %12.1f ms\n", "create per task", sim::toMs(create));
-    std::printf("%-28s %12.1f ms\n", "create + pre-attached nodes",
-                sim::toMs(pre));
-    std::printf("%-28s %12.1f ms (pool startup excluded)\n",
-                "persistent thread pool", sim::toMs(pooled));
-    std::printf("\nexpected ordering: pool << pre-attach < create, since "
-                "serial node attaches (~3.7 s each, Table 4) dominate "
-                "the naive strategy.\n");
-    return 0;
+    auto opts = bench::Options::parse(argc, argv, "ablation_pooling");
+
+    return bench::runBench(opts, [&](bench::Report &rep,
+                                     sim::Tracer *tracer) {
+        rep.setTitle(csprintf(
+            "Ablation: dynamic parallelism strategies ({} tasks of "
+            "{} ms on a 16-node cluster)",
+            tasks, (long long)(taskWork / MS)));
+        rep.setConfig("tasks", tasks);
+        rep.setConfig("task_work_ms", sim::toMs(taskWork));
+        rep.setColumns({{"strategy"}, {"total_ms", 1}});
+
+        metrics::Snapshot snap;
+        Tick create = runCreatePerTask(false, tracer, &snap);
+        Tick pre = runCreatePerTask(true, nullptr);
+        Tick pooled = runPooled();
+        rep.addRow({"create per task", sim::toMs(create)});
+        rep.addRow({"create + pre-attached nodes", sim::toMs(pre)});
+        rep.addRow({"persistent thread pool", sim::toMs(pooled)});
+        rep.attachMetrics(snap);
+        rep.addNote("pool row excludes pool startup cost.");
+        rep.addNote("expected ordering: pool << pre-attach < create, "
+                    "since serial node attaches (~3.7 s each, Table 4) "
+                    "dominate the naive strategy.");
+    });
 }

@@ -11,10 +11,10 @@
  */
 
 #include <algorithm>
-#include <cstdio>
 #include <vector>
 
 #include "apps/splash.hh"
+#include "bench_common.hh"
 #include "cables/memory.hh"
 
 using namespace cables;
@@ -29,61 +29,88 @@ struct Usage
     size_t maxRegions;
     size_t maxRegisteredMb;
     double parMs;
+    metrics::Snapshot metrics;
 };
 
 Usage
-oceanUsage(Backend b, int np, size_t region_limit)
+oceanUsage(Backend b, int np, size_t region_limit,
+           sim::Tracer *tracer = nullptr)
 {
     ClusterConfig cfg = splashConfig(b, np);
     cfg.vmmc.maxRegionsPerNode = region_limit;
     AppOut out;
     size_t max_regions = 0, max_bytes = 0;
-    RunResult r = runProgram(cfg, [&](Runtime &rt, RunResult &res) {
-        m4::M4Env env(rt);
-        OceanParams p;
-        p.nprocs = np;
-        runOcean(env, p, out);
-        for (int n = 0; n < cfg.nodes; ++n) {
-            max_regions =
-                std::max(max_regions, rt.comm().usage(n).regions);
-            max_bytes = std::max(max_bytes,
-                                 rt.comm().usage(n).registeredBytes);
-        }
-    });
+    RunOptions ro;
+    ro.tracer = tracer;
+    RunResult r = runProgram(cfg,
+                             [&](Runtime &rt, RunResult &res) {
+                                 m4::M4Env env(rt);
+                                 OceanParams p;
+                                 p.nprocs = np;
+                                 runOcean(env, p, out);
+                                 for (int n = 0; n < cfg.nodes; ++n) {
+                                     max_regions = std::max(
+                                         max_regions,
+                                         rt.comm().usage(n).regions);
+                                     max_bytes = std::max(
+                                         max_bytes,
+                                         rt.comm()
+                                             .usage(n)
+                                             .registeredBytes);
+                                 }
+                             },
+                             ro);
     return Usage{r.registrationFailure, max_regions,
-                 max_bytes / (1024 * 1024), sim::toMs(out.parallel)};
+                 max_bytes / (1024 * 1024), sim::toMs(out.parallel),
+                 r.metrics};
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::printf("Ablation: NIC registration usage, OCEAN\n");
-    std::printf("%8s %6s | %12s %10s %8s\n", "backend", "procs",
-                "max regions", "max regMB", "status");
-    for (int np : {4, 8, 16, 32}) {
-        for (Backend b : {Backend::BaseSvm, Backend::CableS}) {
-            Usage u = oceanUsage(b, np, 1u << 20); // effectively no cap
-            std::printf("%8s %6d | %12zu %10zu %8s\n",
-                        b == Backend::BaseSvm ? "base" : "cables", np,
-                        u.maxRegions, u.maxRegisteredMb,
-                        u.failed ? "FAILED" : "ok");
-        }
-    }
+    auto opts =
+        bench::Options::parse(argc, argv, "ablation_registration");
 
-    std::printf("\nregion-limit sweep at 32 procs (paper anecdote):\n");
-    std::printf("%12s %10s %10s\n", "limit", "base", "cables");
-    for (size_t limit : {256, 512, 1024, 4096}) {
-        Usage ub = oceanUsage(Backend::BaseSvm, 32, limit);
-        Usage uc = oceanUsage(Backend::CableS, 32, limit);
-        std::printf("%12zu %10s %10s\n", limit,
-                    ub.failed ? "FAILED" : "ok",
-                    uc.failed ? "FAILED" : "ok");
-    }
-    std::printf("\nexpected: base usage grows with fragmented home "
-                "runs and imports; CableS registers one extendable "
-                "region per node (double mapping) and survives limits "
-                "that stop the base system.\n");
-    return 0;
+    return bench::runBench(opts, [&](bench::Report &rep,
+                                     sim::Tracer *tracer) {
+        rep.setTitle("Ablation: NIC registration usage, OCEAN");
+        rep.setColumns({{"phase"}, {"backend"}, {"procs"},
+                        {"region_limit"}, {"max_regions"},
+                        {"max_registered_mb"}, {"status"}});
+
+        bool first = true;
+        for (int np : opts.procList({4, 8, 16, 32})) {
+            for (Backend b : {Backend::BaseSvm, Backend::CableS}) {
+                // Effectively no cap.
+                Usage u = oceanUsage(b, np, 1u << 20,
+                                     first ? tracer : nullptr);
+                first = false;
+                rep.addRow({"usage",
+                            b == Backend::BaseSvm ? "base" : "cables",
+                            np, util::Json(), u.maxRegions,
+                            u.maxRegisteredMb,
+                            u.failed ? "FAILED" : "ok"},
+                           util::Json(), "usage");
+                rep.attachMetrics(u.metrics);
+            }
+        }
+
+        // Region-limit sweep at 32 procs (the paper anecdote).
+        for (size_t limit : {256, 512, 1024, 4096}) {
+            for (Backend b : {Backend::BaseSvm, Backend::CableS}) {
+                Usage u = oceanUsage(b, 32, limit);
+                rep.addRow({"limit-sweep",
+                            b == Backend::BaseSvm ? "base" : "cables",
+                            32, limit, u.maxRegions, u.maxRegisteredMb,
+                            u.failed ? "FAILED" : "ok"},
+                           util::Json(), "limit-sweep");
+            }
+        }
+        rep.addNote("expected: base usage grows with fragmented home "
+                    "runs and imports; CableS registers one extendable "
+                    "region per node (double mapping) and survives "
+                    "limits that stop the base system.");
+    });
 }

@@ -7,9 +7,9 @@
  * the processor for co-located threads.
  */
 
-#include <cstdio>
 #include <vector>
 
+#include "bench_common.hh"
 #include "cables/memory.hh"
 #include "cables/runtime.hh"
 #include "cables/shared.hh"
@@ -21,59 +21,69 @@ using sim::US;
 using sim::MS;
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::printf("Ablation: mutex/cond spin-then-block policy\n");
-    std::printf("%14s %18s %20s\n", "spin limit", "pingpong us/round",
-                "co-located us/round");
-    for (Tick limit : {Tick(0), 100 * US, 1 * MS, 10 * MS}) {
-        // Cross-node ping-pong.
-        auto pingpong = [&](int max_threads_per_node) {
-            ClusterConfig cfg;
-            cfg.backend = Backend::CableS;
-            cfg.nodes = 4;
-            cfg.procsPerNode = 2;
-            cfg.maxThreadsPerNode = max_threads_per_node;
-            cfg.sharedBytes = 8 * 1024 * 1024;
-            cfg.costs.spinLimit = limit;
-            Runtime rt(cfg);
-            Tick per_round = 0;
-            rt.run([&]() {
-                int m = rt.mutexCreate();
-                int cv = rt.condCreate();
-                GAddr turn = rt.malloc(8);
-                rt.write<int64_t>(turn, 0);
-                const int rounds = 50;
-                int t = rt.threadCreate([&]() {
+    auto opts = bench::Options::parse(argc, argv, "ablation_spin");
+
+    return bench::runBench(opts, [&](bench::Report &rep,
+                                     sim::Tracer *tracer) {
+        rep.setTitle("Ablation: mutex/cond spin-then-block policy");
+        rep.setColumns({{"spin_limit_us", 1}, {"pingpong_us_round", 1},
+                        {"colocated_us_round", 1}});
+
+        bool first = true;
+        for (Tick limit : {Tick(0), 100 * US, 1 * MS, 10 * MS}) {
+            // Cross-node ping-pong.
+            auto pingpong = [&](int max_threads_per_node) {
+                ClusterConfig cfg;
+                cfg.backend = Backend::CableS;
+                cfg.nodes = 4;
+                cfg.procsPerNode = 2;
+                cfg.maxThreadsPerNode = max_threads_per_node;
+                cfg.sharedBytes = 8 * 1024 * 1024;
+                cfg.costs.spinLimit = limit;
+                Runtime rt(cfg);
+                if (first && tracer)
+                    rt.setTracer(tracer);
+                first = false;
+                Tick per_round = 0;
+                rt.run([&]() {
+                    int m = rt.mutexCreate();
+                    int cv = rt.condCreate();
+                    GAddr turn = rt.malloc(8);
+                    rt.write<int64_t>(turn, 0);
+                    const int rounds = 50;
+                    int t = rt.threadCreate([&]() {
+                        for (int i = 0; i < rounds; ++i) {
+                            rt.mutexLock(m);
+                            while (rt.read<int64_t>(turn) != 1)
+                                rt.condWait(cv, m);
+                            rt.write<int64_t>(turn, 0);
+                            rt.condSignal(cv);
+                            rt.mutexUnlock(m);
+                        }
+                    });
+                    Tick t0 = rt.now();
                     for (int i = 0; i < rounds; ++i) {
                         rt.mutexLock(m);
-                        while (rt.read<int64_t>(turn) != 1)
-                            rt.condWait(cv, m);
-                        rt.write<int64_t>(turn, 0);
+                        rt.write<int64_t>(turn, 1);
                         rt.condSignal(cv);
+                        while (rt.read<int64_t>(turn) != 0)
+                            rt.condWait(cv, m);
                         rt.mutexUnlock(m);
                     }
+                    rt.join(t);
+                    per_round = (rt.now() - t0) / rounds;
                 });
-                Tick t0 = rt.now();
-                for (int i = 0; i < rounds; ++i) {
-                    rt.mutexLock(m);
-                    rt.write<int64_t>(turn, 1);
-                    rt.condSignal(cv);
-                    while (rt.read<int64_t>(turn) != 0)
-                        rt.condWait(cv, m);
-                    rt.mutexUnlock(m);
-                }
-                rt.join(t);
-                per_round = (rt.now() - t0) / rounds;
-            });
-            return per_round;
-        };
-        Tick remote = pingpong(1);  // partner on another node
-        Tick local = pingpong(2);   // partner shares the SMP node
-        std::printf("%11.1f us %18.1f %20.1f\n", sim::toUs(limit),
-                    sim::toUs(remote), sim::toUs(local));
-    }
-    std::printf("\nspin limit 0 = always block (pays OS event wake); "
-                "large limits waste CPU when threads share a node.\n");
-    return 0;
+                return per_round;
+            };
+            Tick remote = pingpong(1);  // partner on another node
+            Tick local = pingpong(2);   // partner shares the SMP node
+            rep.addRow({sim::toUs(limit), sim::toUs(remote),
+                        sim::toUs(local)});
+        }
+        rep.addNote("spin limit 0 = always block (pays OS event wake); "
+                    "large limits waste CPU when threads share a "
+                    "node.");
+    });
 }

@@ -1,0 +1,365 @@
+#include "bench_common.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#include "util/logging.hh"
+
+namespace cables {
+namespace bench {
+
+namespace {
+
+[[noreturn]] void
+usage(const std::string &bench, int code)
+{
+    std::fprintf(
+        code ? stderr : stdout,
+        "usage: bench_%s [options]\n"
+        "  --json <path>    write a cables-bench-report v%d JSON "
+        "document\n"
+        "  --trace <path>   export a Chrome/Perfetto trace of the first "
+        "simulated run\n"
+        "  --procs <n>      restrict the processor sweep to one count\n"
+        "  --seed <n>       config seed recorded in the report\n"
+        "  --repeat <n>     run n times and require identical reports\n"
+        "  --help           this message\n",
+        bench.c_str(), Report::schemaVersion);
+    std::exit(code);
+}
+
+long
+argNum(int argc, char **argv, int &i, const std::string &bench)
+{
+    if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: missing value for %s\n", bench.c_str(),
+                     argv[i]);
+        usage(bench, 2);
+    }
+    char *end = nullptr;
+    long v = std::strtol(argv[++i], &end, 10);
+    if (!end || *end != '\0') {
+        std::fprintf(stderr, "%s: bad number '%s' for %s\n",
+                     bench.c_str(), argv[i], argv[i - 1]);
+        usage(bench, 2);
+    }
+    return v;
+}
+
+std::string
+argStr(int argc, char **argv, int &i, const std::string &bench)
+{
+    if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: missing value for %s\n", bench.c_str(),
+                     argv[i]);
+        usage(bench, 2);
+    }
+    return argv[++i];
+}
+
+/** Text-cell rendering of one value under a column's precision. */
+std::string
+cellText(const util::Json &v, int prec)
+{
+    switch (v.type()) {
+      case util::Json::Type::Null:
+        return "-";
+      case util::Json::Type::String:
+        return v.asString();
+      case util::Json::Type::Double:
+        if (prec >= 0) {
+            char buf[64];
+            std::snprintf(buf, sizeof(buf), "%.*f", prec, v.asDouble());
+            return buf;
+        }
+        return util::jsonNumber(v.asDouble());
+      default:
+        return v.dump();
+    }
+}
+
+} // namespace
+
+Options
+Options::parse(int argc, char **argv, const std::string &bench_name)
+{
+    Options o;
+    o.bench = bench_name;
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        if (!std::strcmp(a, "--help") || !std::strcmp(a, "-h"))
+            usage(bench_name, 0);
+        else if (!std::strcmp(a, "--json"))
+            o.jsonPath = argStr(argc, argv, i, bench_name);
+        else if (!std::strcmp(a, "--trace"))
+            o.tracePath = argStr(argc, argv, i, bench_name);
+        else if (!std::strcmp(a, "--procs"))
+            o.procs = static_cast<int>(argNum(argc, argv, i, bench_name));
+        else if (!std::strcmp(a, "--seed"))
+            o.seed = static_cast<uint64_t>(
+                argNum(argc, argv, i, bench_name));
+        else if (!std::strcmp(a, "--repeat"))
+            o.repeat =
+                static_cast<int>(argNum(argc, argv, i, bench_name));
+        else {
+            std::fprintf(stderr, "%s: unknown option '%s'\n",
+                         bench_name.c_str(), a);
+            usage(bench_name, 2);
+        }
+    }
+    if (o.repeat < 1)
+        o.repeat = 1;
+    return o;
+}
+
+std::vector<int>
+Options::procList(std::vector<int> defaults) const
+{
+    if (procs > 0)
+        return {procs};
+    return defaults;
+}
+
+void
+Report::setConfig(const std::string &key, util::Json v)
+{
+    config_.set(key, std::move(v));
+}
+
+void
+Report::setColumns(std::vector<Column> cols)
+{
+    columns_ = std::move(cols);
+}
+
+Row &
+Report::addRow(std::vector<util::Json> values, util::Json paper,
+               std::string group)
+{
+    panic_if(values.size() != columns_.size(),
+             "bench {}: row with {} cells against {} columns",
+             benchmark_, values.size(), columns_.size());
+    rows_.push_back(Row{std::move(group), std::move(values),
+                        std::move(paper), {}});
+    return rows_.back();
+}
+
+void
+Report::attachMetrics(metrics::Snapshot m)
+{
+    panic_if(rows_.empty(), "bench {}: attachMetrics before any row",
+             benchmark_);
+    rows_.back().metrics = std::move(m);
+}
+
+void
+Report::addNote(std::string note)
+{
+    notes_.push_back(std::move(note));
+}
+
+std::string
+Report::renderText() const
+{
+    std::string out;
+    if (!title_.empty())
+        out += title_ + "\n";
+
+    // Column widths over header and all cells.
+    std::vector<size_t> width(columns_.size());
+    std::vector<std::vector<std::string>> cells;
+    for (size_t c = 0; c < columns_.size(); ++c)
+        width[c] = columns_[c].name.size();
+    for (const Row &r : rows_) {
+        std::vector<std::string> line;
+        for (size_t c = 0; c < columns_.size(); ++c) {
+            line.push_back(cellText(r.values[c], columns_[c].prec));
+            width[c] = std::max(width[c], line.back().size());
+        }
+        cells.push_back(std::move(line));
+    }
+
+    auto pad = [&](const std::string &s, size_t w, bool left) {
+        std::string p(w > s.size() ? w - s.size() : 0, ' ');
+        return left ? s + p : p + s;
+    };
+    // First column left-aligned (names), the rest right-aligned.
+    for (size_t c = 0; c < columns_.size(); ++c) {
+        out += pad(columns_[c].name, width[c], c == 0);
+        out += c + 1 < columns_.size() ? "  " : "\n";
+    }
+    const std::string *group = nullptr;
+    for (size_t i = 0; i < rows_.size(); ++i) {
+        if (group && rows_[i].group != *group)
+            out += "\n";
+        group = &rows_[i].group;
+        for (size_t c = 0; c < columns_.size(); ++c) {
+            out += pad(cells[i][c], width[c], c == 0);
+            out += c + 1 < columns_.size() ? "  " : "\n";
+        }
+    }
+    for (const std::string &n : notes_)
+        out += "note: " + n + "\n";
+    return out;
+}
+
+util::Json
+Report::toJson() const
+{
+    util::Json doc = util::Json::object();
+    doc.set("schema", schemaName);
+    doc.set("schema_version", schemaVersion);
+    doc.set("benchmark", benchmark_);
+    doc.set("title", title_);
+    doc.set("config", config_);
+
+    util::Json cols = util::Json::array();
+    for (const Column &c : columns_)
+        cols.push(c.name);
+    doc.set("columns", std::move(cols));
+
+    util::Json rows = util::Json::array();
+    for (const Row &r : rows_) {
+        util::Json row = util::Json::object();
+        if (!r.group.empty())
+            row.set("group", r.group);
+        util::Json values = util::Json::object();
+        for (size_t c = 0; c < columns_.size(); ++c)
+            values.set(columns_[c].name, r.values[c]);
+        row.set("values", std::move(values));
+        if (!r.paper.isNull())
+            row.set("paper", r.paper);
+        if (!r.metrics.empty())
+            row.set("metrics", r.metrics.toJson());
+        rows.push(std::move(row));
+    }
+    doc.set("rows", std::move(rows));
+
+    util::Json notes = util::Json::array();
+    for (const std::string &n : notes_)
+        notes.push(n);
+    doc.set("notes", std::move(notes));
+    return doc;
+}
+
+bool
+Report::writeJson(const std::string &path) const
+{
+    std::ofstream f(path, std::ios::binary);
+    if (!f)
+        return false;
+    f << toJson().dump(2) << "\n";
+    return bool(f);
+}
+
+bool
+validateReport(const util::Json &doc, std::string *why)
+{
+    auto fail = [&](const std::string &msg) {
+        if (why)
+            *why = msg;
+        return false;
+    };
+    if (!doc.isObject())
+        return fail("document is not an object");
+    if (doc.get("schema").asString() != Report::schemaName)
+        return fail("schema is not " + std::string(Report::schemaName));
+    if (doc.get("schema_version").asInt() != Report::schemaVersion)
+        return fail("unsupported schema_version");
+    for (const char *key : {"benchmark", "title"}) {
+        if (!doc.get(key).isString())
+            return fail(std::string(key) + " missing or not a string");
+    }
+    if (!doc.get("config").isObject())
+        return fail("config missing or not an object");
+    const util::Json &cols = doc.get("columns");
+    if (!cols.isArray())
+        return fail("columns missing or not an array");
+    const util::Json &rows = doc.get("rows");
+    if (!rows.isArray())
+        return fail("rows missing or not an array");
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const util::Json &row = rows.at(i);
+        if (!row.isObject())
+            return fail(csprintf("row {} is not an object", i));
+        const util::Json &values = row.get("values");
+        if (!values.isObject())
+            return fail(csprintf("row {} has no values object", i));
+        if (values.members().size() != cols.size())
+            return fail(csprintf("row {} has {} values for {} columns",
+                                 i, values.members().size(),
+                                 cols.size()));
+        for (size_t c = 0; c < cols.size(); ++c) {
+            if (values.members()[c].first != cols.at(c).asString())
+                return fail(csprintf(
+                    "row {} value {} is '{}', column is '{}'", i, c,
+                    values.members()[c].first, cols.at(c).asString()));
+        }
+    }
+    if (!doc.get("notes").isArray())
+        return fail("notes missing or not an array");
+    return true;
+}
+
+int
+runBench(const Options &opts, const BenchBody &body)
+{
+    sim::Tracer tracer;
+    sim::Tracer *tp = opts.tracePath.empty() ? nullptr : &tracer;
+
+    Report rep(opts.bench);
+    rep.setConfig("seed", opts.seed);
+    if (opts.procs > 0)
+        rep.setConfig("procs", opts.procs);
+    body(rep, tp);
+
+    for (int i = 1; i < opts.repeat; ++i) {
+        Report again(opts.bench);
+        again.setConfig("seed", opts.seed);
+        if (opts.procs > 0)
+            again.setConfig("procs", opts.procs);
+        body(again, nullptr);
+        if (!rep.deterministic())
+            continue;
+        if (again.toJson().dump(2) != rep.toJson().dump(2)) {
+            std::fprintf(stderr,
+                         "%s: repeat %d produced a different report — "
+                         "determinism violation\n",
+                         opts.bench.c_str(), i + 1);
+            return 1;
+        }
+    }
+    if (opts.repeat > 1 && rep.deterministic()) {
+        rep.addNote(csprintf("determinism: {} runs, identical reports",
+                             opts.repeat));
+    }
+
+    std::fputs(rep.renderText().c_str(), stdout);
+
+    if (!opts.jsonPath.empty()) {
+        std::string why;
+        util::Json doc = rep.toJson();
+        if (!validateReport(doc, &why)) {
+            std::fprintf(stderr, "%s: internal error: report fails "
+                         "schema validation: %s\n",
+                         opts.bench.c_str(), why.c_str());
+            return 1;
+        }
+        if (!rep.writeJson(opts.jsonPath)) {
+            std::fprintf(stderr, "%s: cannot write %s\n",
+                         opts.bench.c_str(), opts.jsonPath.c_str());
+            return 1;
+        }
+    }
+    if (tp && !tracer.writeChrome(opts.tracePath)) {
+        std::fprintf(stderr, "%s: cannot write %s\n", opts.bench.c_str(),
+                     opts.tracePath.c_str());
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace bench
+} // namespace cables

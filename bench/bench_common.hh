@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Shared bench harness: uniform CLI, a single report model, and a
+ * machine-readable output schema.
+ *
+ * Every bench binary accepts the same flags:
+ *
+ *   --json <path>    write the report as schema "cables-bench-report"
+ *                    version 1 JSON (see Report::toJson)
+ *   --trace <path>   record the bench's first simulated run with a
+ *                    virtual-time tracer and export Chrome trace JSON
+ *   --procs <n>      restrict a processor-count sweep to one value
+ *   --seed <n>       seed recorded in the report config (runs are
+ *                    deterministic; the seed selects the variant)
+ *   --repeat <n>     run the bench n times and fail unless every run
+ *                    produces a byte-identical report (determinism
+ *                    check)
+ *   --help           usage
+ *
+ * The default output (no flags) is the human-readable paper-style
+ * table, as before.
+ *
+ * A bench's main() reduces to:
+ *
+ *   int main(int argc, char **argv)
+ *   {
+ *       auto opts = bench::Options::parse(argc, argv, "table3_vmmc");
+ *       return bench::runBench(opts,
+ *           [&](bench::Report &rep, sim::Tracer *tracer) { ... });
+ *   }
+ */
+
+#ifndef CABLES_BENCH_BENCH_COMMON_HH
+#define CABLES_BENCH_BENCH_COMMON_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/trace.hh"
+#include "util/json.hh"
+#include "util/metrics.hh"
+
+namespace cables {
+namespace bench {
+
+/** Parsed command line of a bench binary. */
+struct Options
+{
+    std::string bench;     ///< benchmark name ("fig5_splash", ...)
+    std::string jsonPath;  ///< --json target ("" = none)
+    std::string tracePath; ///< --trace target ("" = none)
+    int procs = 0;         ///< --procs (0 = bench's default sweep)
+    uint64_t seed = 1;     ///< --seed
+    int repeat = 1;        ///< --repeat
+
+    /**
+     * Parse argv. Prints usage and exits on --help or on a malformed
+     * command line.
+     */
+    static Options parse(int argc, char **argv,
+                         const std::string &bench_name);
+
+    /**
+     * The processor counts a sweep should run: @p defaults, or just
+     * {procs} when --procs was given.
+     */
+    std::vector<int> procList(std::vector<int> defaults) const;
+};
+
+/** One table column. @ref prec formats double cells with that many
+ *  decimals; -1 uses the shortest exact form. */
+struct Column
+{
+    std::string name;
+    int prec = -1;
+
+    Column(const char *name, int prec = -1) : name(name), prec(prec) {}
+    Column(std::string name, int prec = -1)
+        : name(std::move(name)), prec(prec)
+    {}
+};
+
+/** One table row: cell values plus optional paper reference numbers
+ *  and a metrics snapshot of the runs behind the row. */
+struct Row
+{
+    std::string group;              ///< blank-line grouping in text
+    std::vector<util::Json> values; ///< one per column
+    util::Json paper;               ///< paper value(s); null if none
+    metrics::Snapshot metrics;      ///< empty if not attached
+};
+
+/**
+ * The report a bench produces: a titled table plus free-form notes.
+ * Renders as a human-readable table and as versioned JSON.
+ */
+class Report
+{
+  public:
+    static constexpr const char *schemaName = "cables-bench-report";
+    static constexpr int schemaVersion = 1;
+
+    explicit Report(std::string benchmark)
+        : benchmark_(std::move(benchmark)), config_(util::Json::object())
+    {}
+
+    void setTitle(std::string t) { title_ = std::move(t); }
+
+    /**
+     * Declare that the report contains host-time measurements (only
+     * bench_host_sim): --repeat then re-runs without requiring
+     * byte-identical reports.
+     */
+    void setDeterministic(bool d) { deterministic_ = d; }
+    bool deterministic() const { return deterministic_; }
+
+    /** Record a configuration fact ("procs", "backend", ...). */
+    void setConfig(const std::string &key, util::Json v);
+
+    void setColumns(std::vector<Column> cols);
+
+    /**
+     * Append a row. @p values must match the column count; @p group
+     * separates row blocks in the text rendering and is carried in the
+     * JSON.
+     */
+    Row &addRow(std::vector<util::Json> values,
+                util::Json paper = util::Json(),
+                std::string group = "");
+
+    /** Attach the metrics snapshot of the run(s) behind the last row. */
+    void attachMetrics(metrics::Snapshot m);
+
+    void addNote(std::string note);
+
+    /** The paper-style table (the default stdout output). */
+    std::string renderText() const;
+
+    /** The versioned machine-readable document (see file comment). */
+    util::Json toJson() const;
+
+    /** toJson() pretty-printed to @p path. @return false on I/O error. */
+    bool writeJson(const std::string &path) const;
+
+  private:
+    friend Report makeReport(const Options &);
+
+    std::string benchmark_;
+    std::string title_;
+    bool deterministic_ = true;
+    util::Json config_;
+    std::vector<Column> columns_;
+    std::vector<Row> rows_;
+    std::vector<std::string> notes_;
+};
+
+/** The bench body: fill @p rep; @p tracer is non-null when --trace was
+ *  given (only on the run whose output is kept). */
+using BenchBody = std::function<void(Report &rep, sim::Tracer *tracer)>;
+
+/**
+ * Drive a bench: run @p body, print the text report, honour --json /
+ * --trace, and with --repeat > 1 re-run and require byte-identical
+ * reports (the determinism guarantee the JSON schema relies on).
+ * @return process exit code.
+ */
+int runBench(const Options &opts, const BenchBody &body);
+
+/**
+ * Validate that @p doc is a well-formed cables-bench-report (schema
+ * fields, version, row/column consistency). On failure returns false
+ * and stores a reason in @p why.
+ */
+bool validateReport(const util::Json &doc, std::string *why = nullptr);
+
+} // namespace bench
+} // namespace cables
+
+#endif // CABLES_BENCH_BENCH_COMMON_HH

@@ -13,60 +13,80 @@
  * is reported separately so both effects are visible).
  */
 
-#include <cstdio>
-#include <vector>
-
 #include "apps/splash.hh"
+#include "bench_common.hh"
 
 using namespace cables;
 using namespace cables::apps;
 using cs::Backend;
 
+namespace {
+
+const char *
+check(const RunResult &r, const AppOut &o)
+{
+    if (r.registrationFailure)
+        return "REGFAIL";
+    return o.valid ? "ok" : "INVALID";
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
-    std::vector<int> procs = {1, 4, 8, 16, 32};
+    auto opts = bench::Options::parse(argc, argv, "fig5_splash");
 
-    std::printf("Figure 5: SPLASH-2 executions, base M4 (solid) vs "
-                "CableS M4-pthreads (dashed)\n");
-    std::printf("%-16s %6s | %12s %12s %8s | %12s %12s %10s %8s\n",
-                "app", "procs", "base par ms", "base tot ms", "check",
-                "cbl par ms", "cbl tot ms", "attach ms", "check");
+    return bench::runBench(opts, [&](bench::Report &rep,
+                                     sim::Tracer *tracer) {
+        rep.setTitle("Figure 5: SPLASH-2 executions, base M4 (solid) "
+                     "vs CableS M4-pthreads (dashed)");
+        rep.setColumns({{"app"}, {"procs"},
+                        {"base_par_ms", 1}, {"base_total_ms", 1},
+                        {"base_check"},
+                        {"cables_par_ms", 1}, {"cables_total_ms", 1},
+                        {"attach_ms", 0}, {"cables_check"}});
 
-    for (const auto &entry : splashSuite()) {
-        for (int np : procs) {
-            AppOut base_out, cbl_out;
-            RunResult base_r =
-                runProgram(splashConfig(Backend::BaseSvm, np),
-                           [&](Runtime &rt, RunResult &res) {
-                               m4::M4Env env(rt);
-                               entry.run(env, np, base_out);
-                           });
-            RunResult cbl_r =
-                runProgram(splashConfig(Backend::CableS, np),
-                           [&](Runtime &rt, RunResult &res) {
-                               m4::M4Env env(rt);
-                               entry.run(env, np, cbl_out);
-                           });
-            auto check = [](const RunResult &r, const AppOut &o) {
-                if (r.registrationFailure)
-                    return "REGFAIL";
-                return o.valid ? "ok" : "INVALID";
-            };
-            std::printf(
-                "%-16s %6d | %12.1f %12.1f %8s | %12.1f %12.1f %10.0f "
-                "%8s\n",
-                entry.name.c_str(), np, sim::toMs(base_out.parallel),
-                sim::toMs(base_r.total), check(base_r, base_out),
-                sim::toMs(cbl_out.parallel), sim::toMs(cbl_r.total),
-                cbl_r.ops.attach.sum(), check(cbl_r, cbl_out));
+        std::vector<int> procs = opts.procList({1, 4, 8, 16, 32});
+        bool first_run = true;
+        for (const auto &entry : splashSuite()) {
+            for (int np : procs) {
+                AppOut base_out, cbl_out;
+                RunResult base_r =
+                    runProgram(splashConfig(Backend::BaseSvm, np),
+                               [&](Runtime &rt, RunResult &res) {
+                                   m4::M4Env env(rt);
+                                   entry.run(env, np, base_out);
+                               });
+                // --trace records the first CableS run of the sweep.
+                RunOptions cbl_opts;
+                if (first_run)
+                    cbl_opts.tracer = tracer;
+                first_run = false;
+                RunResult cbl_r =
+                    runProgram(splashConfig(Backend::CableS, np),
+                               [&](Runtime &rt, RunResult &res) {
+                                   m4::M4Env env(rt);
+                                   entry.run(env, np, cbl_out);
+                               },
+                               cbl_opts);
+                rep.addRow({entry.name, np,
+                            sim::toMs(base_out.parallel),
+                            sim::toMs(base_r.total),
+                            check(base_r, base_out),
+                            sim::toMs(cbl_out.parallel),
+                            sim::toMs(cbl_r.total),
+                            cbl_r.ops.attach.sum(),
+                            check(cbl_r, cbl_out)},
+                           util::Json(), entry.name);
+                rep.attachMetrics(cbl_r.metrics);
+            }
         }
-        std::printf("\n");
-    }
-    std::printf("paper shape: CableS parallel sections within ~25%% of "
-                "base for FFT, LU, RAYTRACE, WATER-*; RADIX and VOLREND "
-                "degrade (64 KByte misplacement); CableS totals carry "
-                "the node-attach startup cost; base OCEAN hits the NIC "
-                "region limit at 32 procs while CableS runs.\n");
-    return 0;
+        rep.addNote(
+            "paper shape: CableS parallel sections within ~25% of base "
+            "for FFT, LU, RAYTRACE, WATER-*; RADIX and VOLREND degrade "
+            "(64 KByte misplacement); CableS totals carry the "
+            "node-attach startup cost; base OCEAN hits the NIC region "
+            "limit at 32 procs while CableS runs.");
+    });
 }

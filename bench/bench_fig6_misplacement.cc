@@ -7,56 +7,65 @@
  * system's 4 KByte-granularity placement chose — the paper's metric.
  */
 
-#include <cstdio>
 #include <vector>
 
 #include "apps/splash.hh"
+#include "bench_common.hh"
 
 using namespace cables;
 using namespace cables::apps;
 using cs::Backend;
 
 int
-main()
+main(int argc, char **argv)
 {
-    const std::vector<int> procs = {4, 8, 16, 32};
+    auto opts = bench::Options::parse(argc, argv, "fig6_misplacement");
 
-    std::printf("Figure 6: %% pages misplaced (CableS vs base "
-                "placement)\n");
-    std::printf("%-16s", "app");
-    for (int np : procs)
-        std::printf(" %8dp", np);
-    std::printf("\n");
+    return bench::runBench(opts, [&](bench::Report &rep,
+                                     sim::Tracer *tracer) {
+        rep.setTitle("Figure 6: % pages misplaced (CableS vs base "
+                     "placement)");
+        rep.setColumns({{"app"}, {"procs"}, {"misplaced_pct", 1},
+                        {"check"}});
 
-    for (const auto &entry : splashSuite()) {
-        std::printf("%-16s", entry.name.c_str());
-        for (int np : procs) {
-            AppOut base_out, cbl_out;
-            RunResult base_r =
-                runProgram(splashConfig(Backend::BaseSvm, np),
-                           [&](Runtime &rt, RunResult &res) {
-                               m4::M4Env env(rt);
-                               entry.run(env, np, base_out);
-                           });
-            RunResult cbl_r =
-                runProgram(splashConfig(Backend::CableS, np),
-                           [&](Runtime &rt, RunResult &res) {
-                               m4::M4Env env(rt);
-                               entry.run(env, np, cbl_out);
-                           });
-            if (base_r.registrationFailure ||
-                cbl_r.registrationFailure) {
-                std::printf(" %8s", "regfail");
-                continue;
+        std::vector<int> procs = opts.procList({4, 8, 16, 32});
+        bool first = true;
+        for (const auto &entry : splashSuite()) {
+            for (int np : procs) {
+                AppOut base_out, cbl_out;
+                RunResult base_r =
+                    runProgram(splashConfig(Backend::BaseSvm, np),
+                               [&](Runtime &rt, RunResult &res) {
+                                   m4::M4Env env(rt);
+                                   entry.run(env, np, base_out);
+                               });
+                RunOptions ro;
+                if (first)
+                    ro.tracer = tracer;
+                first = false;
+                RunResult cbl_r =
+                    runProgram(splashConfig(Backend::CableS, np),
+                               [&](Runtime &rt, RunResult &res) {
+                                   m4::M4Env env(rt);
+                                   entry.run(env, np, cbl_out);
+                               },
+                               ro);
+                if (base_r.registrationFailure ||
+                    cbl_r.registrationFailure) {
+                    rep.addRow({entry.name, np, util::Json(),
+                                "regfail"},
+                               util::Json(), entry.name);
+                    continue;
+                }
+                double pct = misplacedPct(base_r.homes, cbl_r.homes);
+                rep.addRow({entry.name, np, pct, "ok"}, util::Json(),
+                           entry.name);
+                rep.attachMetrics(cbl_r.metrics);
             }
-            double pct = misplacedPct(base_r.homes, cbl_r.homes);
-            std::printf(" %8.1f", pct);
         }
-        std::printf("\n");
-    }
-    std::printf("\npaper shape: FFT, OCEAN, RADIX, RAYTRACE < 10%%; "
-                "LU, WATER-SPATIAL, WATER-SPAT-FL, VOLREND high; only "
-                "VOLREND (and RADIX via protocol costs) suffer from "
-                "it.\n");
-    return 0;
+        rep.addNote("paper shape: FFT, OCEAN, RADIX, RAYTRACE < 10%; "
+                    "LU, WATER-SPATIAL, WATER-SPAT-FL, VOLREND high; "
+                    "only VOLREND (and RADIX via protocol costs) "
+                    "suffer from it.");
+    });
 }

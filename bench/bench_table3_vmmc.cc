@@ -2,12 +2,10 @@
  * @file
  * Reproduces Table 3: basic VMMC operation costs on the simulated
  * Myrinet SAN (1-word/4 KByte send and fetch, streaming bandwidth,
- * notification). Paper values printed alongside for comparison.
+ * notification). Paper values reported alongside for comparison.
  */
 
-#include <cstdio>
-#include <vector>
-
+#include "bench_common.hh"
 #include "net/network.hh"
 #include "sim/engine.hh"
 #include "vmmc/vmmc.hh"
@@ -17,93 +15,93 @@ using sim::Tick;
 using sim::US;
 
 int
-main()
+main(int argc, char **argv)
 {
-    net::NetParams params;
+    auto opts = bench::Options::parse(argc, argv, "table3_vmmc");
 
-    struct Row
-    {
-        const char *name;
-        double measured;
-        const char *unit;
-        double paper;
-    };
-    std::vector<Row> rows;
+    return bench::runBench(opts, [&](bench::Report &rep,
+                                     sim::Tracer *tracer) {
+        rep.setTitle("Table 3: basic VMMC costs (simulated SAN)");
+        rep.setColumns({{"operation"}, {"measured", 1}, {"unit"},
+                        {"paper", 1}});
+        net::NetParams params;
 
-    {
-        net::Network n2(2, params);
-        Tick t = n2.transfer(0, 1, 8, 0);
-        rows.push_back(
-            {"1-word send (one-way lat)", sim::toUs(t), "us", 7.8});
-    }
-    {
-        net::Network n2(2, params);
-        Tick t = n2.fetch(0, 1, 8, 0);
-        rows.push_back(
-            {"1-word fetch (round-trip lat)", sim::toUs(t), "us", 22.0});
-    }
-    {
-        net::Network n2(2, params);
-        Tick t = n2.transfer(0, 1, 4096, 0);
-        rows.push_back(
-            {"4 KByte send (one-way lat)", sim::toUs(t), "us", 52.0});
-    }
-    {
-        net::Network n2(2, params);
-        Tick t = n2.fetch(0, 1, 4096, 0);
-        rows.push_back(
-            {"4 KByte fetch (round-trip lat)", sim::toUs(t), "us", 81.0});
-    }
-    {
-        // Streaming bandwidth: many back-to-back large messages.
-        net::Network n2(2, params);
-        const size_t msg = 64 * 1024;
-        const int count = 256;
-        Tick last = 0;
-        for (int i = 0; i < count; ++i)
-            last = n2.transfer(0, 1, msg, 0);
-        double mb = double(msg) * count / (1024.0 * 1024.0);
-        rows.push_back({"Maximum ping-pong bandwidth",
-                        mb / sim::toSec(last), "MB/s", 125.0});
-    }
-    {
-        net::Network n2(2, params);
-        const size_t msg = 64 * 1024;
-        const int count = 256;
-        Tick last = 0;
-        for (int i = 0; i < count; ++i)
-            last = n2.fetch(0, 1, msg, 0);
-        double mb = double(msg) * count / (1024.0 * 1024.0);
-        rows.push_back({"Maximum fetch bandwidth",
-                        mb / sim::toSec(last), "MB/s", 125.0});
-    }
-    {
-        net::Network n2(2, params);
-        Tick t = n2.notify(0, 1, 8, 0);
-        rows.push_back({"Notification", sim::toUs(t), "us", 18.0});
-    }
+        auto add = [&](const char *name, double measured,
+                       const char *unit, double paper) {
+            rep.addRow({name, measured, unit, paper}, paper);
+        };
 
-    std::printf("Table 3: basic VMMC costs (simulated SAN)\n");
-    std::printf("%-34s %12s %8s %12s\n", "VMMC Operation", "measured",
-                "unit", "paper");
-    for (const Row &r : rows) {
-        std::printf("%-34s %12.1f %8s %12.1f\n", r.name, r.measured,
-                    r.unit, r.paper);
-    }
+        {
+            net::Network n2(2, params);
+            add("1-word send (one-way lat)",
+                sim::toUs(n2.transfer(0, 1, 8, 0)), "us", 7.8);
+        }
+        {
+            net::Network n2(2, params);
+            add("1-word fetch (round-trip lat)",
+                sim::toUs(n2.fetch(0, 1, 8, 0)), "us", 22.0);
+        }
+        {
+            net::Network n2(2, params);
+            add("4 KByte send (one-way lat)",
+                sim::toUs(n2.transfer(0, 1, 4096, 0)), "us", 52.0);
+        }
+        {
+            net::Network n2(2, params);
+            add("4 KByte fetch (round-trip lat)",
+                sim::toUs(n2.fetch(0, 1, 4096, 0)), "us", 81.0);
+        }
+        {
+            // Streaming bandwidth: many back-to-back large messages.
+            net::Network n2(2, params);
+            const size_t msg = 64 * 1024;
+            const int count = 256;
+            Tick last = 0;
+            for (int i = 0; i < count; ++i)
+                last = n2.transfer(0, 1, msg, 0);
+            double mb = double(msg) * count / (1024.0 * 1024.0);
+            add("Maximum ping-pong bandwidth", mb / sim::toSec(last),
+                "MB/s", 125.0);
+        }
+        {
+            net::Network n2(2, params);
+            const size_t msg = 64 * 1024;
+            const int count = 256;
+            Tick last = 0;
+            for (int i = 0; i < count; ++i)
+                last = n2.fetch(0, 1, msg, 0);
+            double mb = double(msg) * count / (1024.0 * 1024.0);
+            add("Maximum fetch bandwidth", mb / sim::toSec(last),
+                "MB/s", 125.0);
+        }
+        {
+            net::Network n2(2, params);
+            add("Notification", sim::toUs(n2.notify(0, 1, 8, 0)), "us",
+                18.0);
+        }
 
-    // Exercise the full blocking path once through a fiber, so this
-    // binary also checks the Vmmc plumbing end to end.
-    sim::Engine engine;
-    net::Network network(2, params);
-    vmmc::Vmmc comm(engine, network, vmmc::VmmcParams{});
-    Tick fetch_elapsed = 0;
-    engine.spawn("probe", [&]() {
-        Tick t0 = engine.now();
-        comm.fetch(0, 1, 4096);
-        fetch_elapsed = engine.now() - t0;
-    }, 0);
-    engine.run();
-    std::printf("\nblocking fiber fetch of 4 KByte: %.1f us\n",
-                sim::toUs(fetch_elapsed));
-    return 0;
+        // Exercise the full blocking path once through a fiber, so this
+        // binary also checks the Vmmc plumbing end to end.
+        {
+            sim::Engine engine;
+            net::Network network(2, params);
+            network.setTracer(tracer);
+            engine.setTracer(tracer);
+            vmmc::Vmmc comm(engine, network, vmmc::VmmcParams{});
+            Tick fetch_elapsed = 0;
+            engine.spawn("probe", [&]() {
+                Tick t0 = engine.now();
+                comm.fetch(0, 1, 4096);
+                fetch_elapsed = engine.now() - t0;
+            }, 0);
+            engine.run();
+            add("blocking fiber fetch of 4 KByte",
+                sim::toUs(fetch_elapsed), "us", 81.0);
+
+            metrics::Registry r;
+            network.publishMetrics(r);
+            comm.publishMetrics(r);
+            rep.attachMetrics(r.snapshot());
+        }
+    });
 }

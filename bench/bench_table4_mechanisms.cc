@@ -11,10 +11,10 @@
  * breakdowns will not exactly add up to the total".
  */
 
-#include <cstdio>
 #include <string>
 #include <vector>
 
+#include "bench_common.hh"
 #include "cables/memory.hh"
 #include "cables/runtime.hh"
 #include "cables/shared.hh"
@@ -26,24 +26,6 @@ using sim::US;
 using sim::MS;
 
 namespace {
-
-struct Row
-{
-    std::string name;
-    CostBreakdown b;
-    double scale;      // 1e3 -> us, 1e6 -> ms
-    const char *unit;
-    double paperTotal; // in `unit`
-};
-
-std::vector<Row> rows;
-
-void
-addRow(const std::string &name, const CostBreakdown &b, bool ms,
-       double paper)
-{
-    rows.push_back(Row{name, b, ms ? 1e6 : 1e3, ms ? "ms" : "us", paper});
-}
 
 ClusterConfig
 clusterOf(int nodes)
@@ -71,247 +53,280 @@ measureRemote(Runtime &rt, const std::function<void()> &op)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    // ----- node attach + thread creation (2-node system) -----
-    {
-        Runtime rt(clusterOf(2));
-        rt.run([&]() {
-            // Local thread create (slot free on the master node).
-            // Keep it alive so node 0 stays full for the attach below.
-            CostBreakdown local_create = rt.measure([&]() {
-                int t = rt.threadCreate([&]() { rt.compute(60000 * MS); });
-                (void)t;
+    auto opts = bench::Options::parse(argc, argv, "table4_mechanisms");
+
+    return bench::runBench(opts, [&](bench::Report &rep,
+                                     sim::Tracer *tracer) {
+        rep.setTitle("Table 4: CableS mechanism costs (no contention)");
+        rep.setColumns({{"mechanism"}, {"total", 1},
+                        {"local_cables", 1}, {"remote_cables", 1},
+                        {"local_os", 1}, {"comm", 1}, {"unit"},
+                        {"paper", 1}});
+
+        auto addRow = [&](const std::string &name,
+                          const CostBreakdown &b, bool ms,
+                          double paper) {
+            double scale = ms ? 1e6 : 1e3;
+            rep.addRow({name, b.total / scale,
+                        b.get(CostKind::LocalCables) / scale,
+                        b.get(CostKind::RemoteCables) / scale,
+                        b.get(CostKind::LocalOs) / scale,
+                        b.get(CostKind::Communication) / scale,
+                        ms ? "ms" : "us", paper},
+                       paper);
+        };
+
+        // ----- node attach + thread creation (2-node system) -----
+        {
+            Runtime rt(clusterOf(2));
+            if (tracer)
+                rt.setTracer(tracer);
+            rt.run([&]() {
+                // Local thread create (slot free on the master node).
+                // Keep it alive so node 0 stays full for the attach
+                // below.
+                CostBreakdown local_create = rt.measure([&]() {
+                    int t = rt.threadCreate(
+                        [&]() { rt.compute(60000 * MS); });
+                    (void)t;
+                });
+                addRow("local thread create", local_create, false, 766);
+
+                // Next create fills node 0... then one more attaches
+                // node 1.
+                CostBreakdown attach = rt.measure([&]() {
+                    int t = rt.threadCreate(
+                        [&]() { rt.compute(60000 * MS); });
+                    (void)t;
+                });
+                addRow("attach node (via create)", attach, true, 3690);
+
+                // Remote create on the (now attached) node 1.
+                CostBreakdown remote_create = rt.measure([&]() {
+                    int t = rt.threadCreate([]() {});
+                    (void)t;
+                });
+                addRow("remote thread create", remote_create, false,
+                       819);
             });
-            addRow("local thread create", local_create, false, 766);
+            metrics::Snapshot snap = rt.metricsSnapshot();
+            rep.attachMetrics(std::move(snap));
+        }
 
-            // Next create fills node 0... then one more attaches node 1.
-            CostBreakdown attach = rt.measure([&]() {
-                int t = rt.threadCreate([&]() { rt.compute(60000 * MS); });
-                (void)t;
-            });
-            addRow("attach node (via create)", attach, true, 3690);
-
-            // Remote create on the (now attached) node 1.
-            CostBreakdown remote_create = rt.measure([&]() {
-                int t = rt.threadCreate([]() {});
-                (void)t;
-            });
-            addRow("remote thread create", remote_create, false, 819);
-        });
-    }
-
-    // ----- mutexes (4-node system) -----
-    {
-        Runtime rt(clusterOf(4));
-        rt.run([&]() {
-            int m = rt.mutexCreate();
-            CostBreakdown first_local =
-                rt.measure([&]() { rt.mutexLock(m); });
-            addRow("local mutex lock (first time)", first_local, false,
-                   33);
-            rt.mutexUnlock(m);
-            CostBreakdown local = rt.measure([&]() { rt.mutexLock(m); });
-            addRow("local mutex lock", local, false, 4);
-            CostBreakdown unlock =
-                rt.measure([&]() { rt.mutexUnlock(m); });
-
-            // Remote: pin a worker on another node via a filler thread.
-            int filler =
-                rt.threadCreate([&]() { rt.compute(90000 * MS); });
-            CostBreakdown remote_first = measureRemote(
-                rt, [&]() { rt.mutexLock(m); });
-            addRow("remote mutex lock (first time)", remote_first, false,
-                   122);
-            // Hand the token back to the master, then measure a plain
-            // remote lock (token remote, already registered).
-            {
-                int t = rt.threadCreate(
-                    [&]() { rt.mutexUnlock(m); });
-                rt.join(t);
-            }
-            rt.mutexLock(m);
-            rt.mutexUnlock(m); // token now cached on master
-            CostBreakdown remote = measureRemote(
-                rt, [&]() { rt.mutexLock(m); rt.mutexUnlock(m); });
-            // Report the lock part: subtract nothing; the unlock is
-            // local at the remote node and small.
-            addRow("remote mutex lock (+unlock)", remote, false, 101);
-            addRow("mutex unlock", unlock, false, 6);
-            (void)filler;
-        });
-    }
-
-    // ----- conditions (4-node system) -----
-    // Waiter and the mutex token live on node 1; the signaller runs on
-    // node 2 (remote from both the ACB owner and the waiter), matching
-    // the paper's distributed measurement.
-    {
-        Runtime rt(clusterOf(4));
-        rt.run([&]() {
-            int filler0 =
-                rt.threadCreate([&]() { rt.compute(120000 * MS); });
-            (void)filler0; // node 0 is now full
-
-            GAddr mbox = rt.malloc(16);
-            int setup = rt.threadCreate([&]() {
+        // ----- mutexes (4-node system) -----
+        {
+            Runtime rt(clusterOf(4));
+            rt.run([&]() {
                 int m = rt.mutexCreate();
-                int cv = rt.condCreate();
-                rt.write<int64_t>(mbox, m);
-                rt.write<int64_t>(mbox + 8, cv);
-                rt.mutexLock(m);
-                rt.mutexUnlock(m); // token cached on node 1
-            });
-            rt.join(setup);
-            int m = int(rt.read<int64_t>(mbox));
-            int cv = int(rt.read<int64_t>(mbox + 8));
-
-            int filler1 =
-                rt.threadCreate([&]() { rt.compute(120000 * MS); });
-            (void)filler1; // occupies node 1's free slot
-
-            CostBreakdown wait_b;
-            GAddr waiter_done = rt.malloc(8);
-            rt.write<int64_t>(waiter_done, 0);
-            // Oversubscribe node 1? No: filler1 + waiter fill node 1.
-            int waiter = rt.threadCreate([&]() {
-                rt.mutexLock(m);
-                wait_b = rt.measure([&]() { rt.condWait(cv, m); });
+                CostBreakdown first_local =
+                    rt.measure([&]() { rt.mutexLock(m); });
+                addRow("local mutex lock (first time)", first_local,
+                       false, 33);
                 rt.mutexUnlock(m);
-                rt.write<int64_t>(waiter_done, 1);
-            });
-            // Wait for the waiter to block, then signal from node 2.
-            rt.compute(10 * MS);
-            CostBreakdown signal_b;
-            int signaller = rt.threadCreate([&]() {
-                signal_b = rt.measure([&]() { rt.condSignal(cv); });
-            });
-            rt.join(signaller);
-            rt.join(waiter);
+                CostBreakdown local =
+                    rt.measure([&]() { rt.mutexLock(m); });
+                addRow("local mutex lock", local, false, 4);
+                CostBreakdown unlock =
+                    rt.measure([&]() { rt.mutexUnlock(m); });
 
-            CostBreakdown wait_overhead = wait_b;
-            wait_overhead.total = 0;
-            for (int k = 0; k < int(CostKind::NumKinds); ++k)
-                wait_overhead.total += wait_overhead.part[k];
-            addRow("conditional wait (overhead)", wait_overhead, false,
-                   30);
-            addRow("conditional signal", signal_b, false, 100);
+                // Remote: pin a worker on another node via a filler
+                // thread.
+                int filler =
+                    rt.threadCreate([&]() { rt.compute(90000 * MS); });
+                CostBreakdown remote_first = measureRemote(
+                    rt, [&]() { rt.mutexLock(m); });
+                addRow("remote mutex lock (first time)", remote_first,
+                       false, 122);
+                // Hand the token back to the master, then measure a
+                // plain remote lock (token remote, already registered).
+                {
+                    int t = rt.threadCreate(
+                        [&]() { rt.mutexUnlock(m); });
+                    rt.join(t);
+                }
+                rt.mutexLock(m);
+                rt.mutexUnlock(m); // token now cached on master
+                CostBreakdown remote = measureRemote(
+                    rt,
+                    [&]() { rt.mutexLock(m); rt.mutexUnlock(m); });
+                // Report the lock part: subtract nothing; the unlock is
+                // local at the remote node and small.
+                addRow("remote mutex lock (+unlock)", remote, false,
+                       101);
+                addRow("mutex unlock", unlock, false, 6);
+                (void)filler;
+            });
+        }
 
-            // Broadcast from another remote node with two waiters.
-            std::vector<int> ws;
-            for (int i = 0; i < 2; ++i) {
-                ws.push_back(rt.threadCreate([&]() {
+        // ----- conditions (4-node system) -----
+        // Waiter and the mutex token live on node 1; the signaller runs
+        // on node 2 (remote from both the ACB owner and the waiter),
+        // matching the paper's distributed measurement.
+        {
+            Runtime rt(clusterOf(4));
+            rt.run([&]() {
+                int filler0 =
+                    rt.threadCreate([&]() { rt.compute(120000 * MS); });
+                (void)filler0; // node 0 is now full
+
+                GAddr mbox = rt.malloc(16);
+                int setup = rt.threadCreate([&]() {
+                    int m = rt.mutexCreate();
+                    int cv = rt.condCreate();
+                    rt.write<int64_t>(mbox, m);
+                    rt.write<int64_t>(mbox + 8, cv);
                     rt.mutexLock(m);
-                    rt.condWait(cv, m);
+                    rt.mutexUnlock(m); // token cached on node 1
+                });
+                rt.join(setup);
+                int m = int(rt.read<int64_t>(mbox));
+                int cv = int(rt.read<int64_t>(mbox + 8));
+
+                int filler1 =
+                    rt.threadCreate([&]() { rt.compute(120000 * MS); });
+                (void)filler1; // occupies node 1's free slot
+
+                CostBreakdown wait_b;
+                GAddr waiter_done = rt.malloc(8);
+                rt.write<int64_t>(waiter_done, 0);
+                // Oversubscribe node 1? No: filler1 + waiter fill
+                // node 1.
+                int waiter = rt.threadCreate([&]() {
+                    rt.mutexLock(m);
+                    wait_b = rt.measure([&]() { rt.condWait(cv, m); });
                     rt.mutexUnlock(m);
-                }));
-            }
-            rt.compute(10 * MS);
-            CostBreakdown bcast;
-            int bcaster = rt.threadCreate([&]() {
-                bcast = rt.measure([&]() { rt.condBroadcast(cv); });
-            });
-            rt.join(bcaster);
-            for (int w : ws)
-                rt.join(w);
-            addRow("conditional broadcast (2 waiters)", bcast, false,
-                   110);
-        });
-    }
+                    rt.write<int64_t>(waiter_done, 1);
+                });
+                // Wait for the waiter to block, then signal from
+                // node 2.
+                rt.compute(10 * MS);
+                CostBreakdown signal_b;
+                int signaller = rt.threadCreate([&]() {
+                    signal_b =
+                        rt.measure([&]() { rt.condSignal(cv); });
+                });
+                rt.join(signaller);
+                rt.join(waiter);
 
-    // ----- barriers (4-node system) -----
-    {
-        Runtime rt(clusterOf(4));
-        rt.run([&]() {
-            int b = rt.barrierCreate();
-            const int P = 4;
-            GAddr native_t = rt.malloc(8), cond_t = rt.malloc(8);
-            auto body = [&](int pid) {
-                Tick t0 = rt.now();
-                rt.barrier(b, P);
-                if (pid == 0)
-                    rt.write<int64_t>(native_t, rt.now() - t0);
-                t0 = rt.now();
-                rt.condBarrier(b, P);
-                if (pid == 0)
-                    rt.write<int64_t>(cond_t, rt.now() - t0);
-            };
-            std::vector<int> tids;
-            for (int i = 1; i < P; ++i)
-                tids.push_back(rt.threadCreate([&, i]() { body(i); }));
-            body(0);
-            for (int t : tids)
+                CostBreakdown wait_overhead = wait_b;
+                wait_overhead.total = 0;
+                for (int k = 0; k < int(CostKind::NumKinds); ++k)
+                    wait_overhead.total += wait_overhead.part[k];
+                addRow("conditional wait (overhead)", wait_overhead,
+                       false, 30);
+                addRow("conditional signal", signal_b, false, 100);
+
+                // Broadcast from another remote node with two waiters.
+                std::vector<int> ws;
+                for (int i = 0; i < 2; ++i) {
+                    ws.push_back(rt.threadCreate([&]() {
+                        rt.mutexLock(m);
+                        rt.condWait(cv, m);
+                        rt.mutexUnlock(m);
+                    }));
+                }
+                rt.compute(10 * MS);
+                CostBreakdown bcast;
+                int bcaster = rt.threadCreate([&]() {
+                    bcast =
+                        rt.measure([&]() { rt.condBroadcast(cv); });
+                });
+                rt.join(bcaster);
+                for (int w : ws)
+                    rt.join(w);
+                addRow("conditional broadcast (2 waiters)", bcast,
+                       false, 110);
+            });
+        }
+
+        // ----- barriers (4-node system) -----
+        {
+            Runtime rt(clusterOf(4));
+            rt.run([&]() {
+                int b = rt.barrierCreate();
+                const int P = 4;
+                GAddr native_t = rt.malloc(8), cond_t = rt.malloc(8);
+                auto body = [&](int pid) {
+                    Tick t0 = rt.now();
+                    rt.barrier(b, P);
+                    if (pid == 0)
+                        rt.write<int64_t>(native_t, rt.now() - t0);
+                    t0 = rt.now();
+                    rt.condBarrier(b, P);
+                    if (pid == 0)
+                        rt.write<int64_t>(cond_t, rt.now() - t0);
+                };
+                std::vector<int> tids;
+                for (int i = 1; i < P; ++i)
+                    tids.push_back(
+                        rt.threadCreate([&, i]() { body(i); }));
+                body(0);
+                for (int t : tids)
+                    rt.join(t);
+                CostBreakdown nb;
+                nb.total = rt.read<int64_t>(native_t);
+                addRow("GeNIMA-style barrier (pthread ext)", nb, false,
+                       70);
+                CostBreakdown cb;
+                cb.total = rt.read<int64_t>(cond_t);
+                addRow("pthreads (mutex+cond) barrier", cb, true, 13);
+            });
+        }
+
+        // ----- segment ownership / migration + admin (2-node) -----
+        {
+            Runtime rt(clusterOf(2));
+            rt.run([&]() {
+                GAddr a = rt.malloc(1024 * 1024);
+                // First touch on the ACB owner (the master).
+                CostBreakdown own_first = rt.measure(
+                    [&]() { rt.write<int64_t>(a, 1); });
+                addRow("segment migration on ACB owner (first time)",
+                       own_first, false, 159);
+                CostBreakdown own_detect = rt.measure(
+                    [&]() { rt.write<int64_t>(a + 8, 1); });
+                addRow("access on ACB owner (segment cached)",
+                       own_detect, false, 1);
+
+                // Fill the master so the next thread lands remotely.
+                int filler =
+                    rt.threadCreate([&]() { rt.compute(60000 * MS); });
+                CostBreakdown rem_first = measureRemote(rt, [&]() {
+                    rt.write<int64_t>(a + 256 * 1024, 1);
+                });
+                addRow("segment migration (first time)", rem_first,
+                       false, 252);
+                CostBreakdown rem_detect_first =
+                    measureRemote(rt, [&]() {
+                        rt.read<int64_t>(a); // first fault: directory
+                                             // lookup
+                    });
+                addRow("segment owner detect (first time) + page fetch",
+                       rem_detect_first, false, 23 + 81);
+                CostBreakdown rem_detect_cached =
+                    measureRemote(rt, [&]() {
+                        rt.read<int64_t>(a + 4096); // cached directory
+                                                    // info
+                    });
+                addRow("segment owner detect (cached) + page fetch",
+                       rem_detect_cached, false, 1 + 81);
+                (void)filler;
+
+                CostBreakdown admin;
+                int t = rt.threadCreate([&]() {
+                    admin = rt.measure([&]() { rt.keyCreate(); });
+                });
                 rt.join(t);
-            CostBreakdown nb;
-            nb.total = rt.read<int64_t>(native_t);
-            addRow("GeNIMA-style barrier (pthread ext)", nb, false, 70);
-            CostBreakdown cb;
-            cb.total = rt.read<int64_t>(cond_t);
-            addRow("pthreads (mutex+cond) barrier", cb, true, 13);
-        });
-    }
-
-    // ----- segment ownership / migration + admin (2-node system) -----
-    {
-        Runtime rt(clusterOf(2));
-        rt.run([&]() {
-            GAddr a = rt.malloc(1024 * 1024);
-            // First touch on the ACB owner (the master).
-            CostBreakdown own_first = rt.measure(
-                [&]() { rt.write<int64_t>(a, 1); });
-            addRow("segment migration on ACB owner (first time)",
-                   own_first, false, 159);
-            CostBreakdown own_detect = rt.measure(
-                [&]() { rt.write<int64_t>(a + 8, 1); });
-            addRow("access on ACB owner (segment cached)", own_detect,
-                   false, 1);
-
-            // Fill the master so the next thread lands remotely.
-            int filler =
-                rt.threadCreate([&]() { rt.compute(60000 * MS); });
-            CostBreakdown rem_first = measureRemote(rt, [&]() {
-                rt.write<int64_t>(a + 256 * 1024, 1);
+                addRow("administration request", admin, false, 20);
             });
-            addRow("segment migration (first time)", rem_first, false,
-                   252);
-            CostBreakdown rem_detect_first = measureRemote(rt, [&]() {
-                rt.read<int64_t>(a); // first fault: directory lookup
-            });
-            addRow("segment owner detect (first time) + page fetch",
-                   rem_detect_first, false, 23 + 81);
-            CostBreakdown rem_detect_cached = measureRemote(rt, [&]() {
-                rt.read<int64_t>(a + 4096); // cached directory info
-            });
-            addRow("segment owner detect (cached) + page fetch",
-                   rem_detect_cached, false, 1 + 81);
-            (void)filler;
+        }
 
-            CostBreakdown admin;
-            int t = rt.threadCreate([&]() {
-                admin = rt.measure([&]() { rt.keyCreate(); });
-            });
-            rt.join(t);
-            addRow("administration request", admin, false, 20);
-        });
-    }
-
-    std::printf("Table 4: CableS mechanism costs (no contention)\n");
-    std::printf("%-44s %10s %10s %10s %10s %10s %6s %10s\n", "mechanism",
-                "total", "localCS", "remoteCS", "localOS", "comm",
-                "unit", "paper");
-    for (const Row &r : rows) {
-        std::printf(
-            "%-44s %10.1f %10.1f %10.1f %10.1f %10.1f %6s %10.1f\n",
-            r.name.c_str(), r.b.total / r.scale,
-            r.b.get(CostKind::LocalCables) / r.scale,
-            r.b.get(CostKind::RemoteCables) / r.scale,
-            r.b.get(CostKind::LocalOs) / r.scale,
-            r.b.get(CostKind::Communication) / r.scale, r.unit,
-            r.paperTotal);
-    }
-    std::printf("\nfootnote (as in the paper): node attach remote OS "
-                "time %.0f ms; remote create remote OS time %.0f us\n",
-                sim::toMs(ClusterConfig{}.os.processSpawnCost),
-                sim::toUs(ClusterConfig{}.os.remoteThreadCreateCost));
-    return 0;
+        rep.addNote(csprintf(
+            "footnote (as in the paper): node attach remote OS time "
+            "{} ms; remote create remote OS time {} us",
+            sim::toMs(ClusterConfig{}.os.processSpawnCost),
+            sim::toUs(ClusterConfig{}.os.remoteThreadCreateCost)));
+    });
 }

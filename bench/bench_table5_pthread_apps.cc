@@ -7,12 +7,12 @@
  * the paper's reporting format.
  */
 
-#include <cstdio>
 #include <string>
 #include <vector>
 
 #include "apps/omp_ports.hh"
 #include "apps/pthread_apps.hh"
+#include "bench_common.hh"
 
 using namespace cables;
 using namespace cables::apps;
@@ -20,114 +20,130 @@ using cs::Backend;
 
 namespace {
 
-struct Row
+/** Mean of a Stat as a table cell; "-" when the op was never used. */
+util::Json
+cell(const Stat &s)
 {
-    std::string name;
-    bool valid;
-    cs::OpStats ops;
-    int attaches;
-    double totalMs;
-};
+    if (s.count() == 0)
+        return util::Json();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3g", s.mean());
+    return std::string(buf);
+}
 
-void
-printRow(const Row &r)
+std::string
+callMarks(const cs::OpStats &ops)
 {
-    auto cell = [](const Stat &s) {
-        if (s.count() == 0)
-            return std::string("-");
-        char buf[32];
-        std::snprintf(buf, sizeof(buf), "%.3g", s.mean());
-        return std::string(buf);
-    };
-    auto mark = [](const Stat &s) { return s.count() ? "x" : " "; };
-    std::printf("%-10s  %s %s %s %s  | %8s %8s %8s %8s %8s %8s %9.0f  %s\n",
-                r.name.c_str(), mark(r.ops.create), mark(r.ops.lock),
-                mark(r.ops.wait), mark(r.ops.broadcast),
-                cell(r.ops.create).c_str(), cell(r.ops.lock).c_str(),
-                cell(r.ops.unlock).c_str(), cell(r.ops.wait).c_str(),
-                cell(r.ops.signal).c_str(),
-                cell(r.ops.broadcast).c_str(),
-                r.ops.attach.count() ? r.ops.attach.sum() : 0.0,
-                r.valid ? "ok" : "INVALID");
+    std::string m;
+    m += ops.create.count() ? 'C' : '.';
+    m += ops.lock.count() ? 'L' : '.';
+    m += ops.wait.count() ? 'W' : '.';
+    m += ops.broadcast.count() ? 'B' : '.';
+    return m;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::vector<Row> rows;
-    auto record = [&](const std::string &name, const RunResult &r,
-                      bool valid) {
-        rows.push_back(
-            Row{name, valid, r.ops, r.attaches, sim::toMs(r.total)});
-    };
+    auto opts = bench::Options::parse(argc, argv, "table5_pthread_apps");
 
-    {
-        AppOut out;
-        PnParams p;
-        p.threads = 16;
-        RunResult r = runProgram(splashConfig(Backend::CableS, 16),
-                                 [&](Runtime &rt, RunResult &res) {
-                                     runPn(rt, p, out);
-                                 });
-        record("PN", r, out.valid);
-    }
-    {
-        AppOut out;
-        RunResult r = runProgram(splashConfig(Backend::CableS, 2),
-                                 [&](Runtime &rt, RunResult &res) {
-                                     runPc(rt, PcParams{}, out);
-                                 });
-        record("PC", r, out.valid);
-    }
-    {
-        AppOut out;
-        PipeParams p;
-        p.stages = 6;
-        RunResult r = runProgram(splashConfig(Backend::CableS, 8),
-                                 [&](Runtime &rt, RunResult &res) {
-                                     runPipe(rt, p, out);
-                                 });
-        record("PIPE", r, out.valid);
-    }
-    {
-        AppOut out;
-        RunResult r = runProgram(splashConfig(Backend::CableS, 16),
-                                 [&](Runtime &rt, RunResult &res) {
-                                     runOmpFft(rt, 16, 16, out);
-                                 });
-        record("OMP FFT", r, out.valid);
-    }
-    {
-        AppOut out;
-        RunResult r = runProgram(splashConfig(Backend::CableS, 16),
-                                 [&](Runtime &rt, RunResult &res) {
-                                     runOmpLu(rt, 16, 256, 32, out);
-                                 });
-        record("OMP LU", r, out.valid);
-    }
-    {
-        AppOut out;
-        RunResult r = runProgram(splashConfig(Backend::CableS, 16),
-                                 [&](Runtime &rt, RunResult &res) {
-                                     runOmpOcean(rt, 16, 130, 3, out);
-                                 });
-        record("OMP OCEAN", r, out.valid);
-    }
+    return bench::runBench(opts, [&](bench::Report &rep,
+                                     sim::Tracer *tracer) {
+        rep.setTitle("Table 5: pthreads programs — calls used and mean "
+                     "operation times (ms)");
+        rep.setColumns({{"program"}, {"calls"}, {"create_ms"},
+                        {"lock_ms"}, {"unlock_ms"}, {"wait_ms"},
+                        {"signal_ms"}, {"broadcast_ms"},
+                        {"spawn_total_ms", 0}, {"check"}});
 
-    std::printf("Table 5: pthreads programs — calls used and mean "
-                "operation times (ms)\n");
-    std::printf("%-10s  %s  | %8s %8s %8s %8s %8s %8s %9s  %s\n",
-                "PROGRAM", "C L W B", "Cr", "Lo", "Un", "Wa", "Si", "Br",
-                "Sp(total)", "check");
-    for (const Row &r : rows)
-        printRow(r);
-    std::printf("\npaper reference (ms): PN Cr 2254 / Sp 15677; "
-                "PC Cr 1.1 Lo 0.05; PIPE Cr 1008 Sp 11249; "
-                "OMP FFT Cr 1235 Sp 12302; OMP LU Cr 1247 Sp 12412; "
-                "OMP OCEAN Cr 1312 Sp 14222\n");
-    std::printf("(Sp = node-attach / spawn time summed over the run; "
-                "Cr includes attaches triggered by creates)\n");
-    return 0;
+        bool first = true;
+        auto record = [&](const std::string &name, const RunResult &r,
+                          bool valid) {
+            rep.addRow({name, callMarks(r.ops), cell(r.ops.create),
+                        cell(r.ops.lock), cell(r.ops.unlock),
+                        cell(r.ops.wait), cell(r.ops.signal),
+                        cell(r.ops.broadcast),
+                        r.ops.attach.count() ? r.ops.attach.sum() : 0.0,
+                        valid ? "ok" : "INVALID"});
+            rep.attachMetrics(r.metrics);
+        };
+        auto runOpts = [&]() {
+            RunOptions ro;
+            if (first)
+                ro.tracer = tracer;
+            first = false;
+            return ro;
+        };
+
+        {
+            AppOut out;
+            PnParams p;
+            p.threads = 16;
+            RunResult r = runProgram(splashConfig(Backend::CableS, 16),
+                                     [&](Runtime &rt, RunResult &res) {
+                                         runPn(rt, p, out);
+                                     },
+                                     runOpts());
+            record("PN", r, out.valid);
+        }
+        {
+            AppOut out;
+            RunResult r = runProgram(splashConfig(Backend::CableS, 2),
+                                     [&](Runtime &rt, RunResult &res) {
+                                         runPc(rt, PcParams{}, out);
+                                     },
+                                     runOpts());
+            record("PC", r, out.valid);
+        }
+        {
+            AppOut out;
+            PipeParams p;
+            p.stages = 6;
+            RunResult r = runProgram(splashConfig(Backend::CableS, 8),
+                                     [&](Runtime &rt, RunResult &res) {
+                                         runPipe(rt, p, out);
+                                     },
+                                     runOpts());
+            record("PIPE", r, out.valid);
+        }
+        {
+            AppOut out;
+            RunResult r = runProgram(splashConfig(Backend::CableS, 16),
+                                     [&](Runtime &rt, RunResult &res) {
+                                         runOmpFft(rt, 16, 16, out);
+                                     },
+                                     runOpts());
+            record("OMP FFT", r, out.valid);
+        }
+        {
+            AppOut out;
+            RunResult r = runProgram(splashConfig(Backend::CableS, 16),
+                                     [&](Runtime &rt, RunResult &res) {
+                                         runOmpLu(rt, 16, 256, 32, out);
+                                     },
+                                     runOpts());
+            record("OMP LU", r, out.valid);
+        }
+        {
+            AppOut out;
+            RunResult r = runProgram(splashConfig(Backend::CableS, 16),
+                                     [&](Runtime &rt, RunResult &res) {
+                                         runOmpOcean(rt, 16, 130, 3,
+                                                     out);
+                                     },
+                                     runOpts());
+            record("OMP OCEAN", r, out.valid);
+        }
+
+        rep.addNote("paper reference (ms): PN Cr 2254 / Sp 15677; "
+                    "PC Cr 1.1 Lo 0.05; PIPE Cr 1008 Sp 11249; "
+                    "OMP FFT Cr 1235 Sp 12302; OMP LU Cr 1247 Sp 12412; "
+                    "OMP OCEAN Cr 1312 Sp 14222");
+        rep.addNote("spawn_total_ms = node-attach / spawn time summed "
+                    "over the run; create includes attaches triggered "
+                    "by creates; calls = Create/Lock/Wait/Broadcast "
+                    "used");
+    });
 }

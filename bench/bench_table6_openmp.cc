@@ -7,71 +7,87 @@
  * the reason the paper's numbers are far from linear.
  */
 
-#include <cstdio>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "apps/omp_ports.hh"
+#include "bench_common.hh"
 
 using namespace cables;
 using namespace cables::apps;
 using cs::Backend;
 
 int
-main()
+main(int argc, char **argv)
 {
-    const std::vector<int> procs = {1, 4, 8, 16};
+    auto opts = bench::Options::parse(argc, argv, "table6_openmp");
 
-    struct Prog
-    {
-        std::string name;
-        std::function<void(Runtime &, int, AppOut &)> run;
-        std::map<int, double> paper;
-    };
-    std::vector<Prog> progs = {
-        {"FFT",
-         [](Runtime &rt, int np, AppOut &out) {
-             runOmpFft(rt, np, 20, out);
-         },
-         {{4, 1.61}, {8, 2.05}, {16, 2.44}}},
-        {"LU",
-         [](Runtime &rt, int np, AppOut &out) {
-             runOmpLu(rt, np, 384, 32, out);
-         },
-         {{4, 3.17}, {8, 3.71}, {16, 7.10}}},
-        {"OCEAN",
-         [](Runtime &rt, int np, AppOut &out) {
-             runOmpOcean(rt, np, 514, 3, out);
-         },
-         {{4, 1.33}, {8, 1.43}, {16, 1.92}}},
-    };
+    return bench::runBench(opts, [&](bench::Report &rep,
+                                     sim::Tracer *tracer) {
+        rep.setTitle("Table 6: OpenMP (OdinMP-translated) SPLASH-2 "
+                     "speedups on CableS");
+        rep.setColumns({{"program"}, {"procs"}, {"par_ms", 1},
+                        {"speedup", 2}, {"paper", 2}, {"check"}});
 
-    std::printf("Table 6: OpenMP (OdinMP-translated) SPLASH-2 speedups "
-                "on CableS\n");
-    std::printf("%-8s %10s %10s %10s %10s   %s\n", "PROGRAM", "procs",
-                "par (ms)", "speedup", "paper", "check");
-    for (auto &prog : progs) {
-        double base_ms = 0.0;
-        for (int np : procs) {
-            AppOut out;
-            runProgram(splashConfig(Backend::CableS, np),
-                       [&](Runtime &rt, RunResult &res) {
-                           prog.run(rt, np, out);
-                       });
-            double ms = sim::toMs(out.parallel);
-            if (np == 1) {
-                base_ms = ms;
-                std::printf("%-8s %10d %10.1f %10s %10s   %s\n",
-                            prog.name.c_str(), np, ms, "1.00", "-",
-                            out.valid ? "ok" : "INVALID");
-            } else {
-                std::printf("%-8s %10d %10.1f %10.2f %10.2f   %s\n",
-                            prog.name.c_str(), np, ms, base_ms / ms,
-                            prog.paper[np],
-                            out.valid ? "ok" : "INVALID");
+        struct Prog
+        {
+            std::string name;
+            std::function<void(Runtime &, int, AppOut &)> run;
+            std::map<int, double> paper;
+        };
+        std::vector<Prog> progs = {
+            {"FFT",
+             [](Runtime &rt, int np, AppOut &out) {
+                 runOmpFft(rt, np, 20, out);
+             },
+             {{4, 1.61}, {8, 2.05}, {16, 2.44}}},
+            {"LU",
+             [](Runtime &rt, int np, AppOut &out) {
+                 runOmpLu(rt, np, 384, 32, out);
+             },
+             {{4, 3.17}, {8, 3.71}, {16, 7.10}}},
+            {"OCEAN",
+             [](Runtime &rt, int np, AppOut &out) {
+                 runOmpOcean(rt, np, 514, 3, out);
+             },
+             {{4, 1.33}, {8, 1.43}, {16, 1.92}}},
+        };
+
+        // Speedups need the 1-processor baseline even under --procs.
+        std::vector<int> procs = opts.procList({1, 4, 8, 16});
+        if (procs.front() != 1)
+            procs.insert(procs.begin(), 1);
+
+        bool first = true;
+        for (auto &prog : progs) {
+            double base_ms = 0.0;
+            for (int np : procs) {
+                AppOut out;
+                RunOptions ro;
+                if (first)
+                    ro.tracer = tracer;
+                first = false;
+                RunResult r =
+                    runProgram(splashConfig(Backend::CableS, np),
+                               [&](Runtime &rt, RunResult &res) {
+                                   prog.run(rt, np, out);
+                               },
+                               ro);
+                double ms = sim::toMs(out.parallel);
+                const char *check = out.valid ? "ok" : "INVALID";
+                if (np == 1) {
+                    base_ms = ms;
+                    rep.addRow({prog.name, np, ms, 1.0, util::Json(),
+                                check},
+                               util::Json(), prog.name);
+                } else {
+                    rep.addRow({prog.name, np, ms, base_ms / ms,
+                                prog.paper[np], check},
+                               prog.paper[np], prog.name);
+                }
+                rep.attachMetrics(r.metrics);
             }
         }
-    }
-    return 0;
+    });
 }

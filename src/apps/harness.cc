@@ -8,12 +8,16 @@ namespace cables {
 namespace apps {
 
 RunResult
-runProgram(const ClusterConfig &cfg, const Program &prog)
+runProgram(const ClusterConfig &cfg, const Program &prog,
+           const RunOptions &opts)
 {
     Runtime rt(cfg);
     RunResult res;
     bool failed = false;
     std::string reason;
+
+    if (opts.tracer)
+        rt.setTracer(opts.tracer);
 
     rt.run([&]() {
         try {
@@ -42,6 +46,7 @@ runProgram(const ClusterConfig &cfg, const Program &prog)
                    rt.network().stats().notifications;
     res.netBytes = rt.network().stats().bytes;
     res.homes = rt.memory().homeSnapshot();
+    res.metrics = rt.metricsSnapshot();
     if (failed)
         res.valid = false;
     return res;

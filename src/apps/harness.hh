@@ -18,6 +18,7 @@
 #include "cables/runtime.hh"
 #include "cables/shared.hh"
 #include "m4/m4.hh"
+#include "util/metrics.hh"
 
 namespace cables {
 namespace apps {
@@ -45,17 +46,42 @@ struct RunResult
     bool registrationFailure = false;
     std::string failureReason;
 
+    /**
+     * Unified snapshot of every subsystem's metrics (svm.*, san.*,
+     * vmmc.*, mem.*, ops.*, cables.*, sim.*) — the preferred way to
+     * consume run statistics; serialize with Snapshot::toJson().
+     */
+    metrics::Snapshot metrics;
+
+    /// @name Per-subsystem stat structs
+    ///
+    /// Deprecated in favour of @ref metrics (kept for existing callers;
+    /// the values are the same numbers under their old names).
+    /// @{
     svm::ProtoStats proto;        ///< aggregated protocol events
     cs::MemStats mem;             ///< memory-manager events
     cs::OpStats ops;              ///< per-operation means (Table 5)
     int attaches = 0;             ///< node attach count
     uint64_t messages = 0;        ///< SAN messages
     uint64_t netBytes = 0;        ///< SAN bytes
+    /// @}
+
     std::vector<int16_t> homes;   ///< final per-page home map (Fig. 6)
 };
 
 /** A program to run: receives the runtime and fills in results. */
 using Program = std::function<void(Runtime &, RunResult &)>;
+
+/** Optional knobs for runProgram(). */
+struct RunOptions
+{
+    /**
+     * When non-null, the run records scheduling / SVM / SAN / sync
+     * events into this tracer (stamped with virtual time; export with
+     * sim::Tracer::writeChrome()).
+     */
+    sim::Tracer *tracer = nullptr;
+};
 
 /**
  * Execute @p prog on a cluster configured by @p cfg.
@@ -65,7 +91,8 @@ using Program = std::function<void(Runtime &, RunResult &)>;
  * than propagated — the paper's "could not execute OCEAN with 32
  * processors" outcome.
  */
-RunResult runProgram(const ClusterConfig &cfg, const Program &prog);
+RunResult runProgram(const ClusterConfig &cfg, const Program &prog,
+                     const RunOptions &opts = {});
 
 /**
  * Cluster sized for an n-processor SPLASH-style run on 2-way nodes:

@@ -314,6 +314,20 @@ MemoryManager::onFirstFetch(NodeId reader, NodeId home, PageId page)
     ++stats_.regionImports;
 }
 
+void
+MemoryManager::publishMetrics(metrics::Registry &r) const
+{
+    r.counter("mem.allocs") += stats_.allocs;
+    r.counter("mem.frees") += stats_.frees;
+    r.counter("mem.granule_binds") += stats_.granuleBinds;
+    r.counter("mem.owner_detects_local") += stats_.ownerDetectsLocal;
+    r.counter("mem.owner_detects_remote") += stats_.ownerDetectsRemote;
+    r.counter("mem.region_exports") += stats_.regionExports;
+    r.counter("mem.region_imports") += stats_.regionImports;
+    r.counter("mem.region_extends") += stats_.regionExtends;
+    r.gauge("mem.live_bytes") += static_cast<double>(liveBytes_);
+}
+
 std::vector<int16_t>
 MemoryManager::homeSnapshot() const
 {

@@ -34,6 +34,7 @@
 
 #include "cables/params.hh"
 #include "svm/addr_space.hh"
+#include "util/metrics.hh"
 
 namespace cables {
 namespace cs {
@@ -123,6 +124,9 @@ class MemoryManager
     void onFirstFetch(NodeId reader, NodeId home, PageId page);
 
     const MemStats &stats() const { return stats_; }
+
+    /** Publish memory-management counters under "mem.*". */
+    void publishMetrics(metrics::Registry &r) const;
 
     /** Pages with an assigned home (for misplacement comparisons). */
     std::vector<int16_t> homeSnapshot() const;

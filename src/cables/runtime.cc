@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "cables/memory.hh"
+#include "sim/trace.hh"
 #include "util/logging.hh"
 
 namespace cables {
@@ -125,6 +126,54 @@ Runtime::note(CostKind k, Tick t)
     CsThread &me = self();
     if (me.measuring)
         me.measuring->add(k, t);
+}
+
+void
+Runtime::setTracer(sim::Tracer *t)
+{
+    tracer_ = t;
+    engine_->setTracer(t);
+    proto_->setTracer(t);
+    network_->setTracer(t);
+}
+
+void
+Runtime::traceOp(const char *name, Tick t0)
+{
+    if (!tracer_)
+        return;
+    tracer_->complete(t0, engine_->now(), self().node,
+                      engine_->current()->id, "sync", name);
+}
+
+void
+Runtime::publishMetrics(metrics::Registry &r) const
+{
+    r.counter("cables.attaches") += attaches;
+    r.counter("cables.threads_created") += threads.size();
+    r.counter("sim.switches") += engine_->switches();
+    r.counter("sim.events") += engine_->eventsRun();
+    r.gauge("sim.max_time_ms") += toMs(engine_->maxTime());
+    r.timer("ops.create_ms").merge(opStats_.create);
+    r.timer("ops.attach_ms").merge(opStats_.attach);
+    r.timer("ops.lock_ms").merge(opStats_.lock);
+    r.timer("ops.unlock_ms").merge(opStats_.unlock);
+    r.timer("ops.wait_ms").merge(opStats_.wait);
+    r.timer("ops.signal_ms").merge(opStats_.signal);
+    r.timer("ops.broadcast_ms").merge(opStats_.broadcast);
+    r.timer("ops.barrier_ms").merge(opStats_.barrier);
+}
+
+metrics::Snapshot
+Runtime::metricsSnapshot() const
+{
+    metrics::Registry r;
+    publishMetrics(r);
+    proto_->publishMetrics(r);
+    network_->publishMetrics(r);
+    comm_->publishMetrics(r);
+    memory_->publishMetrics(r);
+    return r.snapshot();
 }
 
 CostBreakdown
@@ -332,6 +381,7 @@ Runtime::attachNode(NodeId n)
     numAttached += 1;
     attaches += 1;
     opStats_.attach.sample(toMs(engine_->now() - t0));
+    traceOp("attach", t0);
 }
 
 int
@@ -383,6 +433,10 @@ Runtime::completeAttach(NodeId n, Tick started, Tick at)
     numAttached += 1;
     attaches += 1;
     opStats_.attach.sample(toMs(at - started));
+    if (tracer_) {
+        // Event context: no calling thread, so the span has no tid.
+        tracer_->complete(started, at, n, -1, "sync", "attach");
+    }
     std::vector<int> waiters;
     waiters.swap(attachWaiters);
     for (int tid : waiters)
@@ -430,6 +484,7 @@ Runtime::threadCreate(std::function<void()> fn)
     }
 
     opStats_.create.sample(toMs(engine_->now() - t0));
+    traceOp("create", t0);
     return tid;
 }
 

@@ -32,6 +32,7 @@
 #include "svm/addr_space.hh"
 #include "svm/protocol.hh"
 #include "svm/sync.hh"
+#include "util/metrics.hh"
 #include "util/stats.hh"
 #include "vmmc/vmmc.hh"
 
@@ -292,6 +293,30 @@ class Runtime
     /** Number of node-attach operations performed. */
     int attachCount() const { return attaches; }
 
+    /// @name Observability
+    /// @{
+
+    /** Publish runtime-level metrics ("ops.*", "cables.*", "sim.*"). */
+    void publishMetrics(metrics::Registry &r) const;
+
+    /**
+     * One mergeable snapshot of every subsystem: protocol ("svm.*"),
+     * SAN ("san.*"), VMMC ("vmmc.*"), memory management ("mem.*") and
+     * the runtime itself ("ops.*", "cables.*", "sim.*").
+     */
+    metrics::Snapshot metricsSnapshot() const;
+
+    /**
+     * Install (or remove, with nullptr) a structured tracer; forwarded
+     * to the engine, the SVM protocol and the SAN model. The runtime
+     * itself records "sync"-category spans for lock / unlock / wait /
+     * signal / broadcast / barrier and thread attach/create.
+     */
+    void setTracer(sim::Tracer *t);
+    sim::Tracer *tracer() const { return tracer_; }
+
+    /// @}
+
     /**
      * Non-empty when a thread aborted the run on a resource failure
      * (NIC registration limits); blocked threads are then expected at
@@ -374,6 +399,9 @@ class Runtime
     /** Wake @p tid blocked for @p expected, or leave a pending wake. */
     void wakeThread(int tid, Tick at, const char *expected);
 
+    /** Record a "sync"-category span [t0, now] for the calling thread. */
+    void traceOp(const char *name, Tick t0);
+
     ClusterConfig cfg;
     std::unique_ptr<sim::Engine> engine_;
     std::unique_ptr<net::Network> network_;
@@ -403,6 +431,7 @@ class Runtime
     int nextKey = 0;
 
     OpStats opStats_;
+    sim::Tracer *tracer_ = nullptr;
     std::string abortReason_;
 
     static Runtime *activeRuntime;

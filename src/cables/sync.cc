@@ -90,6 +90,7 @@ Runtime::mutexLock(int m)
     }
 
     opStats_.lock.sample(toMs(engine_->now() - t0));
+    traceOp("lock", t0);
 }
 
 bool
@@ -121,6 +122,7 @@ Runtime::mutexUnlock(int m)
     charge(CostKind::LocalCables, cfg.costs.mutexLocalOverhead);
     svmLocks_->release(me.node, mx.lock);
     opStats_.unlock.sample(toMs(engine_->now() - t0));
+    traceOp("unlock", t0);
 }
 
 int
@@ -172,6 +174,7 @@ Runtime::condWait(int c, int m)
                cfg.os.eventWaitCost + cfg.os.eventWakeLatency);
     }
     opStats_.wait.sample(toMs(engine_->now() - t0));
+    traceOp("wait", t0);
     testCancel();
     mutexLock(m);
 }
@@ -188,6 +191,7 @@ Runtime::condSignal(int c)
     charge(CostKind::LocalCables, cfg.costs.condSignalLocal);
     if (cv.waiters.empty()) {
         opStats_.signal.sample(toMs(engine_->now() - t0));
+        traceOp("signal", t0);
         return;
     }
 
@@ -223,6 +227,7 @@ Runtime::condSignal(int c)
     }
     wakeThread(w.tid, deliver, "cond-wait");
     opStats_.signal.sample(toMs(engine_->now() - t0));
+    traceOp("signal", t0);
 }
 
 void
@@ -260,6 +265,7 @@ Runtime::condBroadcast(int c)
         wakeThread(w.tid, deliver, "cond-wait");
     }
     opStats_.broadcast.sample(toMs(engine_->now() - t0));
+    traceOp("broadcast", t0);
 }
 
 int
@@ -288,6 +294,7 @@ Runtime::barrier(int b, int nthreads)
     charge(CostKind::LocalCables, cfg.costs.mutexLocalOverhead);
     svmBarriers_->enter(me.node, bar.native, nthreads);
     opStats_.barrier.sample(toMs(engine_->now() - t0));
+    traceOp("barrier", t0);
 }
 
 void

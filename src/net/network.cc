@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/trace.hh"
 #include "util/logging.hh"
 
 namespace cables {
@@ -28,6 +29,26 @@ Network::reserve(Tick &window, Tick earliest, Tick occ)
     return begin;
 }
 
+void
+Network::trace(const char *name, NodeId src, NodeId dst, size_t bytes,
+               Tick start, Tick end) const
+{
+    util::Json args = util::Json::object();
+    args.set("src", src);
+    args.set("dst", dst);
+    args.set("bytes", bytes);
+    tracer_->complete(start, end, src, 0, "san", name, std::move(args));
+}
+
+void
+Network::publishMetrics(metrics::Registry &r) const
+{
+    r.counter("san.messages") += stats_.messages;
+    r.counter("san.fetches") += stats_.fetches;
+    r.counter("san.notifications") += stats_.notifications;
+    r.counter("san.bytes") += stats_.bytes;
+}
+
 Tick
 Network::transfer(NodeId src, NodeId dst, size_t bytes, Tick start)
 {
@@ -45,6 +66,8 @@ Network::transfer(NodeId src, NodeId dst, size_t bytes, Tick start)
                    static_cast<Tick>(bytes * params_.sendPerByte);
     // Receive-side deposit serializes on the destination NIC.
     Tick rx_begin = reserve(nics[dst].rxFree, nominal - occ, occ);
+    if (tracer_)
+        trace("transfer", src, dst, bytes, start, rx_begin + occ);
     return rx_begin + occ;
 }
 
@@ -70,6 +93,8 @@ Network::fetch(NodeId src, NodeId dst, size_t bytes, Tick start)
     Tick resp_ready = reserve(nics[dst].txFree, tx_begin, occ);
     Tick earliest = std::max(nominal - occ, resp_ready);
     Tick rx_begin = reserve(nics[src].rxFree, earliest, occ);
+    if (tracer_)
+        trace("fetch", src, dst, bytes, start, rx_begin + occ);
     return rx_begin + occ;
 }
 
@@ -89,6 +114,8 @@ Network::notify(NodeId src, NodeId dst, size_t bytes, Tick start)
     Tick nominal = tx_begin + params_.notifyBase +
                    static_cast<Tick>(bytes * params_.sendPerByte);
     Tick rx_begin = reserve(nics[dst].rxFree, nominal - occ, occ);
+    if (tracer_)
+        trace("notify", src, dst, bytes, start, rx_begin + occ);
     return rx_begin + occ;
 }
 

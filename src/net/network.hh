@@ -21,8 +21,14 @@
 #include <vector>
 
 #include "sim/ticks.hh"
+#include "util/metrics.hh"
 
 namespace cables {
+
+namespace sim {
+class Tracer;
+}
+
 namespace net {
 
 using sim::Tick;
@@ -110,6 +116,12 @@ class Network
     const NetStats &stats() const { return stats_; }
     void resetStats() { stats_ = NetStats(); }
 
+    /** Publish traffic counters under "san.*". */
+    void publishMetrics(metrics::Registry &r) const;
+
+    /** Record cross-node operations as "san" trace spans (may be null). */
+    void setTracer(sim::Tracer *t) { tracer_ = t; }
+
   private:
     struct Nic
     {
@@ -122,9 +134,14 @@ class Network
 
     Tick occupancy(size_t bytes) const;
 
+    /** Trace one operation as a span from issue to completion. */
+    void trace(const char *name, NodeId src, NodeId dst, size_t bytes,
+               Tick start, Tick end) const;
+
     NetParams params_;
     std::vector<Nic> nics;
     NetStats stats_;
+    sim::Tracer *tracer_ = nullptr;
 };
 
 } // namespace net

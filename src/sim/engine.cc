@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "sim/trace.hh"
 #include "util/logging.hh"
 
 namespace cables {
@@ -20,6 +21,10 @@ Engine::spawn(std::string name, std::function<void()> fn, Tick start_at)
     threads.push_back(std::make_unique<SimThread>(
         id, std::move(name), std::move(wrapped), start_at));
     makeReady(*threads.back());
+    if (tracer_) {
+        tracer_->nameThread(0, id, threads.back()->name);
+        tracer_->instant(start_at, 0, id, "sched", "spawn");
+    }
     return id;
 }
 
@@ -116,6 +121,12 @@ Engine::block(const char *why)
     SimThread *t = currentThread;
     t->state = SimThread::State::Blocked;
     t->blockReason = why;
+    if (tracer_) {
+        util::Json args = util::Json::object();
+        args.set("reason", why);
+        tracer_->instant(t->now, 0, t->id, "sched", "block",
+                         std::move(args));
+    }
     ++switchCount;
     t->fiber.switchBack();
     panic_if(t->state != SimThread::State::Runnable,
@@ -131,6 +142,8 @@ Engine::wake(ThreadId tid, Tick at)
     t.now = std::max(t.now, at);
     t.blockReason = "";
     makeReady(t);
+    if (tracer_)
+        tracer_->instant(t.now, 0, t.id, "sched", "wake");
 }
 
 void
@@ -166,8 +179,11 @@ Engine::run(bool allow_blocked)
         t->fiber.switchTo();
         currentThread = nullptr;
         maxObservedTime = std::max(maxObservedTime, t->now);
-        if (t->fiber.finished())
+        if (t->fiber.finished()) {
             t->state = SimThread::State::Finished;
+            if (tracer_)
+                tracer_->instant(t->now, 0, t->id, "sched", "finish");
+        }
     }
 
     if (!allow_blocked && !stopped) {

@@ -30,6 +30,8 @@
 namespace cables {
 namespace sim {
 
+class Tracer;
+
 /** Identifier of a simulated thread; dense, never reused within a run. */
 using ThreadId = int32_t;
 
@@ -154,6 +156,14 @@ class Engine
     /** Number of threads ever spawned. */
     size_t threadCount() const { return threads.size(); }
 
+    /**
+     * Install (or remove, with nullptr) a structured tracer. Scheduling
+     * events (spawn / block / wake / finish) are recorded from here on;
+     * the engine does not own the tracer.
+     */
+    void setTracer(Tracer *t) { tracer_ = t; }
+    Tracer *tracer() const { return tracer_; }
+
     /** Total fiber context switches performed (host-perf metric). */
     uint64_t switches() const { return switchCount; }
 
@@ -205,6 +215,7 @@ class Engine
     std::priority_queue<Event, std::vector<Event>, EventOrder> events;
 
     SimThread *currentThread = nullptr;
+    Tracer *tracer_ = nullptr;
     uint64_t seqCounter = 0;
     uint64_t switchCount = 0;
     uint64_t eventCount = 0;

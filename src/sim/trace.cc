@@ -1,0 +1,109 @@
+#include "sim/trace.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+namespace cables {
+namespace sim {
+
+void
+Tracer::nameThread(int pid, int tid, const std::string &name)
+{
+    util::Json args = util::Json::object();
+    args.set("name", name);
+    events_.push_back(TraceEvent{0, 0, 'M', pid, tid, "__metadata",
+                                 "thread_name", std::move(args)});
+}
+
+namespace {
+
+/** Ticks (ns) to Chrome's microsecond timestamps, deterministically. */
+std::string
+tsUs(Tick t)
+{
+    return util::jsonNumber(static_cast<double>(t) / 1000.0);
+}
+
+void
+appendEvent(std::string &out, const TraceEvent &e)
+{
+    out += "{\"name\":\"";
+    out += util::jsonEscape(e.name);
+    out += "\",\"cat\":\"";
+    out += util::jsonEscape(e.cat);
+    out += "\",\"ph\":\"";
+    out += e.ph;
+    out += "\",\"pid\":";
+    out += std::to_string(e.pid);
+    out += ",\"tid\":";
+    out += std::to_string(e.tid);
+    if (e.ph != 'M') {
+        out += ",\"ts\":";
+        out += tsUs(e.ts);
+        if (e.ph == 'X') {
+            out += ",\"dur\":";
+            out += tsUs(e.dur);
+        }
+        // Instants need an explicit scope for the viewers.
+        if (e.ph == 'i')
+            out += ",\"s\":\"t\"";
+    }
+    if (!e.args.isNull()) {
+        out += ",\"args\":";
+        out += e.args.dump();
+    }
+    out += '}';
+}
+
+} // namespace
+
+std::string
+Tracer::exportChrome() const
+{
+    // Metadata first (viewers expect it anywhere, but leading metadata
+    // keeps the non-metadata tail strictly time-ordered), then events
+    // sorted by virtual time with record order as the tie-break.
+    std::vector<size_t> order(events_.size());
+    std::iota(order.begin(), order.end(), size_t(0));
+    std::stable_sort(order.begin(), order.end(),
+                     [this](size_t a, size_t b) {
+                         const TraceEvent &ea = events_[a];
+                         const TraceEvent &eb = events_[b];
+                         bool ma = ea.ph == 'M', mb = eb.ph == 'M';
+                         if (ma != mb)
+                             return ma;
+                         if (ma)
+                             return false; // metadata: record order
+                         return ea.ts < eb.ts;
+                     });
+
+    std::string out = "{\"traceEvents\":[";
+    bool first = true;
+    for (size_t i : order) {
+        if (!first)
+            out += ",\n";
+        first = false;
+        appendEvent(out, events_[i]);
+    }
+    out += "],\"displayTimeUnit\":\"ms\",";
+    out += "\"otherData\":{\"clock\":\"virtual\",\"unit\":\"us\"}}";
+    out += '\n';
+    return out;
+}
+
+bool
+Tracer::writeChrome(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    std::string text = exportChrome();
+    size_t n = std::fwrite(text.data(), 1, text.size(), f);
+    bool ok = n == text.size();
+    ok = std::fclose(f) == 0 && ok;
+    return ok;
+}
+
+} // namespace sim
+} // namespace cables

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "sim/trace.hh"
+
 namespace cables {
 namespace svm {
 
@@ -87,12 +89,29 @@ Protocol::migratePage(PageId page, NodeId new_home)
     cachedVersion[index(old, page)] = versions[page];
     flushLog.push_back(FlushRecord{page, versions[page]});
     ++stats[new_home].homeBindings;
+
+    if (tracer_) {
+        util::Json args = util::Json::object();
+        args.set("page", page);
+        args.set("from", old);
+        args.set("to", new_home);
+        tracer_->instant(engine.now(), new_home, traceTid(), "svm",
+                         "migrate", std::move(args));
+    }
+}
+
+int32_t
+Protocol::traceTid() const
+{
+    sim::SimThread *t = engine.current();
+    return t ? t->id : -1;
 }
 
 void
 Protocol::fault(NodeId node, PageId page, bool write)
 {
     engine.sync();
+    Tick trace_t0 = engine.now();
     engine.advance(params_.faultTrapCost);
 
     NodeId h = homes[page];
@@ -142,6 +161,15 @@ Protocol::fault(NodeId node, PageId page, bool write)
             s = StateDirty;
             dirtyList[node].push_back(page);
         }
+    }
+
+    if (tracer_) {
+        util::Json args = util::Json::object();
+        args.set("page", page);
+        args.set("home", homes[page]);
+        tracer_->complete(trace_t0, engine.now(), node, traceTid(),
+                          "svm", write ? "write_fault" : "read_fault",
+                          std::move(args));
     }
 }
 
@@ -206,6 +234,7 @@ Protocol::release(NodeId node)
     // would invalidate this loop.
     std::vector<PageId> work;
     work.swap(dirtyList[node]);
+    Tick trace_t0 = engine.now();
     Tick last_deposit = engine.now();
     for (PageId p : work)
         last_deposit = std::max(last_deposit, flushPage(node, p));
@@ -213,6 +242,13 @@ Protocol::release(NodeId node)
     // the release completes.
     if (last_deposit > engine.now())
         engine.advance(last_deposit - engine.now());
+
+    if (tracer_) {
+        util::Json args = util::Json::object();
+        args.set("dirty_pages", work.size());
+        tracer_->complete(trace_t0, engine.now(), node, traceTid(),
+                          "svm", "release", std::move(args));
+    }
 }
 
 void
@@ -226,6 +262,7 @@ Protocol::acquireUpTo(NodeId node, uint64_t seq)
     uint64_t start = appliedSeq[node];
     if (seq <= start)
         return;
+    Tick trace_t0 = engine.now();
     uint64_t n = seq - start;
     for (uint64_t i = start; i < seq; ++i) {
         const FlushRecord &rec = flushLog[i];
@@ -247,6 +284,13 @@ Protocol::acquireUpTo(NodeId node, uint64_t seq)
     // advance the applied counter further; never move it backwards.
     appliedSeq[node] = std::max(appliedSeq[node], seq);
     engine.advance(static_cast<Tick>(n) * params_.noticeApplyCost);
+
+    if (tracer_) {
+        util::Json args = util::Json::object();
+        args.set("notices", n);
+        tracer_->complete(trace_t0, engine.now(), node, traceTid(),
+                          "svm", "acquire", std::move(args));
+    }
 }
 
 ProtoStats
@@ -272,6 +316,22 @@ Protocol::resetStats()
 {
     for (auto &s : stats)
         s = ProtoStats();
+}
+
+void
+Protocol::publishMetrics(metrics::Registry &r) const
+{
+    ProtoStats t = totalStats();
+    r.counter("svm.read_faults") += t.readFaults;
+    r.counter("svm.write_faults") += t.writeFaults;
+    r.counter("svm.pages_fetched") += t.pagesFetched;
+    r.counter("svm.twins_created") += t.twinsCreated;
+    r.counter("svm.diffs_flushed") += t.diffsFlushed;
+    r.counter("svm.diff_bytes") += t.diffBytes;
+    r.counter("svm.invalidations") += t.invalidations;
+    r.counter("svm.home_bindings") += t.homeBindings;
+    r.counter("svm.migrations") += t.migrations;
+    r.counter("svm.write_notices") += flushLog.size();
 }
 
 } // namespace svm

@@ -27,9 +27,15 @@
 #include <vector>
 
 #include "svm/addr_space.hh"
+#include "util/metrics.hh"
 #include "vmmc/vmmc.hh"
 
 namespace cables {
+
+namespace sim {
+class Tracer;
+}
+
 namespace svm {
 
 using net::NodeId;
@@ -203,6 +209,12 @@ class Protocol
     ProtoStats totalStats() const;
     void resetStats();
 
+    /** Publish cluster-wide protocol event counters under "svm.*". */
+    void publishMetrics(metrics::Registry &r) const;
+
+    /** Record protocol activity as "svm" trace events (may be null). */
+    void setTracer(sim::Tracer *t) { tracer_ = t; }
+
   private:
     // Page states (per node). Home nodes hold ReadShared/HomeDirty.
     static constexpr uint8_t StateInvalid = 0;
@@ -234,9 +246,13 @@ class Protocol
     /** Compute the diff size of a twinned page (word granularity). */
     size_t diffSize(NodeId node, PageId page) const;
 
+    /** Calling simulated thread id for trace events (-1 off-fiber). */
+    int32_t traceTid() const;
+
     sim::Engine &engine;
     vmmc::Vmmc &comm;
     AddressSpace &mem;
+    sim::Tracer *tracer_ = nullptr;
     ProtoParams params_;
     int numNodes;
     size_t pageCount;

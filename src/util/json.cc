@@ -1,0 +1,463 @@
+#include "util/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace cables {
+namespace util {
+
+namespace {
+
+const Json nullValue;
+
+} // namespace
+
+Json
+Json::array()
+{
+    Json j;
+    j.type_ = Type::Array;
+    return j;
+}
+
+Json
+Json::object()
+{
+    Json j;
+    j.type_ = Type::Object;
+    return j;
+}
+
+void
+Json::push(Json v)
+{
+    if (type_ == Type::Null)
+        type_ = Type::Array;
+    panic_if(type_ != Type::Array, "push() on non-array JSON value");
+    arr_.push_back(std::move(v));
+}
+
+size_t
+Json::size() const
+{
+    return type_ == Type::Array ? arr_.size() : obj_.size();
+}
+
+const Json &
+Json::at(size_t i) const
+{
+    panic_if(type_ != Type::Array || i >= arr_.size(),
+             "bad JSON array index {}", i);
+    return arr_[i];
+}
+
+Json &
+Json::set(const std::string &key, Json v)
+{
+    if (type_ == Type::Null)
+        type_ = Type::Object;
+    panic_if(type_ != Type::Object, "set() on non-object JSON value");
+    for (auto &kv : obj_) {
+        if (kv.first == key) {
+            kv.second = std::move(v);
+            return kv.second;
+        }
+    }
+    obj_.emplace_back(key, std::move(v));
+    return obj_.back().second;
+}
+
+const Json &
+Json::get(const std::string &key) const
+{
+    for (const auto &kv : obj_)
+        if (kv.first == key)
+            return kv.second;
+    return nullValue;
+}
+
+bool
+Json::has(const std::string &key) const
+{
+    for (const auto &kv : obj_)
+        if (kv.first == key)
+            return true;
+    return false;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    // Integral values (the common case for counters) print exactly.
+    if (v == std::floor(v) && std::fabs(v) < 9.0e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));
+        return buf;
+    }
+    // Shortest %g form that round-trips; deterministic for a given value.
+    char buf[40];
+    for (int prec = 15; prec <= 17; ++prec) {
+        std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+        if (std::strtod(buf, nullptr) == v)
+            break;
+    }
+    return buf;
+}
+
+void
+Json::dumpTo(std::string &out, int indent, int depth) const
+{
+    auto newline = [&](int d) {
+        if (indent <= 0)
+            return;
+        out += '\n';
+        out.append(static_cast<size_t>(indent) * d, ' ');
+    };
+
+    switch (type_) {
+      case Type::Null:
+        out += "null";
+        break;
+      case Type::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Type::Int: {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(int_));
+        out += buf;
+        break;
+      }
+      case Type::Double:
+        out += jsonNumber(double_);
+        break;
+      case Type::String:
+        out += '"';
+        out += jsonEscape(str_);
+        out += '"';
+        break;
+      case Type::Array:
+        out += '[';
+        for (size_t i = 0; i < arr_.size(); ++i) {
+            if (i)
+                out += ',';
+            newline(depth + 1);
+            arr_[i].dumpTo(out, indent, depth + 1);
+        }
+        if (!arr_.empty())
+            newline(depth);
+        out += ']';
+        break;
+      case Type::Object:
+        out += '{';
+        for (size_t i = 0; i < obj_.size(); ++i) {
+            if (i)
+                out += ',';
+            newline(depth + 1);
+            out += '"';
+            out += jsonEscape(obj_[i].first);
+            out += "\":";
+            if (indent > 0)
+                out += ' ';
+            obj_[i].second.dumpTo(out, indent, depth + 1);
+        }
+        if (!obj_.empty())
+            newline(depth);
+        out += '}';
+        break;
+    }
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+bool
+Json::operator==(const Json &o) const
+{
+    if (isNumber() && o.isNumber())
+        return asDouble() == o.asDouble();
+    if (type_ != o.type_)
+        return false;
+    switch (type_) {
+      case Type::Null: return true;
+      case Type::Bool: return bool_ == o.bool_;
+      case Type::Int:
+      case Type::Double: return true; // handled above
+      case Type::String: return str_ == o.str_;
+      case Type::Array: return arr_ == o.arr_;
+      case Type::Object: return obj_ == o.obj_;
+    }
+    return false;
+}
+
+namespace {
+
+/** Recursive-descent parser over a string view. */
+struct Parser
+{
+    const std::string &text;
+    size_t pos = 0;
+    std::string error;
+
+    bool
+    fail(const std::string &msg)
+    {
+        if (error.empty())
+            error = msg + " at offset " + std::to_string(pos);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        size_t n = std::string(word).size();
+        if (text.compare(pos, n, word) == 0) {
+            pos += n;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!consume('"'))
+            return fail("expected string");
+        out.clear();
+        while (pos < text.size()) {
+            char c = text[pos++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos >= text.size())
+                return fail("truncated escape");
+            char e = text[pos++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (pos + 4 > text.size())
+                    return fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text[pos++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= unsigned(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= unsigned(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= unsigned(h - 'A' + 10);
+                    else
+                        return fail("bad \\u escape");
+                }
+                // UTF-8 encode (BMP only; sufficient for our output).
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xC0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (code >> 12));
+                    out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                }
+                break;
+              }
+              default:
+                return fail("bad escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseValue(Json &out)
+    {
+        skipWs();
+        if (pos >= text.size())
+            return fail("unexpected end of input");
+        char c = text[pos];
+        if (c == '{') {
+            ++pos;
+            out = Json::object();
+            skipWs();
+            if (consume('}'))
+                return true;
+            while (true) {
+                std::string key;
+                if (!parseString(key))
+                    return false;
+                if (!consume(':'))
+                    return fail("expected ':'");
+                Json v;
+                if (!parseValue(v))
+                    return false;
+                out.set(key, std::move(v));
+                if (consume(','))
+                    continue;
+                if (consume('}'))
+                    return true;
+                return fail("expected ',' or '}'");
+            }
+        }
+        if (c == '[') {
+            ++pos;
+            out = Json::array();
+            skipWs();
+            if (consume(']'))
+                return true;
+            while (true) {
+                Json v;
+                if (!parseValue(v))
+                    return false;
+                out.push(std::move(v));
+                if (consume(','))
+                    continue;
+                if (consume(']'))
+                    return true;
+                return fail("expected ',' or ']'");
+            }
+        }
+        if (c == '"') {
+            std::string s;
+            if (!parseString(s))
+                return false;
+            out = Json(std::move(s));
+            return true;
+        }
+        if (literal("true")) {
+            out = Json(true);
+            return true;
+        }
+        if (literal("false")) {
+            out = Json(false);
+            return true;
+        }
+        if (literal("null")) {
+            out = Json(nullptr);
+            return true;
+        }
+        // Number.
+        size_t start = pos;
+        if (c == '-')
+            ++pos;
+        bool is_double = false;
+        while (pos < text.size()) {
+            char d = text[pos];
+            if (std::isdigit(static_cast<unsigned char>(d))) {
+                ++pos;
+            } else if (d == '.' || d == 'e' || d == 'E' || d == '+' ||
+                       d == '-') {
+                is_double = true;
+                ++pos;
+            } else {
+                break;
+            }
+        }
+        if (pos == start)
+            return fail("unexpected character");
+        std::string num = text.substr(start, pos - start);
+        if (!is_double) {
+            errno = 0;
+            long long v = std::strtoll(num.c_str(), nullptr, 10);
+            if (errno == 0) {
+                out = Json(static_cast<int64_t>(v));
+                return true;
+            }
+        }
+        out = Json(std::strtod(num.c_str(), nullptr));
+        return true;
+    }
+};
+
+} // namespace
+
+Json
+Json::parse(const std::string &text, std::string *error)
+{
+    Parser p{text, 0, {}};
+    Json out;
+    if (!p.parseValue(out)) {
+        if (error)
+            *error = p.error;
+        return Json();
+    }
+    p.skipWs();
+    if (p.pos != text.size()) {
+        if (error)
+            *error = "trailing data at offset " + std::to_string(p.pos);
+        return Json();
+    }
+    return out;
+}
+
+} // namespace util
+} // namespace cables

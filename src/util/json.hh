@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Minimal JSON document model used by the observability layer (metric
+ * snapshots, trace export, bench reports).
+ *
+ * Design constraints, in order:
+ *  - deterministic output: object members keep insertion order, numbers
+ *    format identically for identical values, so two runs with the same
+ *    seed serialize byte-identically;
+ *  - round-trippable: the parser accepts everything the writer emits
+ *    (tests and the bench schema validator rely on this);
+ *  - no external dependencies.
+ *
+ * This is not a general-purpose JSON library: it rejects some legal
+ * JSON (e.g. \u escapes beyond BMP pass through unvalidated) and makes
+ * no attempt at speed.
+ */
+
+#ifndef CABLES_UTIL_JSON_HH
+#define CABLES_UTIL_JSON_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace cables {
+namespace util {
+
+/** One JSON value: null, bool, number, string, array or object. */
+class Json
+{
+  public:
+    enum class Type { Null, Bool, Int, Double, String, Array, Object };
+
+    Json() : type_(Type::Null) {}
+    Json(std::nullptr_t) : type_(Type::Null) {}
+    Json(bool b) : type_(Type::Bool), bool_(b) {}
+
+    /** Any integer type maps to Int (one overload, no ambiguity). */
+    template <typename T,
+              std::enable_if_t<std::is_integral_v<T> &&
+                               !std::is_same_v<T, bool>, int> = 0>
+    Json(T v) : type_(Type::Int), int_(static_cast<int64_t>(v)) {}
+
+    Json(double v) : type_(Type::Double), double_(v) {}
+    Json(const char *s) : type_(Type::String), str_(s) {}
+    Json(std::string s) : type_(Type::String), str_(std::move(s)) {}
+
+    /** An empty array / object (distinct from null). */
+    static Json array();
+    static Json object();
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isNumber() const
+    {
+        return type_ == Type::Int || type_ == Type::Double;
+    }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    bool asBool() const { return bool_; }
+    int64_t asInt() const
+    {
+        return type_ == Type::Double ? static_cast<int64_t>(double_)
+                                     : int_;
+    }
+    double asDouble() const
+    {
+        return type_ == Type::Int ? static_cast<double>(int_) : double_;
+    }
+    const std::string &asString() const { return str_; }
+
+    /// @name Array access
+    /// @{
+    void push(Json v);
+    size_t size() const;
+    const Json &at(size_t i) const;
+    const std::vector<Json> &items() const { return arr_; }
+    /// @}
+
+    /// @name Object access (insertion-ordered)
+    /// @{
+
+    /** Set (or replace) member @p key. Turns a null value into {}. */
+    Json &set(const std::string &key, Json v);
+
+    /** Member lookup; null constant when absent. */
+    const Json &get(const std::string &key) const;
+
+    bool has(const std::string &key) const;
+
+    const std::vector<std::pair<std::string, Json>> &
+    members() const
+    {
+        return obj_;
+    }
+
+    /// @}
+
+    /**
+     * Serialize. @p indent > 0 pretty-prints with that many spaces per
+     * level; 0 emits the compact single-line form.
+     */
+    std::string dump(int indent = 0) const;
+
+    /**
+     * Parse @p text. On failure returns null and, when @p error is
+     * given, stores a message with the offending offset.
+     */
+    static Json parse(const std::string &text,
+                      std::string *error = nullptr);
+
+    bool operator==(const Json &o) const;
+    bool operator!=(const Json &o) const { return !(*this == o); }
+
+  private:
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Type type_;
+    bool bool_ = false;
+    int64_t int_ = 0;
+    double double_ = 0.0;
+    std::string str_;
+    std::vector<Json> arr_;
+    std::vector<std::pair<std::string, Json>> obj_;
+};
+
+/** Escape @p s as the body of a JSON string literal (no quotes). */
+std::string jsonEscape(const std::string &s);
+
+/**
+ * Deterministic number formatting: integers without a decimal point,
+ * doubles via shortest round-trip ("%.17g" trimmed), "null" for
+ * non-finite values (JSON has no NaN/Inf).
+ */
+std::string jsonNumber(double v);
+
+} // namespace util
+} // namespace cables
+
+#endif // CABLES_UTIL_JSON_HH

@@ -1,0 +1,129 @@
+#include "util/metrics.hh"
+
+namespace cables {
+namespace metrics {
+
+void
+Snapshot::merge(const Snapshot &o)
+{
+    for (const auto &kv : o.counters)
+        counters[kv.first] += kv.second;
+    for (const auto &kv : o.gauges)
+        gauges[kv.first] += kv.second;
+    for (const auto &kv : o.timers)
+        timers[kv.first].merge(kv.second);
+    for (const auto &kv : o.histograms)
+        histograms[kv.first].merge(kv.second);
+}
+
+void
+Snapshot::clear()
+{
+    counters.clear();
+    gauges.clear();
+    timers.clear();
+    histograms.clear();
+}
+
+bool
+Snapshot::empty() const
+{
+    return counters.empty() && gauges.empty() && timers.empty() &&
+           histograms.empty();
+}
+
+namespace {
+
+util::Json
+statJson(const Stat &s)
+{
+    util::Json j = util::Json::object();
+    j.set("count", s.count());
+    j.set("sum", s.sum());
+    j.set("mean", s.mean());
+    j.set("min", s.min());
+    j.set("max", s.max());
+    j.set("stddev", s.stddev());
+    j.set("p50", s.p50());
+    j.set("p90", s.p90());
+    j.set("p99", s.p99());
+    return j;
+}
+
+} // namespace
+
+util::Json
+Snapshot::toJson() const
+{
+    util::Json j = util::Json::object();
+    util::Json c = util::Json::object();
+    for (const auto &kv : counters)
+        c.set(kv.first, kv.second);
+    j.set("counters", std::move(c));
+    util::Json g = util::Json::object();
+    for (const auto &kv : gauges)
+        g.set(kv.first, kv.second);
+    j.set("gauges", std::move(g));
+    util::Json t = util::Json::object();
+    for (const auto &kv : timers)
+        t.set(kv.first, statJson(kv.second));
+    j.set("timers", std::move(t));
+    util::Json h = util::Json::object();
+    for (const auto &kv : histograms)
+        h.set(kv.first, statJson(kv.second));
+    j.set("histograms", std::move(h));
+    return j;
+}
+
+bool
+Snapshot::operator==(const Snapshot &o) const
+{
+    return counters == o.counters && gauges == o.gauges &&
+           timers == o.timers && histograms == o.histograms;
+}
+
+uint64_t &
+Registry::counter(const std::string &name)
+{
+    return live.counters[name];
+}
+
+double &
+Registry::gauge(const std::string &name)
+{
+    return live.gauges[name];
+}
+
+Stat &
+Registry::timer(const std::string &name)
+{
+    return live.timers[name];
+}
+
+Stat &
+Registry::histogram(const std::string &name)
+{
+    return live.histograms[name];
+}
+
+Snapshot
+Registry::snapshot() const
+{
+    return live;
+}
+
+void
+Registry::reset()
+{
+    for (auto &kv : live.counters)
+        kv.second = 0;
+    for (auto &kv : live.gauges)
+        kv.second = 0.0;
+    for (auto &kv : live.timers)
+        kv.second.reset();
+    for (auto &kv : live.histograms)
+        kv.second.reset();
+}
+
+} // namespace metrics
+} // namespace cables

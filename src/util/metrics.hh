@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The metrics registry: one named, typed, mergeable, serializable view
+ * of everything the simulation counts.
+ *
+ * Every subsystem (sim, net, vmmc, svm, cables) publishes its event
+ * counters and operation timers into a Registry under a dotted name
+ * ("svm.read_faults", "ops.lock_ms", ...). A Snapshot is a frozen copy
+ * of the registry: it merges with other snapshots (exact — the Stat
+ * histograms add bucket-wise), serializes to JSON deterministically
+ * (names sorted, numbers formatted canonically), and is the single
+ * object RunResult and the bench reports carry — replacing the old
+ * habit of fishing ProtoStats / MemStats / OpStats out of individual
+ * components.
+ */
+
+#ifndef CABLES_UTIL_METRICS_HH
+#define CABLES_UTIL_METRICS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "util/json.hh"
+#include "util/stats.hh"
+
+namespace cables {
+namespace metrics {
+
+/**
+ * A frozen, mergeable copy of a Registry.
+ *
+ * Counters and gauges merge by addition; timers and histograms merge
+ * exactly through Stat::merge. std::map keys keep everything sorted, so
+ * serialization order never depends on registration order.
+ */
+struct Snapshot
+{
+    std::map<std::string, uint64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, Stat> timers;     ///< sample unit: ms
+    std::map<std::string, Stat> histograms; ///< sample unit: caller's
+
+    /** Merge another snapshot into this one. */
+    void merge(const Snapshot &o);
+
+    /** Drop every entry (useful as a neutral merge element). */
+    void clear();
+
+    bool empty() const;
+
+    /**
+     * Serialize: {"counters": {...}, "gauges": {...}, "timers":
+     * {name: {count, sum, mean, min, max, stddev, p50, p90, p99}},
+     * "histograms": {...}}. Identical snapshots produce byte-identical
+     * text.
+     */
+    util::Json toJson() const;
+
+    bool operator==(const Snapshot &o) const;
+    bool operator!=(const Snapshot &o) const { return !(*this == o); }
+};
+
+/**
+ * The live registry. Components obtain named slots once (references are
+ * stable — the maps are node-based) and bump them on their hot paths;
+ * snapshot() freezes the current state.
+ */
+class Registry
+{
+  public:
+    /** Monotonic event counter slot for @p name. */
+    uint64_t &counter(const std::string &name);
+
+    /** Point-in-time value slot for @p name. */
+    double &gauge(const std::string &name);
+
+    /** Duration distribution for @p name; samples are milliseconds. */
+    Stat &timer(const std::string &name);
+
+    /** Value distribution for @p name (caller-defined unit). */
+    Stat &histogram(const std::string &name);
+
+    /** Convenience: add @p delta to counter @p name. */
+    void
+    add(const std::string &name, uint64_t delta)
+    {
+        counter(name) += delta;
+    }
+
+    Snapshot snapshot() const;
+
+    /** Reset every registered metric to its zero state. */
+    void reset();
+
+  private:
+    Snapshot live;
+};
+
+} // namespace metrics
+} // namespace cables
+
+#endif // CABLES_UTIL_METRICS_HH

@@ -1,19 +1,34 @@
 /**
  * @file
- * Tiny statistics accumulators used by microbenchmarks and the protocol
- * layers (mean / min / max / count over samples).
+ * Statistics accumulators used by the metrics registry, the protocol
+ * layers and the benchmarks.
+ *
+ * Stat keeps count / sum / min / max / sum-of-squares plus a fixed
+ * log-scale histogram, so it reports mean, standard deviation and
+ * approximate percentiles in O(1) memory, merges exactly, and — being
+ * pure integer/double arithmetic over deterministic inputs — produces
+ * byte-identical snapshots for identical simulated runs.
  */
 
 #ifndef CABLES_UTIL_STATS_HH
 #define CABLES_UTIL_STATS_HH
 
-#include <algorithm>
+#include <array>
+#include <cmath>
 #include <cstdint>
 #include <limits>
 
 namespace cables {
 
-/** Running scalar statistic: count, sum, min, max. */
+/**
+ * Running scalar statistic: count, sum, min, max, stddev, percentiles.
+ *
+ * Percentiles come from a base-2 log histogram with four sub-buckets
+ * per octave (quartile-of-octave resolution, ~9% worst-case relative
+ * error) covering values in [2^-32, 2^32); values at or below zero and
+ * out-of-range magnitudes clamp to the edge buckets. The bucketing uses
+ * only frexp and comparisons, so it is exact and platform-stable.
+ */
 class Stat
 {
   public:
@@ -23,8 +38,10 @@ class Stat
     {
         ++count_;
         sum_ += v;
-        min_ = std::min(min_, v);
-        max_ = std::max(max_, v);
+        sumsq_ += v * v;
+        min_ = v < min_ ? v : min_;
+        max_ = v > max_ ? v : max_;
+        ++buckets_[bucketOf(v)];
     }
 
     uint64_t count() const { return count_; }
@@ -33,14 +50,63 @@ class Stat
     double min() const { return count_ ? min_ : 0.0; }
     double max() const { return count_ ? max_ : 0.0; }
 
-    /** Merge another accumulator into this one. */
+    /** Population standard deviation. */
+    double
+    stddev() const
+    {
+        if (count_ < 2)
+            return 0.0;
+        double m = mean();
+        double var = sumsq_ / count_ - m * m;
+        return var > 0.0 ? std::sqrt(var) : 0.0;
+    }
+
+    /**
+     * Approximate @p pct percentile (0 < pct <= 100): the representative
+     * value of the histogram bucket holding the sample of that rank,
+     * clamped into [min, max].
+     */
+    double
+    percentile(double pct) const
+    {
+        if (!count_)
+            return 0.0;
+        double want = pct / 100.0 * static_cast<double>(count_);
+        uint64_t rank = static_cast<uint64_t>(want);
+        if (static_cast<double>(rank) < want)
+            ++rank;
+        if (rank < 1)
+            rank = 1;
+        uint64_t seen = 0;
+        for (size_t i = 0; i < kBuckets; ++i) {
+            seen += buckets_[i];
+            if (seen >= rank) {
+                double r = representative(i);
+                if (r < min_)
+                    return min_;
+                if (r > max_)
+                    return max_;
+                return r;
+            }
+        }
+        return max_;
+    }
+
+    double p50() const { return percentile(50.0); }
+    double p90() const { return percentile(90.0); }
+    double p99() const { return percentile(99.0); }
+
+    /** Merge another accumulator into this one (exact). */
     void
     merge(const Stat &o)
     {
         count_ += o.count_;
         sum_ += o.sum_;
-        min_ = std::min(min_, o.min_);
-        max_ = std::max(max_, o.max_);
+        sumsq_ += o.sumsq_;
+        min_ = o.min_ < min_ ? o.min_ : min_;
+        max_ = o.max_ > max_ ? o.max_ : max_;
+        for (size_t i = 0; i < kBuckets; ++i)
+            buckets_[i] += o.buckets_[i];
     }
 
     void
@@ -49,11 +115,61 @@ class Stat
         *this = Stat();
     }
 
+    bool
+    operator==(const Stat &o) const
+    {
+        return count_ == o.count_ && sum_ == o.sum_ &&
+               sumsq_ == o.sumsq_ && buckets_ == o.buckets_ &&
+               (count_ == 0 || (min_ == o.min_ && max_ == o.max_));
+    }
+
   private:
+    // Bucket 0 holds v <= 0; then 4 sub-buckets per octave over
+    // exponents [-32, 32).
+    static constexpr int kMinExp = -32;
+    static constexpr int kMaxExp = 32;
+    static constexpr size_t kBuckets =
+        1 + 4 * static_cast<size_t>(kMaxExp - kMinExp);
+
+    static size_t
+    bucketOf(double v)
+    {
+        if (!(v > 0.0))
+            return 0;
+        int exp = 0;
+        double m = std::frexp(v, &exp); // v = m * 2^exp, m in [0.5, 1)
+        if (exp < kMinExp)
+            return 1;
+        if (exp >= kMaxExp)
+            return kBuckets - 1;
+        // Quartile of the octave: compare the mantissa against
+        // 0.5 * 2^(k/4). The constants are exact doubles.
+        static constexpr double q1 = 0.5946035575013605; // 2^-0.75
+        static constexpr double q2 = 0.7071067811865476; // 2^-0.5
+        static constexpr double q3 = 0.8408964152537145; // 2^-0.25
+        int sub = m < q2 ? (m < q1 ? 0 : 1) : (m < q3 ? 2 : 3);
+        return 1 + 4 * static_cast<size_t>(exp - kMinExp) +
+               static_cast<size_t>(sub);
+    }
+
+    /** Geometric centre of bucket @p i (0 for the non-positive bucket). */
+    static double
+    representative(size_t i)
+    {
+        if (i == 0)
+            return 0.0;
+        double quarter =
+            static_cast<double>(i - 1) + 0.5; // quarters above kMinExp
+        return std::exp2(static_cast<double>(kMinExp) - 1.0 +
+                         quarter / 4.0);
+    }
+
     uint64_t count_ = 0;
     double sum_ = 0.0;
+    double sumsq_ = 0.0;
     double min_ = std::numeric_limits<double>::infinity();
     double max_ = -std::numeric_limits<double>::infinity();
+    std::array<uint64_t, kBuckets> buckets_{};
 };
 
 } // namespace cables

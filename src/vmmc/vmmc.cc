@@ -203,5 +203,25 @@ Vmmc::notify(NodeId src, NodeId dst, int handler, uint64_t arg,
                     [&fn, src, arg]() { fn(src, arg); });
 }
 
+void
+Vmmc::publishMetrics(metrics::Registry &r) const
+{
+    size_t regions = 0, reg_bytes = 0, pinned = 0;
+    size_t max_regions = 0, max_reg_bytes = 0;
+    for (const NicUsage &u : usage_) {
+        regions += u.regions;
+        reg_bytes += u.registeredBytes;
+        pinned += u.pinnedBytes;
+        max_regions = std::max(max_regions, u.regions);
+        max_reg_bytes = std::max(max_reg_bytes, u.registeredBytes);
+    }
+    r.gauge("vmmc.regions") += static_cast<double>(regions);
+    r.gauge("vmmc.registered_bytes") += static_cast<double>(reg_bytes);
+    r.gauge("vmmc.pinned_bytes") += static_cast<double>(pinned);
+    r.gauge("vmmc.max_node_regions") += static_cast<double>(max_regions);
+    r.gauge("vmmc.max_node_registered_bytes") +=
+        static_cast<double>(max_reg_bytes);
+}
+
 } // namespace vmmc
 } // namespace cables

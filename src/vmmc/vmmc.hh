@@ -28,6 +28,7 @@
 #include "net/network.hh"
 #include "sim/engine.hh"
 #include "util/logging.hh"
+#include "util/metrics.hh"
 
 namespace cables {
 namespace vmmc {
@@ -130,6 +131,9 @@ class Vmmc
     void importRegion(NodeId importer, NodeId exporter, int region);
 
     const NicUsage &usage(NodeId node) const { return usage_[node]; }
+
+    /** Publish NIC registration usage under "vmmc.*". */
+    void publishMetrics(metrics::Registry &r) const;
 
     /// @name Accounting-only registration
     ///

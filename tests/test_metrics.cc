@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Metrics registry unit tests: Stat extensions (stddev, percentiles),
+ * registry slots, snapshot merge/reset semantics, deterministic JSON
+ * serialization, and end-to-end snapshot determinism for a full
+ * application run.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/splash.hh"
+#include "util/metrics.hh"
+#include "util/stats.hh"
+
+using namespace cables;
+
+TEST(Stat, MomentsAndExtrema)
+{
+    Stat s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.sample(v);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    // Classic textbook population stddev example: exactly 2.
+    EXPECT_NEAR(s.stddev(), 2.0, 1e-12);
+}
+
+TEST(Stat, EmptyAndSingleton)
+{
+    Stat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(s.percentile(50), 0.0);
+    s.sample(3.5);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 3.5);
+    EXPECT_DOUBLE_EQ(s.max(), 3.5);
+    // One sample: every percentile clamps into [min, max] = {3.5}.
+    EXPECT_DOUBLE_EQ(s.percentile(1), 3.5);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 3.5);
+}
+
+TEST(Stat, PercentileApproximation)
+{
+    Stat s;
+    for (int i = 1; i <= 1000; ++i)
+        s.sample(static_cast<double>(i));
+    // The log2 histogram has ~9% worst-case relative error per bucket.
+    EXPECT_NEAR(s.p50(), 500.0, 500.0 * 0.10);
+    EXPECT_NEAR(s.p90(), 900.0, 900.0 * 0.10);
+    EXPECT_NEAR(s.p99(), 990.0, 990.0 * 0.10);
+    EXPECT_LE(s.p50(), s.p90());
+    EXPECT_LE(s.p90(), s.p99());
+    EXPECT_GE(s.percentile(1), s.min());
+    EXPECT_LE(s.percentile(100), s.max());
+}
+
+TEST(Stat, NonPositiveSamplesClampToEdgeBucket)
+{
+    Stat s;
+    s.sample(0.0);
+    s.sample(-4.0);
+    s.sample(8.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.min(), -4.0);
+    // Low percentiles hit the shared non-positive bucket, whose
+    // representative is 0; it lies within [min, max] so no clamping.
+    EXPECT_DOUBLE_EQ(s.percentile(1), 0.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 8.0);
+}
+
+TEST(Stat, MergeIsExact)
+{
+    Stat a, b, all;
+    for (int i = 0; i < 50; ++i) {
+        a.sample(i * 0.5);
+        all.sample(i * 0.5);
+    }
+    for (int i = 50; i < 120; ++i) {
+        b.sample(i * 0.5);
+        all.sample(i * 0.5);
+    }
+    a.merge(b);
+    EXPECT_TRUE(a == all);
+    EXPECT_DOUBLE_EQ(a.stddev(), all.stddev());
+    EXPECT_DOUBLE_EQ(a.p90(), all.p90());
+}
+
+TEST(MetricsRegistry, SlotsAreStableAndTyped)
+{
+    metrics::Registry r;
+    uint64_t &c = r.counter("svm.read_faults");
+    c += 3;
+    r.counter("svm.read_faults") += 2;
+    r.add("svm.read_faults", 5);
+    r.gauge("mem.live_bytes") = 4096;
+    r.timer("ops.lock_ms").sample(0.25);
+    r.histogram("net.msg_bytes").sample(64);
+
+    metrics::Snapshot s = r.snapshot();
+    EXPECT_EQ(s.counters.at("svm.read_faults"), 10u);
+    EXPECT_DOUBLE_EQ(s.gauges.at("mem.live_bytes"), 4096.0);
+    EXPECT_EQ(s.timers.at("ops.lock_ms").count(), 1u);
+    EXPECT_EQ(s.histograms.at("net.msg_bytes").count(), 1u);
+}
+
+TEST(MetricsRegistry, ResetZeroesEverything)
+{
+    metrics::Registry r;
+    r.counter("a") = 7;
+    r.timer("t_ms").sample(1.0);
+    r.reset();
+    metrics::Snapshot s = r.snapshot();
+    EXPECT_EQ(s.counters.at("a"), 0u);
+    EXPECT_EQ(s.timers.at("t_ms").count(), 0u);
+}
+
+TEST(MetricsSnapshot, MergeAddsAndIsNeutralOnEmpty)
+{
+    metrics::Registry r1, r2;
+    r1.counter("x") = 2;
+    r1.timer("t_ms").sample(1.0);
+    r2.counter("x") = 5;
+    r2.counter("y") = 1;
+    r2.timer("t_ms").sample(3.0);
+
+    metrics::Snapshot a = r1.snapshot();
+    metrics::Snapshot b = r2.snapshot();
+    a.merge(b);
+    EXPECT_EQ(a.counters.at("x"), 7u);
+    EXPECT_EQ(a.counters.at("y"), 1u);
+    EXPECT_EQ(a.timers.at("t_ms").count(), 2u);
+    EXPECT_DOUBLE_EQ(a.timers.at("t_ms").sum(), 4.0);
+
+    metrics::Snapshot before = a;
+    metrics::Snapshot empty;
+    a.merge(empty);
+    EXPECT_TRUE(a == before);
+    EXPECT_TRUE(empty.empty());
+    EXPECT_FALSE(a.empty());
+}
+
+TEST(MetricsSnapshot, JsonIsSortedAndDeterministic)
+{
+    // Register in one order...
+    metrics::Registry r1;
+    r1.counter("z.last") = 1;
+    r1.counter("a.first") = 2;
+    r1.timer("m.mid_ms").sample(0.5);
+    // ...and the reverse order.
+    metrics::Registry r2;
+    r2.timer("m.mid_ms").sample(0.5);
+    r2.counter("a.first") = 2;
+    r2.counter("z.last") = 1;
+
+    std::string j1 = r1.snapshot().toJson().dump(2);
+    std::string j2 = r2.snapshot().toJson().dump(2);
+    EXPECT_EQ(j1, j2);
+    // Sorted: "a.first" serializes before "z.last".
+    EXPECT_LT(j1.find("a.first"), j1.find("z.last"));
+
+    std::string err;
+    util::Json parsed = util::Json::parse(j1, &err);
+    ASSERT_TRUE(err.empty()) << err;
+    EXPECT_EQ(parsed.get("counters").get("a.first").asInt(), 2);
+    EXPECT_EQ(parsed.get("timers").get("m.mid_ms").get("count").asInt(),
+              1);
+}
+
+TEST(MetricsSnapshot, RunResultSnapshotsAreByteIdentical)
+{
+    using namespace cables::apps;
+    auto once = []() {
+        ClusterConfig cfg = splashConfig(cs::Backend::CableS, 8);
+        AppOut out;
+        RunResult r = runProgram(cfg, [&](Runtime &rt, RunResult &res) {
+            m4::M4Env env(rt);
+            for (const auto &e : splashSuite())
+                if (e.name == "FFT")
+                    e.run(env, 8, out);
+        });
+        return r.metrics;
+    };
+    metrics::Snapshot a = once();
+    metrics::Snapshot b = once();
+    EXPECT_FALSE(a.empty());
+    EXPECT_TRUE(a == b);
+    EXPECT_EQ(a.toJson().dump(2), b.toJson().dump(2));
+    // The snapshot subsumes the deprecated ad-hoc stat fields: the
+    // dotted families published by each layer must all be present.
+    EXPECT_TRUE(a.counters.count("sim.switches"));
+    EXPECT_TRUE(a.counters.count("svm.pages_fetched"));
+    EXPECT_TRUE(a.counters.count("mem.allocs"));
+    EXPECT_TRUE(a.timers.count("ops.barrier_ms"));
+}
