@@ -5,6 +5,7 @@
 #include <cstring>
 #include <fstream>
 
+#include "check/checker.hh"
 #include "util/logging.hh"
 
 namespace cables {
@@ -25,6 +26,10 @@ usage(const std::string &bench, int code)
         "  --procs <n>      restrict the processor sweep to one count\n"
         "  --seed <n>       config seed recorded in the report\n"
         "  --repeat <n>     run n times and require identical reports\n"
+        "  --check          run the happens-before checker on every "
+        "simulated run\n"
+        "  --check-json <path>  with --check, write all checker reports "
+        "as JSON\n"
         "  --help           this message\n",
         bench.c_str(), Report::schemaVersion);
     std::exit(code);
@@ -103,6 +108,10 @@ Options::parse(int argc, char **argv, const std::string &bench_name)
         else if (!std::strcmp(a, "--repeat"))
             o.repeat =
                 static_cast<int>(argNum(argc, argv, i, bench_name));
+        else if (!std::strcmp(a, "--check"))
+            o.check = true;
+        else if (!std::strcmp(a, "--check-json"))
+            o.checkJsonPath = argStr(argc, argv, i, bench_name);
         else {
             std::fprintf(stderr, "%s: unknown option '%s'\n",
                          bench_name.c_str(), a);
@@ -309,17 +318,29 @@ runBench(const Options &opts, const BenchBody &body)
     sim::Tracer tracer;
     sim::Tracer *tp = opts.tracePath.empty() ? nullptr : &tracer;
 
+    check::setCheckAllRuns(opts.check);
+    check::resetAccumulatedFindings();
+
     Report rep(opts.bench);
     rep.setConfig("seed", opts.seed);
     if (opts.procs > 0)
         rep.setConfig("procs", opts.procs);
+    if (opts.check)
+        rep.setConfig("check", true);
     body(rep, tp);
 
+    check::CheckFindings findings = check::accumulatedFindings();
+    uint64_t checkedRuns = check::checkedRunCount();
+    util::Json checkReports = check::accumulatedReports();
+
     for (int i = 1; i < opts.repeat; ++i) {
+        check::resetAccumulatedFindings();
         Report again(opts.bench);
         again.setConfig("seed", opts.seed);
         if (opts.procs > 0)
             again.setConfig("procs", opts.procs);
+        if (opts.check)
+            again.setConfig("check", true);
         body(again, nullptr);
         if (!rep.deterministic())
             continue;
@@ -327,6 +348,14 @@ runBench(const Options &opts, const BenchBody &body)
             std::fprintf(stderr,
                          "%s: repeat %d produced a different report — "
                          "determinism violation\n",
+                         opts.bench.c_str(), i + 1);
+            return 1;
+        }
+        if (opts.check && check::accumulatedReports().dump(2) !=
+                              checkReports.dump(2)) {
+            std::fprintf(stderr,
+                         "%s: repeat %d produced different checker "
+                         "reports — determinism violation\n",
                          opts.bench.c_str(), i + 1);
             return 1;
         }
@@ -357,6 +386,30 @@ runBench(const Options &opts, const BenchBody &body)
         std::fprintf(stderr, "%s: cannot write %s\n", opts.bench.c_str(),
                      opts.tracePath.c_str());
         return 1;
+    }
+
+    if (opts.check) {
+        std::printf("check: %llu runs, %llu races, %llu lock-order "
+                    "cycles, %llu cond misuses\n",
+                    static_cast<unsigned long long>(checkedRuns),
+                    static_cast<unsigned long long>(findings.races),
+                    static_cast<unsigned long long>(
+                        findings.lockOrderCycles),
+                    static_cast<unsigned long long>(
+                        findings.condMisuse));
+        if (!opts.checkJsonPath.empty()) {
+            std::ofstream f(opts.checkJsonPath, std::ios::binary);
+            if (f)
+                f << checkReports.dump(2) << "\n";
+            if (!f) {
+                std::fprintf(stderr, "%s: cannot write %s\n",
+                             opts.bench.c_str(),
+                             opts.checkJsonPath.c_str());
+                return 1;
+            }
+        }
+        if (findings.total() > 0)
+            return 1;
     }
     return 0;
 }

@@ -15,6 +15,12 @@
  *   --repeat <n>     run the bench n times and fail unless every run
  *                    produces a byte-identical report (determinism
  *                    check)
+ *   --check          instrument every simulated run with the
+ *                    happens-before checker; print a findings summary
+ *                    and exit non-zero if any race / lock-order cycle /
+ *                    cond misuse was observed
+ *   --check-json <path>  with --check, write the per-run
+ *                    "cables-check-report" documents as a JSON array
  *   --help           usage
  *
  * The default output (no flags) is the human-readable paper-style
@@ -54,6 +60,8 @@ struct Options
     int procs = 0;         ///< --procs (0 = bench's default sweep)
     uint64_t seed = 1;     ///< --seed
     int repeat = 1;        ///< --repeat
+    bool check = false;    ///< --check (happens-before checking)
+    std::string checkJsonPath; ///< --check-json target ("" = none)
 
     /**
      * Parse argv. Prints usage and exits on --help or on a malformed

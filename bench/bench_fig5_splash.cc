@@ -23,7 +23,7 @@ using cs::Backend;
 namespace {
 
 const char *
-check(const RunResult &r, const AppOut &o)
+validity(const RunResult &r, const AppOut &o)
 {
     if (r.registrationFailure)
         return "REGFAIL";
@@ -73,11 +73,11 @@ main(int argc, char **argv)
                 rep.addRow({entry.name, np,
                             sim::toMs(base_out.parallel),
                             sim::toMs(base_r.total),
-                            check(base_r, base_out),
+                            validity(base_r, base_out),
                             sim::toMs(cbl_out.parallel),
                             sim::toMs(cbl_r.total),
                             cbl_r.ops.attach.sum(),
-                            check(cbl_r, cbl_out)},
+                            validity(cbl_r, cbl_out)},
                            util::Json(), entry.name);
                 rep.attachMetrics(cbl_r.metrics);
             }

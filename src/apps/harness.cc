@@ -19,6 +19,17 @@ runProgram(const ClusterConfig &cfg, const Program &prog,
     if (opts.tracer)
         rt.setTracer(opts.tracer);
 
+    // An explicit checker wins; otherwise bench --check instruments
+    // every run with a private one and accumulates the findings.
+    std::unique_ptr<check::Checker> ownChecker;
+    check::Checker *checker = opts.checker;
+    if (!checker && check::checkAllRuns()) {
+        ownChecker = std::make_unique<check::Checker>();
+        checker = ownChecker.get();
+    }
+    if (checker)
+        rt.setChecker(checker);
+
     rt.run([&]() {
         try {
             cs::csStart(rt);
@@ -46,6 +57,17 @@ runProgram(const ClusterConfig &cfg, const Program &prog,
                    rt.network().stats().notifications;
     res.netBytes = rt.network().stats().bytes;
     res.homes = rt.memory().homeSnapshot();
+    if (checker) {
+        // Finalize the deferred analyses before the metrics snapshot so
+        // the race.* counters include them.
+        res.checked = true;
+        res.checkFindings = checker->findings();
+        res.checkReport = checker->report();
+        if (ownChecker) {
+            check::accumulateFindings(res.checkFindings);
+            check::accumulateReport(res.checkReport);
+        }
+    }
     res.metrics = rt.metricsSnapshot();
     if (failed)
         res.valid = false;

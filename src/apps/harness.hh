@@ -17,6 +17,7 @@
 #include "cables/memory.hh"
 #include "cables/runtime.hh"
 #include "cables/shared.hh"
+#include "check/checker.hh"
 #include "m4/m4.hh"
 #include "util/metrics.hh"
 
@@ -53,6 +54,20 @@ struct RunResult
      */
     metrics::Snapshot metrics;
 
+    /// @name Happens-before checking (populated when a checker ran)
+    /// @{
+
+    /** True when this run was instrumented with a Checker. */
+    bool checked = false;
+
+    /** Aggregate finding counts (races, lock-order cycles, misuse). */
+    check::CheckFindings checkFindings;
+
+    /** The full "cables-check-report" v1 document; null when !checked. */
+    util::Json checkReport;
+
+    /// @}
+
     /// @name Per-subsystem stat structs
     ///
     /// Deprecated in favour of @ref metrics (kept for existing callers;
@@ -81,6 +96,15 @@ struct RunOptions
      * sim::Tracer::writeChrome()).
      */
     sim::Tracer *tracer = nullptr;
+
+    /**
+     * When non-null, the run is instrumented with this happens-before
+     * checker (Runtime::setChecker) and RunResult's check fields are
+     * filled from it. When null but check::checkAllRuns() is set
+     * (bench --check), the harness creates a Checker per run and folds
+     * the findings into the global accumulator.
+     */
+    check::Checker *checker = nullptr;
 };
 
 /**

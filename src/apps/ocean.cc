@@ -75,12 +75,18 @@ runOcean(M4Env &env, const OceanParams &p, AppOut &out)
         re += 1;
         const double w = 1.2;
         for (size_t r = rb; r < re; ++r) {
-            double *row = u.a.span(r * d, d, true);
-            const double *up = u.a.span((r - 1) * d, d, false);
-            const double *dn = u.a.span((r + 1) * d, d, false);
+            // Red-black: this pass writes only cells of one colour and
+            // reads the opposite colour from the neighbouring rows, so
+            // declare strided accesses — a whole-row declaration would
+            // overlap the rows concurrently swept by the neighbours.
+            size_t c0 = 1 + ((r + colour) & 1);
+            double *row = u.a.spanStrided(r * d, d, c0, 2, true);
+            const double *up =
+                u.a.spanStrided((r - 1) * d, d, c0, 2, false);
+            const double *dn =
+                u.a.spanStrided((r + 1) * d, d, c0, 2, false);
             const double *fr = f.a.span(r * d, d, false);
-            for (size_t c = 1 + ((r + colour) & 1); c < size_t(d) - 1;
-                 c += 2) {
+            for (size_t c = c0; c < size_t(d) - 1; c += 2) {
                 double gs = 0.25 * (up[c] + dn[c] + row[c - 1] +
                                     row[c + 1] - fr[c]);
                 row[c] = (1.0 - w) * row[c] + w * gs;

@@ -402,12 +402,17 @@ runOmpOcean(Runtime &rt, int nprocs, int n, int steps, AppOut &out)
         team.parallelFor(size_t(n) - 2, [&](size_t lo, size_t hi, int) {
             const double w = 1.2;
             for (size_t r = lo + 1; r < hi + 1; ++r) {
-                double *row = u.span(r * n, n, true);
-                const double *up = u.span((r - 1) * n, n, false);
-                const double *dn = u.span((r + 1) * n, n, false);
+                // Strided declarations for the red-black pass: only one
+                // colour is written and only the opposite colour of the
+                // neighbour rows is read (see ocean.cc).
+                size_t c0 = 1 + ((r + colour) & 1);
+                double *row = u.spanStrided(r * n, n, c0, 2, true);
+                const double *up =
+                    u.spanStrided((r - 1) * n, n, c0, 2, false);
+                const double *dn =
+                    u.spanStrided((r + 1) * n, n, c0, 2, false);
                 const double *fr = f.span(r * n, n, false);
-                for (size_t c = 1 + ((r + colour) & 1); c < size_t(n) - 1;
-                     c += 2) {
+                for (size_t c = c0; c < size_t(n) - 1; c += 2) {
                     double gs = 0.25 * (up[c] + dn[c] + row[c - 1] +
                                         row[c + 1] - fr[c]);
                     row[c] = (1.0 - w) * row[c] + w * gs;

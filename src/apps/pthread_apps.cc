@@ -75,9 +75,11 @@ runPn(Runtime &rt, const PnParams &p, AppOut &out)
             rt.computeFlops((hi - lo) * 12);
             rt.mutexLock(work_mutex);
             pnPrimeCount.set(rt, pnPrimeCount.get(rt) + found);
-            pnChunksDone.set(rt, pnChunksDone.get(rt) + 1);
             rt.mutexUnlock(work_mutex);
+            // The monitor reads pn_chunks_done under progress_mutex, so
+            // the counter must advance under the same mutex.
             rt.mutexLock(progress_mutex);
+            pnChunksDone.set(rt, pnChunksDone.get(rt) + 1);
             rt.condSignal(progress_cond);
             rt.mutexUnlock(progress_mutex);
         }

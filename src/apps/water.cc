@@ -110,6 +110,11 @@ runWater(M4Env &env, const WaterParams &p, AppOut &out)
     auto energyLog = env.gMallocArray<double>(p.steps);
     auto bar = env.barInit();
     auto elock = env.lockInit();
+    // Per-cell locks serialize the force flush: a molecule's record is
+    // updated by every worker whose cells neighbour it.
+    std::vector<int> cellLock(cells);
+    for (int c = 0; c < cells; ++c)
+        cellLock[c] = env.lockInit();
     Tick pstart = 0;
 
     // Neighbour list of a cell (including itself), half-shell to count
@@ -154,6 +159,13 @@ runWater(M4Env &env, const WaterParams &p, AppOut &out)
         if (pid == 0)
             pstart = rt.now();
 
+        // Forces are accumulated host-locally during the pair phase and
+        // published per cell under that cell's lock — the shared record
+        // of a molecule is touched by every worker whose slice
+        // neighbours its cell (the SPLASH code locks per molecule).
+        std::vector<double> fbuf(size_t(n) * 3, 0.0);
+        std::vector<char> touched(n, 0);
+
         for (int step = 0; step < p.steps; ++step) {
             // Force computation: pairs between owned cells and their
             // upper-shell neighbours (which may be remote).
@@ -180,21 +192,45 @@ runWater(M4Env &env, const WaterParams &p, AppOut &out)
                             double e = pairEnergy(r2);
                             epot += e;
                             double g = 1e-6 * e;
-                            double *ri = mol.span(
-                                size_t(si) * stride, stride, true);
-                            ri[3] += g * dx;
-                            ri[4] += g * dy;
-                            ri[5] += g * dz;
-                            double *rj = mol.span(
-                                size_t(sj) * stride, stride, true);
-                            rj[3] -= g * dx;
-                            rj[4] -= g * dy;
-                            rj[5] -= g * dz;
+                            fbuf[3 * size_t(si) + 0] += g * dx;
+                            fbuf[3 * size_t(si) + 1] += g * dy;
+                            fbuf[3 * size_t(si) + 2] += g * dz;
+                            fbuf[3 * size_t(sj) + 0] -= g * dx;
+                            fbuf[3 * size_t(sj) + 1] -= g * dy;
+                            fbuf[3 * size_t(sj) + 2] -= g * dz;
+                            touched[i] = touched[j] = 1;
                         }
                     }
                 });
             }
             rt.computeFlops(40 * pairs);
+
+            // Flush in ascending cell order; the 3-double span keeps
+            // the write declaration off the position fields other
+            // workers read concurrently.
+            for (int c = 0; c < cells; ++c) {
+                bool any = false;
+                for (int i : members[c])
+                    any = any || touched[i];
+                if (!any)
+                    continue;
+                env.lock(cellLock[c]);
+                for (int i : members[c]) {
+                    if (!touched[i])
+                        continue;
+                    int s = slotOf[i];
+                    double *fr =
+                        mol.span(size_t(s) * stride + 3, 3, true);
+                    fr[0] += fbuf[3 * size_t(s) + 0];
+                    fr[1] += fbuf[3 * size_t(s) + 1];
+                    fr[2] += fbuf[3 * size_t(s) + 2];
+                    fbuf[3 * size_t(s) + 0] = 0.0;
+                    fbuf[3 * size_t(s) + 1] = 0.0;
+                    fbuf[3 * size_t(s) + 2] = 0.0;
+                    touched[i] = 0;
+                }
+                env.unlock(cellLock[c]);
+            }
 
             env.lock(elock);
             energy[0] += epot;

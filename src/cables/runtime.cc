@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "cables/memory.hh"
+#include "check/checker.hh"
 #include "sim/trace.hh"
 #include "util/logging.hh"
 
@@ -138,6 +139,34 @@ Runtime::setTracer(sim::Tracer *t)
 }
 
 void
+Runtime::setChecker(check::Checker *c)
+{
+    checker_ = c;
+    svmLocks_->setChecker(c);
+    svmBarriers_->setChecker(c);
+}
+
+void
+Runtime::checkerAccess(GAddr a, size_t len, bool write)
+{
+    CsThread &me = self();
+    checker_->recordAccess(me.simTid, me.node, a, len, write,
+                           engine_->now());
+}
+
+void
+Runtime::accessStrided(GAddr a, size_t len, bool write, size_t firstOff,
+                       size_t stride, size_t width)
+{
+    CsThread &me = self();
+    proto_->access(me.node, a, len, write);
+    if (checker_) {
+        checker_->recordStrided(me.simTid, me.node, a, len, firstOff,
+                                stride, width, write, engine_->now());
+    }
+}
+
+void
 Runtime::traceOp(const char *name, Tick t0)
 {
     if (!tracer_)
@@ -173,6 +202,8 @@ Runtime::metricsSnapshot() const
     network_->publishMetrics(r);
     comm_->publishMetrics(r);
     memory_->publishMetrics(r);
+    if (checker_)
+        checker_->publishMetrics(r);
     return r.snapshot();
 }
 
@@ -290,6 +321,16 @@ Runtime::startThread(NodeId node, std::function<void()> fn, Tick start_at)
     if (simToCs.size() <= static_cast<size_t>(st))
         simToCs.resize(st + 1, nullptr);
     simToCs[st] = ptr;
+    if (checker_) {
+        // The initial thread is started from run() with no current
+        // engine thread: it has no creating parent (and no clock to
+        // read — it starts at the requested time).
+        sim::ThreadId parent = engine_->current()
+                                   ? engine_->current()->id
+                                   : sim::InvalidThreadId;
+        Tick at = engine_->current() ? engine_->now() : start_at;
+        checker_->threadStarted(st, tid, node, parent, at);
+    }
     return tid;
 }
 
@@ -382,6 +423,8 @@ Runtime::attachNode(NodeId n)
     attaches += 1;
     opStats_.attach.sample(toMs(engine_->now() - t0));
     traceOp("attach", t0);
+    if (checker_)
+        checker_->nodeAttached(me.simTid, n, engine_->now());
 }
 
 int
@@ -417,6 +460,11 @@ Runtime::startAsyncAttach(NodeId n)
     engine_->schedule(ack, [this, n, start, ack]() {
         completeAttach(n, start, ack);
     });
+    // The checker edge is established at launch: completion runs in
+    // event context (no calling thread), and no thread can be placed on
+    // the node before the attach completes anyway.
+    if (checker_)
+        checker_->nodeAttached(me.simTid, n, engine_->now());
 }
 
 void
@@ -494,6 +542,8 @@ Runtime::finishThread(int tid)
     CsThread &t = *threads[tid];
     engine_->sync();
     t.finished = true;
+    if (checker_)
+        checker_->threadFinished(t.simTid, engine_->now());
 
     if (t.node != 0)
         adminRequest(t.node);
@@ -526,13 +576,18 @@ Runtime::join(int tid)
     fatal_if(tid == me.tid, "thread joining itself");
 
     acbRead(me.node);
-    if (t.finished)
+    if (t.finished) {
+        if (checker_)
+            checker_->threadJoined(me.simTid, t.simTid);
         return;
+    }
     panic_if(t.joiner >= 0, "two joiners for thread {}", tid);
     t.joiner = me.tid;
     acbWrite(me.node);
     blockSelf("pthread-join");
     charge(CostKind::LocalCables, cfg.costs.acbLocalOp);
+    if (checker_)
+        checker_->threadJoined(me.simTid, t.simTid);
 }
 
 void
@@ -557,6 +612,8 @@ Runtime::cancel(int tid)
     if (t.finished)
         return;
     t.cancelRequested = true;
+    if (checker_)
+        checker_->threadCancelled(me.simTid, t.simTid, engine_->now());
 
     // A waiter blocked on a condition must be woken so it can observe
     // the (deferred) cancellation at its cancellation point.
@@ -611,12 +668,17 @@ Runtime::getSpecific(int key)
 GAddr
 Runtime::malloc(size_t len)
 {
-    return memory_->alloc(len);
+    GAddr a = memory_->alloc(len);
+    if (checker_ && a != GNull)
+        checker_->memoryAllocated(a, len);
+    return a;
 }
 
 void
 Runtime::free(GAddr addr)
 {
+    if (checker_)
+        checker_->memoryFreed(addr);
     memory_->free(addr);
 }
 

@@ -37,6 +37,10 @@
 #include "vmmc/vmmc.hh"
 
 namespace cables {
+namespace check {
+class Checker;
+} // namespace check
+
 namespace cs {
 
 using svm::GAddr;
@@ -234,7 +238,19 @@ class Runtime
     access(GAddr a, size_t len, bool write)
     {
         proto_->access(self().node, a, len, write);
+        if (checker_)
+            checkerAccess(a, len, write);
     }
+
+    /**
+     * Fault-in [a, a+len) like access(), but declare to the checker
+     * that only elements of @p width bytes at a+firstOff,
+     * a+firstOff+stride, ... are touched with mode @p write (red-black
+     * sweeps). The protocol sees the identical full-range access, so
+     * simulated results do not depend on which variant is used.
+     */
+    void accessStrided(GAddr a, size_t len, bool write, size_t firstOff,
+                       size_t stride, size_t width);
 
     uint8_t *hostPtr(GAddr a) { return space_->host(a); }
 
@@ -314,6 +330,17 @@ class Runtime
      */
     void setTracer(sim::Tracer *t);
     sim::Tracer *tracer() const { return tracer_; }
+
+    /**
+     * Install (or remove, with nullptr) a happens-before checker;
+     * forwarded to the SVM lock and barrier tables. The checker is a
+     * pure observer: it never advances simulated time, so results are
+     * bit-identical with and without one installed. Costs a single
+     * branch per access site when absent (same discipline as the
+     * tracer).
+     */
+    void setChecker(check::Checker *c);
+    check::Checker *checker() const { return checker_; }
 
     /// @}
 
@@ -402,6 +429,9 @@ class Runtime
     /** Record a "sync"-category span [t0, now] for the calling thread. */
     void traceOp(const char *name, Tick t0);
 
+    /** Out-of-line checker notification behind access()'s branch. */
+    void checkerAccess(GAddr a, size_t len, bool write);
+
     ClusterConfig cfg;
     std::unique_ptr<sim::Engine> engine_;
     std::unique_ptr<net::Network> network_;
@@ -432,6 +462,7 @@ class Runtime
 
     OpStats opStats_;
     sim::Tracer *tracer_ = nullptr;
+    check::Checker *checker_ = nullptr;
     std::string abortReason_;
 
     static Runtime *activeRuntime;

@@ -122,6 +122,23 @@ class GArray
         return reinterpret_cast<T *>(rt->hostPtr(addr(first)));
     }
 
+    /**
+     * Like span(), but only elements first+off0, first+off0+stride, ...
+     * are touched with mode @p write (red-black sweeps touch every
+     * other element; neighbours are merely read). The protocol access
+     * is identical to span()'s, so simulated results do not change;
+     * only the happens-before checker sees the precise footprint.
+     */
+    T *
+    spanStrided(size_t first, size_t count, size_t off0, size_t stride,
+                bool write)
+    {
+        rt->accessStrided(addr(first), count * sizeof(T), write,
+                          off0 * sizeof(T), stride * sizeof(T),
+                          sizeof(T));
+        return reinterpret_cast<T *>(rt->hostPtr(addr(first)));
+    }
+
     /** Release the underlying allocation (CableS backend). */
     void
     free()

@@ -11,6 +11,7 @@
 
 #include "cables/memory.hh"
 #include "cables/runtime.hh"
+#include "check/checker.hh"
 #include "util/logging.hh"
 
 namespace cables {
@@ -148,6 +149,10 @@ Runtime::condWait(int c, int m)
     CsCond &cv = conds.at(c);
     panic_if(!cv.live, "waiting on destroyed condition {}", c);
     Tick t0 = engine_->now();
+    if (checker_) {
+        // Misuse check must see the held-lock set before mutexUnlock.
+        checker_->condWaitBegin(me.simTid, c, mutexes.at(m).lock, t0);
+    }
 
     charge(CostKind::LocalCables, cfg.costs.condWaitLocal);
     if (me.node != 0) {
@@ -165,6 +170,8 @@ Runtime::condWait(int c, int m)
     mutexUnlock(m);
     Tick wait_start = engine_->now();
     blockSelf("cond-wait");
+    if (checker_)
+        checker_->condWaitResumed(me.simTid, c);
 
     Tick waited = engine_->now() - wait_start;
     procOf(me).occupyUntil(
@@ -190,6 +197,10 @@ Runtime::condSignal(int c)
 
     charge(CostKind::LocalCables, cfg.costs.condSignalLocal);
     if (cv.waiters.empty()) {
+        if (checker_) {
+            checker_->condSignalled(me.simTid, c, sim::InvalidThreadId,
+                                    engine_->now());
+        }
         opStats_.signal.sample(toMs(engine_->now() - t0));
         traceOp("signal", t0);
         return;
@@ -224,6 +235,10 @@ Runtime::condSignal(int c)
     } else {
         charge(CostKind::LocalOs, cfg.os.eventSetCost);
         deliver = engine_->now();
+    }
+    if (checker_) {
+        checker_->condSignalled(me.simTid, c, threads.at(w.tid)->simTid,
+                                engine_->now());
     }
     wakeThread(w.tid, deliver, "cond-wait");
     opStats_.signal.sample(toMs(engine_->now() - t0));
@@ -262,8 +277,14 @@ Runtime::condBroadcast(int c)
             charge(CostKind::LocalOs, cfg.os.eventSetCost);
             deliver = engine_->now();
         }
+        if (checker_) {
+            checker_->condBroadcastWake(me.simTid, c,
+                                        threads.at(w.tid)->simTid);
+        }
         wakeThread(w.tid, deliver, "cond-wait");
     }
+    if (checker_)
+        checker_->condBroadcastDone(me.simTid, c, engine_->now());
     opStats_.broadcast.sample(toMs(engine_->now() - t0));
     traceOp("broadcast", t0);
 }

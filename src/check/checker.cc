@@ -1,0 +1,722 @@
+#include "check/checker.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace cables {
+namespace check {
+
+namespace {
+
+const char *raceKindNames[] = {"write-write", "read-write", "write-read"};
+
+} // namespace
+
+Checker::Checker(const CheckParams &params)
+    : params_(params),
+      raceReports(util::Json::array()),
+      misuseReports(util::Json::array()),
+      cycleReports(util::Json::array())
+{}
+
+Checker::~Checker() = default;
+
+Checker::ThreadState &
+Checker::ts(sim::ThreadId tid)
+{
+    panic_if(tid < 0, "checker hook from an invalid thread");
+    if (threads.size() <= static_cast<size_t>(tid))
+        threads.resize(tid + 1);
+    return threads[tid];
+}
+
+void
+Checker::absorbPending(ThreadState &t)
+{
+    if (!t.hasPending)
+        return;
+    t.vc.join(t.pending);
+    t.pending.clear();
+    t.hasPending = false;
+}
+
+void
+Checker::tick(sim::ThreadId tid, const char *op, Tick now)
+{
+    ThreadState &t = threads[tid];
+    t.vc.bump(tid);
+    t.spans.push_back(Span{op, now});
+}
+
+uint64_t
+Checker::clockOf(const ThreadState &t, sim::ThreadId tid) const
+{
+    return t.vc.get(tid);
+}
+
+// ---------------------------------------------------------------------
+// Thread lifecycle
+// ---------------------------------------------------------------------
+
+void
+Checker::threadStarted(sim::ThreadId tid, int csTid, int node,
+                       sim::ThreadId parent, Tick now)
+{
+    panic_if(static_cast<uint64_t>(tid) >= sharedTid,
+             "checker: thread id {} exceeds the epoch encoding", tid);
+    ts(tid);
+    if (parent != sim::InvalidThreadId)
+        ts(parent);
+    ThreadState &t = threads[tid];
+    t.live = true;
+    t.csTid = csTid;
+    t.node = node;
+    if (parent != sim::InvalidThreadId) {
+        t.vc.join(threads[parent].vc);
+        tick(parent, "create", now);
+    }
+    auto it = nodeVC.find(node);
+    if (it != nodeVC.end())
+        t.vc.join(it->second);
+    t.vc.set(tid, 1);
+    t.spans.assign(1, Span{"start", now});
+    ++syncOps;
+}
+
+void
+Checker::threadFinished(sim::ThreadId tid, Tick now)
+{
+    ThreadState &t = ts(tid);
+    absorbPending(t);
+    tick(tid, "finish", now);
+    ++syncOps;
+}
+
+void
+Checker::threadJoined(sim::ThreadId joiner, sim::ThreadId target)
+{
+    ts(joiner);
+    ts(target);
+    threads[joiner].vc.join(threads[target].vc);
+    ++syncOps;
+}
+
+void
+Checker::threadCancelled(sim::ThreadId canceller, sim::ThreadId target,
+                         Tick now)
+{
+    ts(canceller);
+    ts(target);
+    ThreadState &tg = threads[target];
+    tg.pending.join(threads[canceller].vc);
+    tg.hasPending = true;
+    tick(canceller, "cancel", now);
+    ++syncOps;
+}
+
+void
+Checker::nodeAttached(sim::ThreadId attacher, int node, Tick now)
+{
+    ThreadState &t = ts(attacher);
+    nodeVC[node].join(t.vc);
+    tick(attacher, "attach", now);
+    ++syncOps;
+}
+
+// ---------------------------------------------------------------------
+// Locks
+// ---------------------------------------------------------------------
+
+void
+Checker::lockAcquired(sim::ThreadId tid, int lock, Tick now)
+{
+    ThreadState &t = ts(tid);
+    absorbPending(t);
+    auto it = lockVC.find(lock);
+    if (it != lockVC.end())
+        t.vc.join(it->second);
+    for (int h : t.held) {
+        if (h != lock)
+            lockEdges.emplace(std::make_pair(h, lock),
+                              LockEdge{t.csTid, now});
+    }
+    t.held.push_back(lock);
+    ++syncOps;
+}
+
+void
+Checker::lockReleased(sim::ThreadId tid, int lock, Tick now)
+{
+    ThreadState &t = ts(tid);
+    for (auto it = t.held.rbegin(); it != t.held.rend(); ++it) {
+        if (*it == lock) {
+            t.held.erase(std::next(it).base());
+            break;
+        }
+    }
+    lockVC[lock] = t.vc;
+    tick(tid, "unlock", now);
+    ++syncOps;
+}
+
+// ---------------------------------------------------------------------
+// Barriers
+// ---------------------------------------------------------------------
+
+void
+Checker::barrierEntered(sim::ThreadId tid, int barrier, int count,
+                        Tick now)
+{
+    ThreadState &t = ts(tid);
+    absorbPending(t);
+    BarrierState &b = barriers[barrier];
+    b.accum.join(t.vc);
+    t.round[barrier] = b.nextRound;
+    tick(tid, "barrier", now);
+    if (++b.arrived >= count) {
+        BarrierState::Sealed &s = b.sealed[b.nextRound];
+        s.vc = std::move(b.accum);
+        s.refs = b.arrived;
+        b.accum.clear();
+        b.arrived = 0;
+        ++b.nextRound;
+    }
+    ++syncOps;
+}
+
+void
+Checker::barrierExited(sim::ThreadId tid, int barrier)
+{
+    ThreadState &t = ts(tid);
+    auto rit = t.round.find(barrier);
+    if (rit == t.round.end())
+        return;
+    BarrierState &b = barriers[barrier];
+    auto sit = b.sealed.find(rit->second);
+    if (sit != b.sealed.end()) {
+        t.vc.join(sit->second.vc);
+        if (--sit->second.refs <= 0)
+            b.sealed.erase(sit);
+    }
+    t.round.erase(rit);
+}
+
+// ---------------------------------------------------------------------
+// Condition variables
+// ---------------------------------------------------------------------
+
+void
+Checker::condWaitBegin(sim::ThreadId tid, int cond, int svmLock, Tick now)
+{
+    ThreadState &t = ts(tid);
+    CondState &c = conds[cond];
+    ++c.waits;
+    bool holds = svmLock >= 0 &&
+                 std::find(t.held.begin(), t.held.end(), svmLock) !=
+                     t.held.end();
+    if (!holds && misuseSeen.insert({cond, t.csTid}).second) {
+        ++condMisuseCount;
+        if (misuseReports.size() < params_.maxReports) {
+            util::Json o = util::Json::object();
+            o.set("kind", "wait-without-mutex");
+            o.set("cond", cond);
+            o.set("thread", t.csTid);
+            o.set("node", t.node);
+            o.set("time_ns", now);
+            misuseReports.push(std::move(o));
+        }
+    }
+    ++syncOps;
+}
+
+void
+Checker::condWaitResumed(sim::ThreadId tid, int cond)
+{
+    absorbPending(ts(tid));
+}
+
+void
+Checker::condSignalled(sim::ThreadId tid, int cond, sim::ThreadId woken,
+                       Tick now)
+{
+    ts(tid);
+    CondState &c = conds[cond];
+    ++c.signals;
+    if (woken != sim::InvalidThreadId) {
+        ++c.matched;
+        ts(woken);
+        ThreadState &w = threads[woken];
+        w.pending.join(threads[tid].vc);
+        w.hasPending = true;
+    }
+    tick(tid, "signal", now);
+    ++syncOps;
+}
+
+void
+Checker::condBroadcastWake(sim::ThreadId tid, int cond,
+                           sim::ThreadId woken)
+{
+    ts(tid);
+    ts(woken);
+    ThreadState &w = threads[woken];
+    w.pending.join(threads[tid].vc);
+    w.hasPending = true;
+}
+
+void
+Checker::condBroadcastDone(sim::ThreadId tid, int cond, Tick now)
+{
+    ts(tid);
+    ++conds[cond].broadcasts;
+    tick(tid, "broadcast", now);
+    ++syncOps;
+}
+
+// ---------------------------------------------------------------------
+// Shadow memory
+// ---------------------------------------------------------------------
+
+Checker::ShadowCell &
+Checker::cell(GAddr a)
+{
+    PageId p = svm::pageOf(a);
+    std::unique_ptr<ShadowPage> &sp = shadow[p];
+    if (!sp)
+        sp = std::make_unique<ShadowPage>();
+    return (*sp)[(a >> cellShift) & (cellsPerPage - 1)];
+}
+
+Checker::SharedReads &
+Checker::sharedReads(uint64_t marker)
+{
+    return sharedTables[epochClk(marker)];
+}
+
+void
+Checker::clearShadow(GAddr a, size_t len)
+{
+    if (len == 0)
+        return;
+    for (GAddr c = a & ~cellMask(); c < a + len;
+         c += cellBytes()) {
+        auto it = shadow.find(svm::pageOf(c));
+        if (it == shadow.end()) {
+            // Skip the rest of a page that has no shadow yet.
+            c = svm::pageBase(svm::pageOf(c)) + svm::pageSize -
+                cellBytes();
+            continue;
+        }
+        (*it->second)[(c >> cellShift) & (cellsPerPage - 1)] =
+            ShadowCell{};
+    }
+}
+
+void
+Checker::memoryAllocated(GAddr a, size_t len)
+{
+    allocLen[a] = len;
+    clearShadow(a, len);
+}
+
+void
+Checker::memoryFreed(GAddr a)
+{
+    auto it = allocLen.find(a);
+    if (it == allocLen.end())
+        return;
+    clearShadow(a, it->second);
+    allocLen.erase(it);
+}
+
+// ---------------------------------------------------------------------
+// Access recording (FastTrack-style per-cell analysis)
+// ---------------------------------------------------------------------
+
+util::Json
+Checker::accessJson(sim::ThreadId tid, uint64_t clk, Tick at) const
+{
+    const ThreadState &t = threads[tid];
+    util::Json o = util::Json::object();
+    o.set("thread", t.csTid);
+    o.set("node", t.node);
+    o.set("time_ns", at);
+    o.set("clock", clk);
+    util::Json span = util::Json::object();
+    if (clk >= 1 && clk <= t.spans.size()) {
+        span.set("op", t.spans[clk - 1].op);
+        span.set("since_ns", t.spans[clk - 1].at);
+    }
+    o.set("sync_span", std::move(span));
+    return o;
+}
+
+void
+Checker::reportRace(RaceKind kind, GAddr cellAddr, sim::ThreadId priorTid,
+                    uint64_t priorClk, Tick priorAt, sim::ThreadId curTid,
+                    Tick now)
+{
+    ++raceHits;
+    auto key = std::make_tuple(cellAddr >> cellShift,
+                               static_cast<uint32_t>(priorTid),
+                               static_cast<uint32_t>(curTid),
+                               static_cast<uint8_t>(kind));
+    if (!raceSeen.insert(key).second)
+        return;
+    ++racesDistinct;
+    if (raceReports.size() >= params_.maxReports)
+        return;
+    PageId page = svm::pageOf(cellAddr);
+    util::Json o = util::Json::object();
+    o.set("kind", raceKindNames[kind]);
+    o.set("addr", cellAddr);
+    o.set("page", page);
+    o.set("offset", cellAddr - svm::pageBase(page));
+    o.set("bytes", uint64_t(1) << cellShift);
+    o.set("prior", accessJson(priorTid, priorClk, priorAt));
+    o.set("current",
+          accessJson(curTid, threads[curTid].vc.get(curTid), now));
+    raceReports.push(std::move(o));
+}
+
+void
+Checker::checkCell(sim::ThreadId tid, ThreadState &t, int node, GAddr a,
+                   bool write, Tick now)
+{
+    ++cellChecks;
+    ShadowCell &c = cell(a);
+    uint64_t e = packEpoch(tid, t.vc.get(tid));
+
+    if (write) {
+        if (c.w == e)
+            return; // same-epoch write: already recorded
+        if (c.w != emptyEpoch) {
+            sim::ThreadId wt = epochTid(c.w);
+            if (wt != tid && epochClk(c.w) > t.vc.get(wt))
+                reportRace(WriteWrite, a, wt, epochClk(c.w), c.wTime,
+                           tid, now);
+        }
+        if (c.r != emptyEpoch) {
+            if (epochTid(c.r) == static_cast<sim::ThreadId>(sharedTid)) {
+                for (const auto &[rt, sr] : sharedReads(c.r)) {
+                    if (rt != tid && sr.clk > t.vc.get(rt))
+                        reportRace(ReadWrite, a, rt, sr.clk, sr.at, tid,
+                                   now);
+                }
+            } else {
+                sim::ThreadId rt = epochTid(c.r);
+                if (rt != tid && epochClk(c.r) > t.vc.get(rt))
+                    reportRace(ReadWrite, a, rt, epochClk(c.r), c.rTime,
+                               tid, now);
+            }
+        }
+        c.w = e;
+        c.wTime = now;
+        return;
+    }
+
+    if (c.r == e)
+        return; // same-epoch read
+    if (c.w != emptyEpoch) {
+        sim::ThreadId wt = epochTid(c.w);
+        if (wt != tid && epochClk(c.w) > t.vc.get(wt))
+            reportRace(WriteRead, a, wt, epochClk(c.w), c.wTime, tid,
+                       now);
+    }
+    if (c.r == emptyEpoch) {
+        c.r = e;
+        c.rTime = now;
+    } else if (epochTid(c.r) == static_cast<sim::ThreadId>(sharedTid)) {
+        sharedReads(c.r)[tid] = SharedRead{t.vc.get(tid), now};
+        c.rTime = now;
+    } else if (epochTid(c.r) == tid ||
+               epochClk(c.r) <= t.vc.get(epochTid(c.r))) {
+        // The previous read happens-before us: stay in exclusive mode.
+        c.r = e;
+        c.rTime = now;
+    } else {
+        // Concurrent readers: promote to the read-shared side table.
+        uint64_t idx = sharedTables.size();
+        sharedTables.emplace_back();
+        SharedReads &m = sharedTables.back();
+        m[epochTid(c.r)] = SharedRead{epochClk(c.r), c.rTime};
+        m[tid] = SharedRead{t.vc.get(tid), now};
+        c.r = packEpoch(static_cast<sim::ThreadId>(sharedTid), idx);
+        c.rTime = now;
+    }
+}
+
+void
+Checker::recordAccess(sim::ThreadId tid, int node, GAddr a, size_t len,
+                      bool write, Tick now)
+{
+    if (len == 0)
+        return;
+    ++accesses;
+    ThreadState &t = ts(tid);
+    GAddr first = a & ~cellMask();
+    for (GAddr c = first; c < a + len; c += cellBytes())
+        checkCell(tid, t, node, c, write, now);
+}
+
+void
+Checker::recordStrided(sim::ThreadId tid, int node, GAddr a, size_t len,
+                       size_t firstOff, size_t stride, size_t width,
+                       bool write, Tick now)
+{
+    panic_if(stride == 0, "checker: zero-stride access");
+    if (write) {
+        // The whole range is read (neighbours of the written cells);
+        // only the strided elements are written.
+        recordAccess(tid, node, a, len, false, now);
+    } else {
+        ++accesses;
+    }
+    ThreadState &t = ts(tid);
+    for (size_t off = firstOff; off + width <= len; off += stride) {
+        GAddr first = (a + off) & ~cellMask();
+        for (GAddr c = first; c < a + off + width; c += cellBytes())
+            checkCell(tid, t, node, c, write, now);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deferred analyses and reporting
+// ---------------------------------------------------------------------
+
+void
+Checker::runDeferredAnalyses()
+{
+    if (analysed)
+        return;
+    analysed = true;
+
+    // Lost-wakeup candidates: conds that were waited on and signalled,
+    // where no signal ever found a waiter (broadcasts excluded — a
+    // broadcast with no waiter is a normal idiom).
+    for (const auto &[cond, c] : conds) {
+        if (c.waits == 0 || c.signals == 0 || c.matched > 0)
+            continue;
+        ++condMisuseCount;
+        if (misuseReports.size() < params_.maxReports) {
+            util::Json o = util::Json::object();
+            o.set("kind", "lost-wakeup-candidate");
+            o.set("cond", cond);
+            o.set("waits", c.waits);
+            o.set("signals", c.signals);
+            misuseReports.push(std::move(o));
+        }
+    }
+
+    // Lock-order cycles: SCCs of the held-before graph with >= 2 locks
+    // are potential deadlocks (iterative Tarjan; deterministic because
+    // nodes and adjacency come from ordered maps).
+    std::map<int, std::vector<int>> adj;
+    for (const auto &[edge, info] : lockEdges)
+        adj[edge.first].push_back(edge.second);
+    std::map<int, int> index, low;
+    std::vector<int> stack;
+    std::set<int> onStack;
+    int next = 0;
+    struct Frame
+    {
+        int v;
+        size_t i;
+    };
+    for (const auto &[root, unused] : adj) {
+        (void)unused;
+        if (index.count(root))
+            continue;
+        std::vector<Frame> frames{{root, 0}};
+        index[root] = low[root] = next++;
+        stack.push_back(root);
+        onStack.insert(root);
+        while (!frames.empty()) {
+            Frame &f = frames.back();
+            const std::vector<int> &out = adj[f.v];
+            if (f.i < out.size()) {
+                int w = out[f.i++];
+                if (!index.count(w)) {
+                    index[w] = low[w] = next++;
+                    stack.push_back(w);
+                    onStack.insert(w);
+                    frames.push_back(Frame{w, 0});
+                } else if (onStack.count(w)) {
+                    low[f.v] = std::min(low[f.v], index[w]);
+                }
+                continue;
+            }
+            if (low[f.v] == index[f.v]) {
+                std::vector<int> scc;
+                while (true) {
+                    int w = stack.back();
+                    stack.pop_back();
+                    onStack.erase(w);
+                    scc.push_back(w);
+                    if (w == f.v)
+                        break;
+                }
+                if (scc.size() >= 2) {
+                    ++cycleCount;
+                    if (cycleReports.size() < params_.maxReports) {
+                        std::sort(scc.begin(), scc.end());
+                        util::Json o = util::Json::object();
+                        util::Json locks = util::Json::array();
+                        for (int l : scc)
+                            locks.push(l);
+                        o.set("locks", std::move(locks));
+                        util::Json edges = util::Json::array();
+                        for (const auto &[edge, info] : lockEdges) {
+                            if (!std::binary_search(scc.begin(),
+                                                    scc.end(),
+                                                    edge.first) ||
+                                !std::binary_search(scc.begin(),
+                                                    scc.end(),
+                                                    edge.second))
+                                continue;
+                            util::Json ej = util::Json::object();
+                            ej.set("held", edge.first);
+                            ej.set("acquired", edge.second);
+                            ej.set("thread", info.csTid);
+                            ej.set("time_ns", info.at);
+                            edges.push(std::move(ej));
+                        }
+                        o.set("edges", std::move(edges));
+                        cycleReports.push(std::move(o));
+                    }
+                }
+            }
+            int v = f.v;
+            frames.pop_back();
+            if (!frames.empty())
+                low[frames.back().v] =
+                    std::min(low[frames.back().v], low[v]);
+        }
+    }
+}
+
+CheckFindings
+Checker::findings()
+{
+    runDeferredAnalyses();
+    CheckFindings f;
+    f.races = racesDistinct;
+    f.lockOrderCycles = cycleCount;
+    f.condMisuse = condMisuseCount;
+    return f;
+}
+
+util::Json
+Checker::report()
+{
+    runDeferredAnalyses();
+    util::Json doc = util::Json::object();
+    doc.set("schema", schemaName);
+    doc.set("schema_version", schemaVersion);
+
+    util::Json stats = util::Json::object();
+    stats.set("threads", threads.size());
+    stats.set("sync_ops", syncOps);
+    stats.set("accesses", accesses);
+    stats.set("cell_checks", cellChecks);
+    stats.set("shadow_pages", shadow.size());
+    stats.set("races_distinct", racesDistinct);
+    stats.set("race_hits", raceHits);
+    stats.set("lock_order_cycles", cycleCount);
+    stats.set("cond_misuse", condMisuseCount);
+    doc.set("stats", std::move(stats));
+
+    doc.set("races", raceReports);
+    doc.set("lock_order_cycles", cycleReports);
+    doc.set("cond_misuse", misuseReports);
+    return doc;
+}
+
+void
+Checker::publishMetrics(metrics::Registry &r) const
+{
+    r.counter("race.races") += racesDistinct;
+    r.counter("race.race_hits") += raceHits;
+    r.counter("race.lock_order_cycles") += cycleCount;
+    r.counter("race.cond_misuse") += condMisuseCount;
+    r.counter("race.sync_ops") += syncOps;
+    r.counter("race.accesses") += accesses;
+    r.counter("race.cell_checks") += cellChecks;
+    r.counter("race.shadow_pages") += shadow.size();
+}
+
+// ---------------------------------------------------------------------
+// Process-global check-everything mode (bench --check)
+// ---------------------------------------------------------------------
+
+namespace {
+
+bool checkAllRunsFlag = false;
+CheckFindings accumulated;
+uint64_t checkedRuns = 0;
+
+util::Json &
+accumulatedReportsStore()
+{
+    static util::Json reports = util::Json::array();
+    return reports;
+}
+
+} // namespace
+
+void
+setCheckAllRuns(bool enable)
+{
+    checkAllRunsFlag = enable;
+}
+
+bool
+checkAllRuns()
+{
+    return checkAllRunsFlag;
+}
+
+void
+accumulateFindings(const CheckFindings &f)
+{
+    accumulated.races += f.races;
+    accumulated.lockOrderCycles += f.lockOrderCycles;
+    accumulated.condMisuse += f.condMisuse;
+    ++checkedRuns;
+}
+
+CheckFindings
+accumulatedFindings()
+{
+    return accumulated;
+}
+
+uint64_t
+checkedRunCount()
+{
+    return checkedRuns;
+}
+
+void
+accumulateReport(util::Json report)
+{
+    accumulatedReportsStore().push(std::move(report));
+}
+
+const util::Json &
+accumulatedReports()
+{
+    return accumulatedReportsStore();
+}
+
+void
+resetAccumulatedFindings()
+{
+    accumulated = CheckFindings{};
+    checkedRuns = 0;
+    accumulatedReportsStore() = util::Json::array();
+}
+
+} // namespace check
+} // namespace cables

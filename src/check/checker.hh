@@ -1,0 +1,347 @@
+/**
+ * @file
+ * Dynamic happens-before checker for guest programs.
+ *
+ * The checker piggybacks on the deterministic simulator: the runtime and
+ * the SVM sync layer call into it at every synchronization point, and
+ * Runtime::access reports every guest read/write of the shared truth
+ * buffer. From those observations it maintains
+ *
+ *  - a vector clock per simulated thread, advanced at outgoing-edge
+ *    sync operations (release, barrier entry, signal, create, finish);
+ *  - FastTrack-style shadow cells (one per 8 aligned bytes of touched
+ *    shared memory) holding the last-writer epoch and either a single
+ *    last-reader epoch or a read-shared clock set;
+ *  - a lock-order graph (edges held-lock -> newly-acquired-lock) whose
+ *    cycles are potential deadlocks;
+ *  - per-condition-variable wait/signal bookkeeping for misuse findings
+ *    (wait without the named mutex held; signals that never matched a
+ *    waiter — lost-wakeup candidates).
+ *
+ * The checker never advances simulated time and never perturbs the
+ * engine: with a checker installed the simulation produces bit-identical
+ * results to a run without one, and because the simulator is
+ * deterministic, the checker's report is byte-reproducible for a fixed
+ * configuration.
+ */
+
+#ifndef CABLES_CHECK_CHECKER_HH
+#define CABLES_CHECK_CHECKER_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "check/vector_clock.hh"
+#include "sim/engine.hh"
+#include "svm/addr_space.hh"
+#include "util/json.hh"
+#include "util/metrics.hh"
+
+namespace cables {
+namespace check {
+
+using sim::Tick;
+using svm::GAddr;
+using svm::PageId;
+
+/** Knobs for the checker (defaults suit tests and benches). */
+struct CheckParams
+{
+    /** Detailed reports kept per finding category; further findings are
+     *  counted but not stored (keeps reports bounded and diffable). */
+    size_t maxReports = 256;
+};
+
+/** Aggregate finding counts (races are deduplicated pairs). */
+struct CheckFindings
+{
+    uint64_t races = 0;
+    uint64_t lockOrderCycles = 0;
+    uint64_t condMisuse = 0;
+
+    uint64_t
+    total() const
+    {
+        return races + lockOrderCycles + condMisuse;
+    }
+};
+
+/**
+ * One checker instance observes one Runtime run. Install it with
+ * Runtime::setChecker() before Runtime::run(); read the report after.
+ */
+class Checker
+{
+  public:
+    static constexpr const char *schemaName = "cables-check-report";
+    static constexpr int schemaVersion = 1;
+
+    explicit Checker(const CheckParams &params = {});
+    ~Checker();
+
+    Checker(const Checker &) = delete;
+    Checker &operator=(const Checker &) = delete;
+
+    /// @name Thread lifecycle (called by the CableS runtime)
+    /// @{
+    void threadStarted(sim::ThreadId tid, int csTid, int node,
+                       sim::ThreadId parent, Tick now);
+    void threadFinished(sim::ThreadId tid, Tick now);
+    void threadJoined(sim::ThreadId joiner, sim::ThreadId target);
+    void threadCancelled(sim::ThreadId canceller, sim::ThreadId target,
+                         Tick now);
+    /// @}
+
+    /// @name Node attach (an attach happens-before any placement there)
+    /// @{
+    void nodeAttached(sim::ThreadId attacher, int node, Tick now);
+    /// @}
+
+    /// @name SVM locks (called by svm::LockTable; covers CableS
+    /// mutexes, the base system and M4 LOCK with one hook site)
+    /// @{
+    void lockAcquired(sim::ThreadId tid, int lock, Tick now);
+    void lockReleased(sim::ThreadId tid, int lock, Tick now);
+    /// @}
+
+    /// @name SVM barriers (covers pthread_barrier and M4 BARRIER)
+    /// @{
+    void barrierEntered(sim::ThreadId tid, int barrier, int count,
+                        Tick now);
+    void barrierExited(sim::ThreadId tid, int barrier);
+    /// @}
+
+    /// @name Condition variables (called by the CableS runtime)
+    /// @{
+
+    /** @p svmLock is the underlying SVM lock of the named mutex, or -1
+     *  if the mutex was never locked anywhere. */
+    void condWaitBegin(sim::ThreadId tid, int cond, int svmLock,
+                       Tick now);
+    void condWaitResumed(sim::ThreadId tid, int cond);
+
+    /** @p woken is the waiter handed the signal, or InvalidThreadId
+     *  when the signal found no waiter. */
+    void condSignalled(sim::ThreadId tid, int cond, sim::ThreadId woken,
+                       Tick now);
+    void condBroadcastWake(sim::ThreadId tid, int cond,
+                           sim::ThreadId woken);
+    void condBroadcastDone(sim::ThreadId tid, int cond, Tick now);
+    /// @}
+
+    /// @name Memory lifecycle (shadow state of freed/reused ranges)
+    /// @{
+    void memoryAllocated(GAddr a, size_t len);
+    void memoryFreed(GAddr a);
+    /// @}
+
+    /// @name Access recording
+    /// @{
+
+    /** Record a guest access to [a, a+len) at shadow-cell granularity. */
+    void recordAccess(sim::ThreadId tid, int node, GAddr a, size_t len,
+                      bool write, Tick now);
+
+    /**
+     * Record a strided access: elements of @p width bytes at
+     * a+firstOff, a+firstOff+stride, ... within [a, a+len) are touched
+     * with mode @p write; for writes the rest of the range is treated
+     * as read (red-black style sweeps read neighbours of the cells
+     * they write).
+     */
+    void recordStrided(sim::ThreadId tid, int node, GAddr a, size_t len,
+                       size_t firstOff, size_t stride, size_t width,
+                       bool write, Tick now);
+    /// @}
+
+    /// @name Results
+    /// @{
+
+    /** Distinct data races observed (deduplicated pairs). */
+    uint64_t raceCount() const { return racesDistinct; }
+
+    /** All findings; runs the deferred lock-order / cond analyses. */
+    CheckFindings findings();
+
+    /** The full "cables-check-report" v1 document (deterministic). */
+    util::Json report();
+
+    /** Publish the "race.*" metrics family. */
+    void publishMetrics(metrics::Registry &r) const;
+    /// @}
+
+  private:
+    // ----- epochs: thread id in the top 16 bits, clock below ---------
+    static constexpr uint64_t emptyEpoch = 0;
+    static constexpr uint64_t sharedTid = 0xFFFF;
+    static constexpr int clkBits = 48;
+    static constexpr uint64_t clkMask = (uint64_t(1) << clkBits) - 1;
+
+    static uint64_t
+    packEpoch(sim::ThreadId tid, uint64_t clk)
+    {
+        return (static_cast<uint64_t>(tid) << clkBits) | (clk & clkMask);
+    }
+    static sim::ThreadId
+    epochTid(uint64_t e)
+    {
+        return static_cast<sim::ThreadId>(e >> clkBits);
+    }
+    static uint64_t epochClk(uint64_t e) { return e & clkMask; }
+
+    // ----- shadow memory ---------------------------------------------
+    /**
+     * Shadow granularity: 4-byte cells. This matches the smallest
+     * element type the guest programs use (uint32_t/float), so
+     * adjacent elements written by different threads — e.g. the RADIX
+     * permutation scatter — never alias one cell and report false
+     * sharing as a race.
+     */
+    static constexpr size_t cellShift = 2;
+    static constexpr GAddr cellBytes() { return GAddr(1) << cellShift; }
+    static constexpr GAddr cellMask() { return cellBytes() - 1; }
+    static constexpr size_t cellsPerPage = svm::pageSize >> cellShift;
+
+    struct ShadowCell
+    {
+        uint64_t w = emptyEpoch; ///< last-writer epoch
+        uint64_t r = emptyEpoch; ///< last-reader epoch or shared marker
+        Tick wTime = 0;          ///< virtual time of the last write
+        Tick rTime = 0;          ///< virtual time of the last read
+    };
+
+    using ShadowPage = std::array<ShadowCell, cellsPerPage>;
+
+    /** Read-shared side state: per-thread clock and read time. */
+    struct SharedRead
+    {
+        uint64_t clk;
+        Tick at;
+    };
+    using SharedReads = std::map<sim::ThreadId, SharedRead>;
+
+    // ----- per-thread state ------------------------------------------
+    struct Span
+    {
+        const char *op; ///< sync op that started this clock value
+        Tick at;        ///< virtual time of that op
+    };
+
+    struct ThreadState
+    {
+        bool live = false;
+        int csTid = -1;
+        int node = -1;
+        VectorClock vc;
+        VectorClock pending; ///< incoming signal/cancel handoff
+        bool hasPending = false;
+        std::vector<Span> spans;       ///< spans[c-1]: op at clock c
+        std::vector<int> held;         ///< SVM lock ids, outermost first
+        std::map<int, uint64_t> round; ///< barrier id -> round entered
+    };
+
+    // ----- sync-object state -----------------------------------------
+    struct BarrierState
+    {
+        VectorClock accum;
+        int arrived = 0;
+        uint64_t nextRound = 0;
+        struct Sealed
+        {
+            VectorClock vc;
+            int refs = 0;
+        };
+        std::map<uint64_t, Sealed> sealed;
+    };
+
+    struct CondState
+    {
+        uint64_t waits = 0;
+        uint64_t signals = 0;
+        uint64_t broadcasts = 0;
+        uint64_t matched = 0; ///< signals that found a waiter
+    };
+
+    struct LockEdge
+    {
+        int csTid;  ///< thread that exhibited the order
+        Tick at;    ///< acquisition time of the inner lock
+    };
+
+    // ----- helpers ----------------------------------------------------
+    ThreadState &ts(sim::ThreadId tid);
+    void absorbPending(ThreadState &t);
+    void tick(sim::ThreadId tid, const char *op, Tick now);
+    uint64_t clockOf(const ThreadState &t, sim::ThreadId tid) const;
+    ShadowCell &cell(GAddr a);
+    SharedReads &sharedReads(uint64_t marker);
+    void clearShadow(GAddr a, size_t len);
+    void checkCell(sim::ThreadId tid, ThreadState &t, int node, GAddr a,
+                   bool write, Tick now);
+    enum RaceKind { WriteWrite = 0, ReadWrite = 1, WriteRead = 2 };
+    void reportRace(RaceKind kind, GAddr cellAddr, sim::ThreadId priorTid,
+                    uint64_t priorClk, Tick priorAt, sim::ThreadId curTid,
+                    Tick now);
+    util::Json accessJson(sim::ThreadId tid, uint64_t clk, Tick at) const;
+    void runDeferredAnalyses();
+
+    CheckParams params_;
+
+    std::vector<ThreadState> threads;
+    std::unordered_map<PageId, std::unique_ptr<ShadowPage>> shadow;
+    std::vector<SharedReads> sharedTables;
+    std::unordered_map<GAddr, size_t> allocLen;
+
+    std::map<int, VectorClock> lockVC;
+    std::map<int, VectorClock> nodeVC;
+    std::map<int, BarrierState> barriers;
+    std::map<int, CondState> conds;
+
+    std::map<std::pair<int, int>, LockEdge> lockEdges;
+    std::set<std::pair<int, int>> misuseSeen;
+
+    util::Json raceReports;
+    util::Json misuseReports;
+    util::Json cycleReports;
+    std::set<std::tuple<uint64_t, uint32_t, uint32_t, uint8_t>> raceSeen;
+
+    uint64_t racesDistinct = 0;
+    uint64_t raceHits = 0;
+    uint64_t condMisuseCount = 0;
+    uint64_t cycleCount = 0;
+    uint64_t syncOps = 0;
+    uint64_t accesses = 0;
+    uint64_t cellChecks = 0;
+    bool analysed = false;
+};
+
+/// @name Process-global check-everything mode
+///
+/// bench --check flips a process-wide flag; the app harness then
+/// instruments every run it executes with a fresh Checker and folds the
+/// findings into a global accumulator the bench driver reads at exit.
+/// @{
+void setCheckAllRuns(bool enable);
+bool checkAllRuns();
+void accumulateFindings(const CheckFindings &f);
+
+/** Append one run's report to the global array (bench --check-json). */
+void accumulateReport(util::Json report);
+
+/** All accumulated per-run reports, as a JSON array. */
+const util::Json &accumulatedReports();
+CheckFindings accumulatedFindings();
+uint64_t checkedRunCount();
+void resetAccumulatedFindings();
+/// @}
+
+} // namespace check
+} // namespace cables
+
+#endif // CABLES_CHECK_CHECKER_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Vector clocks for the happens-before checker.
+ *
+ * Clocks are indexed by simulator thread id (sim::ThreadId) and grow on
+ * demand; a missing entry reads as 0. Because the whole simulation is
+ * single host-threaded, no synchronization is needed — determinism of
+ * the simulator carries over to determinism of every clock value.
+ */
+
+#ifndef CABLES_CHECK_VECTOR_CLOCK_HH
+#define CABLES_CHECK_VECTOR_CLOCK_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cables {
+namespace check {
+
+/** A grow-on-demand vector clock over simulator thread ids. */
+class VectorClock
+{
+  public:
+    /** Component for thread @p i (0 when never set). */
+    uint64_t
+    get(size_t i) const
+    {
+        return i < c.size() ? c[i] : 0;
+    }
+
+    void
+    set(size_t i, uint64_t v)
+    {
+        if (i >= c.size())
+            c.resize(i + 1, 0);
+        c[i] = v;
+    }
+
+    void
+    bump(size_t i)
+    {
+        set(i, get(i) + 1);
+    }
+
+    /** Pointwise maximum: this := this join o. */
+    void
+    join(const VectorClock &o)
+    {
+        if (o.c.size() > c.size())
+            c.resize(o.c.size(), 0);
+        for (size_t i = 0; i < o.c.size(); ++i)
+            c[i] = std::max(c[i], o.c[i]);
+    }
+
+    void clear() { c.clear(); }
+    bool empty() const { return c.empty(); }
+    size_t size() const { return c.size(); }
+
+  private:
+    std::vector<uint64_t> c;
+};
+
+} // namespace check
+} // namespace cables
+
+#endif // CABLES_CHECK_VECTOR_CLOCK_HH

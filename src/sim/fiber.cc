@@ -1,5 +1,9 @@
 #include "sim/fiber.hh"
 
+#ifdef CABLES_ASAN
+#include <sanitizer/common_interface_defs.h>
+#endif
+
 #include "util/logging.hh"
 
 namespace cables {
@@ -18,7 +22,8 @@ Fiber *startingFiber = nullptr;
 } // namespace
 
 Fiber::Fiber(std::function<void()> fn, size_t stack_size)
-    : entry(std::move(fn)), stack(new char[stack_size])
+    : entry(std::move(fn)), stack(new char[stack_size]),
+      stackSize_(stack_size)
 {
     panic_if(!entry, "Fiber requires an entry function");
     getcontext(&context);
@@ -29,18 +34,51 @@ Fiber::Fiber(std::function<void()> fn, size_t stack_size)
                 0);
 }
 
-Fiber::~Fiber() = default;
+Fiber::~Fiber()
+{
+    if (!started || finished_)
+        return;
+    // Abandoned mid-run (an aborted simulation): resume one last time
+    // and throw Unwind from the suspension point, so the stack unwinds
+    // and the frames' destructors release their memory.
+    unwinding_ = true;
+#ifdef CABLES_ASAN
+    __sanitizer_start_switch_fiber(&callerFakeStack_, stack.get(),
+                                   stackSize_);
+#endif
+    swapcontext(&returnContext, &context);
+#ifdef CABLES_ASAN
+    __sanitizer_finish_switch_fiber(callerFakeStack_, nullptr, nullptr);
+#endif
+}
 
 void
 Fiber::trampoline()
 {
     Fiber *self = startingFiber;
     startingFiber = nullptr;
-    self->entry();
+#ifdef CABLES_ASAN
+    // First arrival on this stack: no fake stack to restore yet; record
+    // where to switch back to.
+    __sanitizer_finish_switch_fiber(nullptr, &self->callerStackBottom_,
+                                    &self->callerStackSize_);
+#endif
+    try {
+        self->entry();
+    } catch (const Unwind &) {
+        // Destructor-driven teardown of an abandoned fiber.
+    }
     self->finished_ = true;
     // Return to whoever last resumed us; never falls off the context.
-    while (true)
+    while (true) {
+#ifdef CABLES_ASAN
+        // The fiber is done: a null fake-stack handle tells ASan to
+        // release this stack's fake frames instead of saving them.
+        __sanitizer_start_switch_fiber(nullptr, self->callerStackBottom_,
+                                       self->callerStackSize_);
+#endif
         swapcontext(&self->context, &self->returnContext);
+    }
 }
 
 void
@@ -51,13 +89,30 @@ Fiber::switchTo()
         started = true;
         startingFiber = this;
     }
+#ifdef CABLES_ASAN
+    __sanitizer_start_switch_fiber(&callerFakeStack_, stack.get(),
+                                   stackSize_);
+#endif
     swapcontext(&returnContext, &context);
+#ifdef CABLES_ASAN
+    __sanitizer_finish_switch_fiber(callerFakeStack_, nullptr, nullptr);
+#endif
 }
 
 void
 Fiber::switchBack()
 {
+#ifdef CABLES_ASAN
+    __sanitizer_start_switch_fiber(&fiberFakeStack_, callerStackBottom_,
+                                   callerStackSize_);
+#endif
     swapcontext(&context, &returnContext);
+#ifdef CABLES_ASAN
+    __sanitizer_finish_switch_fiber(fiberFakeStack_, &callerStackBottom_,
+                                    &callerStackSize_);
+#endif
+    if (unwinding_)
+        throw Unwind{};
 }
 
 } // namespace sim

@@ -15,6 +15,20 @@
 #include <functional>
 #include <memory>
 
+/*
+ * AddressSanitizer must be told about stack switches, or its fake-stack
+ * bookkeeping misattributes frames and reports spurious
+ * stack-use-after-return once fibers interleave. gcc defines
+ * __SANITIZE_ADDRESS__; clang exposes the feature test.
+ */
+#if defined(__SANITIZE_ADDRESS__)
+#define CABLES_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define CABLES_ASAN 1
+#endif
+#endif
+
 namespace cables {
 namespace sim {
 
@@ -45,6 +59,13 @@ class Fiber
     Fiber(const Fiber &) = delete;
     Fiber &operator=(const Fiber &) = delete;
 
+    /**
+     * Thrown from the suspension point of an abandoned fiber when its
+     * destructor unwinds the stack. Guest code must not catch it.
+     */
+    struct Unwind
+    {};
+
     /** Transfer control from the caller's context into the fiber. */
     void switchTo();
 
@@ -59,10 +80,21 @@ class Fiber
 
     std::function<void()> entry;
     std::unique_ptr<char[]> stack;
+    size_t stackSize_;
     ucontext_t context;
     ucontext_t returnContext;
     bool started = false;
     bool finished_ = false;
+    bool unwinding_ = false;
+
+#ifdef CABLES_ASAN
+    /// ASan fake-stack handles for each side of a switch, plus the
+    /// caller's stack bounds (learned from the first switch in).
+    void *callerFakeStack_ = nullptr;
+    void *fiberFakeStack_ = nullptr;
+    const void *callerStackBottom_ = nullptr;
+    size_t callerStackSize_ = 0;
+#endif
 };
 
 } // namespace sim

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "check/checker.hh"
+
 namespace cables {
 namespace svm {
 
@@ -42,6 +44,8 @@ LockTable::acquire(NodeId node, LockId id, AcquireInfo *info)
         l.held = true;
         l.holder = tid;
         proto.acquireUpTo(node, l.releaseSeq);
+        if (checker_)
+            checker_->lockAcquired(tid, id, engine.now());
         return;
     }
 
@@ -65,6 +69,8 @@ LockTable::acquire(NodeId node, LockId id, AcquireInfo *info)
         l.held = true;
         l.holder = tid;
         proto.acquireUpTo(node, l.releaseSeq);
+        if (checker_)
+            checker_->lockAcquired(tid, id, engine.now());
         return;
     }
 
@@ -83,8 +89,13 @@ LockTable::acquire(NodeId node, LockId id, AcquireInfo *info)
     l.waiters.push_back(Waiter{node, tid});
     engine.block("svm-lock");
     // Woken as the new holder; token already moved by the releaser.
+    // Re-resolve the lock: another thread may have grown `locks` while
+    // we slept, invalidating references into the vector.
+    Lock &lw = locks.at(id);
     engine.advance(params_.grantProcCost);
-    proto.acquireUpTo(node, l.releaseSeq);
+    proto.acquireUpTo(node, lw.releaseSeq);
+    if (checker_)
+        checker_->lockAcquired(tid, id, engine.now());
 }
 
 bool
@@ -111,6 +122,8 @@ LockTable::tryAcquire(NodeId node, LockId id)
     l.held = true;
     l.holder = engine.current()->id;
     proto.acquireUpTo(node, l.releaseSeq);
+    if (checker_)
+        checker_->lockAcquired(l.holder, id, engine.now());
     return true;
 }
 
@@ -122,6 +135,8 @@ LockTable::release(NodeId node, LockId id)
     engine.sync();
     Lock &l = locks.at(id);
     panic_if(!l.held, "releasing lock {} which is not held", id);
+    if (checker_)
+        checker_->lockReleased(engine.current()->id, id, engine.now());
     l.releaseSeq = proto.flushSeq();
     engine.advance(params_.unlockCost);
     l.held = false;
@@ -162,6 +177,8 @@ BarrierTable::enter(NodeId node, BarrierId id, int count)
     engine.advance(params_.barrierEntryCost);
     Barrier &b = barriers.at(id);
     sim::ThreadId tid = engine.current()->id;
+    if (checker_)
+        checker_->barrierEntered(tid, id, count, engine.now());
 
     // Send the arrival message to the manager.
     Tick arrival = engine.now();
@@ -179,7 +196,10 @@ BarrierTable::enter(NodeId node, BarrierId id, int count)
         b.waiting.push_back(Waiter{node, tid});
         engine.block("svm-barrier");
         engine.advance(params_.barrierDepartCost);
-        proto.acquireUpTo(node, b.seqAtRelease);
+        // Re-resolve: `barriers` may have grown while we slept.
+        proto.acquireUpTo(node, barriers.at(id).seqAtRelease);
+        if (checker_)
+            checker_->barrierExited(tid, id);
         return;
     }
 
@@ -208,6 +228,8 @@ BarrierTable::enter(NodeId node, BarrierId id, int count)
     b.lastArrival = 0;
     b.waiting.clear();
     proto.acquireUpTo(node, b.seqAtRelease);
+    if (checker_)
+        checker_->barrierExited(tid, id);
 }
 
 } // namespace svm

@@ -23,6 +23,10 @@
 #include "svm/protocol.hh"
 
 namespace cables {
+namespace check {
+class Checker;
+} // namespace check
+
 namespace svm {
 
 /** Synchronization software costs. */
@@ -98,6 +102,10 @@ class LockTable
     /** True while some thread holds the lock. */
     bool held(LockId id) const { return locks[id].held; }
 
+    /** Install (or remove, with nullptr) the happens-before checker;
+     *  acquire/release hooks observe only, never advance time. */
+    void setChecker(check::Checker *c) { checker_ = c; }
+
   private:
     struct Waiter
     {
@@ -122,6 +130,7 @@ class LockTable
     net::Network &net;
     Protocol &proto;
     SyncParams params_;
+    check::Checker *checker_ = nullptr;
     std::vector<Lock> locks;
 };
 
@@ -143,6 +152,9 @@ class BarrierTable
      */
     void enter(NodeId node, BarrierId id, int count);
 
+    /** Install (or remove, with nullptr) the happens-before checker. */
+    void setChecker(check::Checker *c) { checker_ = c; }
+
   private:
     struct Waiter
     {
@@ -163,6 +175,7 @@ class BarrierTable
     net::Network &net;
     Protocol &proto;
     SyncParams params_;
+    check::Checker *checker_ = nullptr;
     std::vector<Barrier> barriers;
 };
 

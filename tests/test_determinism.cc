@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "apps/pthread_apps.hh"
+#include "check/checker.hh"
 #include "apps/splash.hh"
 
 using namespace cables;
@@ -95,4 +96,50 @@ TEST(Determinism, DifferentProcCountsDifferButVerify)
     auto b = fingerprintSplash("FFT", Backend::BaseSvm, 8);
     EXPECT_NE(a.total, b.total);
     EXPECT_NEAR(a.checksum, b.checksum, 1e-9);
+}
+
+TEST(Determinism, MetricsUnperturbedByChecker)
+{
+    // The dynamic checker is an observer: with no checker installed the
+    // metrics snapshot must be byte-identical run to run, and with one
+    // installed the snapshot must differ only by the race.* family —
+    // i.e. it matches a build with the checker never compiled in.
+    auto run_once = [&](check::Checker *ck) {
+        AppOut out;
+        RunOptions opts;
+        opts.checker = ck;
+        RunResult r = runProgram(splashConfig(Backend::CableS, 4),
+                                 [&](Runtime &rt, RunResult &res) {
+                                     m4::M4Env env(rt);
+                                     RadixParams p;
+                                     p.nprocs = 4;
+                                     p.keys = size_t(1) << 12;
+                                     p.maxKeyBits = 16;
+                                     runRadix(env, p, out);
+                                     res.valid = out.valid;
+                                 },
+                                 opts);
+        EXPECT_TRUE(out.valid);
+        return r;
+    };
+
+    RunResult plain1 = run_once(nullptr);
+    RunResult plain2 = run_once(nullptr);
+    std::string base = plain1.metrics.toJson().dump(2);
+    EXPECT_EQ(base, plain2.metrics.toJson().dump(2));
+
+    check::Checker ck;
+    RunResult checked = run_once(&ck);
+    EXPECT_EQ(plain1.total, checked.total);
+    EXPECT_EQ(plain1.messages, checked.messages);
+    metrics::Snapshot filtered = checked.metrics;
+    for (auto it = filtered.counters.begin();
+         it != filtered.counters.end();) {
+        if (it->first.rfind("race.", 0) == 0)
+            it = filtered.counters.erase(it);
+        else
+            ++it;
+    }
+    EXPECT_EQ(base, filtered.toJson().dump(2));
+    EXPECT_EQ(ck.findings().total(), 0u);
 }
