@@ -1,11 +1,13 @@
 #include "bench_common.hh"
 
+#include <array>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 
 #include "check/checker.hh"
+#include "prof/profiler.hh"
 #include "util/logging.hh"
 
 namespace cables {
@@ -30,6 +32,10 @@ usage(const std::string &bench, int code)
         "simulated run\n"
         "  --check-json <path>  with --check, write all checker reports "
         "as JSON\n"
+        "  --profile        profile every simulated run (time-breakdown "
+        "categories)\n"
+        "  --profile-json <path>  write all profile reports as JSON "
+        "(implies --profile)\n"
         "  --help           this message\n",
         bench.c_str(), Report::schemaVersion);
     std::exit(code);
@@ -112,7 +118,12 @@ Options::parse(int argc, char **argv, const std::string &bench_name)
             o.check = true;
         else if (!std::strcmp(a, "--check-json"))
             o.checkJsonPath = argStr(argc, argv, i, bench_name);
-        else {
+        else if (!std::strcmp(a, "--profile"))
+            o.profile = true;
+        else if (!std::strcmp(a, "--profile-json")) {
+            o.profileJsonPath = argStr(argc, argv, i, bench_name);
+            o.profile = true;
+        } else {
             std::fprintf(stderr, "%s: unknown option '%s'\n",
                          bench_name.c_str(), a);
             usage(bench_name, 2);
@@ -161,6 +172,21 @@ Report::attachMetrics(metrics::Snapshot m)
     panic_if(rows_.empty(), "bench {}: attachMetrics before any row",
              benchmark_);
     rows_.back().metrics = std::move(m);
+}
+
+void
+Report::addRepeat(metrics::Snapshot m)
+{
+    repeats_.push_back(std::move(m));
+}
+
+metrics::Snapshot
+Report::mergedMetrics() const
+{
+    metrics::Snapshot all;
+    for (const Row &r : rows_)
+        all.merge(r.metrics);
+    return all;
 }
 
 void
@@ -250,6 +276,17 @@ Report::toJson() const
     for (const std::string &n : notes_)
         notes.push(n);
     doc.set("notes", std::move(notes));
+
+    if (!repeats_.empty()) {
+        util::Json reps = util::Json::array();
+        for (size_t i = 0; i < repeats_.size(); ++i) {
+            util::Json e = util::Json::object();
+            e.set("run", static_cast<int64_t>(i + 1));
+            e.set("metrics", repeats_[i].toJson());
+            reps.push(std::move(e));
+        }
+        doc.set("repeats", std::move(reps));
+    }
     return doc;
 }
 
@@ -309,6 +346,8 @@ validateReport(const util::Json &doc, std::string *why)
     }
     if (!doc.get("notes").isArray())
         return fail("notes missing or not an array");
+    if (doc.has("repeats") && !doc.get("repeats").isArray())
+        return fail("repeats present but not an array");
     return true;
 }
 
@@ -320,6 +359,8 @@ runBench(const Options &opts, const BenchBody &body)
 
     check::setCheckAllRuns(opts.check);
     check::resetAccumulatedFindings();
+    prof::setProfileAllRuns(opts.profile);
+    prof::resetAccumulatedProfiles();
 
     Report rep(opts.bench);
     rep.setConfig("seed", opts.seed);
@@ -327,21 +368,45 @@ runBench(const Options &opts, const BenchBody &body)
         rep.setConfig("procs", opts.procs);
     if (opts.check)
         rep.setConfig("check", true);
+    if (opts.profile)
+        rep.setConfig("profile", true);
     body(rep, tp);
 
     check::CheckFindings findings = check::accumulatedFindings();
     uint64_t checkedRuns = check::checkedRunCount();
     util::Json checkReports = check::accumulatedReports();
+    util::Json profileReports = prof::accumulatedProfileReports();
+    uint64_t profiledRuns = prof::profiledRunCount();
+
+    // Every per-run profile document must satisfy the schema, including
+    // the exact-sum invariant (categories == lifetime per thread).
+    for (size_t i = 0; i < profileReports.size(); ++i) {
+        std::string why;
+        if (!prof::validateProfileReport(profileReports.at(i), &why)) {
+            std::fprintf(stderr,
+                         "%s: internal error: profile report %zu fails "
+                         "schema validation: %s\n",
+                         opts.bench.c_str(), i, why.c_str());
+            return 1;
+        }
+    }
+
+    std::vector<metrics::Snapshot> repeatMetrics;
+    repeatMetrics.push_back(rep.mergedMetrics());
 
     for (int i = 1; i < opts.repeat; ++i) {
         check::resetAccumulatedFindings();
+        prof::resetAccumulatedProfiles();
         Report again(opts.bench);
         again.setConfig("seed", opts.seed);
         if (opts.procs > 0)
             again.setConfig("procs", opts.procs);
         if (opts.check)
             again.setConfig("check", true);
+        if (opts.profile)
+            again.setConfig("profile", true);
         body(again, nullptr);
+        repeatMetrics.push_back(again.mergedMetrics());
         if (!rep.deterministic())
             continue;
         if (again.toJson().dump(2) != rep.toJson().dump(2)) {
@@ -359,10 +424,24 @@ runBench(const Options &opts, const BenchBody &body)
                          opts.bench.c_str(), i + 1);
             return 1;
         }
+        if (opts.profile && prof::accumulatedProfileReports().dump(2) !=
+                                profileReports.dump(2)) {
+            std::fprintf(stderr,
+                         "%s: repeat %d produced different profile "
+                         "reports — determinism violation\n",
+                         opts.bench.c_str(), i + 1);
+            return 1;
+        }
     }
     if (opts.repeat > 1 && rep.deterministic()) {
         rep.addNote(csprintf("determinism: {} runs, identical reports",
                              opts.repeat));
+    }
+    if (opts.repeat > 1) {
+        // Attached after the comparison loop on purpose: the per-repeat
+        // snapshots document each run without breaking byte-identity.
+        for (metrics::Snapshot &m : repeatMetrics)
+            rep.addRepeat(std::move(m));
     }
 
     std::fputs(rep.renderText().c_str(), stdout);
@@ -410,6 +489,39 @@ runBench(const Options &opts, const BenchBody &body)
         }
         if (findings.total() > 0)
             return 1;
+    }
+
+    if (opts.profile) {
+        // Whole-bench category totals (summed over all profiled runs),
+        // the Figure-5 one-liner.
+        std::array<int64_t, prof::kNumCats> totals{};
+        for (size_t i = 0; i < profileReports.size(); ++i) {
+            const util::Json &tot = profileReports.at(i).get("totals");
+            for (int c = 0; c < prof::kNumCats; ++c) {
+                totals[c] +=
+                    tot.get(prof::catName(static_cast<prof::Cat>(c)))
+                        .asInt();
+            }
+        }
+        std::printf("profile: %llu runs;",
+                    static_cast<unsigned long long>(profiledRuns));
+        for (int c = 0; c < prof::kNumCats; ++c) {
+            std::printf(" %s %.1f ms%s",
+                        prof::catName(static_cast<prof::Cat>(c)),
+                        static_cast<double>(totals[c]) / 1e6,
+                        c + 1 < prof::kNumCats ? "," : "\n");
+        }
+        if (!opts.profileJsonPath.empty()) {
+            std::ofstream f(opts.profileJsonPath, std::ios::binary);
+            if (f)
+                f << profileReports.dump(2) << "\n";
+            if (!f) {
+                std::fprintf(stderr, "%s: cannot write %s\n",
+                             opts.bench.c_str(),
+                             opts.profileJsonPath.c_str());
+                return 1;
+            }
+        }
     }
     return 0;
 }

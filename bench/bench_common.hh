@@ -21,6 +21,10 @@
  *                    cond misuse was observed
  *   --check-json <path>  with --check, write the per-run
  *                    "cables-check-report" documents as a JSON array
+ *   --profile        instrument every simulated run with the
+ *                    time-breakdown profiler; print a category summary
+ *   --profile-json <path>  write the per-run "cables-profile-report"
+ *                    documents as a JSON array (implies --profile)
  *   --help           usage
  *
  * The default output (no flags) is the human-readable paper-style
@@ -62,6 +66,8 @@ struct Options
     int repeat = 1;        ///< --repeat
     bool check = false;    ///< --check (happens-before checking)
     std::string checkJsonPath; ///< --check-json target ("" = none)
+    bool profile = false;  ///< --profile (time-breakdown profiling)
+    std::string profileJsonPath; ///< --profile-json target ("" = none)
 
     /**
      * Parse argv. Prints usage and exits on --help or on a malformed
@@ -141,6 +147,18 @@ class Report
     /** Attach the metrics snapshot of the run(s) behind the last row. */
     void attachMetrics(metrics::Snapshot m);
 
+    /**
+     * Record one repeat's whole-bench metric snapshot (--repeat): the
+     * JSON gains a "repeats" array so downstream consumers (the
+     * regression gate) can take min-of-N instead of trusting a single
+     * run. Attached by runBench after the determinism comparison, so
+     * the repeats do not participate in the byte-identity check.
+     */
+    void addRepeat(metrics::Snapshot m);
+
+    /** All row snapshots merged into one (whole-bench view). */
+    metrics::Snapshot mergedMetrics() const;
+
     void addNote(std::string note);
 
     /** The paper-style table (the default stdout output). */
@@ -162,6 +180,7 @@ class Report
     std::vector<Column> columns_;
     std::vector<Row> rows_;
     std::vector<std::string> notes_;
+    std::vector<metrics::Snapshot> repeats_;
 };
 
 /** The bench body: fill @p rep; @p tracer is non-null when --trace was

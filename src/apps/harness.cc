@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "prof/profiler.hh"
 #include "util/logging.hh"
 
 namespace cables {
@@ -29,6 +30,17 @@ runProgram(const ClusterConfig &cfg, const Program &prog,
     }
     if (checker)
         rt.setChecker(checker);
+
+    // Same discipline for the profiler: explicit instance wins,
+    // bench --profile gets a private one per run.
+    std::unique_ptr<prof::Profiler> ownProfiler;
+    prof::Profiler *profiler = opts.profiler;
+    if (!profiler && prof::profileAllRuns()) {
+        ownProfiler = std::make_unique<prof::Profiler>();
+        profiler = ownProfiler.get();
+    }
+    if (profiler)
+        rt.setProfiler(profiler);
 
     rt.run([&]() {
         try {
@@ -67,6 +79,12 @@ runProgram(const ClusterConfig &cfg, const Program &prog,
             check::accumulateFindings(res.checkFindings);
             check::accumulateReport(res.checkReport);
         }
+    }
+    if (profiler) {
+        res.profiled = true;
+        res.profile = profiler->report();
+        if (ownProfiler)
+            prof::accumulateProfileReport(res.profile);
     }
     res.metrics = rt.metricsSnapshot();
     if (failed)

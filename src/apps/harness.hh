@@ -68,6 +68,17 @@ struct RunResult
 
     /// @}
 
+    /// @name Time-breakdown profiling (populated when a profiler ran)
+    /// @{
+
+    /** True when this run was instrumented with a Profiler. */
+    bool profiled = false;
+
+    /** The full "cables-profile-report" v1 document; null otherwise. */
+    util::Json profile;
+
+    /// @}
+
     /// @name Per-subsystem stat structs
     ///
     /// Deprecated in favour of @ref metrics (kept for existing callers;
@@ -105,6 +116,15 @@ struct RunOptions
      * the findings into the global accumulator.
      */
     check::Checker *checker = nullptr;
+
+    /**
+     * When non-null, the run is instrumented with this time-breakdown
+     * profiler (Runtime::setProfiler) and RunResult's profile fields
+     * are filled from it. When null but prof::profileAllRuns() is set
+     * (bench --profile), the harness creates a Profiler per run and
+     * appends its report to the global accumulator.
+     */
+    prof::Profiler *profiler = nullptr;
 };
 
 /**

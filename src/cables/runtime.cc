@@ -4,6 +4,7 @@
 
 #include "cables/memory.hh"
 #include "check/checker.hh"
+#include "prof/profiler.hh"
 #include "sim/trace.hh"
 #include "util/logging.hh"
 
@@ -147,6 +148,12 @@ Runtime::setChecker(check::Checker *c)
 }
 
 void
+Runtime::setProfiler(prof::Profiler *p)
+{
+    engine_->setProfiler(p);
+}
+
+void
 Runtime::checkerAccess(GAddr a, size_t len, bool write)
 {
     CsThread &me = self();
@@ -180,6 +187,9 @@ Runtime::publishMetrics(metrics::Registry &r) const
 {
     r.counter("cables.attaches") += attaches;
     r.counter("cables.threads_created") += threads.size();
+    // Always present (0 without a tracer) so traced and untraced runs
+    // publish identical metric key sets.
+    r.counter("trace.dropped") += tracer_ ? tracer_->dropped() : 0;
     r.counter("sim.switches") += engine_->switches();
     r.counter("sim.events") += engine_->eventsRun();
     r.gauge("sim.max_time_ms") += toMs(engine_->maxTime());
@@ -321,6 +331,8 @@ Runtime::startThread(NodeId node, std::function<void()> fn, Tick start_at)
     if (simToCs.size() <= static_cast<size_t>(st))
         simToCs.resize(st + 1, nullptr);
     simToCs[st] = ptr;
+    if (auto *p = engine_->profiler())
+        p->setThreadNode(st, node);
     if (checker_) {
         // The initial thread is started from run() with no current
         // engine thread: it has no creating parent (and no clock to
@@ -384,6 +396,7 @@ Runtime::placeThread()
 void
 Runtime::attachNode(NodeId n)
 {
+    sim::ProfScope prof_scope(*engine_, prof::Cat::ThreadMgmt);
     CsThread &me = self();
     Tick t0 = engine_->now();
 
@@ -445,6 +458,7 @@ Runtime::preAttachNodes(int count)
 void
 Runtime::startAsyncAttach(NodeId n)
 {
+    sim::ProfScope prof_scope(*engine_, prof::Cat::ThreadMgmt);
     CsThread &me = self();
     attachPending[n] = true;
     charge(CostKind::LocalCables, cfg.costs.attachMasterCables);
@@ -504,6 +518,7 @@ Runtime::detachNode(NodeId n)
 int
 Runtime::threadCreate(std::function<void()> fn)
 {
+    sim::ProfScope prof_scope(*engine_, prof::Cat::ThreadMgmt);
     CsThread &me = self();
     engine_->sync();
     Tick t0 = engine_->now();
@@ -539,6 +554,7 @@ Runtime::threadCreate(std::function<void()> fn)
 void
 Runtime::finishThread(int tid)
 {
+    sim::ProfScope prof_scope(*engine_, prof::Cat::ThreadMgmt);
     CsThread &t = *threads[tid];
     engine_->sync();
     t.finished = true;
@@ -569,6 +585,7 @@ Runtime::finishThread(int tid)
 void
 Runtime::join(int tid)
 {
+    sim::ProfScope prof_scope(*engine_, prof::Cat::ThreadMgmt);
     CsThread &me = self();
     fatal_if(tid < 0 || static_cast<size_t>(tid) >= threads.size(),
              "join of unknown thread {}", tid);

@@ -342,6 +342,14 @@ class Runtime
     void setChecker(check::Checker *c);
     check::Checker *checker() const { return checker_; }
 
+    /**
+     * Install (or remove, with nullptr) a time-breakdown profiler;
+     * forwarded to the engine. Same observer discipline as the tracer
+     * and the checker: results are bit-identical with and without one.
+     */
+    void setProfiler(prof::Profiler *p);
+    prof::Profiler *profiler() const { return engine_->profiler(); }
+
     /// @}
 
     /**

@@ -12,6 +12,7 @@
 #include "cables/memory.hh"
 #include "cables/runtime.hh"
 #include "check/checker.hh"
+#include "prof/profiler.hh"
 #include "util/logging.hh"
 
 namespace cables {
@@ -41,6 +42,7 @@ Runtime::mutexDestroy(int m)
 void
 Runtime::mutexLock(int m)
 {
+    sim::ProfScope prof_scope(*engine_, prof::Cat::MutexWait);
     CsThread &me = self();
     CsMutex &mx = mutexes.at(m);
     panic_if(!mx.live, "locking destroyed mutex {}", m);
@@ -97,6 +99,7 @@ Runtime::mutexLock(int m)
 bool
 Runtime::mutexTryLock(int m)
 {
+    sim::ProfScope prof_scope(*engine_, prof::Cat::MutexWait);
     CsThread &me = self();
     CsMutex &mx = mutexes.at(m);
     panic_if(!mx.live, "trylock of destroyed mutex {}", m);
@@ -115,6 +118,7 @@ Runtime::mutexTryLock(int m)
 void
 Runtime::mutexUnlock(int m)
 {
+    sim::ProfScope prof_scope(*engine_, prof::Cat::MutexWait);
     CsThread &me = self();
     CsMutex &mx = mutexes.at(m);
     panic_if(mx.lock < 0, "unlock of never-locked mutex {}", m);
@@ -145,6 +149,9 @@ Runtime::condDestroy(int c)
 void
 Runtime::condWait(int c, int m)
 {
+    // RAII is load-bearing here: testCancel() below may throw
+    // ThreadCancelled through this frame.
+    sim::ProfScope prof_scope(*engine_, prof::Cat::CondWait);
     CsThread &me = self();
     CsCond &cv = conds.at(c);
     panic_if(!cv.live, "waiting on destroyed condition {}", c);
@@ -189,6 +196,7 @@ Runtime::condWait(int c, int m)
 void
 Runtime::condSignal(int c)
 {
+    sim::ProfScope prof_scope(*engine_, prof::Cat::CondWait);
     CsThread &me = self();
     CsCond &cv = conds.at(c);
     panic_if(!cv.live, "signalling destroyed condition {}", c);
@@ -248,6 +256,7 @@ Runtime::condSignal(int c)
 void
 Runtime::condBroadcast(int c)
 {
+    sim::ProfScope prof_scope(*engine_, prof::Cat::CondWait);
     CsThread &me = self();
     CsCond &cv = conds.at(c);
     panic_if(!cv.live, "broadcasting destroyed condition {}", c);

@@ -1,0 +1,518 @@
+#include "prof/profiler.hh"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace cables {
+namespace prof {
+
+const char *
+catName(Cat c)
+{
+    switch (c) {
+      case Cat::Compute:     return "compute";
+      case Cat::MutexWait:   return "mutex_wait";
+      case Cat::BarrierWait: return "barrier_wait";
+      case Cat::CondWait:    return "cond_wait";
+      case Cat::PageFetch:   return "page_fetch";
+      case Cat::DiffFlush:   return "diff_flush";
+      case Cat::Handler:     return "handler";
+      case Cat::ThreadMgmt:  return "thread_mgmt";
+    }
+    return "?";
+}
+
+Profiler::Profiler(const ProfParams &params) : params_(params) {}
+
+Profiler::ThreadProf &
+Profiler::ts(int32_t tid)
+{
+    panic_if(tid < 0, "profiler: bad thread id {}", tid);
+    if (threads.size() <= static_cast<size_t>(tid))
+        threads.resize(tid + 1);
+    return threads[tid];
+}
+
+void
+Profiler::attribute(ThreadProf &t, int64_t now)
+{
+    panic_if(now < t.last,
+             "profiler: clock moved backwards ({} < {})", now, t.last);
+    int top = t.stack.empty() ? static_cast<int>(Cat::Compute)
+                              : t.stack.back();
+    t.cat[top] += now - t.last;
+    t.last = now;
+}
+
+void
+Profiler::threadStarted(int32_t tid, int64_t at)
+{
+    ThreadProf &t = ts(tid);
+    t.started = true;
+    t.start = at;
+    t.last = at;
+}
+
+void
+Profiler::threadFinished(int32_t tid, int64_t now)
+{
+    ThreadProf &t = ts(tid);
+    attribute(t, now);
+    t.finished = true;
+    t.end = now;
+}
+
+void
+Profiler::spawnEdge(int32_t parent, int32_t child, int64_t at)
+{
+    ThreadProf &t = ts(child);
+    t.parent = parent;
+    t.spawnAt = at;
+}
+
+void
+Profiler::setThreadNode(int32_t tid, int node)
+{
+    ts(tid).node = node;
+}
+
+void
+Profiler::enter(int32_t tid, Cat c, int64_t now)
+{
+    ThreadProf &t = ts(tid);
+    attribute(t, now);
+    t.stack.push_back(static_cast<int>(c));
+}
+
+void
+Profiler::leave(int32_t tid, int64_t now)
+{
+    ThreadProf &t = ts(tid);
+    panic_if(t.stack.empty(), "profiler: leave with empty stack");
+    attribute(t, now);
+    t.stack.pop_back();
+}
+
+void
+Profiler::blockBegin(int32_t tid, const char *why, int64_t now)
+{
+    ThreadProf &t = ts(tid);
+    t.pendingBlockAt = now;
+    t.pendingReason = why;
+}
+
+void
+Profiler::blockEnd(int32_t tid, int32_t waker, int64_t at)
+{
+    ThreadProf &t = ts(tid);
+    if (t.pendingBlockAt < 0)
+        return;
+    t.waits.push_back(
+        ThreadProf::Wait{t.pendingBlockAt, at, waker, t.pendingReason});
+    t.pendingBlockAt = -1;
+    t.pendingReason = "";
+}
+
+void
+Profiler::handlerRun(int node, int64_t cpu)
+{
+    (void)node;
+    ++handlerRuns;
+    handlerTicks += cpu;
+}
+
+void
+Profiler::pageFaulted(uint64_t page, int node, bool write)
+{
+    PageHeat &p = pages[page];
+    if (p.firstTouch < 0)
+        p.firstTouch = node;
+    if (write)
+        ++p.writeFaults;
+    else
+        ++p.readFaults;
+}
+
+void
+Profiler::pageHomed(uint64_t page, int node)
+{
+    pages[page].home = node;
+}
+
+void
+Profiler::pageFetched(uint64_t page, int node)
+{
+    (void)node;
+    ++pages[page].fetches;
+}
+
+void
+Profiler::pageInvalidated(uint64_t page, int node)
+{
+    (void)node;
+    ++pages[page].invalidations;
+}
+
+void
+Profiler::pageDiffed(uint64_t page, int node, uint64_t bytes)
+{
+    (void)node;
+    PageHeat &p = pages[page];
+    ++p.diffs;
+    p.diffBytes += bytes;
+}
+
+int64_t
+Profiler::categoryTicks(int32_t tid, Cat c) const
+{
+    if (tid < 0 || static_cast<size_t>(tid) >= threads.size())
+        return 0;
+    return threads[tid].cat[static_cast<int>(c)];
+}
+
+int64_t
+Profiler::lifetime(int32_t tid) const
+{
+    if (tid < 0 || static_cast<size_t>(tid) >= threads.size())
+        return 0;
+    const ThreadProf &t = threads[tid];
+    return (t.finished ? t.end : t.last) - t.start;
+}
+
+util::Json
+Profiler::criticalPath() const
+{
+    util::Json path = util::Json::object();
+    // Start from the last-finishing thread (ties: lowest tid).
+    int32_t start = -1;
+    int64_t best = -1;
+    for (size_t i = 0; i < threads.size(); ++i) {
+        if (!threads[i].started)
+            continue;
+        int64_t end = threads[i].finished ? threads[i].end
+                                          : threads[i].last;
+        if (end > best) {
+            best = end;
+            start = static_cast<int32_t>(i);
+        }
+    }
+    if (start < 0)
+        return path;
+
+    util::Json steps = util::Json::array();
+    std::set<std::pair<int32_t, size_t>> visited;
+    int64_t wait_ticks = 0;
+    int32_t tid = start;
+    int64_t cursor = best;
+    bool truncated = false;
+
+    while (true) {
+        if (steps.size() >= params_.maxPathSteps) {
+            truncated = true;
+            break;
+        }
+        const ThreadProf &t = threads[tid];
+        // Latest wait of `tid` resolved at or before the cursor.
+        size_t pick = t.waits.size();
+        for (size_t i = t.waits.size(); i-- > 0;) {
+            if (t.waits[i].wakeAt <= cursor) {
+                pick = i;
+                break;
+            }
+        }
+        if (pick == t.waits.size()) {
+            // No earlier wait: the chain continues through creation.
+            if (t.parent >= 0 && t.spawnAt <= cursor) {
+                util::Json s = util::Json::object();
+                s.set("type", "spawn");
+                s.set("tid", tid);
+                s.set("parent", t.parent);
+                s.set("at", t.spawnAt);
+                steps.push(std::move(s));
+                cursor = t.spawnAt;
+                tid = t.parent;
+                continue;
+            }
+            break;
+        }
+        if (!visited.insert({tid, pick}).second) {
+            truncated = true;
+            break;
+        }
+        const ThreadProf::Wait &w = t.waits[pick];
+        util::Json s = util::Json::object();
+        s.set("type", "wait");
+        s.set("tid", tid);
+        s.set("reason", w.reason);
+        s.set("block", w.blockAt);
+        s.set("wake", w.wakeAt);
+        s.set("waited", w.wakeAt - w.blockAt);
+        s.set("waker", w.waker);
+        steps.push(std::move(s));
+        wait_ticks += w.wakeAt - w.blockAt;
+        if (w.waker < 0)
+            break; // woken from event context: chain ends here
+        tid = w.waker;
+        cursor = w.wakeAt;
+    }
+
+    path.set("thread", start);
+    path.set("end", best);
+    path.set("wait_ticks", wait_ticks);
+    path.set("truncated", truncated);
+    path.set("steps", std::move(steps));
+    return path;
+}
+
+util::Json
+Profiler::pagesJson() const
+{
+    util::Json out = util::Json::object();
+    uint64_t touched = 0, bound = 0, misplaced = 0;
+    uint64_t fetches = 0, invals = 0, diffs = 0, diff_bytes = 0;
+    int max_node = -1;
+    for (const auto &[page, p] : pages) {
+        (void)page;
+        if (p.firstTouch >= 0)
+            ++touched;
+        if (p.home >= 0)
+            ++bound;
+        if (p.firstTouch >= 0 && p.home >= 0 && p.home != p.firstTouch)
+            ++misplaced;
+        fetches += p.fetches;
+        invals += p.invalidations;
+        diffs += p.diffs;
+        diff_bytes += p.diffBytes;
+        max_node = std::max(max_node, p.home);
+    }
+    out.set("touched", touched);
+    out.set("bound", bound);
+    out.set("misplaced", misplaced);
+    out.set("misplaced_pct",
+            touched ? 100.0 * static_cast<double>(misplaced) /
+                          static_cast<double>(touched)
+                    : 0.0);
+    out.set("fetches", fetches);
+    out.set("invalidations", invals);
+    out.set("diffs", diffs);
+    out.set("diff_bytes", diff_bytes);
+
+    util::Json per_node = util::Json::array();
+    for (int n = 0; n <= max_node; ++n) {
+        uint64_t count = 0;
+        for (const auto &[page, p] : pages) {
+            (void)page;
+            count += p.home == n;
+        }
+        per_node.push(count);
+    }
+    out.set("homes_per_node", std::move(per_node));
+
+    // Hot pages: fetches desc, page asc — bounded, deterministic.
+    std::vector<std::pair<uint64_t, const PageHeat *>> hot;
+    hot.reserve(pages.size());
+    for (const auto &[page, p] : pages)
+        hot.emplace_back(page, &p);
+    std::sort(hot.begin(), hot.end(), [](const auto &a, const auto &b) {
+        if (a.second->fetches != b.second->fetches)
+            return a.second->fetches > b.second->fetches;
+        return a.first < b.first;
+    });
+    if (hot.size() > params_.topPages)
+        hot.resize(params_.topPages);
+    util::Json top = util::Json::array();
+    for (const auto &[page, p] : hot) {
+        util::Json e = util::Json::object();
+        e.set("page", page);
+        e.set("home", p->home);
+        e.set("first_touch", p->firstTouch);
+        e.set("read_faults", p->readFaults);
+        e.set("write_faults", p->writeFaults);
+        e.set("fetches", p->fetches);
+        e.set("invalidations", p->invalidations);
+        e.set("diffs", p->diffs);
+        e.set("misplaced", p->firstTouch >= 0 && p->home >= 0 &&
+                               p->home != p->firstTouch);
+        top.push(std::move(e));
+    }
+    out.set("top", std::move(top));
+    return out;
+}
+
+util::Json
+Profiler::report() const
+{
+    util::Json doc = util::Json::object();
+    doc.set("schema", schemaName);
+    doc.set("schema_version", schemaVersion);
+
+    std::array<int64_t, kNumCats> totals{};
+    util::Json tarr = util::Json::array();
+    for (size_t i = 0; i < threads.size(); ++i) {
+        const ThreadProf &t = threads[i];
+        if (!t.started)
+            continue;
+        int64_t end = t.finished ? t.end : t.last;
+        util::Json e = util::Json::object();
+        e.set("tid", static_cast<int32_t>(i));
+        e.set("node", t.node);
+        e.set("start", t.start);
+        e.set("end", end);
+        e.set("lifetime", end - t.start);
+        e.set("finished", t.finished);
+        util::Json cats = util::Json::object();
+        for (int c = 0; c < kNumCats; ++c) {
+            cats.set(catName(static_cast<Cat>(c)), t.cat[c]);
+            totals[c] += t.cat[c];
+        }
+        e.set("categories", std::move(cats));
+        tarr.push(std::move(e));
+    }
+    doc.set("threads", std::move(tarr));
+
+    util::Json tot = util::Json::object();
+    for (int c = 0; c < kNumCats; ++c)
+        tot.set(catName(static_cast<Cat>(c)), totals[c]);
+    doc.set("totals", std::move(tot));
+
+    util::Json handler = util::Json::object();
+    handler.set("runs", handlerRuns);
+    handler.set("ticks", handlerTicks);
+    doc.set("handler", std::move(handler));
+
+    doc.set("pages", pagesJson());
+    doc.set("critical_path", criticalPath());
+    return doc;
+}
+
+bool
+validateProfileReport(const util::Json &doc, std::string *why)
+{
+    auto fail = [&](const std::string &msg) {
+        if (why)
+            *why = msg;
+        return false;
+    };
+    if (!doc.isObject())
+        return fail("document is not an object");
+    if (doc.get("schema").asString() != Profiler::schemaName)
+        return fail("schema is not " +
+                    std::string(Profiler::schemaName));
+    if (doc.get("schema_version").asInt() != Profiler::schemaVersion)
+        return fail("unsupported schema_version");
+    const util::Json &threads = doc.get("threads");
+    if (!threads.isArray())
+        return fail("threads missing or not an array");
+
+    std::array<int64_t, kNumCats> totals{};
+    for (size_t i = 0; i < threads.size(); ++i) {
+        const util::Json &t = threads.at(i);
+        if (!t.isObject())
+            return fail(csprintf("thread {} is not an object", i));
+        const util::Json &cats = t.get("categories");
+        if (!cats.isObject() ||
+            cats.members().size() != static_cast<size_t>(kNumCats)) {
+            return fail(csprintf(
+                "thread {} categories missing or wrong arity", i));
+        }
+        int64_t sum = 0;
+        for (int c = 0; c < kNumCats; ++c) {
+            const char *name = catName(static_cast<Cat>(c));
+            if (!cats.has(name))
+                return fail(csprintf("thread {} lacks category '{}'",
+                                     i, name));
+            int64_t v = cats.get(name).asInt();
+            if (v < 0)
+                return fail(csprintf(
+                    "thread {} category '{}' is negative", i, name));
+            sum += v;
+            totals[c] += v;
+        }
+        int64_t life = t.get("lifetime").asInt();
+        if (life != t.get("end").asInt() - t.get("start").asInt())
+            return fail(csprintf("thread {} lifetime != end - start", i));
+        if (sum != life) {
+            return fail(csprintf(
+                "thread {}: categories sum to {} but lifetime is {}",
+                i, sum, life));
+        }
+    }
+    const util::Json &tot = doc.get("totals");
+    if (!tot.isObject())
+        return fail("totals missing or not an object");
+    for (int c = 0; c < kNumCats; ++c) {
+        const char *name = catName(static_cast<Cat>(c));
+        if (tot.get(name).asInt() != totals[c])
+            return fail(csprintf("totals['{}'] does not match the "
+                                 "per-thread sum", name));
+    }
+    if (!doc.get("pages").isObject())
+        return fail("pages missing or not an object");
+    if (!doc.get("critical_path").isObject())
+        return fail("critical_path missing or not an object");
+    if (!doc.get("handler").isObject())
+        return fail("handler missing or not an object");
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// Process-global profile-everything mode
+// ---------------------------------------------------------------------
+
+namespace {
+
+bool profileAllRunsFlag = false;
+uint64_t profiledRuns = 0;
+
+util::Json &
+profileReportsStore()
+{
+    static util::Json reports = util::Json::array();
+    return reports;
+}
+
+} // namespace
+
+void
+setProfileAllRuns(bool enable)
+{
+    profileAllRunsFlag = enable;
+}
+
+bool
+profileAllRuns()
+{
+    return profileAllRunsFlag;
+}
+
+void
+accumulateProfileReport(util::Json report)
+{
+    profileReportsStore().push(std::move(report));
+    ++profiledRuns;
+}
+
+const util::Json &
+accumulatedProfileReports()
+{
+    return profileReportsStore();
+}
+
+uint64_t
+profiledRunCount()
+{
+    return profiledRuns;
+}
+
+void
+resetAccumulatedProfiles()
+{
+    profileReportsStore() = util::Json::array();
+    profiledRuns = 0;
+}
+
+} // namespace prof
+} // namespace cables

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Time-breakdown profiler: the Figure-5 attribution instrument.
+ *
+ * A Profiler observes one simulated run and answers "where did the time
+ * go, and which page on which node is at fault":
+ *
+ *  - Per-thread time breakdown. Every fiber's virtual lifetime is
+ *    attributed to an *exclusive* category stack (compute at the
+ *    bottom; mutex wait, barrier wait, cond wait, page fetch,
+ *    diff/write-back, thread/node management pushed by RAII scopes at
+ *    the instrumented sites). Attribution is segment-contiguous: each
+ *    hook charges [last-attribution-time, now] to the current stack
+ *    top, so per thread the category sums equal the thread's virtual
+ *    lifetime *exactly* — by construction, not by rounding.
+ *
+ *  - Page heat and misplacement. Per-page fault/fetch/invalidation/
+ *    diff counters plus the first faulting node and the home node,
+ *    aggregated into a home-placement quality report (the Figure 6
+ *    story: the 64 KByte mapping granularity binds whole granules to
+ *    the first toucher of *any* page in them, so neighbours first
+ *    touched by other nodes are misplaced).
+ *
+ *  - Critical path. block/wake hooks record wait intervals with their
+ *    waker (the happens-before edge); a deterministic backward walk
+ *    from the last-finishing thread names the longest chain of waits.
+ *
+ * Discipline: the profiler is a pure observer (never advances simulated
+ * time, never perturbs scheduling) behind a single branch per site when
+ * absent — the same contract as the tracer and the checker. Because the
+ * simulation is deterministic, report() is byte-reproducible for a
+ * fixed configuration.
+ *
+ * Layering: this library depends only on cables_util. Thread ids are
+ * raw int32_t (sim::ThreadId), ticks are int64_t nanoseconds
+ * (sim::Tick) and pages are uint64_t (svm::PageId) so the simulation
+ * engine itself can call into the profiler without a dependency cycle.
+ */
+
+#ifndef CABLES_PROF_PROFILER_HH
+#define CABLES_PROF_PROFILER_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/json.hh"
+
+namespace cables {
+namespace prof {
+
+/**
+ * Exclusive time categories. Compute is the implicit stack bottom;
+ * everything else is pushed/popped by scopes at instrumented sites.
+ * Handler is special: notification handlers run in event context (no
+ * fiber), so their CPU time is reported as a cluster-wide aggregate
+ * and per-thread handler time is always zero.
+ */
+enum class Cat : int
+{
+    Compute = 0,
+    MutexWait,
+    BarrierWait,
+    CondWait,
+    PageFetch,
+    DiffFlush,
+    Handler,
+    ThreadMgmt,
+};
+
+constexpr int kNumCats = 8;
+
+/** Stable snake_case name of a category (JSON keys, table headers). */
+const char *catName(Cat c);
+
+/** Knobs (defaults suit tests and benches). */
+struct ProfParams
+{
+    /** Hot pages listed in the report (ordered by fetches desc). */
+    size_t topPages = 16;
+
+    /** Cap on emitted critical-path steps (cycles are cut, not spun). */
+    size_t maxPathSteps = 256;
+};
+
+/**
+ * One profiler instance observes one run. Install it with
+ * cs::Runtime::setProfiler() before Runtime::run(); read report()
+ * after.
+ */
+class Profiler
+{
+  public:
+    static constexpr const char *schemaName = "cables-profile-report";
+    static constexpr int schemaVersion = 1;
+
+    explicit Profiler(const ProfParams &params = {});
+
+    Profiler(const Profiler &) = delete;
+    Profiler &operator=(const Profiler &) = delete;
+
+    /// @name Thread lifecycle (called by the simulation engine)
+    /// @{
+    void threadStarted(int32_t tid, int64_t at);
+    void threadFinished(int32_t tid, int64_t now);
+
+    /** Creation edge (parent -1 for the initial thread). */
+    void spawnEdge(int32_t parent, int32_t child, int64_t at);
+    /// @}
+
+    /** Node a thread runs on (report metadata; from the runtime). */
+    void setThreadNode(int32_t tid, int node);
+
+    /// @name Category stack (on the thread's own fiber)
+    /// @{
+
+    /** Attribute [last, now] to the current top, then push @p c. */
+    void enter(int32_t tid, Cat c, int64_t now);
+
+    /** Attribute [last, now] to the current top, then pop. */
+    void leave(int32_t tid, int64_t now);
+    /// @}
+
+    /// @name Wait intervals / happens-before edges (engine block/wake)
+    /// @{
+    void blockBegin(int32_t tid, const char *why, int64_t now);
+
+    /** @p waker is the waking thread, or -1 from event context. */
+    void blockEnd(int32_t tid, int32_t waker, int64_t at);
+    /// @}
+
+    /** Handler execution in event context (aggregate; see Cat). */
+    void handlerRun(int node, int64_t cpu);
+
+    /// @name Page heat (called by the SVM protocol)
+    /// @{
+
+    /** A fault of @p node on @p page; first fault fixes first_touch. */
+    void pageFaulted(uint64_t page, int node, bool write);
+
+    /** Page (re)bound with home @p node (bind or migration). */
+    void pageHomed(uint64_t page, int node);
+
+    /** A remote fetch of @p page by @p node. */
+    void pageFetched(uint64_t page, int node);
+
+    /** @p node's copy of @p page invalidated at acquire time. */
+    void pageInvalidated(uint64_t page, int node);
+
+    /** A diff of @p bytes flushed from @p node to @p page's home. */
+    void pageDiffed(uint64_t page, int node, uint64_t bytes);
+    /// @}
+
+    /**
+     * The full "cables-profile-report" v1 document (deterministic;
+     * byte-identical across identically-seeded runs).
+     */
+    util::Json report() const;
+
+    /** Attributed ticks of @p tid in category @p c (tests). */
+    int64_t categoryTicks(int32_t tid, Cat c) const;
+
+    /** Virtual lifetime of @p tid attributed so far (tests). */
+    int64_t lifetime(int32_t tid) const;
+
+  private:
+    struct ThreadProf
+    {
+        bool started = false;
+        bool finished = false;
+        int node = -1;
+        int32_t parent = -1;
+        int64_t spawnAt = 0;
+        int64_t start = 0;
+        int64_t last = 0;  ///< end of the last attributed segment
+        int64_t end = 0;   ///< valid when finished
+        std::vector<int> stack; ///< pushed categories (ints of Cat)
+        std::array<int64_t, kNumCats> cat{};
+
+        struct Wait
+        {
+            int64_t blockAt;
+            int64_t wakeAt;
+            int32_t waker;      ///< -1: woken from event context
+            const char *reason; ///< engine block reason (literal)
+        };
+        std::vector<Wait> waits;
+        int64_t pendingBlockAt = -1;
+        const char *pendingReason = "";
+    };
+
+    struct PageHeat
+    {
+        int firstTouch = -1; ///< first faulting node (-1: never faulted)
+        int home = -1;       ///< current home (-1: never bound)
+        uint64_t readFaults = 0;
+        uint64_t writeFaults = 0;
+        uint64_t fetches = 0;
+        uint64_t invalidations = 0;
+        uint64_t diffs = 0;
+        uint64_t diffBytes = 0;
+    };
+
+    ThreadProf &ts(int32_t tid);
+
+    /** Charge [last, now] to the stack top of @p t. */
+    void attribute(ThreadProf &t, int64_t now);
+
+    util::Json criticalPath() const;
+    util::Json pagesJson() const;
+
+    ProfParams params_;
+    std::vector<ThreadProf> threads;
+    std::map<uint64_t, PageHeat> pages; ///< ordered: deterministic JSON
+    uint64_t handlerRuns = 0;
+    int64_t handlerTicks = 0;
+};
+
+/**
+ * Validate a per-run "cables-profile-report" v1 document: schema tag,
+ * required sections, and — the tentpole invariant — that every
+ * thread's category breakdown sums exactly to its lifetime. On failure
+ * returns false and stores a reason in @p why.
+ */
+bool validateProfileReport(const util::Json &doc,
+                           std::string *why = nullptr);
+
+/// @name Process-global profile-everything mode
+///
+/// bench --profile flips a process-wide flag; the app harness then
+/// instruments every run it executes with a fresh Profiler and appends
+/// the report to a global array the bench driver reads at exit (the
+/// same shape as check::setCheckAllRuns).
+/// @{
+void setProfileAllRuns(bool enable);
+bool profileAllRuns();
+
+/** Append one run's report to the global array (bench --profile). */
+void accumulateProfileReport(util::Json report);
+
+/** All accumulated per-run reports, as a JSON array. */
+const util::Json &accumulatedProfileReports();
+uint64_t profiledRunCount();
+void resetAccumulatedProfiles();
+/// @}
+
+} // namespace prof
+} // namespace cables
+
+#endif // CABLES_PROF_PROFILER_HH

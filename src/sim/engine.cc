@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "prof/profiler.hh"
 #include "sim/trace.hh"
 #include "util/logging.hh"
 
@@ -24,6 +25,12 @@ Engine::spawn(std::string name, std::function<void()> fn, Tick start_at)
     if (tracer_) {
         tracer_->nameThread(0, id, threads.back()->name);
         tracer_->instant(start_at, 0, id, "sched", "spawn");
+    }
+    if (profiler_) {
+        profiler_->threadStarted(id, start_at);
+        profiler_->spawnEdge(currentThread ? currentThread->id
+                                           : InvalidThreadId,
+                             id, start_at);
     }
     return id;
 }
@@ -127,6 +134,8 @@ Engine::block(const char *why)
         tracer_->instant(t->now, 0, t->id, "sched", "block",
                          std::move(args));
     }
+    if (profiler_)
+        profiler_->blockBegin(t->id, why, t->now);
     ++switchCount;
     t->fiber.switchBack();
     panic_if(t->state != SimThread::State::Runnable,
@@ -144,6 +153,28 @@ Engine::wake(ThreadId tid, Tick at)
     makeReady(t);
     if (tracer_)
         tracer_->instant(t.now, 0, t.id, "sched", "wake");
+    if (profiler_) {
+        profiler_->blockEnd(tid, currentThread ? currentThread->id
+                                               : InvalidThreadId,
+                            t.now);
+    }
+}
+
+bool
+Engine::profEnter(prof::Cat c)
+{
+    if (!profiler_ || !currentThread)
+        return false;
+    profiler_->enter(currentThread->id, c, currentThread->now);
+    return true;
+}
+
+void
+Engine::profLeave()
+{
+    panic_if(!profiler_ || !currentThread,
+             "profLeave() without a matching profEnter()");
+    profiler_->leave(currentThread->id, currentThread->now);
 }
 
 void
@@ -183,6 +214,8 @@ Engine::run(bool allow_blocked)
             t->state = SimThread::State::Finished;
             if (tracer_)
                 tracer_->instant(t->now, 0, t->id, "sched", "finish");
+            if (profiler_)
+                profiler_->threadFinished(t->id, t->now);
         }
     }
 

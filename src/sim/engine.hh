@@ -28,6 +28,12 @@
 #include "sim/ticks.hh"
 
 namespace cables {
+
+namespace prof {
+class Profiler;
+enum class Cat : int;
+} // namespace prof
+
 namespace sim {
 
 class Tracer;
@@ -164,6 +170,25 @@ class Engine
     void setTracer(Tracer *t) { tracer_ = t; }
     Tracer *tracer() const { return tracer_; }
 
+    /**
+     * Install (or remove, with nullptr) a time-breakdown profiler.
+     * Thread lifecycle and block/wake intervals are recorded from here
+     * on; the engine does not own the profiler. Pure observer: installing
+     * one never changes simulated time.
+     */
+    void setProfiler(prof::Profiler *p) { profiler_ = p; }
+    prof::Profiler *profiler() const { return profiler_; }
+
+    /**
+     * Push category @p c on the current thread's attribution stack.
+     * Returns true iff a profiler is installed and a fiber is running
+     * (i.e. a matching profLeave() is owed). Prefer ProfScope.
+     */
+    bool profEnter(prof::Cat c);
+
+    /** Pop the current thread's attribution stack. */
+    void profLeave();
+
     /** Total fiber context switches performed (host-perf metric). */
     uint64_t switches() const { return switchCount; }
 
@@ -216,12 +241,40 @@ class Engine
 
     SimThread *currentThread = nullptr;
     Tracer *tracer_ = nullptr;
+    prof::Profiler *profiler_ = nullptr;
     uint64_t seqCounter = 0;
     uint64_t switchCount = 0;
     uint64_t eventCount = 0;
     Tick maxObservedTime = 0;
     bool running = false;
     bool stopped = false;
+};
+
+/**
+ * RAII category scope: pushes @p c on construction when a profiler is
+ * installed and a fiber is running, pops on destruction. Exception-safe
+ * (cancellation unwinds through instrumented sites) and free when no
+ * profiler is installed.
+ */
+class ProfScope
+{
+  public:
+    ProfScope(Engine &engine, prof::Cat c)
+        : engine_(engine), armed_(engine.profEnter(c))
+    {}
+
+    ~ProfScope()
+    {
+        if (armed_)
+            engine_.profLeave();
+    }
+
+    ProfScope(const ProfScope &) = delete;
+    ProfScope &operator=(const ProfScope &) = delete;
+
+  private:
+    Engine &engine_;
+    bool armed_;
 };
 
 /**

@@ -55,9 +55,8 @@ class Tracer
     complete(Tick start, Tick end, int pid, int tid, const char *cat,
              std::string name, util::Json args = util::Json())
     {
-        events_.push_back(TraceEvent{start, end - start, 'X', pid, tid,
-                                     cat, std::move(name),
-                                     std::move(args)});
+        record(TraceEvent{start, end - start, 'X', pid, tid, cat,
+                          std::move(name), std::move(args)});
     }
 
     /** A point event (Chrome 'i'). */
@@ -65,16 +64,34 @@ class Tracer
     instant(Tick ts, int pid, int tid, const char *cat,
             std::string name, util::Json args = util::Json())
     {
-        events_.push_back(TraceEvent{ts, 0, 'i', pid, tid, cat,
-                                     std::move(name), std::move(args)});
+        record(TraceEvent{ts, 0, 'i', pid, tid, cat, std::move(name),
+                          std::move(args)});
     }
 
     /** Name a thread lane in the viewer (Chrome 'M' metadata). */
     void nameThread(int pid, int tid, const std::string &name);
 
+    /**
+     * Bound the in-memory event buffer. Once @p cap events are held,
+     * further events are counted in dropped() and discarded, so long
+     * (e.g. --repeat) runs cannot grow without limit. Metadata ('M')
+     * records are exempt: thread names stay resolvable in the viewer.
+     */
+    void setCapacity(size_t cap) { capacity_ = cap; }
+    size_t capacity() const { return capacity_; }
+
+    /** Events discarded because the buffer was at capacity. */
+    uint64_t dropped() const { return dropped_; }
+
     const std::vector<TraceEvent> &events() const { return events_; }
     size_t size() const { return events_.size(); }
-    void clear() { events_.clear(); }
+
+    void
+    clear()
+    {
+        events_.clear();
+        dropped_ = 0;
+    }
 
     /**
      * Render the Chrome trace-event JSON document. Non-metadata events
@@ -87,7 +104,19 @@ class Tracer
     bool writeChrome(const std::string &path) const;
 
   private:
+    void
+    record(TraceEvent e)
+    {
+        if (events_.size() >= capacity_ && e.ph != 'M') {
+            ++dropped_;
+            return;
+        }
+        events_.push_back(std::move(e));
+    }
+
     std::vector<TraceEvent> events_;
+    size_t capacity_ = size_t(1) << 20;
+    uint64_t dropped_ = 0;
 };
 
 } // namespace sim

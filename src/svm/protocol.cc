@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "prof/profiler.hh"
 #include "sim/trace.hh"
 
 namespace cables {
@@ -52,6 +53,8 @@ Protocol::bindHome(PageId page, NodeId node)
     state[index(node, page)] = StateReadShared;
     cachedVersion[index(node, page)] = versions[page];
     ++stats[node].homeBindings;
+    if (auto *p = engine.profiler())
+        p->pageHomed(page, node);
 }
 
 void
@@ -79,7 +82,11 @@ Protocol::migratePage(PageId page, NodeId new_home)
     if (state[index(new_home, page)] == StateInvalid) {
         comm.fetch(new_home, old, pageSize + params_.diffHeaderBytes);
         ++stats[new_home].pagesFetched;
+        if (auto *p = engine.profiler())
+            p->pageFetched(page, new_home);
     }
+    if (auto *p = engine.profiler())
+        p->pageHomed(page, new_home);
     homes[page] = static_cast<int16_t>(new_home);
     versions[page] += 1;
     state[index(new_home, page)] = StateReadShared;
@@ -111,6 +118,7 @@ void
 Protocol::fault(NodeId node, PageId page, bool write)
 {
     engine.sync();
+    sim::ProfScope prof_scope(engine, prof::Cat::PageFetch);
     Tick trace_t0 = engine.now();
     engine.advance(params_.faultTrapCost);
 
@@ -129,6 +137,8 @@ Protocol::fault(NodeId node, PageId page, bool write)
         ++stats[node].writeFaults;
     else
         ++stats[node].readFaults;
+    if (auto *p = engine.profiler())
+        p->pageFaulted(page, node, write);
 
     if (s == StateInvalid) {
         if (node == h) {
@@ -140,6 +150,8 @@ Protocol::fault(NodeId node, PageId page, bool write)
                 fetchHook(node, h, page);
             comm.fetch(node, h, pageSize + params_.diffHeaderBytes);
             ++stats[node].pagesFetched;
+            if (auto *p = engine.profiler())
+                p->pageFetched(page, node);
             s = StateReadShared;
             cachedVersion[idx] = versions[page];
             noteRemoteUse(node, page);
@@ -210,6 +222,8 @@ Protocol::flushPage(NodeId node, PageId page)
         s = StateReadShared;
         ++stats[node].diffsFlushed;
         stats[node].diffBytes += diff;
+        if (auto *p = engine.profiler())
+            p->pageDiffed(page, node, diff);
         noteRemoteUse(node, page);
     } else {
         // Page was invalidated or freed while on the dirty list.
@@ -228,6 +242,7 @@ Protocol::release(NodeId node)
     if (dirtyList[node].empty())
         return;
     engine.sync();
+    sim::ProfScope prof_scope(engine, prof::Cat::DiffFlush);
     // Detach the work list: flushPage() yields inside comm.write and a
     // same-node thread may fault new pages dirty meanwhile; those
     // belong to *its* next release, and appending to the live vector
@@ -262,6 +277,7 @@ Protocol::acquireUpTo(NodeId node, uint64_t seq)
     uint64_t start = appliedSeq[node];
     if (seq <= start)
         return;
+    sim::ProfScope prof_scope(engine, prof::Cat::DiffFlush);
     Tick trace_t0 = engine.now();
     uint64_t n = seq - start;
     for (uint64_t i = start; i < seq; ++i) {
@@ -279,6 +295,8 @@ Protocol::acquireUpTo(NodeId node, uint64_t seq)
         }
         s = StateInvalid;
         ++stats[node].invalidations;
+        if (auto *p = engine.profiler())
+            p->pageInvalidated(rec.page, node);
     }
     // flushPage() above may have yielded and let a same-node thread
     // advance the applied counter further; never move it backwards.

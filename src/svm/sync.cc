@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "check/checker.hh"
+#include "prof/profiler.hh"
 
 namespace cables {
 namespace svm {
@@ -33,6 +34,7 @@ void
 LockTable::acquire(NodeId node, LockId id, AcquireInfo *info)
 {
     engine.sync();
+    sim::ProfScope prof_scope(engine, prof::Cat::MutexWait);
     Lock &l = locks.at(id);
     sim::ThreadId tid = engine.current()->id;
 
@@ -102,6 +104,7 @@ bool
 LockTable::tryAcquire(NodeId node, LockId id)
 {
     engine.sync();
+    sim::ProfScope prof_scope(engine, prof::Cat::MutexWait);
     Lock &l = locks.at(id);
     if (l.held)
         return false;
@@ -130,6 +133,9 @@ LockTable::tryAcquire(NodeId node, LockId id)
 void
 LockTable::release(NodeId node, LockId id)
 {
+    // Attribution: the nested proto.release() pushes DiffFlush on top,
+    // so diff time wins over the residual unlock bookkeeping.
+    sim::ProfScope prof_scope(engine, prof::Cat::MutexWait);
     // Release consistency: make our writes visible first.
     proto.release(node);
     engine.sync();
@@ -172,6 +178,9 @@ void
 BarrierTable::enter(NodeId node, BarrierId id, int count)
 {
     panic_if(count <= 0, "barrier with non-positive count");
+    // Attribution: diff time inside the entry flush goes to DiffFlush
+    // (nested scope); the wait itself to BarrierWait.
+    sim::ProfScope prof_scope(engine, prof::Cat::BarrierWait);
     proto.release(node);
     engine.sync();
     engine.advance(params_.barrierEntryCost);

@@ -62,15 +62,24 @@ class Stat
     }
 
     /**
-     * Approximate @p pct percentile (0 < pct <= 100): the representative
-     * value of the histogram bucket holding the sample of that rank,
-     * clamped into [min, max].
+     * Approximate @p pct percentile: the representative value of the
+     * histogram bucket holding the sample of that rank, clamped into
+     * [min, max]. Edge cases are exact: an empty accumulator reports 0,
+     * pct <= 0 reports min, pct >= 100 reports max, and a degenerate
+     * distribution (all samples equal, including n = 1) reports that
+     * value rather than a bucket centre.
      */
     double
     percentile(double pct) const
     {
         if (!count_)
             return 0.0;
+        if (pct <= 0.0)
+            return min_;
+        if (pct >= 100.0)
+            return max_;
+        if (min_ == max_)
+            return min_;
         double want = pct / 100.0 * static_cast<double>(count_);
         uint64_t rank = static_cast<uint64_t>(want);
         if (static_cast<double>(rank) < want)

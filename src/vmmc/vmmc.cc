@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "prof/profiler.hh"
+
 namespace cables {
 namespace vmmc {
 
@@ -200,7 +202,11 @@ Vmmc::notify(NodeId src, NodeId dst, int handler, uint64_t arg,
     engine.advance(network.params().hostIssueCost);
     Handler &fn = handlers[dst].at(handler);
     engine.schedule(dispatch + params_.handlerCpuCost,
-                    [&fn, src, arg]() { fn(src, arg); });
+                    [this, &fn, src, dst, arg]() {
+                        if (auto *p = engine.profiler())
+                            p->handlerRun(dst, params_.handlerCpuCost);
+                        fn(src, arg);
+                    });
 }
 
 void

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Direct unit tests for the Stat accumulator, focused on the
+ * percentile edge cases: empty, n = 1, p = 0 / 100, degenerate
+ * (all-duplicate) distributions, and merge behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/stats.hh"
+
+using namespace cables;
+
+TEST(Stats, EmptyReportsZeroEverywhere)
+{
+    Stat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.min(), 0.0);
+    EXPECT_EQ(s.max(), 0.0);
+    EXPECT_EQ(s.percentile(0.0), 0.0);
+    EXPECT_EQ(s.percentile(50.0), 0.0);
+    EXPECT_EQ(s.percentile(100.0), 0.0);
+}
+
+TEST(Stats, SingleSampleIsExactAtEveryPercentile)
+{
+    Stat s;
+    s.sample(42.0);
+    EXPECT_EQ(s.percentile(0.0), 42.0);
+    EXPECT_EQ(s.percentile(50.0), 42.0);
+    EXPECT_EQ(s.percentile(99.9), 42.0);
+    EXPECT_EQ(s.percentile(100.0), 42.0);
+}
+
+TEST(Stats, PZeroIsMinAndPHundredIsMax)
+{
+    Stat s;
+    s.sample(1.0);
+    s.sample(10.0);
+    s.sample(100.0);
+    EXPECT_EQ(s.percentile(0.0), 1.0);
+    EXPECT_EQ(s.percentile(-5.0), 1.0);
+    EXPECT_EQ(s.percentile(100.0), 100.0);
+    EXPECT_EQ(s.percentile(120.0), 100.0);
+    double p50 = s.percentile(50.0);
+    EXPECT_GE(p50, 1.0);
+    EXPECT_LE(p50, 100.0);
+}
+
+TEST(Stats, DuplicateValuesAreExactNotBucketCentres)
+{
+    Stat s;
+    for (int i = 0; i < 5; ++i)
+        s.sample(7.5);
+    EXPECT_EQ(s.percentile(0.0), 7.5);
+    EXPECT_EQ(s.percentile(25.0), 7.5);
+    EXPECT_EQ(s.percentile(50.0), 7.5);
+    EXPECT_EQ(s.percentile(90.0), 7.5);
+    EXPECT_EQ(s.percentile(100.0), 7.5);
+    EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(Stats, PercentilesAreMonotoneAndClamped)
+{
+    Stat s;
+    for (int i = 1; i <= 100; ++i)
+        s.sample(static_cast<double>(i));
+    double prev = s.percentile(0.0);
+    for (double p : {10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0}) {
+        double v = s.percentile(p);
+        EXPECT_GE(v, prev) << "at p" << p;
+        EXPECT_GE(v, s.min());
+        EXPECT_LE(v, s.max());
+        prev = v;
+    }
+}
+
+TEST(Stats, MergePreservesEdgePercentiles)
+{
+    Stat a, b;
+    a.sample(2.0);
+    a.sample(4.0);
+    b.sample(0.5);
+    b.sample(64.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_EQ(a.percentile(0.0), 0.5);
+    EXPECT_EQ(a.percentile(100.0), 64.0);
+}
+
+TEST(Stats, MergeIntoEmptyEqualsOriginal)
+{
+    Stat a, b;
+    b.sample(3.0);
+    b.sample(9.0);
+    a.merge(b);
+    EXPECT_TRUE(a == b);
+    EXPECT_EQ(a.percentile(0.0), 3.0);
+    EXPECT_EQ(a.percentile(100.0), 9.0);
+}

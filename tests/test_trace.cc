@@ -32,6 +32,34 @@ TEST(Tracer, RecordsSpansAndInstants)
     EXPECT_EQ(t.size(), 0u);
 }
 
+TEST(Tracer, CapacityBoundsTheBufferAndCountsDrops)
+{
+    sim::Tracer t;
+    t.setCapacity(4);
+    EXPECT_EQ(t.capacity(), 4u);
+    for (int i = 0; i < 10; ++i)
+        t.instant(i * 100, 0, 0, "sched", "tick");
+    EXPECT_EQ(t.size(), 4u);
+    EXPECT_EQ(t.dropped(), 6u);
+
+    // Complete events drop against the same cap...
+    t.complete(2000, 2100, 0, 1, "sync", "lock");
+    EXPECT_EQ(t.size(), 4u);
+    EXPECT_EQ(t.dropped(), 7u);
+
+    // ...but metadata is exempt: names must survive for the events
+    // that did make it into the buffer.
+    t.nameThread(0, 1, "worker");
+    EXPECT_EQ(t.size(), 5u);
+    EXPECT_EQ(t.dropped(), 7u);
+
+    t.clear();
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_EQ(t.dropped(), 0u);
+    t.instant(0, 0, 0, "sched", "tick");
+    EXPECT_EQ(t.size(), 1u);
+}
+
 TEST(Tracer, ExportIsParseableAndOrdered)
 {
     sim::Tracer t;
