@@ -36,6 +36,12 @@ usage(const std::string &bench, int code)
         "categories)\n"
         "  --profile-json <path>  write all profile reports as JSON "
         "(implies --profile)\n"
+        "  --placement <p>  restrict a placement sweep to one policy\n"
+        "                   (first-touch|round-robin|master-all|"
+        "affinity)\n"
+        "  --migration <p>  restrict a migration sweep to one policy\n"
+        "                   (off|threshold|epoch-heat)\n"
+        "  --migration-threshold <n>  threshold-policy run length\n"
         "  --help           this message\n",
         bench.c_str(), Report::schemaVersion);
     std::exit(code);
@@ -123,7 +129,14 @@ Options::parse(int argc, char **argv, const std::string &bench_name)
         else if (!std::strcmp(a, "--profile-json")) {
             o.profileJsonPath = argStr(argc, argv, i, bench_name);
             o.profile = true;
-        } else {
+        } else if (!std::strcmp(a, "--placement"))
+            o.placement = argStr(argc, argv, i, bench_name);
+        else if (!std::strcmp(a, "--migration"))
+            o.migration = argStr(argc, argv, i, bench_name);
+        else if (!std::strcmp(a, "--migration-threshold"))
+            o.migrationThreshold =
+                static_cast<int>(argNum(argc, argv, i, bench_name));
+        else {
             std::fprintf(stderr, "%s: unknown option '%s'\n",
                          bench_name.c_str(), a);
             usage(bench_name, 2);

@@ -68,6 +68,9 @@ struct Options
     std::string checkJsonPath; ///< --check-json target ("" = none)
     bool profile = false;  ///< --profile (time-breakdown profiling)
     std::string profileJsonPath; ///< --profile-json target ("" = none)
+    std::string placement; ///< --placement ("" = bench's default sweep)
+    std::string migration; ///< --migration ("" = bench's default sweep)
+    int migrationThreshold = 0; ///< --migration-threshold (0 = default)
 
     /**
      * Parse argv. Prints usage and exits on --help or on a malformed

@@ -102,7 +102,7 @@ MemoryManager::segmentOf(GAddr addr) const
 }
 
 GAddr
-MemoryManager::alloc(size_t len)
+MemoryManager::alloc(size_t len, NodeId affinity)
 {
     const bool base = rt.config().backend == Backend::BaseSvm;
     fatal_if(base && initSealed,
@@ -114,7 +114,7 @@ MemoryManager::alloc(size_t len)
     GAddr a = rt.space().alloc(len, pageSize);
     fatal_if(a == GNull, "out of global shared memory allocating {} "
              "bytes ({} in use)", len, rt.space().used());
-    segments[a] = Segment{a, len, true};
+    segments[a] = Segment{a, len, true, affinity};
     liveBytes_ += len;
     ++stats_.allocs;
 
@@ -235,6 +235,12 @@ MemoryManager::bindOnTouch(NodeId toucher, PageId page, bool write)
         break;
       case Placement::MasterAll:
         home = 0;
+        break;
+      case Placement::Affinity:
+        // The allocator said where this block's consumers run; a
+        // hint-less block degrades to first touch.
+        home = seg->affinity != net::InvalidNode ? seg->affinity
+                                                 : toucher;
         break;
     }
 

@@ -105,8 +105,14 @@ class MemoryManager
   public:
     explicit MemoryManager(Runtime &rt);
 
-    /** cs_malloc: allocate global shared memory. */
-    GAddr alloc(size_t len);
+    /**
+     * cs_malloc: allocate global shared memory. @p affinity is the
+     * allocator-site placement hint: under Placement::Affinity every
+     * granule of the block is homed there on first touch, wherever the
+     * toucher runs. InvalidNode means "no hint" (first-touch
+     * fallback).
+     */
+    GAddr alloc(size_t len, NodeId affinity = net::InvalidNode);
 
     /** cs_free: release a block (CableS backend only). */
     void free(GAddr addr);
@@ -147,6 +153,7 @@ class MemoryManager
         GAddr base;
         size_t len;
         bool live;
+        NodeId affinity; ///< allocator placement hint (InvalidNode: none)
     };
 
     /** Segment containing @p addr, or nullptr. */

@@ -11,6 +11,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 #include "net/network.hh"
 #include "svm/protocol.hh"
@@ -45,7 +46,39 @@ enum class Placement {
     FirstTouch, ///< granule homed at the node that first touches it
     RoundRobin, ///< granules homed round-robin over attached nodes
     MasterAll,  ///< everything homed on the master (worst case)
+    Affinity,   ///< allocator-site hint (g_malloc affinity) wins;
+                ///< falls back to first touch when no hint was given
 };
+
+/** Stable placement name ("first-touch", "round-robin", ...). */
+inline const char *
+placementName(Placement p)
+{
+    switch (p) {
+      case Placement::FirstTouch: return "first-touch";
+      case Placement::RoundRobin: return "round-robin";
+      case Placement::MasterAll:  return "master-all";
+      case Placement::Affinity:   return "affinity";
+    }
+    return "?";
+}
+
+/** Parse a placement name; returns false on an unknown name. */
+inline bool
+parsePlacement(const std::string &name, Placement *out)
+{
+    if (name == "first-touch")
+        *out = Placement::FirstTouch;
+    else if (name == "round-robin")
+        *out = Placement::RoundRobin;
+    else if (name == "master-all")
+        *out = Placement::MasterAll;
+    else if (name == "affinity")
+        *out = Placement::Affinity;
+    else
+        return false;
+    return true;
+}
 
 /** Host OS cost model (defaults: the paper's WindowsNT measurements). */
 struct OsParams

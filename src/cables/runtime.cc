@@ -683,9 +683,9 @@ Runtime::getSpecific(int key)
 // ---------------------------------------------------------------------
 
 GAddr
-Runtime::malloc(size_t len)
+Runtime::malloc(size_t len, NodeId affinity)
 {
-    GAddr a = memory_->alloc(len);
+    GAddr a = memory_->alloc(len, affinity);
     if (checker_ && a != GNull)
         checker_->memoryAllocated(a, len);
     return a;

@@ -222,8 +222,13 @@ class Runtime
     /// @name Dynamic global shared memory
     /// @{
 
-    /** Allocate @p len bytes of global shared memory (any time). */
-    GAddr malloc(size_t len);
+    /**
+     * Allocate @p len bytes of global shared memory (any time).
+     * @p affinity is the allocator-site placement hint consumed by
+     * Placement::Affinity (InvalidNode: no hint — the allocating
+     * node is NOT implied, callers opt in explicitly).
+     */
+    GAddr malloc(size_t len, NodeId affinity = net::InvalidNode);
 
     /** Free a block returned by malloc(). */
     void free(GAddr addr);

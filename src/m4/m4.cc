@@ -13,9 +13,9 @@ M4Env::M4Env(Runtime &rt) : rt(rt)
 {}
 
 GAddr
-M4Env::gMalloc(size_t bytes)
+M4Env::gMalloc(size_t bytes, NodeId affinity)
 {
-    return rt.malloc(bytes);
+    return rt.malloc(bytes, affinity);
 }
 
 int

@@ -26,6 +26,7 @@ namespace m4 {
 
 using cs::GAddr;
 using cs::Runtime;
+using net::NodeId;
 using sim::Tick;
 
 /** Handle to an M4 lock (LOCKDEC/LOCKINIT). */
@@ -45,15 +46,18 @@ class M4Env
 
     Runtime &runtime() { return rt; }
 
-    /** G_MALLOC: allocate global shared memory. */
-    GAddr gMalloc(size_t bytes);
+    /**
+     * G_MALLOC: allocate global shared memory. @p affinity is an
+     * optional allocator-site placement hint (see Runtime::malloc).
+     */
+    GAddr gMalloc(size_t bytes, NodeId affinity = net::InvalidNode);
 
     /** Typed G_MALLOC convenience. */
     template <typename T>
     cs::GArray<T>
-    gMallocArray(size_t n)
+    gMallocArray(size_t n, NodeId affinity = net::InvalidNode)
     {
-        return cs::GArray<T>(rt, gMalloc(n * sizeof(T)), n);
+        return cs::GArray<T>(rt, gMalloc(n * sizeof(T), affinity), n);
     }
 
     /** CREATE: start a worker. @return dense worker index (0-based). */

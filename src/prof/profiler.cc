@@ -267,6 +267,32 @@ Profiler::criticalPath() const
     return path;
 }
 
+std::vector<Profiler::PageHeatRecord>
+Profiler::heatSnapshot() const
+{
+    std::vector<PageHeatRecord> out;
+    out.reserve(pages.size());
+    for (const auto &[page, p] : pages) {
+        out.push_back(PageHeatRecord{page, p.firstTouch, p.home,
+                                     p.readFaults, p.writeFaults,
+                                     p.fetches, p.invalidations,
+                                     p.diffs, p.diffBytes});
+    }
+    return out;
+}
+
+uint64_t
+Profiler::misplacedPages() const
+{
+    uint64_t misplaced = 0;
+    for (const auto &[page, p] : pages) {
+        (void)page;
+        if (p.firstTouch >= 0 && p.home >= 0 && p.home != p.firstTouch)
+            ++misplaced;
+    }
+    return misplaced;
+}
+
 util::Json
 Profiler::pagesJson() const
 {

@@ -154,6 +154,32 @@ class Profiler
     /// @}
 
     /**
+     * One touched page's heat record, as observed so far. Exposed so
+     * placement policies and benches can be evaluated against the
+     * profiler's misplacement accounting; the protocol's own policy
+     * layer keeps independent counters (the profiler stays an optional
+     * pure observer).
+     */
+    struct PageHeatRecord
+    {
+        uint64_t page;
+        int firstTouch;  ///< first faulting node (-1: never faulted)
+        int home;        ///< current home (-1: never bound)
+        uint64_t readFaults;
+        uint64_t writeFaults;
+        uint64_t fetches;
+        uint64_t invalidations;
+        uint64_t diffs;
+        uint64_t diffBytes;
+    };
+
+    /** All touched pages, ordered by page id (deterministic). */
+    std::vector<PageHeatRecord> heatSnapshot() const;
+
+    /** Touched pages whose home differs from their first toucher. */
+    uint64_t misplacedPages() const;
+
+    /**
      * The full "cables-profile-report" v1 document (deterministic;
      * byte-identical across identically-seeded runs).
      */

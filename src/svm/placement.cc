@@ -1,0 +1,213 @@
+#include "svm/placement.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace cables {
+namespace svm {
+
+const char *
+migrationPolicyName(MigrationPolicy p)
+{
+    switch (p) {
+      case MigrationPolicy::Off:       return "off";
+      case MigrationPolicy::Threshold: return "threshold";
+      case MigrationPolicy::EpochHeat: return "epoch-heat";
+    }
+    return "?";
+}
+
+bool
+parseMigrationPolicy(const std::string &name, MigrationPolicy *out)
+{
+    if (name == "off")
+        *out = MigrationPolicy::Off;
+    else if (name == "threshold")
+        *out = MigrationPolicy::Threshold;
+    else if (name == "epoch-heat")
+        *out = MigrationPolicy::EpochHeat;
+    else
+        return false;
+    return true;
+}
+
+PlacementPolicy::PlacementPolicy(int nodes, size_t pages,
+                                 const PlacementParams &p)
+    : params_(p), numNodes(nodes), pageCount(pages)
+{
+    panic_if(params_.policy == MigrationPolicy::Threshold &&
+                 params_.threshold < 1,
+             "threshold migration policy needs a threshold >= 1, got {}",
+             params_.threshold);
+    switch (params_.policy) {
+      case MigrationPolicy::Off:
+        break;
+      case MigrationPolicy::Threshold:
+        lastUser.assign(pageCount, int16_t(InvalidNode));
+        useRun.assign(pageCount, 0);
+        break;
+      case MigrationPolicy::EpochHeat:
+        heat.assign(pageCount * nodes, 0);
+        pageHeat.assign(pageCount, 0);
+        everUsers.assign(pageCount, 0);
+        pending.assign(pageCount, int16_t(InvalidNode));
+        coolUntil.assign(pageCount, 0);
+        break;
+    }
+}
+
+NodeId
+PlacementPolicy::noteRemoteUse(NodeId node, PageId page, NodeId home,
+                               bool fetch)
+{
+    ++stats_.remoteUses;
+    switch (params_.policy) {
+      case MigrationPolicy::Off:
+        return InvalidNode;
+
+      case MigrationPolicy::Threshold:
+        // Check the counter in both branches: with threshold 1 the
+        // first use after a user change migrates immediately.
+        if (lastUser[page] != node) {
+            lastUser[page] = static_cast<int16_t>(node);
+            useRun[page] = 0;
+        }
+        if (++useRun[page] >=
+            static_cast<uint16_t>(params_.threshold)) {
+            useRun[page] = 0;
+            ++stats_.migrations;
+            return node;
+        }
+        return InvalidNode;
+
+      case MigrationPolicy::EpochHeat: {
+        uint32_t w = fetch ? params_.fetchWeight : params_.diffWeight;
+        if (pageHeat[page] == 0 && w > 0)
+            touched.push_back(page);
+        heat[heatIndex(page, node)] += w;
+        pageHeat[page] += w;
+        everUsers[page] |= uint64_t(1) << (node & 63);
+        if (++epochCounter >= params_.epochUses)
+            rebalance();
+        // A scheduled migration executes on the target's next use:
+        // right now its copy is valid (it just fetched or flushed), so
+        // the home takeover costs no extra page transfer.
+        if (pending[page] == node && node != home) {
+            pending[page] = int16_t(InvalidNode);
+            ++stats_.migrations;
+            return node;
+        }
+        if (pending[page] == home)
+            pending[page] = int16_t(InvalidNode);
+        return InvalidNode;
+      }
+    }
+    return InvalidNode;
+}
+
+void
+PlacementPolicy::rebalance()
+{
+    epochCounter = 0;
+    ++stats_.epochs;
+    size_t keep = 0;
+    for (PageId page : touched) {
+        if (pageHeat[page] == 0)
+            continue; // decayed to nothing in an earlier epoch
+        // Hottest node; ties break toward the lowest node id so the
+        // scan is deterministic.
+        uint32_t best = 0;
+        NodeId best_node = InvalidNode;
+        uint32_t total = 0;
+        for (NodeId n = 0; n < numNodes; ++n) {
+            uint32_t h = heat[heatIndex(page, n)];
+            total += h;
+            if (h > best) {
+                best = h;
+                best_node = n;
+            }
+        }
+        uint32_t rest = total - best;
+        // Sharers gate: the takeover's version bump invalidates every
+        // cached copy, so migrating a widely shared page trades its
+        // recurring savings for a refetch per sharer.
+        bool narrow =
+            params_.maxSharers <= 0 ||
+            __builtin_popcountll(everUsers[page]) <= params_.maxSharers;
+        if (stats_.epochs < coolUntil[page])
+            narrow = false; // recently migrated: sit this one out
+        if (narrow && best_node != InvalidNode &&
+            best >= params_.minHeat &&
+            static_cast<double>(best) >=
+                params_.hysteresis * static_cast<double>(rest)) {
+            if (pending[page] != best_node) {
+                pending[page] = static_cast<int16_t>(best_node);
+                ++stats_.rebalances;
+            }
+        }
+        // Decay (or clear) the epoch's heat; pages that stay warm keep
+        // influencing later epochs, cold pages age out.
+        uint32_t remaining = 0;
+        for (NodeId n = 0; n < numNodes; ++n) {
+            uint32_t &h = heat[heatIndex(page, n)];
+            h = params_.decay ? h / 2 : 0;
+            remaining += h;
+        }
+        pageHeat[page] = remaining;
+        if (remaining > 0)
+            touched[keep++] = page;
+    }
+    touched.resize(keep);
+}
+
+NodeId
+PlacementPolicy::pendingTarget(PageId page) const
+{
+    if (params_.policy != MigrationPolicy::EpochHeat)
+        return InvalidNode;
+    return pending[page];
+}
+
+void
+PlacementPolicy::forgetPage(PageId page)
+{
+    switch (params_.policy) {
+      case MigrationPolicy::Off:
+        break;
+      case MigrationPolicy::Threshold:
+        lastUser[page] = int16_t(InvalidNode);
+        useRun[page] = 0;
+        break;
+      case MigrationPolicy::EpochHeat:
+        for (NodeId n = 0; n < numNodes; ++n)
+            heat[heatIndex(page, n)] = 0;
+        pageHeat[page] = 0; // stays in `touched` until the next epoch
+        everUsers[page] = 0;
+        pending[page] = int16_t(InvalidNode);
+        coolUntil[page] = 0;
+        break;
+    }
+}
+
+void
+PlacementPolicy::noteMigrated(PageId page, NodeId new_home)
+{
+    if (params_.policy == MigrationPolicy::Threshold) {
+        lastUser[page] = int16_t(InvalidNode);
+        useRun[page] = 0;
+    } else if (params_.policy == MigrationPolicy::EpochHeat) {
+        if (pending[page] == new_home)
+            pending[page] = int16_t(InvalidNode);
+        // Cooldown: the page re-earns dominance from a clean slate
+        // before it may migrate again.
+        for (NodeId n = 0; n < numNodes; ++n)
+            heat[heatIndex(page, n)] = 0;
+        pageHeat[page] = 0;
+        coolUntil[page] =
+            static_cast<uint32_t>(stats_.epochs) + params_.cooldownEpochs;
+    }
+}
+
+} // namespace svm
+} // namespace cables

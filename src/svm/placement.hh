@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Home-placement and migration *policies* on top of the protocol's
+ * migration *mechanism*.
+ *
+ * The paper ships Protocol::migratePage() but deliberately no policy
+ * (Section 4); this layer adds pluggable ones:
+ *
+ *  - Off        — the paper's configuration: nothing migrates.
+ *  - Threshold  — after N consecutive remote uses (page fetches or
+ *                 diff flushes) of a page by the same node, the page's
+ *                 home migrates there. N = 1 means "migrate on the
+ *                 first remote use after the user changes".
+ *  - EpochHeat  — per-page, per-node heat counters (fetches weighted
+ *                 over diff flushes, since re-homing a page at its
+ *                 dominant *fetcher* removes a recurring fetch while
+ *                 re-homing at its writer only removes twin/diff
+ *                 work). Every @ref PlacementParams::epochUses remote
+ *                 uses the policy rebalances: a page whose hottest
+ *                 node beats the rest of the cluster by the hysteresis
+ *                 margin is marked for migration to that node. The
+ *                 migration itself executes lazily, the next time the
+ *                 chosen node uses the page remotely — at that moment
+ *                 the node holds a valid copy, so the mechanism's
+ *                 home-takeover is free of an extra page fetch, and
+ *                 the mechanism's "caller runs on the new home"
+ *                 contract holds by construction.
+ *
+ * The policy object is pure bookkeeping: it never advances simulated
+ * time and never touches protocol state. The protocol reports remote
+ * uses and executes the migrations the policy requests, so simulated
+ * results are a deterministic function of the configuration.
+ */
+
+#ifndef CABLES_SVM_PLACEMENT_HH
+#define CABLES_SVM_PLACEMENT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/network.hh"
+#include "svm/addr_space.hh"
+
+namespace cables {
+namespace svm {
+
+using net::NodeId;
+using net::InvalidNode;
+
+/** Which home-migration policy runs on top of the mechanism. */
+enum class MigrationPolicy { Off, Threshold, EpochHeat };
+
+/** Stable policy name ("off", "threshold", "epoch-heat"). */
+const char *migrationPolicyName(MigrationPolicy p);
+
+/** Parse a policy name; returns false on an unknown name. */
+bool parseMigrationPolicy(const std::string &name, MigrationPolicy *out);
+
+/** Policy knobs (defaults calibrated on the SPLASH ablations). */
+struct PlacementParams
+{
+    MigrationPolicy policy = MigrationPolicy::Off;
+
+    /** Threshold policy: consecutive same-node remote uses needed. */
+    int threshold = 4;
+
+    /** EpochHeat: cluster-wide remote uses per rebalancing epoch. */
+    uint64_t epochUses = 128;
+
+    /** EpochHeat: minimum heat of a challenger before it may win. */
+    uint64_t minHeat = 4;
+
+    /**
+     * EpochHeat: hysteresis margin — the hottest node's heat must be
+     * at least this multiple of the *rest of the cluster's* heat on
+     * the page before a migration is scheduled. Damps ping-ponging of
+     * pages shared evenly between nodes.
+     */
+    double hysteresis = 2.0;
+
+    /** EpochHeat: heat contributed by one remote page fetch. */
+    uint32_t fetchWeight = 4;
+
+    /** EpochHeat: heat contributed by one diff flush. */
+    uint32_t diffWeight = 1;
+
+    /**
+     * EpochHeat: never migrate a page more than this many distinct
+     * nodes have ever used remotely (0 disables the gate). The
+     * mechanism's home takeover bumps the page version, so every
+     * cached copy refetches after its next acquire — on widely shared
+     * pages those one-time refetches swamp the recurring savings.
+     */
+    int maxSharers = 2;
+
+    /**
+     * EpochHeat: epochs a page sits out after migrating before it may
+     * be scheduled again (damps ping-ponging under phase changes).
+     */
+    uint32_t cooldownEpochs = 4;
+
+    /** EpochHeat: epoch decay — heat is halved, not cleared. */
+    bool decay = true;
+};
+
+/** Policy-level event counters (published as "svm.placement_*"). */
+struct PlacementStats
+{
+    uint64_t remoteUses = 0;  ///< events reported by the protocol
+    uint64_t epochs = 0;      ///< EpochHeat rebalancing rounds
+    uint64_t rebalances = 0;  ///< pages marked for a new home
+    uint64_t migrations = 0;  ///< migrations actually requested
+};
+
+/**
+ * One policy instance serves one Protocol. The protocol reports every
+ * remote use; the policy answers "migrate this page to the caller now"
+ * (never to a third node: the mechanism requires the caller to run on
+ * the new home).
+ */
+class PlacementPolicy
+{
+  public:
+    PlacementPolicy(int nodes, size_t pages, const PlacementParams &p);
+
+    const PlacementParams &params() const { return params_; }
+    const PlacementStats &stats() const { return stats_; }
+
+    bool enabled() const
+    {
+        return params_.policy != MigrationPolicy::Off;
+    }
+
+    /**
+     * Record one remote use of @p page by @p node (a page fetch with
+     * weight fetchWeight when @p fetch, else a diff flush with weight
+     * diffWeight); @p home is the page's current home.
+     * @return the node the page should migrate to right now (always
+     *         @p node, whose copy is valid at both call sites), or
+     *         InvalidNode.
+     */
+    NodeId noteRemoteUse(NodeId node, PageId page, NodeId home,
+                         bool fetch);
+
+    /** The policy's pending migration target for @p page (tests). */
+    NodeId pendingTarget(PageId page) const;
+
+    /** Forget all per-page state of @p page (page freed/unbound). */
+    void forgetPage(PageId page);
+
+    /** The home of @p page moved (migration executed). */
+    void noteMigrated(PageId page, NodeId new_home);
+
+  private:
+    /** EpochHeat: scan touched pages, schedule rebalances, decay. */
+    void rebalance();
+
+    size_t
+    heatIndex(PageId page, NodeId node) const
+    {
+        return page * static_cast<size_t>(numNodes) + node;
+    }
+
+    PlacementParams params_;
+    int numNodes;
+    size_t pageCount;
+
+    // Threshold policy: last remote user and run length per page.
+    std::vector<int16_t> lastUser;
+    std::vector<uint16_t> useRun;
+
+    // EpochHeat policy.
+    std::vector<uint32_t> heat;       ///< per page x node
+    std::vector<uint32_t> pageHeat;   ///< per page (sum over nodes)
+    std::vector<uint64_t> everUsers;  ///< per page: remote-user bitmask
+    std::vector<PageId> touched;      ///< pages with nonzero heat
+    std::vector<int16_t> pending;     ///< per page: scheduled target
+    std::vector<uint32_t> coolUntil;  ///< per page: no rebalance before
+    uint64_t epochCounter = 0;
+
+    PlacementStats stats_;
+};
+
+} // namespace svm
+} // namespace cables
+
+#endif // CABLES_SVM_PLACEMENT_HH

@@ -20,27 +20,30 @@ Protocol::Protocol(sim::Engine &engine, vmmc::Vmmc &comm,
       cachedVersion(size_t(nodes) * pageCount, 0),
       dirtyList(nodes), twins(nodes), appliedSeq(nodes, 0), stats(nodes)
 {
-    if (params_.migrationThreshold > 0) {
-        lastUser.assign(pageCount, int16_t(InvalidNode));
-        useRun.assign(pageCount, 0);
+    PlacementParams pp = params_.placement;
+    if (pp.policy == MigrationPolicy::Off &&
+        params_.migrationThreshold > 0) {
+        // Legacy spelling of the threshold policy.
+        pp.policy = MigrationPolicy::Threshold;
+        pp.threshold = params_.migrationThreshold;
     }
+    if (pp.policy != MigrationPolicy::Off)
+        placement_ =
+            std::make_unique<PlacementPolicy>(nodes, pageCount, pp);
 }
 
 void
-Protocol::noteRemoteUse(NodeId node, PageId page)
+Protocol::noteRemoteUse(NodeId node, PageId page, bool fetch)
 {
-    if (params_.migrationThreshold <= 0)
+    if (!placement_)
         return;
-    if (lastUser[page] == node) {
-        if (++useRun[page] >= params_.migrationThreshold) {
-            useRun[page] = 0;
-            ++stats[node].migrations;
-            migratePage(page, node);
-        }
-    } else {
-        lastUser[page] = static_cast<int16_t>(node);
-        useRun[page] = 1;
-    }
+    NodeId target =
+        placement_->noteRemoteUse(node, page, homes[page], fetch);
+    if (target == InvalidNode || target == homes[page])
+        return;
+    ++stats[node].migrations;
+    migratePage(page, target);
+    placement_->noteMigrated(page, target);
 }
 
 void
@@ -68,6 +71,8 @@ Protocol::unbindPage(PageId page)
         twins[n].erase(page);
     }
     // Stale dirty-list entries are skipped at release time (state check).
+    if (placement_)
+        placement_->forgetPage(page);
 }
 
 void
@@ -78,6 +83,10 @@ Protocol::migratePage(PageId page, NodeId new_home)
     if (old == new_home)
         return;
     engine.sync();
+    // The home takeover's page pull is fetch work no matter which
+    // protocol path requested the migration (a release-triggered
+    // migration must not bill its fetch to DiffFlush).
+    sim::ProfScope prof_scope(engine, prof::Cat::PageFetch);
     // New home pulls the current primary copy, then takes over.
     if (state[index(new_home, page)] == StateInvalid) {
         comm.fetch(new_home, old, pageSize + params_.diffHeaderBytes);
@@ -154,7 +163,7 @@ Protocol::fault(NodeId node, PageId page, bool write)
                 p->pageFetched(page, node);
             s = StateReadShared;
             cachedVersion[idx] = versions[page];
-            noteRemoteUse(node, page);
+            noteRemoteUse(node, page, /*fetch=*/true);
         }
     }
 
@@ -222,9 +231,10 @@ Protocol::flushPage(NodeId node, PageId page)
         s = StateReadShared;
         ++stats[node].diffsFlushed;
         stats[node].diffBytes += diff;
+        stats[node].diffHeaderBytesSent += params_.diffHeaderBytes;
         if (auto *p = engine.profiler())
             p->pageDiffed(page, node, diff);
-        noteRemoteUse(node, page);
+        noteRemoteUse(node, page, /*fetch=*/false);
     } else {
         // Page was invalidated or freed while on the dirty list.
         return deposit;
@@ -233,6 +243,60 @@ Protocol::flushPage(NodeId node, PageId page)
     versions[page] += 1;
     cachedVersion[idx] = versions[page];
     flushLog.push_back(FlushRecord{page, versions[page]});
+    return deposit;
+}
+
+Tick
+Protocol::flushGroup(NodeId node, NodeId home,
+                     const std::vector<PageId> &pages)
+{
+    Tick deposit = engine.now();
+    size_t bytes = params_.diffHeaderBytes;
+    std::vector<PageId> flushed;
+    flushed.reserve(pages.size());
+    for (PageId p : pages) {
+        size_t idx = index(node, p);
+        uint8_t &s = state[idx];
+        // Re-check at diff time: a concurrent same-node acquire may
+        // have flushed (and invalidated) the page while an earlier
+        // group's write was in flight.
+        if (s != StateDirty)
+            continue;
+        if (homes[p] != home) {
+            // The home moved mid-release; flush individually to the
+            // current home.
+            deposit = std::max(deposit, flushPage(node, p));
+            continue;
+        }
+        size_t diff = diffSize(node, p);
+        engine.advance(params_.diffScanCost);
+        twins[node].erase(p);
+        s = StateReadShared;
+        ++stats[node].diffsFlushed;
+        stats[node].diffBytes += diff;
+        if (auto *prof = engine.profiler())
+            prof->pageDiffed(p, node, diff);
+        bytes += diff + params_.diffPageHeaderBytes;
+        flushed.push_back(p);
+    }
+    if (flushed.empty())
+        return deposit;
+    // One gather write delivers the whole group's diffs to the home:
+    // a single message header plus a small per-page sub-header.
+    deposit = std::max(deposit,
+                       comm.writeGather(node, home, bytes,
+                                        flushed.size()));
+    ++stats[node].diffBatches;
+    stats[node].diffHeaderBytesSent +=
+        params_.diffHeaderBytes +
+        flushed.size() * params_.diffPageHeaderBytes;
+    for (PageId p : flushed) {
+        versions[p] += 1;
+        cachedVersion[index(node, p)] = versions[p];
+        flushLog.push_back(FlushRecord{p, versions[p]});
+    }
+    for (PageId p : flushed)
+        noteRemoteUse(node, p, /*fetch=*/false);
     return deposit;
 }
 
@@ -251,8 +315,35 @@ Protocol::release(NodeId node)
     work.swap(dirtyList[node]);
     Tick trace_t0 = engine.now();
     Tick last_deposit = engine.now();
-    for (PageId p : work)
-        last_deposit = std::max(last_deposit, flushPage(node, p));
+    if (!params_.batchDiffFlush) {
+        for (PageId p : work)
+            last_deposit = std::max(last_deposit, flushPage(node, p));
+    } else {
+        // Group the dirty pages by home in first-seen order (the scan
+        // is deterministic); home-dirty pages need only a local notice
+        // and are handled inline.
+        std::vector<std::pair<NodeId, std::vector<PageId>>> groups;
+        for (PageId p : work) {
+            uint8_t s = state[index(node, p)];
+            if (s == StateHomeDirty) {
+                last_deposit = std::max(last_deposit,
+                                        flushPage(node, p));
+            } else if (s == StateDirty) {
+                NodeId h = homes[p];
+                auto it = std::find_if(
+                    groups.begin(), groups.end(),
+                    [&](const auto &g) { return g.first == h; });
+                if (it == groups.end())
+                    groups.emplace_back(h, std::vector<PageId>{p});
+                else
+                    it->second.push_back(p);
+            }
+            // else: invalidated or freed while on the dirty list.
+        }
+        for (auto &[h, pages] : groups)
+            last_deposit = std::max(last_deposit,
+                                    flushGroup(node, h, pages));
+    }
     // Release semantics: all diffs must be applied at their homes before
     // the release completes.
     if (last_deposit > engine.now())
@@ -281,7 +372,10 @@ Protocol::acquireUpTo(NodeId node, uint64_t seq)
     Tick trace_t0 = engine.now();
     uint64_t n = seq - start;
     for (uint64_t i = start; i < seq; ++i) {
-        const FlushRecord &rec = flushLog[i];
+        // Copy, don't reference: the nested flushPage() below appends
+        // to flushLog, and the push_back may reallocate the vector out
+        // from under a reference taken here.
+        const FlushRecord rec = flushLog[i];
         size_t idx = index(node, rec.page);
         if (homes[rec.page] == node)
             continue;
@@ -322,6 +416,8 @@ Protocol::totalStats() const
         t.twinsCreated += s.twinsCreated;
         t.diffsFlushed += s.diffsFlushed;
         t.diffBytes += s.diffBytes;
+        t.diffBatches += s.diffBatches;
+        t.diffHeaderBytesSent += s.diffHeaderBytesSent;
         t.invalidations += s.invalidations;
         t.homeBindings += s.homeBindings;
         t.migrations += s.migrations;
@@ -346,10 +442,18 @@ Protocol::publishMetrics(metrics::Registry &r) const
     r.counter("svm.twins_created") += t.twinsCreated;
     r.counter("svm.diffs_flushed") += t.diffsFlushed;
     r.counter("svm.diff_bytes") += t.diffBytes;
+    r.counter("svm.diff_batches") += t.diffBatches;
+    r.counter("svm.diff_header_bytes") += t.diffHeaderBytesSent;
     r.counter("svm.invalidations") += t.invalidations;
     r.counter("svm.home_bindings") += t.homeBindings;
     r.counter("svm.migrations") += t.migrations;
     r.counter("svm.write_notices") += flushLog.size();
+    PlacementStats ps;
+    if (placement_)
+        ps = placement_->stats();
+    r.counter("svm.placement_remote_uses") += ps.remoteUses;
+    r.counter("svm.placement_epochs") += ps.epochs;
+    r.counter("svm.placement_rebalances") += ps.rebalances;
 }
 
 } // namespace svm

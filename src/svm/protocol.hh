@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "svm/addr_space.hh"
+#include "svm/placement.hh"
 #include "util/metrics.hh"
 #include "vmmc/vmmc.hh"
 
@@ -68,11 +69,31 @@ struct ProtoParams
     size_t diffHeaderBytes = 32;
 
     /**
-     * Home-migration policy threshold (an extension: the paper ships
-     * the migration *mechanism* but no policy). After this many
-     * consecutive remote uses (fetches or diff flushes) of a page by
-     * the same node, the page's home migrates there. 0 disables the
-     * policy — the paper's configuration.
+     * Per-page sub-header bytes inside a batched diff message (the
+     * page id + diff directory entry of one page).
+     */
+    size_t diffPageHeaderBytes = 8;
+
+    /**
+     * Release-time diff batching (VMMC write coalescing): group the
+     * releaser's dirty pages by home and issue one aggregated remote
+     * write per home — a single diffHeaderBytes charge plus a
+     * diffPageHeaderBytes sub-header per page — instead of one
+     * fully-headered message per page.
+     */
+    bool batchDiffFlush = true;
+
+    /**
+     * Home-migration policy (an extension: the paper ships the
+     * migration *mechanism* but no policy — MigrationPolicy::Off, the
+     * default, matches the paper). See svm/placement.hh.
+     */
+    PlacementParams placement;
+
+    /**
+     * Legacy spelling of the threshold policy: a value > 0 selects
+     * MigrationPolicy::Threshold with this threshold when
+     * placement.policy is Off. 0 leaves placement in charge.
      */
     int migrationThreshold = 0;
 };
@@ -86,6 +107,8 @@ struct ProtoStats
     uint64_t twinsCreated = 0;
     uint64_t diffsFlushed = 0;
     uint64_t diffBytes = 0;
+    uint64_t diffBatches = 0;       ///< aggregated per-home diff writes
+    uint64_t diffHeaderBytesSent = 0; ///< header + sub-header bytes
     uint64_t invalidations = 0;
     uint64_t homeBindings = 0;
     uint64_t migrations = 0;
@@ -209,6 +232,12 @@ class Protocol
     ProtoStats totalStats() const;
     void resetStats();
 
+    /** The installed migration policy (null when Off). */
+    const PlacementPolicy *placementPolicy() const
+    {
+        return placement_.get();
+    }
+
     /** Publish cluster-wide protocol event counters under "svm.*". */
     void publishMetrics(metrics::Registry &r) const;
 
@@ -238,10 +267,17 @@ class Protocol
     void fault(NodeId node, PageId page, bool write);
 
     /** Migration policy: record a remote use, possibly migrating. */
-    void noteRemoteUse(NodeId node, PageId page);
+    void noteRemoteUse(NodeId node, PageId page, bool fetch);
 
     /** Flush one dirty page of @p node; returns deposit time. */
     Tick flushPage(NodeId node, PageId page);
+
+    /**
+     * Batched release: flush @p node's dirty pages homed at @p home as
+     * one aggregated diff message; returns the deposit time.
+     */
+    Tick flushGroup(NodeId node, NodeId home,
+                    const std::vector<PageId> &pages);
 
     /** Compute the diff size of a twinned page (word granularity). */
     size_t diffSize(NodeId node, PageId page) const;
@@ -272,9 +308,7 @@ class Protocol
     std::vector<FlushRecord> flushLog;
     std::vector<uint64_t> appliedSeq;     // per node
 
-    // Migration-policy state: last remote user and run length per page.
-    std::vector<int16_t> lastUser;
-    std::vector<uint8_t> useRun;
+    std::unique_ptr<PlacementPolicy> placement_;
 
     std::vector<ProtoStats> stats;        // per node
 };

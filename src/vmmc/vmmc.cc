@@ -160,6 +160,22 @@ Vmmc::write(NodeId src, NodeId dst, size_t bytes)
     return done;
 }
 
+Tick
+Vmmc::writeGather(NodeId src, NodeId dst, size_t bytes,
+                  size_t segments)
+{
+    engine.sync();
+    Tick start = engine.now();
+    Tick done = network.transfer(src, dst, bytes, start);
+    Tick extra = segments > 1
+                     ? params_.gatherSegmentCost * (segments - 1)
+                     : 0;
+    engine.advance(network.params().hostIssueCost + extra);
+    ++gatherWrites_;
+    gatherSegments_ += segments;
+    return done;
+}
+
 void
 Vmmc::writeSync(NodeId src, NodeId dst, size_t bytes)
 {
@@ -227,6 +243,8 @@ Vmmc::publishMetrics(metrics::Registry &r) const
     r.gauge("vmmc.max_node_regions") += static_cast<double>(max_regions);
     r.gauge("vmmc.max_node_registered_bytes") +=
         static_cast<double>(max_reg_bytes);
+    r.counter("vmmc.gather_writes") += gatherWrites_;
+    r.counter("vmmc.gather_segments") += gatherSegments_;
 }
 
 } // namespace vmmc

@@ -76,6 +76,13 @@ struct VmmcParams
     /** CPU time consumed by a notification handler dispatch. */
     Tick handlerCpuCost = 3 * US;
 
+    /**
+     * Per-additional-segment descriptor cost of a gather write (the
+     * NIC walks a scatter/gather list instead of a flat buffer; the
+     * first segment is covered by the ordinary host issue cost).
+     */
+    Tick gatherSegmentCost = 300; // 0.3 us
+
     /** Page size used for registration accounting. */
     size_t pageSize = 4096;
 };
@@ -186,6 +193,16 @@ class Vmmc
      */
     Tick write(NodeId src, NodeId dst, size_t bytes);
 
+    /**
+     * Gather write: deliver @p segments discontiguous source buffers
+     * totalling @p bytes as ONE network message (VMMC write
+     * coalescing). One wire transfer and one host issue, plus a small
+     * per-extra-segment descriptor cost.
+     * @return deposit completion time at the destination.
+     */
+    Tick writeGather(NodeId src, NodeId dst, size_t bytes,
+                     size_t segments);
+
     /** As write(), but the caller also waits for the deposit. */
     void writeSync(NodeId src, NodeId dst, size_t bytes);
 
@@ -234,6 +251,9 @@ class Vmmc
     std::vector<NicUsage> usage_;
     std::vector<std::vector<Region>> regions;   // per exporter node
     std::vector<std::vector<Handler>> handlers; // per node
+
+    uint64_t gatherWrites_ = 0;   ///< writeGather() messages
+    uint64_t gatherSegments_ = 0; ///< segments coalesced into them
 };
 
 } // namespace vmmc

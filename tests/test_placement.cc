@@ -1,0 +1,367 @@
+/**
+ * @file
+ * Placement/migration policy tests: policy name parsing and selection,
+ * the Threshold counter semantics (including the threshold-1 fix),
+ * EpochHeat scheduling with hysteresis and lazy consumption, run-level
+ * determinism under epoch-heat, the allocator-affinity placement, and
+ * the release-time diff-batching invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "apps/harness.hh"
+#include "apps/splash.hh"
+#include "cables/runtime.hh"
+#include "cables/shared.hh"
+#include "svm/placement.hh"
+#include "test_util.hh"
+
+using namespace cables;
+using namespace cables::test;
+using namespace cables::svm;
+using cables::apps::AppOut;
+using cables::cs::Backend;
+using cables::cs::ClusterConfig;
+using cables::cs::Placement;
+using cables::cs::Runtime;
+
+namespace {
+
+/** A MiniCluster whose protocol parameters the test chooses. */
+struct PolicyCluster
+{
+    PolicyCluster(int nodes, const ProtoParams &pp,
+                  size_t mem_bytes = 8 * 1024 * 1024)
+        : network(nodes, net::NetParams{}),
+          comm(engine, network, vmmc::VmmcParams{}),
+          space(mem_bytes),
+          proto(engine, comm, space, nodes, pp)
+    {
+        proto.setHomeBinder(
+            [this](net::NodeId toucher, PageId page, bool) {
+                proto.bindHome(page, toucher);
+                return toucher;
+            });
+    }
+
+    sim::Engine engine;
+    net::Network network;
+    vmmc::Vmmc comm;
+    AddressSpace space;
+    Protocol proto;
+
+    sim::ThreadId
+    spawn(std::string name, std::function<void()> fn)
+    {
+        return engine.spawn(std::move(name), std::move(fn), 0);
+    }
+
+    void run() { engine.run(); }
+};
+
+} // namespace
+
+TEST(PlacementPolicy, NamesParseAndRoundTrip)
+{
+    for (MigrationPolicy p : {MigrationPolicy::Off,
+                              MigrationPolicy::Threshold,
+                              MigrationPolicy::EpochHeat}) {
+        MigrationPolicy back;
+        ASSERT_TRUE(parseMigrationPolicy(migrationPolicyName(p), &back));
+        EXPECT_EQ(back, p);
+    }
+    MigrationPolicy out;
+    EXPECT_FALSE(parseMigrationPolicy("bogus", &out));
+
+    for (Placement p : {Placement::FirstTouch, Placement::RoundRobin,
+                        Placement::MasterAll, Placement::Affinity}) {
+        Placement back;
+        ASSERT_TRUE(cs::parsePlacement(cs::placementName(p), &back));
+        EXPECT_EQ(back, p);
+    }
+    Placement pout;
+    EXPECT_FALSE(cs::parsePlacement("bogus", &pout));
+}
+
+TEST(PlacementPolicy, ThresholdOneMigratesOnFirstRemoteUse)
+{
+    // The off-by-one this PR fixes: threshold 1 used to need two uses.
+    PlacementParams p;
+    p.policy = MigrationPolicy::Threshold;
+    p.threshold = 1;
+    PlacementPolicy pol(4, 16, p);
+    EXPECT_EQ(pol.noteRemoteUse(2, 5, 0, true), 2);
+    EXPECT_EQ(pol.stats().migrations, 1u);
+    // A different node's first use migrates immediately as well.
+    EXPECT_EQ(pol.noteRemoteUse(3, 5, 2, false), 3);
+    EXPECT_EQ(pol.stats().migrations, 2u);
+}
+
+TEST(PlacementPolicy, ThresholdTwoNeedsConsecutiveUses)
+{
+    PlacementParams p;
+    p.policy = MigrationPolicy::Threshold;
+    p.threshold = 2;
+    PlacementPolicy pol(4, 16, p);
+    // One use is not enough...
+    EXPECT_EQ(pol.noteRemoteUse(1, 7, 0, true), InvalidNode);
+    // ...two consecutive uses by the same node are.
+    EXPECT_EQ(pol.noteRemoteUse(1, 7, 0, false), 1);
+
+    // An interleaved other-node use resets the run.
+    EXPECT_EQ(pol.noteRemoteUse(1, 9, 0, true), InvalidNode);
+    EXPECT_EQ(pol.noteRemoteUse(2, 9, 0, true), InvalidNode);
+    EXPECT_EQ(pol.noteRemoteUse(1, 9, 0, true), InvalidNode);
+    EXPECT_EQ(pol.noteRemoteUse(1, 9, 0, true), 1);
+    // Counters are per page: page 7's run never influenced page 9.
+    EXPECT_EQ(pol.stats().migrations, 2u);
+}
+
+TEST(PlacementPolicy, EpochHeatSchedulesDominantUserAndConsumesLazily)
+{
+    PlacementParams p;
+    p.policy = MigrationPolicy::EpochHeat;
+    p.epochUses = 4;
+    p.minHeat = 3;
+    p.hysteresis = 1.5;
+    PlacementPolicy pol(4, 16, p);
+    // Three fetches by node 2 stay below the epoch boundary.
+    for (int i = 0; i < 3; ++i)
+        EXPECT_EQ(pol.noteRemoteUse(2, 5, 0, true), InvalidNode);
+    EXPECT_EQ(pol.pendingTarget(5), InvalidNode);
+    // The fourth use closes the epoch; node 2 owns all the heat, so the
+    // rebalance schedules it and the very same (valid-copy) use
+    // consumes the pending target.
+    EXPECT_EQ(pol.noteRemoteUse(2, 5, 0, true), 2);
+    EXPECT_EQ(pol.pendingTarget(5), InvalidNode);
+    EXPECT_EQ(pol.stats().epochs, 1u);
+    EXPECT_EQ(pol.stats().rebalances, 1u);
+    EXPECT_EQ(pol.stats().migrations, 1u);
+}
+
+TEST(PlacementPolicy, EpochHeatHysteresisDampsEvenSharing)
+{
+    PlacementParams p;
+    p.policy = MigrationPolicy::EpochHeat;
+    p.epochUses = 4;
+    p.minHeat = 3;
+    p.hysteresis = 1.5;
+    PlacementPolicy pol(4, 16, p);
+    // Nodes 1 and 2 share page 3 evenly: best == rest, and the 1.5x
+    // margin keeps the page where it is (no ping-pong).
+    EXPECT_EQ(pol.noteRemoteUse(1, 3, 0, true), InvalidNode);
+    EXPECT_EQ(pol.noteRemoteUse(2, 3, 0, true), InvalidNode);
+    EXPECT_EQ(pol.noteRemoteUse(1, 3, 0, true), InvalidNode);
+    EXPECT_EQ(pol.noteRemoteUse(2, 3, 0, true), InvalidNode);
+    EXPECT_EQ(pol.stats().epochs, 1u);
+    EXPECT_EQ(pol.stats().rebalances, 0u);
+    EXPECT_EQ(pol.pendingTarget(3), InvalidNode);
+}
+
+TEST(Placement, ProtocolSelectsPolicyFromParams)
+{
+    // Default: no policy object at all (the paper's configuration).
+    MiniCluster off(2);
+    EXPECT_EQ(off.proto.placementPolicy(), nullptr);
+
+    ProtoParams pp;
+    pp.placement.policy = MigrationPolicy::EpochHeat;
+    PolicyCluster heat(2, pp);
+    ASSERT_NE(heat.proto.placementPolicy(), nullptr);
+    EXPECT_EQ(heat.proto.placementPolicy()->params().policy,
+              MigrationPolicy::EpochHeat);
+
+    // The legacy knob maps onto the Threshold policy.
+    ProtoParams legacy;
+    legacy.migrationThreshold = 3;
+    PolicyCluster thr(2, legacy);
+    ASSERT_NE(thr.proto.placementPolicy(), nullptr);
+    EXPECT_EQ(thr.proto.placementPolicy()->params().policy,
+              MigrationPolicy::Threshold);
+    EXPECT_EQ(thr.proto.placementPolicy()->params().threshold, 3);
+}
+
+TEST(Placement, ThresholdOnePolicyMigratesOnFault)
+{
+    ProtoParams pp;
+    pp.placement.policy = MigrationPolicy::Threshold;
+    pp.placement.threshold = 1;
+    PolicyCluster c(2, pp);
+    GAddr a = c.space.alloc(4096);
+    c.spawn("t", [&]() {
+        c.proto.access(0, a, 8, true); // home: node 0
+        // Node 1's very first remote fetch re-homes the page there.
+        c.proto.access(1, a, 8, false);
+        EXPECT_EQ(c.proto.home(pageOf(a)), 1);
+        EXPECT_EQ(c.proto.nodeStats(1).migrations, 1u);
+    });
+    c.run();
+}
+
+TEST(Placement, EpochHeatRunsAreDeterministic)
+{
+    // Two identical epoch-heat runs must be byte-identical: same
+    // simulated time, same final home map, same metrics JSON.
+    auto once = [](AppOut &out) {
+        ClusterConfig cfg = apps::splashConfig(Backend::CableS, 4);
+        cfg.proto.placement.policy = MigrationPolicy::EpochHeat;
+        return apps::runProgram(cfg, [&](Runtime &rt,
+                                         apps::RunResult &res) {
+            m4::M4Env env(rt);
+            for (const auto &e : apps::splashSuite())
+                if (e.name == std::string("FFT"))
+                    e.run(env, 4, out);
+        });
+    };
+    AppOut o1, o2;
+    apps::RunResult r1 = once(o1);
+    apps::RunResult r2 = once(o2);
+    EXPECT_TRUE(o1.valid);
+    EXPECT_EQ(o1.checksum, o2.checksum);
+    EXPECT_EQ(r1.total, r2.total);
+    EXPECT_EQ(r1.homes, r2.homes);
+    EXPECT_EQ(r1.metrics.toJson().dump(), r2.metrics.toJson().dump());
+    // The policy actually did something in this run.
+    EXPECT_GT(r1.metrics.counters.at("svm.placement_epochs"), 0u);
+}
+
+TEST(Placement, AffinityHintHomesGranuleAtHintedNode)
+{
+    ClusterConfig cfg;
+    cfg.backend = Backend::CableS;
+    cfg.nodes = 4;
+    cfg.procsPerNode = 2;
+    cfg.maxThreadsPerNode = 2;
+    cfg.sharedBytes = 32 * 1024 * 1024;
+    cfg.placement = Placement::Affinity;
+    Runtime rt(cfg);
+    rt.run([&]() {
+        const size_t gran = cfg.os.mapGranularity;
+        // Hinted block: all granules home at node 1 even though the
+        // master (node 0) touches them first.
+        GAddr hinted = rt.malloc(4 * gran, 1);
+        // Hint-less block: degrades to first touch.
+        GAddr plain = rt.malloc(gran);
+        for (int g = 0; g < 4; ++g)
+            rt.write<int64_t>(hinted + g * gran, g);
+        rt.write<int64_t>(plain, 7);
+        for (int g = 0; g < 4; ++g)
+            EXPECT_EQ(rt.protocol().home(pageOf(hinted + g * gran)), 1);
+        EXPECT_EQ(rt.protocol().home(pageOf(plain)), 0);
+    });
+}
+
+TEST(Placement, FirstTouchIgnoresAffinityHint)
+{
+    ClusterConfig cfg;
+    cfg.backend = Backend::CableS;
+    cfg.nodes = 4;
+    cfg.procsPerNode = 2;
+    cfg.maxThreadsPerNode = 2;
+    cfg.sharedBytes = 32 * 1024 * 1024;
+    cfg.placement = Placement::FirstTouch; // the default
+    Runtime rt(cfg);
+    rt.run([&]() {
+        GAddr a = rt.malloc(cfg.os.mapGranularity, 1);
+        rt.write<int64_t>(a, 1);
+        EXPECT_EQ(rt.protocol().home(pageOf(a)), 0);
+    });
+}
+
+namespace {
+
+/**
+ * Drive K remote-dirty pages through one release and report the stats
+ * the batching invariant is about. Node 0 homes the pages, node 1
+ * dirties one word in each, then releases once.
+ */
+struct FlushOutcome
+{
+    uint64_t diffsFlushed;
+    uint64_t diffBytes;
+    uint64_t diffBatches;
+    uint64_t diffHeaderBytes;
+    uint64_t messages;
+    uint64_t netBytes;
+};
+
+FlushOutcome
+runRelease(const ProtoParams &pp, int k)
+{
+    PolicyCluster c(2, pp);
+    GAddr a = c.space.alloc(k * 4096);
+    FlushOutcome out{};
+    c.spawn("t", [&]() {
+        c.proto.access(0, a, k * 4096, true); // home all pages at 0
+        c.proto.release(0);
+        c.proto.access(1, a, k * 4096, true); // twin all pages at 1
+        for (int i = 0; i < k; ++i)
+            *c.space.hostAs<uint64_t>(a + i * 4096) += 1;
+        uint64_t msgs0 = c.network.stats().messages;
+        uint64_t bytes0 = c.network.stats().bytes;
+        c.proto.release(1);
+        const auto &s = c.proto.nodeStats(1);
+        out = FlushOutcome{s.diffsFlushed, s.diffBytes, s.diffBatches,
+                           s.diffHeaderBytesSent,
+                           c.network.stats().messages - msgs0,
+                           c.network.stats().bytes - bytes0};
+    });
+    c.run();
+    return out;
+}
+
+} // namespace
+
+TEST(Placement, DiffBatchingConservesDiffsAndCutsHeaders)
+{
+    const int k = 6;
+    ProtoParams batched; // batchDiffFlush defaults to true
+    ProtoParams unbatched;
+    unbatched.batchDiffFlush = false;
+    FlushOutcome b = runRelease(batched, k);
+    FlushOutcome u = runRelease(unbatched, k);
+
+    // The invariant: batching changes the framing, never the payload.
+    EXPECT_EQ(b.diffsFlushed, u.diffsFlushed);
+    EXPECT_EQ(b.diffsFlushed, uint64_t(k));
+    EXPECT_EQ(b.diffBytes, u.diffBytes);
+    EXPECT_EQ(b.diffBytes, uint64_t(k) * sizeof(uint64_t));
+
+    // One aggregated write per home vs one message per page.
+    EXPECT_EQ(b.diffBatches, 1u);
+    EXPECT_EQ(u.diffBatches, 0u);
+    EXPECT_EQ(b.diffHeaderBytes,
+              batched.diffHeaderBytes + k * batched.diffPageHeaderBytes);
+    EXPECT_EQ(u.diffHeaderBytes, uint64_t(k) * batched.diffHeaderBytes);
+    EXPECT_LT(b.diffHeaderBytes, u.diffHeaderBytes);
+    EXPECT_LT(b.messages, u.messages);
+    EXPECT_LT(b.netBytes, u.netBytes);
+}
+
+TEST(Placement, DiffBatchingGroupsByHome)
+{
+    ProtoParams pp;
+    PolicyCluster c(3, pp);
+    GAddr a = c.space.alloc(6 * 4096);
+    c.spawn("t", [&]() {
+        // Three pages homed at node 0, three at node 2.
+        c.proto.access(0, a, 3 * 4096, true);
+        c.proto.access(2, a + 3 * 4096, 3 * 4096, true);
+        c.proto.release(0);
+        c.proto.release(2);
+        // Node 1 dirties all six and releases once: one gather write
+        // per home.
+        c.proto.access(1, a, 6 * 4096, true);
+        for (int i = 0; i < 6; ++i)
+            *c.space.hostAs<uint64_t>(a + i * 4096) += 1;
+        c.proto.release(1);
+        const auto &s = c.proto.nodeStats(1);
+        EXPECT_EQ(s.diffsFlushed, 6u);
+        EXPECT_EQ(s.diffBatches, 2u);
+        EXPECT_EQ(s.diffHeaderBytesSent,
+                  2 * pp.diffHeaderBytes + 6 * pp.diffPageHeaderBytes);
+    });
+    c.run();
+}

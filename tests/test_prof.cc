@@ -16,6 +16,7 @@
 #include "apps/pthread_apps.hh"
 #include "apps/splash.hh"
 #include "prof/profiler.hh"
+#include "test_util.hh"
 #include "util/json.hh"
 
 using namespace cables;
@@ -337,4 +338,29 @@ TEST(ProfilerSuite, CriticalPathOnARealRunIsSane)
         }
     }
     EXPECT_EQ(waited, cp.get("wait_ticks").asInt());
+}
+
+TEST(ProfAttribution, MigrationDuringReleaseBillsFetchToPageFetch)
+{
+    // Regression: migratePage()'s page pull ran under the *caller's*
+    // category, so a release-triggered migration billed its fetch to
+    // DiffFlush. The fetch dominates this run by orders of magnitude,
+    // so the category comparison is a robust signal.
+    test::MiniCluster c(2);
+    prof::Profiler p;
+    c.engine.setProfiler(&p);
+    svm::GAddr a = c.space.alloc(4096);
+    sim::ThreadId tid = c.spawn("t", [&]() {
+        c.proto.access(0, a, 8, true); // home + current copy at node 0
+        c.proto.release(0);
+        ASSERT_FALSE(c.proto.valid(1, svm::pageOf(a), false));
+        // Migrate from inside a DiffFlush scope, the way a release-path
+        // policy migration runs.
+        sim::ProfScope scope(c.engine, Cat::DiffFlush);
+        c.proto.migratePage(svm::pageOf(a), 1);
+    });
+    c.run();
+    EXPECT_EQ(c.proto.nodeStats(1).pagesFetched, 1u);
+    EXPECT_GT(p.categoryTicks(tid, Cat::PageFetch),
+              p.categoryTicks(tid, Cat::DiffFlush));
 }

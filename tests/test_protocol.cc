@@ -257,3 +257,30 @@ TEST(Protocol, FetchHookFiresPerRemoteFetch)
     c.run();
     EXPECT_EQ(hook_calls, 1);
 }
+
+TEST(Protocol, AcquireSurvivesFlushLogReallocation)
+{
+    // Regression: acquireUpTo() held a *reference* into flushLog while
+    // the nested flushPage() (concurrent-writer notices) appended to
+    // it; enough notices reallocate the vector mid-loop and the
+    // reference dangles. Enough pages that any growth factor < 2x
+    // from the release's own appends must reallocate during acquire.
+    const int n = 300;
+    MiniCluster c(2);
+    GAddr a = c.space.alloc(n * 4096);
+    c.spawn("t", [&]() {
+        c.proto.access(0, a, n * 4096, true); // home everything at 0
+        c.proto.access(1, a, n * 4096, true); // node 1: fetch + twin
+        c.proto.release(0);                   // n notices, version 1
+        uint64_t seq = c.proto.flushSeq();
+        EXPECT_EQ(seq, uint64_t(n));
+        // Every notice hits a page node 1 holds dirty: each one first
+        // flushes node 1's diff (appending a new notice to flushLog),
+        // then invalidates the copy.
+        c.proto.acquireUpTo(1, seq);
+        EXPECT_EQ(c.proto.nodeStats(1).diffsFlushed, uint64_t(n));
+        EXPECT_EQ(c.proto.nodeStats(1).invalidations, uint64_t(n));
+        EXPECT_EQ(c.proto.flushSeq(), uint64_t(2 * n));
+    });
+    c.run();
+}
