@@ -56,8 +56,9 @@ main(int argc, char **argv)
                 cfg.os.mapGranularity = g;
                 AppOut out;
                 RunOptions ro;
+                ro.engine = opts.engineConfig();
                 if (first)
-                    ro.tracer = tracer;
+                    ro.instr.tracer = tracer;
                 first = false;
                 RunResult r = runProgram(cfg,
                                          [&](Runtime &rt,

@@ -79,13 +79,14 @@ main(int argc, char **argv)
                 cfg.proto.placement.threshold = threshold;
                 AppOut out;
                 RunOptions ro;
+                ro.engine = opts.engineConfig();
                 if (first)
-                    ro.tracer = tracer;
+                    ro.instr.tracer = tracer;
                 first = false;
                 // A per-run profiler feeds the misplaced column (it is
                 // a pure observer: results are identical without it).
                 prof::Profiler profiler;
-                ro.profiler = &profiler;
+                ro.instr.profiler = &profiler;
                 RunResult r = runProgram(cfg,
                                          [&](Runtime &rt,
                                              RunResult &res) {
@@ -95,8 +96,9 @@ main(int argc, char **argv)
                                          ro);
                 rep.addRow({app, svm::migrationPolicyName(pol),
                             sim::toMs(out.parallel),
-                            r.proto.migrations, r.proto.pagesFetched,
-                            r.proto.diffsFlushed,
+                            r.counter("svm.migrations"),
+                            r.counter("svm.pages_fetched"),
+                            r.counter("svm.diffs_flushed"),
                             profiler.misplacedPages(),
                             out.valid ? "ok" : "INVALID"},
                            util::Json(), app);

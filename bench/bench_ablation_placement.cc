@@ -143,8 +143,9 @@ main(int argc, char **argv)
                 cfg.placement = pol.p;
                 AppOut out;
                 RunOptions ro;
+                ro.engine = opts.engineConfig();
                 if (first)
-                    ro.tracer = tracer;
+                    ro.instr.tracer = tracer;
                 first = false;
                 RunResult r = runProgram(cfg,
                                          [&](Runtime &rt,
@@ -154,7 +155,8 @@ main(int argc, char **argv)
                                          },
                                          ro);
                 rep.addRow({app, pol.name, sim::toMs(out.parallel),
-                            r.proto.pagesFetched, r.proto.diffsFlushed,
+                            r.counter("svm.pages_fetched"),
+                            r.counter("svm.diffs_flushed"),
                             out.valid ? "ok" : "INVALID"},
                            util::Json(), app);
                 rep.attachMetrics(r.metrics);
@@ -165,12 +167,16 @@ main(int argc, char **argv)
             ClusterConfig cfg = splashConfig(Backend::CableS, np);
             cfg.placement = pol.p;
             AppOut out;
+            RunOptions ro;
+            ro.engine = opts.engineConfig();
             RunResult r = runProgram(cfg,
                                      [&](Runtime &rt, RunResult &res) {
                                          runPartition(rt, np, out);
-                                     });
+                                     },
+                                     ro);
             rep.addRow({"PARTN", pol.name, sim::toMs(out.parallel),
-                        r.proto.pagesFetched, r.proto.diffsFlushed,
+                        r.counter("svm.pages_fetched"),
+                        r.counter("svm.diffs_flushed"),
                         out.valid ? "ok" : "INVALID"},
                        util::Json(), "PARTN");
             rep.attachMetrics(r.metrics);

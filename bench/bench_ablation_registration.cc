@@ -34,6 +34,7 @@ struct Usage
 
 Usage
 oceanUsage(Backend b, int np, size_t region_limit,
+           const sim::EngineConfig &engine,
            sim::Tracer *tracer = nullptr)
 {
     ClusterConfig cfg = splashConfig(b, np);
@@ -41,7 +42,8 @@ oceanUsage(Backend b, int np, size_t region_limit,
     AppOut out;
     size_t max_regions = 0, max_bytes = 0;
     RunOptions ro;
-    ro.tracer = tracer;
+    ro.engine = engine;
+    ro.instr.tracer = tracer;
     RunResult r = runProgram(cfg,
                              [&](Runtime &rt, RunResult &res) {
                                  m4::M4Env env(rt);
@@ -84,7 +86,7 @@ main(int argc, char **argv)
         for (int np : opts.procList({4, 8, 16, 32})) {
             for (Backend b : {Backend::BaseSvm, Backend::CableS}) {
                 // Effectively no cap.
-                Usage u = oceanUsage(b, np, 1u << 20,
+                Usage u = oceanUsage(b, np, 1u << 20, opts.engineConfig(),
                                      first ? tracer : nullptr);
                 first = false;
                 rep.addRow({"usage",
@@ -100,7 +102,7 @@ main(int argc, char **argv)
         // Region-limit sweep at 32 procs (the paper anecdote).
         for (size_t limit : {256, 512, 1024, 4096}) {
             for (Backend b : {Backend::BaseSvm, Backend::CableS}) {
-                Usage u = oceanUsage(b, 32, limit);
+                Usage u = oceanUsage(b, 32, limit, opts.engineConfig());
                 rep.addRow({"limit-sweep",
                             b == Backend::BaseSvm ? "base" : "cables",
                             32, limit, u.maxRegions, u.maxRegisteredMb,

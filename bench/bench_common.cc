@@ -42,6 +42,11 @@ usage(const std::string &bench, int code)
         "  --migration <p>  restrict a migration sweep to one policy\n"
         "                   (off|threshold|epoch-heat)\n"
         "  --migration-threshold <n>  threshold-policy run length\n"
+        "  --engine-threads <n>  simulate on n host worker threads\n"
+        "                   (0 = serial; default: CABLES_ENGINE_THREADS\n"
+        "                   or serial)\n"
+        "  --engine-lookahead <ticks>  parallel-engine lookahead window\n"
+        "                   (default: the network's minimum latency)\n"
         "  --help           this message\n",
         bench.c_str(), Report::schemaVersion);
     std::exit(code);
@@ -136,6 +141,11 @@ Options::parse(int argc, char **argv, const std::string &bench_name)
         else if (!std::strcmp(a, "--migration-threshold"))
             o.migrationThreshold =
                 static_cast<int>(argNum(argc, argv, i, bench_name));
+        else if (!std::strcmp(a, "--engine-threads"))
+            o.engineThreads =
+                static_cast<int>(argNum(argc, argv, i, bench_name));
+        else if (!std::strcmp(a, "--engine-lookahead"))
+            o.engineLookahead = argNum(argc, argv, i, bench_name);
         else {
             std::fprintf(stderr, "%s: unknown option '%s'\n",
                          bench_name.c_str(), a);
@@ -145,6 +155,19 @@ Options::parse(int argc, char **argv, const std::string &bench_name)
     if (o.repeat < 1)
         o.repeat = 1;
     return o;
+}
+
+sim::EngineConfig
+Options::engineConfig() const
+{
+    sim::EngineConfig cfg = engineThreads >= 0
+                                ? sim::EngineConfig::forThreads(
+                                      engineThreads)
+                                : sim::EngineConfig::fromEnv();
+    if (engineLookahead >= 0)
+        cfg.lookahead = engineLookahead;
+    cfg.validate();
+    return cfg;
 }
 
 std::vector<int>
@@ -377,6 +400,8 @@ runBench(const Options &opts, const BenchBody &body)
 
     Report rep(opts.bench);
     rep.setConfig("seed", opts.seed);
+    if (opts.engineThreads >= 0)
+        rep.setConfig("engine", opts.engineConfig().describe());
     if (opts.procs > 0)
         rep.setConfig("procs", opts.procs);
     if (opts.check)
@@ -412,6 +437,8 @@ runBench(const Options &opts, const BenchBody &body)
         prof::resetAccumulatedProfiles();
         Report again(opts.bench);
         again.setConfig("seed", opts.seed);
+        if (opts.engineThreads >= 0)
+            again.setConfig("engine", opts.engineConfig().describe());
         if (opts.procs > 0)
             again.setConfig("procs", opts.procs);
         if (opts.check)

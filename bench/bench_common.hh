@@ -48,6 +48,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/engine_config.hh"
 #include "sim/trace.hh"
 #include "util/json.hh"
 #include "util/metrics.hh"
@@ -71,6 +72,15 @@ struct Options
     std::string placement; ///< --placement ("" = bench's default sweep)
     std::string migration; ///< --migration ("" = bench's default sweep)
     int migrationThreshold = 0; ///< --migration-threshold (0 = default)
+    int engineThreads = -1;     ///< --engine-threads (-1 = env/default)
+    int64_t engineLookahead = -1; ///< --engine-lookahead (-1 = auto)
+
+    /**
+     * The engine configuration the bench's simulated runs should use:
+     * --engine-threads / --engine-lookahead when given, otherwise the
+     * CABLES_ENGINE_* environment (serial by default).
+     */
+    sim::EngineConfig engineConfig() const;
 
     /**
      * Parse argv. Prints usage and exits on --help or on a malformed

@@ -52,16 +52,20 @@ main(int argc, char **argv)
         for (const auto &entry : splashSuite()) {
             for (int np : procs) {
                 AppOut base_out, cbl_out;
+                RunOptions base_opts;
+                base_opts.engine = opts.engineConfig();
                 RunResult base_r =
                     runProgram(splashConfig(Backend::BaseSvm, np),
                                [&](Runtime &rt, RunResult &res) {
                                    m4::M4Env env(rt);
                                    entry.run(env, np, base_out);
-                               });
+                               },
+                               base_opts);
                 // --trace records the first CableS run of the sweep.
                 RunOptions cbl_opts;
+                cbl_opts.engine = opts.engineConfig();
                 if (first_run)
-                    cbl_opts.tracer = tracer;
+                    cbl_opts.instr.tracer = tracer;
                 first_run = false;
                 RunResult cbl_r =
                     runProgram(splashConfig(Backend::CableS, np),
@@ -76,7 +80,9 @@ main(int argc, char **argv)
                             validity(base_r, base_out),
                             sim::toMs(cbl_out.parallel),
                             sim::toMs(cbl_r.total),
-                            cbl_r.ops.attach.sum(),
+                            cbl_r.timer("ops.attach_ms")
+                                ? cbl_r.timer("ops.attach_ms")->sum()
+                                : 0.0,
                             validity(cbl_r, cbl_out)},
                            util::Json(), entry.name);
                 rep.attachMetrics(cbl_r.metrics);

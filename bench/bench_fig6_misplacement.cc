@@ -33,15 +33,19 @@ main(int argc, char **argv)
         for (const auto &entry : splashSuite()) {
             for (int np : procs) {
                 AppOut base_out, cbl_out;
+                RunOptions base_ro;
+                base_ro.engine = opts.engineConfig();
                 RunResult base_r =
                     runProgram(splashConfig(Backend::BaseSvm, np),
                                [&](Runtime &rt, RunResult &res) {
                                    m4::M4Env env(rt);
                                    entry.run(env, np, base_out);
-                               });
+                               },
+                               base_ro);
                 RunOptions ro;
+                ro.engine = opts.engineConfig();
                 if (first)
-                    ro.tracer = tracer;
+                    ro.instr.tracer = tracer;
                 first = false;
                 RunResult cbl_r =
                     runProgram(splashConfig(Backend::CableS, np),

@@ -8,8 +8,10 @@
  */
 
 #include <chrono>
+#include <thread>
 #include <vector>
 
+#include "apps/splash.hh"
 #include "bench_common.hh"
 #include "cables/memory.hh"
 #include "cables/runtime.hh"
@@ -107,6 +109,56 @@ barrierRoundUs()
     return us / double(rounds);
 }
 
+/**
+ * Serial vs parallel-engine wall clock for one SPLASH kernel: run the
+ * identical program twice — once on the reference serial engine, once
+ * with @p par — and check the determinism oracle (bit-identical
+ * metrics, totals and checksum) while timing both.
+ */
+struct ScalingRow
+{
+    double serialMs = 0;   ///< wall-clock, serial engine
+    double parallelMs = 0; ///< wall-clock, parallel engine
+    uint64_t migrations = 0; ///< compute segments run on workers
+    bool identical = false;  ///< serial/parallel oracle held
+};
+
+ScalingRow
+splashScaling(const std::function<void(m4::M4Env &, apps::AppOut &)> &kern,
+              int nprocs, const sim::EngineConfig &par)
+{
+    using apps::AppOut;
+    using apps::RunOptions;
+    using apps::RunResult;
+    auto once = [&](const sim::EngineConfig &engine, AppOut &out,
+                    RunResult &r) {
+        RunOptions ro;
+        ro.engine = engine;
+        auto t0 = Clock::now();
+        r = apps::runProgram(
+            apps::splashConfig(cs::Backend::CableS, nprocs),
+            [&](cs::Runtime &rt, RunResult &) {
+                m4::M4Env env(rt);
+                kern(env, out);
+            },
+            ro);
+        return elapsedUs(t0) / 1000.0;
+    };
+
+    ScalingRow row;
+    AppOut ser_out, par_out;
+    RunResult ser_r, par_r;
+    row.serialMs = once(sim::EngineConfig::serial(), ser_out, ser_r);
+    row.parallelMs = once(par, par_out, par_r);
+    row.migrations = par_r.hostMigrations;
+    row.identical = ser_r.total == par_r.total &&
+                    ser_out.parallel == par_out.parallel &&
+                    ser_out.checksum == par_out.checksum &&
+                    ser_r.metrics.toJson().dump() ==
+                        par_r.metrics.toJson().dump();
+    return row;
+}
+
 } // namespace
 
 int
@@ -114,17 +166,79 @@ main(int argc, char **argv)
 {
     auto opts = bench::Options::parse(argc, argv, "host_sim");
 
+    // Parallel engine for the scaling section: --engine-threads when
+    // given, else 4 workers (the CI gate measures at this setting).
+    sim::EngineConfig par = opts.engineThreads > 0
+                                ? opts.engineConfig()
+                                : sim::EngineConfig::forThreads(4);
+
     return bench::runBench(opts, [&](bench::Report &rep, sim::Tracer *) {
         rep.setTitle("Host performance: simulator wall-clock costs");
         rep.setDeterministic(false);
-        rep.setColumns({{"microbenchmark"}, {"wall_us_per_op", 3}});
+        rep.setConfig("engine", par.describe());
+        rep.setConfig("host_cores",
+                      int64_t(std::thread::hardware_concurrency()));
+        rep.setColumns({{"microbenchmark"}, {"wall_us_per_op", 3},
+                        {"serial_wall_ms", 1}, {"parallel_wall_ms", 1},
+                        {"speedup_x", 2}, {"migrations"}, {"oracle"}});
 
-        rep.addRow({"fiber context switch", fiberSwitchUs()});
+        util::Json na; // host-time cell not applicable to this row
+        rep.addRow({"fiber context switch", fiberSwitchUs(),
+                    na, na, na, na, na});
         rep.addRow({"protocol access fast path (per read)",
-                    protocolFastPathUs()});
+                    protocolFastPathUs(), na, na, na, na, na});
         rep.addRow({"barrier round (8 threads, 4 nodes)",
-                    barrierRoundUs()});
+                    barrierRoundUs(), na, na, na, na, na});
+
+        struct Entry
+        {
+            const char *label;
+            int nprocs;
+            std::function<void(m4::M4Env &, apps::AppOut &)> kern;
+        };
+        // Sizes above the Figure-5 defaults so the guest compute
+        // segments dominate the scheduler's serial op stream.
+        std::vector<Entry> entries = {
+            {"LU 768x768 b64 (8 procs)", 8,
+             [](m4::M4Env &env, apps::AppOut &out) {
+                 apps::LuParams p;
+                 p.nprocs = 8;
+                 p.n = 768;
+                 p.block = 64;
+                 apps::runLu(env, p, out);
+             }},
+            {"RAYTRACE 256px 256 spheres (8 procs)", 8,
+             [](m4::M4Env &env, apps::AppOut &out) {
+                 apps::RaytraceParams p;
+                 p.nprocs = 8;
+                 p.image = 256;
+                 p.spheres = 256;
+                 p.tileRows = 16;
+                 apps::runRaytrace(env, p, out);
+             }},
+            {"FFT 2^20 points (8 procs)", 8,
+             [](m4::M4Env &env, apps::AppOut &out) {
+                 apps::FftParams p;
+                 p.nprocs = 8;
+                 p.m = 20;
+                 apps::runFft(env, p, out);
+             }},
+        };
+        for (const auto &e : entries) {
+            ScalingRow r = splashScaling(e.kern, e.nprocs, par);
+            rep.addRow({e.label, na, r.serialMs, r.parallelMs,
+                        r.parallelMs > 0 ? r.serialMs / r.parallelMs
+                                         : 0.0,
+                        int64_t(r.migrations),
+                        r.identical ? "identical" : "DIVERGED"},
+                       util::Json(), "splash scaling");
+        }
+
         rep.addNote("wall-clock host costs; values vary with machine "
                     "load and are excluded from determinism checks.");
+        rep.addNote("splash scaling: same program on the serial "
+                    "reference engine vs " + par.describe() +
+                    "; 'oracle' asserts bit-identical simulated "
+                    "metrics, totals and checksums between the two.");
     });
 }

@@ -20,25 +20,32 @@ using cs::Backend;
 
 namespace {
 
-/** Mean of a Stat as a table cell; "-" when the op was never used. */
+/** Mean of a timer as a table cell; "-" when the op was never used. */
 util::Json
-cell(const Stat &s)
+cell(const Stat *s)
 {
-    if (s.count() == 0)
+    if (!s || s->count() == 0)
         return util::Json();
     char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.3g", s.mean());
+    std::snprintf(buf, sizeof(buf), "%.3g", s->mean());
     return std::string(buf);
 }
 
+uint64_t
+opCount(const RunResult &r, const char *key)
+{
+    const Stat *s = r.timer(key);
+    return s ? s->count() : 0;
+}
+
 std::string
-callMarks(const cs::OpStats &ops)
+callMarks(const RunResult &r)
 {
     std::string m;
-    m += ops.create.count() ? 'C' : '.';
-    m += ops.lock.count() ? 'L' : '.';
-    m += ops.wait.count() ? 'W' : '.';
-    m += ops.broadcast.count() ? 'B' : '.';
+    m += opCount(r, "ops.create_ms") ? 'C' : '.';
+    m += opCount(r, "ops.lock_ms") ? 'L' : '.';
+    m += opCount(r, "ops.wait_ms") ? 'W' : '.';
+    m += opCount(r, "ops.broadcast_ms") ? 'B' : '.';
     return m;
 }
 
@@ -61,18 +68,22 @@ main(int argc, char **argv)
         bool first = true;
         auto record = [&](const std::string &name, const RunResult &r,
                           bool valid) {
-            rep.addRow({name, callMarks(r.ops), cell(r.ops.create),
-                        cell(r.ops.lock), cell(r.ops.unlock),
-                        cell(r.ops.wait), cell(r.ops.signal),
-                        cell(r.ops.broadcast),
-                        r.ops.attach.count() ? r.ops.attach.sum() : 0.0,
+            const Stat *attach = r.timer("ops.attach_ms");
+            rep.addRow({name, callMarks(r), cell(r.timer("ops.create_ms")),
+                        cell(r.timer("ops.lock_ms")),
+                        cell(r.timer("ops.unlock_ms")),
+                        cell(r.timer("ops.wait_ms")),
+                        cell(r.timer("ops.signal_ms")),
+                        cell(r.timer("ops.broadcast_ms")),
+                        attach ? attach->sum() : 0.0,
                         valid ? "ok" : "INVALID"});
             rep.attachMetrics(r.metrics);
         };
         auto runOpts = [&]() {
             RunOptions ro;
+            ro.engine = opts.engineConfig();
             if (first)
-                ro.tracer = tracer;
+                ro.instr.tracer = tracer;
             first = false;
             return ro;
         };

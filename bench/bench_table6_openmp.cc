@@ -65,8 +65,9 @@ main(int argc, char **argv)
             for (int np : procs) {
                 AppOut out;
                 RunOptions ro;
+                ro.engine = opts.engineConfig();
                 if (first)
-                    ro.tracer = tracer;
+                    ro.instr.tracer = tracer;
                 first = false;
                 RunResult r =
                     runProgram(splashConfig(Backend::CableS, np),

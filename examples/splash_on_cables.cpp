@@ -36,11 +36,12 @@ main()
             b == Backend::BaseSvm ? "base" : "CableS",
             sim::toMs(r.total), sim::toMs(out.parallel),
             out.valid ? "yes" : "NO",
-            (unsigned long long)(r.proto.readFaults +
-                                 r.proto.writeFaults),
-            (unsigned long long)r.proto.pagesFetched,
-            (unsigned long long)r.proto.diffsFlushed, r.attaches,
-            (unsigned long long)r.messages);
+            (unsigned long long)(r.counter("svm.read_faults") +
+                                 r.counter("svm.write_faults")),
+            (unsigned long long)r.counter("svm.pages_fetched"),
+            (unsigned long long)r.counter("svm.diffs_flushed"),
+            (int)r.counter("cables.attaches"),
+            (unsigned long long)r.sanMessages());
     }
     std::puts("\nCableS pays node-attach at startup; the parallel "
               "section is close to the base system (paper Fig. 5).");

@@ -127,6 +127,11 @@ runFft(M4Env &env, const FftParams &p, AppOut &out)
         auto [rb, re] = sliceOf(R, P, pid);
         for (size_t r = rb; r < re; ++r) {
             double *row = x.span(2 * r * R, 2 * R, true);
+            // Charge before the host math (charge-first): the row
+            // transform below makes no runtime calls, so migrating it
+            // to a worker after the charge leaves the simulated result
+            // unchanged.
+            rt.computeFlops(5 * R * p.m / 2 + (twiddle ? 8 * R : 0));
             fft1d(row, R, dir);
             if (twiddle) {
                 for (size_t c = 0; c < R; ++c) {
@@ -138,7 +143,6 @@ runFft(M4Env &env, const FftParams &p, AppOut &out)
                     row[2 * c + 1] = xr * wi + xi * wr;
                 }
             }
-            rt.computeFlops(5 * R * p.m / 2 + (twiddle ? 8 * R : 0));
         }
     };
 

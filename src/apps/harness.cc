@@ -8,39 +8,71 @@
 namespace cables {
 namespace apps {
 
+void
+Instrumentation::apply(Runtime &rt) const
+{
+    if (tracer)
+        rt.setTracer(tracer);
+    if (checker)
+        rt.setChecker(checker);
+    if (profiler)
+        rt.setProfiler(profiler);
+}
+
+uint64_t
+RunResult::counter(const std::string &name) const
+{
+    auto it = metrics.counters.find(name);
+    return it == metrics.counters.end() ? 0 : it->second;
+}
+
+const Stat *
+RunResult::timer(const std::string &name) const
+{
+    auto it = metrics.timers.find(name);
+    return it == metrics.timers.end() ? nullptr : &it->second;
+}
+
+uint64_t
+RunResult::sanMessages() const
+{
+    return counter("san.messages") + counter("san.fetches") +
+           counter("san.notifications");
+}
+
+uint64_t
+RunResult::sanBytes() const
+{
+    return counter("san.bytes");
+}
+
 RunResult
 runProgram(const ClusterConfig &cfg, const Program &prog,
            const RunOptions &opts)
 {
-    Runtime rt(cfg);
+    Runtime rt(cfg, opts.engine);
     RunResult res;
     bool failed = false;
     std::string reason;
 
-    if (opts.tracer)
-        rt.setTracer(opts.tracer);
-
+    Instrumentation instr = opts.instr;
     // An explicit checker wins; otherwise bench --check instruments
     // every run with a private one and accumulates the findings.
     std::unique_ptr<check::Checker> ownChecker;
-    check::Checker *checker = opts.checker;
-    if (!checker && check::checkAllRuns()) {
+    if (!instr.checker && check::checkAllRuns()) {
         ownChecker = std::make_unique<check::Checker>();
-        checker = ownChecker.get();
+        instr.checker = ownChecker.get();
     }
-    if (checker)
-        rt.setChecker(checker);
-
     // Same discipline for the profiler: explicit instance wins,
     // bench --profile gets a private one per run.
     std::unique_ptr<prof::Profiler> ownProfiler;
-    prof::Profiler *profiler = opts.profiler;
-    if (!profiler && prof::profileAllRuns()) {
+    if (!instr.profiler && prof::profileAllRuns()) {
         ownProfiler = std::make_unique<prof::Profiler>();
-        profiler = ownProfiler.get();
+        instr.profiler = ownProfiler.get();
     }
-    if (profiler)
-        rt.setProfiler(profiler);
+    instr.apply(rt);
+    check::Checker *checker = instr.checker;
+    prof::Profiler *profiler = instr.profiler;
 
     rt.run([&]() {
         try {
@@ -60,14 +92,7 @@ runProgram(const ClusterConfig &cfg, const Program &prog,
     }
     res.registrationFailure = failed;
     res.failureReason = reason;
-    res.proto = rt.protocol().totalStats();
-    res.mem = rt.memory().stats();
-    res.ops = rt.opStats();
-    res.attaches = rt.attachCount();
-    res.messages = rt.network().stats().messages +
-                   rt.network().stats().fetches +
-                   rt.network().stats().notifications;
-    res.netBytes = rt.network().stats().bytes;
+    res.hostMigrations = rt.engine().migrations();
     res.homes = rt.memory().homeSnapshot();
     if (checker) {
         // Finalize the deferred analyses before the metrics snapshot so

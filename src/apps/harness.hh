@@ -79,52 +79,86 @@ struct RunResult
 
     /// @}
 
-    /// @name Per-subsystem stat structs
-    ///
-    /// Deprecated in favour of @ref metrics (kept for existing callers;
-    /// the values are the same numbers under their old names).
-    /// @{
-    svm::ProtoStats proto;        ///< aggregated protocol events
-    cs::MemStats mem;             ///< memory-manager events
-    cs::OpStats ops;              ///< per-operation means (Table 5)
-    int attaches = 0;             ///< node attach count
-    uint64_t messages = 0;        ///< SAN messages
-    uint64_t netBytes = 0;        ///< SAN bytes
-    /// @}
+    /**
+     * Compute segments handed to engine worker threads (0 in serial
+     * mode). A host-side wall-clock diagnostic: the count depends on
+     * host timing, so it lives outside @ref metrics — snapshots stay
+     * bit-identical across engine modes and repeats.
+     */
+    uint64_t hostMigrations = 0;
 
     std::vector<int16_t> homes;   ///< final per-page home map (Fig. 6)
+
+    /// @name Metric accessors (sugar over @ref metrics)
+    /// @{
+
+    /** Counter @p name, or 0 when absent ("svm.read_faults", ...). */
+    uint64_t counter(const std::string &name) const;
+
+    /** Timer @p name ("ops.lock_ms", ...), or null when absent. */
+    const Stat *timer(const std::string &name) const;
+
+    /** SAN messages of any kind (sends + fetches + notifications). */
+    uint64_t sanMessages() const;
+
+    /** SAN bytes moved. */
+    uint64_t sanBytes() const;
+
+    /// @}
 };
 
 /** A program to run: receives the runtime and fills in results. */
 using Program = std::function<void(Runtime &, RunResult &)>;
 
-/** Optional knobs for runProgram(). */
-struct RunOptions
+/**
+ * The observers to install on a run. All three are pure observers —
+ * simulated results are bit-identical with and without them — and all
+ * three install through the single apply() path.
+ */
+struct Instrumentation
 {
     /**
-     * When non-null, the run records scheduling / SVM / SAN / sync
-     * events into this tracer (stamped with virtual time; export with
-     * sim::Tracer::writeChrome()).
+     * Records scheduling / SVM / SAN / sync events stamped with
+     * virtual time (export with sim::Tracer::writeChrome()).
      */
     sim::Tracer *tracer = nullptr;
 
     /**
-     * When non-null, the run is instrumented with this happens-before
-     * checker (Runtime::setChecker) and RunResult's check fields are
-     * filled from it. When null but check::checkAllRuns() is set
-     * (bench --check), the harness creates a Checker per run and folds
-     * the findings into the global accumulator.
+     * Happens-before checker (Runtime::setChecker); RunResult's check
+     * fields are filled from it. When null but check::checkAllRuns()
+     * is set (bench --check), the harness creates a Checker per run
+     * and folds the findings into the global accumulator.
      */
     check::Checker *checker = nullptr;
 
     /**
-     * When non-null, the run is instrumented with this time-breakdown
-     * profiler (Runtime::setProfiler) and RunResult's profile fields
-     * are filled from it. When null but prof::profileAllRuns() is set
-     * (bench --profile), the harness creates a Profiler per run and
-     * appends its report to the global accumulator.
+     * Time-breakdown profiler (Runtime::setProfiler); RunResult's
+     * profile fields are filled from it. When null but
+     * prof::profileAllRuns() is set (bench --profile), the harness
+     * creates a Profiler per run and appends its report to the global
+     * accumulator.
      */
     prof::Profiler *profiler = nullptr;
+
+    bool any() const { return tracer || checker || profiler; }
+
+    /** Install every non-null observer on @p rt. */
+    void apply(Runtime &rt) const;
+};
+
+/** Run configuration for runProgram(). */
+struct RunOptions
+{
+    /** Observers to install (none by default). */
+    Instrumentation instr;
+
+    /**
+     * Host execution mode of the engine. Defaults to the environment
+     * (CABLES_ENGINE_THREADS / CABLES_ENGINE_LOOKAHEAD) so whole test
+     * suites can be switched to parallel mode externally; results are
+     * bit-identical either way.
+     */
+    sim::EngineConfig engine = sim::EngineConfig::fromEnv();
 };
 
 /**

@@ -71,7 +71,13 @@ runLu(M4Env &env, const LuParams &p, AppOut &out)
     Tick pstart = 0;
 
     // dgemm-ish helpers on raw spans (block-contiguous layout).
+    // Each helper charges its simulated cost *before* the host math:
+    // the charge is the runtime entry whose exit the parallel engine
+    // can migrate, so the FP loops that follow run on a worker thread.
+    // The loops make no runtime calls, so the simulated result is
+    // identical either way.
     auto factorDiag = [&](double *d) {
+        rt.computeFlops(uint64_t(2) * B * B * B / 3);
         for (int k = 0; k < B; ++k) {
             double pivot = d[k * B + k];
             for (int i = k + 1; i < B; ++i) {
@@ -81,10 +87,10 @@ runLu(M4Env &env, const LuParams &p, AppOut &out)
                     d[i * B + j] -= m * d[k * B + j];
             }
         }
-        rt.computeFlops(uint64_t(2) * B * B * B / 3);
     };
     auto updateBelow = [&](const double *diag, double *blk) {
         // blk := blk * U^-1 (solve blk * U = blk with unit-free U).
+        rt.computeFlops(uint64_t(B) * B * B);
         for (int k = 0; k < B; ++k) {
             double pivot = diag[k * B + k];
             for (int i = 0; i < B; ++i) {
@@ -94,10 +100,10 @@ runLu(M4Env &env, const LuParams &p, AppOut &out)
                     blk[i * B + j] -= m * diag[k * B + j];
             }
         }
-        rt.computeFlops(uint64_t(B) * B * B);
     };
     auto updateRight = [&](const double *diag, double *blk) {
         // blk := L^-1 * blk (forward substitution, unit diagonal).
+        rt.computeFlops(uint64_t(B) * B * B);
         for (int k = 0; k < B; ++k) {
             for (int i = k + 1; i < B; ++i) {
                 double m = diag[i * B + k];
@@ -105,9 +111,9 @@ runLu(M4Env &env, const LuParams &p, AppOut &out)
                     blk[i * B + j] -= m * blk[k * B + j];
             }
         }
-        rt.computeFlops(uint64_t(B) * B * B);
     };
     auto updateInner = [&](const double *l, const double *u, double *c) {
+        rt.computeFlops(uint64_t(2) * B * B * B);
         for (int i = 0; i < B; ++i) {
             for (int k = 0; k < B; ++k) {
                 double m = l[i * B + k];
@@ -115,7 +121,6 @@ runLu(M4Env &env, const LuParams &p, AppOut &out)
                     c[i * B + j] -= m * u[k * B + j];
             }
         }
-        rt.computeFlops(uint64_t(2) * B * B * B);
     };
 
     runWorkers(env, P, [&](int pid) {

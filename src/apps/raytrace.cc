@@ -131,11 +131,17 @@ runRaytrace(M4Env &env, const RaytraceParams &p, AppOut &out)
             int rl = std::min(p.tileRows, W - r0);
             double *rows = image.span(size_t(r0) * W, size_t(rl) * W,
                                       true);
+            // Charge the tile's cost before rendering it: the charge is
+            // the last runtime entry before the pure-host pixel loop,
+            // so the parallel engine can hand the whole tile render to
+            // a worker thread. The loop makes no runtime calls and the
+            // span access above is already declared, so the simulated
+            // result is identical either way.
+            rt.computeFlops(uint64_t(rl) * W * p.spheres * 12);
             for (int r = 0; r < rl; ++r)
                 for (int c = 0; c < W; ++c)
                     rows[r * W + c] =
                         tracePixel(sc, p.spheres, W, c, r0 + r);
-            rt.computeFlops(uint64_t(rl) * W * p.spheres * 12);
         }
         env.barrier(bar, P);
     });

@@ -15,7 +15,8 @@ using sim::toMs;
 
 Runtime *Runtime::activeRuntime = nullptr;
 
-Runtime::Runtime(const ClusterConfig &config)
+Runtime::Runtime(const ClusterConfig &config,
+                 const sim::EngineConfig &engine_cfg)
     : cfg(config)
 {
     fatal_if(cfg.nodes <= 0 || cfg.nodes > 1024, "bad node count {}",
@@ -25,8 +26,13 @@ Runtime::Runtime(const ClusterConfig &config)
     if (cfg.maxThreadsPerNode <= 0)
         cfg.maxThreadsPerNode = cfg.procsPerNode;
 
-    engine_ = std::make_unique<sim::Engine>();
+    engine_cfg.validate();
+    engine_ = std::make_unique<sim::Engine>(engine_cfg);
     network_ = std::make_unique<net::Network>(cfg.nodes, cfg.net);
+    // Auto lookahead: no cross-node effect can land sooner than the
+    // SAN's minimum latency, so a thread that far ahead of everyone can
+    // safely compute on a worker (an explicit config value wins).
+    engine_->setLookahead(network_->minLatency());
     comm_ = std::make_unique<vmmc::Vmmc>(*engine_, *network_, cfg.vmmc);
     space_ = std::make_unique<svm::AddressSpace>(cfg.sharedBytes);
     proto_ = std::make_unique<svm::Protocol>(*engine_, *comm_, *space_,
@@ -96,7 +102,7 @@ Runtime::run(std::function<void()> main_fn)
             if (st.state == sim::SimThread::State::Blocked) {
                 activeRuntime = nullptr;
                 fatal("deadlock: thread {} still blocked on '{}'", tid,
-                      st.blockReason);
+                      sim::blockReasonLabel(st.blockReason));
             }
         }
     }
@@ -112,12 +118,14 @@ Runtime::procOf(const CsThread &t)
 void
 Runtime::compute(Tick ns)
 {
+    sim::GuestOp op(*engine_);
     procOf(self()).compute(*engine_, ns);
 }
 
 void
 Runtime::charge(CostKind k, Tick t)
 {
+    sim::GuestOp op(*engine_);
     engine_->advance(t);
     note(k, t);
 }
@@ -165,6 +173,7 @@ void
 Runtime::accessStrided(GAddr a, size_t len, bool write, size_t firstOff,
                        size_t stride, size_t width)
 {
+    sim::GuestOp op(*engine_);
     CsThread &me = self();
     proto_->access(me.node, a, len, write);
     if (checker_) {
@@ -232,7 +241,7 @@ Runtime::measure(const std::function<void()> &op)
 }
 
 void
-Runtime::blockSelf(const char *why)
+Runtime::blockSelf(sim::BlockReason why)
 {
     CsThread &me = self();
     if (me.pendingWake >= 0) {
@@ -246,12 +255,12 @@ Runtime::blockSelf(const char *why)
 }
 
 void
-Runtime::wakeThread(int tid, Tick at, const char *expected)
+Runtime::wakeThread(int tid, Tick at, sim::BlockReason expected)
 {
     CsThread &t = *threads.at(tid);
     sim::SimThread &st = engine_->thread(t.simTid);
     if (st.state == sim::SimThread::State::Blocked &&
-        std::string_view(st.blockReason) == expected) {
+        st.blockReason == expected) {
         engine_->wake(t.simTid, at);
     } else {
         t.pendingWake = std::max(t.pendingWake, at);
@@ -328,9 +337,9 @@ Runtime::startThread(NodeId node, std::function<void()> fn, Tick start_at)
         },
         start_at);
     ptr->simTid = st;
-    if (simToCs.size() <= static_cast<size_t>(st))
-        simToCs.resize(st + 1, nullptr);
-    simToCs[st] = ptr;
+    sim::SimThread &sth = engine_->thread(st);
+    sth.user = ptr;
+    sth.node = node;
     if (auto *p = engine_->profiler())
         p->setThreadNode(st, node);
     if (checker_) {
@@ -369,7 +378,7 @@ Runtime::placeThread()
             pending = pending || attachPending[n];
         if (pending) {
             attachWaiters.push_back(self().tid);
-            blockSelf("attach-wait");
+            blockSelf(sim::BlockReason::AttachWait);
             continue;
         }
         // Everyone is full: attach a fresh node if one exists.
@@ -443,6 +452,7 @@ Runtime::attachNode(NodeId n)
 int
 Runtime::preAttachNodes(int count)
 {
+    sim::GuestOp op(*engine_);
     fatal_if(cfg.backend != Backend::CableS,
              "preAttachNodes requires the CableS backend");
     int started = 0;
@@ -502,7 +512,7 @@ Runtime::completeAttach(NodeId n, Tick started, Tick at)
     std::vector<int> waiters;
     waiters.swap(attachWaiters);
     for (int tid : waiters)
-        wakeThread(tid, at, "attach-wait");
+        wakeThread(tid, at, sim::BlockReason::AttachWait);
 }
 
 void
@@ -518,6 +528,7 @@ Runtime::detachNode(NodeId n)
 int
 Runtime::threadCreate(std::function<void()> fn)
 {
+    sim::GuestOp guest_op(*engine_);
     sim::ProfScope prof_scope(*engine_, prof::Cat::ThreadMgmt);
     CsThread &me = self();
     engine_->sync();
@@ -554,6 +565,9 @@ Runtime::threadCreate(std::function<void()> fn)
 void
 Runtime::finishThread(int tid)
 {
+    // The fiber is about to unwind and finish: park it back onto the
+    // scheduler if its last segment migrated, and never migrate again.
+    sim::GuestOp guest_op(*engine_, /*allow_migrate=*/false);
     sim::ProfScope prof_scope(*engine_, prof::Cat::ThreadMgmt);
     CsThread &t = *threads[tid];
     engine_->sync();
@@ -571,7 +585,7 @@ Runtime::finishThread(int tid)
         Tick at = engine_->now();
         if (j.node != t.node)
             at = network_->notify(t.node, j.node, 32, at);
-        wakeThread(t.joiner, at, "pthread-join");
+        wakeThread(t.joiner, at, sim::BlockReason::Join);
     }
 
     nodeThreads[t.node] -= 1;
@@ -585,6 +599,7 @@ Runtime::finishThread(int tid)
 void
 Runtime::join(int tid)
 {
+    sim::GuestOp guest_op(*engine_);
     sim::ProfScope prof_scope(*engine_, prof::Cat::ThreadMgmt);
     CsThread &me = self();
     fatal_if(tid < 0 || static_cast<size_t>(tid) >= threads.size(),
@@ -601,7 +616,7 @@ Runtime::join(int tid)
     panic_if(t.joiner >= 0, "two joiners for thread {}", tid);
     t.joiner = me.tid;
     acbWrite(me.node);
-    blockSelf("pthread-join");
+    blockSelf(sim::BlockReason::Join);
     charge(CostKind::LocalCables, cfg.costs.acbLocalOp);
     if (checker_)
         checker_->threadJoined(me.simTid, t.simTid);
@@ -616,6 +631,7 @@ Runtime::exitThread()
 bool
 Runtime::threadFinished(int tid)
 {
+    sim::GuestOp op(*engine_);
     acbRead(self().node);
     return threads.at(tid)->finished;
 }
@@ -623,6 +639,7 @@ Runtime::threadFinished(int tid)
 void
 Runtime::cancel(int tid)
 {
+    sim::GuestOp op(*engine_);
     CsThread &me = self();
     adminRequest(me.node);
     CsThread &t = *threads.at(tid);
@@ -641,7 +658,7 @@ Runtime::cancel(int tid)
                 Tick at = engine_->now();
                 if (t.node != me.node)
                     at = network_->notify(me.node, t.node, 32, at);
-                wakeThread(tid, at, "cond-wait");
+                wakeThread(tid, at, sim::BlockReason::CondWait);
                 return;
             }
         }
@@ -651,6 +668,9 @@ Runtime::cancel(int tid)
 void
 Runtime::testCancel()
 {
+    // Bracketed: cancelRequested is written by cancel() on the
+    // scheduler, so it must not be read from a worker-side segment.
+    sim::GuestOp op(*engine_);
     if (self().cancelRequested)
         throw ThreadCancelled{};
 }
@@ -658,6 +678,7 @@ Runtime::testCancel()
 int
 Runtime::keyCreate()
 {
+    sim::GuestOp op(*engine_);
     adminRequest(self().node);
     return nextKey++;
 }
@@ -665,6 +686,7 @@ Runtime::keyCreate()
 void
 Runtime::setSpecific(int key, uint64_t value)
 {
+    sim::GuestOp op(*engine_);
     charge(CostKind::LocalCables, cfg.costs.acbLocalOp);
     self().specific[key] = value;
 }
@@ -672,6 +694,7 @@ Runtime::setSpecific(int key, uint64_t value)
 uint64_t
 Runtime::getSpecific(int key)
 {
+    sim::GuestOp op(*engine_);
     charge(CostKind::LocalCables, cfg.costs.acbLocalOp);
     auto &m = self().specific;
     auto it = m.find(key);
@@ -685,6 +708,7 @@ Runtime::getSpecific(int key)
 GAddr
 Runtime::malloc(size_t len, NodeId affinity)
 {
+    sim::GuestOp op(*engine_);
     GAddr a = memory_->alloc(len, affinity);
     if (checker_ && a != GNull)
         checker_->memoryAllocated(a, len);
@@ -694,6 +718,7 @@ Runtime::malloc(size_t len, NodeId affinity)
 void
 Runtime::free(GAddr addr)
 {
+    sim::GuestOp op(*engine_);
     if (checker_)
         checker_->memoryFreed(addr);
     memory_->free(addr);

@@ -91,7 +91,14 @@ struct OpStats
 class Runtime
 {
   public:
-    explicit Runtime(const ClusterConfig &cfg);
+    /**
+     * @param cfg the modelled cluster.
+     * @param engine_cfg host execution mode (serial reference engine by
+     *        default; parallel mode is bit-identical in results).
+     */
+    explicit Runtime(const ClusterConfig &cfg,
+                     const sim::EngineConfig &engine_cfg =
+                         sim::EngineConfig());
     ~Runtime();
 
     Runtime(const Runtime &) = delete;
@@ -126,7 +133,10 @@ class Runtime
     CsThread &
     self()
     {
-        return *simToCs[engine_->current()->id];
+        // Via the SimThread's stable user slot, not a runtime-side map:
+        // readable from engine worker threads while the scheduler may
+        // be growing containers concurrently.
+        return *static_cast<CsThread *>(engine_->current()->user);
     }
     int selfTid() { return self().tid; }
     NodeId selfNode() { return self().node; }
@@ -242,6 +252,7 @@ class Runtime
     void
     access(GAddr a, size_t len, bool write)
     {
+        sim::GuestOp op(*engine_);
         proto_->access(self().node, a, len, write);
         if (checker_)
             checkerAccess(a, len, write);
@@ -434,10 +445,10 @@ class Runtime
      * Block the calling thread, honouring a wake that raced ahead of the
      * block (the waker saw us runnable and left a pending wake).
      */
-    void blockSelf(const char *why);
+    void blockSelf(sim::BlockReason why);
 
     /** Wake @p tid blocked for @p expected, or leave a pending wake. */
-    void wakeThread(int tid, Tick at, const char *expected);
+    void wakeThread(int tid, Tick at, sim::BlockReason expected);
 
     /** Record a "sync"-category span [t0, now] for the calling thread. */
     void traceOp(const char *name, Tick t0);
@@ -456,7 +467,6 @@ class Runtime
     std::unique_ptr<MemoryManager> memory_;
 
     std::vector<std::unique_ptr<CsThread>> threads;
-    std::vector<CsThread *> simToCs;  ///< dense map: sim tid -> metadata
 
     std::vector<bool> attached;
     std::vector<bool> attachPending;  ///< overlapped attach in flight

@@ -24,6 +24,7 @@ using svm::LockTable;
 int
 Runtime::mutexCreate()
 {
+    sim::GuestOp op(*engine_);
     // pthread_mutex_init is a purely local operation; cluster-wide
     // registration is deferred to first use (the Table 4 "first time"
     // rows).
@@ -36,12 +37,14 @@ Runtime::mutexCreate()
 void
 Runtime::mutexDestroy(int m)
 {
+    sim::GuestOp op(*engine_);
     mutexes.at(m).live = false;
 }
 
 void
 Runtime::mutexLock(int m)
 {
+    sim::GuestOp guest_op(*engine_);
     sim::ProfScope prof_scope(*engine_, prof::Cat::MutexWait);
     CsThread &me = self();
     CsMutex &mx = mutexes.at(m);
@@ -99,6 +102,7 @@ Runtime::mutexLock(int m)
 bool
 Runtime::mutexTryLock(int m)
 {
+    sim::GuestOp guest_op(*engine_);
     sim::ProfScope prof_scope(*engine_, prof::Cat::MutexWait);
     CsThread &me = self();
     CsMutex &mx = mutexes.at(m);
@@ -118,6 +122,7 @@ Runtime::mutexTryLock(int m)
 void
 Runtime::mutexUnlock(int m)
 {
+    sim::GuestOp guest_op(*engine_);
     sim::ProfScope prof_scope(*engine_, prof::Cat::MutexWait);
     CsThread &me = self();
     CsMutex &mx = mutexes.at(m);
@@ -133,6 +138,7 @@ Runtime::mutexUnlock(int m)
 int
 Runtime::condCreate()
 {
+    sim::GuestOp op(*engine_);
     conds.emplace_back();
     return static_cast<int>(conds.size()) - 1;
 }
@@ -140,6 +146,7 @@ Runtime::condCreate()
 void
 Runtime::condDestroy(int c)
 {
+    sim::GuestOp op(*engine_);
     CsCond &cv = conds.at(c);
     panic_if(!cv.waiters.empty(), "destroying condition {} with waiters",
              c);
@@ -150,7 +157,9 @@ void
 Runtime::condWait(int c, int m)
 {
     // RAII is load-bearing here: testCancel() below may throw
-    // ThreadCancelled through this frame.
+    // ThreadCancelled through this frame (GuestOp's opEnd never
+    // migrates while an exception is in flight).
+    sim::GuestOp guest_op(*engine_);
     sim::ProfScope prof_scope(*engine_, prof::Cat::CondWait);
     CsThread &me = self();
     CsCond &cv = conds.at(c);
@@ -176,7 +185,7 @@ Runtime::condWait(int c, int m)
 
     mutexUnlock(m);
     Tick wait_start = engine_->now();
-    blockSelf("cond-wait");
+    blockSelf(sim::BlockReason::CondWait);
     if (checker_)
         checker_->condWaitResumed(me.simTid, c);
 
@@ -196,6 +205,7 @@ Runtime::condWait(int c, int m)
 void
 Runtime::condSignal(int c)
 {
+    sim::GuestOp guest_op(*engine_);
     sim::ProfScope prof_scope(*engine_, prof::Cat::CondWait);
     CsThread &me = self();
     CsCond &cv = conds.at(c);
@@ -248,7 +258,7 @@ Runtime::condSignal(int c)
         checker_->condSignalled(me.simTid, c, threads.at(w.tid)->simTid,
                                 engine_->now());
     }
-    wakeThread(w.tid, deliver, "cond-wait");
+    wakeThread(w.tid, deliver, sim::BlockReason::CondWait);
     opStats_.signal.sample(toMs(engine_->now() - t0));
     traceOp("signal", t0);
 }
@@ -256,6 +266,7 @@ Runtime::condSignal(int c)
 void
 Runtime::condBroadcast(int c)
 {
+    sim::GuestOp guest_op(*engine_);
     sim::ProfScope prof_scope(*engine_, prof::Cat::CondWait);
     CsThread &me = self();
     CsCond &cv = conds.at(c);
@@ -290,7 +301,7 @@ Runtime::condBroadcast(int c)
             checker_->condBroadcastWake(me.simTid, c,
                                         threads.at(w.tid)->simTid);
         }
-        wakeThread(w.tid, deliver, "cond-wait");
+        wakeThread(w.tid, deliver, sim::BlockReason::CondWait);
     }
     if (checker_)
         checker_->condBroadcastDone(me.simTid, c, engine_->now());
@@ -301,6 +312,7 @@ Runtime::condBroadcast(int c)
 int
 Runtime::barrierCreate()
 {
+    sim::GuestOp op(*engine_);
     CsBarrier b;
     b.native = svmBarriers_->create(0);
     // State of the mutex+cond comparison implementation, built eagerly
@@ -318,6 +330,7 @@ Runtime::barrierCreate()
 void
 Runtime::barrier(int b, int nthreads)
 {
+    sim::GuestOp op(*engine_);
     CsThread &me = self();
     CsBarrier &bar = barriers.at(b);
     Tick t0 = engine_->now();
@@ -330,6 +343,7 @@ Runtime::barrier(int b, int nthreads)
 void
 Runtime::condBarrier(int b, int nthreads)
 {
+    sim::GuestOp op(*engine_);
     CsBarrier &bar = barriers.at(b);
     mutexLock(bar.mutex);
     int64_t count = read<int64_t>(bar.counter) + 1;

@@ -113,6 +113,22 @@ class Network
      */
     Tick notify(NodeId src, NodeId dst, size_t bytes, Tick start);
 
+    /**
+     * Smallest latency any cross-node effect can have under this
+     * parameter set — the natural conservative lookahead for the
+     * parallel engine (no remote effect lands sooner than this).
+     */
+    Tick
+    minLatency() const
+    {
+        Tick m = params_.sendBase;
+        if (params_.fetchBase < m)
+            m = params_.fetchBase;
+        if (params_.notifyBase < m)
+            m = params_.notifyBase;
+        return m;
+    }
+
     const NetStats &stats() const { return stats_; }
     void resetStats() { stats_ = NetStats(); }
 

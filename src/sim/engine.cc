@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <exception>
 
 #include "prof/profiler.hh"
 #include "sim/trace.hh"
@@ -10,12 +11,71 @@
 namespace cables {
 namespace sim {
 
-Engine::Engine() = default;
-Engine::~Engine() = default;
+namespace {
+
+/**
+ * Host-thread-local view of "the simulated thread executing here".
+ * The scheduler sets it around every fiber resume; workers set it
+ * around migrated compute segments. Thread-local (not an Engine
+ * member) so Engine::current() is correct on any host thread.
+ */
+thread_local SimThread *tlCurrentThread = nullptr;
+
+/** True on worker host threads (inside workerLoop). */
+thread_local bool tlOnWorker = false;
+
+} // namespace
+
+const char *
+blockReasonLabel(BlockReason r)
+{
+    switch (r) {
+      case BlockReason::None:
+        return "";
+      case BlockReason::SvmLock:
+        return "svm-lock";
+      case BlockReason::SvmBarrier:
+        return "svm-barrier";
+      case BlockReason::CondWait:
+        return "cond-wait";
+      case BlockReason::AttachWait:
+        return "attach-wait";
+      case BlockReason::Join:
+        return "pthread-join";
+      case BlockReason::Other:
+        return "other";
+    }
+    return "?";
+}
+
+Engine::Engine(const EngineConfig &cfg)
+    : cfg_(cfg)
+{
+    cfg_.validate();
+    lookahead_ = cfg_.lookahead; // -1 = auto, resolved in startWorkers()
+}
+
+Engine::~Engine()
+{
+    // run() normally drains and joins; this covers early destruction
+    // after a fatal error escaped from an event or guest operation.
+    while (inFlight_ > 0)
+        drainParked(true);
+    stopWorkers();
+}
+
+void
+Engine::setLookahead(Tick l)
+{
+    panic_if(l < 0, "negative lookahead");
+    if (cfg_.lookahead < 0) // explicit configuration wins over auto
+        lookahead_ = l;
+}
 
 ThreadId
 Engine::spawn(std::string name, std::function<void()> fn, Tick start_at)
 {
+    panic_if(tlOnWorker, "spawn() on a worker thread (missing GuestOp?)");
     ThreadId id = static_cast<ThreadId>(threads.size());
     auto *self = this;
     auto wrapped = [self, fn = std::move(fn)]() { fn(); };
@@ -28,8 +88,8 @@ Engine::spawn(std::string name, std::function<void()> fn, Tick start_at)
     }
     if (profiler_) {
         profiler_->threadStarted(id, start_at);
-        profiler_->spawnEdge(currentThread ? currentThread->id
-                                           : InvalidThreadId,
+        profiler_->spawnEdge(tlCurrentThread ? tlCurrentThread->id
+                                             : InvalidThreadId,
                              id, start_at);
     }
     return id;
@@ -38,6 +98,8 @@ Engine::spawn(std::string name, std::function<void()> fn, Tick start_at)
 void
 Engine::schedule(Tick when, std::function<void()> fn)
 {
+    panic_if(tlOnWorker,
+             "schedule() on a worker thread (missing GuestOp?)");
     panic_if(when < 0, "scheduling event in negative time");
     events.push(Event{when, seqCounter++, std::move(fn)});
 }
@@ -56,20 +118,28 @@ Engine::finished(ThreadId tid)
     return thread(tid).state == SimThread::State::Finished;
 }
 
+SimThread *
+Engine::current()
+{
+    return tlCurrentThread;
+}
+
 Tick
 Engine::now() const
 {
-    panic_if(!currentThread, "now() called outside a simulated thread");
-    return currentThread->now;
+    panic_if(!tlCurrentThread, "now() called outside a simulated thread");
+    return tlCurrentThread->now;
 }
 
 void
 Engine::advance(Tick dt)
 {
-    panic_if(!currentThread, "advance() outside a simulated thread");
+    panic_if(!tlCurrentThread, "advance() outside a simulated thread");
+    panic_if(tlOnWorker,
+             "advance() on a worker thread (missing GuestOp bracket?)");
     panic_if(dt < 0, "advancing by negative time ({}) in thread '{}'",
-             dt, currentThread->name);
-    currentThread->now += dt;
+             dt, tlCurrentThread->name);
+    tlCurrentThread->now += dt;
 }
 
 void
@@ -100,7 +170,9 @@ Tick
 Engine::earliestOther(const SimThread *self)
 {
     // The currently running thread is never queued (run() pops it before
-    // switching in), so a plain peek over both queues suffices.
+    // switching in), so a plain peek over both queues suffices. A
+    // migrated thread's pre-allocated ticket *is* in the queue: its next
+    // operation is pending future work other threads must respect.
     Tick best = events.empty() ? MaxTick : events.top().when;
     if (SimThread *t = popReady())
         best = std::min(best, t->now);
@@ -110,8 +182,10 @@ Engine::earliestOther(const SimThread *self)
 void
 Engine::sync()
 {
-    panic_if(!currentThread, "sync() outside a simulated thread");
-    SimThread *t = currentThread;
+    panic_if(!tlCurrentThread, "sync() outside a simulated thread");
+    panic_if(tlOnWorker,
+             "sync() on a worker thread (missing GuestOp bracket?)");
+    SimThread *t = tlCurrentThread;
     // Fast path: still the earliest entity — keep running.
     if (t->now <= earliestOther(t))
         return;
@@ -122,20 +196,22 @@ Engine::sync()
 }
 
 void
-Engine::block(const char *why)
+Engine::block(BlockReason why)
 {
-    panic_if(!currentThread, "block() outside a simulated thread");
-    SimThread *t = currentThread;
+    panic_if(!tlCurrentThread, "block() outside a simulated thread");
+    panic_if(tlOnWorker,
+             "block() on a worker thread (missing GuestOp bracket?)");
+    SimThread *t = tlCurrentThread;
     t->state = SimThread::State::Blocked;
     t->blockReason = why;
     if (tracer_) {
         util::Json args = util::Json::object();
-        args.set("reason", why);
+        args.set("reason", blockReasonLabel(why));
         tracer_->instant(t->now, 0, t->id, "sched", "block",
                          std::move(args));
     }
     if (profiler_)
-        profiler_->blockBegin(t->id, why, t->now);
+        profiler_->blockBegin(t->id, blockReasonLabel(why), t->now);
     ++switchCount;
     t->fiber.switchBack();
     panic_if(t->state != SimThread::State::Runnable,
@@ -145,36 +221,181 @@ Engine::block(const char *why)
 void
 Engine::wake(ThreadId tid, Tick at)
 {
+    panic_if(tlOnWorker, "wake() on a worker thread (missing GuestOp?)");
     SimThread &t = thread(tid);
     panic_if(t.state != SimThread::State::Blocked,
              "waking thread '{}' which is not blocked", t.name);
     t.now = std::max(t.now, at);
-    t.blockReason = "";
+    t.blockReason = BlockReason::None;
     makeReady(t);
     if (tracer_)
         tracer_->instant(t.now, 0, t.id, "sched", "wake");
     if (profiler_) {
-        profiler_->blockEnd(tid, currentThread ? currentThread->id
-                                               : InvalidThreadId,
+        profiler_->blockEnd(tid, tlCurrentThread ? tlCurrentThread->id
+                                                 : InvalidThreadId,
                             t.now);
     }
+}
+
+SimThread *
+Engine::opBegin()
+{
+    SimThread *t = tlCurrentThread;
+    panic_if(!t, "runtime operation outside a simulated thread");
+    if (t->opDepth++ > 0)
+        return t;
+    if (tlOnWorker) {
+        // The compute segment ran on a worker and has now re-entered
+        // the runtime: park the fiber (control returns to workerLoop,
+        // which notifies the scheduler; the scheduler resumes us from
+        // the ready ticket pre-allocated by the migrating opEnd()).
+        t->fiber.switchBack();
+    }
+    // Uniform entry sync — performed identically in serial and parallel
+    // mode, so both modes yield at the same points with the same
+    // sequence numbers (the migration ticket's slot; DESIGN.md §11).
+    sync();
+    return t;
+}
+
+void
+Engine::opEnd(SimThread *t, bool allow_migrate)
+{
+    panic_if(!t || t->opDepth <= 0, "opEnd() without matching opBegin()");
+    if (--t->opDepth > 0)
+        return;
+    if (!parallelActive_ || !allow_migrate || stopped)
+        return;
+    if (inFlight_ >= workerCount_ || std::uncaught_exceptions() > 0)
+        return;
+    Tick eo = earliestOther(t);
+    // Migrate only when *strictly* ahead of every other pending entity
+    // by at least the lookahead window. Strictness keeps ties exact:
+    // the ticket below can only tie with entries created after it, and
+    // lower seq wins ties — matching serial mode, where the running
+    // thread implicitly wins a tie against work it hasn't yielded to.
+    if (eo >= t->now || t->now - eo < lookahead_)
+        return;
+    // Pre-allocate the ready ticket the next opBegin()'s sync would
+    // have pushed in serial mode: nothing else can run between here and
+    // there serially, so (when, seq) land in exactly the same slot.
+    ready.push(ReadyEntry{t->now, seqCounter++, t->id});
+    t->hostPhase = SimThread::HostPhase::Migrated;
+    ++switchCount; // the yield serial mode would perform at that sync
+    ++inFlight_;
+    ++migrationCount_;
+    migratePending_ = t;
+    // Return to the scheduler, which completes the hand-off by mailing
+    // the fiber to a worker *after* this switch has fully saved our
+    // context (the worker must never resume a half-switched fiber).
+    t->fiber.switchBack();
+    // Resumed by the scheduler from the ticket; back in serial order.
+}
+
+void
+Engine::contentFence()
+{
+    panic_if(tlOnWorker,
+             "contentFence() on a worker thread (missing GuestOp?)");
+    while (inFlight_ > 0)
+        drainParked(true);
 }
 
 bool
 Engine::profEnter(prof::Cat c)
 {
-    if (!profiler_ || !currentThread)
+    if (!profiler_ || !tlCurrentThread)
         return false;
-    profiler_->enter(currentThread->id, c, currentThread->now);
+    panic_if(tlOnWorker,
+             "profEnter() on a worker thread (missing GuestOp bracket?)");
+    profiler_->enter(tlCurrentThread->id, c, tlCurrentThread->now);
     return true;
 }
 
 void
 Engine::profLeave()
 {
-    panic_if(!profiler_ || !currentThread,
+    panic_if(!profiler_ || !tlCurrentThread,
              "profLeave() without a matching profEnter()");
-    profiler_->leave(currentThread->id, currentThread->now);
+    profiler_->leave(tlCurrentThread->id, tlCurrentThread->now);
+}
+
+void
+Engine::startWorkers()
+{
+    if (cfg_.mode != EngineMode::Parallel)
+        return;
+    workerCount_ = cfg_.resolvedWorkers();
+    if (lookahead_ < 0)
+        lookahead_ = 0; // auto, but nobody installed a network latency
+    mailboxes_.clear();
+    for (int i = 0; i < workerCount_; ++i)
+        mailboxes_.push_back(std::make_unique<WorkQueue<SimThread *>>());
+    for (int i = 0; i < workerCount_; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+    parallelActive_ = true;
+}
+
+void
+Engine::stopWorkers()
+{
+    if (!parallelActive_)
+        return;
+    panic_if(inFlight_ > 0, "stopping workers with fibers in flight");
+    for (auto &m : mailboxes_)
+        m->close();
+    for (auto &w : workers_)
+        w.join();
+    workers_.clear();
+    mailboxes_.clear();
+    parallelActive_ = false;
+}
+
+void
+Engine::workerLoop(int idx)
+{
+    tlOnWorker = true;
+    SimThread *t = nullptr;
+    while (mailboxes_[idx]->waitPop(t)) {
+        tlCurrentThread = t;
+        t->fiber.switchTo();
+        tlCurrentThread = nullptr;
+        // The fiber parked (or finished); tell the scheduler. The
+        // queue's lock is the release/acquire edge making everything
+        // the segment wrote visible to the scheduler.
+        inbox_.push(t->id);
+    }
+}
+
+void
+Engine::drainParked(bool wait)
+{
+    auto absorb = [&](ThreadId tid) {
+        SimThread &t = *threads[tid];
+        t.hostPhase = SimThread::HostPhase::OnScheduler;
+        --inFlight_;
+        if (t.fiber.finished()) {
+            // The guest function returned while on the worker (bare
+            // engine use; the full runtime always finishes threads on
+            // the scheduler via a non-migratable operation).
+            t.state = SimThread::State::Finished;
+            if (tracer_)
+                tracer_->instant(t.now, 0, t.id, "sched", "finish");
+            if (profiler_)
+                profiler_->threadFinished(t.id, t.now);
+        }
+    };
+
+    ThreadId tid = InvalidThreadId;
+    if (wait) {
+        panic_if(inFlight_ <= 0, "waiting for parked fibers with none "
+                 "in flight");
+        bool ok = inbox_.waitPop(tid);
+        panic_if(!ok, "scheduler inbox closed while fibers in flight");
+        absorb(tid);
+    }
+    while (inbox_.tryPop(tid))
+        absorb(tid);
 }
 
 void
@@ -182,13 +403,24 @@ Engine::run(bool allow_blocked)
 {
     panic_if(running, "Engine::run is not reentrant");
     running = true;
+    startWorkers();
 
     while (!stopped) {
+        if (parallelActive_)
+            drainParked(false);
+
         SimThread *t = popReady();
         bool have_event = !events.empty();
 
-        if (!t && !have_event)
+        if (!t && !have_event) {
+            if (inFlight_ > 0) {
+                // All remaining work is out on workers; wait for a
+                // fiber to park (its ticket then becomes poppable).
+                drainParked(true);
+                continue;
+            }
             break;
+        }
 
         Tick tt = t ? t->now : MaxTick;
         Tick et = have_event ? events.top().when : MaxTick;
@@ -203,13 +435,31 @@ Engine::run(bool allow_blocked)
             continue;
         }
 
-        // Run the earliest thread until it yields, blocks or finishes.
+        if (t->hostPhase == SimThread::HostPhase::Migrated) {
+            // The next simulated step belongs to a fiber whose compute
+            // segment is still running on a worker; wait for it to
+            // park before resuming it from its ticket.
+            drainParked(true);
+            continue;
+        }
+
+        // Run the earliest thread until it yields, blocks, migrates or
+        // finishes.
         ready.pop();
-        currentThread = t;
+        tlCurrentThread = t;
         ++switchCount;
         t->fiber.switchTo();
-        currentThread = nullptr;
+        tlCurrentThread = nullptr;
         maxObservedTime = std::max(maxObservedTime, t->now);
+        if (migratePending_) {
+            // The fiber suspended itself in opEnd() for migration; now
+            // that its context is fully saved, hand it to a worker.
+            SimThread *m = migratePending_;
+            migratePending_ = nullptr;
+            mailboxes_[static_cast<size_t>(m->node) %
+                       static_cast<size_t>(workerCount_)]->push(m);
+            continue;
+        }
         if (t->fiber.finished()) {
             t->state = SimThread::State::Finished;
             if (tracer_)
@@ -219,11 +469,18 @@ Engine::run(bool allow_blocked)
         }
     }
 
+    // Never return with guest code still running on a worker (stop()
+    // and normal completion both drain), then quiesce the pool.
+    while (inFlight_ > 0)
+        drainParked(true);
+    stopWorkers();
+
     if (!allow_blocked && !stopped) {
         for (const auto &t : threads) {
             if (t->state == SimThread::State::Blocked) {
                 fatal("deadlock: thread '{}' still blocked on '{}' at end "
-                      "of simulation", t->name, t->blockReason);
+                      "of simulation", t->name,
+                      blockReasonLabel(t->blockReason));
             }
         }
     }

@@ -12,6 +12,17 @@
  *
  * This "earliest-first" discipline gives deterministic, repeatable
  * parallel-time simulation on a single host thread.
+ *
+ * Parallel mode (EngineConfig) adds a host worker pool without giving
+ * up that determinism: every runtime *operation* still executes on the
+ * scheduler host thread in exact serial order, but the guest compute
+ * segment *after* an operation — host FP work that never touches
+ * engine state — may be handed to a worker when the thread is strictly
+ * ahead of all other pending work by at least the lookahead window.
+ * The fiber parks back onto the scheduler at its next operation, which
+ * resumes it from a ready-queue ticket pre-allocated at hand-off time
+ * in exactly the slot the serial engine would have used. See
+ * DESIGN.md §11 for the equivalence argument.
  */
 
 #ifndef CABLES_SIM_ENGINE_HH
@@ -22,10 +33,13 @@
 #include <memory>
 #include <queue>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "sim/engine_config.hh"
 #include "sim/fiber.hh"
 #include "sim/ticks.hh"
+#include "sim/workqueue.hh"
 
 namespace cables {
 
@@ -44,12 +58,36 @@ using ThreadId = int32_t;
 constexpr ThreadId InvalidThreadId = -1;
 
 /**
+ * Why a thread is blocked. An enum (plus a static label table) rather
+ * than a caller-owned string so the reason can never dangle across
+ * fiber teardown in abort paths.
+ */
+enum class BlockReason : uint8_t {
+    None,       ///< not blocked
+    SvmLock,    ///< waiting for an SVM lock handover
+    SvmBarrier, ///< waiting inside an SVM barrier
+    CondWait,   ///< pthread-style condition wait
+    AttachWait, ///< waiting for an asynchronous node attach
+    Join,       ///< pthread_join on an unfinished thread
+    Other,      ///< anything else (tests, ad-hoc waits)
+};
+
+/** Static diagnostic label for @p r (never dangles). */
+const char *blockReasonLabel(BlockReason r);
+
+/**
  * One simulated thread: a fiber plus a virtual clock and run state.
  */
 class SimThread
 {
   public:
     enum class State { Runnable, Blocked, Finished };
+
+    /** Which host thread currently owns the fiber (parallel mode). */
+    enum class HostPhase {
+        OnScheduler, ///< running (or runnable) on the scheduler thread
+        Migrated,    ///< compute segment executing on a worker thread
+    };
 
     SimThread(ThreadId id, std::string name, std::function<void()> fn,
               Tick start_at)
@@ -66,7 +104,22 @@ class SimThread
     State state = State::Runnable;
 
     /** Why the thread is blocked (diagnostics only). */
-    const char *blockReason = "";
+    BlockReason blockReason = BlockReason::None;
+
+    /** Nesting depth of runtime operations (see Engine::opBegin). */
+    int opDepth = 0;
+
+    HostPhase hostPhase = HostPhase::OnScheduler;
+
+    /** Cluster node the thread runs on (worker mailbox affinity). */
+    int node = 0;
+
+    /**
+     * Opaque per-thread slot for the runtime layer (stable across the
+     * thread's life; readable from worker threads, unlike containers
+     * the scheduler may reallocate concurrently).
+     */
+    void *user = nullptr;
 
     Fiber fiber;
 };
@@ -81,11 +134,23 @@ class SimThread
 class Engine
 {
   public:
-    Engine();
+    explicit Engine(const EngineConfig &cfg = EngineConfig());
     ~Engine();
 
     Engine(const Engine &) = delete;
     Engine &operator=(const Engine &) = delete;
+
+    const EngineConfig &config() const { return cfg_; }
+
+    /** True when this engine runs with a worker pool. */
+    bool parallel() const { return cfg_.mode == EngineMode::Parallel; }
+
+    /**
+     * Set the migration lookahead (ticks); used by the runtime to
+     * install the auto default (minimum network latency) after the
+     * network model exists. Explicit EngineConfig::lookahead wins.
+     */
+    void setLookahead(Tick l);
 
     /**
      * Create a new simulated thread.
@@ -123,8 +188,11 @@ class Engine
     /// @name Fiber-side API (callable only from inside a simulated thread)
     /// @{
 
-    /** The currently executing simulated thread (null on the scheduler). */
-    SimThread *current() { return currentThread; }
+    /**
+     * The currently executing simulated thread (null on the scheduler
+     * stack). Thread-local: correct on workers too.
+     */
+    SimThread *current();
 
     /** Current thread's clock. */
     Tick now() const;
@@ -143,7 +211,40 @@ class Engine
      * Block the current thread until another thread or an event wakes it
      * via wake(). @p why is kept for deadlock diagnostics.
      */
-    void block(const char *why);
+    void block(BlockReason why);
+
+    /**
+     * Enter a runtime operation (nestable). At the outermost level this
+     * parks the fiber back onto the scheduler if its compute segment
+     * was migrated to a worker, then performs the uniform entry sync()
+     * — identical in serial and parallel mode, so both modes see the
+     * same yield points and the same ready-queue sequence numbers.
+     * Prefer the GuestOp RAII wrapper.
+     * @return the entered thread, to be passed back to opEnd().
+     */
+    SimThread *opBegin();
+
+    /**
+     * Leave a runtime operation on @p t (the thread opBegin()
+     * returned — not re-read from thread-local state, because an
+     * abandoned fiber unwinds on the scheduler's stack after the run).
+     * At the outermost level in parallel mode, if the thread is
+     * strictly ahead of all other pending work by at least the
+     * lookahead window (and a worker slot is free), the fiber is handed
+     * to a worker to execute the following compute segment
+     * concurrently; a ready ticket at (now, next seq) marks where the
+     * serial engine would resume it.
+     */
+    void opEnd(SimThread *t, bool allow_migrate = true);
+
+    /**
+     * Wait until no guest code is executing on a worker. Must be called
+     * (on the scheduler) before protocol code *reads* guest memory
+     * contents (twin copies, diff scans): in-flight compute segments of
+     * race-free guests may still be writing unrelated words of the same
+     * page. No simulated time passes. No-op in serial mode.
+     */
+    void contentFence();
 
     /// @}
 
@@ -195,6 +296,13 @@ class Engine
     /** Total events executed. */
     uint64_t eventsRun() const { return eventCount; }
 
+    /**
+     * Compute segments handed to worker threads. A host-side (wall
+     * clock domain) diagnostic: the count depends on host timing and is
+     * NOT deterministic, so it never enters the metrics registry.
+     */
+    uint64_t migrations() const { return migrationCount_; }
+
     /** Largest clock reached by any thread or event (the makespan). */
     Tick maxTime() const { return maxObservedTime; }
 
@@ -234,12 +342,27 @@ class Engine
     /** Pop the next valid ready entry; null if none. */
     SimThread *popReady();
 
+    /** Start the worker pool (parallel mode; called by run()). */
+    void startWorkers();
+
+    /** Close mailboxes and join all workers (idempotent). */
+    void stopWorkers();
+
+    /** Main loop of worker @p idx: resume fibers, report parks. */
+    void workerLoop(int idx);
+
+    /**
+     * Absorb park notifications from workers: mark fibers back on the
+     * scheduler and decrement the in-flight count. @p wait blocks for
+     * at least one notification (requires inFlight_ > 0).
+     */
+    void drainParked(bool wait);
+
     std::vector<std::unique_ptr<SimThread>> threads;
     std::priority_queue<ReadyEntry, std::vector<ReadyEntry>,
                         std::greater<ReadyEntry>> ready;
     std::priority_queue<Event, std::vector<Event>, EventOrder> events;
 
-    SimThread *currentThread = nullptr;
     Tracer *tracer_ = nullptr;
     prof::Profiler *profiler_ = nullptr;
     uint64_t seqCounter = 0;
@@ -248,6 +371,45 @@ class Engine
     Tick maxObservedTime = 0;
     bool running = false;
     bool stopped = false;
+
+    // Parallel mode.
+    EngineConfig cfg_;
+    Tick lookahead_ = 0;
+    bool parallelActive_ = false;          ///< worker pool running
+    int workerCount_ = 0;
+    int inFlight_ = 0;                     ///< fibers out on workers
+    uint64_t migrationCount_ = 0;
+    SimThread *migratePending_ = nullptr;  ///< hand-off set by opEnd()
+    std::vector<std::unique_ptr<WorkQueue<SimThread *>>> mailboxes_;
+    WorkQueue<ThreadId> inbox_;            ///< workers -> scheduler
+    std::vector<std::thread> workers_;
+};
+
+/**
+ * RAII runtime-operation bracket: opBegin() on construction, opEnd()
+ * on destruction. Every public Runtime entry point that touches shared
+ * simulation state wraps itself in one of these; nesting is fine (only
+ * the outermost bracket acts). Pass allow_migrate = false for
+ * operations whose continuation must stay on the scheduler (thread
+ * finish/teardown paths).
+ */
+class GuestOp
+{
+  public:
+    explicit GuestOp(Engine &engine, bool allow_migrate = true)
+        : engine_(engine), thread_(engine.opBegin()),
+          allowMigrate_(allow_migrate)
+    {}
+
+    ~GuestOp() { engine_.opEnd(thread_, allowMigrate_); }
+
+    GuestOp(const GuestOp &) = delete;
+    GuestOp &operator=(const GuestOp &) = delete;
+
+  private:
+    Engine &engine_;
+    SimThread *thread_;
+    bool allowMigrate_;
 };
 
 /**

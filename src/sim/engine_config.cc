@@ -1,0 +1,117 @@
+#include "sim/engine_config.hh"
+
+#include <cstdlib>
+#include <thread>
+
+#include "util/logging.hh"
+
+namespace cables {
+namespace sim {
+
+namespace {
+
+long
+parseLong(const std::string &text, const char *what)
+{
+    char *end = nullptr;
+    long v = std::strtol(text.c_str(), &end, 10);
+    fatal_if(end == text.c_str() || *end != '\0',
+             "bad {}: '{}' is not an integer", what, text);
+    return v;
+}
+
+} // namespace
+
+EngineConfig
+EngineConfig::forThreads(int n)
+{
+    EngineConfig cfg;
+    if (n > 0) {
+        cfg.mode = EngineMode::Parallel;
+        cfg.workers = n;
+    }
+    return cfg;
+}
+
+EngineConfig
+EngineConfig::fromEnv()
+{
+    EngineConfig cfg;
+    if (const char *t = std::getenv("CABLES_ENGINE_THREADS")) {
+        long n = parseLong(t, "CABLES_ENGINE_THREADS");
+        fatal_if(n < 0, "CABLES_ENGINE_THREADS must be >= 0, got {}", n);
+        cfg = forThreads(static_cast<int>(n));
+    }
+    if (const char *l = std::getenv("CABLES_ENGINE_LOOKAHEAD"))
+        cfg.lookahead = parseLong(l, "CABLES_ENGINE_LOOKAHEAD");
+    cfg.validate();
+    return cfg;
+}
+
+EngineConfig
+EngineConfig::parse(const std::string &spec)
+{
+    EngineConfig cfg;
+    if (spec == "serial") {
+        // default
+    } else if (spec.rfind("parallel", 0) == 0) {
+        cfg.mode = EngineMode::Parallel;
+        std::string rest = spec.substr(8);
+        if (!rest.empty()) {
+            fatal_if(rest[0] != ':', "bad engine spec '{}'", spec);
+            rest = rest.substr(1);
+            size_t colon = rest.find(':');
+            cfg.workers = static_cast<int>(
+                parseLong(rest.substr(0, colon), "engine worker count"));
+            if (colon != std::string::npos) {
+                cfg.lookahead = parseLong(rest.substr(colon + 1),
+                                          "engine lookahead");
+            }
+        }
+    } else {
+        long n = parseLong(spec, "engine spec");
+        fatal_if(n < 0, "engine thread count must be >= 0, got {}", n);
+        cfg = forThreads(static_cast<int>(n));
+    }
+    cfg.validate();
+    return cfg;
+}
+
+int
+EngineConfig::resolvedWorkers() const
+{
+    if (mode != EngineMode::Parallel)
+        return 0;
+    if (workers > 0)
+        return workers;
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 1 ? static_cast<int>(hw) : 1;
+}
+
+void
+EngineConfig::validate() const
+{
+    fatal_if(workers < 0, "engine worker count must be >= 0, got {}",
+             workers);
+    fatal_if(workers > 1024, "engine worker count {} is absurd (max 1024)",
+             workers);
+    fatal_if(lookahead < -1,
+             "engine lookahead must be -1 (auto) or >= 0, got {}",
+             lookahead);
+    fatal_if(mode == EngineMode::Serial && workers != 0,
+             "serial engine mode cannot have workers ({})", workers);
+}
+
+std::string
+EngineConfig::describe() const
+{
+    if (mode == EngineMode::Serial)
+        return "serial";
+    std::string s = "parallel:" + std::to_string(resolvedWorkers());
+    if (lookahead >= 0)
+        s += ":" + std::to_string(lookahead);
+    return s;
+}
+
+} // namespace sim
+} // namespace cables

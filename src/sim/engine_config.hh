@@ -1,0 +1,80 @@
+/**
+ * @file
+ * EngineConfig: the one knob bundle selecting how the DES uses the
+ * host machine. Serial mode (the default) is the reference
+ * single-host-thread engine; parallel mode adds a worker pool that
+ * executes guest compute segments concurrently while the scheduler
+ * keeps the operation stream in exact serial order (DESIGN.md §11).
+ *
+ * Parallel mode changes *wall-clock* behaviour only: every simulated
+ * time, metric, trace, check and profile result is bit-identical to
+ * serial mode by construction.
+ */
+
+#ifndef CABLES_SIM_ENGINE_CONFIG_HH
+#define CABLES_SIM_ENGINE_CONFIG_HH
+
+#include <string>
+
+#include "sim/ticks.hh"
+
+namespace cables {
+namespace sim {
+
+enum class EngineMode { Serial, Parallel };
+
+struct EngineConfig
+{
+    EngineMode mode = EngineMode::Serial;
+
+    /** Parallel mode: host worker threads; 0 = one per host core. */
+    int workers = 0;
+
+    /**
+     * Parallel mode: minimum simulated-time lead (ticks) a thread must
+     * hold over all other pending work before its compute segment is
+     * handed to a worker; -1 = auto (the network's minimum latency).
+     * A tuning knob, never a correctness one.
+     */
+    Tick lookahead = -1;
+
+    /** The serial reference engine. */
+    static EngineConfig serial() { return EngineConfig{}; }
+
+    /** n <= 0: serial; n > 0: parallel with n workers. */
+    static EngineConfig forThreads(int n);
+
+    /**
+     * Read CABLES_ENGINE_THREADS (unset/0 = serial, N = parallel with
+     * N workers) and CABLES_ENGINE_LOOKAHEAD (ticks) from the
+     * environment. Malformed values are a fatal() config error.
+     */
+    static EngineConfig fromEnv();
+
+    /**
+     * Parse "serial", "parallel", "parallel:N", "parallel:N:L" or a
+     * bare integer (forThreads). Throws FatalError on anything else.
+     */
+    static EngineConfig parse(const std::string &spec);
+
+    /** Worker-thread count to actually start (>= 1) in parallel mode. */
+    int resolvedWorkers() const;
+
+    /** Throw FatalError on out-of-range or inconsistent settings. */
+    void validate() const;
+
+    /** Human-readable one-liner ("serial", "parallel:4"). */
+    std::string describe() const;
+
+    bool
+    operator==(const EngineConfig &o) const
+    {
+        return mode == o.mode && workers == o.workers &&
+               lookahead == o.lookahead;
+    }
+};
+
+} // namespace sim
+} // namespace cables
+
+#endif // CABLES_SIM_ENGINE_CONFIG_HH

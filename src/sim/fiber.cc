@@ -14,10 +14,11 @@ namespace {
 /**
  * The fiber whose trampoline is about to run. makecontext() cannot
  * portably pass pointers, so the target is staged here between
- * switchTo() and the trampoline. The simulation is single host-threaded,
- * so a file-static is safe.
+ * switchTo() and the trampoline. Thread-local: the parallel engine
+ * resumes fibers from worker host threads too, and the trampoline
+ * always runs on the host thread that performed the first switchTo().
  */
-Fiber *startingFiber = nullptr;
+thread_local Fiber *startingFiber = nullptr;
 
 } // namespace
 

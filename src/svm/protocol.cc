@@ -175,6 +175,9 @@ Protocol::fault(NodeId node, PageId page, bool write)
             // Twin the page so the release-time diff captures our
             // modifications.
             auto twin = std::make_unique<uint8_t[]>(pageSize);
+            // About to read page *contents*: quiesce any guest compute
+            // segments still writing on engine worker threads.
+            engine.contentFence();
             std::memcpy(twin.get(), mem.host(pageBase(page)), pageSize);
             twins[node][page] = std::move(twin);
             engine.advance(params_.twinCost);
@@ -224,6 +227,7 @@ Protocol::flushPage(NodeId node, PageId page)
         s = StateReadShared;
     } else if (s == StateDirty) {
         NodeId h = homes[page];
+        engine.contentFence(); // diffSize reads page contents
         size_t diff = diffSize(node, page);
         engine.advance(params_.diffScanCost);
         deposit = comm.write(node, h, diff + params_.diffHeaderBytes);
@@ -268,6 +272,7 @@ Protocol::flushGroup(NodeId node, NodeId home,
             deposit = std::max(deposit, flushPage(node, p));
             continue;
         }
+        engine.contentFence(); // diffSize reads page contents
         size_t diff = diffSize(node, p);
         engine.advance(params_.diffScanCost);
         twins[node].erase(p);

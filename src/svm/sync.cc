@@ -33,6 +33,9 @@ LockTable::grantBytes(NodeId to) const
 void
 LockTable::acquire(NodeId node, LockId id, AcquireInfo *info)
 {
+    // Guest-facing entry (BaseSvm mode calls this straight from M4):
+    // park off any worker and perform the uniform entry sync.
+    sim::GuestOp guest_op(engine);
     engine.sync();
     sim::ProfScope prof_scope(engine, prof::Cat::MutexWait);
     Lock &l = locks.at(id);
@@ -89,7 +92,7 @@ LockTable::acquire(NodeId node, LockId id, AcquireInfo *info)
         engine.advance(params_.managerProcCost);
     }
     l.waiters.push_back(Waiter{node, tid});
-    engine.block("svm-lock");
+    engine.block(sim::BlockReason::SvmLock);
     // Woken as the new holder; token already moved by the releaser.
     // Re-resolve the lock: another thread may have grown `locks` while
     // we slept, invalidating references into the vector.
@@ -103,6 +106,7 @@ LockTable::acquire(NodeId node, LockId id, AcquireInfo *info)
 bool
 LockTable::tryAcquire(NodeId node, LockId id)
 {
+    sim::GuestOp guest_op(engine);
     engine.sync();
     sim::ProfScope prof_scope(engine, prof::Cat::MutexWait);
     Lock &l = locks.at(id);
@@ -133,6 +137,7 @@ LockTable::tryAcquire(NodeId node, LockId id)
 void
 LockTable::release(NodeId node, LockId id)
 {
+    sim::GuestOp guest_op(engine);
     // Attribution: the nested proto.release() pushes DiffFlush on top,
     // so diff time wins over the residual unlock bookkeeping.
     sim::ProfScope prof_scope(engine, prof::Cat::MutexWait);
@@ -177,6 +182,7 @@ BarrierTable::create(NodeId manager)
 void
 BarrierTable::enter(NodeId node, BarrierId id, int count)
 {
+    sim::GuestOp guest_op(engine);
     panic_if(count <= 0, "barrier with non-positive count");
     // Attribution: diff time inside the entry flush goes to DiffFlush
     // (nested scope); the wait itself to BarrierWait.
@@ -203,7 +209,7 @@ BarrierTable::enter(NodeId node, BarrierId id, int count)
 
     if (++b.arrived < count) {
         b.waiting.push_back(Waiter{node, tid});
-        engine.block("svm-barrier");
+        engine.block(sim::BlockReason::SvmBarrier);
         engine.advance(params_.barrierDepartCost);
         // Re-resolve: `barriers` may have grown while we slept.
         proto.acquireUpTo(node, barriers.at(id).seqAtRelease);

@@ -141,7 +141,7 @@ TEST(SplashBehaviour, CableSInitOverheadDominatedByAttach)
     ASSERT_TRUE(base_out.valid);
     ASSERT_TRUE(cables_out.valid);
     // Attaches happened and dominate total time ...
-    EXPECT_GE(cr.attaches, 3);
+    EXPECT_GE(cr.counter("cables.attaches"), 3u);
     EXPECT_GT(cr.total, 3 * cables_out.parallel);
     // ... while the parallel section stays within 2x of base.
     EXPECT_LT(cables_out.parallel, 2 * base_out.parallel + sim::MS);
@@ -162,7 +162,8 @@ TEST(SplashBehaviour, SingleWriterAppsFlushFewDiffs)
         res.valid = out.valid;
     });
     ASSERT_TRUE(out.valid);
-    EXPECT_LT(r.proto.diffsFlushed, r.proto.pagesFetched / 4 + 10);
+    EXPECT_LT(r.counter("svm.diffs_flushed"),
+              r.counter("svm.pages_fetched") / 4 + 10);
 }
 
 TEST(SplashBehaviour, RadixGeneratesWriteSharingTraffic)
@@ -180,5 +181,5 @@ TEST(SplashBehaviour, RadixGeneratesWriteSharingTraffic)
         res.valid = out.valid;
     });
     ASSERT_TRUE(out.valid);
-    EXPECT_GT(r.proto.diffsFlushed, 30u);
+    EXPECT_GT(r.counter("svm.diffs_flushed"), 30u);
 }

@@ -320,7 +320,7 @@ TEST(Checker, InstalledCheckerDoesNotPerturbSimulation)
         RunOptions opts;
         check::Checker ck;
         if (withChecker)
-            opts.checker = &ck;
+            opts.instr.checker = &ck;
         AppOut out;
         RunResult r = runProgram(cfg,
                                  [&](Runtime &rt, RunResult &res) {
@@ -340,8 +340,8 @@ TEST(Checker, InstalledCheckerDoesNotPerturbSimulation)
     EXPECT_EQ(plain_r.total, checked_r.total);
     EXPECT_EQ(plain_out.parallel, checked_out.parallel);
     EXPECT_EQ(plain_out.checksum, checked_out.checksum);
-    EXPECT_EQ(plain_r.messages, checked_r.messages);
-    EXPECT_EQ(plain_r.netBytes, checked_r.netBytes);
+    EXPECT_EQ(plain_r.sanMessages(), checked_r.sanMessages());
+    EXPECT_EQ(plain_r.sanBytes(), checked_r.sanBytes());
 
     // The metrics snapshot differs only by the race.* family the
     // checker publishes; after dropping it, the serialized snapshots
@@ -376,7 +376,7 @@ expectCleanSplash(const char *name,
     ClusterConfig cfg = splashConfig(b, procs);
     check::Checker ck;
     RunOptions opts;
-    opts.checker = &ck;
+    opts.instr.checker = &ck;
     AppOut out;
     RunResult r = runProgram(cfg,
                              [&](Runtime &rt, RunResult &res) {
@@ -494,7 +494,7 @@ TEST(CheckerSuite, PthreadProgramsClean)
     auto runOne = [](const std::function<void(Runtime &, AppOut &)> &f) {
         check::Checker ck;
         RunOptions opts;
-        opts.checker = &ck;
+        opts.instr.checker = &ck;
         AppOut out;
         RunResult r = runProgram(smallCfg(),
                                  [&](Runtime &rt, RunResult &res) {
@@ -528,7 +528,7 @@ TEST(CheckerSuite, OmpPortsClean)
     auto runOne = [](const std::function<void(Runtime &, AppOut &)> &f) {
         check::Checker ck;
         RunOptions opts;
-        opts.checker = &ck;
+        opts.instr.checker = &ck;
         AppOut out;
         RunResult r = runProgram(smallCfg(),
                                  [&](Runtime &rt, RunResult &res) {

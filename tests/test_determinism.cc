@@ -51,8 +51,9 @@ fingerprintSplash(const std::string &name, Backend b, int procs)
     });
     EXPECT_TRUE(out.valid);
     return Fingerprint{r.total, out.parallel, out.checksum,
-                       r.proto.readFaults + r.proto.writeFaults,
-                       r.messages};
+                       r.counter("svm.read_faults") +
+                           r.counter("svm.write_faults"),
+                       r.sanMessages()};
 }
 
 } // namespace
@@ -85,7 +86,7 @@ TEST(Determinism, PnIdenticalAcrossRuns)
                                      res.valid = out.valid;
                                  });
         EXPECT_TRUE(out.valid);
-        return std::pair<sim::Tick, uint64_t>(r.total, r.messages);
+        return std::pair<sim::Tick, uint64_t>(r.total, r.sanMessages());
     };
     EXPECT_EQ(run_once(), run_once());
 }
@@ -107,7 +108,7 @@ TEST(Determinism, MetricsUnperturbedByChecker)
     auto run_once = [&](check::Checker *ck) {
         AppOut out;
         RunOptions opts;
-        opts.checker = ck;
+        opts.instr.checker = ck;
         RunResult r = runProgram(splashConfig(Backend::CableS, 4),
                                  [&](Runtime &rt, RunResult &res) {
                                      m4::M4Env env(rt);
@@ -131,7 +132,7 @@ TEST(Determinism, MetricsUnperturbedByChecker)
     check::Checker ck;
     RunResult checked = run_once(&ck);
     EXPECT_EQ(plain1.total, checked.total);
-    EXPECT_EQ(plain1.messages, checked.messages);
+    EXPECT_EQ(plain1.sanMessages(), checked.sanMessages());
     metrics::Snapshot filtered = checked.metrics;
     for (auto it = filtered.counters.begin();
          it != filtered.counters.end();) {

@@ -1,0 +1,287 @@
+/**
+ * @file
+ * The parallel-engine determinism oracle and the EngineConfig knob
+ * bundle.
+ *
+ * The contract under test (DESIGN.md §11): parallel mode changes
+ * *wall-clock* behaviour only. Every simulated result — execution
+ * times, checksums, the full metrics snapshot, check reports, profile
+ * reports — must be bit-identical to the serial reference engine, for
+ * any worker count, on both backends. The serial engine is the oracle;
+ * these tests run the same program under both and diff everything.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "apps/splash.hh"
+#include "check/checker.hh"
+#include "prof/profiler.hh"
+#include "sim/engine.hh"
+#include "sim/engine_config.hh"
+#include "util/logging.hh"
+
+using namespace cables;
+using namespace cables::apps;
+using cs::Backend;
+using sim::EngineConfig;
+using sim::EngineMode;
+
+// ---------------------------------------------------------------------
+// EngineConfig: parsing, validation, environment.
+// ---------------------------------------------------------------------
+
+TEST(EngineConfig, DefaultIsSerial)
+{
+    EngineConfig c;
+    EXPECT_EQ(c.mode, EngineMode::Serial);
+    EXPECT_EQ(c.describe(), "serial");
+    EXPECT_NO_THROW(c.validate());
+}
+
+TEST(EngineConfig, ParseAcceptsTheDocumentedForms)
+{
+    EXPECT_EQ(EngineConfig::parse("serial"), EngineConfig::serial());
+
+    EngineConfig p = EngineConfig::parse("parallel");
+    EXPECT_EQ(p.mode, EngineMode::Parallel);
+    EXPECT_EQ(p.workers, 0); // one per host core
+    EXPECT_GE(p.resolvedWorkers(), 1);
+
+    EngineConfig p8 = EngineConfig::parse("parallel:8");
+    EXPECT_EQ(p8.mode, EngineMode::Parallel);
+    EXPECT_EQ(p8.workers, 8);
+    EXPECT_EQ(p8.resolvedWorkers(), 8);
+    EXPECT_EQ(p8.describe(), "parallel:8");
+
+    EngineConfig pl = EngineConfig::parse("parallel:2:5000");
+    EXPECT_EQ(pl.workers, 2);
+    EXPECT_EQ(pl.lookahead, 5000);
+
+    // A bare integer is forThreads(): 0 = serial, n = parallel:n.
+    EXPECT_EQ(EngineConfig::parse("0").mode, EngineMode::Serial);
+    EXPECT_EQ(EngineConfig::parse("3"), EngineConfig::forThreads(3));
+}
+
+TEST(EngineConfig, ParseRejectsMalformedSpecs)
+{
+    EXPECT_THROW(EngineConfig::parse(""), FatalError);
+    EXPECT_THROW(EngineConfig::parse("bogus"), FatalError);
+    EXPECT_THROW(EngineConfig::parse("parallel:"), FatalError);
+    EXPECT_THROW(EngineConfig::parse("parallel:x"), FatalError);
+    EXPECT_THROW(EngineConfig::parse("parallel:4:y"), FatalError);
+    EXPECT_THROW(EngineConfig::parse("-2"), FatalError);
+}
+
+TEST(EngineConfig, ValidateRejectsInconsistentSettings)
+{
+    EngineConfig c;
+    c.workers = -1;
+    EXPECT_THROW(c.validate(), FatalError);
+
+    EngineConfig l;
+    l.lookahead = -2; // only -1 (auto) and >= 0 are meaningful
+    EXPECT_THROW(l.validate(), FatalError);
+}
+
+TEST(EngineConfig, FromEnvReadsTheKnobs)
+{
+    ::setenv("CABLES_ENGINE_THREADS", "3", 1);
+    ::setenv("CABLES_ENGINE_LOOKAHEAD", "250", 1);
+    EngineConfig c = EngineConfig::fromEnv();
+    EXPECT_EQ(c.mode, EngineMode::Parallel);
+    EXPECT_EQ(c.workers, 3);
+    EXPECT_EQ(c.lookahead, 250);
+
+    ::setenv("CABLES_ENGINE_THREADS", "0", 1);
+    ::unsetenv("CABLES_ENGINE_LOOKAHEAD");
+    EXPECT_EQ(EngineConfig::fromEnv().mode, EngineMode::Serial);
+
+    ::unsetenv("CABLES_ENGINE_THREADS");
+    EXPECT_EQ(EngineConfig::fromEnv().mode, EngineMode::Serial);
+}
+
+// ---------------------------------------------------------------------
+// Bare engine: migrated compute segments preserve the event stream.
+// ---------------------------------------------------------------------
+
+namespace {
+
+/**
+ * Two staggered fibers alternating runtime operations (GuestOp-
+ * bracketed advances) with host-side math, returning the math result
+ * and the final virtual time. Both are guest-visible and must not
+ * depend on the engine's host mode. (switches()/migrations() are host
+ * diagnostics: how many segments actually migrate depends on wall-
+ * clock worker availability, so those counts legitimately vary.)
+ */
+std::pair<double, sim::Tick>
+runBareEngine(const EngineConfig &cfg, uint64_t *migrations = nullptr)
+{
+    sim::Engine e(cfg);
+    e.setLookahead(0);
+    double acc[2] = {0, 0};
+    sim::Tick end[2] = {0, 0};
+    for (int t = 0; t < 2; ++t) {
+        e.spawn("t", [&e, &acc, &end, t]() {
+            for (int i = 0; i < 50; ++i) {
+                {
+                    sim::GuestOp op(e);
+                    // Uneven costs so one thread is strictly ahead and
+                    // its math segment is eligible for migration.
+                    e.advance(t == 0 ? 120 : 80);
+                }
+                double s = acc[t];
+                for (int k = 1; k <= 400; ++k)
+                    s += 1.0 / (k * k + i + t);
+                acc[t] = s;
+            }
+            end[t] = e.now();
+        }, t);
+    }
+    e.run();
+    if (migrations)
+        *migrations = e.migrations();
+    return {acc[0] + 3 * acc[1], end[0] + 7 * end[1]};
+}
+
+} // namespace
+
+TEST(EngineParallel, BareEngineMigratesAndMatchesSerial)
+{
+    auto serial = runBareEngine(EngineConfig::serial());
+
+    for (int workers : {1, 2, 4}) {
+        uint64_t migrations = 0;
+        auto par =
+            runBareEngine(EngineConfig::forThreads(workers), &migrations);
+        EXPECT_EQ(par.first, serial.first)
+            << "math diverged at " << workers << " workers";
+        EXPECT_EQ(par.second, serial.second)
+            << "virtual time diverged at " << workers << " workers";
+        EXPECT_GT(migrations, 0u)
+            << "no segment ever migrated at " << workers << " workers";
+    }
+}
+
+// ---------------------------------------------------------------------
+// Full-stack oracle: SPLASH kernels, both backends, 1/2/4 workers.
+// ---------------------------------------------------------------------
+
+namespace {
+
+struct OracleRun
+{
+    AppOut out;
+    RunResult r;
+};
+
+OracleRun
+runSplash(const std::string &app, Backend backend, int nprocs,
+          const EngineConfig &engine)
+{
+    const SplashAppEntry *entry = nullptr;
+    for (const auto &e : splashSuite())
+        if (e.name == app)
+            entry = &e;
+    EXPECT_NE(entry, nullptr) << "unknown app " << app;
+
+    RunOptions ro;
+    ro.engine = engine;
+    OracleRun o;
+    o.r = runProgram(splashConfig(backend, nprocs),
+                     [&](Runtime &rt, RunResult &) {
+                         m4::M4Env env(rt);
+                         entry->run(env, nprocs, o.out);
+                     },
+                     ro);
+    return o;
+}
+
+void
+expectIdentical(const OracleRun &ser, const OracleRun &par,
+                const std::string &what)
+{
+    EXPECT_EQ(ser.r.total, par.r.total) << what;
+    EXPECT_EQ(ser.out.parallel, par.out.parallel) << what;
+    EXPECT_EQ(ser.out.checksum, par.out.checksum) << what;
+    EXPECT_EQ(ser.out.valid, par.out.valid) << what;
+    // The whole unfiltered snapshot: every counter, gauge and timer of
+    // every subsystem must match bit for bit.
+    EXPECT_EQ(ser.r.metrics.toJson().dump(), par.r.metrics.toJson().dump())
+        << what;
+}
+
+} // namespace
+
+TEST(EngineParallel, SplashOracleAcrossWorkerCountsAndBackends)
+{
+    for (const char *app : {"LU", "RAYTRACE"}) {
+        for (Backend backend : {Backend::BaseSvm, Backend::CableS}) {
+            OracleRun ser =
+                runSplash(app, backend, 4, EngineConfig::serial());
+            for (int workers : {1, 2, 4}) {
+                OracleRun par = runSplash(
+                    app, backend, 4, EngineConfig::forThreads(workers));
+                expectIdentical(
+                    ser, par,
+                    std::string(app) +
+                        (backend == Backend::BaseSvm ? "/base"
+                                                     : "/cables") +
+                        " workers=" + std::to_string(workers));
+            }
+        }
+    }
+}
+
+TEST(EngineParallel, ChargeFirstKernelActuallyMigrates)
+{
+    // LU charges each block update before the host math, so its compute
+    // segments are eligible for workers; a parallel run must hand off
+    // at least one (hostMigrations is a host-side diagnostic and lives
+    // outside the metrics snapshot — the oracle above stays exact).
+    OracleRun par =
+        runSplash("LU", Backend::CableS, 4, EngineConfig::forThreads(4));
+    EXPECT_GT(par.r.hostMigrations, 0u);
+
+    OracleRun ser =
+        runSplash("LU", Backend::CableS, 4, EngineConfig::serial());
+    EXPECT_EQ(ser.r.hostMigrations, 0u);
+}
+
+TEST(EngineParallel, CheckAndProfileReportsMatchSerial)
+{
+    auto instrumented = [&](const EngineConfig &engine) {
+        check::Checker checker;
+        prof::Profiler profiler;
+        RunOptions ro;
+        ro.engine = engine;
+        ro.instr.checker = &checker;
+        ro.instr.profiler = &profiler;
+        AppOut out;
+        RunResult r = runProgram(
+            splashConfig(Backend::CableS, 4),
+            [&](Runtime &rt, RunResult &) {
+                m4::M4Env env(rt);
+                LuParams p;
+                p.nprocs = 4;
+                p.n = 128;
+                p.block = 32;
+                runLu(env, p, out);
+            },
+            ro);
+        return r;
+    };
+
+    RunResult ser = instrumented(EngineConfig::serial());
+    RunResult par = instrumented(EngineConfig::forThreads(4));
+
+    ASSERT_TRUE(ser.checked);
+    ASSERT_TRUE(par.checked);
+    EXPECT_EQ(ser.checkReport.dump(), par.checkReport.dump());
+
+    ASSERT_TRUE(ser.profiled);
+    ASSERT_TRUE(par.profiled);
+    EXPECT_EQ(ser.profile.dump(), par.profile.dump());
+}

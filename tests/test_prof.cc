@@ -71,7 +71,7 @@ profiledRun(const ClusterConfig &cfg,
 {
     prof::Profiler p;
     RunOptions opts;
-    opts.profiler = &p;
+    opts.instr.profiler = &p;
     AppOut out;
     RunResult r = runProgram(cfg,
                              [&](Runtime &rt, RunResult &res) {
@@ -255,7 +255,7 @@ TEST(ProfilerSuite, ProfilingDoesNotPerturbTheRun)
         prof::Profiler p;
         RunOptions opts;
         if (profiled)
-            opts.profiler = &p;
+            opts.instr.profiler = &p;
         AppOut out;
         RunResult r = runProgram(splashConfig(cs::Backend::CableS, 4),
                                  [&](Runtime &rt, RunResult &res) {

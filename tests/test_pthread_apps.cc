@@ -20,6 +20,13 @@ cablesCluster(int procs)
     return splashConfig(Backend::CableS, procs);
 }
 
+uint64_t
+opCount(const RunResult &r, const char *key)
+{
+    const Stat *s = r.timer(key);
+    return s ? s->count() : 0;
+}
+
 } // namespace
 
 TEST(PthreadApps, PnCountsPrimesExactly)
@@ -36,11 +43,11 @@ TEST(PthreadApps, PnCountsPrimesExactly)
     EXPECT_TRUE(out.valid);
     EXPECT_EQ(uint64_t(out.checksum), 3245u); // pi(30000)
     // Table 5 columns: PN uses create, mutexes and conditions.
-    EXPECT_GT(r.ops.create.count(), 0u);
-    EXPECT_GT(r.ops.lock.count(), 0u);
-    EXPECT_GT(r.ops.signal.count(), 0u);
-    EXPECT_GT(r.ops.wait.count(), 0u);
-    EXPECT_GT(r.attaches, 0);
+    EXPECT_GT(opCount(r, "ops.create_ms"), 0u);
+    EXPECT_GT(opCount(r, "ops.lock_ms"), 0u);
+    EXPECT_GT(opCount(r, "ops.signal_ms"), 0u);
+    EXPECT_GT(opCount(r, "ops.wait_ms"), 0u);
+    EXPECT_GT(r.counter("cables.attaches"), 0u);
 }
 
 TEST(PthreadApps, PnScalesAcrossNodes)
@@ -74,10 +81,12 @@ TEST(PthreadApps, PcRunsOnOneNode)
                              });
     EXPECT_TRUE(out.valid);
     // Producer + consumer fit on the master node: no attach.
-    EXPECT_EQ(r.attaches, 0);
+    EXPECT_EQ(r.counter("cables.attaches"), 0u);
     // Local operation costs only: Table 5's PC row shows microsecond-
     // scale means (reported in ms).
-    EXPECT_LT(r.ops.lock.mean(), 1.0);
+    const Stat *lock = r.timer("ops.lock_ms");
+    ASSERT_NE(lock, nullptr);
+    EXPECT_LT(lock->mean(), 1.0);
 }
 
 TEST(PthreadApps, PcPreservesAllItems)
@@ -103,8 +112,8 @@ TEST(PthreadApps, PipeComputesPipelineResult)
                                  res.valid = out.valid;
                              });
     EXPECT_TRUE(out.valid);
-    EXPECT_GT(r.ops.wait.count(), 0u);
-    EXPECT_GT(r.ops.signal.count(), 0u);
+    EXPECT_GT(opCount(r, "ops.wait_ms"), 0u);
+    EXPECT_GT(opCount(r, "ops.signal_ms"), 0u);
 }
 
 TEST(PthreadApps, PipeWorksWithManyStages)

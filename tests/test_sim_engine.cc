@@ -92,7 +92,7 @@ TEST(Engine, BlockAndWake)
     Engine e;
     Tick woke_at = -1;
     ThreadId sleeper = e.spawn("sleeper", [&]() {
-        e.block("test");
+        e.block(BlockReason::Other);
         woke_at = e.now();
     }, 0);
     e.spawn("waker", [&]() {
@@ -111,7 +111,7 @@ TEST(Engine, WakeNeverMovesClockBackwards)
     ThreadId sleeper = e.spawn("sleeper", [&]() {
         e.advance(20 * US);
         e.sync();
-        e.block("test");
+        e.block(BlockReason::Other);
         woke_at = e.now();
     }, 0);
     e.spawn("waker", [&]() {
@@ -126,14 +126,14 @@ TEST(Engine, WakeNeverMovesClockBackwards)
 TEST(Engine, DeadlockDetected)
 {
     Engine e;
-    e.spawn("stuck", [&]() { e.block("forever"); }, 0);
+    e.spawn("stuck", [&]() { e.block(BlockReason::Other); }, 0);
     EXPECT_THROW(e.run(), FatalError);
 }
 
 TEST(Engine, DeadlockAllowedWhenRequested)
 {
     Engine e;
-    e.spawn("stuck", [&]() { e.block("forever"); }, 0);
+    e.spawn("stuck", [&]() { e.block(BlockReason::Other); }, 0);
     EXPECT_NO_THROW(e.run(true));
 }
 

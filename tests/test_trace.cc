@@ -96,7 +96,7 @@ TEST(Tracer, FftRunExportsDeterministicChromeTrace)
         ClusterConfig cfg = splashConfig(cs::Backend::CableS, 8);
         AppOut out;
         RunOptions ro;
-        ro.tracer = &tracer;
+        ro.instr.tracer = &tracer;
         runProgram(cfg,
                    [&](Runtime &rt, RunResult &res) {
                        m4::M4Env env(rt);
