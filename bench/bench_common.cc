@@ -47,6 +47,13 @@ usage(const std::string &bench, int code)
         "                   or serial)\n"
         "  --engine-lookahead <ticks>  parallel-engine lookahead window\n"
         "                   (default: the network's minimum latency)\n"
+        "  --explore <n>    (bench_explore) enumerate up to n schedules\n"
+        "                   per workload under the invariant oracle\n"
+        "  --explore-bound <k>  preemption bound for --explore "
+        "(default 2)\n"
+        "  --explore-seed <s>   random-tail seed for --explore\n"
+        "  --replay-schedule <file>  (bench_explore) replay one saved\n"
+        "                   cables-explore-schedule file bit-exactly\n"
         "  --help           this message\n",
         bench.c_str(), Report::schemaVersion);
     std::exit(code);
@@ -146,6 +153,17 @@ Options::parse(int argc, char **argv, const std::string &bench_name)
                 static_cast<int>(argNum(argc, argv, i, bench_name));
         else if (!std::strcmp(a, "--engine-lookahead"))
             o.engineLookahead = argNum(argc, argv, i, bench_name);
+        else if (!std::strcmp(a, "--explore"))
+            o.explore =
+                static_cast<int>(argNum(argc, argv, i, bench_name));
+        else if (!std::strcmp(a, "--explore-bound"))
+            o.exploreBound =
+                static_cast<int>(argNum(argc, argv, i, bench_name));
+        else if (!std::strcmp(a, "--explore-seed"))
+            o.exploreSeed = static_cast<uint64_t>(
+                argNum(argc, argv, i, bench_name));
+        else if (!std::strcmp(a, "--replay-schedule"))
+            o.replaySchedulePath = argStr(argc, argv, i, bench_name);
         else {
             std::fprintf(stderr, "%s: unknown option '%s'\n",
                          bench_name.c_str(), a);

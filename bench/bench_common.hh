@@ -25,6 +25,12 @@
  *                    time-breakdown profiler; print a category summary
  *   --profile-json <path>  write the per-run "cables-profile-report"
  *                    documents as a JSON array (implies --profile)
+ *   --explore <n>    (bench_explore) enumerate up to n schedules per
+ *                    workload under the invariant oracle
+ *   --explore-bound <k>  preemption bound for --explore (default 2)
+ *   --explore-seed <s>   random-tail seed for --explore
+ *   --replay-schedule <file>  (bench_explore) replay one saved
+ *                    "cables-explore-schedule" file bit-exactly
  *   --help           usage
  *
  * The default output (no flags) is the human-readable paper-style
@@ -74,6 +80,10 @@ struct Options
     int migrationThreshold = 0; ///< --migration-threshold (0 = default)
     int engineThreads = -1;     ///< --engine-threads (-1 = env/default)
     int64_t engineLookahead = -1; ///< --engine-lookahead (-1 = auto)
+    int explore = 0;            ///< --explore <n> schedules (0 = off)
+    int exploreBound = 2;       ///< --explore-bound (preemptions)
+    uint64_t exploreSeed = 1;   ///< --explore-seed
+    std::string replaySchedulePath; ///< --replay-schedule <file>
 
     /**
      * The engine configuration the bench's simulated runs should use:

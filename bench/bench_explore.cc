@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Systematic schedule exploration over small kernels, with the SVM
+ * protocol invariant oracle as the bug oracle (see check/explore.hh
+ * and svm/invariants.hh).
+ *
+ * Unlike the paper-table benches this binary does not reproduce a
+ * figure: it enumerates bounded-preemption schedules of a few small
+ * workloads on both backends and requires every schedule to satisfy
+ * the protocol invariants. Output is a "cables-explore-report" v1
+ * document (one entry per workload) rather than a bench report.
+ *
+ *   bench_explore --explore 200 --explore-bound 2 --json report.json
+ *   bench_explore --replay-schedule lu-base-failure-0.schedule.json
+ *
+ * Any failing schedule is saved next to the report as a
+ * self-contained "cables-explore-schedule" file whose context names
+ * the workload, so --replay-schedule reruns it bit-exactly.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/pthread_apps.hh"
+#include "apps/splash.hh"
+#include "bench_common.hh"
+#include "cables/shared.hh"
+#include "check/explore.hh"
+#include "m4/m4.hh"
+#include "util/logging.hh"
+
+using namespace cables;
+using namespace cables::apps;
+using cs::Backend;
+
+namespace {
+
+/** The explored kernels: tiny variants so hundreds of runs stay fast. */
+const std::vector<std::string> kWorkloads = {
+    "lu-base", "lu-cables", "pn", "attach",
+};
+
+/** Dynamic attach/detach kernel: threads spill over the master node
+ *  so CableS attaches nodes on demand, under a lock and a barrier. */
+void
+attachKernel(Runtime &rt)
+{
+    constexpr int kThreads = 6;
+    auto counter = cs::GArray<uint64_t>::alloc(rt, 1);
+    counter.write(0, 0);
+    int m = rt.mutexCreate();
+    int b = rt.barrierCreate();
+    std::vector<int> tids;
+    for (int i = 0; i < kThreads; ++i) {
+        tids.push_back(rt.threadCreate([&rt, &counter, m, b]() {
+            rt.mutexLock(m);
+            counter.write(0, counter.read(0) + 1);
+            rt.mutexUnlock(m);
+            rt.barrier(b, kThreads + 1);
+        }));
+    }
+    rt.barrier(b, kThreads + 1);
+    for (int t : tids)
+        rt.join(t);
+}
+
+/** Build the schedule-controlled run callback for one workload. */
+check::RunFn
+makeRun(const std::string &name, const sim::EngineConfig &eng)
+{
+    return [name, eng](check::ScheduleExplorer &ex) {
+        RunOptions ro;
+        ro.engine = eng;
+        ro.explorer = &ex;
+        RunResult r;
+        if (name == "lu-base" || name == "lu-cables") {
+            LuParams p;
+            p.nprocs = 4;
+            p.n = 32;
+            p.block = 8; // scatter ownership: twins + diff flushes
+            Backend be = name == "lu-base" ? Backend::BaseSvm
+                                           : Backend::CableS;
+            AppOut out;
+            r = runProgram(splashConfig(be, p.nprocs),
+                           [&](Runtime &rt, RunResult &) {
+                               m4::M4Env env(rt);
+                               runLu(env, p, out);
+                           },
+                           ro);
+        } else if (name == "pn") {
+            PnParams p;
+            p.threads = 4;
+            p.limit = 2000;
+            p.chunk = 250;
+            AppOut out;
+            r = runProgram(splashConfig(Backend::CableS, p.threads),
+                           [&](Runtime &rt, RunResult &) {
+                               runPn(rt, p, out);
+                           },
+                           ro);
+        } else if (name == "attach") {
+            r = runProgram(splashConfig(Backend::CableS, 6),
+                           [&](Runtime &rt, RunResult &) {
+                               attachKernel(rt);
+                           },
+                           ro);
+        } else {
+            std::fprintf(stderr, "explore: unknown workload '%s'\n",
+                         name.c_str());
+            std::exit(2);
+        }
+        return check::RunOutcome{r.invariantViolations, r.opFingerprint};
+    };
+}
+
+int
+replayMode(const bench::Options &opts)
+{
+    check::ExploreSchedule sched;
+    std::string why;
+    if (!check::ExploreSchedule::load(opts.replaySchedulePath, &sched,
+                                      &why)) {
+        std::fprintf(stderr, "explore: cannot load schedule '%s': %s\n",
+                     opts.replaySchedulePath.c_str(), why.c_str());
+        return 2;
+    }
+    std::string workload = sched.context.get("workload").asString();
+    if (workload.empty()) {
+        std::fprintf(stderr,
+                     "explore: schedule context names no workload\n");
+        return 2;
+    }
+    check::RunOutcome out = check::replaySchedule(
+        sched.decisions, makeRun(workload, opts.engineConfig()));
+    std::printf("replayed %s: %zu decisions, fingerprint %016llx, "
+                "%zu violation(s)\n",
+                workload.c_str(), sched.decisions.size(),
+                static_cast<unsigned long long>(out.fingerprint),
+                out.violations.size());
+    for (const check::Violation &v : out.violations)
+        std::printf("  [%s] object %lld: %s\n", v.invariant.c_str(),
+                    static_cast<long long>(v.object), v.detail.c_str());
+    return out.violations.empty() ? 0 : 1;
+}
+
+/** Directory part of @p path including the trailing slash ("" = cwd). */
+std::string
+dirOf(const std::string &path)
+{
+    size_t slash = path.rfind('/');
+    return slash == std::string::npos ? "" : path.substr(0, slash + 1);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto opts = bench::Options::parse(argc, argv, "explore");
+    if (!opts.replaySchedulePath.empty())
+        return replayMode(opts);
+
+    int budget = opts.explore > 0 ? opts.explore : 60;
+    check::ExploreConfig cfg;
+    cfg.schedules = budget;
+    cfg.preemptionBound = opts.exploreBound;
+    cfg.seed = opts.exploreSeed;
+
+    util::Json workloads = util::Json::array();
+    uint64_t totalRuns = 0, totalFailures = 0;
+    std::string outDir = dirOf(opts.jsonPath);
+    for (const std::string &name : kWorkloads) {
+        check::ExploreResult res =
+            check::explore(cfg, makeRun(name, opts.engineConfig()));
+        totalRuns += res.schedulesRun;
+        totalFailures += res.failures.size();
+        std::printf("%-10s %4llu schedules, %4llu states, %3llu pruned, "
+                    "%s%s\n",
+                    name.c_str(),
+                    static_cast<unsigned long long>(res.schedulesRun),
+                    static_cast<unsigned long long>(res.distinctStates),
+                    static_cast<unsigned long long>(res.sleepSetPruned),
+                    res.exhausted ? "exhausted, " : "",
+                    res.clean()
+                        ? "clean"
+                        : csprintf("{} FAILURE(S)", res.failures.size())
+                              .c_str());
+        for (size_t i = 0; i < res.failures.size(); ++i) {
+            const check::ExploreFailure &f = res.failures[i];
+            for (const check::Violation &v : f.violations)
+                std::printf("  [%s] object %lld: %s\n",
+                            v.invariant.c_str(),
+                            static_cast<long long>(v.object),
+                            v.detail.c_str());
+            check::ExploreSchedule sched;
+            sched.decisions = f.shrunkDecisions;
+            sched.context.set("workload", name);
+            sched.context.set("explore_bound", cfg.preemptionBound);
+            std::string path =
+                csprintf("{}{}-failure-{}.schedule.json", outDir, name, i);
+            if (sched.save(path))
+                std::printf("  schedule saved to %s (replay with "
+                            "--replay-schedule)\n",
+                            path.c_str());
+        }
+        util::Json entry = res.toJson();
+        entry.set("workload", name);
+        workloads.push(entry);
+    }
+
+    if (!opts.jsonPath.empty()) {
+        util::Json doc = util::Json::object();
+        doc.set("schema", check::ExploreResult::schemaName);
+        doc.set("schema_version", check::ExploreResult::schemaVersion);
+        util::Json jcfg = util::Json::object();
+        jcfg.set("schedules_per_workload", cfg.schedules);
+        jcfg.set("preemption_bound", cfg.preemptionBound);
+        jcfg.set("seed", static_cast<int64_t>(cfg.seed));
+        doc.set("config", jcfg);
+        doc.set("workloads", workloads);
+        std::FILE *f = std::fopen(opts.jsonPath.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "explore: cannot write %s\n",
+                         opts.jsonPath.c_str());
+            return 2;
+        }
+        std::string text = doc.dump(2);
+        std::fwrite(text.data(), 1, text.size(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+    }
+
+    std::printf("explored %llu schedules across %zu workloads: %s\n",
+                static_cast<unsigned long long>(totalRuns),
+                kWorkloads.size(),
+                totalFailures ? "INVARIANT FAILURES" : "all clean");
+    return totalFailures ? 1 : 0;
+}

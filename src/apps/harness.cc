@@ -74,6 +74,17 @@ runProgram(const ClusterConfig &cfg, const Program &prog,
     check::Checker *checker = instr.checker;
     prof::Profiler *profiler = instr.profiler;
 
+    // Exploration: the explorer steers every tied scheduling decision
+    // and an invariant oracle audits the protocol as it runs.
+    std::unique_ptr<svm::InvariantOracle> oracle;
+    if (opts.explorer) {
+        oracle = std::make_unique<svm::InvariantOracle>(rt.engine());
+        oracle->injectFaults(opts.oracleFaults);
+        oracle->setSink(opts.explorer);
+        rt.setOracle(oracle.get());
+        rt.engine().setScheduleController(opts.explorer);
+    }
+
     rt.run([&]() {
         try {
             cs::csStart(rt);
@@ -110,6 +121,12 @@ runProgram(const ClusterConfig &cfg, const Program &prog,
         res.profile = profiler->report();
         if (ownProfiler)
             prof::accumulateProfileReport(res.profile);
+    }
+    if (oracle) {
+        oracle->finalize();
+        res.explored = true;
+        res.opFingerprint = opts.explorer->fingerprint();
+        res.invariantViolations = oracle->violations();
     }
     res.metrics = rt.metricsSnapshot();
     if (failed)

@@ -18,7 +18,9 @@
 #include "cables/runtime.hh"
 #include "cables/shared.hh"
 #include "check/checker.hh"
+#include "check/explore.hh"
 #include "m4/m4.hh"
+#include "svm/invariants.hh"
 #include "util/metrics.hh"
 
 namespace cables {
@@ -76,6 +78,20 @@ struct RunResult
 
     /** The full "cables-profile-report" v1 document; null otherwise. */
     util::Json profile;
+
+    /// @}
+
+    /// @name Schedule exploration (populated when an explorer drove it)
+    /// @{
+
+    /** True when this run was driven by a ScheduleExplorer. */
+    bool explored = false;
+
+    /** FNV-1a fingerprint of the observed op stream (state identity). */
+    uint64_t opFingerprint = 0;
+
+    /** Protocol invariant violations the oracle found (empty = clean). */
+    std::vector<check::Violation> invariantViolations;
 
     /// @}
 
@@ -159,6 +175,22 @@ struct RunOptions
      * bit-identical either way.
      */
     sim::EngineConfig engine = sim::EngineConfig::fromEnv();
+
+    /**
+     * Schedule explorer driving this run (see check/explore.hh). When
+     * set, the harness installs it as the engine's schedule controller,
+     * creates an InvariantOracle wired to it as the op sink, and fills
+     * RunResult's exploration fields. Exploration forces the serial
+     * engine decision stream (the engine disables host-parallel
+     * migration under a controller), so results replay bit-exactly.
+     */
+    check::ScheduleExplorer *explorer = nullptr;
+
+    /**
+     * Test-only oracle fault injection (effective only when an
+     * explorer-driven oracle runs). Defaults to all-disabled.
+     */
+    svm::OracleFaults oracleFaults;
 };
 
 /**

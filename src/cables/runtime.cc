@@ -4,6 +4,7 @@
 
 #include "cables/memory.hh"
 #include "check/checker.hh"
+#include "svm/invariants.hh"
 #include "prof/profiler.hh"
 #include "sim/trace.hh"
 #include "util/logging.hh"
@@ -92,6 +93,13 @@ Runtime::run(std::function<void()> main_fn)
         numAttached = 1;
     }
 
+    if (oracle_) {
+        // The initial attach set is only settled here (BaseSvm attaches
+        // every node before time zero); refresh the oracle's view.
+        std::vector<bool> att(attached.begin(), attached.end());
+        oracle_->clusterInit(cfg.nodes, att);
+    }
+
     startThread(0, std::move(main_fn), 0);
     engine_->run(true);
     if (abortReason_.empty()) {
@@ -159,6 +167,19 @@ void
 Runtime::setProfiler(prof::Profiler *p)
 {
     engine_->setProfiler(p);
+}
+
+void
+Runtime::setOracle(svm::InvariantOracle *o)
+{
+    oracle_ = o;
+    proto_->setOracle(o);
+    svmLocks_->setOracle(o);
+    svmBarriers_->setOracle(o);
+    if (o) {
+        std::vector<bool> att(attached.begin(), attached.end());
+        o->clusterInit(cfg.nodes, att);
+    }
 }
 
 void
@@ -270,6 +291,8 @@ Runtime::wakeThread(int tid, Tick at, sim::BlockReason expected)
 void
 Runtime::acbRead(NodeId node, size_t bytes)
 {
+    if (oracle_)
+        oracle_->acbRequest(node, "read");
     charge(CostKind::LocalCables, cfg.costs.acbLocalOp);
     if (node != 0) {
         Tick t0 = engine_->now();
@@ -281,6 +304,8 @@ Runtime::acbRead(NodeId node, size_t bytes)
 void
 Runtime::acbWrite(NodeId node, size_t bytes)
 {
+    if (oracle_)
+        oracle_->acbRequest(node, "write");
     charge(CostKind::LocalCables, cfg.costs.acbLocalOp);
     if (node != 0) {
         Tick t0 = engine_->now();
@@ -292,6 +317,8 @@ Runtime::acbWrite(NodeId node, size_t bytes)
 void
 Runtime::adminRequest(NodeId node)
 {
+    if (oracle_)
+        oracle_->acbRequest(node, "admin");
     charge(CostKind::LocalCables, cfg.costs.adminLocalOp);
     if (node != 0) {
         engine_->sync();
@@ -352,6 +379,8 @@ Runtime::startThread(NodeId node, std::function<void()> fn, Tick start_at)
         Tick at = engine_->current() ? engine_->now() : start_at;
         checker_->threadStarted(st, tid, node, parent, at);
     }
+    if (oracle_)
+        oracle_->threadPlaced(node);
     return tid;
 }
 
@@ -408,6 +437,8 @@ Runtime::attachNode(NodeId n)
     sim::ProfScope prof_scope(*engine_, prof::Cat::ThreadMgmt);
     CsThread &me = self();
     Tick t0 = engine_->now();
+    if (oracle_)
+        oracle_->attachStarted(n);
 
     charge(CostKind::LocalCables, cfg.costs.attachMasterCables);
     // Master-side OS work overlaps the remote process spawn.
@@ -447,6 +478,8 @@ Runtime::attachNode(NodeId n)
     traceOp("attach", t0);
     if (checker_)
         checker_->nodeAttached(me.simTid, n, engine_->now());
+    if (oracle_)
+        oracle_->attachCompleted(n);
 }
 
 int
@@ -471,6 +504,8 @@ Runtime::startAsyncAttach(NodeId n)
     sim::ProfScope prof_scope(*engine_, prof::Cat::ThreadMgmt);
     CsThread &me = self();
     attachPending[n] = true;
+    if (oracle_)
+        oracle_->attachStarted(n);
     charge(CostKind::LocalCables, cfg.costs.attachMasterCables);
     engine_->sync();
     Tick start = engine_->now();
@@ -504,6 +539,8 @@ Runtime::completeAttach(NodeId n, Tick started, Tick at)
     attached[n] = true;
     numAttached += 1;
     attaches += 1;
+    if (oracle_)
+        oracle_->attachCompleted(n);
     opStats_.attach.sample(toMs(at - started));
     if (tracer_) {
         // Event context: no calling thread, so the span has no tid.
@@ -519,6 +556,8 @@ void
 Runtime::detachNode(NodeId n)
 {
     // Tear down ACB node state; remote resources are reclaimed lazily.
+    if (oracle_)
+        oracle_->nodeDetached(n, nodeThreads[n]);
     charge(CostKind::LocalCables, cfg.costs.acbLocalOp);
     attached[n] = false;
     numAttached -= 1;

@@ -366,6 +366,17 @@ class Runtime
     void setProfiler(prof::Profiler *p);
     prof::Profiler *profiler() const { return engine_->profiler(); }
 
+    /**
+     * Install (or remove, with nullptr) the SVM protocol invariant
+     * oracle; forwarded to the protocol and the SVM lock and barrier
+     * tables, with runtime-level attach/detach/ACB pairing hooks
+     * observed here. Same pure-observer discipline as the checker:
+     * results are bit-identical with and without one, and every hook
+     * site costs a single branch on a raw pointer when absent.
+     */
+    void setOracle(svm::InvariantOracle *o);
+    svm::InvariantOracle *oracle() const { return oracle_; }
+
     /// @}
 
     /**
@@ -486,6 +497,7 @@ class Runtime
     OpStats opStats_;
     sim::Tracer *tracer_ = nullptr;
     check::Checker *checker_ = nullptr;
+    svm::InvariantOracle *oracle_ = nullptr;
     std::string abortReason_;
 
     static Runtime *activeRuntime;

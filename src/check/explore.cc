@@ -1,0 +1,492 @@
+#include "check/explore.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <unordered_set>
+
+#include "util/logging.hh"
+
+namespace cables {
+namespace check {
+
+namespace {
+
+std::string
+hexFingerprint(uint64_t fp)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "0x%016llx",
+                  static_cast<unsigned long long>(fp));
+    return buf;
+}
+
+std::vector<uint32_t>
+trimmed(std::vector<uint32_t> d)
+{
+    // Trailing zeros are insignificant: queries beyond the vector end
+    // take the default anyway.
+    while (!d.empty() && d.back() == 0)
+        d.pop_back();
+    return d;
+}
+
+util::Json
+decisionsJson(const std::vector<uint32_t> &d)
+{
+    util::Json a = util::Json::array();
+    for (uint32_t v : d)
+        a.push(static_cast<int64_t>(v));
+    return a;
+}
+
+} // namespace
+
+util::Json
+Violation::toJson() const
+{
+    util::Json j = util::Json::object();
+    j.set("invariant", invariant);
+    j.set("object", object);
+    j.set("detail", detail);
+    return j;
+}
+
+util::Json
+ExploreSchedule::toJson() const
+{
+    util::Json j = util::Json::object();
+    j.set("schema", schemaName);
+    j.set("schema_version", schemaVersion);
+    j.set("context", context);
+    j.set("decisions", decisionsJson(decisions));
+    return j;
+}
+
+bool
+ExploreSchedule::fromJson(const util::Json &doc, ExploreSchedule *out,
+                          std::string *why)
+{
+    auto fail = [&](const char *msg) {
+        if (why)
+            *why = msg;
+        return false;
+    };
+    if (!doc.isObject())
+        return fail("not a JSON object");
+    if (doc.get("schema").asString() != schemaName)
+        return fail("wrong schema (expected cables-explore-schedule)");
+    if (doc.get("schema_version").asInt() != schemaVersion)
+        return fail("unsupported schema_version");
+    const util::Json &dec = doc.get("decisions");
+    if (!dec.isArray())
+        return fail("decisions is not an array");
+    out->decisions.clear();
+    for (const util::Json &v : dec.items()) {
+        if (!v.isNumber() || v.asInt() < 0)
+            return fail("decisions entries must be non-negative integers");
+        out->decisions.push_back(static_cast<uint32_t>(v.asInt()));
+    }
+    out->context = doc.get("context");
+    return true;
+}
+
+bool
+ExploreSchedule::save(const std::string &path) const
+{
+    std::ofstream f(path);
+    if (!f)
+        return false;
+    f << toJson().dump(2) << "\n";
+    return static_cast<bool>(f);
+}
+
+bool
+ExploreSchedule::load(const std::string &path, ExploreSchedule *out,
+                      std::string *why)
+{
+    std::ifstream f(path);
+    if (!f) {
+        if (why)
+            *why = "cannot open file";
+        return false;
+    }
+    std::stringstream ss;
+    ss << f.rdbuf();
+    std::string err;
+    util::Json doc = util::Json::parse(ss.str(), &err);
+    if (doc.isNull() && !err.empty()) {
+        if (why)
+            *why = err;
+        return false;
+    }
+    return fromJson(doc, out, why);
+}
+
+ScheduleExplorer::ScheduleExplorer(std::vector<uint32_t> prefix, Tail tail,
+                                   uint64_t seed, int preemption_budget)
+    : prefix_(std::move(prefix)), tail_(tail), rng_(seed),
+      budget_(preemption_budget)
+{}
+
+uint32_t
+ScheduleExplorer::nextDecision(uint32_t branch, bool is_pick)
+{
+    size_t i = decisions_.size();
+    uint32_t v = 0;
+    if (i < prefix_.size()) {
+        // Replay: clamp defensively (a shrunk vector can only shrink
+        // values, so clamping never fires on vectors we produced).
+        v = std::min(prefix_[i], branch - 1);
+    } else if (tail_ == Tail::Random) {
+        if (is_pick) {
+            v = static_cast<uint32_t>(rng_.below(branch));
+        } else if (preemptions_ < budget_ && rng_.below(16) == 0) {
+            // Preempt sparingly: dense preemption burns the whole
+            // budget on the first few sync ties of the run.
+            v = 1;
+        }
+    }
+    decisions_.push_back(v);
+    return v;
+}
+
+size_t
+ScheduleExplorer::pickTied(const std::vector<sim::ThreadId> &cands)
+{
+    uint32_t v = nextDecision(static_cast<uint32_t>(cands.size()), true);
+    points_.push_back(
+        Point{true, static_cast<uint32_t>(cands.size()), v, cands,
+              ops_.size()});
+    return v;
+}
+
+bool
+ScheduleExplorer::preemptTied(sim::ThreadId tid)
+{
+    (void)tid;
+    uint32_t v = nextDecision(2, false);
+    points_.push_back(Point{false, 2, v, {}, ops_.size()});
+    if (v)
+        ++preemptions_;
+    return v != 0;
+}
+
+void
+ScheduleExplorer::noteOp(sim::ThreadId tid, OpKind kind, int64_t object)
+{
+    ops_.push_back(OpRec{tid, kind, object});
+    ++opCount_;
+    auto fold = [&](uint64_t x) {
+        for (int i = 0; i < 8; ++i) {
+            fingerprint_ ^= (x >> (8 * i)) & 0xff;
+            fingerprint_ *= 1099511628211ULL; // FNV prime
+        }
+    };
+    fold(static_cast<uint64_t>(static_cast<int64_t>(tid)));
+    fold(static_cast<uint64_t>(kind));
+    fold(static_cast<uint64_t>(object));
+}
+
+bool
+ScheduleExplorer::firstOpAfter(size_t from, sim::ThreadId tid, OpKind *kind,
+                               int64_t *object) const
+{
+    for (size_t i = from; i < ops_.size(); ++i) {
+        if (ops_[i].tid == tid) {
+            *kind = ops_[i].kind;
+            *object = ops_[i].object;
+            return true;
+        }
+    }
+    return false;
+}
+
+util::Json
+ExploreFailure::toJson() const
+{
+    util::Json j = util::Json::object();
+    util::Json viols = util::Json::array();
+    for (const Violation &v : violations)
+        viols.push(v.toJson());
+    j.set("violations", std::move(viols));
+    j.set("decisions", decisionsJson(decisions));
+    j.set("shrunk_decisions", decisionsJson(shrunkDecisions));
+    j.set("fingerprint", hexFingerprint(fingerprint));
+    j.set("replay_ok", replayOk);
+    return j;
+}
+
+util::Json
+ExploreResult::toJson() const
+{
+    util::Json j = util::Json::object();
+    j.set("schedules_run", static_cast<int64_t>(schedulesRun));
+    j.set("distinct_states", static_cast<int64_t>(distinctStates));
+    j.set("decision_points", static_cast<int64_t>(decisionPoints));
+    j.set("preemptions", static_cast<int64_t>(preemptions));
+    j.set("sleep_set_pruned", static_cast<int64_t>(sleepSetPruned));
+    j.set("branches_dropped", static_cast<int64_t>(branchesDropped));
+    j.set("exhausted", exhausted);
+    j.set("clean", clean());
+    util::Json fs = util::Json::array();
+    for (const ExploreFailure &f : failures)
+        fs.push(f.toJson());
+    j.set("failures", std::move(fs));
+    return j;
+}
+
+namespace {
+
+/** (invariant, object) of the first violation: identity of a failure. */
+std::string
+failureKey(const RunOutcome &out)
+{
+    if (out.violations.empty())
+        return "";
+    const Violation &v = out.violations.front();
+    return v.invariant + "#" + std::to_string(v.object);
+}
+
+struct Driver
+{
+    const ExploreConfig &cfg;
+    const RunFn &run;
+    ExploreResult res;
+    std::unordered_set<uint64_t> states;
+    std::set<std::string> seenFailures;
+
+    /** Run one schedule, folding its stats into the result. */
+    RunOutcome
+    runOnce(ScheduleExplorer &ex)
+    {
+        RunOutcome out = run(ex);
+        if (!out.fingerprint)
+            out.fingerprint = ex.fingerprint();
+        ++res.schedulesRun;
+        states.insert(out.fingerprint);
+        res.decisionPoints += ex.points().size();
+        res.preemptions += ex.preemptionsTaken();
+        return out;
+    }
+
+    /** Does @p dec (defaults tail) reproduce a failure with @p key? */
+    bool
+    reproduces(const std::vector<uint32_t> &dec, const std::string &key,
+               RunOutcome *out_p, uint64_t *fp_p)
+    {
+        ScheduleExplorer ex(dec, ScheduleExplorer::Tail::Defaults, cfg.seed,
+                            cfg.preemptionBound);
+        RunOutcome out = runOnce(ex);
+        bool hit = failureKey(out) == key;
+        if (hit) {
+            if (out_p)
+                *out_p = out;
+            if (fp_p)
+                *fp_p = ex.fingerprint();
+        }
+        return hit;
+    }
+
+    /**
+     * Greedy shrink: halving truncation, then an end-to-start zeroing
+     * pass, accepting every candidate that still reproduces the same
+     * (invariant, object) failure. @p final/@p fp track the outcome of
+     * the last accepted candidate.
+     */
+    std::vector<uint32_t>
+    shrinkVector(std::vector<uint32_t> cur, const std::string &key,
+                 RunOutcome *final_out, uint64_t *fp)
+    {
+        int left = cfg.maxShrinkRuns;
+        while (left > 0 && cur.size() > 1) {
+            auto cand = trimmed(std::vector<uint32_t>(
+                cur.begin(), cur.begin() + cur.size() / 2));
+            --left;
+            if (!reproduces(cand, key, final_out, fp))
+                break;
+            cur = cand;
+        }
+        for (size_t i = cur.size(); i-- > 0 && left > 0;) {
+            if (!cur[i])
+                continue;
+            auto cand = cur;
+            cand[i] = 0;
+            cand = trimmed(cand);
+            --left;
+            if (reproduces(cand, key, final_out, fp))
+                cur = cand;
+        }
+        return trimmed(cur);
+    }
+
+    /** Record (and shrink + replay-verify) a newly found failure. */
+    void
+    handleFailure(const std::vector<uint32_t> &decisions,
+                  const RunOutcome &out, uint64_t run_fp)
+    {
+        std::string key = failureKey(out);
+        if (!seenFailures.insert(key).second)
+            return; // same (invariant, object) already reported
+        ExploreFailure f;
+        f.decisions = trimmed(decisions);
+        RunOutcome accepted = out;
+        uint64_t fp = run_fp;
+        f.shrunkDecisions =
+            cfg.shrink ? shrinkVector(f.decisions, key, &accepted, &fp)
+                       : f.decisions;
+        // Bit-exact replay check: the shrunk vector must reproduce the
+        // identical violation list and state fingerprint.
+        ScheduleExplorer rex(f.shrunkDecisions,
+                             ScheduleExplorer::Tail::Defaults, cfg.seed,
+                             cfg.preemptionBound);
+        RunOutcome rout = runOnce(rex);
+        f.replayOk = failureKey(rout) == key &&
+                     rout.violations == accepted.violations &&
+                     rex.fingerprint() == fp;
+        f.violations = rout.violations.empty() ? accepted.violations
+                                               : rout.violations;
+        f.fingerprint = rex.fingerprint();
+        res.failures.push_back(std::move(f));
+    }
+
+    /**
+     * True when the first enabled steps of the chosen candidate and of
+     * alternative @p v commute (different threads touching different
+     * (kind, object)): swapping the pick provably reaches the same
+     * state one step later, so the sibling branch is pruned. This is
+     * the sleep-set idea restricted to one-step footprints; unknown
+     * footprints are conservatively treated as dependent.
+     */
+    bool
+    commutingSibling(const ScheduleExplorer &ex,
+                     const ScheduleExplorer::Point &p, uint32_t v)
+    {
+        OpKind k1, k2;
+        int64_t o1, o2;
+        if (!ex.firstOpAfter(p.opIndex, p.cands[p.chosen], &k1, &o1))
+            return false;
+        if (!ex.firstOpAfter(p.opIndex, p.cands[v], &k2, &o2))
+            return false;
+        return !(k1 == k2 && o1 == o2);
+    }
+
+    /** Queue unexplored alternatives from the fresh suffix of a run. */
+    void
+    pushAlternatives(const std::vector<uint32_t> &prefix,
+                     const ScheduleExplorer &ex,
+                     std::deque<std::vector<uint32_t>> &queue)
+    {
+        const auto &dec = ex.decisions();
+        const auto &pts = ex.points();
+        std::vector<std::vector<uint32_t>> alts;
+        int preempts_before = 0;
+        for (size_t i = 0; i < pts.size(); ++i) {
+            const ScheduleExplorer::Point &p = pts[i];
+            // Points inside the replayed prefix were branched when the
+            // ancestor run was processed; only the fresh suffix adds
+            // alternatives (classic stateless-search dedup).
+            if (i >= prefix.size()) {
+                auto withAlt = [&](uint32_t v) {
+                    std::vector<uint32_t> a(dec.begin(),
+                                            dec.begin() + i);
+                    a.push_back(v);
+                    alts.push_back(std::move(a));
+                };
+                if (p.isPick) {
+                    for (uint32_t v = 0; v < p.branch; ++v) {
+                        if (v == p.chosen)
+                            continue;
+                        if (cfg.sleepSets && commutingSibling(ex, p, v)) {
+                            ++res.sleepSetPruned;
+                            continue;
+                        }
+                        withAlt(v);
+                    }
+                } else if (p.chosen == 0 &&
+                           preempts_before < cfg.preemptionBound) {
+                    withAlt(1);
+                }
+            }
+            if (!p.isPick && p.chosen)
+                ++preempts_before;
+        }
+        if (static_cast<int>(alts.size()) > cfg.maxBranchPerRun) {
+            // Even sampling keeps the kept alternatives spread over the
+            // whole trace rather than clustered at its start.
+            res.branchesDropped += alts.size() - cfg.maxBranchPerRun;
+            std::vector<std::vector<uint32_t>> keep;
+            double stride = static_cast<double>(alts.size()) /
+                            cfg.maxBranchPerRun;
+            for (int k = 0; k < cfg.maxBranchPerRun; ++k)
+                keep.push_back(std::move(
+                    alts[static_cast<size_t>(k * stride)]));
+            alts.swap(keep);
+        }
+        for (auto &a : alts)
+            queue.push_back(std::move(a));
+    }
+};
+
+} // namespace
+
+ExploreResult
+explore(const ExploreConfig &cfg, const RunFn &run)
+{
+    panic_if(cfg.schedules <= 0, "explore with non-positive budget");
+    Driver d{cfg, run, {}, {}, {}};
+
+    if (cfg.strategy == ExploreConfig::Strategy::Random) {
+        for (int i = 0; static_cast<uint64_t>(cfg.schedules) >
+                        d.res.schedulesRun; ++i) {
+            if (static_cast<int>(d.res.failures.size()) >= cfg.maxFailures)
+                break;
+            ScheduleExplorer ex({}, ScheduleExplorer::Tail::Random,
+                                cfg.seed + static_cast<uint64_t>(i),
+                                cfg.preemptionBound);
+            RunOutcome out = d.runOnce(ex);
+            if (!out.violations.empty())
+                d.handleFailure(ex.decisions(), out, ex.fingerprint());
+        }
+    } else {
+        // Bounded-preemption enumeration, breadth-first over decision
+        // prefixes: broad coverage of early branch points first.
+        std::deque<std::vector<uint32_t>> queue;
+        queue.push_back({});
+        while (!queue.empty() &&
+               d.res.schedulesRun <
+                   static_cast<uint64_t>(cfg.schedules) &&
+               static_cast<int>(d.res.failures.size()) < cfg.maxFailures) {
+            std::vector<uint32_t> prefix = std::move(queue.front());
+            queue.pop_front();
+            ScheduleExplorer ex(prefix, ScheduleExplorer::Tail::Defaults,
+                                cfg.seed, cfg.preemptionBound);
+            RunOutcome out = d.runOnce(ex);
+            if (!out.violations.empty()) {
+                d.handleFailure(ex.decisions(), out, ex.fingerprint());
+                continue;
+            }
+            d.pushAlternatives(prefix, ex, queue);
+        }
+        d.res.exhausted = queue.empty();
+    }
+
+    d.res.distinctStates = d.states.size();
+    return d.res;
+}
+
+RunOutcome
+replaySchedule(const std::vector<uint32_t> &decisions, const RunFn &run)
+{
+    ScheduleExplorer ex(decisions, ScheduleExplorer::Tail::Defaults, 0, 0);
+    RunOutcome out = run(ex);
+    if (!out.fingerprint)
+        out.fingerprint = ex.fingerprint();
+    return out;
+}
+
+} // namespace check
+} // namespace cables

@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Systematic schedule exploration (model-checking mode).
+ *
+ * PR 5 made yield points a pure function of the op stream, so the
+ * engine is a deterministic substrate: the only scheduling freedom is
+ * the order among entities tied at the minimum virtual time. A
+ * ScheduleExplorer drives exactly that freedom through the engine's
+ * sim::ScheduleController hook, from a *decision vector*:
+ *
+ *   decision vector D = [d0, d1, ...], positional encoding
+ *     - the i-th controller query consumes D[i]
+ *     - pick query with k tied candidates: D[i] in [0, k), index into
+ *       the candidates in serial pick order (0 = what the serial
+ *       engine would do)
+ *     - preempt query: D[i] in {0 = keep running, 1 = yield}
+ *     - queries beyond the end of D take the default 0
+ *
+ * A run's recorded decision vector therefore replays bit-exactly: the
+ * i-th query is reached iff the same prefix was applied, and defaults
+ * make every vector a valid (possibly truncated) schedule. Trailing
+ * zeros are insignificant and trimmed on serialization.
+ *
+ * The driver (explore()) supports CHESS-style bounded-preemption
+ * enumeration with first-step-commutativity (sleep-set style) pruning
+ * of equivalent picks, random-seeded search, greedy counterexample
+ * shrinking, schedule (de)serialization, and a versioned
+ * "cables-explore-report" JSON summary.
+ */
+
+#ifndef CABLES_CHECK_EXPLORE_HH
+#define CABLES_CHECK_EXPLORE_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hh"
+#include "util/json.hh"
+#include "util/random.hh"
+
+namespace cables {
+namespace check {
+
+/**
+ * Kinds of protocol operations fed to the explorer by the invariant
+ * oracle. Used for state fingerprints and for independence-based
+ * pruning: two ops commute unless they touch the same (kind, object).
+ */
+enum class OpKind : uint8_t {
+    Lock,    ///< lock acquire/release (object = lock id)
+    Barrier, ///< barrier arrival/departure (object = barrier id)
+    Page,    ///< page bind/migrate/diff/notice (object = page id)
+    Attach,  ///< node attach/detach (object = node id)
+    Acb,     ///< ACB remote op (object = 0: all ACB ops serialize on master)
+};
+
+/** Receiver of protocol-level operations observed during a run. */
+class OpSink
+{
+  public:
+    virtual ~OpSink() = default;
+    virtual void noteOp(sim::ThreadId tid, OpKind kind, int64_t object) = 0;
+};
+
+/** One invariant violation, reported by the oracle with the exact object. */
+struct Violation
+{
+    std::string invariant; ///< stable invariant name, e.g. "lock-ownership"
+    int64_t object = 0;    ///< the granule/lock/barrier/node involved
+    std::string detail;    ///< human-readable description
+
+    util::Json toJson() const;
+    bool operator==(const Violation &o) const
+    {
+        return invariant == o.invariant && object == o.object &&
+               detail == o.detail;
+    }
+};
+
+/**
+ * A serializable schedule: the decision vector plus free-form context
+ * (workload name, backend, procs) so a saved failure is self-contained
+ * for --replay-schedule.
+ */
+struct ExploreSchedule
+{
+    static constexpr const char *schemaName = "cables-explore-schedule";
+    static constexpr int schemaVersion = 1;
+
+    std::vector<uint32_t> decisions;
+    util::Json context = util::Json::object();
+
+    util::Json toJson() const;
+    static bool fromJson(const util::Json &doc, ExploreSchedule *out,
+                         std::string *why);
+    bool save(const std::string &path) const;
+    static bool load(const std::string &path, ExploreSchedule *out,
+                     std::string *why);
+};
+
+/**
+ * One schedule-controlled run: applies a decision-vector prefix, then
+ * a tail policy (defaults or seeded-random), records every decision
+ * made, the ops observed, and a state fingerprint.
+ *
+ * The object is single-run: construct a fresh one per explored
+ * schedule (explore() does this for you).
+ */
+class ScheduleExplorer : public sim::ScheduleController, public OpSink
+{
+  public:
+    enum class Tail {
+        Defaults, ///< beyond the prefix: serial behaviour (all zeros)
+        Random,   ///< beyond the prefix: seeded random perturbation
+    };
+
+    /** A decision point reached during the run (for enumeration). */
+    struct Point
+    {
+        bool isPick;     ///< pick (true) or preempt (false) query
+        uint32_t branch; ///< number of alternatives (candidates, or 2)
+        uint32_t chosen;
+        std::vector<sim::ThreadId> cands; ///< pick queries only
+        size_t opIndex;  ///< ops observed before this decision
+    };
+
+    ScheduleExplorer(std::vector<uint32_t> prefix, Tail tail,
+                     uint64_t seed, int preemption_budget);
+
+    /** Convenience: all-defaults explorer (bit-identical to no explorer). */
+    ScheduleExplorer()
+        : ScheduleExplorer({}, Tail::Defaults, 0, 0)
+    {}
+
+    // sim::ScheduleController
+    size_t pickTied(const std::vector<sim::ThreadId> &cands) override;
+    bool preemptTied(sim::ThreadId tid) override;
+
+    // OpSink
+    void noteOp(sim::ThreadId tid, OpKind kind, int64_t object) override;
+
+    /** Every decision made so far (prefix replay + tail). */
+    const std::vector<uint32_t> &decisions() const { return decisions_; }
+    const std::vector<Point> &points() const { return points_; }
+
+    /** FNV-1a fingerprint of the observed (tid, kind, object) stream. */
+    uint64_t fingerprint() const { return fingerprint_; }
+    size_t opsObserved() const { return opCount_; }
+    int preemptionsTaken() const { return preemptions_; }
+
+    /**
+     * First op by thread @p tid observed at or after op index @p from;
+     * false if the thread performed no further ops. Basis for the
+     * enabled-step footprints used in sleep-set pruning.
+     */
+    bool firstOpAfter(size_t from, sim::ThreadId tid, OpKind *kind,
+                      int64_t *object) const;
+
+  private:
+    struct OpRec
+    {
+        sim::ThreadId tid;
+        OpKind kind;
+        int64_t object;
+    };
+
+    uint32_t nextDecision(uint32_t branch, bool is_pick);
+
+    std::vector<uint32_t> prefix_;
+    Tail tail_;
+    Random rng_;
+    int budget_;
+    int preemptions_ = 0;
+    std::vector<uint32_t> decisions_;
+    std::vector<Point> points_;
+    std::vector<OpRec> ops_;
+    size_t opCount_ = 0;
+    uint64_t fingerprint_ = 14695981039346656037ULL; // FNV offset basis
+};
+
+/** Outcome of one schedule-controlled run, produced by the run callback. */
+struct RunOutcome
+{
+    std::vector<Violation> violations;
+    uint64_t fingerprint = 0; ///< usually explorer.fingerprint()
+};
+
+/**
+ * Run the workload once under @p ex. The callback owns building a
+ * fresh Runtime/Engine, installing the explorer (engine controller +
+ * oracle sink), running, and reporting the outcome.
+ */
+using RunFn = std::function<RunOutcome(ScheduleExplorer &ex)>;
+
+struct ExploreConfig
+{
+    enum class Strategy { Bounded, Random };
+
+    Strategy strategy = Strategy::Bounded;
+    int schedules = 200;     ///< run budget
+    int preemptionBound = 2; ///< CHESS-style preemption bound (0-2 typical)
+    uint64_t seed = 1;       ///< Random strategy / tie-salt
+    bool sleepSets = true;   ///< prune commuting sibling picks
+    bool shrink = true;      ///< shrink counterexamples
+    int maxShrinkRuns = 96;  ///< extra runs allowed for shrinking
+    int maxFailures = 4;     ///< stop after this many distinct failures
+    int maxBranchPerRun = 64; ///< alternatives enqueued per explored run
+};
+
+/** A failing schedule: original + shrunk decision vectors and evidence. */
+struct ExploreFailure
+{
+    std::vector<uint32_t> decisions;       ///< as first observed (trimmed)
+    std::vector<uint32_t> shrunkDecisions; ///< after greedy shrinking
+    std::vector<Violation> violations;     ///< from the shrunk replay
+    uint64_t fingerprint = 0;              ///< of the shrunk replay
+    bool replayOk = false; ///< shrunk vector re-ran to the same failure
+
+    util::Json toJson() const;
+};
+
+struct ExploreResult
+{
+    static constexpr const char *schemaName = "cables-explore-report";
+    static constexpr int schemaVersion = 1;
+
+    uint64_t schedulesRun = 0;
+    uint64_t distinctStates = 0;   ///< unique run fingerprints
+    uint64_t decisionPoints = 0;   ///< total controller queries
+    uint64_t preemptions = 0;      ///< preemptions actually taken
+    uint64_t sleepSetPruned = 0;   ///< sibling branches pruned
+    uint64_t branchesDropped = 0;  ///< alternatives past maxBranchPerRun
+    bool exhausted = false; ///< frontier emptied: full coverage under bound
+    std::vector<ExploreFailure> failures;
+
+    bool clean() const { return failures.empty(); }
+
+    /** Report body (one workload). Callers add workload context. */
+    util::Json toJson() const;
+};
+
+/** Explore schedules of @p run according to @p cfg. */
+ExploreResult explore(const ExploreConfig &cfg, const RunFn &run);
+
+/** Replay a recorded decision vector once (defaults tail). */
+RunOutcome replaySchedule(const std::vector<uint32_t> &decisions,
+                          const RunFn &run);
+
+} // namespace check
+} // namespace cables
+
+#endif // CABLES_CHECK_EXPLORE_HH

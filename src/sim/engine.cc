@@ -186,8 +186,15 @@ Engine::sync()
     panic_if(tlOnWorker,
              "sync() on a worker thread (missing GuestOp bracket?)");
     SimThread *t = tlCurrentThread;
-    // Fast path: still the earliest entity — keep running.
-    if (t->now <= earliestOther(t))
+    Tick eo = earliestOther(t);
+    // Fast path: strictly earliest — keep running.
+    if (t->now < eo)
+        return;
+    // Exact tie: the serial engine keeps running (the running thread
+    // wins ties against work it has not yielded to), but a schedule
+    // controller may force a preemption here — the only point where
+    // yielding is still a valid earliest-first schedule.
+    if (t->now == eo && (!controller_ || !controller_->preemptTied(t->id)))
         return;
     // Yield: requeue at our (advanced) clock and return to the scheduler.
     makeReady(*t);
@@ -265,6 +272,11 @@ Engine::opEnd(SimThread *t, bool allow_migrate)
     if (--t->opDepth > 0)
         return;
     if (!parallelActive_ || !allow_migrate || stopped)
+        return;
+    // Under a schedule controller, migrated tickets would create pick
+    // points that do not exist serially; keep every fiber on the
+    // scheduler so the decision stream is identical in both modes.
+    if (controller_)
         return;
     if (inFlight_ >= workerCount_ || std::uncaught_exceptions() > 0)
         return;
@@ -445,7 +457,45 @@ Engine::run(bool allow_blocked)
 
         // Run the earliest thread until it yields, blocks, migrates or
         // finishes.
-        ready.pop();
+        if (controller_) {
+            // Collect every distinct runnable thread tied at the
+            // minimum clock, in serial pick order (ascending seq), and
+            // let the controller choose among them. The losers are
+            // requeued in their original relative order with fresh
+            // seqs; since *all* entries at this tick were collected,
+            // relative order among them is fully controller-defined
+            // and later arrivals still sort after them.
+            std::vector<ThreadId> cands;
+            while (!ready.empty()) {
+                ReadyEntry e = ready.top();
+                if (e.when != tt)
+                    break;
+                SimThread &c = *threads[e.tid];
+                if (c.state != SimThread::State::Runnable ||
+                    c.now != e.when) {
+                    ready.pop(); // stale
+                    continue;
+                }
+                if (c.hostPhase == SimThread::HostPhase::Migrated)
+                    break; // impossible under a controller; bare-engine safety
+                if (std::find(cands.begin(), cands.end(), e.tid) ==
+                    cands.end())
+                    cands.push_back(e.tid);
+                ready.pop();
+            }
+            size_t pick =
+                cands.size() > 1 ? controller_->pickTied(cands) : 0;
+            panic_if(pick >= cands.size(),
+                     "controller picked index {} of {} tied threads",
+                     pick, cands.size());
+            t = threads[cands[pick]].get();
+            for (size_t i = 0; i < cands.size(); ++i) {
+                if (i != pick)
+                    ready.push(ReadyEntry{tt, seqCounter++, cands[i]});
+            }
+        } else {
+            ready.pop();
+        }
         tlCurrentThread = t;
         ++switchCount;
         t->fiber.switchTo();

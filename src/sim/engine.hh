@@ -125,6 +125,46 @@ class SimThread
 };
 
 /**
+ * Observer/driver of scheduling freedom. The engine's earliest-first
+ * discipline fixes *when* every thread runs; the only freedom left is
+ * the order among entities tied at the minimum virtual time. A
+ * controller is consulted exactly at those points:
+ *
+ *  - pickTied(): several runnable threads share the minimum clock; the
+ *    candidates arrive in the order the serial engine would use
+ *    (ascending ready-queue seq — index 0 is the default pick).
+ *  - preemptTied(): a thread calling sync() is *exactly tied* with the
+ *    earliest other entity. Returning true forces a yield (the serial
+ *    engine keeps running, i.e. false). Preempting a strictly-earliest
+ *    thread is never offered: it would be re-picked immediately.
+ *
+ * Both hooks perturb only tie order, so every explored schedule is a
+ * valid earliest-first execution. With a controller installed the
+ * engine never migrates compute segments to workers (opEnd), so the
+ * decision stream is identical in serial and parallel engine mode.
+ * Thread-vs-event ties keep the fixed thread-wins rule (events model
+ * in-flight messages whose delivery order is not a scheduler choice).
+ */
+class ScheduleController
+{
+  public:
+    virtual ~ScheduleController() = default;
+
+    /**
+     * Choose among @p cands (>= 2 runnable threads tied at the minimum
+     * clock, in serial pick order). Return an index into @p cands.
+     */
+    virtual size_t pickTied(const std::vector<ThreadId> &cands) = 0;
+
+    /**
+     * @p tid called sync() while exactly tied with the earliest other
+     * entity. Return true to force a yield (schedule perturbation),
+     * false to keep running (serial behaviour).
+     */
+    virtual bool preemptTied(ThreadId tid) = 0;
+};
+
+/**
  * The simulation engine. Owns all threads and the event queue.
  *
  * Events are one-shot callbacks executed on the scheduler stack at a
@@ -281,6 +321,16 @@ class Engine
     prof::Profiler *profiler() const { return profiler_; }
 
     /**
+     * Install (or remove, with nullptr) a schedule controller. The
+     * engine does not own it. Unlike the tracer/profiler this is not a
+     * pure observer — it perturbs tie-breaking — but with a controller
+     * that always answers "default" (pick index 0, never preempt) the
+     * run is bit-identical to an uncontrolled one.
+     */
+    void setScheduleController(ScheduleController *c) { controller_ = c; }
+    ScheduleController *scheduleController() const { return controller_; }
+
+    /**
      * Push category @p c on the current thread's attribution stack.
      * Returns true iff a profiler is installed and a fiber is running
      * (i.e. a matching profLeave() is owed). Prefer ProfScope.
@@ -365,6 +415,7 @@ class Engine
 
     Tracer *tracer_ = nullptr;
     prof::Profiler *profiler_ = nullptr;
+    ScheduleController *controller_ = nullptr;
     uint64_t seqCounter = 0;
     uint64_t switchCount = 0;
     uint64_t eventCount = 0;

@@ -1,0 +1,397 @@
+#include "svm/invariants.hh"
+
+#include "util/logging.hh"
+
+namespace cables {
+namespace svm {
+
+namespace {
+
+constexpr size_t kMaxViolations = 64;
+
+int64_t
+nodePageKey(NodeId node, PageId page)
+{
+    return (static_cast<int64_t>(node) << 32) |
+           static_cast<int64_t>(page);
+}
+
+} // namespace
+
+void
+InvariantOracle::violate(const char *invariant, int64_t object,
+                         std::string detail)
+{
+    if (violations_.size() >= kMaxViolations)
+        return;
+    violations_.push_back(
+        check::Violation{invariant, object, std::move(detail)});
+}
+
+void
+InvariantOracle::note(check::OpKind kind, int64_t object)
+{
+    if (!sink_)
+        return;
+    sim::SimThread *t = engine_.current();
+    sink_->noteOp(t ? t->id : sim::InvalidThreadId, kind, object);
+}
+
+size_t
+InvariantOracle::recomputeDiff(const uint8_t *twin,
+                               const uint8_t *cur) const
+{
+    const uint64_t *tw = reinterpret_cast<const uint64_t *>(twin);
+    const uint64_t *cu = reinterpret_cast<const uint64_t *>(cur);
+    size_t words = pageSize / sizeof(uint64_t);
+    size_t changed = 0;
+    for (size_t i = 0; i < words; ++i)
+        changed += (tw[i] != cu[i]);
+    return changed * sizeof(uint64_t);
+}
+
+void
+InvariantOracle::clusterInit(int nodes, const std::vector<bool> &attached)
+{
+    attached_.assign(nodes, 0);
+    attachPending_.assign(nodes, 0);
+    for (int n = 0; n < nodes && static_cast<size_t>(n) < attached.size();
+         ++n)
+        attached_[n] = attached[n] ? 1 : 0;
+}
+
+void
+InvariantOracle::pageBound(PageId page, NodeId home)
+{
+    auto [it, fresh] = homes_.emplace(page, home);
+    if (!fresh) {
+        violate("home-uniqueness", page,
+                csprintf("page {} bound to {} while already homed at {}",
+                         page, home, it->second));
+        it->second = home;
+    }
+    if (!attached_.empty() &&
+        (home < 0 || static_cast<size_t>(home) >= attached_.size() ||
+         !attached_[home])) {
+        violate("home-uniqueness", page,
+                csprintf("page {} homed at unattached node {}", page,
+                         home));
+    }
+    note(check::OpKind::Page, page);
+}
+
+void
+InvariantOracle::pageUnbound(PageId page)
+{
+    homes_.erase(page);
+    for (auto it = twins_.begin(); it != twins_.end();) {
+        if (static_cast<PageId>(it->first & 0xffffffff) == page)
+            it = twins_.erase(it);
+        else
+            ++it;
+    }
+    note(check::OpKind::Page, page);
+}
+
+void
+InvariantOracle::pageMigrated(PageId page, NodeId from, NodeId to)
+{
+    auto it = homes_.find(page);
+    if (it == homes_.end()) {
+        violate("home-uniqueness", page,
+                csprintf("migration of unbound page {}", page));
+        homes_[page] = to;
+    } else {
+        if (it->second != from) {
+            violate("home-uniqueness", page,
+                    csprintf("page {} migrated from {} but homed at {}",
+                             page, from, it->second));
+        }
+        it->second = to;
+    }
+    note(check::OpKind::Page, page);
+}
+
+void
+InvariantOracle::twinCreated(NodeId node, PageId page)
+{
+    int64_t key = nodePageKey(node, page);
+    if (twins_.count(key)) {
+        violate("twin-conservation", page,
+                csprintf("node {} twinned page {} twice without a flush",
+                         node, page));
+    }
+    twins_[key] = true;
+    note(check::OpKind::Page, page);
+}
+
+void
+InvariantOracle::diffFlushed(NodeId node, PageId page, size_t reported,
+                             const uint8_t *twin, const uint8_t *cur)
+{
+    ++diffFlushes_;
+    if (faults_.corruptDiffAtFlush == diffFlushes_)
+        reported += sizeof(uint64_t); // phantom extra word on the wire
+    int64_t key = nodePageKey(node, page);
+    if (!twins_.erase(key)) {
+        violate("twin-conservation", page,
+                csprintf("node {} flushed a diff of page {} with no twin",
+                         node, page));
+    }
+    auto hit = homes_.find(page);
+    if (hit != homes_.end() && hit->second == node) {
+        violate("twin-conservation", page,
+                csprintf("home node {} diff-flushed its own page {}",
+                         node, page));
+    }
+    size_t independent = recomputeDiff(twin, cur);
+    if (independent != reported) {
+        violate("diff-conservation", page,
+                csprintf("page {} flush from node {} reported {} diff "
+                         "bytes, independent recount is {}",
+                         page, node, reported, independent));
+    }
+    lastDiff_[key] = reported;
+    note(check::OpKind::Page, page);
+}
+
+void
+InvariantOracle::gatherFlushed(NodeId node, NodeId home,
+                               const std::vector<PageId> &pages,
+                               size_t wire_bytes, size_t header_bytes,
+                               size_t page_header_bytes)
+{
+    size_t expect = header_bytes;
+    for (PageId p : pages) {
+        auto it = lastDiff_.find(nodePageKey(node, p));
+        if (it == lastDiff_.end()) {
+            violate("diff-conservation", p,
+                    csprintf("gather from node {} to {} carries page {} "
+                             "with no observed diff",
+                             node, home, p));
+            continue;
+        }
+        expect += it->second + page_header_bytes;
+    }
+    if (expect != wire_bytes) {
+        violate("diff-conservation",
+                pages.empty() ? -1 : pages.front(),
+                csprintf("gather from node {} to {} carries {} bytes for "
+                         "{} pages, conservation expects {}",
+                         node, home, wire_bytes, pages.size(), expect));
+    }
+}
+
+void
+InvariantOracle::noticesApplied(NodeId node, uint64_t from, uint64_t to,
+                                uint64_t log_size)
+{
+    if (log_size < lastLogSize_) {
+        violate("notice-consumption", node,
+                csprintf("flush log shrank from {} to {}", lastLogSize_,
+                         log_size));
+    }
+    lastLogSize_ = std::max(lastLogSize_, log_size);
+    if (to > log_size) {
+        violate("notice-consumption", node,
+                csprintf("node {} applied notices up to {} of a log of "
+                         "{}",
+                         node, to, log_size));
+    }
+    if (from > to) {
+        violate("notice-consumption", node,
+                csprintf("node {} applied a negative notice range "
+                         "({}, {}]",
+                         node, from, to));
+    }
+}
+
+void
+InvariantOracle::lockAcquired(sim::ThreadId tid, int32_t lock, NodeId node)
+{
+    (void)node;
+    LockMirror &m = locks_[lock];
+    if (m.held) {
+        violate("lock-ownership", lock,
+                csprintf("lock {} granted to thread {} while held by "
+                         "thread {}",
+                         lock, tid, m.holder));
+    }
+    m.held = true;
+    m.holder = tid;
+    note(check::OpKind::Lock, lock);
+}
+
+void
+InvariantOracle::lockReleased(sim::ThreadId tid, int32_t lock, NodeId node)
+{
+    (void)node;
+    ++lockReleases_;
+    int times = faults_.doubleReleaseAtRelease == lockReleases_ ? 2 : 1;
+    for (int i = 0; i < times; ++i) {
+        LockMirror &m = locks_[lock];
+        if (!m.held) {
+            violate("lock-ownership", lock,
+                    csprintf("lock {} released by thread {} while not "
+                             "held (double release)",
+                             lock, tid));
+        } else if (m.holder != tid) {
+            violate("lock-ownership", lock,
+                    csprintf("lock {} released by thread {} but held by "
+                             "thread {}",
+                             lock, tid, m.holder));
+        }
+        m.held = false;
+        m.holder = sim::InvalidThreadId;
+        note(check::OpKind::Lock, lock);
+    }
+}
+
+void
+InvariantOracle::barrierArrived(sim::ThreadId tid, int32_t barrier,
+                                int count)
+{
+    (void)tid;
+    ++barrierArrivals_;
+    if (faults_.dropBarrierArrivalAt == barrierArrivals_)
+        return; // the arrival happened; the oracle just never saw it
+    BarrierMirror &m = barriers_[barrier];
+    if (m.expect == 0)
+        m.expect = count;
+    else if (count != m.expect) {
+        violate("barrier-balance", barrier,
+                csprintf("barrier {} entered with count {} (barrier "
+                         "expects {})",
+                         barrier, count, m.expect));
+    }
+    ++m.arrived;
+    note(check::OpKind::Barrier, barrier);
+}
+
+void
+InvariantOracle::barrierDeparted(sim::ThreadId tid, int32_t barrier)
+{
+    (void)tid;
+    BarrierMirror &m = barriers_[barrier];
+    // A departure belongs to a *completed* round: at most
+    // floor(arrived / expect) rounds' worth of departures may have
+    // happened.
+    int64_t completed =
+        m.expect > 0 ? (m.arrived / m.expect) * m.expect : 0;
+    if (m.departed + 1 > completed || m.expect == 0) {
+        violate("barrier-balance", barrier,
+                csprintf("barrier {} departure #{} with only {} arrivals "
+                         "(round of {})",
+                         barrier, m.departed + 1, m.arrived, m.expect));
+    }
+    ++m.departed;
+    note(check::OpKind::Barrier, barrier);
+}
+
+void
+InvariantOracle::attachStarted(NodeId node)
+{
+    if (attached_.empty())
+        return;
+    if (attached_[node]) {
+        violate("acb-pairing", node,
+                csprintf("attach of node {} which is already attached",
+                         node));
+    }
+    if (attachPending_[node]) {
+        violate("acb-pairing", node,
+                csprintf("attach of node {} started twice", node));
+    }
+    attachPending_[node] = 1;
+    note(check::OpKind::Attach, node);
+}
+
+void
+InvariantOracle::attachCompleted(NodeId node)
+{
+    if (attached_.empty())
+        return;
+    if (!attachPending_[node]) {
+        violate("acb-pairing", node,
+                csprintf("attach of node {} completed without a start",
+                         node));
+    }
+    attachPending_[node] = 0;
+    attached_[node] = 1;
+    note(check::OpKind::Attach, node);
+}
+
+void
+InvariantOracle::nodeDetached(NodeId node, int live_threads)
+{
+    if (attached_.empty())
+        return;
+    if (!attached_[node]) {
+        violate("acb-pairing", node,
+                csprintf("detach of node {} which is not attached",
+                         node));
+    }
+    if (live_threads > 0) {
+        violate("acb-pairing", node,
+                csprintf("node {} detached with {} live threads", node,
+                         live_threads));
+    }
+    attached_[node] = 0;
+    note(check::OpKind::Attach, node);
+}
+
+void
+InvariantOracle::acbRequest(NodeId node, const char *kind)
+{
+    if (!attached_.empty() && node != 0 && !attached_[node]) {
+        violate("acb-pairing", node,
+                csprintf("ACB {} request from detached node {}", kind,
+                         node));
+    }
+    // All ACB ops serialize on the master: one shared object id.
+    note(check::OpKind::Acb, 0);
+}
+
+void
+InvariantOracle::threadPlaced(NodeId node)
+{
+    if (!attached_.empty() && !attached_[node]) {
+        violate("acb-pairing", node,
+                csprintf("thread placed on unattached node {}", node));
+    }
+    note(check::OpKind::Attach, node);
+}
+
+void
+InvariantOracle::finalize()
+{
+    for (const auto &[id, m] : barriers_) {
+        bool partial = m.expect > 0 && m.arrived % m.expect != 0;
+        if (partial || m.departed != m.arrived) {
+            violate("barrier-balance", id,
+                    csprintf("barrier {} ended unbalanced ({} arrivals, "
+                             "{} departures, round of {})",
+                             id, m.arrived, m.departed, m.expect));
+        }
+    }
+    if (!attachPending_.empty()) {
+        for (size_t n = 0; n < attachPending_.size(); ++n) {
+            if (attachPending_[n]) {
+                violate("acb-pairing", static_cast<int64_t>(n),
+                        csprintf("attach of node {} never completed", n));
+            }
+        }
+    }
+}
+
+util::Json
+InvariantOracle::report() const
+{
+    util::Json j = util::Json::array();
+    for (const check::Violation &v : violations_)
+        j.push(v.toJson());
+    return j;
+}
+
+} // namespace svm
+} // namespace cables

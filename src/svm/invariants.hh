@@ -1,0 +1,203 @@
+/**
+ * @file
+ * SVM protocol invariant oracle.
+ *
+ * Under schedule exploration (check/explore.hh), every explored
+ * schedule must satisfy the protocol's structural invariants — not
+ * merely produce the right end-state checksum. The oracle mirrors the
+ * protocol's visible transitions through cheap observation hooks and
+ * asserts, at each acquire/release/migration/flush edge:
+ *
+ *  - single owner per granule: a page has at most one home at any
+ *    time; bind is bind-once; migration moves the home from the
+ *    recorded owner (home uniqueness across migration).
+ *  - twin/diff byte conservation: a diff flush's byte count equals an
+ *    independently recomputed twin-vs-current word diff, and a
+ *    flushGroup gather message carries exactly
+ *    header + sum(diff_i + per-page sub-header) for its pages.
+ *  - lock ownership discipline: no double grant, release only by the
+ *    holder, no release of a free lock.
+ *  - barrier balance: within a round, arrivals never exceed the
+ *    expected count, departures never precede full arrival, and every
+ *    round ends balanced.
+ *  - ACB remote-op pairing across attach/detach: remote ops and
+ *    thread placement only on attached nodes; attach start/complete
+ *    pairing; detach only with zero live threads.
+ *  - flush-log consumption: acquires never apply notices beyond the
+ *    log, and the log never shrinks.
+ *
+ * The oracle is a pure observer of the simulation (it never charges
+ * time or touches protocol state), wired with the same
+ * single-branch-on-raw-pointer pattern as Runtime::setChecker, so the
+ * hooks are free when no oracle is installed. It forwards each
+ * observed op to a check::OpSink (the explorer) for state
+ * fingerprinting and independence-based pruning.
+ *
+ * Test-only fault injection (OracleFaults) perturbs the oracle's
+ * *observed* stream — never the protocol itself — so seeded-violation
+ * tests can prove the oracle catches broken executions without
+ * corrupting a healthy run.
+ */
+
+#ifndef CABLES_SVM_INVARIANTS_HH
+#define CABLES_SVM_INVARIANTS_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "check/explore.hh"
+#include "net/network.hh"
+#include "sim/engine.hh"
+#include "svm/addr_space.hh"
+#include "util/json.hh"
+
+namespace cables {
+namespace svm {
+
+using net::NodeId;
+using net::InvalidNode;
+
+/**
+ * Test-only perturbations of the oracle's observed event stream. A
+ * value of n >= 1 fires on the n-th matching observation; -1 (the
+ * default) disables the fault.
+ */
+struct OracleFaults
+{
+    /** Misreport the diff byte count of the n-th diff flush. */
+    int64_t corruptDiffAtFlush = -1;
+
+    /** Observe the n-th lock release twice (a phantom double release). */
+    int64_t doubleReleaseAtRelease = -1;
+
+    /** Drop the n-th barrier arrival observation (unbalances a round). */
+    int64_t dropBarrierArrivalAt = -1;
+};
+
+/**
+ * The invariant oracle. One instance per run; install with
+ * cables::Runtime::setOracle() (which forwards it to the protocol and
+ * sync tables) or wire the hooks manually in bare-protocol tests.
+ */
+class InvariantOracle
+{
+  public:
+    explicit InvariantOracle(sim::Engine &engine) : engine_(engine) {}
+
+    /** Forward observed ops to @p s (the explorer); may be null. */
+    void setSink(check::OpSink *s) { sink_ = s; }
+
+    /** Install test-only faults (see OracleFaults). */
+    void injectFaults(const OracleFaults &f) { faults_ = f; }
+
+    /** Initial cluster shape: node count + initially attached set. */
+    void clusterInit(int nodes, const std::vector<bool> &attached);
+
+    /// @name Protocol (page) edges
+    /// @{
+    void pageBound(PageId page, NodeId home);
+    void pageUnbound(PageId page);
+    void pageMigrated(PageId page, NodeId from, NodeId to);
+    void twinCreated(NodeId node, PageId page);
+
+    /**
+     * A diff of @p page is flushed from @p node; @p reported is the
+     * protocol's computed diff byte count, @p twin / @p cur the twin
+     * and current page contents for independent recomputation.
+     */
+    void diffFlushed(NodeId node, PageId page, size_t reported,
+                     const uint8_t *twin, const uint8_t *cur);
+
+    /**
+     * A batched release shipped @p pages from @p node to @p home in
+     * one gather message of @p wire_bytes, built from @p header_bytes
+     * plus per-page @p page_header_bytes sub-headers.
+     */
+    void gatherFlushed(NodeId node, NodeId home,
+                       const std::vector<PageId> &pages, size_t wire_bytes,
+                       size_t header_bytes, size_t page_header_bytes);
+
+    /** @p node applied notices (@p from, @p to] of a log of @p log_size. */
+    void noticesApplied(NodeId node, uint64_t from, uint64_t to,
+                        uint64_t log_size);
+    /// @}
+
+    /// @name Sync edges
+    /// @{
+    void lockAcquired(sim::ThreadId tid, int32_t lock, NodeId node);
+    void lockReleased(sim::ThreadId tid, int32_t lock, NodeId node);
+    void barrierArrived(sim::ThreadId tid, int32_t barrier, int count);
+    void barrierDeparted(sim::ThreadId tid, int32_t barrier);
+    /// @}
+
+    /// @name Runtime (ACB / membership) edges
+    /// @{
+    void attachStarted(NodeId node);
+    void attachCompleted(NodeId node);
+    void nodeDetached(NodeId node, int live_threads);
+    void acbRequest(NodeId node, const char *kind);
+    void threadPlaced(NodeId node);
+    /// @}
+
+    /** End-of-run checks (unfinished rounds, dangling attaches). */
+    void finalize();
+
+    const std::vector<check::Violation> &violations() const
+    {
+        return violations_;
+    }
+    bool clean() const { return violations_.empty(); }
+
+    /** Violation list as JSON (for reports and diagnostics). */
+    util::Json report() const;
+
+  private:
+    /**
+     * Cumulative barrier accounting. Rounds overlap (a fast thread
+     * re-arrives at round N+1 before a slow one departs round N), so
+     * balance is asserted on totals: departures never exceed the
+     * arrivals of *completed* rounds, and totals end balanced.
+     */
+    struct BarrierMirror
+    {
+        int expect = 0;       ///< participant count (fixed per barrier)
+        int64_t arrived = 0;  ///< total arrivals observed
+        int64_t departed = 0; ///< total departures observed
+    };
+
+    struct LockMirror
+    {
+        bool held = false;
+        sim::ThreadId holder = sim::InvalidThreadId;
+    };
+
+    void violate(const char *invariant, int64_t object,
+                 std::string detail);
+    void note(check::OpKind kind, int64_t object);
+    size_t recomputeDiff(const uint8_t *twin, const uint8_t *cur) const;
+
+    sim::Engine &engine_;
+    check::OpSink *sink_ = nullptr;
+    OracleFaults faults_;
+
+    std::unordered_map<PageId, NodeId> homes_;
+    std::unordered_map<int64_t, bool> twins_; ///< key = node * 2^32 + page
+    std::unordered_map<int64_t, size_t> lastDiff_; ///< same key
+    std::unordered_map<int32_t, LockMirror> locks_;
+    std::unordered_map<int32_t, BarrierMirror> barriers_;
+    std::vector<uint8_t> attached_; ///< per node (0/1); empty = unknown
+    std::vector<uint8_t> attachPending_;
+    uint64_t lastLogSize_ = 0;
+
+    int64_t diffFlushes_ = 0;
+    int64_t lockReleases_ = 0;
+    int64_t barrierArrivals_ = 0;
+
+    std::vector<check::Violation> violations_;
+};
+
+} // namespace svm
+} // namespace cables
+
+#endif // CABLES_SVM_INVARIANTS_HH

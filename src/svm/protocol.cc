@@ -5,6 +5,7 @@
 
 #include "prof/profiler.hh"
 #include "sim/trace.hh"
+#include "svm/invariants.hh"
 
 namespace cables {
 namespace svm {
@@ -58,6 +59,8 @@ Protocol::bindHome(PageId page, NodeId node)
     ++stats[node].homeBindings;
     if (auto *p = engine.profiler())
         p->pageHomed(page, node);
+    if (oracle_)
+        oracle_->pageBound(page, node);
 }
 
 void
@@ -73,6 +76,8 @@ Protocol::unbindPage(PageId page)
     // Stale dirty-list entries are skipped at release time (state check).
     if (placement_)
         placement_->forgetPage(page);
+    if (oracle_)
+        oracle_->pageUnbound(page);
 }
 
 void
@@ -105,6 +110,8 @@ Protocol::migratePage(PageId page, NodeId new_home)
     cachedVersion[index(old, page)] = versions[page];
     flushLog.push_back(FlushRecord{page, versions[page]});
     ++stats[new_home].homeBindings;
+    if (oracle_)
+        oracle_->pageMigrated(page, old, new_home);
 
     if (tracer_) {
         util::Json args = util::Json::object();
@@ -182,6 +189,8 @@ Protocol::fault(NodeId node, PageId page, bool write)
             twins[node][page] = std::move(twin);
             engine.advance(params_.twinCost);
             ++stats[node].twinsCreated;
+            if (oracle_)
+                oracle_->twinCreated(node, page);
             s = StateDirty;
             dirtyList[node].push_back(page);
         }
@@ -229,6 +238,13 @@ Protocol::flushPage(NodeId node, PageId page)
         NodeId h = homes[page];
         engine.contentFence(); // diffSize reads page contents
         size_t diff = diffSize(node, page);
+        // Oracle recount must happen before any yield (comm.write):
+        // the guest may rewrite the page once we block.
+        if (oracle_) {
+            oracle_->diffFlushed(node, page, diff,
+                                 twins[node].at(page).get(),
+                                 mem.host(pageBase(page)));
+        }
         engine.advance(params_.diffScanCost);
         deposit = comm.write(node, h, diff + params_.diffHeaderBytes);
         twins[node].erase(page);
@@ -274,6 +290,11 @@ Protocol::flushGroup(NodeId node, NodeId home,
         }
         engine.contentFence(); // diffSize reads page contents
         size_t diff = diffSize(node, p);
+        if (oracle_) {
+            oracle_->diffFlushed(node, p, diff,
+                                 twins[node].at(p).get(),
+                                 mem.host(pageBase(p)));
+        }
         engine.advance(params_.diffScanCost);
         twins[node].erase(p);
         s = StateReadShared;
@@ -295,6 +316,11 @@ Protocol::flushGroup(NodeId node, NodeId home,
     stats[node].diffHeaderBytesSent +=
         params_.diffHeaderBytes +
         flushed.size() * params_.diffPageHeaderBytes;
+    if (oracle_) {
+        oracle_->gatherFlushed(node, home, flushed, bytes,
+                               params_.diffHeaderBytes,
+                               params_.diffPageHeaderBytes);
+    }
     for (PageId p : flushed) {
         versions[p] += 1;
         cachedVersion[index(node, p)] = versions[p];
@@ -401,6 +427,8 @@ Protocol::acquireUpTo(NodeId node, uint64_t seq)
     // advance the applied counter further; never move it backwards.
     appliedSeq[node] = std::max(appliedSeq[node], seq);
     engine.advance(static_cast<Tick>(n) * params_.noticeApplyCost);
+    if (oracle_)
+        oracle_->noticesApplied(node, start, seq, flushLog.size());
 
     if (tracer_) {
         util::Json args = util::Json::object();

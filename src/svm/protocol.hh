@@ -39,6 +39,8 @@ class Tracer;
 
 namespace svm {
 
+class InvariantOracle;
+
 using net::NodeId;
 using net::InvalidNode;
 using sim::Tick;
@@ -244,6 +246,14 @@ class Protocol
     /** Record protocol activity as "svm" trace events (may be null). */
     void setTracer(sim::Tracer *t) { tracer_ = t; }
 
+    /**
+     * Install (or remove, with nullptr) the protocol invariant oracle.
+     * Pure observer, guarded by a single branch on the raw pointer:
+     * free when absent, and never perturbs simulated time or state.
+     */
+    void setOracle(InvariantOracle *o) { oracle_ = o; }
+    InvariantOracle *oracle() const { return oracle_; }
+
   private:
     // Page states (per node). Home nodes hold ReadShared/HomeDirty.
     static constexpr uint8_t StateInvalid = 0;
@@ -289,6 +299,7 @@ class Protocol
     vmmc::Vmmc &comm;
     AddressSpace &mem;
     sim::Tracer *tracer_ = nullptr;
+    InvariantOracle *oracle_ = nullptr;
     ProtoParams params_;
     int numNodes;
     size_t pageCount;

@@ -4,6 +4,7 @@
 
 #include "check/checker.hh"
 #include "prof/profiler.hh"
+#include "svm/invariants.hh"
 
 namespace cables {
 namespace svm {
@@ -51,6 +52,8 @@ LockTable::acquire(NodeId node, LockId id, AcquireInfo *info)
         proto.acquireUpTo(node, l.releaseSeq);
         if (checker_)
             checker_->lockAcquired(tid, id, engine.now());
+        if (oracle_)
+            oracle_->lockAcquired(tid, id, node);
         return;
     }
 
@@ -76,6 +79,8 @@ LockTable::acquire(NodeId node, LockId id, AcquireInfo *info)
         proto.acquireUpTo(node, l.releaseSeq);
         if (checker_)
             checker_->lockAcquired(tid, id, engine.now());
+        if (oracle_)
+            oracle_->lockAcquired(tid, id, node);
         return;
     }
 
@@ -101,6 +106,8 @@ LockTable::acquire(NodeId node, LockId id, AcquireInfo *info)
     proto.acquireUpTo(node, lw.releaseSeq);
     if (checker_)
         checker_->lockAcquired(tid, id, engine.now());
+    if (oracle_)
+        oracle_->lockAcquired(tid, id, node);
 }
 
 bool
@@ -131,6 +138,8 @@ LockTable::tryAcquire(NodeId node, LockId id)
     proto.acquireUpTo(node, l.releaseSeq);
     if (checker_)
         checker_->lockAcquired(l.holder, id, engine.now());
+    if (oracle_)
+        oracle_->lockAcquired(l.holder, id, node);
     return true;
 }
 
@@ -148,6 +157,8 @@ LockTable::release(NodeId node, LockId id)
     panic_if(!l.held, "releasing lock {} which is not held", id);
     if (checker_)
         checker_->lockReleased(engine.current()->id, id, engine.now());
+    if (oracle_)
+        oracle_->lockReleased(engine.current()->id, id, node);
     l.releaseSeq = proto.flushSeq();
     engine.advance(params_.unlockCost);
     l.held = false;
@@ -194,6 +205,8 @@ BarrierTable::enter(NodeId node, BarrierId id, int count)
     sim::ThreadId tid = engine.current()->id;
     if (checker_)
         checker_->barrierEntered(tid, id, count, engine.now());
+    if (oracle_)
+        oracle_->barrierArrived(tid, id, count);
 
     // Send the arrival message to the manager.
     Tick arrival = engine.now();
@@ -215,6 +228,8 @@ BarrierTable::enter(NodeId node, BarrierId id, int count)
         proto.acquireUpTo(node, barriers.at(id).seqAtRelease);
         if (checker_)
             checker_->barrierExited(tid, id);
+        if (oracle_)
+            oracle_->barrierDeparted(tid, id);
         return;
     }
 
@@ -245,6 +260,8 @@ BarrierTable::enter(NodeId node, BarrierId id, int count)
     proto.acquireUpTo(node, b.seqAtRelease);
     if (checker_)
         checker_->barrierExited(tid, id);
+    if (oracle_)
+        oracle_->barrierDeparted(tid, id);
 }
 
 } // namespace svm

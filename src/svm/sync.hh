@@ -29,6 +29,8 @@ class Checker;
 
 namespace svm {
 
+class InvariantOracle;
+
 /** Synchronization software costs. */
 struct SyncParams
 {
@@ -106,6 +108,10 @@ class LockTable
      *  acquire/release hooks observe only, never advance time. */
     void setChecker(check::Checker *c) { checker_ = c; }
 
+    /** Install (or remove, with nullptr) the invariant oracle; same
+     *  observe-only contract as the checker. */
+    void setOracle(InvariantOracle *o) { oracle_ = o; }
+
   private:
     struct Waiter
     {
@@ -131,6 +137,7 @@ class LockTable
     Protocol &proto;
     SyncParams params_;
     check::Checker *checker_ = nullptr;
+    InvariantOracle *oracle_ = nullptr;
     std::vector<Lock> locks;
 };
 
@@ -155,6 +162,9 @@ class BarrierTable
     /** Install (or remove, with nullptr) the happens-before checker. */
     void setChecker(check::Checker *c) { checker_ = c; }
 
+    /** Install (or remove, with nullptr) the invariant oracle. */
+    void setOracle(InvariantOracle *o) { oracle_ = o; }
+
   private:
     struct Waiter
     {
@@ -176,6 +186,7 @@ class BarrierTable
     Protocol &proto;
     SyncParams params_;
     check::Checker *checker_ = nullptr;
+    InvariantOracle *oracle_ = nullptr;
     std::vector<Barrier> barriers;
 };
 

@@ -9,6 +9,7 @@
 
 #include "apps/pthread_apps.hh"
 #include "check/checker.hh"
+#include "check/explore.hh"
 #include "apps/splash.hh"
 
 using namespace cables;
@@ -143,4 +144,45 @@ TEST(Determinism, MetricsUnperturbedByChecker)
     }
     EXPECT_EQ(base, filtered.toJson().dump(2));
     EXPECT_EQ(ck.findings().total(), 0u);
+}
+
+TEST(Determinism, MetricsUnperturbedByExplorerAndOracle)
+{
+    // The schedule-exploration hooks (engine controller + invariant
+    // oracle) are compiled in unconditionally and guarded by a single
+    // branch on a raw pointer. A run driven by an all-defaults explorer
+    // — every tie resolved the way the serial engine would — must be
+    // byte-identical to a run with no explorer attached: same metrics
+    // snapshot, same checksum, no invariant violations.
+    auto run_once = [&](check::ScheduleExplorer *ex) {
+        AppOut out;
+        RunOptions opts;
+        opts.explorer = ex;
+        RunResult r = runProgram(splashConfig(Backend::CableS, 4),
+                                 [&](Runtime &rt, RunResult &res) {
+                                     m4::M4Env env(rt);
+                                     LuParams p;
+                                     p.nprocs = 4;
+                                     p.n = 64;
+                                     p.block = 16;
+                                     runLu(env, p, out);
+                                     res.valid = out.valid;
+                                 },
+                                 opts);
+        EXPECT_TRUE(out.valid);
+        return std::pair<RunResult, double>(r, out.checksum);
+    };
+
+    auto [plain, plain_sum] = run_once(nullptr);
+    check::ScheduleExplorer ex; // all-defaults schedule
+    auto [explored, explored_sum] = run_once(&ex);
+
+    EXPECT_EQ(plain.metrics.toJson().dump(2),
+              explored.metrics.toJson().dump(2));
+    EXPECT_EQ(plain.total, explored.total);
+    EXPECT_EQ(plain_sum, explored_sum);
+    EXPECT_FALSE(plain.explored);
+    EXPECT_TRUE(explored.explored);
+    EXPECT_TRUE(explored.invariantViolations.empty());
+    EXPECT_GT(ex.opsObserved(), 0u);
 }

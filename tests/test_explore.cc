@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Schedule exploration + invariant oracle tests.
+ *
+ * Covers: decision-vector replay determinism, schedule file round-trip,
+ * bare-engine tie enumeration, and — via the oracle's test-only fault
+ * hooks — seeded invariant violations that exploration must detect,
+ * shrink, and replay bit-exactly to the same failure.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "apps/pthread_apps.hh"
+#include "apps/splash.hh"
+#include "check/explore.hh"
+#include "sim/engine.hh"
+
+using namespace cables;
+using namespace cables::apps;
+using cs::Backend;
+
+namespace {
+
+/** Small PN run under an explorer, with optional oracle faults. */
+check::RunFn
+pnRun(const svm::OracleFaults &faults = {})
+{
+    return [faults](check::ScheduleExplorer &ex) {
+        AppOut out;
+        PnParams p;
+        p.threads = 4;
+        p.limit = 2000;
+        p.chunk = 250;
+        RunOptions opts;
+        opts.engine = sim::EngineConfig{}; // serial
+        opts.explorer = &ex;
+        opts.oracleFaults = faults;
+        RunResult r = runProgram(splashConfig(Backend::CableS, 4),
+                                 [&](Runtime &rt, RunResult &) {
+                                     runPn(rt, p, out);
+                                 },
+                                 opts);
+        return check::RunOutcome{r.invariantViolations, r.opFingerprint};
+    };
+}
+
+/** Tiny LU on the base backend. Block 8 scatters block ownership off
+ *  the first-touch homes, so the run exercises twins + diff flushes. */
+check::RunFn
+luRun(const svm::OracleFaults &faults = {})
+{
+    return [faults](check::ScheduleExplorer &ex) {
+        AppOut out;
+        LuParams p;
+        p.nprocs = 4;
+        p.n = 32;
+        p.block = 8;
+        RunOptions opts;
+        opts.engine = sim::EngineConfig{};
+        opts.explorer = &ex;
+        opts.oracleFaults = faults;
+        RunResult r = runProgram(splashConfig(Backend::BaseSvm, 4),
+                                 [&](Runtime &rt, RunResult &) {
+                                     m4::M4Env env(rt);
+                                     runLu(env, p, out);
+                                 },
+                                 opts);
+        return check::RunOutcome{r.invariantViolations, r.opFingerprint};
+    };
+}
+
+/** Every violation in @p f names invariant @p inv. */
+bool
+allViolationsAre(const check::ExploreFailure &f, const std::string &inv)
+{
+    if (f.violations.empty())
+        return false;
+    for (const check::Violation &v : f.violations)
+        if (v.invariant != inv)
+            return false;
+    return true;
+}
+
+} // namespace
+
+TEST(ExploreSchedule, JsonRoundTripAndFileIo)
+{
+    check::ExploreSchedule s;
+    s.decisions = {0, 2, 1, 0, 1};
+    s.context.set("workload", "pn");
+    s.context.set("explore_bound", 2);
+
+    check::ExploreSchedule back;
+    std::string why;
+    ASSERT_TRUE(
+        check::ExploreSchedule::fromJson(s.toJson(), &back, &why))
+        << why;
+    EXPECT_EQ(back.decisions, s.decisions);
+    EXPECT_EQ(back.context.get("workload").asString(), "pn");
+
+    std::string path = testing::TempDir() + "explore_sched.json";
+    ASSERT_TRUE(s.save(path));
+    check::ExploreSchedule loaded;
+    ASSERT_TRUE(check::ExploreSchedule::load(path, &loaded, &why)) << why;
+    EXPECT_EQ(loaded.decisions, s.decisions);
+    std::remove(path.c_str());
+
+    EXPECT_FALSE(
+        check::ExploreSchedule::load("/nonexistent/x.json", &loaded, &why));
+    EXPECT_FALSE(why.empty());
+}
+
+TEST(ExploreSchedule, BadSchemaRejected)
+{
+    util::Json doc = util::Json::object();
+    doc.set("schema", "something-else");
+    check::ExploreSchedule out;
+    std::string why;
+    EXPECT_FALSE(check::ExploreSchedule::fromJson(doc, &out, &why));
+}
+
+TEST(Explore, BareEngineTieEnumeration)
+{
+    // Three threads tied at the same virtual time: the controller owns
+    // the order, so bounded exploration must reach all 3! = 6 distinct
+    // completion orders (fingerprinted via the explorer's op stream).
+    auto run = [](check::ScheduleExplorer &ex) {
+        sim::Engine eng;
+        eng.setScheduleController(&ex);
+        for (int i = 0; i < 3; ++i) {
+            eng.spawn("t", [&eng, &ex, i]() {
+                eng.advance(100);
+                ex.noteOp(eng.current()->id, check::OpKind::Lock, i);
+            }, 0);
+        }
+        eng.run();
+        return check::RunOutcome{{}, ex.fingerprint()};
+    };
+
+    check::ExploreConfig cfg;
+    cfg.schedules = 64;
+    cfg.preemptionBound = 0;
+    cfg.sleepSets = false; // the ops share no object; keep all orders
+    check::ExploreResult res = check::explore(cfg, run);
+    EXPECT_TRUE(res.clean());
+    EXPECT_EQ(res.distinctStates, 6u);
+    EXPECT_TRUE(res.exhausted);
+}
+
+TEST(Explore, DefaultDecisionsMatchSerialRun)
+{
+    // An empty decision vector (all defaults) must reproduce the serial
+    // run: same fingerprint every time.
+    check::RunOutcome a = check::replaySchedule({}, pnRun());
+    check::RunOutcome b = check::replaySchedule({}, pnRun());
+    EXPECT_EQ(a.fingerprint, b.fingerprint);
+    EXPECT_TRUE(a.violations.empty());
+    EXPECT_NE(a.fingerprint, 0u);
+}
+
+TEST(Explore, RandomStrategyFindsDistinctSchedules)
+{
+    check::ExploreConfig cfg;
+    cfg.strategy = check::ExploreConfig::Strategy::Random;
+    cfg.schedules = 12;
+    cfg.preemptionBound = 2;
+    cfg.seed = 7;
+    check::ExploreResult res = check::explore(cfg, pnRun());
+    EXPECT_TRUE(res.clean());
+    EXPECT_EQ(res.schedulesRun, 12u);
+    EXPECT_GT(res.distinctStates, 1u);
+    EXPECT_GT(res.decisionPoints, 0u);
+}
+
+TEST(Explore, CleanWorkloadsPassBoundedExploration)
+{
+    for (const auto &run : {pnRun(), luRun()}) {
+        check::ExploreConfig cfg;
+        cfg.schedules = 40;
+        cfg.preemptionBound = 1;
+        check::ExploreResult res = check::explore(cfg, run);
+        EXPECT_TRUE(res.clean());
+        EXPECT_GE(res.schedulesRun, 1u);
+        EXPECT_GT(res.decisionPoints, 0u);
+    }
+}
+
+TEST(ExploreOracle, SeededDiffCorruptionDetectedAndShrunk)
+{
+    // Corrupt the oracle's view of the first diff flush: every schedule
+    // that flushes a diff must now report a diff-conservation violation
+    // naming the exact page, and shrinking must land on a schedule that
+    // still reproduces it — the empty (serial) one.
+    svm::OracleFaults faults;
+    faults.corruptDiffAtFlush = 1;
+    check::ExploreConfig cfg;
+    cfg.schedules = 8;
+    check::ExploreResult res = check::explore(cfg, luRun(faults));
+
+    ASSERT_FALSE(res.clean());
+    const check::ExploreFailure &f = res.failures.front();
+    EXPECT_TRUE(allViolationsAre(f, "diff-conservation"));
+    EXPECT_GE(f.violations.front().object, 0); // the exact page id
+    EXPECT_TRUE(f.replayOk);
+    EXPECT_TRUE(f.shrunkDecisions.empty()); // schedule-independent bug
+
+    // The shrunk schedule replays bit-exactly: same violation list,
+    // same fingerprint.
+    check::RunOutcome again =
+        check::replaySchedule(f.shrunkDecisions, luRun(faults));
+    EXPECT_EQ(again.fingerprint, f.fingerprint);
+    ASSERT_EQ(again.violations.size(), f.violations.size());
+    for (size_t i = 0; i < again.violations.size(); ++i)
+        EXPECT_TRUE(again.violations[i] == f.violations[i]);
+}
+
+TEST(ExploreOracle, SeededDoubleReleaseDetected)
+{
+    svm::OracleFaults faults;
+    faults.doubleReleaseAtRelease = 2;
+    check::ExploreConfig cfg;
+    cfg.schedules = 8;
+    check::ExploreResult res = check::explore(cfg, pnRun(faults));
+
+    ASSERT_FALSE(res.clean());
+    const check::ExploreFailure &f = res.failures.front();
+    ASSERT_FALSE(f.violations.empty());
+    EXPECT_EQ(f.violations.front().invariant, "lock-ownership");
+    EXPECT_GE(f.violations.front().object, 0); // the exact lock id
+    EXPECT_NE(f.violations.front().detail.find("double release"),
+              std::string::npos);
+    EXPECT_TRUE(f.replayOk);
+}
+
+TEST(ExploreOracle, SeededBarrierUnbalanceDetected)
+{
+    svm::OracleFaults faults;
+    faults.dropBarrierArrivalAt = 3;
+    check::ExploreConfig cfg;
+    cfg.schedules = 8;
+    check::ExploreResult res = check::explore(cfg, luRun(faults));
+
+    ASSERT_FALSE(res.clean());
+    const check::ExploreFailure &f = res.failures.front();
+    EXPECT_TRUE(allViolationsAre(f, "barrier-balance"));
+    EXPECT_GE(f.violations.front().object, 0); // the exact barrier id
+    EXPECT_TRUE(f.replayOk);
+
+    check::RunOutcome again =
+        check::replaySchedule(f.shrunkDecisions, luRun(faults));
+    EXPECT_EQ(again.fingerprint, f.fingerprint);
+    ASSERT_FALSE(again.violations.empty());
+    EXPECT_EQ(again.violations.front().invariant, "barrier-balance");
+}
+
+TEST(ExploreOracle, FaultFreeRunsStayClean)
+{
+    // The fault hooks default to disabled: the same workloads explored
+    // without faults must stay violation-free (the faults perturb only
+    // the oracle's observations, never the protocol).
+    check::ExploreConfig cfg;
+    cfg.schedules = 6;
+    EXPECT_TRUE(check::explore(cfg, luRun()).clean());
+    EXPECT_TRUE(check::explore(cfg, pnRun()).clean());
+}
