@@ -6,6 +6,7 @@
 #include <cstring>
 #include <fstream>
 
+#include "cables/telemetry.hh"
 #include "check/checker.hh"
 #include "prof/profiler.hh"
 #include "util/logging.hh"
@@ -36,6 +37,11 @@ usage(const std::string &bench, int code)
         "categories)\n"
         "  --profile-json <path>  write all profile reports as JSON "
         "(implies --profile)\n"
+        "  --spans          record causal spans on every simulated run\n"
+        "  --spans-json <path>  write all cables-spans-report documents "
+        "as JSON (implies --spans)\n"
+        "  --sample-interval <us>  sample run metrics every <us> of "
+        "virtual time\n"
         "  --placement <p>  restrict a placement sweep to one policy\n"
         "                   (first-touch|round-robin|master-all|"
         "affinity)\n"
@@ -141,6 +147,19 @@ Options::parse(int argc, char **argv, const std::string &bench_name)
         else if (!std::strcmp(a, "--profile-json")) {
             o.profileJsonPath = argStr(argc, argv, i, bench_name);
             o.profile = true;
+        } else if (!std::strcmp(a, "--spans"))
+            o.spans = true;
+        else if (!std::strcmp(a, "--spans-json")) {
+            o.spansJsonPath = argStr(argc, argv, i, bench_name);
+            o.spans = true;
+        } else if (!std::strcmp(a, "--sample-interval")) {
+            o.sampleIntervalUs = argNum(argc, argv, i, bench_name);
+            if (o.sampleIntervalUs <= 0) {
+                std::fprintf(stderr,
+                             "%s: --sample-interval must be positive\n",
+                             bench_name.c_str());
+                usage(bench_name, 2);
+            }
         } else if (!std::strcmp(a, "--placement"))
             o.placement = argStr(argc, argv, i, bench_name);
         else if (!std::strcmp(a, "--migration"))
@@ -249,6 +268,12 @@ Report::addNote(std::string note)
     notes_.push_back(std::move(note));
 }
 
+void
+Report::setTimeSeries(util::Json series)
+{
+    timeSeries_ = std::move(series);
+}
+
 std::string
 Report::renderText() const
 {
@@ -331,6 +356,9 @@ Report::toJson() const
         notes.push(n);
     doc.set("notes", std::move(notes));
 
+    if (!timeSeries_.isNull())
+        doc.set("time_series", timeSeries_);
+
     if (!repeats_.empty()) {
         util::Json reps = util::Json::array();
         for (size_t i = 0; i < repeats_.size(); ++i) {
@@ -402,6 +430,18 @@ validateReport(const util::Json &doc, std::string *why)
         return fail("notes missing or not an array");
     if (doc.has("repeats") && !doc.get("repeats").isArray())
         return fail("repeats present but not an array");
+    if (doc.has("time_series")) {
+        const util::Json &ts = doc.get("time_series");
+        if (!ts.isArray())
+            return fail("time_series present but not an array");
+        for (size_t i = 0; i < ts.size(); ++i) {
+            std::string why_ts;
+            if (!telemetry::validateTimeSeries(ts.at(i), &why_ts)) {
+                return fail(csprintf("time_series entry {}: {}", i,
+                                     why_ts));
+            }
+        }
+    }
     return true;
 }
 
@@ -415,6 +455,10 @@ runBench(const Options &opts, const BenchBody &body)
     check::resetAccumulatedFindings();
     prof::setProfileAllRuns(opts.profile);
     prof::resetAccumulatedProfiles();
+    telemetry::setSpanAllRuns(opts.spans);
+    telemetry::resetAccumulatedSpans();
+    telemetry::setSampleAllRunsInterval(opts.sampleIntervalUs * 1000);
+    telemetry::resetAccumulatedTimeSeries();
 
     Report rep(opts.bench);
     rep.setConfig("seed", opts.seed);
@@ -426,6 +470,10 @@ runBench(const Options &opts, const BenchBody &body)
         rep.setConfig("check", true);
     if (opts.profile)
         rep.setConfig("profile", true);
+    if (opts.spans)
+        rep.setConfig("spans", true);
+    if (opts.sampleIntervalUs > 0)
+        rep.setConfig("sample_interval_us", opts.sampleIntervalUs);
     body(rep, tp);
 
     check::CheckFindings findings = check::accumulatedFindings();
@@ -433,6 +481,10 @@ runBench(const Options &opts, const BenchBody &body)
     util::Json checkReports = check::accumulatedReports();
     util::Json profileReports = prof::accumulatedProfileReports();
     uint64_t profiledRuns = prof::profiledRunCount();
+    util::Json spanReports = telemetry::accumulatedSpansReports();
+    uint64_t spannedRuns = telemetry::spannedRunCount();
+    if (opts.sampleIntervalUs > 0)
+        rep.setTimeSeries(telemetry::accumulatedTimeSeries());
 
     // Every per-run profile document must satisfy the schema, including
     // the exact-sum invariant (categories == lifetime per thread).
@@ -447,12 +499,27 @@ runBench(const Options &opts, const BenchBody &body)
         }
     }
 
+    // Same contract for the span documents: schema plus the component
+    // decomposition invariant every span must satisfy.
+    for (size_t i = 0; i < spanReports.size(); ++i) {
+        std::string why;
+        if (!sim::validateSpansReport(spanReports.at(i), &why)) {
+            std::fprintf(stderr,
+                         "%s: internal error: spans report %zu fails "
+                         "schema validation: %s\n",
+                         opts.bench.c_str(), i, why.c_str());
+            return 1;
+        }
+    }
+
     std::vector<metrics::Snapshot> repeatMetrics;
     repeatMetrics.push_back(rep.mergedMetrics());
 
     for (int i = 1; i < opts.repeat; ++i) {
         check::resetAccumulatedFindings();
         prof::resetAccumulatedProfiles();
+        telemetry::resetAccumulatedSpans();
+        telemetry::resetAccumulatedTimeSeries();
         Report again(opts.bench);
         again.setConfig("seed", opts.seed);
         if (opts.engineThreads >= 0)
@@ -463,7 +530,13 @@ runBench(const Options &opts, const BenchBody &body)
             again.setConfig("check", true);
         if (opts.profile)
             again.setConfig("profile", true);
+        if (opts.spans)
+            again.setConfig("spans", true);
+        if (opts.sampleIntervalUs > 0)
+            again.setConfig("sample_interval_us", opts.sampleIntervalUs);
         body(again, nullptr);
+        if (opts.sampleIntervalUs > 0)
+            again.setTimeSeries(telemetry::accumulatedTimeSeries());
         repeatMetrics.push_back(again.mergedMetrics());
         if (!rep.deterministic())
             continue;
@@ -486,6 +559,15 @@ runBench(const Options &opts, const BenchBody &body)
                                 profileReports.dump(2)) {
             std::fprintf(stderr,
                          "%s: repeat %d produced different profile "
+                         "reports — determinism violation\n",
+                         opts.bench.c_str(), i + 1);
+            return 1;
+        }
+        if (opts.spans &&
+            telemetry::accumulatedSpansReports().dump(2) !=
+                spanReports.dump(2)) {
+            std::fprintf(stderr,
+                         "%s: repeat %d produced different span "
                          "reports — determinism violation\n",
                          opts.bench.c_str(), i + 1);
             return 1;
@@ -577,6 +659,31 @@ runBench(const Options &opts, const BenchBody &body)
                 std::fprintf(stderr, "%s: cannot write %s\n",
                              opts.bench.c_str(),
                              opts.profileJsonPath.c_str());
+                return 1;
+            }
+        }
+    }
+
+    if (opts.spans) {
+        uint64_t totalSpans = 0, droppedSpans = 0;
+        for (size_t i = 0; i < spanReports.size(); ++i) {
+            totalSpans += static_cast<uint64_t>(
+                spanReports.at(i).get("spans").asInt());
+            droppedSpans += static_cast<uint64_t>(
+                spanReports.at(i).get("dropped_spans").asInt());
+        }
+        std::printf("spans: %llu runs, %llu spans, %llu dropped\n",
+                    static_cast<unsigned long long>(spannedRuns),
+                    static_cast<unsigned long long>(totalSpans),
+                    static_cast<unsigned long long>(droppedSpans));
+        if (!opts.spansJsonPath.empty()) {
+            std::ofstream f(opts.spansJsonPath, std::ios::binary);
+            if (f)
+                f << spanReports.dump(2) << "\n";
+            if (!f) {
+                std::fprintf(stderr, "%s: cannot write %s\n",
+                             opts.bench.c_str(),
+                             opts.spansJsonPath.c_str());
                 return 1;
             }
         }

@@ -25,6 +25,14 @@
  *                    time-breakdown profiler; print a category summary
  *   --profile-json <path>  write the per-run "cables-profile-report"
  *                    documents as a JSON array (implies --profile)
+ *   --spans          record causal cross-node spans on every simulated
+ *                    run; print a span-count summary
+ *   --spans-json <path>  write the per-run "cables-spans-report"
+ *                    documents as a JSON array (implies --spans)
+ *   --sample-interval <us>  sample every run's metrics registry at the
+ *                    given virtual-time interval; the report JSON gains
+ *                    a "time_series" array of per-run
+ *                    "cables-timeseries" documents
  *   --explore <n>    (bench_explore) enumerate up to n schedules per
  *                    workload under the invariant oracle
  *   --explore-bound <k>  preemption bound for --explore (default 2)
@@ -75,6 +83,9 @@ struct Options
     std::string checkJsonPath; ///< --check-json target ("" = none)
     bool profile = false;  ///< --profile (time-breakdown profiling)
     std::string profileJsonPath; ///< --profile-json target ("" = none)
+    bool spans = false;    ///< --spans (causal span tracing)
+    std::string spansJsonPath; ///< --spans-json target ("" = none)
+    int64_t sampleIntervalUs = 0; ///< --sample-interval (0 = off)
     std::string placement; ///< --placement ("" = bench's default sweep)
     std::string migration; ///< --migration ("" = bench's default sweep)
     int migrationThreshold = 0; ///< --migration-threshold (0 = default)
@@ -184,6 +195,13 @@ class Report
 
     void addNote(std::string note);
 
+    /**
+     * Attach the sampled per-run "cables-timeseries" documents
+     * (--sample-interval): the JSON gains a "time_series" array. Set
+     * before the --repeat comparison, so byte-identity covers it.
+     */
+    void setTimeSeries(util::Json series);
+
     /** The paper-style table (the default stdout output). */
     std::string renderText() const;
 
@@ -204,6 +222,7 @@ class Report
     std::vector<Row> rows_;
     std::vector<std::string> notes_;
     std::vector<metrics::Snapshot> repeats_;
+    util::Json timeSeries_; ///< null unless --sample-interval
 };
 
 /** The bench body: fill @p rep; @p tracer is non-null when --trace was

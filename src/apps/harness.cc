@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "cables/telemetry.hh"
 #include "prof/profiler.hh"
+#include "sim/trace.hh"
 #include "util/logging.hh"
 
 namespace cables {
@@ -70,9 +72,32 @@ runProgram(const ClusterConfig &cfg, const Program &prog,
         ownProfiler = std::make_unique<prof::Profiler>();
         instr.profiler = ownProfiler.get();
     }
+    // bench --spans: record causal spans on every run. An explicit
+    // tracer gets spans enabled alongside its events; otherwise a
+    // private spans-only tracer keeps the event buffer machinery off.
+    std::unique_ptr<sim::Tracer> ownTracer;
+    if (telemetry::spanAllRuns()) {
+        if (!instr.tracer) {
+            ownTracer = std::make_unique<sim::Tracer>();
+            ownTracer->setEventsEnabled(false);
+            instr.tracer = ownTracer.get();
+        }
+        instr.tracer->enableSpans(true);
+    }
     instr.apply(rt);
     check::Checker *checker = instr.checker;
     prof::Profiler *profiler = instr.profiler;
+
+    // Virtual-time metrics sampling: an explicit interval wins over the
+    // bench --sample-interval global.
+    Tick sample_iv = opts.sampleInterval > 0
+                         ? opts.sampleInterval
+                         : telemetry::sampleAllRunsInterval();
+    std::unique_ptr<telemetry::TelemetrySampler> sampler;
+    if (sample_iv > 0) {
+        sampler =
+            std::make_unique<telemetry::TelemetrySampler>(rt, sample_iv);
+    }
 
     // Exploration: the explorer steers every tied scheduling decision
     // and an invariant oracle audits the protocol as it runs.
@@ -121,6 +146,19 @@ runProgram(const ClusterConfig &cfg, const Program &prog,
         res.profile = profiler->report();
         if (ownProfiler)
             prof::accumulateProfileReport(res.profile);
+    }
+    if (instr.tracer && instr.tracer->spansEnabled()) {
+        res.spanned = true;
+        res.spansReport = instr.tracer->spansReportJson();
+        if (telemetry::spanAllRuns())
+            telemetry::accumulateSpansReport(res.spansReport);
+    }
+    if (sampler) {
+        sampler->finish();
+        res.sampled = true;
+        res.timeSeries = sampler->timeSeriesJson();
+        if (opts.sampleInterval == 0)
+            telemetry::accumulateTimeSeries(res.timeSeries);
     }
     if (oracle) {
         oracle->finalize();

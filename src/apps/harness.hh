@@ -81,6 +81,28 @@ struct RunResult
 
     /// @}
 
+    /// @name Causal span tracing (populated when spans were recorded)
+    /// @{
+
+    /** True when the run's tracer recorded causal spans. */
+    bool spanned = false;
+
+    /** The full "cables-spans-report" v1 document; null otherwise. */
+    util::Json spansReport;
+
+    /// @}
+
+    /// @name Virtual-time telemetry sampling
+    /// @{
+
+    /** True when a TelemetrySampler observed this run. */
+    bool sampled = false;
+
+    /** The full "cables-timeseries" v1 document; null otherwise. */
+    util::Json timeSeries;
+
+    /// @}
+
     /// @name Schedule exploration (populated when an explorer drove it)
     /// @{
 
@@ -191,6 +213,15 @@ struct RunOptions
      * explorer-driven oracle runs). Defaults to all-disabled.
      */
     svm::OracleFaults oracleFaults;
+
+    /**
+     * Virtual-time metrics sampling interval in ticks (ns); 0 disables.
+     * When 0 but telemetry::sampleAllRunsInterval() is set (bench
+     * --sample-interval), the harness samples at the global interval
+     * and appends the series to the global accumulator. The sampler is
+     * a pure observer: results are bit-identical with and without it.
+     */
+    Tick sampleInterval = 0;
 };
 
 /**

@@ -153,6 +153,8 @@ Runtime::setTracer(sim::Tracer *t)
     engine_->setTracer(t);
     proto_->setTracer(t);
     network_->setTracer(t);
+    svmLocks_->setTracer(t);
+    svmBarriers_->setTracer(t);
 }
 
 void
@@ -220,6 +222,8 @@ Runtime::publishMetrics(metrics::Registry &r) const
     // Always present (0 without a tracer) so traced and untraced runs
     // publish identical metric key sets.
     r.counter("trace.dropped") += tracer_ ? tracer_->dropped() : 0;
+    r.counter("trace.dropped_spans") +=
+        tracer_ ? tracer_->droppedSpans() : 0;
     r.counter("sim.switches") += engine_->switches();
     r.counter("sim.events") += engine_->eventsRun();
     r.gauge("sim.max_time_ms") += toMs(engine_->maxTime());
@@ -296,7 +300,17 @@ Runtime::acbRead(NodeId node, size_t bytes)
     charge(CostKind::LocalCables, cfg.costs.acbLocalOp);
     if (node != 0) {
         Tick t0 = engine_->now();
-        comm_->fetch(node, 0, bytes);
+        uint64_t span = 0;
+        if (tracer_)
+            span = tracer_->beginSpan("acb_read", t0, node,
+                                      engine_->current()->id);
+        net::HopInfo hop;
+        comm_->fetch(node, 0, bytes, span ? &hop : nullptr);
+        if (span) {
+            tracer_->spanAdd(span, sim::SpanComp::Queue, hop.queue);
+            tracer_->spanAdd(span, sim::SpanComp::Wire, hop.wire);
+            tracer_->endSpan(span, engine_->now());
+        }
         note(CostKind::Communication, engine_->now() - t0);
     }
 }
@@ -309,7 +323,17 @@ Runtime::acbWrite(NodeId node, size_t bytes)
     charge(CostKind::LocalCables, cfg.costs.acbLocalOp);
     if (node != 0) {
         Tick t0 = engine_->now();
-        comm_->writeSync(node, 0, bytes);
+        uint64_t span = 0;
+        if (tracer_)
+            span = tracer_->beginSpan("acb_write", t0, node,
+                                      engine_->current()->id);
+        net::HopInfo hop;
+        comm_->writeSync(node, 0, bytes, span ? &hop : nullptr);
+        if (span) {
+            tracer_->spanAdd(span, sim::SpanComp::Queue, hop.queue);
+            tracer_->spanAdd(span, sim::SpanComp::Wire, hop.wire);
+            tracer_->endSpan(span, engine_->now());
+        }
         note(CostKind::Communication, engine_->now() - t0);
     }
 }
@@ -323,8 +347,19 @@ Runtime::adminRequest(NodeId node)
     if (node != 0) {
         engine_->sync();
         Tick t0 = engine_->now();
-        Tick t = network_->notify(node, 0, 32, t0);
+        uint64_t span = 0;
+        if (tracer_)
+            span = tracer_->beginSpan("acb_admin", t0, node,
+                                      engine_->current()->id);
+        net::HopInfo hop;
+        Tick t = network_->notify(node, 0, 32, t0,
+                                  span ? &hop : nullptr);
         engine_->advance(t - t0);
+        if (span) {
+            tracer_->spanAdd(span, sim::SpanComp::Queue, hop.queue);
+            tracer_->spanAdd(span, sim::SpanComp::Wire, hop.wire);
+            tracer_->endSpan(span, engine_->now());
+        }
         note(CostKind::Communication, t - t0);
     }
 }
@@ -440,13 +475,24 @@ Runtime::attachNode(NodeId n)
     if (oracle_)
         oracle_->attachStarted(n);
 
+    uint64_t span = 0;
+    if (tracer_)
+        span = tracer_->beginSpan("node_attach", t0, me.node,
+                                  engine_->current()->id);
+
     charge(CostKind::LocalCables, cfg.costs.attachMasterCables);
     // Master-side OS work overlaps the remote process spawn.
     note(CostKind::LocalOs, cfg.os.attachLocalOsCost);
 
     engine_->sync();
     Tick s = engine_->now();
-    Tick t = network_->transfer(me.node, n, 64, s);   // spawn request
+    net::HopInfo hop;
+    net::HopInfo *hp = span ? &hop : nullptr;
+    Tick t = network_->transfer(me.node, n, 64, s, hp); // spawn request
+    if (span) {
+        tracer_->spanAdd(span, sim::SpanComp::Queue, hop.queue);
+        tracer_->spanAdd(span, sim::SpanComp::Wire, hop.wire);
+    }
     t += cfg.os.processSpawnCost;
     note(CostKind::RemoteOs, cfg.os.processSpawnCost);
 
@@ -460,7 +506,13 @@ Runtime::attachNode(NodeId n)
     note(CostKind::Communication,
          cfg.costs.attachCommPerNode * numAttached);
 
-    Tick ack = network_->transfer(n, me.node, 64, t);
+    Tick ack = network_->transfer(n, me.node, 64, t, hp);
+    if (span) {
+        tracer_->spanAdd(span, sim::SpanComp::Queue, hop.queue);
+        tracer_->spanAdd(span, sim::SpanComp::Wire, hop.wire);
+        tracer_->spanAdd(span, sim::SpanComp::Handler,
+                         cfg.os.processSpawnCost + init);
+    }
     engine_->advance(std::max<Tick>(0, ack - engine_->now()));
 
     // VMMC message buffers between the new node and every attached node.
@@ -476,6 +528,8 @@ Runtime::attachNode(NodeId n)
     attaches += 1;
     opStats_.attach.sample(toMs(engine_->now() - t0));
     traceOp("attach", t0);
+    if (span)
+        tracer_->endSpan(span, engine_->now());
     if (checker_)
         checker_->nodeAttached(me.simTid, n, engine_->now());
     if (oracle_)
@@ -509,14 +563,35 @@ Runtime::startAsyncAttach(NodeId n)
     charge(CostKind::LocalCables, cfg.costs.attachMasterCables);
     engine_->sync();
     Tick start = engine_->now();
+    // Detached span: the attach outlives the caller's stack, so it
+    // records its causal parent but never encloses later operations.
+    uint64_t span = 0;
+    if (tracer_)
+        span = tracer_->beginSpan("node_attach", start, me.node,
+                                  engine_->current()->id,
+                                  /*detached=*/true);
+    net::HopInfo hop;
+    net::HopInfo *hp = span ? &hop : nullptr;
     // The same sequence as attachNode(), but nobody blocks on it: the
     // remote spawn and init run concurrently with the application.
-    Tick t = network_->transfer(me.node, n, 64, start);
-    t += cfg.os.processSpawnCost;
-    t += cfg.costs.attachRemoteCablesBase +
-         cfg.costs.attachRemoteCablesPerNode * (numAttached - 1);
-    Tick ack = network_->transfer(n, me.node, 64, t);
-    engine_->schedule(ack, [this, n, start, ack]() {
+    Tick t = network_->transfer(me.node, n, 64, start, hp);
+    if (span) {
+        tracer_->spanAdd(span, sim::SpanComp::Queue, hop.queue);
+        tracer_->spanAdd(span, sim::SpanComp::Wire, hop.wire);
+    }
+    Tick init = cfg.costs.attachRemoteCablesBase +
+                cfg.costs.attachRemoteCablesPerNode * (numAttached - 1);
+    t += cfg.os.processSpawnCost + init;
+    Tick ack = network_->transfer(n, me.node, 64, t, hp);
+    if (span) {
+        tracer_->spanAdd(span, sim::SpanComp::Queue, hop.queue);
+        tracer_->spanAdd(span, sim::SpanComp::Wire, hop.wire);
+        tracer_->spanAdd(span, sim::SpanComp::Handler,
+                         cfg.os.processSpawnCost + init);
+    }
+    engine_->schedule(ack, [this, n, start, ack, span]() {
+        if (span)
+            tracer_->endSpan(span, ack);
         completeAttach(n, start, ack);
     });
     // The checker edge is established at launch: completion runs in

@@ -1,0 +1,244 @@
+#include "cables/telemetry.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace cables {
+namespace telemetry {
+
+namespace {
+
+/** Virtual nanoseconds as the microsecond doubles the reports use. */
+double
+us(Tick t)
+{
+    return static_cast<double>(t) / 1000.0;
+}
+
+} // namespace
+
+TelemetrySampler::TelemetrySampler(cs::Runtime &rt, Tick interval)
+    : rt_(rt), interval_(interval)
+{
+    fatal_if(interval_ <= 0, "sample interval must be positive, got {}",
+             interval_);
+    scheduleNext(interval_);
+}
+
+void
+TelemetrySampler::scheduleNext(Tick at)
+{
+    // Weak event: fires at exactly `at` when the run lasts that long,
+    // is silently discarded otherwise, and never perturbs the run.
+    rt_.engine().scheduleWeak(at, [this, at]() {
+        fire(at);
+        scheduleNext(at + interval_);
+    });
+}
+
+void
+TelemetrySampler::fire(Tick at)
+{
+    metrics::Snapshot snap = rt_.metricsSnapshot();
+    record(lastEnd_, at, snap);
+    prev_ = std::move(snap);
+    lastEnd_ = at;
+}
+
+void
+TelemetrySampler::finish()
+{
+    panic_if(finished_, "TelemetrySampler::finish called twice");
+    finished_ = true;
+    // The final interval is emitted even when zero-length (the run
+    // ended exactly on a sample boundary) so consumers always see the
+    // makespan as the last interval's end.
+    Tick end = std::max(rt_.engine().maxTime(), lastEnd_);
+    record(lastEnd_, end, rt_.metricsSnapshot());
+}
+
+void
+TelemetrySampler::record(Tick start, Tick end,
+                         const metrics::Snapshot &snap)
+{
+    util::Json iv = util::Json::object();
+    iv.set("start_us", us(start));
+    iv.set("end_us", us(end));
+    util::Json c = util::Json::object();
+    for (const auto &kv : snap.counters) {
+        auto it = prev_.counters.find(kv.first);
+        uint64_t before = it == prev_.counters.end() ? 0 : it->second;
+        if (kv.second != before)
+            c.set(kv.first, kv.second - before);
+    }
+    iv.set("counters", std::move(c));
+    util::Json g = util::Json::object();
+    for (const auto &kv : snap.gauges) {
+        auto it = prev_.gauges.find(kv.first);
+        double before = it == prev_.gauges.end() ? 0.0 : it->second;
+        if (kv.second != before)
+            g.set(kv.first, kv.second);
+    }
+    iv.set("gauges", std::move(g));
+    intervals_.push(std::move(iv));
+    ++intervalCount_;
+}
+
+util::Json
+TelemetrySampler::timeSeriesJson() const
+{
+    panic_if(!finished_,
+             "timeSeriesJson before TelemetrySampler::finish");
+    util::Json doc = util::Json::object();
+    doc.set("schema", schemaName);
+    doc.set("schema_version", schemaVersion);
+    doc.set("interval_us", us(interval_));
+    doc.set("intervals", intervals_);
+    return doc;
+}
+
+bool
+validateTimeSeries(const util::Json &doc, std::string *why)
+{
+    auto fail = [&](const std::string &reason) {
+        if (why)
+            *why = reason;
+        return false;
+    };
+    if (!doc.isObject())
+        return fail("document is not an object");
+    if (!doc.has("schema") || !doc.get("schema").isString() ||
+        doc.get("schema").asString() != TelemetrySampler::schemaName)
+        return fail("missing or wrong schema tag");
+    if (!doc.has("schema_version") ||
+        doc.get("schema_version").asInt() !=
+            TelemetrySampler::schemaVersion)
+        return fail("missing or wrong schema_version");
+    if (!doc.has("interval_us") || !doc.get("interval_us").isNumber() ||
+        doc.get("interval_us").asDouble() <= 0)
+        return fail("missing or non-positive interval_us");
+    if (!doc.has("intervals") || !doc.get("intervals").isArray())
+        return fail("missing intervals array");
+    const util::Json &ivs = doc.get("intervals");
+    double prev_end = 0.0;
+    for (size_t i = 0; i < ivs.size(); ++i) {
+        const util::Json &iv = ivs.at(i);
+        if (!iv.isObject())
+            return fail("interval entry is not an object");
+        for (const char *key : {"start_us", "end_us"}) {
+            if (!iv.has(key) || !iv.get(key).isNumber())
+                return fail(std::string("interval missing ") + key);
+        }
+        double s = iv.get("start_us").asDouble();
+        double e = iv.get("end_us").asDouble();
+        if (e < s)
+            return fail("interval ends before it starts");
+        if (i > 0 && s != prev_end)
+            return fail("intervals are not contiguous");
+        prev_end = e;
+        if (!iv.has("counters") || !iv.get("counters").isObject())
+            return fail("interval missing counters object");
+        if (!iv.has("gauges") || !iv.get("gauges").isObject())
+            return fail("interval missing gauges object");
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// Process-global knobs (bench --spans / --sample-interval)
+// ---------------------------------------------------------------------
+
+namespace {
+
+bool g_spanAllRuns = false;
+Tick g_sampleInterval = 0;
+uint64_t g_spannedRuns = 0;
+
+util::Json &
+spanReports()
+{
+    static util::Json arr = util::Json::array();
+    return arr;
+}
+
+util::Json &
+timeSeriesArr()
+{
+    static util::Json arr = util::Json::array();
+    return arr;
+}
+
+} // namespace
+
+void
+setSpanAllRuns(bool enable)
+{
+    g_spanAllRuns = enable;
+}
+
+bool
+spanAllRuns()
+{
+    return g_spanAllRuns;
+}
+
+void
+accumulateSpansReport(util::Json report)
+{
+    spanReports().push(std::move(report));
+    ++g_spannedRuns;
+}
+
+const util::Json &
+accumulatedSpansReports()
+{
+    return spanReports();
+}
+
+uint64_t
+spannedRunCount()
+{
+    return g_spannedRuns;
+}
+
+void
+resetAccumulatedSpans()
+{
+    spanReports() = util::Json::array();
+    g_spannedRuns = 0;
+}
+
+void
+setSampleAllRunsInterval(Tick interval)
+{
+    fatal_if(interval < 0, "negative sample interval {}", interval);
+    g_sampleInterval = interval;
+}
+
+Tick
+sampleAllRunsInterval()
+{
+    return g_sampleInterval;
+}
+
+void
+accumulateTimeSeries(util::Json series)
+{
+    timeSeriesArr().push(std::move(series));
+}
+
+const util::Json &
+accumulatedTimeSeries()
+{
+    return timeSeriesArr();
+}
+
+void
+resetAccumulatedTimeSeries()
+{
+    timeSeriesArr() = util::Json::array();
+}
+
+} // namespace telemetry
+} // namespace cables

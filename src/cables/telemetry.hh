@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Virtual-time telemetry sampling and the process-global span/sampling
+ * knobs the bench driver flips (bench --spans / --sample-interval).
+ *
+ * A TelemetrySampler snapshots the runtime's merged metrics registry at
+ * a fixed virtual-time interval and emits per-interval counter deltas
+ * (and gauge values) as a versioned "cables-timeseries" v1 document.
+ * The sampler is a pure observer: it rides the engine's *weak* event
+ * hook (sim::Engine::scheduleWeak), which fires at an exact virtual
+ * time but participates in neither the event count nor the makespan nor
+ * simulation liveness — a sampled run's published metrics, checksums
+ * and trace exports are bit-identical to an unsampled run's.
+ */
+
+#ifndef CABLES_CABLES_TELEMETRY_HH
+#define CABLES_CABLES_TELEMETRY_HH
+
+#include "cables/runtime.hh"
+#include "util/json.hh"
+#include "util/metrics.hh"
+
+namespace cables {
+namespace telemetry {
+
+using sim::Tick;
+
+/**
+ * Samples one run's metrics registry every @p interval of virtual time.
+ * Construct before Runtime::run() (the first sample fires at
+ * t = interval); call finish() after the run to close the final —
+ * possibly partial, possibly zero-length — interval, then read
+ * timeSeriesJson(). An interval longer than the whole run yields a
+ * single interval covering [0, makespan].
+ */
+class TelemetrySampler
+{
+  public:
+    static constexpr const char *schemaName = "cables-timeseries";
+    static constexpr int schemaVersion = 1;
+
+    TelemetrySampler(cs::Runtime &rt, Tick interval);
+
+    TelemetrySampler(const TelemetrySampler &) = delete;
+    TelemetrySampler &operator=(const TelemetrySampler &) = delete;
+
+    /** Close the final interval at the run's makespan. */
+    void finish();
+
+    /** The "cables-timeseries" v1 document (finish() must have run). */
+    util::Json timeSeriesJson() const;
+
+    /** Intervals recorded so far (tests). */
+    size_t intervals() const { return intervalCount_; }
+
+  private:
+    void scheduleNext(Tick at);
+    void fire(Tick at);
+    void record(Tick start, Tick end,
+                const metrics::Snapshot &snap);
+
+    cs::Runtime &rt_;
+    Tick interval_;
+    Tick lastEnd_ = 0;          ///< end of the last recorded interval
+    metrics::Snapshot prev_;    ///< registry state at lastEnd_
+    util::Json intervals_ = util::Json::array();
+    size_t intervalCount_ = 0;
+    bool finished_ = false;
+};
+
+/**
+ * Validate a "cables-timeseries" v1 document: schema tag, interval,
+ * and that the intervals are contiguous and time-ordered. On failure
+ * returns false and stores a reason in @p why.
+ */
+bool validateTimeSeries(const util::Json &doc,
+                        std::string *why = nullptr);
+
+/// @name Process-global span-everything mode
+///
+/// bench --spans flips a process-wide flag; the app harness then
+/// records causal spans on every run it executes (with a private
+/// spans-only tracer when no explicit tracer is installed) and appends
+/// each run's "cables-spans-report" v1 document to a global array the
+/// bench driver reads at exit (the same shape as prof --profile).
+/// @{
+void setSpanAllRuns(bool enable);
+bool spanAllRuns();
+
+/** Append one run's spans report to the global array. */
+void accumulateSpansReport(util::Json report);
+
+/** All accumulated per-run spans reports, as a JSON array. */
+const util::Json &accumulatedSpansReports();
+uint64_t spannedRunCount();
+void resetAccumulatedSpans();
+/// @}
+
+/// @name Process-global sampling mode (bench --sample-interval)
+/// @{
+
+/** 0 disables; otherwise every harness run gets a sampler. */
+void setSampleAllRunsInterval(Tick interval);
+Tick sampleAllRunsInterval();
+
+/** Append one run's time series to the global array. */
+void accumulateTimeSeries(util::Json series);
+
+/** All accumulated per-run time series, as a JSON array. */
+const util::Json &accumulatedTimeSeries();
+void resetAccumulatedTimeSeries();
+/// @}
+
+} // namespace telemetry
+} // namespace cables
+
+#endif // CABLES_CABLES_TELEMETRY_HH

@@ -49,16 +49,33 @@ Network::publishMetrics(metrics::Registry &r) const
     r.counter("san.bytes") += stats_.bytes;
 }
 
+namespace {
+
+/** Fill @p hop so queue + wire == end - start with @p wire uncontended. */
+void
+fillHop(HopInfo *hop, Tick start, Tick end, Tick wire)
+{
+    if (!hop)
+        return;
+    hop->wire = wire;
+    hop->queue = (end - start) - wire;
+}
+
+} // namespace
+
 Tick
-Network::transfer(NodeId src, NodeId dst, size_t bytes, Tick start)
+Network::transfer(NodeId src, NodeId dst, size_t bytes, Tick start,
+                  HopInfo *hop)
 {
     panic_if(src < 0 || src >= nodes() || dst < 0 || dst >= nodes(),
              "bad transfer endpoints {} -> {}", src, dst);
     ++stats_.messages;
     stats_.bytes += bytes;
 
-    if (src == dst)
+    if (src == dst) {
+        fillHop(hop, start, start, 0);
         return start;  // loopback: handled locally, no SAN involvement
+    }
 
     Tick occ = occupancy(bytes);
     Tick tx_begin = reserve(nics[src].txFree, start, occ);
@@ -68,19 +85,25 @@ Network::transfer(NodeId src, NodeId dst, size_t bytes, Tick start)
     Tick rx_begin = reserve(nics[dst].rxFree, nominal - occ, occ);
     if (tracer_)
         trace("transfer", src, dst, bytes, start, rx_begin + occ);
+    fillHop(hop, start, rx_begin + occ,
+            params_.sendBase +
+                static_cast<Tick>(bytes * params_.sendPerByte));
     return rx_begin + occ;
 }
 
 Tick
-Network::fetch(NodeId src, NodeId dst, size_t bytes, Tick start)
+Network::fetch(NodeId src, NodeId dst, size_t bytes, Tick start,
+               HopInfo *hop)
 {
     panic_if(src < 0 || src >= nodes() || dst < 0 || dst >= nodes(),
              "bad fetch endpoints {} -> {}", src, dst);
     ++stats_.fetches;
     stats_.bytes += bytes;
 
-    if (src == dst)
+    if (src == dst) {
+        fillHop(hop, start, start, 0);
         return start;
+    }
 
     Tick occ = occupancy(bytes);
     // Request: small message through src tx and dst rx queues.
@@ -95,19 +118,26 @@ Network::fetch(NodeId src, NodeId dst, size_t bytes, Tick start)
     Tick rx_begin = reserve(nics[src].rxFree, earliest, occ);
     if (tracer_)
         trace("fetch", src, dst, bytes, start, rx_begin + occ);
+    fillHop(hop, start, rx_begin + occ,
+            params_.fetchBase +
+                static_cast<Tick>(bytes * params_.fetchPerByte));
     return rx_begin + occ;
 }
 
 Tick
-Network::notify(NodeId src, NodeId dst, size_t bytes, Tick start)
+Network::notify(NodeId src, NodeId dst, size_t bytes, Tick start,
+                HopInfo *hop)
 {
     panic_if(src < 0 || src >= nodes() || dst < 0 || dst >= nodes(),
              "bad notify endpoints {} -> {}", src, dst);
     ++stats_.notifications;
     stats_.bytes += bytes;
 
-    if (src == dst)
-        return start + 2 * US;  // local dispatch through the driver
+    if (src == dst) {
+        // Local dispatch through the driver.
+        fillHop(hop, start, start + 2 * US, 2 * US);
+        return start + 2 * US;
+    }
 
     Tick occ = occupancy(bytes);
     Tick tx_begin = reserve(nics[src].txFree, start, occ);
@@ -116,6 +146,9 @@ Network::notify(NodeId src, NodeId dst, size_t bytes, Tick start)
     Tick rx_begin = reserve(nics[dst].rxFree, nominal - occ, occ);
     if (tracer_)
         trace("notify", src, dst, bytes, start, rx_begin + occ);
+    fillHop(hop, start, rx_begin + occ,
+            params_.notifyBase +
+                static_cast<Tick>(bytes * params_.sendPerByte));
     return rx_begin + occ;
 }
 

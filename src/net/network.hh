@@ -71,6 +71,19 @@ struct NetParams
     Tick hostIssueCost = 1 * US;
 };
 
+/**
+ * Latency decomposition of one network operation, filled for span
+ * instrumentation: queue + wire equals the operation's end-to-end
+ * virtual latency exactly. wire is the uncontended latency of the
+ * message under the parameter set; queue is whatever contention
+ * (NIC occupancy windows) added on top, and is never negative.
+ */
+struct HopInfo
+{
+    Tick queue = 0;
+    Tick wire = 0;
+};
+
 /** Aggregate traffic statistics. */
 struct NetStats
 {
@@ -95,23 +108,27 @@ class Network
 
     /**
      * One-way transfer (send or remote write) of @p bytes from @p src to
-     * @p dst, issued at @p start.
+     * @p dst, issued at @p start. When @p hop is non-null the
+     * queue/wire decomposition of the latency is stored there.
      * @return completion (deposit) time at the destination.
      */
-    Tick transfer(NodeId src, NodeId dst, size_t bytes, Tick start);
+    Tick transfer(NodeId src, NodeId dst, size_t bytes, Tick start,
+                  HopInfo *hop = nullptr);
 
     /**
      * Synchronous remote fetch (read) of @p bytes from @p dst's memory,
      * issued by @p src at @p start.
      * @return completion time at the issuing node.
      */
-    Tick fetch(NodeId src, NodeId dst, size_t bytes, Tick start);
+    Tick fetch(NodeId src, NodeId dst, size_t bytes, Tick start,
+               HopInfo *hop = nullptr);
 
     /**
      * Notification: a small message that invokes a handler on @p dst.
      * @return dispatch time of the handler at the destination.
      */
-    Tick notify(NodeId src, NodeId dst, size_t bytes, Tick start);
+    Tick notify(NodeId src, NodeId dst, size_t bytes, Tick start,
+                HopInfo *hop = nullptr);
 
     /**
      * Smallest latency any cross-node effect can have under this

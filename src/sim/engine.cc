@@ -104,6 +104,15 @@ Engine::schedule(Tick when, std::function<void()> fn)
     events.push(Event{when, seqCounter++, std::move(fn)});
 }
 
+void
+Engine::scheduleWeak(Tick when, std::function<void()> fn)
+{
+    panic_if(tlOnWorker,
+             "scheduleWeak() on a worker thread (missing GuestOp?)");
+    panic_if(when < 0, "scheduling event in negative time");
+    weakEvents_.push(Event{when, weakSeq_++, std::move(fn), true});
+}
+
 SimThread &
 Engine::thread(ThreadId tid)
 {
@@ -431,11 +440,27 @@ Engine::run(bool allow_blocked)
                 drainParked(true);
                 continue;
             }
+            // Leftover weak events (sampler ticks past the last real
+            // work) are discarded without running: they never keep the
+            // simulation alive or extend the makespan.
             break;
         }
 
         Tick tt = t ? t->now : MaxTick;
         Tick et = have_event ? events.top().when : MaxTick;
+
+        // Fire due weak observer ticks first: they run at their exact
+        // virtual time, before any same-tick strong step, but count in
+        // neither eventsRun() nor the makespan — and, because their
+        // queue is invisible to earliestOther(), they never alter the
+        // schedule the unobserved run would take.
+        if (!weakEvents_.empty() &&
+            weakEvents_.top().when <= std::min(et, tt)) {
+            Event ev = weakEvents_.top();
+            weakEvents_.pop();
+            ev.fn();
+            continue;
+        }
 
         if (et < tt || (et == tt && !t)) {
             // Execute the earliest event on the scheduler stack.

@@ -207,6 +207,17 @@ class Engine
     void schedule(Tick when, std::function<void()> fn);
 
     /**
+     * Schedule a *weak* one-shot event at tick @p when: an observer
+     * hook (the telemetry sampler) that fires at its tick like any
+     * event but never keeps the simulation alive — weak events left
+     * over when all threads and regular events are done are discarded
+     * without running, and they count in neither eventsRun() nor
+     * maxTime(). They do participate in the earliest-first ordering,
+     * so a weak event observes exact virtual-time state.
+     */
+    void scheduleWeak(Tick when, std::function<void()> fn);
+
+    /**
      * Run the simulation until no runnable threads and no events remain.
      * Blocked threads left over at completion indicate a deadlock and
      * trigger a fatal error unless @p allow_blocked is set.
@@ -373,6 +384,7 @@ class Engine
         Tick when;
         uint64_t seq;
         std::function<void()> fn;
+        bool weak = false;
     };
 
     struct EventOrder
@@ -412,6 +424,18 @@ class Engine
     std::priority_queue<ReadyEntry, std::vector<ReadyEntry>,
                         std::greater<ReadyEntry>> ready;
     std::priority_queue<Event, std::vector<Event>, EventOrder> events;
+
+    /**
+     * Weak events live in their own queue so pending observer ticks are
+     * invisible to earliestOther(): a sampler must never make sync()
+     * yield (or block a migration) that the unobserved run would not
+     * perform — that requeue changes tie outcomes and thus the
+     * schedule. The run loop fires them at their exact tick whenever
+     * the scheduler is between strong steps.
+     */
+    std::priority_queue<Event, std::vector<Event>, EventOrder>
+        weakEvents_;
+    uint64_t weakSeq_ = 0;
 
     Tracer *tracer_ = nullptr;
     prof::Profiler *profiler_ = nullptr;

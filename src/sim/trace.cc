@@ -1,11 +1,34 @@
 #include "sim/trace.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <numeric>
 
+#include "util/logging.hh"
+
 namespace cables {
 namespace sim {
+
+const char *
+spanCompName(SpanComp c)
+{
+    switch (c) {
+      case SpanComp::Issue:
+        return "issue";
+      case SpanComp::Queue:
+        return "queue";
+      case SpanComp::Wire:
+        return "wire";
+      case SpanComp::Handler:
+        return "handler";
+      case SpanComp::Reply:
+        return "reply";
+      case SpanComp::Apply:
+        return "apply";
+    }
+    return "?";
+}
 
 void
 Tracer::nameThread(int pid, int tid, const std::string &name)
@@ -14,6 +37,60 @@ Tracer::nameThread(int pid, int tid, const std::string &name)
     args.set("name", name);
     events_.push_back(TraceEvent{0, 0, 'M', pid, tid, "__metadata",
                                  "thread_name", std::move(args)});
+}
+
+uint64_t
+Tracer::beginSpan(const char *op, Tick start, int pid, int tid,
+                  bool detached)
+{
+    if (!spansEnabled_)
+        return 0;
+    if (spans_.size() >= spanCapacity_) {
+        ++droppedSpans_;
+        return 0;
+    }
+    Span s;
+    s.flow = nextFlow_++;
+    s.start = start;
+    s.end = start;
+    s.pid = pid;
+    s.tid = tid;
+    s.op = op;
+    if (tid >= 0) {
+        auto it = openSpans_.find(tid);
+        if (it != openSpans_.end() && !it->second.empty())
+            s.parent = it->second.back();
+        if (!detached)
+            openSpans_[tid].push_back(s.flow);
+    }
+    spans_.push_back(std::move(s));
+    return spans_.back().flow;
+}
+
+void
+Tracer::endSpan(uint64_t id, Tick end)
+{
+    if (id == 0)
+        return;
+    Span &s = spans_[id - 1];
+    panic_if(!s.open, "span {} ({}) ended twice", id, s.op);
+    s.end = end;
+    Tick attributed = 0;
+    for (int c = 0; c < kNumSpanComps; ++c)
+        attributed += s.comp[c];
+    Tick remainder = (end - s.start) - attributed;
+    panic_if(remainder < 0,
+             "span {} ({}): components {} exceed duration {}", id, s.op,
+             attributed, end - s.start);
+    s.comp[static_cast<int>(SpanComp::Apply)] += remainder;
+    s.open = false;
+    auto it = openSpans_.find(s.tid);
+    if (it != openSpans_.end() && !it->second.empty() &&
+        it->second.back() == id) {
+        it->second.pop_back();
+        if (it->second.empty())
+            openSpans_.erase(it);
+    }
 }
 
 namespace {
@@ -48,6 +125,14 @@ appendEvent(std::string &out, const TraceEvent &e)
         // Instants need an explicit scope for the viewers.
         if (e.ph == 'i')
             out += ",\"s\":\"t\"";
+        // Flow events need the binding id; 'f' binds to the enclosing
+        // slice so the arrow lands on the child span.
+        if (e.ph == 's' || e.ph == 't' || e.ph == 'f') {
+            out += ",\"id\":";
+            out += std::to_string(e.id);
+            if (e.ph == 'f')
+                out += ",\"bp\":\"e\"";
+        }
     }
     if (!e.args.isNull()) {
         out += ",\"args\":";
@@ -58,18 +143,62 @@ appendEvent(std::string &out, const TraceEvent &e)
 
 } // namespace
 
+std::vector<TraceEvent>
+Tracer::spanEvents() const
+{
+    std::vector<TraceEvent> out;
+    for (const Span &s : spans_) {
+        if (s.open)
+            continue;
+        util::Json args = util::Json::object();
+        args.set("flow", static_cast<int64_t>(s.flow));
+        if (s.parent)
+            args.set("parent", static_cast<int64_t>(s.parent));
+        for (int c = 0; c < kNumSpanComps; ++c) {
+            args.set(std::string(spanCompName(
+                         static_cast<SpanComp>(c))) + "_us",
+                     static_cast<double>(s.comp[c]) / 1000.0);
+        }
+        out.push_back(TraceEvent{s.start, s.end - s.start, 'X', s.pid,
+                                 s.tid, "span", s.op, std::move(args),
+                                 s.flow});
+        // A flow arrow parent -> child: 's' on the parent's lane, 't'
+        // and 'f' on the child's, all sharing the child's flow id.
+        if (s.parent == 0 || s.parent > spans_.size())
+            continue;
+        const Span &p = spans_[s.parent - 1];
+        if (p.open)
+            continue;
+        out.push_back(TraceEvent{s.start, 0, 's', p.pid, p.tid, "flow",
+                                 s.op, util::Json(), s.flow});
+        out.push_back(TraceEvent{s.start, 0, 't', s.pid, s.tid, "flow",
+                                 s.op, util::Json(), s.flow});
+        out.push_back(TraceEvent{s.end, 0, 'f', s.pid, s.tid, "flow",
+                                 s.op, util::Json(), s.flow});
+    }
+    return out;
+}
+
 std::string
 Tracer::exportChrome() const
 {
     // Metadata first (viewers expect it anywhere, but leading metadata
     // keeps the non-metadata tail strictly time-ordered), then events
     // sorted by virtual time with record order as the tie-break.
-    std::vector<size_t> order(events_.size());
+    // Span-derived events sort after recorded events at equal
+    // timestamps (they follow in the pre-sort index order), so a run
+    // without spans exports byte-identically to before the span layer.
+    std::vector<TraceEvent> derived = spanEvents();
+    size_t n = events_.size();
+    auto at = [&](size_t i) -> const TraceEvent & {
+        return i < n ? events_[i] : derived[i - n];
+    };
+    std::vector<size_t> order(n + derived.size());
     std::iota(order.begin(), order.end(), size_t(0));
     std::stable_sort(order.begin(), order.end(),
-                     [this](size_t a, size_t b) {
-                         const TraceEvent &ea = events_[a];
-                         const TraceEvent &eb = events_[b];
+                     [&](size_t a, size_t b) {
+                         const TraceEvent &ea = at(a);
+                         const TraceEvent &eb = at(b);
                          bool ma = ea.ph == 'M', mb = eb.ph == 'M';
                          if (ma != mb)
                              return ma;
@@ -84,12 +213,113 @@ Tracer::exportChrome() const
         if (!first)
             out += ",\n";
         first = false;
-        appendEvent(out, events_[i]);
+        appendEvent(out, at(i));
     }
     out += "],\"displayTimeUnit\":\"ms\",";
     out += "\"otherData\":{\"clock\":\"virtual\",\"unit\":\"us\"}}";
     out += '\n';
     return out;
+}
+
+util::Json
+Tracer::spansReportJson() const
+{
+    struct OpAgg
+    {
+        std::vector<Tick> durs;
+        std::array<Tick, kNumSpanComps> comp{};
+    };
+    std::map<std::string, OpAgg> ops;
+    uint64_t closed = 0;
+    for (const Span &s : spans_) {
+        if (s.open)
+            continue;
+        ++closed;
+        OpAgg &agg = ops[s.op];
+        agg.durs.push_back(s.end - s.start);
+        for (int c = 0; c < kNumSpanComps; ++c)
+            agg.comp[c] += s.comp[c];
+    }
+
+    auto us = [](Tick t) {
+        return util::Json(static_cast<double>(t) / 1000.0);
+    };
+    // Exact nearest-rank percentile over the sorted durations.
+    auto rank = [](const std::vector<Tick> &v, double q) {
+        size_t i = static_cast<size_t>(
+            std::ceil(q * static_cast<double>(v.size())));
+        return v[std::max<size_t>(i, 1) - 1];
+    };
+
+    util::Json doc = util::Json::object();
+    doc.set("schema", "cables-spans-report");
+    doc.set("schema_version", static_cast<int64_t>(1));
+    doc.set("spans", static_cast<int64_t>(closed));
+    doc.set("dropped_spans", static_cast<int64_t>(droppedSpans_));
+    util::Json arr = util::Json::array();
+    for (auto &kv : ops) {
+        OpAgg &agg = kv.second;
+        std::sort(agg.durs.begin(), agg.durs.end());
+        util::Json e = util::Json::object();
+        e.set("op", kv.first);
+        e.set("count", static_cast<int64_t>(agg.durs.size()));
+        e.set("p50_us", us(rank(agg.durs, 0.50)));
+        e.set("p99_us", us(rank(agg.durs, 0.99)));
+        e.set("max_us", us(agg.durs.back()));
+        util::Json comp = util::Json::object();
+        for (int c = 0; c < kNumSpanComps; ++c)
+            comp.set(spanCompName(static_cast<SpanComp>(c)),
+                     us(agg.comp[c]));
+        e.set("components_us", std::move(comp));
+        arr.push(std::move(e));
+    }
+    doc.set("ops", std::move(arr));
+    return doc;
+}
+
+bool
+validateSpansReport(const util::Json &doc, std::string *why)
+{
+    auto fail = [&](const std::string &msg) {
+        if (why)
+            *why = msg;
+        return false;
+    };
+    if (!doc.isObject())
+        return fail("document is not an object");
+    if (doc.get("schema").asString() != "cables-spans-report")
+        return fail("schema is not cables-spans-report");
+    if (doc.get("schema_version").asInt() != 1)
+        return fail("unsupported schema_version");
+    for (const char *key : {"spans", "dropped_spans"}) {
+        if (!doc.get(key).isNumber())
+            return fail(std::string(key) + " missing or not a number");
+    }
+    const util::Json &ops = doc.get("ops");
+    if (!ops.isArray())
+        return fail("ops missing or not an array");
+    for (size_t i = 0; i < ops.size(); ++i) {
+        const util::Json &e = ops.at(i);
+        if (!e.isObject())
+            return fail(csprintf("ops[{}] is not an object", i));
+        if (!e.get("op").isString())
+            return fail(csprintf("ops[{}].op missing", i));
+        for (const char *key : {"count", "p50_us", "p99_us", "max_us"}) {
+            if (!e.get(key).isNumber())
+                return fail(csprintf("ops[{}].{} missing or not a "
+                                     "number", i, key));
+        }
+        const util::Json &comp = e.get("components_us");
+        if (!comp.isObject())
+            return fail(csprintf("ops[{}].components_us missing", i));
+        for (int c = 0; c < kNumSpanComps; ++c) {
+            const char *name = spanCompName(static_cast<SpanComp>(c));
+            if (!comp.get(name).isNumber())
+                return fail(csprintf("ops[{}].components_us.{} missing",
+                                     i, name));
+        }
+    }
+    return true;
 }
 
 bool

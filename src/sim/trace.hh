@@ -23,7 +23,9 @@
 #ifndef CABLES_SIM_TRACE_HH
 #define CABLES_SIM_TRACE_HH
 
+#include <array>
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -44,6 +46,48 @@ struct TraceEvent
     const char *cat = ""; ///< category (literal: "sched", "svm", ...)
     std::string name;
     util::Json args;     ///< null or an object
+    uint64_t id = 0;     ///< flow id for 's'/'t'/'f' phases; 0 = none
+};
+
+/**
+ * Latency components of a cross-node span. Every tick of a span's
+ * duration is attributed to exactly one component: sites add the
+ * measured Issue/Queue/Wire/Handler/Reply pieces and endSpan() assigns
+ * the remainder to Apply (local CPU work), so the components always
+ * sum exactly to the span's virtual duration.
+ */
+enum class SpanComp
+{
+    Issue,   ///< local cost before the request leaves (e.g. diff scan)
+    Queue,   ///< NIC send/recv window wait + blocked wait for a grant
+    Wire,    ///< uncontended end-to-end message latency
+    Handler, ///< remote handler CPU (manager / holder / spawn+init)
+    Reply,   ///< reply leg issue cost (reserved; 0 at current sites)
+    Apply,   ///< local apply / remainder (trap, twin, grant processing)
+};
+
+constexpr int kNumSpanComps = 6;
+
+/** The literal component name ("issue", "queue", ...). */
+const char *spanCompName(SpanComp c);
+
+/**
+ * One causal cross-node span: a protocol transaction (page fetch, diff
+ * flush, lock acquire, ...) with a deterministic flow id, an optional
+ * parent link (the span that was open on the same simulated thread
+ * when this one began), and a per-component latency decomposition.
+ */
+struct Span
+{
+    uint64_t flow = 0;   ///< deterministic flow id (1-based, dense)
+    uint64_t parent = 0; ///< enclosing span's flow id; 0 = root
+    Tick start = 0;      ///< virtual start time (ns)
+    Tick end = 0;        ///< virtual end time (ns)
+    int32_t pid = 0;     ///< cluster node
+    int32_t tid = 0;     ///< simulated thread id
+    const char *op = ""; ///< op type (literal: "page_fetch", ...)
+    std::array<Tick, kNumSpanComps> comp{}; ///< per-component ticks
+    bool open = true;    ///< still between beginSpan and endSpan
 };
 
 /** Collects events; see file comment. */
@@ -72,6 +116,72 @@ class Tracer
     void nameThread(int pid, int tid, const std::string &name);
 
     /**
+     * Turn the causal span layer on. Spans are recorded only while
+     * enabled; instrumentation sites hold the returned flow id and pay
+     * one branch when spans are off (beginSpan returns 0 and the other
+     * span calls no-op on id 0).
+     */
+    void enableSpans(bool on) { spansEnabled_ = on; }
+    bool spansEnabled() const { return spansEnabled_; }
+
+    /**
+     * Turn regular ('X'/'i') event recording off while keeping spans.
+     * A spans-only tracer (bench --spans without --trace) records no
+     * flat events and therefore counts no drops against the event
+     * buffer cap.
+     */
+    void setEventsEnabled(bool on) { eventsEnabled_ = on; }
+    bool eventsEnabled() const { return eventsEnabled_; }
+
+    /**
+     * Begin a span of op type @p op (a string literal) at virtual time
+     * @p start on (pid, tid). Returns the span's flow id, or 0 when
+     * spans are disabled or the span buffer is at capacity (dropped
+     * spans are counted in droppedSpans() and consume no flow id, so
+     * capped exports stay byte-reproducible). Unless @p detached, the
+     * span becomes the parent of spans begun on the same tid until
+     * endSpan; detached spans (completed later from an event context)
+     * record their parent but never enclose others.
+     */
+    uint64_t beginSpan(const char *op, Tick start, int pid, int tid,
+                       bool detached = false);
+
+    /** Attribute @p dt ticks of span @p id to component @p c. */
+    void
+    spanAdd(uint64_t id, SpanComp c, Tick dt)
+    {
+        if (id == 0)
+            return;
+        spans_[id - 1].comp[static_cast<int>(c)] += dt;
+    }
+
+    /**
+     * Close span @p id at virtual time @p end. The unattributed
+     * remainder of the duration goes to SpanComp::Apply; attributing
+     * more ticks than the span's duration is a bug and panics.
+     */
+    void endSpan(uint64_t id, Tick end);
+
+    /**
+     * Bound the span buffer like setCapacity bounds events. Spans past
+     * the cap are dropped in deterministic (begin) order.
+     */
+    void setSpanCapacity(size_t cap) { spanCapacity_ = cap; }
+    size_t spanCapacity() const { return spanCapacity_; }
+
+    /** Spans discarded because the span buffer was at capacity. */
+    uint64_t droppedSpans() const { return droppedSpans_; }
+
+    const std::vector<Span> &spans() const { return spans_; }
+
+    /**
+     * Aggregate closed spans into the versioned "cables-spans-report"
+     * v1 document: per op type count, exact nearest-rank p50/p99, max,
+     * and component totals, all in virtual microseconds.
+     */
+    util::Json spansReportJson() const;
+
+    /**
      * Bound the in-memory event buffer. Once @p cap events are held,
      * further events are counted in dropped() and discarded, so long
      * (e.g. --repeat) runs cannot grow without limit. Metadata ('M')
@@ -91,6 +201,10 @@ class Tracer
     {
         events_.clear();
         dropped_ = 0;
+        spans_.clear();
+        openSpans_.clear();
+        droppedSpans_ = 0;
+        nextFlow_ = 1;
     }
 
     /**
@@ -107,6 +221,8 @@ class Tracer
     void
     record(TraceEvent e)
     {
+        if (!eventsEnabled_)
+            return;
         if (events_.size() >= capacity_ && e.ph != 'M') {
             ++dropped_;
             return;
@@ -114,10 +230,29 @@ class Tracer
         events_.push_back(std::move(e));
     }
 
+    /** The 'X' + flow 's'/'t'/'f' events derived from closed spans. */
+    std::vector<TraceEvent> spanEvents() const;
+
     std::vector<TraceEvent> events_;
     size_t capacity_ = size_t(1) << 20;
     uint64_t dropped_ = 0;
+
+    bool spansEnabled_ = false;
+    bool eventsEnabled_ = true;
+    std::vector<Span> spans_;
+    size_t spanCapacity_ = size_t(1) << 20;
+    uint64_t droppedSpans_ = 0;
+    uint64_t nextFlow_ = 1;
+    /** Per-tid stack of open (enclosing) spans, for parent links. */
+    std::map<int32_t, std::vector<uint64_t>> openSpans_;
 };
+
+/**
+ * Validate that @p doc is a well-formed "cables-spans-report" v1
+ * document. On failure returns false and stores a reason in @p why.
+ */
+bool validateSpansReport(const util::Json &doc,
+                         std::string *why = nullptr);
 
 } // namespace sim
 } // namespace cables

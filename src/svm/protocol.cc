@@ -156,6 +156,7 @@ Protocol::fault(NodeId node, PageId page, bool write)
     if (auto *p = engine.profiler())
         p->pageFaulted(page, node, write);
 
+    uint64_t span = 0;
     if (s == StateInvalid) {
         if (node == h) {
             // Home always holds the primary copy.
@@ -164,7 +165,18 @@ Protocol::fault(NodeId node, PageId page, bool write)
         } else {
             if (fetchHook)
                 fetchHook(node, h, page);
-            comm.fetch(node, h, pageSize + params_.diffHeaderBytes);
+            // The cross-node transaction: span the whole fault so the
+            // trap/binder/twin work lands in the apply component.
+            if (tracer_)
+                span = tracer_->beginSpan("page_fetch", trace_t0, node,
+                                          traceTid());
+            net::HopInfo hop;
+            comm.fetch(node, h, pageSize + params_.diffHeaderBytes,
+                       span ? &hop : nullptr);
+            if (span) {
+                tracer_->spanAdd(span, sim::SpanComp::Queue, hop.queue);
+                tracer_->spanAdd(span, sim::SpanComp::Wire, hop.wire);
+            }
             ++stats[node].pagesFetched;
             if (auto *p = engine.profiler())
                 p->pageFetched(page, node);
@@ -196,6 +208,8 @@ Protocol::fault(NodeId node, PageId page, bool write)
         }
     }
 
+    if (span)
+        tracer_->endSpan(span, engine.now());
     if (tracer_) {
         util::Json args = util::Json::object();
         args.set("page", page);
@@ -236,6 +250,10 @@ Protocol::flushPage(NodeId node, PageId page)
         s = StateReadShared;
     } else if (s == StateDirty) {
         NodeId h = homes[page];
+        uint64_t span = 0;
+        if (tracer_)
+            span = tracer_->beginSpan("diff_flush", deposit, node,
+                                      traceTid());
         engine.contentFence(); // diffSize reads page contents
         size_t diff = diffSize(node, page);
         // Oracle recount must happen before any yield (comm.write):
@@ -246,7 +264,16 @@ Protocol::flushPage(NodeId node, PageId page)
                                  mem.host(pageBase(page)));
         }
         engine.advance(params_.diffScanCost);
-        deposit = comm.write(node, h, diff + params_.diffHeaderBytes);
+        net::HopInfo hop;
+        deposit = comm.write(node, h, diff + params_.diffHeaderBytes,
+                             span ? &hop : nullptr);
+        if (span) {
+            tracer_->spanAdd(span, sim::SpanComp::Issue,
+                             params_.diffScanCost);
+            tracer_->spanAdd(span, sim::SpanComp::Queue, hop.queue);
+            tracer_->spanAdd(span, sim::SpanComp::Wire, hop.wire);
+            tracer_->endSpan(span, deposit);
+        }
         twins[node].erase(page);
         s = StateReadShared;
         ++stats[node].diffsFlushed;
@@ -270,7 +297,8 @@ Tick
 Protocol::flushGroup(NodeId node, NodeId home,
                      const std::vector<PageId> &pages)
 {
-    Tick deposit = engine.now();
+    Tick t0 = engine.now();
+    Tick deposit = t0;
     size_t bytes = params_.diffHeaderBytes;
     std::vector<PageId> flushed;
     flushed.reserve(pages.size());
@@ -308,10 +336,23 @@ Protocol::flushGroup(NodeId node, NodeId home,
     if (flushed.empty())
         return deposit;
     // One gather write delivers the whole group's diffs to the home:
-    // a single message header plus a small per-page sub-header.
+    // a single message header plus a small per-page sub-header. The
+    // span covers the whole group, per-page scans as issue time;
+    // moved-home pages flushed individually above span on their own.
+    uint64_t span = 0;
+    if (tracer_)
+        span = tracer_->beginSpan("diff_gather", t0, node, traceTid());
+    Tick scan_done = engine.now();
+    net::HopInfo hop;
     deposit = std::max(deposit,
                        comm.writeGather(node, home, bytes,
-                                        flushed.size()));
+                                        flushed.size(),
+                                        span ? &hop : nullptr));
+    if (span) {
+        tracer_->spanAdd(span, sim::SpanComp::Issue, scan_done - t0);
+        tracer_->spanAdd(span, sim::SpanComp::Queue, hop.queue);
+        tracer_->spanAdd(span, sim::SpanComp::Wire, hop.wire);
+    }
     ++stats[node].diffBatches;
     stats[node].diffHeaderBytesSent +=
         params_.diffHeaderBytes +
@@ -328,6 +369,8 @@ Protocol::flushGroup(NodeId node, NodeId home,
     }
     for (PageId p : flushed)
         noteRemoteUse(node, p, /*fetch=*/false);
+    if (span)
+        tracer_->endSpan(span, std::max(engine.now(), deposit));
     return deposit;
 }
 
@@ -401,6 +444,11 @@ Protocol::acquireUpTo(NodeId node, uint64_t seq)
         return;
     sim::ProfScope prof_scope(engine, prof::Cat::DiffFlush);
     Tick trace_t0 = engine.now();
+    uint64_t span = 0;
+    if (tracer_)
+        span = tracer_->beginSpan("write_notice", trace_t0, node,
+                                  traceTid());
+    Tick last_flush = trace_t0;
     uint64_t n = seq - start;
     for (uint64_t i = start; i < seq; ++i) {
         // Copy, don't reference: the nested flushPage() below appends
@@ -416,7 +464,7 @@ Protocol::acquireUpTo(NodeId node, uint64_t seq)
         if (s == StateDirty || s == StateHomeDirty) {
             // Concurrent writer (false sharing): flush our diff before
             // dropping the copy.
-            flushPage(node, rec.page);
+            last_flush = std::max(last_flush, flushPage(node, rec.page));
         }
         s = StateInvalid;
         ++stats[node].invalidations;
@@ -429,6 +477,10 @@ Protocol::acquireUpTo(NodeId node, uint64_t seq)
     engine.advance(static_cast<Tick>(n) * params_.noticeApplyCost);
     if (oracle_)
         oracle_->noticesApplied(node, start, seq, flushLog.size());
+    // End no earlier than nested flush deposits so child spans stay
+    // contained in the parent.
+    if (span)
+        tracer_->endSpan(span, std::max(engine.now(), last_flush));
 
     if (tracer_) {
         util::Json args = util::Json::object();

@@ -4,6 +4,7 @@
 
 #include "check/checker.hh"
 #include "prof/profiler.hh"
+#include "sim/trace.hh"
 #include "svm/invariants.hh"
 
 namespace cables {
@@ -41,6 +42,10 @@ LockTable::acquire(NodeId node, LockId id, AcquireInfo *info)
     sim::ProfScope prof_scope(engine, prof::Cat::MutexWait);
     Lock &l = locks.at(id);
     sim::ThreadId tid = engine.current()->id;
+    uint64_t span = 0;
+    if (tracer_)
+        span = tracer_->beginSpan("lock_acquire", engine.now(), node,
+                                  tid);
 
     if (!l.held && l.token == node) {
         // Token cached locally: the paper's "local mutex lock" path.
@@ -54,6 +59,8 @@ LockTable::acquire(NodeId node, LockId id, AcquireInfo *info)
             checker_->lockAcquired(tid, id, engine.now());
         if (oracle_)
             oracle_->lockAcquired(tid, id, node);
+        if (span)
+            tracer_->endSpan(span, engine.now());
         return;
     }
 
@@ -65,13 +72,33 @@ LockTable::acquire(NodeId node, LockId id, AcquireInfo *info)
         // Token free but remote: request via the manager, which forwards
         // to the caching node; the grant returns directly to us.
         Tick t0 = engine.now();
-        Tick t = net.notify(node, l.manager, params_.requestBytes, t0);
+        net::HopInfo hop;
+        net::HopInfo *hp = span ? &hop : nullptr;
+        Tick t = net.notify(node, l.manager, params_.requestBytes, t0,
+                            hp);
         t += params_.managerProcCost;
-        if (l.token != l.manager) {
-            t = net.notify(l.manager, l.token, params_.requestBytes, t);
-            t += params_.holderProcCost;
+        if (span) {
+            tracer_->spanAdd(span, sim::SpanComp::Queue, hop.queue);
+            tracer_->spanAdd(span, sim::SpanComp::Wire, hop.wire);
+            tracer_->spanAdd(span, sim::SpanComp::Handler,
+                             params_.managerProcCost);
         }
-        t = net.notify(l.token, node, grantBytes(node), t);
+        if (l.token != l.manager) {
+            t = net.notify(l.manager, l.token, params_.requestBytes, t,
+                           hp);
+            t += params_.holderProcCost;
+            if (span) {
+                tracer_->spanAdd(span, sim::SpanComp::Queue, hop.queue);
+                tracer_->spanAdd(span, sim::SpanComp::Wire, hop.wire);
+                tracer_->spanAdd(span, sim::SpanComp::Handler,
+                                 params_.holderProcCost);
+            }
+        }
+        t = net.notify(l.token, node, grantBytes(node), t, hp);
+        if (span) {
+            tracer_->spanAdd(span, sim::SpanComp::Queue, hop.queue);
+            tracer_->spanAdd(span, sim::SpanComp::Wire, hop.wire);
+        }
         engine.advance(std::max<Tick>(0, t - t0) + params_.grantProcCost);
         l.token = node;
         l.held = true;
@@ -81,6 +108,8 @@ LockTable::acquire(NodeId node, LockId id, AcquireInfo *info)
             checker_->lockAcquired(tid, id, engine.now());
         if (oracle_)
             oracle_->lockAcquired(tid, id, node);
+        if (span)
+            tracer_->endSpan(span, engine.now());
         return;
     }
 
@@ -97,7 +126,13 @@ LockTable::acquire(NodeId node, LockId id, AcquireInfo *info)
         engine.advance(params_.managerProcCost);
     }
     l.waiters.push_back(Waiter{node, tid});
+    // The request hop overlaps the blocked wait, so only the wait is
+    // attributed (as queue time) — components never double-count.
+    Tick blocked_at = engine.now();
     engine.block(sim::BlockReason::SvmLock);
+    if (span)
+        tracer_->spanAdd(span, sim::SpanComp::Queue,
+                         engine.now() - blocked_at);
     // Woken as the new holder; token already moved by the releaser.
     // Re-resolve the lock: another thread may have grown `locks` while
     // we slept, invalidating references into the vector.
@@ -108,6 +143,8 @@ LockTable::acquire(NodeId node, LockId id, AcquireInfo *info)
         checker_->lockAcquired(tid, id, engine.now());
     if (oracle_)
         oracle_->lockAcquired(tid, id, node);
+    if (span)
+        tracer_->endSpan(span, engine.now());
 }
 
 bool
@@ -119,17 +156,41 @@ LockTable::tryAcquire(NodeId node, LockId id)
     Lock &l = locks.at(id);
     if (l.held)
         return false;
+    uint64_t span = 0;
+    if (tracer_)
+        span = tracer_->beginSpan("lock_acquire", engine.now(), node,
+                                  engine.current()->id);
     if (l.token == node) {
         engine.advance(params_.localAcquireCost);
     } else {
         Tick t0 = engine.now();
-        Tick t = net.notify(node, l.manager, params_.requestBytes, t0);
+        net::HopInfo hop;
+        net::HopInfo *hp = span ? &hop : nullptr;
+        Tick t = net.notify(node, l.manager, params_.requestBytes, t0,
+                            hp);
         t += params_.managerProcCost;
-        if (l.token != l.manager) {
-            t = net.notify(l.manager, l.token, params_.requestBytes, t);
-            t += params_.holderProcCost;
+        if (span) {
+            tracer_->spanAdd(span, sim::SpanComp::Queue, hop.queue);
+            tracer_->spanAdd(span, sim::SpanComp::Wire, hop.wire);
+            tracer_->spanAdd(span, sim::SpanComp::Handler,
+                             params_.managerProcCost);
         }
-        t = net.notify(l.token, node, grantBytes(node), t);
+        if (l.token != l.manager) {
+            t = net.notify(l.manager, l.token, params_.requestBytes, t,
+                           hp);
+            t += params_.holderProcCost;
+            if (span) {
+                tracer_->spanAdd(span, sim::SpanComp::Queue, hop.queue);
+                tracer_->spanAdd(span, sim::SpanComp::Wire, hop.wire);
+                tracer_->spanAdd(span, sim::SpanComp::Handler,
+                                 params_.holderProcCost);
+            }
+        }
+        t = net.notify(l.token, node, grantBytes(node), t, hp);
+        if (span) {
+            tracer_->spanAdd(span, sim::SpanComp::Queue, hop.queue);
+            tracer_->spanAdd(span, sim::SpanComp::Wire, hop.wire);
+        }
         engine.advance(std::max<Tick>(0, t - t0) + params_.grantProcCost);
         l.token = node;
     }
@@ -140,6 +201,8 @@ LockTable::tryAcquire(NodeId node, LockId id)
         checker_->lockAcquired(l.holder, id, engine.now());
     if (oracle_)
         oracle_->lockAcquired(l.holder, id, node);
+    if (span)
+        tracer_->endSpan(span, engine.now());
     return true;
 }
 
@@ -150,6 +213,10 @@ LockTable::release(NodeId node, LockId id)
     // Attribution: the nested proto.release() pushes DiffFlush on top,
     // so diff time wins over the residual unlock bookkeeping.
     sim::ProfScope prof_scope(engine, prof::Cat::MutexWait);
+    uint64_t span = 0;
+    if (tracer_)
+        span = tracer_->beginSpan("lock_release", engine.now(), node,
+                                  engine.current()->id);
     // Release consistency: make our writes visible first.
     proto.release(node);
     engine.sync();
@@ -168,12 +235,25 @@ LockTable::release(NodeId node, LockId id)
         Waiter w = l.waiters.front();
         l.waiters.pop_front();
         Tick t = engine.now() + params_.holderProcCost;
-        Tick delivery = net.notify(node, w.node, grantBytes(w.node), t);
+        net::HopInfo hop;
+        Tick delivery = net.notify(node, w.node, grantBytes(w.node), t,
+                                   span ? &hop : nullptr);
         l.token = w.node;
         l.held = true;
         l.holder = w.tid;
         engine.wake(w.tid, delivery);
+        if (span) {
+            tracer_->spanAdd(span, sim::SpanComp::Handler,
+                             params_.holderProcCost);
+            tracer_->spanAdd(span, sim::SpanComp::Queue, hop.queue);
+            tracer_->spanAdd(span, sim::SpanComp::Wire, hop.wire);
+            tracer_->endSpan(span,
+                             std::max(engine.now(), delivery));
+            return;
+        }
     }
+    if (span)
+        tracer_->endSpan(span, engine.now());
 }
 
 BarrierTable::BarrierTable(sim::Engine &engine, net::Network &net,
@@ -198,6 +278,10 @@ BarrierTable::enter(NodeId node, BarrierId id, int count)
     // Attribution: diff time inside the entry flush goes to DiffFlush
     // (nested scope); the wait itself to BarrierWait.
     sim::ProfScope prof_scope(engine, prof::Cat::BarrierWait);
+    uint64_t span = 0;
+    if (tracer_)
+        span = tracer_->beginSpan("barrier", engine.now(), node,
+                                  engine.current()->id);
     proto.release(node);
     engine.sync();
     engine.advance(params_.barrierEntryCost);
@@ -222,7 +306,13 @@ BarrierTable::enter(NodeId node, BarrierId id, int count)
 
     if (++b.arrived < count) {
         b.waiting.push_back(Waiter{node, tid});
+        // The arrival hop overlaps the blocked wait; only the wait is
+        // attributed (as queue time).
+        Tick blocked_at = engine.now();
         engine.block(sim::BlockReason::SvmBarrier);
+        if (span)
+            tracer_->spanAdd(span, sim::SpanComp::Queue,
+                             engine.now() - blocked_at);
         engine.advance(params_.barrierDepartCost);
         // Re-resolve: `barriers` may have grown while we slept.
         proto.acquireUpTo(node, barriers.at(id).seqAtRelease);
@@ -230,6 +320,8 @@ BarrierTable::enter(NodeId node, BarrierId id, int count)
             checker_->barrierExited(tid, id);
         if (oracle_)
             oracle_->barrierDeparted(tid, id);
+        if (span)
+            tracer_->endSpan(span, engine.now());
         return;
     }
 
@@ -249,8 +341,18 @@ BarrierTable::enter(NodeId node, BarrierId id, int count)
         size_t bytes = params_.requestBytes +
                        proto.pendingNotices(node) *
                            proto.params().noticeBytes;
-        self_done = net.notify(b.manager, node, bytes, t);
+        net::HopInfo hop;
+        self_done = net.notify(b.manager, node, bytes, t,
+                               span ? &hop : nullptr);
+        if (span) {
+            tracer_->spanAdd(span, sim::SpanComp::Queue, hop.queue);
+            tracer_->spanAdd(span, sim::SpanComp::Wire, hop.wire);
+        }
     }
+    if (span)
+        tracer_->spanAdd(span, sim::SpanComp::Handler,
+                         static_cast<Tick>(count) *
+                             params_.barrierProcCost);
     if (self_done > engine.now())
         engine.advance(self_done - engine.now());
     engine.advance(params_.barrierDepartCost);
@@ -262,6 +364,8 @@ BarrierTable::enter(NodeId node, BarrierId id, int count)
         checker_->barrierExited(tid, id);
     if (oracle_)
         oracle_->barrierDeparted(tid, id);
+    if (span)
+        tracer_->endSpan(span, engine.now());
 }
 
 } // namespace svm

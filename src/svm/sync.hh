@@ -112,6 +112,9 @@ class LockTable
      *  observe-only contract as the checker. */
     void setOracle(InvariantOracle *o) { oracle_ = o; }
 
+    /** Record lock transactions as causal spans (may be null). */
+    void setTracer(sim::Tracer *t) { tracer_ = t; }
+
   private:
     struct Waiter
     {
@@ -138,6 +141,7 @@ class LockTable
     SyncParams params_;
     check::Checker *checker_ = nullptr;
     InvariantOracle *oracle_ = nullptr;
+    sim::Tracer *tracer_ = nullptr;
     std::vector<Lock> locks;
 };
 
@@ -165,6 +169,9 @@ class BarrierTable
     /** Install (or remove, with nullptr) the invariant oracle. */
     void setOracle(InvariantOracle *o) { oracle_ = o; }
 
+    /** Record barrier transactions as causal spans (may be null). */
+    void setTracer(sim::Tracer *t) { tracer_ = t; }
+
   private:
     struct Waiter
     {
@@ -187,6 +194,7 @@ class BarrierTable
     SyncParams params_;
     check::Checker *checker_ = nullptr;
     InvariantOracle *oracle_ = nullptr;
+    sim::Tracer *tracer_ = nullptr;
     std::vector<Barrier> barriers;
 };
 

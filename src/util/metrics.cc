@@ -1,7 +1,39 @@
 #include "util/metrics.hh"
 
+#include "util/logging.hh"
+
 namespace cables {
 namespace metrics {
+
+namespace {
+
+/**
+ * Fail fast when @p name is already registered under a different kind:
+ * the two slots would serialize under the same key and silently shadow
+ * each other in merged snapshots.
+ */
+void
+checkKind(const Snapshot &live, const std::string &name,
+          const char *want,
+          bool as_counter, bool as_gauge, bool as_timer,
+          bool as_histogram)
+{
+    const char *have = nullptr;
+    if (as_counter && live.counters.count(name))
+        have = "counter";
+    else if (as_gauge && live.gauges.count(name))
+        have = "gauge";
+    else if (as_timer && live.timers.count(name))
+        have = "timer";
+    else if (as_histogram && live.histograms.count(name))
+        have = "histogram";
+    if (have) {
+        fatal("metric '{}' requested as {} but already registered "
+              "as {}", name, want, have);
+    }
+}
+
+} // namespace
 
 void
 Snapshot::merge(const Snapshot &o)
@@ -85,24 +117,28 @@ Snapshot::operator==(const Snapshot &o) const
 uint64_t &
 Registry::counter(const std::string &name)
 {
+    checkKind(live, name, "counter", false, true, true, true);
     return live.counters[name];
 }
 
 double &
 Registry::gauge(const std::string &name)
 {
+    checkKind(live, name, "gauge", true, false, true, true);
     return live.gauges[name];
 }
 
 Stat &
 Registry::timer(const std::string &name)
 {
+    checkKind(live, name, "timer", true, true, false, true);
     return live.timers[name];
 }
 
 Stat &
 Registry::histogram(const std::string &name)
 {
+    checkKind(live, name, "histogram", true, true, true, false);
     return live.histograms[name];
 }
 

@@ -69,10 +69,15 @@ struct Snapshot
 class Registry
 {
   public:
-    /** Monotonic event counter slot for @p name. */
+    /**
+     * Monotonic event counter slot for @p name. Re-obtaining the same
+     * name with the same kind is the normal republish idiom; asking for
+     * a name already registered as a different kind is a programming
+     * error and fails fast naming the collision.
+     */
     uint64_t &counter(const std::string &name);
 
-    /** Point-in-time value slot for @p name. */
+    /** Point-in-time value slot for @p name (same collision rule). */
     double &gauge(const std::string &name);
 
     /** Duration distribution for @p name; samples are milliseconds. */

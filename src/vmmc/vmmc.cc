@@ -151,22 +151,22 @@ Vmmc::importRegion(NodeId importer, NodeId exporter, int region)
 }
 
 Tick
-Vmmc::write(NodeId src, NodeId dst, size_t bytes)
+Vmmc::write(NodeId src, NodeId dst, size_t bytes, net::HopInfo *hop)
 {
     engine.sync();
     Tick start = engine.now();
-    Tick done = network.transfer(src, dst, bytes, start);
+    Tick done = network.transfer(src, dst, bytes, start, hop);
     engine.advance(network.params().hostIssueCost);
     return done;
 }
 
 Tick
 Vmmc::writeGather(NodeId src, NodeId dst, size_t bytes,
-                  size_t segments)
+                  size_t segments, net::HopInfo *hop)
 {
     engine.sync();
     Tick start = engine.now();
-    Tick done = network.transfer(src, dst, bytes, start);
+    Tick done = network.transfer(src, dst, bytes, start, hop);
     Tick extra = segments > 1
                      ? params_.gatherSegmentCost * (segments - 1)
                      : 0;
@@ -177,21 +177,22 @@ Vmmc::writeGather(NodeId src, NodeId dst, size_t bytes,
 }
 
 void
-Vmmc::writeSync(NodeId src, NodeId dst, size_t bytes)
+Vmmc::writeSync(NodeId src, NodeId dst, size_t bytes,
+                net::HopInfo *hop)
 {
     engine.sync();
     Tick start = engine.now();
-    Tick done = network.transfer(src, dst, bytes, start);
+    Tick done = network.transfer(src, dst, bytes, start, hop);
     engine.advance(std::max(done - start,
                             network.params().hostIssueCost));
 }
 
 void
-Vmmc::fetch(NodeId src, NodeId dst, size_t bytes)
+Vmmc::fetch(NodeId src, NodeId dst, size_t bytes, net::HopInfo *hop)
 {
     engine.sync();
     Tick start = engine.now();
-    Tick done = network.fetch(src, dst, bytes, start);
+    Tick done = network.fetch(src, dst, bytes, start, hop);
     engine.advance(done - start);
 }
 

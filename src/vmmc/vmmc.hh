@@ -188,10 +188,13 @@ class Vmmc
 
     /**
      * Direct remote write of @p bytes into @p dst's exported memory.
-     * Sender-synchronous up to local issue; wire time overlaps.
+     * Sender-synchronous up to local issue; wire time overlaps. When
+     * @p hop is non-null the network's queue/wire decomposition is
+     * stored there (span instrumentation).
      * @return deposit completion time at the destination.
      */
-    Tick write(NodeId src, NodeId dst, size_t bytes);
+    Tick write(NodeId src, NodeId dst, size_t bytes,
+               net::HopInfo *hop = nullptr);
 
     /**
      * Gather write: deliver @p segments discontiguous source buffers
@@ -201,13 +204,15 @@ class Vmmc
      * @return deposit completion time at the destination.
      */
     Tick writeGather(NodeId src, NodeId dst, size_t bytes,
-                     size_t segments);
+                     size_t segments, net::HopInfo *hop = nullptr);
 
     /** As write(), but the caller also waits for the deposit. */
-    void writeSync(NodeId src, NodeId dst, size_t bytes);
+    void writeSync(NodeId src, NodeId dst, size_t bytes,
+                   net::HopInfo *hop = nullptr);
 
     /** Direct remote fetch; the caller blocks for the round trip. */
-    void fetch(NodeId src, NodeId dst, size_t bytes);
+    void fetch(NodeId src, NodeId dst, size_t bytes,
+               net::HopInfo *hop = nullptr);
 
     /// @}
 

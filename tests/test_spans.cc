@@ -1,0 +1,390 @@
+/**
+ * @file
+ * Causal span layer tests: component telescoping (queue + wire +
+ * handler + apply sum exactly to each span's virtual duration),
+ * parent/child links, deterministic flow ids, byte-identical export
+ * across engine modes and SVM backends, span buffer capacity, the
+ * virtual-time telemetry sampler, and the pure-observer guarantee
+ * (spans + sampling leave results bit-identical).
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "apps/splash.hh"
+#include "cables/telemetry.hh"
+#include "sim/trace.hh"
+#include "util/json.hh"
+#include "util/logging.hh"
+#include "util/metrics.hh"
+
+using namespace cables;
+using namespace cables::apps;
+
+namespace {
+
+using AppFn = std::function<void(m4::M4Env &, AppOut &)>;
+
+void
+luApp(m4::M4Env &env, AppOut &out)
+{
+    LuParams p;
+    p.nprocs = 8;
+    p.n = 96;
+    p.block = 16;
+    runLu(env, p, out);
+}
+
+void
+oceanApp(m4::M4Env &env, AppOut &out)
+{
+    OceanParams p;
+    p.nprocs = 8;
+    p.n = 130;
+    p.steps = 1;
+    p.levels = 2;
+    runOcean(env, p, out);
+}
+
+struct SpanRun
+{
+    RunResult res;
+    AppOut out;
+    std::vector<sim::Span> spans;
+    std::string report; ///< spansReportJson().dump(2)
+    std::string chrome; ///< exportChrome()
+};
+
+SpanRun
+runWithSpans(cs::Backend backend, const sim::EngineConfig &ec,
+             const AppFn &app, size_t span_cap = 0,
+             Tick sample_interval = 0)
+{
+    sim::Tracer tracer;
+    tracer.enableSpans(true);
+    tracer.setEventsEnabled(false);
+    if (span_cap)
+        tracer.setSpanCapacity(span_cap);
+    SpanRun r;
+    RunOptions ro;
+    ro.instr.tracer = &tracer;
+    ro.engine = ec;
+    ro.sampleInterval = sample_interval;
+    r.res = runProgram(splashConfig(backend, 8),
+                       [&](Runtime &rt, RunResult &res) {
+                           m4::M4Env env(rt);
+                           app(env, r.out);
+                           res.valid = r.out.valid;
+                       },
+                       ro);
+    r.spans = tracer.spans();
+    r.report = tracer.spansReportJson().dump(2);
+    r.chrome = tracer.exportChrome();
+    return r;
+}
+
+/** Every closed span's components must sum exactly to its duration. */
+void
+expectTelescoping(const std::vector<sim::Span> &spans)
+{
+    for (const auto &s : spans) {
+        ASSERT_FALSE(s.open) << "span " << s.flow << " (" << s.op
+                             << ") never closed";
+        EXPECT_GE(s.end, s.start);
+        Tick sum = std::accumulate(s.comp.begin(), s.comp.end(), Tick(0));
+        EXPECT_EQ(sum, s.end - s.start)
+            << "span " << s.flow << " (" << s.op << ") components sum "
+            << sum << " != duration " << s.end - s.start;
+    }
+}
+
+uint64_t
+countOp(const std::vector<sim::Span> &spans, const std::string &op)
+{
+    uint64_t n = 0;
+    for (const auto &s : spans)
+        n += s.op == op;
+    return n;
+}
+
+} // namespace
+
+TEST(Spans, LuTransactionsTelescopeAndLink)
+{
+    SpanRun r = runWithSpans(cs::Backend::CableS,
+                             sim::EngineConfig::serial(), luApp);
+    ASSERT_TRUE(r.out.valid);
+    ASSERT_FALSE(r.spans.empty());
+    expectTelescoping(r.spans);
+
+    // Every page fetch the run performed appears as a span (the
+    // acceptance bar for the span layer's coverage). LU synchronizes
+    // purely through barriers, so those must be covered too.
+    EXPECT_EQ(countOp(r.spans, "page_fetch"),
+              r.res.counter("svm.pages_fetched"));
+    EXPECT_GT(countOp(r.spans, "barrier"), 0u);
+    EXPECT_GT(countOp(r.spans, "node_attach"), 0u);
+
+    // Flow ids are dense 1..N in begin order; parents precede their
+    // children and enclose their start times.
+    for (size_t i = 0; i < r.spans.size(); ++i) {
+        const sim::Span &s = r.spans[i];
+        EXPECT_EQ(s.flow, i + 1);
+        if (s.parent == 0)
+            continue;
+        ASSERT_LT(s.parent, s.flow);
+        const sim::Span &p = r.spans[s.parent - 1];
+        EXPECT_LE(p.start, s.start);
+    }
+    // LU's release-time diff flushes nest under lock/barrier spans, so
+    // real parent links must exist.
+    bool linked = false;
+    for (const auto &s : r.spans)
+        linked |= s.parent != 0;
+    EXPECT_TRUE(linked);
+}
+
+TEST(Spans, OceanTransactionsTelescope)
+{
+    SpanRun r = runWithSpans(cs::Backend::CableS,
+                             sim::EngineConfig::serial(), oceanApp);
+    ASSERT_TRUE(r.out.valid);
+    ASSERT_FALSE(r.spans.empty());
+    expectTelescoping(r.spans);
+    EXPECT_EQ(countOp(r.spans, "page_fetch"),
+              r.res.counter("svm.pages_fetched"));
+    EXPECT_GT(countOp(r.spans, "barrier"), 0u);
+}
+
+TEST(Spans, RaytraceLockTransactionsTelescope)
+{
+    // RAYTRACE hands out tiles through a lock-protected task queue —
+    // the lock-acquire/-release coverage LU and OCEAN (barrier-only
+    // apps) cannot provide.
+    AppFn rayApp = [](m4::M4Env &env, AppOut &out) {
+        RaytraceParams p;
+        p.nprocs = 8;
+        p.image = 32;
+        p.spheres = 16;
+        runRaytrace(env, p, out);
+    };
+    SpanRun r = runWithSpans(cs::Backend::CableS,
+                             sim::EngineConfig::serial(), rayApp);
+    ASSERT_TRUE(r.out.valid);
+    expectTelescoping(r.spans);
+    EXPECT_GT(countOp(r.spans, "lock_acquire"), 0u);
+    EXPECT_GT(countOp(r.spans, "lock_release"), 0u);
+}
+
+TEST(Spans, ExportByteIdenticalAcrossEngineModes)
+{
+    SpanRun serial = runWithSpans(cs::Backend::CableS,
+                                  sim::EngineConfig::serial(), luApp);
+    SpanRun again = runWithSpans(cs::Backend::CableS,
+                                 sim::EngineConfig::serial(), luApp);
+    SpanRun par = runWithSpans(cs::Backend::CableS,
+                               sim::EngineConfig::forThreads(4), luApp);
+    ASSERT_FALSE(serial.spans.empty());
+    // Same seed, same engine: byte-identical. Parallel engine: still
+    // byte-identical — runtime ops replay in serial order.
+    EXPECT_EQ(serial.report, again.report);
+    EXPECT_EQ(serial.chrome, again.chrome);
+    EXPECT_EQ(serial.report, par.report);
+    EXPECT_EQ(serial.chrome, par.chrome);
+}
+
+TEST(Spans, BaseBackendExportByteIdenticalAcrossEngineModes)
+{
+    SpanRun serial = runWithSpans(cs::Backend::BaseSvm,
+                                  sim::EngineConfig::serial(), luApp);
+    SpanRun par = runWithSpans(cs::Backend::BaseSvm,
+                               sim::EngineConfig::forThreads(4), luApp);
+    ASSERT_FALSE(serial.spans.empty());
+    expectTelescoping(serial.spans);
+    EXPECT_EQ(serial.report, par.report);
+    EXPECT_EQ(serial.chrome, par.chrome);
+}
+
+TEST(Spans, ReportValidatesAndAggregatesEverySpan)
+{
+    SpanRun r = runWithSpans(cs::Backend::CableS,
+                             sim::EngineConfig::serial(), luApp);
+    std::string err;
+    util::Json doc = util::Json::parse(r.report, &err);
+    ASSERT_TRUE(err.empty()) << err;
+    std::string why;
+    EXPECT_TRUE(sim::validateSpansReport(doc, &why)) << why;
+
+    EXPECT_EQ(doc.get("spans").asInt(),
+              static_cast<int64_t>(r.spans.size()));
+    EXPECT_EQ(doc.get("dropped_spans").asInt(), 0);
+
+    // ops are sorted by name and their counts cover every span.
+    util::Json ops = doc.get("ops");
+    ASSERT_GT(ops.size(), 0u);
+    uint64_t total = 0;
+    std::string prev;
+    for (size_t i = 0; i < ops.size(); ++i) {
+        util::Json op = ops.at(i);
+        std::string name = op.get("op").asString();
+        EXPECT_GT(name, prev);
+        prev = name;
+        total += op.get("count").asInt();
+        EXPECT_GE(op.get("max_us").asDouble(),
+                  op.get("p99_us").asDouble());
+        EXPECT_GE(op.get("p99_us").asDouble(),
+                  op.get("p50_us").asDouble());
+    }
+    EXPECT_EQ(total, r.spans.size());
+}
+
+TEST(Spans, FlowEventsLinkParentsInChromeExport)
+{
+    SpanRun r = runWithSpans(cs::Backend::CableS,
+                             sim::EngineConfig::serial(), luApp);
+    std::string err;
+    util::Json doc = util::Json::parse(r.chrome, &err);
+    ASSERT_TRUE(err.empty()) << err;
+    util::Json evs = doc.get("traceEvents");
+    size_t xs = 0, starts = 0, steps = 0;
+    for (size_t i = 0; i < evs.size(); ++i) {
+        std::string ph = evs.at(i).get("ph").asString();
+        xs += ph == "X";
+        starts += ph == "s";
+        steps += ph == "t" || ph == "f";
+    }
+    // One 'X' per span; one 's' plus a 't' and an 'f' per parent/child
+    // edge.
+    EXPECT_EQ(xs, r.spans.size());
+    EXPECT_GT(starts, 0u);
+    EXPECT_EQ(steps, 2 * starts);
+}
+
+TEST(Spans, CapacityBoundsSpansDeterministically)
+{
+    SpanRun full = runWithSpans(cs::Backend::CableS,
+                                sim::EngineConfig::serial(), luApp);
+    size_t cap = full.spans.size() / 2;
+    ASSERT_GT(cap, 0u);
+    SpanRun capped = runWithSpans(cs::Backend::CableS,
+                                  sim::EngineConfig::serial(), luApp, cap);
+    SpanRun capped2 = runWithSpans(cs::Backend::CableS,
+                                   sim::EngineConfig::serial(), luApp,
+                                   cap);
+    EXPECT_EQ(capped.spans.size(), cap);
+
+    // Drops are deterministic (begin order): the kept prefix is exactly
+    // the uncapped run's first `cap` spans, and repeated capped runs
+    // export byte-identically.
+    for (size_t i = 0; i < cap; ++i) {
+        EXPECT_EQ(capped.spans[i].flow, full.spans[i].flow);
+        EXPECT_EQ(std::string(capped.spans[i].op), full.spans[i].op);
+        EXPECT_EQ(capped.spans[i].start, full.spans[i].start);
+    }
+    EXPECT_EQ(capped.report, capped2.report);
+
+    std::string err;
+    util::Json doc = util::Json::parse(capped.report, &err);
+    ASSERT_TRUE(err.empty()) << err;
+    std::string why;
+    EXPECT_TRUE(sim::validateSpansReport(doc, &why)) << why;
+    EXPECT_EQ(static_cast<uint64_t>(doc.get("dropped_spans").asInt()),
+              full.spans.size() - cap);
+
+    // The drop count surfaces next to trace.dropped in the metrics.
+    EXPECT_EQ(capped.res.counter("trace.dropped_spans"),
+              full.spans.size() - cap);
+    EXPECT_EQ(full.res.counter("trace.dropped_spans"), 0u);
+}
+
+TEST(Spans, ObserversDoNotPerturbTheRun)
+{
+    // Plain run vs fully instrumented run (spans + sampler): the
+    // simulated results must be bit-identical — both are pure
+    // observers.
+    AppOut plain_out;
+    RunResult plain = runProgram(splashConfig(cs::Backend::CableS, 8),
+                                 [&](Runtime &rt, RunResult &res) {
+                                     m4::M4Env env(rt);
+                                     luApp(env, plain_out);
+                                     res.valid = plain_out.valid;
+                                 });
+    SpanRun instr = runWithSpans(cs::Backend::CableS,
+                                 sim::EngineConfig::serial(), luApp, 0,
+                                 /*sample_interval=*/50000);
+    ASSERT_TRUE(plain.valid);
+    ASSERT_TRUE(instr.res.valid);
+    EXPECT_EQ(plain.total, instr.res.total);
+    EXPECT_DOUBLE_EQ(plain_out.checksum, instr.out.checksum);
+    EXPECT_EQ(plain.metrics.toJson().dump(2),
+              instr.res.metrics.toJson().dump(2));
+}
+
+TEST(Sampler, SeriesIsContiguousAndCoversTheRun)
+{
+    SpanRun r = runWithSpans(cs::Backend::CableS,
+                             sim::EngineConfig::serial(), luApp, 0,
+                             /*sample_interval=*/50000);
+    ASSERT_TRUE(r.res.sampled);
+    std::string why;
+    EXPECT_TRUE(telemetry::validateTimeSeries(r.res.timeSeries, &why))
+        << why;
+    util::Json ivs = r.res.timeSeries.get("intervals");
+    ASSERT_GT(ivs.size(), 1u);
+    EXPECT_DOUBLE_EQ(ivs.at(0).get("start_us").asDouble(), 0.0);
+    // The final interval closes exactly at the makespan.
+    EXPECT_DOUBLE_EQ(ivs.at(ivs.size() - 1).get("end_us").asDouble(),
+                     r.res.total / 1000.0);
+    // Counters actually moved somewhere in the series.
+    bool moved = false;
+    for (size_t i = 0; i < ivs.size(); ++i)
+        moved |= ivs.at(i).get("counters").size() > 0;
+    EXPECT_TRUE(moved);
+}
+
+TEST(Sampler, IntervalLongerThanRunYieldsOneClosingInterval)
+{
+    SpanRun r = runWithSpans(cs::Backend::CableS,
+                             sim::EngineConfig::serial(), luApp, 0,
+                             /*sample_interval=*/Tick(1) << 50);
+    ASSERT_TRUE(r.res.sampled);
+    std::string why;
+    EXPECT_TRUE(telemetry::validateTimeSeries(r.res.timeSeries, &why))
+        << why;
+    util::Json ivs = r.res.timeSeries.get("intervals");
+    ASSERT_EQ(ivs.size(), 1u);
+    EXPECT_DOUBLE_EQ(ivs.at(0).get("start_us").asDouble(), 0.0);
+    EXPECT_DOUBLE_EQ(ivs.at(0).get("end_us").asDouble(),
+                     r.res.total / 1000.0);
+}
+
+TEST(Sampler, RejectsNonPositiveInterval)
+{
+    cs::ClusterConfig cfg = splashConfig(cs::Backend::CableS, 2);
+    cs::Runtime rt(cfg);
+    EXPECT_THROW(telemetry::TelemetrySampler(rt, 0), FatalError);
+}
+
+TEST(MetricsRegistry, CrossKindNameCollisionFailsFast)
+{
+    metrics::Registry r;
+    r.counter("dup.metric") = 1;
+    // Re-obtaining under the same kind is the republish idiom — fine.
+    EXPECT_NO_THROW(r.counter("dup.metric") += 1);
+    // The same name under any other kind is a programming error.
+    EXPECT_THROW(r.gauge("dup.metric"), FatalError);
+    EXPECT_THROW(r.timer("dup.metric"), FatalError);
+    EXPECT_THROW(r.histogram("dup.metric"), FatalError);
+
+    r.gauge("dup.gauge") = 2.0;
+    EXPECT_NO_THROW(r.gauge("dup.gauge"));
+    EXPECT_THROW(r.counter("dup.gauge"), FatalError);
+
+    r.timer("dup.timer").sample(1.0);
+    EXPECT_THROW(r.histogram("dup.timer"), FatalError);
+    EXPECT_THROW(r.counter("dup.timer"), FatalError);
+}
