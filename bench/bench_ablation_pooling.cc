@@ -9,8 +9,26 @@
  *   create   — a fresh pthread per task (attach on demand);
  *   preattach— fresh pthreads, but node attaches overlapped up front;
  *   pool     — a persistent worker pool (create/attach paid once).
+ *
+ * Plus the shared-allocator ablation: the same alloc/free churn run
+ * under three allocator modes —
+ *
+ *   legacy          — every cs_malloc/cs_free is an ACB operation
+ *                     (a master round-trip from every remote node);
+ *   pooled          — per-node size-class pools (Blelloch–Wei style);
+ *                     small ops hit the local free list and only slab
+ *                     refills pay the master round-trip;
+ *   pooled-affinity — pools plus Placement::Affinity, homing slab
+ *                     granules at the pool's owning node.
+ *
+ * --alloc <legacy|pooled|pooled-affinity> restricts the allocator
+ * sweep to one mode. Each allocator row carries the run's metrics
+ * snapshot (mem.pool_refills, san.messages, ...) for the CI gate.
  */
 
+#include <cstdio>
+#include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "bench_common.hh"
@@ -81,6 +99,89 @@ runPooled()
     return total;
 }
 
+// ---- allocator ablation -------------------------------------------
+
+constexpr int allocIters = 64;
+constexpr int allocWorkers = 3;
+constexpr size_t allocSizes[] = {64, 192, 576, 1088};
+constexpr int allocNumSizes = 4;
+
+ClusterConfig
+allocCfg(bool pooled, bool affinity)
+{
+    ClusterConfig cfg;
+    cfg.backend = Backend::CableS;
+    cfg.nodes = 4;
+    cfg.procsPerNode = 2;
+    cfg.maxThreadsPerNode = 1; // workers land on distinct remote nodes
+    cfg.sharedBytes = 32 * 1024 * 1024;
+    cfg.pool.enabled = pooled;
+    if (affinity)
+        cfg.placement = Placement::Affinity;
+    return cfg;
+}
+
+/**
+ * The churn workload: master plus three remote workers each run
+ * allocIters rounds of alloc/write/read/free over four small sizes.
+ * Only the churn phase is timed — the node attaches happen before the
+ * entry barrier, so the row isolates the allocation path.
+ */
+Tick
+runAllocChurn(const ClusterConfig &cfg, metrics::Snapshot *snap)
+{
+    Runtime rt(cfg);
+    Tick total = 0;
+    rt.run([&]() {
+        const int parties = allocWorkers + 1;
+        int b = rt.barrierCreate();
+        auto churn = [&]() {
+            for (int i = 0; i < allocIters; ++i) {
+                GAddr blocks[allocNumSizes];
+                for (int s = 0; s < allocNumSizes; ++s) {
+                    blocks[s] = rt.malloc(allocSizes[s]);
+                    rt.write<int64_t>(blocks[s], i + s);
+                }
+                for (int s = 0; s < allocNumSizes; ++s) {
+                    (void)rt.read<int64_t>(blocks[s]);
+                    rt.free(blocks[s]);
+                }
+            }
+        };
+        std::vector<int> tids;
+        for (int w = 0; w < allocWorkers; ++w) {
+            tids.push_back(rt.threadCreate([&]() {
+                rt.barrier(b, parties); // wait out the node attaches
+                churn();
+                rt.barrier(b, parties);
+            }));
+        }
+        rt.barrier(b, parties);
+        Tick t0 = rt.now();
+        churn();
+        rt.barrier(b, parties);
+        total = rt.now() - t0;
+        for (int t : tids)
+            rt.join(t);
+    });
+    if (snap)
+        *snap = rt.metricsSnapshot();
+    return total;
+}
+
+struct AllocMode
+{
+    const char *name;
+    bool pooled;
+    bool affinity;
+};
+
+constexpr AllocMode allocModes[] = {
+    {"legacy", false, false},
+    {"pooled", true, false},
+    {"pooled-affinity", true, true},
+};
+
 } // namespace
 
 int
@@ -88,14 +189,30 @@ main(int argc, char **argv)
 {
     auto opts = bench::Options::parse(argc, argv, "ablation_pooling");
 
+    if (!opts.alloc.empty()) {
+        bool known = false;
+        for (const AllocMode &m : allocModes)
+            known = known || opts.alloc == m.name;
+        if (!known) {
+            std::fprintf(stderr,
+                         "ablation_pooling: unknown --alloc mode '%s' "
+                         "(legacy|pooled|pooled-affinity)\n",
+                         opts.alloc.c_str());
+            return 2;
+        }
+    }
+
     return bench::runBench(opts, [&](bench::Report &rep,
                                      sim::Tracer *tracer) {
         rep.setTitle(csprintf(
             "Ablation: dynamic parallelism strategies ({} tasks of "
-            "{} ms on a 16-node cluster)",
-            tasks, (long long)(taskWork / MS)));
+            "{} ms on a 16-node cluster) and allocator modes "
+            "({} churn rounds on 4 threads)",
+            tasks, (long long)(taskWork / MS), allocIters));
         rep.setConfig("tasks", tasks);
         rep.setConfig("task_work_ms", sim::toMs(taskWork));
+        rep.setConfig("alloc_iters", allocIters);
+        rep.setConfig("alloc_workers", allocWorkers);
         rep.setColumns({{"strategy"}, {"total_ms", 1}});
 
         metrics::Snapshot snap;
@@ -106,9 +223,23 @@ main(int argc, char **argv)
         rep.addRow({"create + pre-attached nodes", sim::toMs(pre)});
         rep.addRow({"persistent thread pool", sim::toMs(pooled)});
         rep.attachMetrics(snap);
+
+        for (const AllocMode &m : allocModes) {
+            if (!opts.alloc.empty() && opts.alloc != m.name)
+                continue;
+            metrics::Snapshot ms;
+            Tick t = runAllocChurn(allocCfg(m.pooled, m.affinity), &ms);
+            rep.addRow({csprintf("alloc {}", m.name), sim::toMs(t)},
+                       util::Json(), "allocator churn");
+            rep.attachMetrics(ms);
+        }
+
         rep.addNote("pool row excludes pool startup cost.");
         rep.addNote("expected ordering: pool << pre-attach < create, "
                     "since serial node attaches (~3.7 s each, Table 4) "
                     "dominate the naive strategy.");
+        rep.addNote("allocator rows time the churn phase only; the "
+                    "pooled rows' mem.pool_refills must stay far below "
+                    "the legacy row's per-op master round-trips.");
     });
 }

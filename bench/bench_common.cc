@@ -48,6 +48,8 @@ usage(const std::string &bench, int code)
         "  --migration <p>  restrict a migration sweep to one policy\n"
         "                   (off|threshold|epoch-heat)\n"
         "  --migration-threshold <n>  threshold-policy run length\n"
+        "  --alloc <m>      restrict an allocator sweep to one mode\n"
+        "                   (legacy|pooled|pooled-affinity)\n"
         "  --engine-threads <n>  simulate on n host worker threads\n"
         "                   (0 = serial; default: CABLES_ENGINE_THREADS\n"
         "                   or serial)\n"
@@ -167,6 +169,8 @@ Options::parse(int argc, char **argv, const std::string &bench_name)
         else if (!std::strcmp(a, "--migration-threshold"))
             o.migrationThreshold =
                 static_cast<int>(argNum(argc, argv, i, bench_name));
+        else if (!std::strcmp(a, "--alloc"))
+            o.alloc = argStr(argc, argv, i, bench_name);
         else if (!std::strcmp(a, "--engine-threads"))
             o.engineThreads =
                 static_cast<int>(argNum(argc, argv, i, bench_name));

@@ -88,6 +88,7 @@ struct Options
     int64_t sampleIntervalUs = 0; ///< --sample-interval (0 = off)
     std::string placement; ///< --placement ("" = bench's default sweep)
     std::string migration; ///< --migration ("" = bench's default sweep)
+    std::string alloc;     ///< --alloc ("" = bench's default sweep)
     int migrationThreshold = 0; ///< --migration-threshold (0 = default)
     int engineThreads = -1;     ///< --engine-threads (-1 = env/default)
     int64_t engineLookahead = -1; ///< --engine-lookahead (-1 = auto)

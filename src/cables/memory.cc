@@ -12,6 +12,16 @@ using svm::pageOf;
 using svm::pageBase;
 using svm::pageSize;
 
+int
+RegionTracker::find(int id) const
+{
+    while (parent[id] != id) {
+        parent[id] = parent[parent[id]]; // path halving
+        id = parent[id];
+    }
+    return id;
+}
+
 bool
 RegionTracker::add(PageId page, NodeId home)
 {
@@ -25,27 +35,28 @@ RegionTracker::add(PageId page, NodeId home)
 
     if (left_ok) {
         runOfPage[page] = left->second;
-        runSize[left->second.id] += 1;
-        if (right_ok && right->second.id != left->second.id) {
-            // Joining two runs: the right run merges into the left one.
-            int dead = right->second.id;
-            int keep = left->second.id;
-            for (auto &kv : runOfPage) {
-                if (kv.second.id == dead)
-                    kv.second.id = keep;
+        int keep = find(left->second.id);
+        runSize[keep] += 1;
+        if (right_ok) {
+            int dead = find(right->second.id);
+            if (dead != keep) {
+                // Joining two runs: link the right run's root under the
+                // left one; page entries resolve through find().
+                parent[dead] = keep;
+                runSize[keep] += runSize[dead];
+                runSize.erase(dead);
+                perHome[home] -= 1;
             }
-            runSize[keep] += runSize[dead];
-            runSize.erase(dead);
-            perHome[home] -= 1;
         }
         return false;
     }
     if (right_ok) {
         runOfPage[page] = right->second;
-        runSize[right->second.id] += 1;
+        runSize[find(right->second.id)] += 1;
         return false;
     }
     runOfPage[page] = Run{home, nextId};
+    parent.push_back(nextId);
     runSize[nextId] = 1;
     ++nextId;
     perHome[home] += 1;
@@ -56,7 +67,7 @@ int
 RegionTracker::regionOf(PageId page) const
 {
     auto it = runOfPage.find(page);
-    return it == runOfPage.end() ? -1 : it->second.id;
+    return it == runOfPage.end() ? -1 : find(it->second.id);
 }
 
 size_t
@@ -72,7 +83,7 @@ RegionTracker::erase(PageId first, PageId last)
         auto it = runOfPage.find(p);
         if (it == runOfPage.end())
             continue;
-        auto sz = runSize.find(it->second.id);
+        auto sz = runSize.find(find(it->second.id));
         if (sz != runSize.end() && --sz->second == 0) {
             perHome[it->second.home] -= 1;
             runSize.erase(sz);
@@ -86,7 +97,52 @@ MemoryManager::MemoryManager(Runtime &rt)
       importedHomeRegion(rt.config().nodes,
                          std::vector<bool>(rt.config().nodes, false)),
       segInfoCached(rt.config().nodes)
-{}
+{
+    const AllocPoolParams &pp = rt.config().pool;
+    if (pp.enabled && rt.config().backend == Backend::CableS) {
+        fatal_if(pp.minBlock < 8 || (pp.minBlock & (pp.minBlock - 1)),
+                 "pool.minBlock {} must be a power of two >= 8",
+                 pp.minBlock);
+        fatal_if(pp.maxSmall < pp.minBlock,
+                 "pool.maxSmall {} below pool.minBlock {}", pp.maxSmall,
+                 pp.minBlock);
+        numClasses_ = 1;
+        while (classSize(static_cast<int>(numClasses_) - 1) < pp.maxSmall)
+            ++numClasses_;
+        freeBlocks.assign(rt.config().nodes,
+                          std::vector<std::vector<GAddr>>(numClasses_));
+    }
+}
+
+int
+MemoryManager::classOf(size_t len) const
+{
+    if (numClasses_ == 0 || len > rt.config().pool.maxSmall)
+        return -1;
+    for (int c = 0; c < static_cast<int>(numClasses_); ++c) {
+        if (classSize(c) >= len)
+            return c;
+    }
+    return -1;
+}
+
+size_t
+MemoryManager::classSize(int cls) const
+{
+    return rt.config().pool.minBlock << cls;
+}
+
+std::map<GAddr, MemoryManager::Slab>::iterator
+MemoryManager::slabOf(GAddr addr)
+{
+    auto it = slabs.upper_bound(addr);
+    if (it == slabs.begin())
+        return slabs.end();
+    --it;
+    if (addr >= it->second.base + it->second.bytes)
+        return slabs.end();
+    return it;
+}
 
 const MemoryManager::Segment *
 MemoryManager::segmentOf(GAddr addr) const
@@ -108,17 +164,27 @@ MemoryManager::alloc(size_t len, NodeId affinity)
     fatal_if(base && initSealed,
              "base SVM backend: global shared memory can only be "
              "allocated during program initialization");
+    ++stats_.allocs;
 
-    // Segments are page-aligned so home binding never straddles
-    // allocations within a page.
+    NodeId node = rt.self().node;
+    // Pooled fast path: small request, no explicit placement hint (an
+    // explicit hint needs its own directory entry, so it takes the
+    // legacy path where the hint is recorded per segment).
+    if (!base && affinity == net::InvalidNode) {
+        int cls = classOf(len);
+        if (cls >= 0)
+            return poolAlloc(node, cls);
+    }
+
+    // Legacy path: one directory round-trip per allocation. Segments
+    // are page-aligned so home binding never straddles allocations
+    // within a page.
     GAddr a = rt.space().alloc(len, pageSize);
     fatal_if(a == GNull, "out of global shared memory allocating {} "
              "bytes ({} in use)", len, rt.space().used());
     segments[a] = Segment{a, len, true, affinity};
     liveBytes_ += len;
-    ++stats_.allocs;
 
-    NodeId node = rt.self().node;
     // Directory entry creation in the ACB.
     rt.charge(CostKind::LocalCables, rt.config().costs.acbLocalOp);
     if (node != 0)
@@ -126,11 +192,70 @@ MemoryManager::alloc(size_t len, NodeId affinity)
     return a;
 }
 
+GAddr
+MemoryManager::poolAlloc(NodeId node, int cls)
+{
+    auto &stack = freeBlocks[node][cls];
+    if (stack.empty())
+        refillPool(node, cls);
+    GAddr a = stack.back();
+    stack.pop_back();
+
+    auto it = slabOf(a);
+    panic_if(it == slabs.end(), "pool block {} has no slab", a);
+    Slab &s = it->second;
+    size_t idx = (a - s.base) / s.blockSize;
+    s.blockLive[idx] = true;
+    s.live += 1;
+    liveBytes_ += s.blockSize;
+
+    ++stats_.poolAllocs;
+    if (node != 0)
+        ++stats_.poolRemoteAvoided; // legacy path would round-trip
+    // Constant-time node-local free-list pop; no ACB involvement.
+    rt.charge(CostKind::LocalCables, rt.config().costs.poolLocalOp);
+    return a;
+}
+
+void
+MemoryManager::refillPool(NodeId node, int cls)
+{
+    size_t bsize = classSize(cls);
+    size_t bytes = std::max(rt.config().pool.slabBytes, bsize);
+    bytes = (bytes + pageSize - 1) & ~(pageSize - 1);
+
+    GAddr base = rt.space().allocPages(bytes >> svm::pageShift);
+    fatal_if(base == GNull, "out of global shared memory refilling a "
+             "{}-byte pool slab ({} in use)", bytes, rt.space().used());
+
+    // One segment-directory entry covers the whole slab; its granules
+    // are homed at the pool owner under Placement::Affinity.
+    segments[base] = Segment{base, bytes, true, node};
+
+    Slab s{base, bytes, cls, node, bsize, 0, {}};
+    s.blockLive.assign(bytes / bsize, false);
+    auto &stack = freeBlocks[node][cls];
+    // Push top-down so blocks pop in ascending address order.
+    for (GAddr a = base + bytes; a > base; a -= bsize)
+        stack.push_back(a - bsize);
+    slabs.emplace(base, std::move(s));
+
+    ++stats_.poolRefills;
+    // The ONE master round-trip of the bulk refill: directory entry
+    // creation in the ACB, amortized over bytes/bsize blocks.
+    rt.charge(CostKind::LocalCables, rt.config().costs.acbLocalOp);
+    if (node != 0)
+        rt.adminRequest(node);
+}
+
 void
 MemoryManager::free(GAddr addr)
 {
     fatal_if(rt.config().backend == Backend::BaseSvm,
              "base SVM backend does not support freeing shared memory");
+    if (poolFree(addr, rt.self().node))
+        return;
+
     auto it = segments.find(addr);
     fatal_if(it == segments.end() || !it->second.live,
              "cs_free of unknown address {}", addr);
@@ -139,12 +264,7 @@ MemoryManager::free(GAddr addr)
     liveBytes_ -= s.len;
     ++stats_.frees;
 
-    PageId first = pageOf(s.base);
-    PageId last = pageOf(s.base + s.len - 1);
-    for (PageId p = first; p <= last; ++p) {
-        if (rt.protocol().home(p) != net::InvalidNode)
-            rt.protocol().unbindPage(p);
-    }
+    reclaimPages(s.base, s.len);
     // Invalidate cached directory info everywhere.
     for (auto &cache : segInfoCached)
         cache.erase(s.base);
@@ -158,6 +278,122 @@ MemoryManager::free(GAddr addr)
         rt.adminRequest(node);
 }
 
+bool
+MemoryManager::poolFree(GAddr addr, NodeId node)
+{
+    auto it = slabOf(addr);
+    if (it == slabs.end())
+        return false;
+    Slab &s = it->second;
+    size_t off = addr - s.base;
+    fatal_if(off % s.blockSize != 0,
+             "cs_free of address {} inside a pooled block", addr);
+    size_t idx = off / s.blockSize;
+    fatal_if(!s.blockLive[idx], "double free of pooled block {}", addr);
+    s.blockLive[idx] = false;
+    s.live -= 1;
+    liveBytes_ -= s.blockSize;
+    // Blocks return to the slab owner's pool: slab accounting stays
+    // local to one node and the free is a constant-time list push.
+    freeBlocks[s.owner][s.cls].push_back(addr);
+
+    ++stats_.frees;
+    ++stats_.poolFrees;
+    if (node != 0)
+        ++stats_.poolRemoteAvoided; // legacy path would round-trip
+    rt.charge(CostKind::LocalCables, rt.config().costs.poolLocalOp);
+    return true;
+}
+
+void
+MemoryManager::reclaimPages(GAddr base, size_t len)
+{
+    const bool cables_mode = rt.config().backend == Backend::CableS;
+    std::vector<size_t> freed(homeRegions.size(), 0);
+    PageId first = pageOf(base);
+    PageId last = pageOf(base + len - 1);
+    for (PageId p = first; p <= last; ++p) {
+        NodeId h = rt.protocol().home(p);
+        if (h == net::InvalidNode)
+            continue;
+        rt.protocol().unbindPage(p);
+        if (cables_mode)
+            freed[h] += pageSize;
+    }
+    // Credit the freed pages back to each home's exported protocol
+    // region: without this, free/realloc churn re-extends the region
+    // past its live contents and double-counts the bytes against the
+    // NIC registration budget.
+    for (NodeId h = 0; h < static_cast<NodeId>(freed.size()); ++h) {
+        if (freed[h] == 0)
+            continue;
+        HomeRegion &hr = homeRegions[h];
+        hr.bytes -= std::min(hr.bytes, freed[h]);
+        if (hr.region >= 0)
+            rt.comm().shrinkRegionAccounted(h, hr.region, hr.bytes);
+    }
+}
+
+void
+MemoryManager::drainPools()
+{
+    for (auto it = slabs.begin(); it != slabs.end();) {
+        if (it->second.live == 0)
+            it = releaseSlab(it);
+        else
+            ++it;
+    }
+}
+
+std::map<GAddr, MemoryManager::Slab>::iterator
+MemoryManager::releaseSlab(std::map<GAddr, Slab>::iterator it)
+{
+    Slab &s = it->second;
+    // Pull the slab's cached blocks out of the owner's free list (the
+    // non-constant-time part that keeps the fast path constant).
+    auto &stack = freeBlocks[s.owner][s.cls];
+    stack.erase(std::remove_if(stack.begin(), stack.end(),
+                               [&](GAddr a) {
+                                   return a >= s.base &&
+                                          a < s.base + s.bytes;
+                               }),
+                stack.end());
+
+    reclaimPages(s.base, s.bytes);
+    for (auto &cache : segInfoCached)
+        cache.erase(s.base);
+    rt.space().free(s.base, s.bytes);
+    segments.erase(s.base);
+    ++stats_.poolReleases;
+
+    // Dropping the slab's directory entry is one more master round-trip.
+    NodeId node = rt.self().node;
+    rt.charge(CostKind::LocalCables, rt.config().costs.acbLocalOp);
+    if (node != 0)
+        rt.adminRequest(node);
+    return slabs.erase(it);
+}
+
+size_t
+MemoryManager::poolFreeBlocks() const
+{
+    size_t n = 0;
+    for (const auto &node : freeBlocks) {
+        for (const auto &stack : node)
+            n += stack.size();
+    }
+    return n;
+}
+
+size_t
+MemoryManager::poolSlabBytes() const
+{
+    size_t n = 0;
+    for (const auto &kv : slabs)
+        n += kv.second.bytes;
+    return n;
+}
+
 void
 MemoryManager::chargeOwnerDetect(NodeId toucher, GAddr seg_base)
 {
@@ -169,7 +405,6 @@ MemoryManager::chargeOwnerDetect(NodeId toucher, GAddr seg_base)
         ++stats_.ownerDetectsLocal;
         return;
     }
-    cache[seg_base] = true;
     rt.charge(CostKind::LocalCables, rt.config().costs.ownerDetectLocal);
     if (toucher != 0) {
         // First time: fetch the directory entry from the ACB owner.
@@ -180,6 +415,11 @@ MemoryManager::chargeOwnerDetect(NodeId toucher, GAddr seg_base)
     } else {
         ++stats_.ownerDetectsLocal;
     }
+    // Cache only once the fetch has completed: the fetch yields, and a
+    // second thread on this node detecting the same segment while it
+    // is in flight must pay the remote cost itself rather than be
+    // charged the cached-local cost for an entry that has not arrived.
+    cache[seg_base] = true;
 }
 
 void
@@ -331,6 +571,15 @@ MemoryManager::publishMetrics(metrics::Registry &r) const
     r.counter("mem.region_exports") += stats_.regionExports;
     r.counter("mem.region_imports") += stats_.regionImports;
     r.counter("mem.region_extends") += stats_.regionExtends;
+    r.counter("mem.pool_allocs") += stats_.poolAllocs;
+    r.counter("mem.pool_frees") += stats_.poolFrees;
+    r.counter("mem.pool_refills") += stats_.poolRefills;
+    r.counter("mem.pool_releases") += stats_.poolReleases;
+    r.counter("mem.pool_remote_avoided") += stats_.poolRemoteAvoided;
+    r.gauge("mem.pool_free_blocks") +=
+        static_cast<double>(poolFreeBlocks());
+    r.gauge("mem.pool_slab_bytes") +=
+        static_cast<double>(poolSlabBytes());
     r.gauge("mem.live_bytes") += static_cast<double>(liveBytes_);
 }
 

@@ -13,7 +13,14 @@
  *    protocol region registered with the NIC in a single (extendable)
  *    operation, escaping the NIC region-count limit;
  *  - segment directory in the ACB: owner detection and first-touch
- *    binding charge the paper's Table 4 costs.
+ *    binding charge the paper's Table 4 costs;
+ *  - per-node size-class pools (AllocPoolParams): small allocations are
+ *    constant-time node-local free-list operations; a pool miss costs
+ *    ONE bulk slab refill round-trip to the master, amortizing the
+ *    directory/ACB cost over slabBytes/blockSize blocks (Blelloch &
+ *    Wei, "Concurrent Fixed-Size Allocation and Free in Constant
+ *    Time"). pool.enabled = false restores the legacy per-allocation
+ *    round-trip path for A/B comparison.
  *
  * Base backend:
  *  - allocation only during program initialization;
@@ -56,6 +63,11 @@ struct MemStats
     uint64_t regionExports = 0;
     uint64_t regionImports = 0;
     uint64_t regionExtends = 0;
+    uint64_t poolAllocs = 0;   ///< small allocs served from a pool
+    uint64_t poolFrees = 0;    ///< blocks returned to a pool
+    uint64_t poolRefills = 0;  ///< bulk slab refill round-trips
+    uint64_t poolReleases = 0; ///< empty slabs returned to the master
+    uint64_t poolRemoteAvoided = 0; ///< master round-trips pools saved
 };
 
 /**
@@ -90,8 +102,17 @@ class RegionTracker
         int id;
     };
 
+    /**
+     * Canonical run id for @p id (union-find with path halving). Page
+     * entries keep the id they were tagged with; merges just link run
+     * roots, so add() is amortized constant instead of relabelling the
+     * whole page map.
+     */
+    int find(int id) const;
+
     std::unordered_map<PageId, Run> runOfPage;
-    std::unordered_map<int, uint32_t> runSize;
+    std::unordered_map<int, uint32_t> runSize; ///< keyed by run root
+    mutable std::vector<int> parent;           ///< union-find forest
     std::vector<size_t> perHome;
     int nextId = 0;
 };
@@ -116,6 +137,21 @@ class MemoryManager
 
     /** cs_free: release a block (CableS backend only). */
     void free(GAddr addr);
+
+    /**
+     * Release every cached pool slab with no live blocks back to the
+     * master: pages are unbound, home-region bytes credited, and the
+     * address space reclaimed. The one non-constant-time pool
+     * operation — explicit maintenance (idle trim, orderly shutdown),
+     * never on the alloc/free fast path.
+     */
+    void drainPools();
+
+    /** Free blocks currently cached across all node pools. */
+    size_t poolFreeBlocks() const;
+
+    /** Bytes reserved in pool slabs (live + cached blocks). */
+    size_t poolSlabBytes() const;
 
     /**
      * Called by the base backend / M4 layer once initialization is done
@@ -165,6 +201,47 @@ class MemoryManager
     /** Charge the first-touch binding cost (Table 4 "migration"). */
     void chargeBind(NodeId toucher);
 
+    /**
+     * One bulk-refill slab: a page-aligned carve-out of the shared
+     * space, owned by one node's pool and split into fixed-size blocks
+     * of a single size class (Blelloch & Wei's fixed-size pool unit).
+     */
+    struct Slab
+    {
+        GAddr base;
+        size_t bytes;
+        int cls;          ///< size-class index
+        NodeId owner;     ///< node whose pool the slab refills
+        size_t blockSize;
+        uint32_t live = 0;          ///< blocks currently allocated
+        std::vector<bool> blockLive; ///< per-block double-free guard
+    };
+
+    /** Size-class index for a request of @p len bytes (-1: legacy). */
+    int classOf(size_t len) const;
+
+    /** Block size of class @p cls. */
+    size_t classSize(int cls) const;
+
+    /** Slab containing @p addr, or slabs.end(). */
+    std::map<GAddr, Slab>::iterator slabOf(GAddr addr);
+
+    /** Constant-time pooled allocation (refills on a miss). */
+    GAddr poolAlloc(NodeId node, int cls);
+
+    /** Constant-time pooled free; false when @p addr is not pooled. */
+    bool poolFree(GAddr addr, NodeId node);
+
+    /** One master round-trip: reserve a slab, carve it into blocks. */
+    void refillPool(NodeId node, int cls);
+
+    /** Return a fully-free slab to the master (drainPools only). */
+    std::map<GAddr, Slab>::iterator
+    releaseSlab(std::map<GAddr, Slab>::iterator it);
+
+    /** Unbind a segment's bound pages, crediting home-region bytes. */
+    void reclaimPages(GAddr base, size_t len);
+
     Runtime &rt;
     std::map<GAddr, Segment> segments;   // keyed by base address
     bool initSealed = false;
@@ -188,6 +265,13 @@ class MemoryManager
     uint64_t granuleCursor = 0;   // RoundRobin placement state
     size_t liveBytes_ = 0;
     MemStats stats_;
+
+    // Per-node size-class pools: freeBlocks[node][cls] is a LIFO stack
+    // of free block addresses (constant-time push/pop); slabs maps a
+    // base address to the refill slab covering it.
+    size_t numClasses_ = 0;
+    std::vector<std::vector<std::vector<GAddr>>> freeBlocks;
+    std::map<GAddr, Slab> slabs;
 };
 
 } // namespace cs

@@ -168,8 +168,38 @@ struct CablesCosts
     /** Segment owner detection when info is cached locally (1 us). */
     Tick ownerDetectLocal = 1 * US;
 
+    /** Node-local pool free-list push/pop (constant time, no ACB). */
+    Tick poolLocalOp = 1 * US;
+
     /** Competitive-spinning bound before blocking on an OS event. */
     Tick spinLimit = 1 * MS;
+};
+
+/**
+ * Per-node size-class allocation pools (CableS backend).
+ *
+ * Small cs_malloc requests are served from node-local free lists with
+ * constant-time alloc/free (Blelloch & Wei style fixed-size pools); a
+ * pool miss triggers ONE bulk refill round-trip to the master that
+ * reserves a page-aligned slab and carves it into blocks, amortizing
+ * the segment-directory/ACB cost across slabBytes/blockSize
+ * allocations. Disabled (or requests above maxSmall, or with an
+ * explicit affinity hint) falls back to the legacy per-allocation
+ * master round-trip path.
+ */
+struct AllocPoolParams
+{
+    /** Serve small allocations from per-node pools. */
+    bool enabled = true;
+
+    /** Smallest block size class (bytes, power of two). */
+    size_t minBlock = 64;
+
+    /** Size-class cutoff: requests above this take the legacy path. */
+    size_t maxSmall = 2048;
+
+    /** Bulk-refill slab size (page-aligned, carved into one class). */
+    size_t slabBytes = 64 * 1024;
 };
 
 /** Full configuration of a cluster run. */
@@ -206,6 +236,7 @@ struct ClusterConfig
     svm::SyncParams sync;
     OsParams os;
     CablesCosts costs;
+    AllocPoolParams pool;
 };
 
 /** Cost categories matching Table 4's breakdown columns. */

@@ -838,5 +838,12 @@ Runtime::free(GAddr addr)
     memory_->free(addr);
 }
 
+void
+Runtime::drainAllocPools()
+{
+    sim::GuestOp op(*engine_);
+    memory_->drainPools();
+}
+
 } // namespace cs
 } // namespace cables

@@ -243,6 +243,14 @@ class Runtime
     /** Free a block returned by malloc(). */
     void free(GAddr addr);
 
+    /**
+     * Return every fully-free allocator pool slab to the master
+     * (MemoryManager::drainPools): pages unbound, home-region bytes
+     * credited, space reclaimed. Explicit maintenance — the alloc/free
+     * fast path itself never releases slabs.
+     */
+    void drainAllocPools();
+
     /// @}
 
     /// @name Shared data access

@@ -68,6 +68,14 @@ AddressSpace::alloc(size_t len, size_t align)
     return GNull;
 }
 
+GAddr
+AddressSpace::allocPages(size_t npages)
+{
+    if (npages == 0)
+        npages = 1;
+    return alloc(npages * pageSize, pageSize);
+}
+
 void
 AddressSpace::free(GAddr addr, size_t len)
 {

@@ -66,6 +66,14 @@ class AddressSpace
      */
     GAddr alloc(size_t len, size_t align = 64);
 
+    /**
+     * Carve out a page-aligned slab of @p npages whole pages (the
+     * allocator-pool bulk refill unit: no other allocation ever shares
+     * one of its pages). @return base address, or GNull when out of
+     * space.
+     */
+    GAddr allocPages(size_t npages);
+
     /** Return a block to the free list (coalescing neighbours). */
     void free(GAddr addr, size_t len);
 

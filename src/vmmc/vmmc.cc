@@ -76,6 +76,20 @@ Vmmc::extendRegionAccounted(NodeId node, int region, size_t new_len)
 }
 
 void
+Vmmc::shrinkRegionAccounted(NodeId node, int region, size_t new_len)
+{
+    Region &r = regions[node].at(region);
+    panic_if(!r.live, "shrinking dead region {} on node {}", region,
+             node);
+    if (new_len >= r.len)
+        return;
+    size_t sub = r.len - new_len;
+    usage_[node].registeredBytes -= sub;
+    usage_[node].pinnedBytes -= sub;
+    r.len = new_len;
+}
+
+void
 Vmmc::accountExport(NodeId node, size_t len)
 {
     checkLimits(node, 1, len, len);

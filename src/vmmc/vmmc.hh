@@ -172,6 +172,14 @@ class Vmmc
     /** extendRegion() without the time charge. */
     void extendRegionAccounted(NodeId node, int region, size_t new_len);
 
+    /**
+     * Shrink a region to @p new_len, crediting the registered/pinned
+     * bytes back to the node's NIC budget (freed shared pages leave the
+     * home's protocol region). No time charge: deregistration happens
+     * lazily off the critical path.
+     */
+    void shrinkRegionAccounted(NodeId node, int region, size_t new_len);
+
     /** Account an anonymous export (region tracked by the caller). */
     void accountExport(NodeId node, size_t len);
 

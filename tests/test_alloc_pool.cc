@@ -1,0 +1,384 @@
+/**
+ * @file
+ * Per-node size-class allocator pool tests: constant-time pooled
+ * alloc/free, bulk refill amortization, slab release via drainPools(),
+ * home-region byte crediting on free (the churn accounting bugfix),
+ * in-flight owner-detect charging, and byte-identical allocator
+ * behaviour across serial and parallel engine modes and both backends.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cables/memory.hh"
+#include "cables/runtime.hh"
+#include "util/logging.hh"
+#include "vmmc/vmmc.hh"
+
+using namespace cables;
+using namespace cables::cs;
+using sim::MS;
+
+namespace {
+
+ClusterConfig
+poolCluster(bool pooled = true, Backend b = Backend::CableS)
+{
+    ClusterConfig cfg;
+    cfg.backend = b;
+    cfg.nodes = 4;
+    cfg.procsPerNode = 2;
+    cfg.maxThreadsPerNode = 2;
+    cfg.sharedBytes = 32 * 1024 * 1024;
+    cfg.pool.enabled = pooled;
+    return cfg;
+}
+
+/**
+ * The alloc-heavy churn workload: @p iters rounds of mixed-size
+ * allocations (pooled classes and one above-cutoff legacy size), each
+ * written and read back, then freed. Runs on the master plus one
+ * remote thread.
+ */
+void
+churn(Runtime &rt, int iters)
+{
+    int t = rt.threadCreate([&]() {
+        for (int i = 0; i < iters; ++i) {
+            GAddr a = rt.malloc(64 + (i % 3) * 512);
+            rt.write<int64_t>(a, i);
+            EXPECT_EQ(rt.read<int64_t>(a), i);
+            rt.free(a);
+        }
+    });
+    for (int i = 0; i < iters; ++i) {
+        GAddr small = rt.malloc(128);
+        GAddr big = rt.malloc(16 * 1024); // above maxSmall: legacy path
+        rt.write<int64_t>(small, i);
+        rt.write<int64_t>(big, -i);
+        EXPECT_EQ(rt.read<int64_t>(small), i);
+        rt.free(small);
+        rt.free(big);
+    }
+    rt.join(t);
+}
+
+} // namespace
+
+TEST(AllocPool, SmallAllocsShareOneRefillRoundTrip)
+{
+    Runtime rt(poolCluster());
+    rt.run([&]() {
+        std::vector<GAddr> blocks;
+        for (int i = 0; i < 100; ++i)
+            blocks.push_back(rt.malloc(64));
+        const MemStats &st = rt.memory().stats();
+        EXPECT_EQ(st.allocs, 100u);
+        EXPECT_EQ(st.poolAllocs, 100u);
+        // 64 KByte slab / 64-byte blocks: one bulk refill covers all.
+        EXPECT_EQ(st.poolRefills, 1u);
+        for (GAddr a : blocks)
+            rt.free(a);
+        EXPECT_EQ(rt.memory().liveBytes(), 0u);
+    });
+}
+
+TEST(AllocPool, FreeReusesBlocksWithoutNewRefills)
+{
+    Runtime rt(poolCluster());
+    rt.run([&]() {
+        for (int i = 0; i < 1000; ++i) {
+            GAddr a = rt.malloc(256);
+            rt.free(a);
+        }
+        EXPECT_EQ(rt.memory().stats().poolRefills, 1u);
+        EXPECT_EQ(rt.memory().stats().poolFrees, 1000u);
+    });
+}
+
+TEST(AllocPool, DistinctSizeClassesUseDistinctSlabs)
+{
+    Runtime rt(poolCluster());
+    rt.run([&]() {
+        GAddr a = rt.malloc(64);
+        GAddr b = rt.malloc(2048);
+        EXPECT_NE(svm::pageOf(a), svm::pageOf(b));
+        EXPECT_EQ(rt.memory().stats().poolRefills, 2u);
+        rt.free(a);
+        rt.free(b);
+    });
+}
+
+TEST(AllocPool, RemoteNodePoolAvoidsMasterRoundTrips)
+{
+    ClusterConfig cfg = poolCluster();
+    cfg.maxThreadsPerNode = 1; // force the worker thread remote
+    Runtime rt(cfg);
+    rt.run([&]() {
+        int t = rt.threadCreate([&]() {
+            ASSERT_NE(rt.selfNode(), 0);
+            for (int i = 0; i < 200; ++i) {
+                GAddr a = rt.malloc(64);
+                rt.free(a);
+            }
+        });
+        rt.join(t);
+        const MemStats &st = rt.memory().stats();
+        // 200 allocs + 200 frees off-master, one refill round-trip.
+        EXPECT_EQ(st.poolRefills, 1u);
+        EXPECT_EQ(st.poolRemoteAvoided, 400u);
+    });
+}
+
+TEST(AllocPool, ExplicitAffinityHintBypassesThePool)
+{
+    Runtime rt(poolCluster());
+    rt.run([&]() {
+        GAddr a = rt.malloc(64, 2);
+        EXPECT_EQ(rt.memory().stats().poolAllocs, 0u);
+        EXPECT_EQ(rt.memory().stats().poolRefills, 0u);
+        rt.free(a);
+    });
+}
+
+TEST(AllocPool, SlabAffinityHomesBlocksAtTheOwningNode)
+{
+    ClusterConfig cfg = poolCluster();
+    cfg.placement = Placement::Affinity;
+    cfg.maxThreadsPerNode = 1; // force the worker thread remote
+    Runtime rt(cfg);
+    rt.run([&]() {
+        GAddr a = GNull;
+        NodeId owner = net::InvalidNode;
+        int t = rt.threadCreate([&]() {
+            a = rt.malloc(64);
+            owner = rt.selfNode();
+        });
+        rt.join(t);
+        ASSERT_NE(a, GNull);
+        ASSERT_NE(owner, 0);
+        // First touch from the *master*: under Placement::Affinity the
+        // slab's granules still land at the pool owner.
+        rt.write<int64_t>(a, 7);
+        EXPECT_EQ(rt.protocol().home(svm::pageOf(a)), owner);
+    });
+}
+
+TEST(AllocPool, DoubleFreeOfPooledBlockIsFatal)
+{
+    Runtime rt(poolCluster());
+    rt.run([&]() {
+        GAddr a = rt.malloc(64);
+        rt.free(a);
+        EXPECT_THROW(rt.free(a), FatalError);
+    });
+}
+
+TEST(AllocPool, InteriorPointerFreeIsFatal)
+{
+    Runtime rt(poolCluster());
+    rt.run([&]() {
+        GAddr a = rt.malloc(64);
+        EXPECT_THROW(rt.free(a + 8), FatalError);
+        rt.free(a);
+    });
+}
+
+TEST(AllocPool, LegacyModeNeverPools)
+{
+    Runtime rt(poolCluster(false));
+    rt.run([&]() {
+        for (int i = 0; i < 50; ++i) {
+            GAddr a = rt.malloc(64);
+            rt.free(a);
+        }
+        const MemStats &st = rt.memory().stats();
+        EXPECT_EQ(st.poolAllocs, 0u);
+        EXPECT_EQ(st.poolRefills, 0u);
+        EXPECT_EQ(st.allocs, 50u);
+        EXPECT_EQ(st.frees, 50u);
+    });
+}
+
+TEST(AllocPool, DrainReleasesSlabsUnbindsPagesAndZeroesAccounting)
+{
+    Runtime rt(poolCluster());
+    rt.run([&]() {
+        churn(rt, 50);
+        EXPECT_EQ(rt.memory().liveBytes(), 0u);
+        EXPECT_GT(rt.memory().poolSlabBytes(), 0u);
+
+        rt.drainAllocPools();
+
+        EXPECT_EQ(rt.memory().poolSlabBytes(), 0u);
+        EXPECT_EQ(rt.memory().poolFreeBlocks(), 0u);
+        EXPECT_GT(rt.memory().stats().poolReleases, 0u);
+        // Every page unbound, every home's region bytes credited back.
+        for (svm::PageId p = 0; p < rt.space().numPages(); ++p)
+            EXPECT_EQ(rt.protocol().home(p), net::InvalidNode);
+        for (NodeId n = 0; n < rt.config().nodes; ++n)
+            EXPECT_EQ(rt.memory().homeBytesOf(n), 0u);
+        EXPECT_EQ(rt.space().used(), 0u);
+
+        // Pools keep working after a drain.
+        GAddr a = rt.malloc(64);
+        rt.write<int64_t>(a, 1);
+        rt.free(a);
+    });
+}
+
+TEST(AllocPool, ChurnMetricsExactAndLiveBytesReturnToZero)
+{
+    Runtime rt(poolCluster());
+    metrics::Snapshot snap;
+    rt.run([&]() {
+        churn(rt, 100);
+        rt.drainAllocPools();
+        snap = rt.metricsSnapshot();
+    });
+    EXPECT_EQ(snap.gauges.at("mem.live_bytes"), 0.0);
+    EXPECT_EQ(snap.gauges.at("mem.pool_slab_bytes"), 0.0);
+    EXPECT_EQ(snap.gauges.at("mem.pool_free_blocks"), 0.0);
+    EXPECT_EQ(snap.counters.at("mem.allocs"),
+              snap.counters.at("mem.frees"));
+    EXPECT_EQ(snap.counters.at("mem.pool_allocs"),
+              snap.counters.at("mem.pool_frees"));
+    // The whole point: bulk refills, not per-allocation round-trips.
+    EXPECT_LT(snap.counters.at("mem.pool_refills"),
+              snap.counters.at("mem.pool_allocs") / 10);
+}
+
+// ---------------------------------------------------------------------
+// The accounting bugfixes.
+// ---------------------------------------------------------------------
+
+TEST(AllocAccounting, FreeCreditsHomeRegionBytes)
+{
+    Runtime rt(poolCluster());
+    rt.run([&]() {
+        GAddr a = rt.malloc(256 * 1024);
+        for (int g = 0; g < 4; ++g)
+            rt.write<int64_t>(a + g * 64 * 1024, g);
+        size_t bound = rt.memory().homeBytesOf(0);
+        EXPECT_GT(bound, 0u);
+        size_t registered = rt.comm().usage(0).registeredBytes;
+        rt.free(a);
+        // Freed pages leave the home's exported protocol region.
+        EXPECT_EQ(rt.memory().homeBytesOf(0), 0u);
+        EXPECT_EQ(rt.comm().usage(0).registeredBytes,
+                  registered - bound);
+    });
+}
+
+TEST(AllocAccounting, AllocFreeChurnDoesNotInflateExportAccounting)
+{
+    ClusterConfig cfg = poolCluster();
+    // A tight NIC budget: without the free-side credit, re-extending
+    // the home region with stale bytes exhausts it within a few
+    // iterations and aborts the run.
+    cfg.vmmc.maxRegisteredBytes = 4 * 1024 * 1024;
+    Runtime rt(cfg);
+    rt.run([&]() {
+        for (int i = 0; i < 64; ++i) {
+            GAddr a = rt.malloc(512 * 1024);
+            for (int g = 0; g < 8; ++g)
+                rt.write<int64_t>(a + g * 64 * 1024, g);
+            rt.free(a);
+        }
+        EXPECT_EQ(rt.memory().homeBytesOf(0), 0u);
+    });
+    EXPECT_TRUE(rt.abortReason().empty()) << rt.abortReason();
+}
+
+TEST(AllocAccounting, InFlightOwnerDetectChargesBothThreadsRemote)
+{
+    ClusterConfig cfg = poolCluster();
+    // Make the directory fetch long relative to barrier wake stagger
+    // so the two detects genuinely overlap.
+    cfg.net.fetchBase = 500 * sim::US;
+    Runtime rt(cfg);
+    rt.run([&]() {
+        GAddr a = rt.malloc(256 * 1024);
+        rt.write<int64_t>(a, 1); // master touch: segment exists
+        uint64_t remote0 = rt.memory().stats().ownerDetectsRemote;
+
+        // Fill the master's second thread slot so the two touchers
+        // land together on node 1 (nodes fill in index order).
+        int filler = rt.threadCreate([&]() { rt.compute(10000 * MS); });
+
+        // Both touchers fault the same segment right after the same
+        // barrier release: the second detect starts while the first
+        // thread's directory fetch is still in flight, so BOTH pay the
+        // remote cost — the cache entry only lands once the fetch
+        // completes.
+        int b = rt.barrierCreate();
+        NodeId node1 = net::InvalidNode;
+        NodeId node2 = net::InvalidNode;
+        auto toucher = [&](int granule, NodeId *where) {
+            return [&rt, &a, b, granule, where]() {
+                *where = rt.selfNode();
+                rt.barrier(b, 2);
+                rt.write<int64_t>(a + granule * 64 * 1024, granule);
+            };
+        };
+        int t1 = rt.threadCreate(toucher(1, &node1));
+        int t2 = rt.threadCreate(toucher(2, &node2));
+        rt.join(t1);
+        rt.join(t2);
+        // Same remote node: the second detect cannot be satisfied by
+        // another node's cache.
+        EXPECT_EQ(node1, node2);
+        EXPECT_NE(node1, 0);
+        EXPECT_EQ(rt.memory().stats().ownerDetectsRemote, remote0 + 2);
+        rt.free(a);
+        rt.join(filler);
+    });
+}
+
+// ---------------------------------------------------------------------
+// Engine-mode and backend byte-identity.
+// ---------------------------------------------------------------------
+
+namespace {
+
+metrics::Snapshot
+churnSnapshot(const ClusterConfig &cfg, const sim::EngineConfig &engine)
+{
+    Runtime rt(cfg, engine);
+    metrics::Snapshot snap;
+    rt.run([&]() {
+        if (cfg.backend == Backend::CableS) {
+            churn(rt, 60);
+            rt.drainAllocPools();
+        } else {
+            // The base backend only allocates (never frees).
+            for (int i = 0; i < 60; ++i) {
+                GAddr a = rt.malloc(64 + (i % 3) * 512);
+                rt.write<int64_t>(a, i);
+            }
+        }
+        snap = rt.metricsSnapshot();
+    });
+    return snap;
+}
+
+} // namespace
+
+TEST(AllocPool, ByteIdenticalAcrossEngineModesAndBackends)
+{
+    struct Case
+    {
+        const char *name;
+        ClusterConfig cfg;
+    } cases[] = {
+        {"cables-pooled", poolCluster(true)},
+        {"cables-legacy", poolCluster(false)},
+        {"base", poolCluster(true, Backend::BaseSvm)},
+    };
+    for (const Case &c : cases) {
+        metrics::Snapshot ser =
+            churnSnapshot(c.cfg, sim::EngineConfig::serial());
+        metrics::Snapshot par =
+            churnSnapshot(c.cfg, sim::EngineConfig::forThreads(4));
+        EXPECT_EQ(ser.toJson().dump(), par.toJson().dump()) << c.name;
+    }
+}

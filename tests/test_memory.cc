@@ -65,6 +65,41 @@ TEST(RegionTracker, FillingGapMergesRuns)
     EXPECT_EQ(t.regionOf(10), t.regionOf(12));
 }
 
+TEST(RegionTracker, MergedRunsStayConsistentAfterManyMerges)
+{
+    RegionTracker t;
+    // Even pages first (one run each), then odd pages to merge them
+    // all into a single run; every page must resolve to the same id.
+    const PageId n = 64;
+    for (PageId p = 0; p < n; p += 2)
+        EXPECT_TRUE(t.add(p, 0));
+    EXPECT_EQ(t.regionsOf(0), n / 2);
+    for (PageId p = 1; p < n; p += 2)
+        EXPECT_FALSE(t.add(p, 0));
+    EXPECT_EQ(t.regionsOf(0), 1u);
+    int id = t.regionOf(0);
+    for (PageId p = 0; p < n; ++p)
+        EXPECT_EQ(t.regionOf(p), id);
+    t.erase(0, n - 1);
+    EXPECT_EQ(t.regionsOf(0), 0u);
+}
+
+TEST(RegionTracker, LargeMergeSweepIsNotQuadratic)
+{
+    // The old implementation relabelled the whole page map on every
+    // merge: 100k pages of gap-filling would take minutes. With
+    // union-find linking this finishes instantly; the test body is the
+    // perf guard, the asserts keep the counts exact.
+    RegionTracker t;
+    const PageId n = 200000;
+    for (PageId p = 0; p < n; p += 2)
+        t.add(p, 1);
+    for (PageId p = 1; p < n; p += 2)
+        t.add(p, 1);
+    EXPECT_EQ(t.regionsOf(1), 1u);
+    EXPECT_EQ(t.regionOf(0), t.regionOf(n - 1));
+}
+
 TEST(RegionTracker, EraseDropsRuns)
 {
     RegionTracker t;
