@@ -62,6 +62,18 @@ usage(const std::string &bench, int code)
         "  --explore-seed <s>   random-tail seed for --explore\n"
         "  --replay-schedule <file>  (bench_explore) replay one saved\n"
         "                   cables-explore-schedule file bit-exactly\n"
+        "  --requests <n>   (bench_service) requests per service run\n"
+        "  --arrival <a>    (bench_service) restrict the arrival sweep\n"
+        "                   (poisson|burst)\n"
+        "  --rate <rps>     (bench_service) base arrival rate\n"
+        "  --skew <theta>   (bench_service) Zipf skew in (0, 1)\n"
+        "  --mix <pct>      (bench_service) GET percentage (0-100)\n"
+        "  --duration <ms>  (bench_service) derive the request count\n"
+        "                   from rate * duration (unless --requests)\n"
+        "  --scale-event <s>  (bench_service) autoscaler policy\n"
+        "                   (off|auto[:up[:down]])\n"
+        "  --service-json <path>  (bench_service) write all\n"
+        "                   cables-service-report documents as JSON\n"
         "  --help           this message\n",
         bench.c_str(), Report::schemaVersion);
     std::exit(code);
@@ -77,6 +89,24 @@ argNum(int argc, char **argv, int &i, const std::string &bench)
     }
     char *end = nullptr;
     long v = std::strtol(argv[++i], &end, 10);
+    if (!end || *end != '\0') {
+        std::fprintf(stderr, "%s: bad number '%s' for %s\n",
+                     bench.c_str(), argv[i], argv[i - 1]);
+        usage(bench, 2);
+    }
+    return v;
+}
+
+double
+argDouble(int argc, char **argv, int &i, const std::string &bench)
+{
+    if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: missing value for %s\n", bench.c_str(),
+                     argv[i]);
+        usage(bench, 2);
+    }
+    char *end = nullptr;
+    double v = std::strtod(argv[++i], &end);
     if (!end || *end != '\0') {
         std::fprintf(stderr, "%s: bad number '%s' for %s\n",
                      bench.c_str(), argv[i], argv[i - 1]);
@@ -187,6 +217,22 @@ Options::parse(int argc, char **argv, const std::string &bench_name)
                 argNum(argc, argv, i, bench_name));
         else if (!std::strcmp(a, "--replay-schedule"))
             o.replaySchedulePath = argStr(argc, argv, i, bench_name);
+        else if (!std::strcmp(a, "--requests"))
+            o.requests = argNum(argc, argv, i, bench_name);
+        else if (!std::strcmp(a, "--arrival"))
+            o.arrival = argStr(argc, argv, i, bench_name);
+        else if (!std::strcmp(a, "--rate"))
+            o.rateRps = argDouble(argc, argv, i, bench_name);
+        else if (!std::strcmp(a, "--skew"))
+            o.skew = argDouble(argc, argv, i, bench_name);
+        else if (!std::strcmp(a, "--mix"))
+            o.mix = static_cast<int>(argNum(argc, argv, i, bench_name));
+        else if (!std::strcmp(a, "--duration"))
+            o.durationMs = argNum(argc, argv, i, bench_name);
+        else if (!std::strcmp(a, "--scale-event"))
+            o.scaleEvent = argStr(argc, argv, i, bench_name);
+        else if (!std::strcmp(a, "--service-json"))
+            o.serviceJsonPath = argStr(argc, argv, i, bench_name);
         else {
             std::fprintf(stderr, "%s: unknown option '%s'\n",
                          bench_name.c_str(), a);

@@ -97,6 +97,17 @@ struct Options
     uint64_t exploreSeed = 1;   ///< --explore-seed
     std::string replaySchedulePath; ///< --replay-schedule <file>
 
+    // Service-workload flags (bench_service).
+    int64_t requests = 0;       ///< --requests (0 = bench default)
+    std::string arrival;        ///< --arrival (poisson|burst; "" = sweep)
+    double rateRps = 0.0;       ///< --rate (0 = bench default)
+    double skew = 0.0;          ///< --skew Zipf theta (0 = default)
+    int mix = -1;               ///< --mix read percentage (-1 = default)
+    int64_t durationMs = 0;     ///< --duration <ms>: requests = rate *
+                                ///< duration when --requests is absent
+    std::string scaleEvent;     ///< --scale-event (off|auto[:up[:down]])
+    std::string serviceJsonPath; ///< --service-json target ("" = none)
+
     /**
      * The engine configuration the bench's simulated runs should use:
      * --engine-threads / --engine-lookahead when given, otherwise the

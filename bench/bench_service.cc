@@ -1,0 +1,303 @@
+/**
+ * @file
+ * The million-user service workload (ROADMAP item 2): an open-loop,
+ * Zipf-skewed KV/session service on the CableS pthreads API, reported
+ * as throughput and p50/p99/p999 virtual-time latency.
+ *
+ * Row groups:
+ *
+ *   steady state — the headline run: Poisson arrivals, Zipfian keys,
+ *       90/10 GET/PUT, one million requests through four shards.
+ *   homing ablation — the same skewed mix with migration off (the
+ *       bulk-loaded tables stay homed on the master forever) vs the
+ *       epoch-heat policy (hot table pages migrate to their shard
+ *       workers). Epoch-heat must strictly win: the CI gate asserts
+ *       it on the checked-in baseline.
+ *   allocator ablation — a PUT-heavy mix under the legacy per-call
+ *       ACB allocator vs the PR-8 per-node pools, wiring the pools
+ *       under genuine per-request churn (ROADMAP item 3's last
+ *       remaining-depth bullet).
+ *   scale-out — a traffic burst against a hot shard with and without
+ *       the autoscaler. With it, the backlog spike trips a spare-node
+ *       attach (overlapped, the paper's multi-second sequence),
+ *       helper workers drain the hot shards, and the node detaches
+ *       again after the burst — measurably lowering burst-window p99.
+ *
+ * Every run also emits a cables-service-report v1 document
+ * (--service-json) carrying the full latency distribution, per-shard
+ * outcomes and the autoscaler event log; CI validates the schema and
+ * gates the key numbers through tools/bench_compare.
+ *
+ * Service-specific flags (see bench_common.hh): --requests, --arrival,
+ * --rate, --skew, --mix, --duration, --scale-event, --service-json.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "svc/report.hh"
+#include "svc/service.hh"
+
+using namespace cables;
+using sim::MS;
+using sim::SEC;
+using sim::Tick;
+using sim::US;
+
+namespace {
+
+/** Workload shared by every row; rows override pieces of it. */
+svc::ServiceConfig
+baseConfig(const bench::Options &opts)
+{
+    svc::ServiceConfig cfg;
+    cfg.shards = 4;
+    cfg.serviceNodes = 4; // one primary worker per node
+    cfg.spareNodes = 1;
+    cfg.clients = 2;
+    cfg.keys = 32768;
+    cfg.valueBytes = 192;
+    cfg.payloadBytes = 64;
+    cfg.readPct = opts.mix >= 0 ? opts.mix : 90;
+    cfg.zipfTheta = opts.skew > 0.0 ? opts.skew : 0.99;
+    cfg.seed = opts.seed;
+    cfg.serviceCompute = 2 * US;
+    cfg.migration = svm::MigrationPolicy::EpochHeat;
+    return cfg;
+}
+
+struct RunOut
+{
+    svc::ServiceResult res;
+    util::Json doc;
+};
+
+RunOut
+runRow(bench::Report &rep, util::Json &serviceDocs,
+       const std::string &label, const std::string &group,
+       const svc::ServiceConfig &cfg, const sim::EngineConfig &eng,
+       sim::Tracer *tracer)
+{
+    svc::ServiceHooks hooks;
+    hooks.tracer = tracer;
+    RunOut out;
+    out.res = svc::runService(cfg, eng, hooks);
+    out.doc = svc::serviceReport(label, cfg, out.res);
+    serviceDocs.push(out.doc);
+
+    rep.addRow({label, out.res.injected, out.res.throughputRps(),
+                out.res.latAll.mean(), out.res.latAll.p50(),
+                out.res.latAll.p99(), out.res.latAll.p999(),
+                sim::toMs(out.res.makespan)},
+               util::Json(), group);
+    rep.attachMetrics(out.res.metrics);
+    return out;
+}
+
+bool
+parseScaleEvent(const std::string &s, svc::ScaleSpec *spec)
+{
+    if (s.empty() || s == "auto")
+        return true;
+    if (s == "off") {
+        spec->enabled = false;
+        return true;
+    }
+    if (s.rfind("auto:", 0) == 0) {
+        int up = 0, down = 0;
+        int n = std::sscanf(s.c_str(), "auto:%d:%d", &up, &down);
+        if (n >= 1 && up > 0)
+            spec->upBacklog = up;
+        if (n == 2 && down >= 0)
+            spec->downBacklog = down;
+        return n >= 1;
+    }
+    return false;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto opts = bench::Options::parse(argc, argv, "service");
+
+    if (!opts.arrival.empty() && opts.arrival != "poisson" &&
+        opts.arrival != "burst") {
+        std::fprintf(stderr,
+                     "service: unknown --arrival '%s' (poisson|burst)\n",
+                     opts.arrival.c_str());
+        return 2;
+    }
+    svc::ScaleSpec scaleProbe; // flag validation only
+    if (!opts.scaleEvent.empty() &&
+        !parseScaleEvent(opts.scaleEvent, &scaleProbe)) {
+        std::fprintf(stderr,
+                     "service: bad --scale-event '%s' "
+                     "(off|auto[:up[:down]])\n",
+                     opts.scaleEvent.c_str());
+        return 2;
+    }
+
+    const bool wantPoisson = opts.arrival.empty() ||
+                             opts.arrival == "poisson";
+    const bool wantBurst = opts.arrival.empty() || opts.arrival == "burst";
+
+    return bench::runBench(opts, [&](bench::Report &rep,
+                                     sim::Tracer *tracer) {
+        auto eng = opts.engineConfig();
+        svc::ServiceConfig base = baseConfig(opts);
+
+        double mainRate = opts.rateRps > 0.0 ? opts.rateRps : 2800.0;
+        uint64_t mainRequests = 1000000;
+        if (opts.requests > 0)
+            mainRequests = static_cast<uint64_t>(opts.requests);
+        else if (opts.durationMs > 0)
+            mainRequests = static_cast<uint64_t>(
+                mainRate * static_cast<double>(opts.durationMs) / 1000.0);
+
+        rep.setTitle(csprintf(
+            "Open-loop sharded KV service: {} shards on {} nodes, {} "
+            "keys, Zipf {} / {}% GET, latency in virtual time",
+            base.shards, base.serviceNodes, base.keys, base.zipfTheta,
+            base.readPct));
+        rep.setConfig("shards", base.shards);
+        rep.setConfig("service_nodes", base.serviceNodes);
+        rep.setConfig("keys", base.keys);
+        rep.setConfig("zipf_theta", base.zipfTheta);
+        rep.setConfig("read_pct", base.readPct);
+        rep.setConfig("main_requests", mainRequests);
+        rep.setConfig("main_rate_rps", mainRate);
+        rep.setColumns({{"run"},
+                        {"requests"},
+                        {"throughput_rps", 0},
+                        {"mean_us", 1},
+                        {"p50_us", 1},
+                        {"p99_us", 1},
+                        {"p999_us", 1},
+                        {"makespan_ms", 1}});
+
+        util::Json serviceDocs = util::Json::array();
+
+        if (wantPoisson) {
+            // Steady state: the headline million-request run.
+            svc::ServiceConfig cfg = base;
+            cfg.requests = mainRequests;
+            cfg.arrival.kind = svc::ArrivalSpec::Kind::Poisson;
+            cfg.arrival.rateRps = mainRate;
+            runRow(rep, serviceDocs, "poisson zipf steady", "", cfg, eng,
+                   tracer);
+
+            // Homing ablation: bulk-loaded tables stay master-homed
+            // under migration=off; epoch-heat re-homes the hot pages
+            // at their shard workers. Gated: epoch-heat must win.
+            svc::ServiceConfig ab = base;
+            ab.requests = std::min<uint64_t>(mainRequests, 150000);
+            ab.arrival.kind = svc::ArrivalSpec::Kind::Poisson;
+            ab.arrival.rateRps = mainRate;
+            // The migration win is on the PUT path (diff flushes to
+            // the master-homed table pages); measure it on a mix
+            // where PUTs matter.
+            ab.readPct = 50;
+            ab.migration = svm::MigrationPolicy::Off;
+            runRow(rep, serviceDocs, "homing static", "homing ablation",
+                   ab, eng, nullptr);
+            ab.migration = svm::MigrationPolicy::EpochHeat;
+            runRow(rep, serviceDocs, "homing epoch-heat",
+                   "homing ablation", ab, eng, nullptr);
+
+            // Allocator ablation: PUT-heavy churn, legacy vs pooled
+            // (ROADMAP item 3 wired under per-request churn).
+            svc::ServiceConfig al = base;
+            al.requests = std::min<uint64_t>(mainRequests, 150000);
+            al.arrival.kind = svc::ArrivalSpec::Kind::Poisson;
+            al.arrival.rateRps = mainRate;
+            al.readPct = 50;
+            // Legacy allocations are page-granular; keep the keyspace
+            // small enough that both variants fit the same arena.
+            al.keys = 4096;
+            if (opts.alloc.empty() || opts.alloc == "legacy") {
+                al.poolEnabled = false;
+                runRow(rep, serviceDocs, "alloc legacy",
+                       "allocator ablation", al, eng, nullptr);
+            }
+            if (opts.alloc.empty() || opts.alloc == "pooled") {
+                al.poolEnabled = true;
+                runRow(rep, serviceDocs, "alloc pooled",
+                       "allocator ablation", al, eng, nullptr);
+            }
+        }
+
+        if (wantBurst) {
+            // Scale-out: a burst overloads the hot shard. The attach
+            // sequence costs multiple virtual seconds (Table 4), so
+            // the burst window is sized to make reacting worthwhile.
+            svc::ServiceConfig sc = base;
+            sc.arrival.kind = svc::ArrivalSpec::Kind::Burst;
+            sc.arrival.rateRps = opts.rateRps > 0.0 ? opts.rateRps
+                                                    : 1200.0;
+            sc.arrival.burstRateRps = 5.0 * sc.arrival.rateRps;
+            sc.arrival.burstStart = 500 * MS;
+            sc.arrival.burstLen = 8 * SEC;
+            // Sessions do real per-request work here, so the hot
+            // shard's worker CPU — the resource scale-out adds — is
+            // the bottleneck the burst saturates. At higher rates the
+            // master's NIC saturates first and extra workers only
+            // feed the congestion.
+            sc.serviceCompute = 600 * US;
+            sc.requests = opts.requests > 0
+                              ? static_cast<uint64_t>(opts.requests)
+                              : 60000;
+            sc.scale.enabled = false;
+            auto noScale = runRow(rep, serviceDocs, "burst no-scale",
+                                  "scale-out", sc, eng, nullptr);
+
+            if (opts.scaleEvent != "off") {
+                sc.scale.enabled = true;
+                parseScaleEvent(opts.scaleEvent, &sc.scale);
+                auto scaled = runRow(rep, serviceDocs, "burst autoscale",
+                                     "scale-out", sc, eng, nullptr);
+
+                double p99Off = noScale.res.latBurst.p99();
+                double p99On = scaled.res.latBurst.p99();
+                rep.addNote(csprintf(
+                    "scale-out: burst-window p99 {} us without the "
+                    "autoscaler, {} us with it ({} scale events)",
+                    p99Off, p99On,
+                    (long long)scaled.res.events.size()));
+            }
+        }
+
+        rep.addNote("latency is completion time minus scheduled "
+                    "arrival time, in virtual microseconds; clients "
+                    "are open-loop and never wait, so overload shows "
+                    "up as queueing latency.");
+        rep.addNote("homing ablation: bulk load homes every table "
+                    "page on the master; epoch-heat migrates the hot "
+                    "pages to their shard workers.");
+
+        if (!opts.serviceJsonPath.empty()) {
+            std::string why;
+            for (const util::Json &d : serviceDocs.items()) {
+                if (!svc::validateServiceReport(d, &why)) {
+                    std::fprintf(stderr,
+                                 "service: invalid report (%s)\n",
+                                 why.c_str());
+                    std::exit(1);
+                }
+            }
+            FILE *f = std::fopen(opts.serviceJsonPath.c_str(), "w");
+            if (!f) {
+                std::fprintf(stderr, "service: cannot write %s\n",
+                             opts.serviceJsonPath.c_str());
+                std::exit(1);
+            }
+            std::string text = serviceDocs.dump(2);
+            std::fwrite(text.data(), 1, text.size(), f);
+            std::fputc('\n', f);
+            std::fclose(f);
+        }
+    });
+}

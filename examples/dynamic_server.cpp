@@ -1,131 +1,89 @@
 /**
  * @file
- * Dynamic task server — the class of application the paper's
- * introduction motivates: commercially-oriented workloads with dynamic
- * behaviour that the static M4 template cannot express.
+ * Dynamic request serving on the service API — the class of
+ * application the paper's introduction motivates: commercially
+ * oriented workloads with dynamic behaviour that the static M4
+ * template cannot express.
  *
- * A dispatcher thread receives bursts of "requests" and grows a worker
- * pool on demand; CableS attaches cluster nodes as the pool grows and
- * detaches them when workers retire. Requests carry shared payloads
- * allocated and freed dynamically — exercising malloc/free during
- * execution, condition-variable queueing, and thread cancellation.
+ * This example drives src/svc, the sharded in-memory KV/session store
+ * built on the CableS pthreads API (DESIGN.md §15). An open-loop
+ * client tier replays a bursty, Zipf-skewed request schedule in
+ * virtual time; per-shard workers are spawned with threadCreateOn (one
+ * attach per service node, overlapped); PUT requests allocate and free
+ * value blocks from the per-node pools mid-run; and the burst trips
+ * the autoscaler: a spare node attaches, helper workers drain the hot
+ * shards, and the node is compacted, evacuated and detached once the
+ * load passes.
+ *
+ * Everything below is plain library use — the same entry point the
+ * bench (bench/bench_service.cc) and tests (tests/test_service.cc)
+ * call — so this file doubles as the service API quickstart.
  */
 
 #include <cstdio>
-#include <deque>
 
-#include "cables/memory.hh"
-#include "cables/runtime.hh"
-#include "cables/shared.hh"
+#include "svc/report.hh"
+#include "svc/service.hh"
 
 using namespace cables;
-using namespace cables::cs;
 using sim::MS;
+using sim::SEC;
 using sim::US;
-
-namespace {
-
-struct Request
-{
-    GAddr payload; // shared array of int64
-    size_t len;
-};
-
-} // namespace
 
 int
 main()
 {
-    ClusterConfig cfg;
-    cfg.backend = Backend::CableS;
-    cfg.nodes = 8;
-    cfg.procsPerNode = 2;
-    cfg.sharedBytes = 64ull * 1024 * 1024;
+    svc::ServiceConfig cfg;
+    cfg.shards = 2;          // key ranges, each with a pinned worker
+    cfg.serviceNodes = 2;    // nodes 1..2 host the workers
+    cfg.spareNodes = 1;      // node 3 sits unattached until the burst
+    cfg.clients = 2;         // open-loop injectors on the master
+    cfg.keys = 4096;
+    cfg.readPct = 80;        // 80% GET / 20% PUT (PUTs churn the pools)
+    cfg.zipfTheta = 0.99;    // YCSB-style hot keys
+    cfg.requests = 20000;
 
-    Runtime rt(cfg);
-    rt.run([&]() {
-        csStart(rt);
+    // A 10x burst half a second in; enough sustained backlog that
+    // reacting — a multi-second node attach — is still worth it.
+    cfg.arrival.kind = svc::ArrivalSpec::Kind::Burst;
+    cfg.arrival.rateRps = 1000.0;
+    cfg.arrival.burstRateRps = 10000.0;
+    cfg.arrival.burstStart = 500 * MS;
+    cfg.arrival.burstLen = 3 * SEC;
+    cfg.serviceCompute = 400 * US; // per-request application work
+    cfg.scale.enabled = true;
+    cfg.scale.upBacklog = 64;
 
-        int m = rt.mutexCreate();
-        int cv = rt.condCreate();
-        // Host-side queue of descriptors; payloads live in shared
-        // memory (control state belongs to the server process itself).
-        std::deque<Request> queue;
-        bool draining = false;
-        auto answered = GArray<int64_t>::alloc(rt, 1);
-        answered.write(0, 0);
+    svc::ServiceResult res = svc::runService(cfg, sim::EngineConfig());
 
-        auto workerFn = [&]() {
-            while (true) {
-                rt.mutexLock(m);
-                while (queue.empty() && !draining)
-                    rt.condWait(cv, m);
-                if (queue.empty() && draining) {
-                    rt.mutexUnlock(m);
-                    return;
-                }
-                Request r = queue.front();
-                queue.pop_front();
-                rt.mutexUnlock(m);
+    std::printf("served %llu requests (%llu GET / %llu PUT) in %.0f "
+                "virtual ms\n",
+                (unsigned long long)res.completed,
+                (unsigned long long)res.gets,
+                (unsigned long long)res.puts, sim::toMs(res.makespan));
+    std::printf("throughput %.0f req/s; latency p50 %.1f us, p99 %.1f "
+                "us, p999 %.1f us\n",
+                res.throughputRps(), res.latAll.p50(), res.latAll.p99(),
+                res.latAll.p999());
+    for (const svc::ScaleEvent &e : res.events) {
+        std::printf("  t=%8.1f ms  %-10s node %d%s\n", sim::toMs(e.at),
+                    e.kind.c_str(), int(e.node),
+                    e.shard >= 0
+                        ? (" (shard " + std::to_string(e.shard) + ")")
+                              .c_str()
+                        : "");
+    }
 
-                // "Serve" the request: checksum the shared payload.
-                GArray<int64_t> payload(rt, r.payload, r.len);
-                int64_t sum = 0;
-                const int64_t *p = payload.span(0, r.len, false);
-                for (size_t i = 0; i < r.len; ++i)
-                    sum += p[i];
-                rt.computeFlops(r.len * 4);
-                (void)sum;
-
-                rt.free(r.payload); // dynamic free mid-run
-                rt.mutexLock(m);
-                answered[0] += 1;
-                rt.mutexUnlock(m);
-            }
-        };
-
-        std::vector<int> workers;
-        int produced = 0;
-        for (int burst = 0; burst < 4; ++burst) {
-            int burst_size = 4 + 4 * burst;
-            // Grow the pool with the load: one worker per 4 queued.
-            while (int(workers.size()) < (burst_size + 3) / 4 * 2) {
-                workers.push_back(rt.threadCreate(workerFn));
-                std::printf("burst %d: pool=%zu attached nodes=%d "
-                            "(t=%.0f ms)\n",
-                            burst, workers.size(), rt.attachedNodes(),
-                            sim::toMs(rt.now()));
-            }
-            for (int i = 0; i < burst_size; ++i) {
-                size_t len = 256 + (i % 7) * 128;
-                GAddr pay = rt.malloc(len * sizeof(int64_t));
-                GArray<int64_t> payload(rt, pay, len);
-                int64_t *p = payload.span(0, len, true);
-                for (size_t k = 0; k < len; ++k)
-                    p[k] = int64_t(k + i);
-                rt.mutexLock(m);
-                queue.push_back(Request{pay, len});
-                ++produced;
-                rt.condSignal(cv);
-                rt.mutexUnlock(m);
-                rt.compute(500 * US); // request inter-arrival time
-            }
-            rt.compute(20 * MS); // lull between bursts
-        }
-
-        rt.mutexLock(m);
-        draining = true;
-        rt.condBroadcast(cv);
-        rt.mutexUnlock(m);
-        for (int w : workers)
-            rt.join(w);
-
-        std::printf("served %lld / %d requests; attaches=%d, "
-                    "live shared bytes=%zu, total=%.0f ms\n",
-                    (long long)answered.read(0), produced,
-                    rt.attachCount(), rt.memory().liveBytes(),
-                    sim::toMs(rt.now()));
-        csEnd(rt);
-    });
+    // The same run as a cables-service-report v1 document — what
+    // bench_service --service-json emits and CI gates.
+    util::Json doc = svc::serviceReport("dynamic server example", cfg,
+                                        res);
+    std::string why;
+    if (!svc::validateServiceReport(doc, &why)) {
+        std::fprintf(stderr, "report invalid: %s\n", why.c_str());
+        return 1;
+    }
+    std::printf("service report: %zu bytes of valid JSON\n",
+                doc.dump().size());
     return 0;
 }

@@ -182,7 +182,12 @@ MemoryManager::alloc(size_t len, NodeId affinity)
     GAddr a = rt.space().alloc(len, pageSize);
     fatal_if(a == GNull, "out of global shared memory allocating {} "
              "bytes ({} in use)", len, rt.space().used());
-    segments[a] = Segment{a, len, true, affinity};
+    // The space below records the page-rounded reservation so free()
+    // returns exactly what alloc() consumed; handing back only the
+    // requested length leaks the tail of every page under alloc/free
+    // churn.
+    size_t rounded = (len + pageSize - 1) & ~(pageSize - 1);
+    segments[a] = Segment{a, len, rounded, true, affinity};
     liveBytes_ += len;
 
     // Directory entry creation in the ACB.
@@ -230,7 +235,7 @@ MemoryManager::refillPool(NodeId node, int cls)
 
     // One segment-directory entry covers the whole slab; its granules
     // are homed at the pool owner under Placement::Affinity.
-    segments[base] = Segment{base, bytes, true, node};
+    segments[base] = Segment{base, bytes, bytes, true, node};
 
     Slab s{base, bytes, cls, node, bsize, 0, {}};
     s.blockLive.assign(bytes / bsize, false);
@@ -269,7 +274,7 @@ MemoryManager::free(GAddr addr)
     for (auto &cache : segInfoCached)
         cache.erase(s.base);
 
-    rt.space().free(s.base, s.len);
+    rt.space().free(s.base, s.space);
     segments.erase(it);
 
     NodeId node = rt.self().node;
@@ -558,6 +563,33 @@ MemoryManager::onFirstFetch(NodeId reader, NodeId home, PageId page)
     rt.comm().importAccounted(reader);
     rt.charge(CostKind::Communication, rt.comm().params().importCost);
     ++stats_.regionImports;
+}
+
+void
+MemoryManager::onPageMigrated(PageId page, NodeId from, NodeId to)
+{
+    (void)page;
+    if (rt.config().backend != Backend::CableS)
+        return;
+    // Debit the page from the old home's protocol region and credit it
+    // to the new home's, mirroring bindOnTouch/reclaimPages. The wire
+    // work (page pull) is charged by the protocol; this is pure region
+    // bookkeeping so decommissioning sees the true residency.
+    HomeRegion &src = homeRegions[from];
+    src.bytes -= std::min<size_t>(src.bytes, pageSize);
+    if (src.region >= 0)
+        rt.comm().shrinkRegionAccounted(from, src.region, src.bytes);
+    HomeRegion &dst = homeRegions[to];
+    if (dst.region < 0) {
+        dst.region = rt.comm().exportRegionAccounted(to, pageSize);
+        dst.bytes = pageSize;
+        ++stats_.regionExports;
+    } else {
+        rt.comm().extendRegionAccounted(to, dst.region,
+                                        dst.bytes + pageSize);
+        dst.bytes += pageSize;
+        ++stats_.regionExtends;
+    }
 }
 
 void

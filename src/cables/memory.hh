@@ -165,6 +165,14 @@ class MemoryManager
     /** First-fetch hook: import accounting per (reader, home region). */
     void onFirstFetch(NodeId reader, NodeId home, PageId page);
 
+    /**
+     * Migration hook: move a page's bytes between the old and new
+     * homes' exported protocol regions. Keeps homeBytesOf() honest
+     * under a migration policy — a node that migrated all its pages
+     * away must read as holding zero home bytes so it can detach.
+     */
+    void onPageMigrated(PageId page, NodeId from, NodeId to);
+
     const MemStats &stats() const { return stats_; }
 
     /** Publish memory-management counters under "mem.*". */
@@ -187,7 +195,8 @@ class MemoryManager
     struct Segment
     {
         GAddr base;
-        size_t len;
+        size_t len;   ///< requested length (liveBytes accounting)
+        size_t space; ///< address space consumed (page-rounded)
         bool live;
         NodeId affinity; ///< allocator placement hint (InvalidNode: none)
     };

@@ -52,6 +52,10 @@ Runtime::Runtime(const ClusterConfig &config,
         [this](NodeId reader, NodeId home, PageId page) {
             memory_->onFirstFetch(reader, home, page);
         });
+    proto_->setMigrateHook(
+        [this](PageId page, NodeId from, NodeId to) {
+            memory_->onPageMigrated(page, from, to);
+        });
 
     attached.assign(cfg.nodes, false);
     attachPending.assign(cfg.nodes, false);
@@ -506,7 +510,13 @@ Runtime::attachNode(NodeId n)
     note(CostKind::Communication,
          cfg.costs.attachCommPerNode * numAttached);
 
-    Tick ack = network_->transfer(n, me.node, 64, t, hp);
+    // Wait out the remote init, then receive the ack dated at its
+    // actual send time: reserving the NIC queues at t0 for a message
+    // that exists seconds later would head-of-line block every other
+    // message into the master behind the attach window.
+    engine_->advance(std::max<Tick>(0, t - engine_->now()));
+    engine_->sync();
+    Tick ack = network_->transfer(n, me.node, 64, engine_->now(), hp);
     if (span) {
         tracer_->spanAdd(span, sim::SpanComp::Queue, hop.queue);
         tracer_->spanAdd(span, sim::SpanComp::Wire, hop.wire);
@@ -582,17 +592,26 @@ Runtime::startAsyncAttach(NodeId n)
     Tick init = cfg.costs.attachRemoteCablesBase +
                 cfg.costs.attachRemoteCablesPerNode * (numAttached - 1);
     t += cfg.os.processSpawnCost + init;
-    Tick ack = network_->transfer(n, me.node, 64, t, hp);
-    if (span) {
-        tracer_->spanAdd(span, sim::SpanComp::Queue, hop.queue);
-        tracer_->spanAdd(span, sim::SpanComp::Wire, hop.wire);
+    if (span)
         tracer_->spanAdd(span, sim::SpanComp::Handler,
                          cfg.os.processSpawnCost + init);
-    }
-    engine_->schedule(ack, [this, n, start, ack, span]() {
-        if (span)
+    // Send the ack when the remote init actually finishes: dating the
+    // transfer now would reserve the master's receive queue seconds
+    // ahead and head-of-line block every ACB message behind the
+    // attach window.
+    NodeId master = me.node;
+    engine_->schedule(t, [this, n, master, start, span, t]() {
+        net::HopInfo ackHop;
+        net::HopInfo *ahp = span ? &ackHop : nullptr;
+        Tick ack = network_->transfer(n, master, 64, t, ahp);
+        if (span) {
+            tracer_->spanAdd(span, sim::SpanComp::Queue, ackHop.queue);
+            tracer_->spanAdd(span, sim::SpanComp::Wire, ackHop.wire);
             tracer_->endSpan(span, ack);
-        completeAttach(n, start, ack);
+        }
+        engine_->schedule(ack, [this, n, start, ack]() {
+            completeAttach(n, start, ack);
+        });
     });
     // The checker edge is established at launch: completion runs in
     // event context (no calling thread), and no thread can be placed on
@@ -674,6 +693,74 @@ Runtime::threadCreate(std::function<void()> fn)
     opStats_.create.sample(toMs(engine_->now() - t0));
     traceOp("create", t0);
     return tid;
+}
+
+int
+Runtime::threadCreateOn(NodeId target, std::function<void()> fn)
+{
+    sim::GuestOp guest_op(*engine_);
+    sim::ProfScope prof_scope(*engine_, prof::Cat::ThreadMgmt);
+    fatal_if(target < 0 || target >= cfg.nodes,
+             "threadCreateOn: node {} outside cluster of {}", target,
+             cfg.nodes);
+    CsThread &me = self();
+    engine_->sync();
+    Tick t0 = engine_->now();
+
+    while (!attached[target]) {
+        fatal_if(cfg.backend != Backend::CableS,
+                 "threadCreateOn: node {} is not attached and only the "
+                 "CableS backend attaches dynamically", target);
+        if (attachPending[target]) {
+            attachWaiters.push_back(me.tid);
+            blockSelf(sim::BlockReason::AttachWait);
+            continue; // re-check: the wake may be for another node
+        }
+        attachNode(target);
+    }
+
+    int tid;
+    if (target == me.node) {
+        charge(CostKind::LocalCables, cfg.costs.createLocalCables);
+        charge(CostKind::LocalOs, cfg.os.threadCreateCost);
+        tid = startThread(target, std::move(fn), engine_->now());
+    } else {
+        charge(CostKind::LocalCables, cfg.costs.createRemoteLocalCables);
+        engine_->sync();
+        Tick s = engine_->now();
+        Tick t = network_->notify(me.node, target, 64, s);
+        Tick req_comm = t - s;
+        t += cfg.os.remoteThreadCreateCost;
+        note(CostKind::RemoteOs, cfg.os.remoteThreadCreateCost);
+        t += cfg.costs.createRemoteCables;
+        note(CostKind::RemoteCables, cfg.costs.createRemoteCables);
+        Tick ack = network_->transfer(target, me.node, 32, t);
+        note(CostKind::Communication, req_comm + (ack - t));
+        tid = startThread(target, std::move(fn), t);
+        engine_->advance(std::max<Tick>(0, ack - engine_->now()));
+    }
+
+    opStats_.create.sample(toMs(engine_->now() - t0));
+    traceOp("create", t0);
+    return tid;
+}
+
+bool
+Runtime::detachIfIdle(NodeId n)
+{
+    sim::GuestOp guest_op(*engine_);
+    sim::ProfScope prof_scope(*engine_, prof::Cat::ThreadMgmt);
+    fatal_if(n < 0 || n >= cfg.nodes,
+             "detachIfIdle: node {} outside cluster of {}", n,
+             cfg.nodes);
+    acbRead(self().node); // the decision reads ACB node state
+    if (cfg.backend != Backend::CableS || n == 0 || !attached[n] ||
+        attachPending[n] || nodeThreads[n] != 0 ||
+        memory_->homeBytesOf(n) != 0) {
+        return false;
+    }
+    detachNode(n);
+    return true;
 }
 
 void
@@ -843,6 +930,13 @@ Runtime::drainAllocPools()
 {
     sim::GuestOp op(*engine_);
     memory_->drainPools();
+}
+
+size_t
+Runtime::evacuateNode(NodeId from)
+{
+    sim::GuestOp op(*engine_);
+    return proto_->evacuateNode(from, self().node);
 }
 
 } // namespace cs

@@ -161,6 +161,29 @@ class Runtime
      */
     int threadCreate(std::function<void()> fn);
 
+    /**
+     * Create a thread running @p fn pinned to node @p target,
+     * bypassing round-robin placement — the primitive an elastic
+     * service needs to home a shard worker next to (or away from) its
+     * data. On the CableS backend the node is attached first if
+     * necessary (waiting out an in-flight overlapped attach rather
+     * than starting a second multi-second sequence). May oversubscribe
+     * the node's processors; that is the caller's policy decision.
+     * @return the new thread's CableS tid.
+     */
+    int threadCreateOn(NodeId target, std::function<void()> fn);
+
+    /**
+     * Detach node @p n now if it is attached, hosts no live threads
+     * and homes no shared-memory bytes — the explicit decommission
+     * step of elastic scale-in, for the case where the node's last
+     * thread exited before its pool slabs were drained (the implicit
+     * exit-time detach only triggers when memory is already clear).
+     * CableS backend only; node 0 (the master) never detaches.
+     * @return true if the node was detached.
+     */
+    bool detachIfIdle(NodeId n);
+
     /** Wait for thread @p tid to finish. */
     void join(int tid);
 
@@ -250,6 +273,13 @@ class Runtime
      * fast path itself never releases slabs.
      */
     void drainAllocPools();
+
+    /**
+     * Migrate every page homed at @p from to the calling thread's node
+     * (Protocol::evacuateNode) — the decommissioning sweep before a
+     * detach. Returns pages moved.
+     */
+    size_t evacuateNode(NodeId from);
 
     /// @}
 

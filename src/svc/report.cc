@@ -1,0 +1,231 @@
+/**
+ * @file
+ * cables-service-report emission and validation (see report.hh).
+ */
+
+#include "svc/report.hh"
+
+#include "svm/placement.hh"
+
+namespace cables {
+namespace svc {
+
+using util::Json;
+
+Json
+latencyJson(const Stat &s)
+{
+    Json j = Json::object();
+    j.set("count", s.count());
+    j.set("mean", s.mean());
+    j.set("p50", s.p50());
+    j.set("p90", s.p90());
+    j.set("p99", s.p99());
+    j.set("p999", s.p999());
+    j.set("max", s.max());
+    return j;
+}
+
+Json
+serviceReport(const std::string &label, const ServiceConfig &cfg,
+              const ServiceResult &res)
+{
+    Json doc = Json::object();
+    doc.set("schema", reportSchemaName);
+    doc.set("schema_version", reportSchemaVersion);
+    doc.set("label", label);
+
+    Json conf = Json::object();
+    conf.set("backend",
+             cfg.backend == cs::Backend::CableS ? "cables" : "base");
+    conf.set("shards", cfg.shards);
+    conf.set("service_nodes", cfg.serviceNodes);
+    conf.set("spare_nodes", cfg.spareNodes);
+    conf.set("clients", cfg.clients);
+    conf.set("keys", cfg.keys);
+    conf.set("value_bytes", static_cast<int64_t>(cfg.valueBytes));
+    conf.set("payload_bytes", static_cast<int64_t>(cfg.payloadBytes));
+    conf.set("read_pct", cfg.readPct);
+    conf.set("miss_pct", cfg.missPct);
+    conf.set("zipf_theta", cfg.zipfTheta);
+    conf.set("requests", cfg.requests);
+    conf.set("service_compute_us", sim::toUs(cfg.serviceCompute));
+    conf.set("batch_max", cfg.batchMax);
+    conf.set("seed", cfg.seed);
+    conf.set("pool_enabled", cfg.poolEnabled);
+    conf.set("prealloc_values", cfg.preallocValues);
+    conf.set("migration", svm::migrationPolicyName(cfg.migration));
+
+    Json arr = Json::object();
+    arr.set("kind", cfg.arrival.kind == ArrivalSpec::Kind::Burst
+                        ? "burst"
+                        : "poisson");
+    arr.set("rate_rps", cfg.arrival.rateRps);
+    arr.set("burst_rate_rps", cfg.arrival.burstRateRps);
+    arr.set("burst_start_ms", sim::toMs(cfg.arrival.burstStart));
+    arr.set("burst_len_ms", sim::toMs(cfg.arrival.burstLen));
+    conf.set("arrival", arr);
+
+    Json sc = Json::object();
+    sc.set("enabled", cfg.scale.enabled);
+    sc.set("up_backlog", cfg.scale.upBacklog);
+    sc.set("down_backlog", cfg.scale.downBacklog);
+    sc.set("poll_us", sim::toUs(cfg.scale.pollInterval));
+    sc.set("helpers", cfg.scale.helpers);
+    sc.set("max_events", cfg.scale.maxEvents);
+    conf.set("scale", sc);
+    doc.set("config", conf);
+
+    Json req = Json::object();
+    req.set("injected", res.injected);
+    req.set("completed", res.completed);
+    req.set("gets", res.gets);
+    req.set("puts", res.puts);
+    req.set("hits", res.hits);
+    req.set("misses", res.misses);
+    doc.set("requests", req);
+
+    doc.set("throughput_rps", res.throughputRps());
+    doc.set("makespan_ms", sim::toMs(res.makespan));
+
+    Json lat = Json::object();
+    lat.set("all", latencyJson(res.latAll));
+    lat.set("get", latencyJson(res.latGet));
+    lat.set("put", latencyJson(res.latPut));
+    lat.set("burst", latencyJson(res.latBurst));
+    doc.set("latency_us", lat);
+
+    Json shardsJ = Json::array();
+    for (const ShardSummary &s : res.shards) {
+        Json sj = Json::object();
+        sj.set("shard", s.shard);
+        sj.set("node", s.node);
+        sj.set("completed", s.completed);
+        sj.set("backlog_peak", s.backlogPeak);
+        shardsJ.push(sj);
+    }
+    doc.set("shards", shardsJ);
+
+    Json eventsJ = Json::array();
+    for (const ScaleEvent &e : res.events) {
+        Json ej = Json::object();
+        ej.set("kind", e.kind);
+        ej.set("node", e.node);
+        ej.set("at_ms", sim::toMs(e.at));
+        ej.set("shard", e.shard);
+        eventsJ.push(ej);
+    }
+    doc.set("scale_events", eventsJ);
+
+    doc.set("checksum", res.checksum);
+    return doc;
+}
+
+namespace {
+
+bool
+fail(std::string *why, const std::string &reason)
+{
+    if (why)
+        *why = reason;
+    return false;
+}
+
+bool
+checkLatencyBlock(const Json &j, const std::string &name,
+                  std::string *why)
+{
+    if (!j.isObject())
+        return fail(why, "latency_us." + name + " is not an object");
+    for (const char *k :
+         {"count", "mean", "p50", "p90", "p99", "p999", "max"}) {
+        if (!j.get(k).isNumber())
+            return fail(why, "latency_us." + name + " misses numeric '" +
+                                 k + "'");
+    }
+    double p50 = j.get("p50").asDouble();
+    double p99 = j.get("p99").asDouble();
+    double p999 = j.get("p999").asDouble();
+    double mx = j.get("max").asDouble();
+    if (p50 > p99 || p99 > p999 || p999 > mx)
+        return fail(why, "latency_us." + name +
+                             " percentiles are not monotone");
+    return true;
+}
+
+} // namespace
+
+bool
+validateServiceReport(const Json &doc, std::string *why)
+{
+    if (!doc.isObject())
+        return fail(why, "document is not an object");
+    if (doc.get("schema").asString() != reportSchemaName)
+        return fail(why, "schema is not cables-service-report");
+    if (doc.get("schema_version").asInt() != reportSchemaVersion)
+        return fail(why, "unsupported schema_version");
+    if (!doc.get("label").isString())
+        return fail(why, "label missing");
+    if (!doc.get("config").isObject())
+        return fail(why, "config missing");
+    const Json &conf = doc.get("config");
+    for (const char *k : {"backend", "shards", "keys", "requests",
+                          "read_pct", "zipf_theta"}) {
+        if (conf.get(k).isNull())
+            return fail(why, std::string("config misses '") + k + "'");
+    }
+    if (!conf.get("arrival").isObject() || !conf.get("scale").isObject())
+        return fail(why, "config.arrival / config.scale missing");
+
+    const Json &req = doc.get("requests");
+    if (!req.isObject())
+        return fail(why, "requests missing");
+    for (const char *k :
+         {"injected", "completed", "gets", "puts", "hits", "misses"}) {
+        if (!req.get(k).isNumber())
+            return fail(why, std::string("requests misses '") + k + "'");
+    }
+    if (req.get("completed").asInt() != req.get("injected").asInt())
+        return fail(why, "run did not drain: completed != injected");
+    if (req.get("gets").asInt() + req.get("puts").asInt() !=
+        req.get("completed").asInt())
+        return fail(why, "gets + puts != completed");
+
+    if (!doc.get("throughput_rps").isNumber() ||
+        !doc.get("makespan_ms").isNumber())
+        return fail(why, "throughput_rps / makespan_ms missing");
+
+    const Json &lat = doc.get("latency_us");
+    if (!lat.isObject())
+        return fail(why, "latency_us missing");
+    for (const char *b : {"all", "get", "put", "burst"}) {
+        if (!checkLatencyBlock(lat.get(b), b, why))
+            return false;
+    }
+    if (lat.get("all").get("count").asInt() !=
+        req.get("completed").asInt())
+        return fail(why, "latency_us.all.count != completed");
+
+    if (!doc.get("shards").isArray())
+        return fail(why, "shards missing");
+    for (const Json &s : doc.get("shards").items()) {
+        for (const char *k : {"shard", "node", "completed",
+                              "backlog_peak"}) {
+            if (!s.get(k).isNumber())
+                return fail(why, std::string("shard entry misses '") +
+                                     k + "'");
+        }
+    }
+    if (!doc.get("scale_events").isArray())
+        return fail(why, "scale_events missing");
+    for (const Json &e : doc.get("scale_events").items()) {
+        if (!e.get("kind").isString() || !e.get("at_ms").isNumber())
+            return fail(why, "scale_event entry malformed");
+    }
+    if (!doc.get("checksum").isNumber())
+        return fail(why, "checksum missing");
+    return true;
+}
+
+} // namespace svc
+} // namespace cables

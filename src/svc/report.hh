@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The "cables-service-report" v1 schema: one JSON document per service
+ * run, carrying the workload shape, throughput, the virtual-time
+ * latency distribution (p50/p90/p99/p999), per-shard outcomes and the
+ * autoscaler's event log. Like every other report in the repo it is a
+ * pure function of the configuration, so --repeat byte-identity holds.
+ *
+ * Document layout:
+ *
+ *   {
+ *     "schema": "cables-service-report", "schema_version": 1,
+ *     "label": "...",
+ *     "config": { backend, shards, keys, ..., arrival: {...},
+ *                 scale: {...} },
+ *     "requests": { injected, completed, gets, puts, hits, misses },
+ *     "throughput_rps": <double>,
+ *     "makespan_ms": <double>,
+ *     "latency_us": { "all": {count, mean, p50, p90, p99, p999, max},
+ *                     "get": {...}, "put": {...}, "burst": {...} },
+ *     "shards": [ { shard, node, completed, backlog_peak } ],
+ *     "scale_events": [ { kind, node, at_ms, shard } ],
+ *     "checksum": <int>
+ *   }
+ *
+ * The "burst" latency block and "scale_events" may be empty ({} with
+ * count 0 / []) when the run had no burst window or no autoscaler.
+ */
+
+#ifndef CABLES_SVC_REPORT_HH
+#define CABLES_SVC_REPORT_HH
+
+#include <string>
+
+#include "svc/service.hh"
+#include "util/json.hh"
+
+namespace cables {
+namespace svc {
+
+constexpr const char *reportSchemaName = "cables-service-report";
+constexpr int reportSchemaVersion = 1;
+
+/** Latency Stat as a schema block (values in the Stat's own unit). */
+util::Json latencyJson(const Stat &s);
+
+/** The full service-report document for one run. */
+util::Json serviceReport(const std::string &label,
+                         const ServiceConfig &cfg,
+                         const ServiceResult &res);
+
+/**
+ * Validate that @p doc is a well-formed cables-service-report. On
+ * failure returns false and stores a reason in @p why.
+ */
+bool validateServiceReport(const util::Json &doc,
+                           std::string *why = nullptr);
+
+} // namespace svc
+} // namespace cables
+
+#endif // CABLES_SVC_REPORT_HH

@@ -1,0 +1,704 @@
+/**
+ * @file
+ * Implementation of the sharded KV/session service (see service.hh and
+ * DESIGN.md §15 for the architecture).
+ */
+
+#include "svc/service.hh"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+
+#include "cables/extensions.hh"
+#include "cables/runtime.hh"
+#include "cables/shared.hh"
+#include "check/checker.hh"
+#include "svm/invariants.hh"
+#include "util/distributions.hh"
+#include "util/logging.hh"
+
+namespace cables {
+namespace svc {
+
+using cs::GArray;
+using cs::Runtime;
+using sim::Tick;
+using svm::GAddr;
+using svm::GNull;
+
+namespace {
+
+/** Request operations. A missing GET probes a key that was never
+ *  inserted (exercises the probe-to-empty path). */
+enum class Op : uint8_t { Get, Put, GetMiss };
+
+/** One scheduled request; payload is filled at injection time. */
+struct Req
+{
+    Tick arrival = 0;
+    uint64_t key = 0;
+    Op op = Op::Get;
+    uint64_t seq = 0;
+    GAddr payload = GNull;
+};
+
+/** Runtime state of one shard. Control state (queue, flags, stats)
+ *  lives host-side like any runtime library's bookkeeping; the table
+ *  and the value blocks live in SVM shared memory. */
+struct Shard
+{
+    int id = 0;
+    net::NodeId node = net::InvalidNode; ///< primary worker's node
+    uint64_t keyLo = 0, keyHi = 0;       ///< owned key range [lo, hi)
+    size_t slots = 0;                    ///< table capacity (power of 2)
+    GArray<uint64_t> table;              ///< 2 words/slot: key+1, value
+    GArray<uint8_t> arena;               ///< prealloc mode: value slots
+
+    int qm = -1;  ///< queue mutex
+    int qcv = -1; ///< queue condition
+    std::unique_ptr<cs::RwLock> tlock;   ///< table reader/writer lock
+
+    std::deque<Req> queue;
+    bool stop = false;       ///< drain finished: workers may exit
+    bool helperStop = false; ///< scale-in: helpers exit now
+    bool compact = false;    ///< primary: rewrite values off hot pools
+    bool compactDone = false;
+
+    uint64_t injected = 0;
+    uint64_t completed = 0;
+    uint64_t backlogPeak = 0;
+    uint64_t gets = 0, puts = 0, hits = 0, misses = 0;
+    uint64_t checksum = 0;
+    Tick lastDone = 0;
+    Stat latAll, latGet, latPut, latBurst;
+};
+
+size_t
+nextPow2(size_t v)
+{
+    size_t p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+/** The whole run: one instance per runService call. */
+class Service
+{
+  public:
+    Service(Runtime &rt, const ServiceConfig &cfg)
+        : rt(rt), cfg(cfg),
+          inBurst_(cfg.arrival.kind == ArrivalSpec::Kind::Burst)
+    {
+    }
+
+    void run(ServiceResult &res);
+
+  private:
+    void buildSchedule();
+    void setupShards();
+    void preload();
+    void clientLoop(int c);
+    void workerLoop(Shard &sh, bool helper);
+    void processRequest(Shard &sh, const Req &rq);
+    void compactShard(Shard &sh);
+    void autoscalerLoop();
+    void scaleIn(net::NodeId spare, const std::vector<int> &helped,
+                 std::vector<int> &helperTids);
+
+    /** Probe for @p key; returns the slot index holding it, or the
+     *  first empty slot (insert position). Caller holds the table
+     *  lock in the required mode. */
+    size_t
+    probe(Shard &sh, uint64_t key, bool *found)
+    {
+        size_t mask = sh.slots - 1;
+        size_t i = static_cast<size_t>(mixHash(key)) & mask;
+        while (true) {
+            uint64_t tag = sh.table.read(2 * i);
+            if (tag == key + 1) {
+                *found = true;
+                return i;
+            }
+            if (tag == 0) {
+                *found = false;
+                return i;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    bool
+    arrivedInBurst(Tick t) const
+    {
+        return inBurst_ && t >= cfg.arrival.burstStart &&
+               t < cfg.arrival.burstStart + cfg.arrival.burstLen;
+    }
+
+    Runtime &rt;
+    const ServiceConfig &cfg;
+    bool inBurst_;
+    Tick epoch_ = 0; ///< service-ready time; schedule is relative to it
+
+    std::vector<Req> schedule;
+    std::vector<Shard> shards;
+    std::vector<GArray<uint8_t>> payloadRings; ///< prealloc mode
+    static constexpr size_t kRingSlots = 4096;
+
+    bool drained = false;    ///< all requests completed (main sets)
+    bool scalerDone = true;  ///< autoscaler finished winding down
+    std::vector<ScaleEvent> events;
+};
+
+void
+Service::buildSchedule()
+{
+    Random arrivalRng(cfg.seed * 0x9e3779b97f4a7c15ULL + 1);
+    Random keyRng(cfg.seed * 0x9e3779b97f4a7c15ULL + 2);
+    Random opRng(cfg.seed * 0x9e3779b97f4a7c15ULL + 3);
+
+    ArrivalProcess arrivals =
+        inBurst_ ? ArrivalProcess(cfg.arrival.rateRps,
+                                  cfg.arrival.burstRateRps,
+                                  cfg.arrival.burstStart,
+                                  cfg.arrival.burstLen)
+                 : ArrivalProcess(cfg.arrival.rateRps);
+    ZipfGenerator zipf(cfg.keys, cfg.zipfTheta);
+
+    schedule.resize(cfg.requests);
+    for (uint64_t i = 0; i < cfg.requests; ++i) {
+        Req &r = schedule[i];
+        r.arrival = arrivals.next(arrivalRng);
+        // Scramble popularity rank to key (YCSB-style): hot keys land
+        // across the whole keyspace, so shard load is skewed by the
+        // hottest keys rather than degenerating into one shard owning
+        // the entire head of the distribution.
+        r.key = mixHash(zipf.next(keyRng)) % cfg.keys;
+        r.seq = i;
+        uint64_t dice = opRng.below(100);
+        if (dice < static_cast<uint64_t>(cfg.readPct)) {
+            r.op = Op::Get;
+            if (cfg.missPct > 0 &&
+                opRng.below(100) < static_cast<uint64_t>(cfg.missPct)) {
+                r.op = Op::GetMiss;
+                r.key += cfg.keys; // outside the loaded key space
+            }
+        } else {
+            r.op = Op::Put;
+        }
+    }
+}
+
+void
+Service::setupShards()
+{
+    shards.resize(cfg.shards);
+    uint64_t perShard = (cfg.keys + cfg.shards - 1) / cfg.shards;
+    for (int s = 0; s < cfg.shards; ++s) {
+        Shard &sh = shards[s];
+        sh.id = s;
+        sh.node = 1 + static_cast<net::NodeId>(s % cfg.serviceNodes);
+        sh.keyLo = std::min<uint64_t>(s * perShard, cfg.keys);
+        sh.keyHi = std::min<uint64_t>((s + 1) * perShard, cfg.keys);
+        sh.slots = nextPow2(2 * (sh.keyHi - sh.keyLo) + 4);
+        sh.table = GArray<uint64_t>::alloc(rt, 2 * sh.slots);
+        sh.qm = rt.mutexCreate();
+        sh.qcv = rt.condCreate();
+        sh.tlock = std::make_unique<cs::RwLock>(rt);
+        if (cfg.preallocValues) {
+            sh.arena = GArray<uint8_t>::alloc(
+                rt, (sh.keyHi - sh.keyLo) * cfg.valueBytes);
+        }
+    }
+    if (cfg.preallocValues) {
+        payloadRings.resize(cfg.clients);
+        for (int c = 0; c < cfg.clients; ++c) {
+            payloadRings[c] = GArray<uint8_t>::alloc(
+                rt, kRingSlots * cfg.payloadBytes);
+        }
+    }
+}
+
+/**
+ * Bulk-load every key from the master (the natural "load the dataset,
+ * then serve" sequence). Under first-touch placement this homes every
+ * table page and every initial value block on the master node — the
+ * static layout the epoch-heat ablation measures against.
+ */
+void
+Service::preload()
+{
+    for (int s = 0; s < cfg.shards; ++s) {
+        Shard &sh = shards[s];
+        // Table pages: zero-fill marks every slot empty (and homes the
+        // pages at the toucher, i.e. the master).
+        uint64_t *t = sh.table.span(0, 2 * sh.slots, /*write=*/true);
+        std::fill(t, t + 2 * sh.slots, 0);
+        for (uint64_t k = sh.keyLo; k < sh.keyHi; ++k) {
+            bool found = false;
+            size_t i = probe(sh, k, &found);
+            GAddr v;
+            if (cfg.preallocValues) {
+                v = sh.arena.addr((k - sh.keyLo) * cfg.valueBytes);
+                rt.access(v, cfg.valueBytes, /*write=*/true);
+            } else {
+                v = rt.malloc(cfg.valueBytes);
+            }
+            rt.write<uint64_t>(v, mixHash(k));
+            sh.table.write(2 * i, k + 1);
+            sh.table.write(2 * i + 1, v);
+        }
+    }
+}
+
+void
+Service::clientLoop(int c)
+{
+    for (uint64_t i = c; i < cfg.requests; i += cfg.clients) {
+        Req rq = schedule[i];
+        Tick dt = epoch_ + rq.arrival - rt.now();
+        if (dt > 0)
+            rt.compute(dt);
+
+        if (cfg.preallocValues) {
+            rq.payload = payloadRings[c].addr(
+                (rq.seq % kRingSlots) * cfg.payloadBytes);
+        } else {
+            rq.payload = rt.malloc(cfg.payloadBytes);
+        }
+        rt.write<uint64_t>(rq.payload, mixHash(rq.seq));
+
+        Shard &sh = shards[cfg.shardOf(rq.key)];
+        rt.mutexLock(sh.qm);
+        sh.queue.push_back(rq);
+        sh.injected += 1;
+        sh.backlogPeak = std::max<uint64_t>(sh.backlogPeak,
+                                            sh.queue.size());
+        rt.condSignal(sh.qcv);
+        rt.mutexUnlock(sh.qm);
+    }
+}
+
+void
+Service::processRequest(Shard &sh, const Req &rq)
+{
+    // Parse / application work happens outside any lock, so helper
+    // workers genuinely add service capacity.
+    uint64_t stamp = rt.read<uint64_t>(rq.payload);
+    if (cfg.serviceCompute > 0)
+        rt.compute(cfg.serviceCompute);
+
+    if (rq.op == Op::Put) {
+        sh.tlock->wrLock();
+        bool found = false;
+        size_t i = probe(sh, rq.key, &found);
+        panic_if(!found, "service: PUT of unloaded key {}", rq.key);
+        GAddr old = sh.table.read(2 * i + 1);
+        if (cfg.preallocValues) {
+            rt.write<uint64_t>(old, stamp ^ rq.key);
+            sh.tlock->unlock();
+        } else {
+            GAddr v = rt.malloc(cfg.valueBytes);
+            rt.write<uint64_t>(v, stamp ^ rq.key);
+            sh.table.write(2 * i + 1, v);
+            sh.tlock->unlock();
+            rt.free(old); // unreferenced now; churn outside the lock
+        }
+        sh.puts += 1;
+        sh.hits += 1;
+    } else {
+        sh.tlock->rdLock();
+        bool found = false;
+        size_t i = probe(sh, rq.key, &found);
+        uint64_t v = 0;
+        if (found)
+            v = rt.read<uint64_t>(sh.table.read(2 * i + 1));
+        sh.tlock->unlock();
+        sh.gets += 1;
+        if (found) {
+            sh.hits += 1;
+            sh.checksum ^= mixHash(v + rq.key);
+        } else {
+            panic_if(rq.op != Op::GetMiss,
+                     "service: loaded key {} not found", rq.key);
+            sh.misses += 1;
+        }
+    }
+
+    if (!cfg.preallocValues)
+        rt.free(rq.payload);
+
+    Tick done = rt.now();
+    double us = sim::toUs(done - (epoch_ + rq.arrival));
+    sh.latAll.sample(us);
+    if (rq.op == Op::Put)
+        sh.latPut.sample(us);
+    else
+        sh.latGet.sample(us);
+    if (arrivedInBurst(rq.arrival))
+        sh.latBurst.sample(us);
+    sh.lastDone = std::max(sh.lastDone, done);
+    sh.completed += 1;
+}
+
+void
+Service::workerLoop(Shard &sh, bool helper)
+{
+    std::vector<Req> batch;
+    while (true) {
+        rt.mutexLock(sh.qm);
+        while (sh.queue.empty() && !sh.stop &&
+               !(helper && sh.helperStop) && !(!helper && sh.compact)) {
+            rt.condWait(sh.qcv, sh.qm);
+        }
+        if (helper && sh.helperStop) {
+            rt.mutexUnlock(sh.qm);
+            return;
+        }
+        if (!helper && sh.compact) {
+            sh.compact = false;
+            rt.mutexUnlock(sh.qm);
+            compactShard(sh);
+            continue;
+        }
+        if (sh.queue.empty()) { // stop is set and the queue drained
+            rt.mutexUnlock(sh.qm);
+            return;
+        }
+        batch.clear();
+        int take = std::min<int>(cfg.batchMax,
+                                 static_cast<int>(sh.queue.size()));
+        for (int i = 0; i < take; ++i) {
+            batch.push_back(sh.queue.front());
+            sh.queue.pop_front();
+        }
+        rt.mutexUnlock(sh.qm);
+        for (const Req &rq : batch)
+            processRequest(sh, rq);
+    }
+}
+
+/**
+ * Rewrite every live value of the shard into a fresh block allocated
+ * from the primary worker's own pool, freeing the old block — the
+ * "session rehydration" sweep of scale-in. After it, no value block of
+ * this shard lives on a helper node's pool slab, so drainAllocPools()
+ * can release those slabs and the spare node's home-byte account
+ * reaches zero (the detach gate).
+ */
+void
+Service::compactShard(Shard &sh)
+{
+    for (uint64_t k = sh.keyLo; k < sh.keyHi; ++k) {
+        sh.tlock->wrLock();
+        bool found = false;
+        size_t i = probe(sh, k, &found);
+        if (found) {
+            GAddr old = sh.table.read(2 * i + 1);
+            uint64_t v = rt.read<uint64_t>(old);
+            GAddr nv = rt.malloc(cfg.valueBytes);
+            rt.write<uint64_t>(nv, v);
+            sh.table.write(2 * i + 1, nv);
+            sh.tlock->unlock();
+            rt.free(old);
+        } else {
+            sh.tlock->unlock();
+        }
+    }
+    sh.compactDone = true;
+}
+
+void
+Service::scaleIn(net::NodeId spare, const std::vector<int> &helped,
+                 std::vector<int> &helperTids)
+{
+    events.push_back({"scale_in", spare, rt.now(), -1});
+    for (int s : helped) {
+        Shard &sh = shards[s];
+        rt.mutexLock(sh.qm);
+        sh.helperStop = true;
+        rt.condBroadcast(sh.qcv);
+        rt.mutexUnlock(sh.qm);
+    }
+    for (int tid : helperTids)
+        rt.join(tid);
+    helperTids.clear();
+
+    // Evict shard values off the spare node's pool slabs, then release
+    // the empty slabs and decommission the node.
+    for (int s : helped) {
+        Shard &sh = shards[s];
+        rt.mutexLock(sh.qm);
+        sh.compactDone = false;
+        sh.compact = true;
+        rt.condBroadcast(sh.qcv);
+        rt.mutexUnlock(sh.qm);
+    }
+    while (true) {
+        bool all = true;
+        for (int s : helped)
+            all = all && shards[s].compactDone;
+        if (all)
+            break;
+        rt.compute(cfg.scale.pollInterval);
+    }
+    rt.drainAllocPools();
+    // Epoch-heat may have migrated hot value pages *to* the spare while
+    // the helpers hammered them; pull any survivors back to the master
+    // (the decommissioning sweep) so the home-byte gate can pass.
+    rt.evacuateNode(spare);
+    bool detached = rt.detachIfIdle(spare) || !rt.nodeAttached(spare);
+    if (detached)
+        events.push_back({"detach", spare, rt.now(), -1});
+    for (int s : helped)
+        shards[s].helperStop = false;
+}
+
+void
+Service::autoscalerLoop()
+{
+    const net::NodeId spare =
+        1 + static_cast<net::NodeId>(cfg.serviceNodes);
+    int episodes = 0;
+    bool scaled = false;
+    std::vector<int> helped;
+    std::vector<int> helperTids;
+
+    while (true) {
+        rt.compute(cfg.scale.pollInterval);
+        if (!scaled) {
+            if (drained)
+                break;
+            if (episodes >= cfg.scale.maxEvents)
+                continue;
+            uint64_t maxBacklog = 0;
+            for (Shard &sh : shards)
+                maxBacklog = std::max<uint64_t>(
+                    maxBacklog, sh.injected - sh.completed);
+            if (maxBacklog <
+                static_cast<uint64_t>(cfg.scale.upBacklog))
+                continue;
+
+            events.push_back({"scale_out", spare, rt.now(), -1});
+            rt.preAttachNodes(1); // overlapped attach of the spare
+
+            // Hottest shards by backlog (ties by id) get a helper
+            // worker each on the spare node. threadCreateOn waits out
+            // the in-flight attach before the first helper starts.
+            std::vector<int> order(shards.size());
+            for (size_t i = 0; i < order.size(); ++i)
+                order[i] = static_cast<int>(i);
+            std::sort(order.begin(), order.end(), [&](int a, int b) {
+                uint64_t ba = shards[a].injected - shards[a].completed;
+                uint64_t bb = shards[b].injected - shards[b].completed;
+                return ba != bb ? ba > bb : a < b;
+            });
+            helped.clear();
+            int n = std::min<int>(cfg.scale.helpers,
+                                  static_cast<int>(shards.size()));
+            for (int i = 0; i < n; ++i)
+                helped.push_back(order[i]);
+            for (int s : helped) {
+                Shard *sh = &shards[s];
+                helperTids.push_back(rt.threadCreateOn(
+                    spare, [this, sh]() { workerLoop(*sh, true); }));
+                events.push_back({"helpers_up", spare, rt.now(), s});
+            }
+            scaled = true;
+            episodes += 1;
+        } else {
+            uint64_t hot = 0;
+            for (int s : helped)
+                hot = std::max<uint64_t>(
+                    hot, shards[s].injected - shards[s].completed);
+            if (drained ||
+                hot <= static_cast<uint64_t>(cfg.scale.downBacklog)) {
+                scaleIn(spare, helped, helperTids);
+                scaled = false;
+                if (drained)
+                    break;
+            }
+        }
+    }
+    scalerDone = true;
+}
+
+void
+Service::run(ServiceResult &res)
+{
+    buildSchedule();
+    setupShards();
+    preload();
+
+    // Overlap the worker nodes' attach sequences: without this the
+    // serial threadCreateOn attaches cost serviceNodes * ~3.7 virtual
+    // seconds before the first request can be served.
+    if (cfg.backend == cs::Backend::CableS)
+        rt.preAttachNodes(cfg.serviceNodes);
+
+    // Primary workers, pinned: the shard-to-node map is policy.
+    std::vector<int> workerTids;
+    for (Shard &sh : shards) {
+        Shard *p = &sh;
+        workerTids.push_back(rt.threadCreateOn(
+            sh.node, [this, p]() { workerLoop(*p, false); }));
+    }
+
+    int scalerTid = -1;
+    bool scaling = cfg.scale.enabled &&
+                   cfg.backend == cs::Backend::CableS &&
+                   cfg.spareNodes > 0;
+    if (scaling) {
+        scalerDone = false;
+        scalerTid =
+            rt.threadCreateOn(0, [this]() { autoscalerLoop(); });
+    }
+
+    // The schedule's t=0 is the moment the service is up: attach and
+    // bulk-load time is provisioning, not request latency.
+    epoch_ = rt.now();
+
+    std::vector<int> clientTids;
+    for (int c = 0; c < cfg.clients; ++c) {
+        clientTids.push_back(
+            rt.threadCreateOn(0, [this, c]() { clientLoop(c); }));
+    }
+    for (int tid : clientTids)
+        rt.join(tid);
+
+    // Open-loop drain: poll until every injected request completed.
+    while (true) {
+        uint64_t done = 0;
+        for (Shard &sh : shards)
+            done += sh.completed;
+        if (done == cfg.requests)
+            break;
+        rt.compute(cfg.scale.pollInterval);
+    }
+    drained = true;
+    if (scalerTid >= 0)
+        rt.join(scalerTid); // winds down any active scale-out first
+
+    for (Shard &sh : shards) {
+        rt.mutexLock(sh.qm);
+        sh.stop = true;
+        rt.condBroadcast(sh.qcv);
+        rt.mutexUnlock(sh.qm);
+    }
+    for (int tid : workerTids)
+        rt.join(tid);
+
+    // Aggregate in shard order (engine-mode invariant).
+    for (Shard &sh : shards) {
+        res.injected += sh.injected;
+        res.completed += sh.completed;
+        res.gets += sh.gets;
+        res.puts += sh.puts;
+        res.hits += sh.hits;
+        res.misses += sh.misses;
+        res.checksum ^= sh.checksum;
+        res.makespan = std::max(res.makespan,
+                                std::max<Tick>(sh.lastDone - epoch_, 0));
+        res.latAll.merge(sh.latAll);
+        res.latGet.merge(sh.latGet);
+        res.latPut.merge(sh.latPut);
+        res.latBurst.merge(sh.latBurst);
+        res.shards.push_back(
+            {sh.id, sh.node, sh.completed, sh.backlogPeak});
+    }
+    res.events = events;
+    for (ScaleEvent &e : res.events)
+        e.at = std::max<Tick>(e.at - epoch_, 0);
+}
+
+} // namespace
+
+cs::ClusterConfig
+ServiceConfig::clusterConfig() const
+{
+    cs::ClusterConfig c;
+    c.backend = backend;
+    c.nodes = 1 + serviceNodes + spareNodes;
+    int workersPerNode = (shards + serviceNodes - 1) / serviceNodes;
+    int masterThreads = 1 + clients + (scale.enabled ? 1 : 0);
+    c.procsPerNode = std::max(
+        {masterThreads, workersPerNode, scale.enabled ? scale.helpers : 1});
+    c.maxThreadsPerNode = c.procsPerNode;
+    size_t tableBytes = keys * 4 * 2 * sizeof(uint64_t);
+    // Without the pools every value and payload burns a whole page
+    // (legacy allocations are page-aligned), so the legacy ablation
+    // needs a footprint sized in pages, not bytes.
+    size_t perValue = poolEnabled ? size_t(valueBytes) * 4
+                                  : svm::pageSize * 2;
+    size_t valueFootprint = keys * perValue;
+    c.sharedBytes = std::max<size_t>(
+        64u * 1024 * 1024, nextPow2(tableBytes + valueFootprint) * 2);
+    c.placement = cs::Placement::FirstTouch;
+    c.pool.enabled = poolEnabled;
+    c.proto.placement.policy = migration;
+    c.seed = seed;
+    return c;
+}
+
+int
+ServiceConfig::shardOf(uint64_t key) const
+{
+    uint64_t k = key >= keys ? key - keys : key; // miss keys share shards
+    uint64_t perShard = (keys + shards - 1) / shards;
+    int s = static_cast<int>(k / perShard);
+    return s >= shards ? shards - 1 : s;
+}
+
+void
+ServiceConfig::normalize()
+{
+    fatal_if(shards < 1 || serviceNodes < 1 || clients < 1,
+             "service: shards/serviceNodes/clients must be >= 1");
+    fatal_if(keys < static_cast<uint64_t>(shards),
+             "service: need at least one key per shard");
+    fatal_if(readPct < 0 || readPct > 100, "service: readPct {} out of "
+             "range", readPct);
+    if (backend == cs::Backend::BaseSvm) {
+        preallocValues = true; // no dynamic alloc/free on the base SVM
+        scale.enabled = false; // every node is attached at init
+    }
+    if (arrival.kind == ArrivalSpec::Kind::Poisson) {
+        arrival.burstRateRps = 0.0;
+        arrival.burstStart = 0;
+        arrival.burstLen = 0;
+    }
+}
+
+ServiceResult
+runService(const ServiceConfig &cfg_in, const sim::EngineConfig &engine,
+           const ServiceHooks &hooks)
+{
+    ServiceConfig cfg = cfg_in;
+    cfg.normalize();
+
+    Runtime rt(cfg.clusterConfig(), engine);
+    if (hooks.tracer)
+        rt.setTracer(hooks.tracer);
+    if (hooks.checker)
+        rt.setChecker(hooks.checker);
+    std::unique_ptr<svm::InvariantOracle> oracle;
+    if (hooks.oracle) {
+        oracle = std::make_unique<svm::InvariantOracle>(rt.engine());
+        rt.setOracle(oracle.get());
+    }
+
+    ServiceResult res;
+    Service service(rt, cfg);
+    rt.run([&]() { service.run(res); });
+
+    if (oracle) {
+        res.oracleClean = oracle->violations().empty();
+        res.oracleViolations = oracle->violations().size();
+    }
+    res.metrics = rt.metricsSnapshot();
+    return res;
+}
+
+} // namespace svc
+} // namespace cables

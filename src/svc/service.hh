@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Sharded in-memory key-value / session service built entirely on the
+ * CableS pthreads API — the request-driven workload family the paper's
+ * headline mechanisms (pthread_create at arbitrary times, dynamic node
+ * attach/detach, ACB remote operations) exist to serve, and which the
+ * barrier-synchronized SPLASH suite cannot exercise.
+ *
+ * Architecture (DESIGN.md §15):
+ *
+ *  - The key space is range-partitioned into shards. Each shard owns
+ *    an open-addressed hash table in cs_malloc'd shared memory plus a
+ *    host-side request queue guarded by a CableS mutex / condition
+ *    pair (the same split as examples/dynamic_server.cpp: control
+ *    state host-side like any runtime library, payloads in SVM).
+ *  - One primary worker thread per shard, pinned with
+ *    Runtime::threadCreateOn() so the thread-to-data mapping is a
+ *    policy decision, not an accident of round-robin placement.
+ *  - An open-loop client tier on the master node replays a
+ *    precomputed arrival schedule (Poisson or bursty, Zipfian keys,
+ *    reader/writer mix) in virtual time: clients never wait for
+ *    completions, so queueing delay shows up as latency exactly as in
+ *    a real overloaded service.
+ *  - GET takes the shard table's read lock; PUT takes the write lock,
+ *    allocates a fresh value block from the per-node allocator pools
+ *    and frees the old one — the per-request churn ROADMAP item 3
+ *    wanted the pools wired under.
+ *  - Elastic scale-out: an autoscaler thread polls shard backlogs; on
+ *    a sustained spike it attaches a spare node (overlapped attach)
+ *    and spawns helper workers for the hottest shards there. On drain
+ *    it retires the helpers, compacts shard values off the spare
+ *    node's pool slabs, drains the empty slabs and detaches the node
+ *    with Runtime::detachIfIdle().
+ *
+ * The whole run happens in deterministic virtual time: identical
+ * configurations produce byte-identical ServiceResult reports on the
+ * serial and the parallel engine.
+ */
+
+#ifndef CABLES_SVC_SERVICE_HH
+#define CABLES_SVC_SERVICE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cables/params.hh"
+#include "sim/engine_config.hh"
+#include "sim/ticks.hh"
+#include "util/metrics.hh"
+#include "util/stats.hh"
+
+namespace cables {
+
+namespace sim {
+class Tracer;
+}
+namespace check {
+class Checker;
+}
+
+namespace svc {
+
+/** Arrival process of the open-loop client tier. */
+struct ArrivalSpec
+{
+    enum class Kind { Poisson, Burst };
+
+    Kind kind = Kind::Poisson;
+    double rateRps = 50000.0;      ///< base arrival rate (requests/s)
+    double burstRateRps = 0.0;     ///< rate inside the burst window
+    sim::Tick burstStart = 0;      ///< burst window start (virtual ns)
+    sim::Tick burstLen = 0;        ///< burst window length (virtual ns)
+};
+
+/** Autoscaler policy (CableS backend only). */
+struct ScaleSpec
+{
+    bool enabled = false;
+    int upBacklog = 192;      ///< per-shard backlog that triggers scale-out
+    int downBacklog = 8;      ///< hot-shard backlog that triggers scale-in
+    sim::Tick pollInterval = 500 * sim::US;
+    int helpers = 2;          ///< helper workers spawned on the spare node
+    int maxEvents = 1;        ///< scale-out episodes allowed per run
+};
+
+/** Service + workload shape. The cluster topology is derived:
+ *  node 0 is the master (clients, autoscaler, loader), nodes
+ *  1..serviceNodes host the primary shard workers, and the next
+ *  spareNodes nodes are scale-out spares, unattached until needed. */
+struct ServiceConfig
+{
+    cs::Backend backend = cs::Backend::CableS;
+    int shards = 4;
+    int serviceNodes = 2;
+    int spareNodes = 1;
+    int clients = 2;
+    uint64_t keys = 8192;
+    size_t valueBytes = 192;   ///< session record (pool size class)
+    size_t payloadBytes = 64;  ///< request payload written by the client
+    int readPct = 90;          ///< GET share; the rest are PUTs
+    int missPct = 2;           ///< share of GETs probing absent keys
+    double zipfTheta = 0.99;   ///< key popularity skew
+    uint64_t requests = 100000;
+    ArrivalSpec arrival;
+    ScaleSpec scale;
+    sim::Tick serviceCompute = 2 * sim::US; ///< app work outside the lock
+    int batchMax = 32;         ///< requests a worker pops per wakeup
+    uint64_t seed = 1;
+    bool poolEnabled = true;   ///< PR-8 allocator pools (false = legacy A/B)
+    svm::MigrationPolicy migration = svm::MigrationPolicy::EpochHeat;
+    /**
+     * Preallocate every value slot and payload buffer up front and
+     * update them in place (no cs_malloc/cs_free after startup).
+     * Forced on for the base SVM backend, which forbids both dynamic
+     * allocation after init and freeing; available on CableS for A/B.
+     */
+    bool preallocValues = false;
+
+    /** The modelled cluster this configuration needs. */
+    cs::ClusterConfig clusterConfig() const;
+    /** shards' keys are range-partitioned: shard of @p key. */
+    int shardOf(uint64_t key) const;
+    /** Validate and normalize (e.g. force prealloc on BaseSvm). */
+    void normalize();
+};
+
+/** One autoscaler action, for the report's scale_events array. */
+struct ScaleEvent
+{
+    std::string kind; ///< scale_out | helpers_up | scale_in | detach
+    net::NodeId node = net::InvalidNode;
+    sim::Tick at = 0;
+    int shard = -1;   ///< helped shard, or -1
+};
+
+/** Per-shard outcome. */
+struct ShardSummary
+{
+    int shard = 0;
+    net::NodeId node = net::InvalidNode; ///< primary worker's node
+    uint64_t completed = 0;
+    uint64_t backlogPeak = 0;
+};
+
+/** Everything one service run produced. */
+struct ServiceResult
+{
+    uint64_t injected = 0;
+    uint64_t completed = 0;
+    uint64_t gets = 0;
+    uint64_t puts = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    sim::Tick makespan = 0;     ///< last completion (virtual ns)
+    Stat latAll;                ///< completion latency, µs
+    Stat latGet;
+    Stat latPut;
+    Stat latBurst;              ///< requests arriving inside the burst
+    std::vector<ShardSummary> shards;
+    std::vector<ScaleEvent> events;
+    uint64_t checksum = 0;      ///< xor of every value read (GET path)
+    bool oracleClean = true;    ///< with hooks.oracle only
+    size_t oracleViolations = 0;
+    metrics::Snapshot metrics;  ///< runtime metrics snapshot
+
+    double
+    throughputRps() const
+    {
+        return makespan > 0
+                   ? static_cast<double>(completed) / sim::toSec(makespan)
+                   : 0.0;
+    }
+};
+
+/** Optional instrumentation for a run. */
+struct ServiceHooks
+{
+    sim::Tracer *tracer = nullptr;    ///< caller-owned span/trace sink
+    check::Checker *checker = nullptr; ///< caller-owned race checker
+    bool oracle = false;              ///< audit with the invariant oracle
+};
+
+/**
+ * Run the service to completion (inject cfg.requests, drain, tear
+ * down) on a fresh Runtime and return the outcome. Deterministic:
+ * identical (cfg, engine) pairs produce identical results on any
+ * engine mode.
+ */
+ServiceResult runService(const ServiceConfig &cfg,
+                         const sim::EngineConfig &engine,
+                         const ServiceHooks &hooks = {});
+
+} // namespace svc
+} // namespace cables
+
+#endif // CABLES_SVC_SERVICE_HH

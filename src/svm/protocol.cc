@@ -112,6 +112,8 @@ Protocol::migratePage(PageId page, NodeId new_home)
     ++stats[new_home].homeBindings;
     if (oracle_)
         oracle_->pageMigrated(page, old, new_home);
+    if (migrateHook)
+        migrateHook(page, old, new_home);
 
     if (tracer_) {
         util::Json args = util::Json::object();
@@ -121,6 +123,21 @@ Protocol::migratePage(PageId page, NodeId new_home)
         tracer_->instant(engine.now(), new_home, traceTid(), "svm",
                          "migrate", std::move(args));
     }
+}
+
+size_t
+Protocol::evacuateNode(NodeId from, NodeId to)
+{
+    size_t moved = 0;
+    for (PageId p = 0; p < static_cast<PageId>(pageCount); ++p) {
+        if (homes[p] != from)
+            continue;
+        migratePage(p, to);
+        if (placement_)
+            placement_->noteMigrated(p, to);
+        ++moved;
+    }
+    return moved;
 }
 
 int32_t

@@ -150,6 +150,18 @@ class Protocol
 
     void setFetchHook(FetchHook h) { fetchHook = std::move(h); }
 
+    /**
+     * Hook invoked after a page's home migrates; lets the
+     * memory-management layer move the page's bytes between the old
+     * and new homes' registered protocol regions. Without it, a
+     * migrated-away page stays charged to its first-touch home
+     * forever and the node can never be decommissioned.
+     */
+    using MigrateHook =
+        std::function<void(PageId page, NodeId from, NodeId to)>;
+
+    void setMigrateHook(MigrateHook h) { migrateHook = std::move(h); }
+
     /// @name Page table
     /// @{
 
@@ -172,6 +184,14 @@ class Protocol
      * the caller, who must run on @p new_home.
      */
     void migratePage(PageId page, NodeId new_home);
+
+    /**
+     * Migrate every page homed at @p from to @p to — the node
+     * decommissioning sweep: a departing node's primary copies must
+     * move before its memory can be released. The caller must run on
+     * @p to (migratePage's contract). Returns pages moved.
+     */
+    size_t evacuateNode(NodeId from, NodeId to);
 
     /// @}
 
@@ -306,6 +326,7 @@ class Protocol
 
     HomeBinder homeBinder;
     FetchHook fetchHook;
+    MigrateHook migrateHook;
 
     std::vector<int16_t> homes;           // per page
     std::vector<uint32_t> versions;       // per page

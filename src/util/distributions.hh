@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Seeded workload distributions for the synthetic service tier: a
+ * Zipfian key-popularity generator and Poisson / bursty open-loop
+ * arrival processes. Everything runs on cables::Random (xoshiro256**)
+ * and double arithmetic over deterministic inputs, so identical seeds
+ * produce bit-identical streams on every platform — the same property
+ * the rest of the simulator relies on for byte-identical reports.
+ *
+ * Durations are plain int64_t nanoseconds (the same unit as sim::Tick)
+ * so this header stays below the sim layer in the include DAG.
+ */
+
+#ifndef CABLES_UTIL_DISTRIBUTIONS_HH
+#define CABLES_UTIL_DISTRIBUTIONS_HH
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace cables {
+
+/**
+ * Unit-mean exponential variate by inverse-CDF. The uniform is drawn
+ * from (0, 1] (never exactly 0) so the log is always finite.
+ */
+inline double
+expVariate(Random &rng)
+{
+    double u = ((rng.next() >> 11) + 1) * (1.0 / 9007199254740992.0);
+    return -std::log(u);
+}
+
+/**
+ * Zipfian rank generator over [0, n) with skew parameter theta in
+ * (0, 1), after Gray et al. ("Quickly generating billion-record
+ * synthetic databases", SIGMOD '94) — the same sampler YCSB uses.
+ * Rank 0 is the most popular key; P(rank = k) is proportional to
+ * 1 / (k+1)^theta. Construction is O(n) (one zeta sum); next() is
+ * O(1). theta = 0.99 reproduces the classic YCSB hot-key skew.
+ */
+class ZipfGenerator
+{
+  public:
+    ZipfGenerator(uint64_t n, double theta) : n_(n), theta_(theta)
+    {
+        fatal_if(n == 0, "ZipfGenerator needs a non-empty key space");
+        fatal_if(!(theta > 0.0) || !(theta < 1.0),
+                 "ZipfGenerator theta must be in (0, 1), got {}", theta);
+        zetan_ = zeta(n, theta);
+        zeta2_ = zeta(2, theta);
+        alpha_ = 1.0 / (1.0 - theta);
+        eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+               (1.0 - zeta2_ / zetan_);
+    }
+
+    /** Next rank in [0, n), most popular first. */
+    uint64_t
+    next(Random &rng)
+    {
+        double u = rng.real();
+        double uz = u * zetan_;
+        if (uz < 1.0)
+            return 0;
+        if (uz < 1.0 + std::pow(0.5, theta_))
+            return 1;
+        auto rank = static_cast<uint64_t>(
+            static_cast<double>(n_) *
+            std::pow(eta_ * u - eta_ + 1.0, alpha_));
+        return rank >= n_ ? n_ - 1 : rank;
+    }
+
+    uint64_t n() const { return n_; }
+
+    /** Expected probability of the most popular rank (for tests). */
+    double topProbability() const { return 1.0 / zetan_; }
+
+  private:
+    static double
+    zeta(uint64_t n, double theta)
+    {
+        double z = 0.0;
+        for (uint64_t i = 1; i <= n; ++i)
+            z += 1.0 / std::pow(static_cast<double>(i), theta);
+        return z;
+    }
+
+    uint64_t n_;
+    double theta_;
+    double zetan_;
+    double zeta2_;
+    double alpha_;
+    double eta_;
+};
+
+/**
+ * Open-loop arrival process with a piecewise-constant rate: a base
+ * Poisson rate, optionally overridden by a burst rate inside the
+ * window [burstStart, burstStart + burstLen). Sampling uses piecewise
+ * inversion — draw an exponential gap at the current rate and, if it
+ * crosses a rate boundary, restart from the boundary at the new rate —
+ * which is the exact thinning-free sampler for piecewise-constant
+ * intensity functions. next() returns strictly increasing absolute
+ * arrival times in nanoseconds.
+ */
+class ArrivalProcess
+{
+  public:
+    /** Homogeneous Poisson arrivals at @p ratePerSec requests/second. */
+    explicit ArrivalProcess(double ratePerSec)
+        : ArrivalProcess(ratePerSec, ratePerSec, 0, 0)
+    {
+    }
+
+    /** Bursty arrivals: @p burstRatePerSec inside the burst window. */
+    ArrivalProcess(double ratePerSec, double burstRatePerSec,
+                   int64_t burstStartNs, int64_t burstLenNs)
+        : base_(ratePerSec), burst_(burstRatePerSec),
+          burstStart_(burstStartNs), burstEnd_(burstStartNs + burstLenNs)
+    {
+        fatal_if(!(ratePerSec > 0.0),
+                 "ArrivalProcess rate must be positive, got {}",
+                 ratePerSec);
+        fatal_if(burstLenNs > 0 && !(burstRatePerSec > 0.0),
+                 "ArrivalProcess burst rate must be positive, got {}",
+                 burstRatePerSec);
+    }
+
+    /** Rate in effect at absolute time @p ns. */
+    double
+    rateAt(int64_t ns) const
+    {
+        return (ns >= burstStart_ && ns < burstEnd_) ? burst_ : base_;
+    }
+
+    /** Next absolute arrival time in nanoseconds. */
+    int64_t
+    next(Random &rng)
+    {
+        double gap = expVariate(rng);
+        // Spend the unit-exponential across rate segments: a segment of
+        // length L at rate r consumes r * L units of integrated rate.
+        while (true) {
+            double r = rateAt(now_);
+            int64_t edge = nextEdge(now_);
+            double gapNs = gap / r * 1e9;
+            if (edge < 0 ||
+                gapNs <= static_cast<double>(edge - now_)) {
+                int64_t step = static_cast<int64_t>(gapNs);
+                now_ += step < 1 ? 1 : step; // strictly monotone
+                return now_;
+            }
+            gap -= r * static_cast<double>(edge - now_) * 1e-9;
+            now_ = edge;
+        }
+    }
+
+  private:
+    /** Next rate-change boundary after @p ns, or -1 if none. */
+    int64_t
+    nextEdge(int64_t ns) const
+    {
+        if (burstEnd_ <= burstStart_)
+            return -1;
+        if (ns < burstStart_)
+            return burstStart_;
+        if (ns < burstEnd_)
+            return burstEnd_;
+        return -1;
+    }
+
+    double base_;
+    double burst_;
+    int64_t burstStart_;
+    int64_t burstEnd_;
+    int64_t now_ = 0;
+};
+
+/**
+ * Mixed 64-bit hash (SplitMix64 finalizer): maps a key id to a slot or
+ * shard deterministically with good avalanche behaviour.
+ */
+inline uint64_t
+mixHash(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace cables
+
+#endif // CABLES_UTIL_DISTRIBUTIONS_HH

@@ -79,6 +79,7 @@ statJson(const Stat &s)
     j.set("p50", s.p50());
     j.set("p90", s.p90());
     j.set("p99", s.p99());
+    j.set("p999", s.p999());
     return j;
 }
 

@@ -104,6 +104,7 @@ class Stat
     double p50() const { return percentile(50.0); }
     double p90() const { return percentile(90.0); }
     double p99() const { return percentile(99.0); }
+    double p999() const { return percentile(99.9); }
 
     /** Merge another accumulator into this one (exact). */
     void

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Statistical unit tests for the workload distributions behind the
+ * service tier: the Zipfian key generator, the Poisson / bursty
+ * open-loop arrival process and the mixing hash. Each property is
+ * checked on a seeded stream, so the tolerances are deterministic —
+ * a failure is a code change, never sampling noise.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/distributions.hh"
+#include "util/random.hh"
+
+using namespace cables;
+
+namespace {
+constexpr int64_t kSecNs = 1000000000LL;
+}
+
+// ---------------------------------------------------------------------
+// Determinism
+// ---------------------------------------------------------------------
+
+TEST(Distributions, IdenticalSeedsProduceIdenticalStreams)
+{
+    ZipfGenerator za(8192, 0.99), zb(8192, 0.99);
+    Random ra(42), rb(42);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_EQ(za.next(ra), zb.next(rb)) << "at draw " << i;
+
+    ArrivalProcess pa(50000.0), pb(50000.0);
+    Random ca(7), cb(7);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_EQ(pa.next(ca), pb.next(cb)) << "at arrival " << i;
+}
+
+TEST(Distributions, DifferentSeedsDiverge)
+{
+    ZipfGenerator z(8192, 0.99);
+    Random ra(1), rb(2);
+    int same = 0;
+    for (int i = 0; i < 1000; ++i)
+        same += z.next(ra) == z.next(rb) ? 1 : 0;
+    // Skewed streams share hot keys, but full agreement means the
+    // seed is being ignored.
+    EXPECT_LT(same, 1000);
+}
+
+// ---------------------------------------------------------------------
+// Zipfian generator
+// ---------------------------------------------------------------------
+
+TEST(Distributions, ZipfTopRankMatchesTheoreticalProbability)
+{
+    const uint64_t n = 1000;
+    const int draws = 200000;
+    ZipfGenerator z(n, 0.99);
+    Random rng(3);
+    std::vector<int> counts(n, 0);
+    for (int i = 0; i < draws; ++i)
+        ++counts[z.next(rng)];
+    double top = static_cast<double>(counts[0]) / draws;
+    // ~27% for n=1000, theta=.99; allow 10% relative slack.
+    EXPECT_NEAR(top, z.topProbability(), 0.1 * z.topProbability());
+    // Popularity must decay with rank (coarse head checks).
+    EXPECT_GT(counts[0], counts[1]);
+    EXPECT_GT(counts[1], counts[10]);
+    EXPECT_GT(counts[10], counts[100]);
+}
+
+TEST(Distributions, ZipfStaysInRange)
+{
+    const uint64_t n = 257; // off power-of-two on purpose
+    ZipfGenerator z(n, 0.5);
+    Random rng(9);
+    for (int i = 0; i < 50000; ++i)
+        ASSERT_LT(z.next(rng), n);
+}
+
+TEST(Distributions, ZipfLowThetaIsNearUniform)
+{
+    const uint64_t n = 16;
+    const int draws = 160000;
+    ZipfGenerator z(n, 0.01);
+    Random rng(11);
+    std::vector<int> counts(n, 0);
+    for (int i = 0; i < draws; ++i)
+        ++counts[z.next(rng)];
+    // Every rank within 25% of the uniform share.
+    for (uint64_t k = 0; k < n; ++k) {
+        EXPECT_GT(counts[k], draws / 16 * 3 / 4) << "rank " << k;
+        EXPECT_LT(counts[k], draws / 16 * 5 / 4) << "rank " << k;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Arrival process
+// ---------------------------------------------------------------------
+
+TEST(Distributions, PoissonMeanGapMatchesRate)
+{
+    const double rate = 1000.0; // 1 req/ms
+    ArrivalProcess p(rate);
+    Random rng(5);
+    const int n = 100000;
+    int64_t last = 0;
+    for (int i = 0; i < n; ++i)
+        last = p.next(rng);
+    double meanGapNs = static_cast<double>(last) / n;
+    EXPECT_NEAR(meanGapNs, 1e9 / rate, 0.02 * (1e9 / rate));
+}
+
+TEST(Distributions, ArrivalsAreStrictlyMonotone)
+{
+    ArrivalProcess p(5e8); // gaps of ~2 ns force the monotone clamp
+    Random rng(13);
+    int64_t prev = -1;
+    for (int i = 0; i < 20000; ++i) {
+        int64_t t = p.next(rng);
+        ASSERT_GT(t, prev) << "at arrival " << i;
+        prev = t;
+    }
+}
+
+TEST(Distributions, BurstWindowCarriesTheBurstRate)
+{
+    const double base = 1000.0, burst = 5000.0;
+    const int64_t start = 2 * kSecNs, len = 2 * kSecNs;
+    ArrivalProcess p(base, burst, start, len);
+    Random rng(17);
+    // Count arrivals per region over a long horizon.
+    int64_t t = 0;
+    int64_t before = 0, inside = 0, after = 0;
+    while ((t = p.next(rng)) < 10 * kSecNs) {
+        if (t < start)
+            ++before;
+        else if (t < start + len)
+            ++inside;
+        else
+            ++after;
+    }
+    // Expected: 2000 before, 10000 inside, 6000 after (5% slack).
+    EXPECT_NEAR(static_cast<double>(before), 2000.0, 150.0);
+    EXPECT_NEAR(static_cast<double>(inside), 10000.0, 500.0);
+    EXPECT_NEAR(static_cast<double>(after), 6000.0, 400.0);
+    EXPECT_EQ(p.rateAt(start - 1), base);
+    EXPECT_EQ(p.rateAt(start), burst);
+    EXPECT_EQ(p.rateAt(start + len - 1), burst);
+    EXPECT_EQ(p.rateAt(start + len), base);
+}
+
+TEST(Distributions, RateEdgeIsCrossedExactly)
+{
+    // A near-zero base rate with a hot burst: the first arrival must
+    // land inside the burst window (the residual exponential restarts
+    // at the boundary), never before it.
+    const int64_t start = kSecNs;
+    ArrivalProcess p(1e-3, 1e6, start, kSecNs);
+    Random rng(19);
+    int64_t first = p.next(rng);
+    EXPECT_GE(first, start);
+    EXPECT_LT(first, start + kSecNs);
+}
+
+// ---------------------------------------------------------------------
+// Mixing hash
+// ---------------------------------------------------------------------
+
+TEST(Distributions, MixHashBalancesSequentialKeysAcrossShards)
+{
+    const int shards = 4;
+    const int keys = 40000;
+    std::vector<int> counts(shards, 0);
+    for (int k = 0; k < keys; ++k)
+        ++counts[mixHash(static_cast<uint64_t>(k)) % shards];
+    for (int s = 0; s < shards; ++s) {
+        EXPECT_GT(counts[s], keys / shards * 9 / 10) << "shard " << s;
+        EXPECT_LT(counts[s], keys / shards * 11 / 10) << "shard " << s;
+    }
+}
+
+TEST(Distributions, MixHashIsAPermutationOnSmallDomains)
+{
+    // Scrambling ranks into keys must not collide modulo the keyspace
+    // more than a random map would; spot-check injectivity of the raw
+    // 64-bit hash on a small dense domain.
+    std::vector<uint64_t> out;
+    for (uint64_t k = 0; k < 4096; ++k)
+        out.push_back(mixHash(k));
+    std::sort(out.begin(), out.end());
+    EXPECT_EQ(std::unique(out.begin(), out.end()), out.end());
+}

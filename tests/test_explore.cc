@@ -162,14 +162,17 @@ TEST(Explore, DefaultDecisionsMatchSerialRun)
 
 TEST(Explore, RandomStrategyFindsDistinctSchedules)
 {
+    // Most random preemptions of PN commute back to the same final op
+    // order (spawn acks no longer serialize on the master NIC), so a
+    // single distinct-state hit needs a decent sample of schedules.
     check::ExploreConfig cfg;
     cfg.strategy = check::ExploreConfig::Strategy::Random;
-    cfg.schedules = 12;
+    cfg.schedules = 48;
     cfg.preemptionBound = 2;
     cfg.seed = 7;
     check::ExploreResult res = check::explore(cfg, pnRun());
     EXPECT_TRUE(res.clean());
-    EXPECT_EQ(res.schedulesRun, 12u);
+    EXPECT_EQ(res.schedulesRun, 48u);
     EXPECT_GT(res.distinctStates, 1u);
     EXPECT_GT(res.decisionPoints, 0u);
 }

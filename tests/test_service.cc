@@ -1,0 +1,315 @@
+/**
+ * @file
+ * Tests for the sharded KV/session service (src/svc): request
+ * accounting, determinism across engine modes and backends, the
+ * elasticity path (attach / helpers / compaction / detach mid-load)
+ * under the race checker and the protocol invariant oracle, and the
+ * cables-service-report schema round-trip.
+ *
+ * Workloads here are deliberately small (thousands of requests, not
+ * the bench's million) — the properties under test are structural,
+ * not statistical.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "check/checker.hh"
+#include "sim/engine_config.hh"
+#include "svc/report.hh"
+#include "svc/service.hh"
+
+using namespace cables;
+using sim::EngineConfig;
+using sim::MS;
+using sim::SEC;
+using sim::US;
+
+namespace {
+
+/** A small, fast service run: 2 shards on 2 nodes, a few thousand
+ *  requests at a rate the workers can absorb. */
+svc::ServiceConfig
+smallCfg(cs::Backend backend = cs::Backend::CableS)
+{
+    svc::ServiceConfig cfg;
+    cfg.backend = backend;
+    cfg.shards = 2;
+    cfg.serviceNodes = 2;
+    cfg.spareNodes = 1;
+    cfg.clients = 2;
+    cfg.keys = 2048;
+    cfg.requests = 4000;
+    cfg.arrival.rateRps = 20000.0;
+    cfg.seed = 7;
+    cfg.normalize();
+    return cfg;
+}
+
+/** A config whose burst trips the autoscaler quickly. */
+svc::ServiceConfig
+burstCfg()
+{
+    svc::ServiceConfig cfg = smallCfg();
+    cfg.requests = 6000;
+    cfg.arrival.kind = svc::ArrivalSpec::Kind::Burst;
+    cfg.arrival.rateRps = 1000.0;
+    cfg.arrival.burstRateRps = 8000.0;
+    cfg.arrival.burstStart = 100 * MS;
+    cfg.arrival.burstLen = 2 * SEC;
+    cfg.serviceCompute = 400 * US;
+    cfg.scale.enabled = true;
+    cfg.scale.upBacklog = 64;
+    cfg.normalize();
+    return cfg;
+}
+
+bool
+hasEvent(const svc::ServiceResult &res, const std::string &kind)
+{
+    for (const svc::ScaleEvent &e : res.events)
+        if (e.kind == kind)
+            return true;
+    return false;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Request accounting
+// ---------------------------------------------------------------------
+
+TEST(Service, EveryInjectedRequestCompletes)
+{
+    svc::ServiceConfig cfg = smallCfg();
+    svc::ServiceResult res = svc::runService(cfg, EngineConfig());
+    EXPECT_EQ(res.injected, cfg.requests);
+    EXPECT_EQ(res.completed, cfg.requests);
+    EXPECT_EQ(res.gets + res.puts, cfg.requests);
+    EXPECT_EQ(res.latAll.count(), cfg.requests);
+    EXPECT_GT(res.makespan, 0);
+    EXPECT_GT(res.throughputRps(), 0.0);
+    uint64_t perShard = 0;
+    for (const svc::ShardSummary &s : res.shards)
+        perShard += s.completed;
+    EXPECT_EQ(perShard, cfg.requests);
+}
+
+TEST(Service, MixAndMissKnobsShapeTheWorkload)
+{
+    svc::ServiceConfig cfg = smallCfg();
+    cfg.readPct = 70;
+    cfg.missPct = 10;
+    svc::ServiceResult res = svc::runService(cfg, EngineConfig());
+    // The op mix is drawn per request; expect the configured share
+    // within a few points on 4000 draws.
+    double readShare =
+        static_cast<double>(res.gets) / static_cast<double>(cfg.requests);
+    EXPECT_NEAR(readShare, 0.70, 0.05);
+    EXPECT_GT(res.misses, 0u);
+    EXPECT_GT(res.hits, res.misses);
+}
+
+// ---------------------------------------------------------------------
+// Determinism
+// ---------------------------------------------------------------------
+
+TEST(Service, RepeatRunsAreIdentical)
+{
+    svc::ServiceConfig cfg = smallCfg();
+    svc::ServiceResult a = svc::runService(cfg, EngineConfig());
+    svc::ServiceResult b = svc::runService(cfg, EngineConfig());
+    EXPECT_EQ(a.checksum, b.checksum);
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_TRUE(a.latAll == b.latAll);
+    util::Json da = svc::serviceReport("x", cfg, a);
+    util::Json db = svc::serviceReport("x", cfg, b);
+    EXPECT_EQ(da.dump(), db.dump());
+}
+
+TEST(Service, SerialAndParallelEnginesAgreeByteForByte)
+{
+    svc::ServiceConfig cfg = smallCfg();
+    svc::ServiceResult s = svc::runService(cfg, EngineConfig::serial());
+    svc::ServiceResult p =
+        svc::runService(cfg, EngineConfig::forThreads(4));
+    util::Json ds = svc::serviceReport("x", cfg, s);
+    util::Json dp = svc::serviceReport("x", cfg, p);
+    EXPECT_EQ(ds.dump(), dp.dump());
+}
+
+TEST(Service, ScaleOutRunIsDeterministicAcrossEngines)
+{
+    svc::ServiceConfig cfg = burstCfg();
+    svc::ServiceResult s = svc::runService(cfg, EngineConfig::serial());
+    svc::ServiceResult p =
+        svc::runService(cfg, EngineConfig::forThreads(4));
+    util::Json ds = svc::serviceReport("x", cfg, s);
+    util::Json dp = svc::serviceReport("x", cfg, p);
+    EXPECT_EQ(ds.dump(), dp.dump());
+}
+
+TEST(Service, SeedChangesTheWorkload)
+{
+    svc::ServiceConfig cfg = smallCfg();
+    svc::ServiceResult a = svc::runService(cfg, EngineConfig());
+    cfg.seed = 8;
+    svc::ServiceResult b = svc::runService(cfg, EngineConfig());
+    EXPECT_NE(a.makespan, b.makespan);
+}
+
+// ---------------------------------------------------------------------
+// Backends
+// ---------------------------------------------------------------------
+
+TEST(Service, BaseSvmBackendServesTheSameWorkload)
+{
+    svc::ServiceConfig cfg = smallCfg(cs::Backend::BaseSvm);
+    EXPECT_TRUE(cfg.preallocValues); // normalize() forces prealloc
+    svc::ServiceResult res = svc::runService(cfg, EngineConfig());
+    EXPECT_EQ(res.completed, cfg.requests);
+}
+
+TEST(Service, AllocatorStrategyChangesTimingNotTheWorkload)
+{
+    // Allocator strategies (pooled / legacy / prealloc) shift request
+    // *timing* — and with it which PUT a GET observes — but the
+    // request stream itself is schedule-determined: identical op
+    // counts and hit/miss outcomes, and each variant individually
+    // repeat-deterministic.
+    svc::ServiceConfig a = smallCfg();
+    svc::ServiceConfig b = smallCfg();
+    b.preallocValues = true;
+    svc::ServiceConfig c = smallCfg();
+    c.poolEnabled = false;
+    svc::ServiceResult ra = svc::runService(a, EngineConfig());
+    svc::ServiceResult rb = svc::runService(b, EngineConfig());
+    svc::ServiceResult rc = svc::runService(c, EngineConfig());
+    for (const svc::ServiceResult *r : {&rb, &rc}) {
+        EXPECT_EQ(ra.gets, r->gets);
+        EXPECT_EQ(ra.puts, r->puts);
+        EXPECT_EQ(ra.hits, r->hits);
+        EXPECT_EQ(ra.misses, r->misses);
+    }
+    svc::ServiceResult rc2 = svc::runService(c, EngineConfig());
+    EXPECT_EQ(rc.checksum, rc2.checksum);
+    EXPECT_EQ(rc.makespan, rc2.makespan);
+}
+
+// ---------------------------------------------------------------------
+// Elasticity
+// ---------------------------------------------------------------------
+
+TEST(Service, BurstTripsScaleOutHelpersAndDetach)
+{
+    svc::ServiceConfig cfg = burstCfg();
+    svc::ServiceResult res = svc::runService(cfg, EngineConfig());
+    EXPECT_EQ(res.completed, cfg.requests);
+    EXPECT_TRUE(hasEvent(res, "scale_out"));
+    EXPECT_TRUE(hasEvent(res, "helpers_up"));
+    EXPECT_TRUE(hasEvent(res, "scale_in"));
+    EXPECT_TRUE(hasEvent(res, "detach"));
+    // Events are reported relative to the service epoch, in order.
+    sim::Tick prev = -1;
+    for (const svc::ScaleEvent &e : res.events) {
+        EXPECT_GE(e.at, prev) << e.kind;
+        prev = e.at;
+    }
+}
+
+TEST(Service, ElasticityIsCleanUnderCheckerAndOracle)
+{
+    // The full attach / helpers / compact / detach cycle mid-load,
+    // audited by the happens-before race checker and the SVM protocol
+    // invariant oracle, across cluster sizes from 1 to 16 processors
+    // and both engine modes.
+    struct Shape
+    {
+        int shards, nodes, clients;
+    };
+    for (const Shape &sh : {Shape{1, 1, 1}, Shape{2, 2, 2},
+                            Shape{4, 4, 4}}) {
+        for (int threads : {0, 4}) {
+            svc::ServiceConfig cfg = burstCfg();
+            cfg.shards = sh.shards;
+            cfg.serviceNodes = sh.nodes;
+            cfg.clients = sh.clients;
+            cfg.requests = 3000;
+            cfg.normalize();
+            svc::ServiceHooks hooks;
+            check::Checker ck;
+            hooks.checker = &ck;
+            hooks.oracle = true;
+            EngineConfig eng = threads ? EngineConfig::forThreads(threads)
+                                       : EngineConfig::serial();
+            svc::ServiceResult res = svc::runService(cfg, eng, hooks);
+            EXPECT_EQ(res.completed, cfg.requests)
+                << sh.shards << "sh/" << threads << "thr";
+            EXPECT_EQ(ck.findings().total(), 0u)
+                << sh.shards << "sh/" << threads << "thr";
+            EXPECT_TRUE(res.oracleClean);
+            EXPECT_EQ(res.oracleViolations, 0u);
+        }
+    }
+}
+
+TEST(Service, BaseBackendIsCleanUnderCheckerAndOracle)
+{
+    // No elasticity on the base backend (allocation is sealed after
+    // init and nodes are static), but the same audited workload must
+    // be race- and invariant-clean there too.
+    svc::ServiceConfig cfg = smallCfg(cs::Backend::BaseSvm);
+    cfg.requests = 3000;
+    cfg.normalize();
+    svc::ServiceHooks hooks;
+    check::Checker ck;
+    hooks.checker = &ck;
+    hooks.oracle = true;
+    svc::ServiceResult res = svc::runService(cfg, EngineConfig(), hooks);
+    EXPECT_EQ(res.completed, cfg.requests);
+    EXPECT_EQ(ck.findings().total(), 0u);
+    EXPECT_TRUE(res.oracleClean);
+}
+
+// ---------------------------------------------------------------------
+// Report schema
+// ---------------------------------------------------------------------
+
+TEST(Service, ReportValidatesAndRoundTrips)
+{
+    svc::ServiceConfig cfg = burstCfg();
+    svc::ServiceResult res = svc::runService(cfg, EngineConfig());
+    util::Json doc = svc::serviceReport("elastic burst", cfg, res);
+    std::string why;
+    EXPECT_TRUE(svc::validateServiceReport(doc, &why)) << why;
+
+    util::Json back = util::Json::parse(doc.dump(2));
+    EXPECT_TRUE(svc::validateServiceReport(back, &why)) << why;
+    EXPECT_EQ(back.get("schema").asString(),
+              std::string(svc::reportSchemaName));
+    EXPECT_EQ(back.get("requests").get("injected").asInt(),
+              static_cast<int64_t>(res.injected));
+    EXPECT_EQ(back.get("scale_events").size(), res.events.size());
+}
+
+TEST(Service, ValidatorRejectsMangledDocuments)
+{
+    svc::ServiceConfig cfg = smallCfg();
+    svc::ServiceResult res = svc::runService(cfg, EngineConfig());
+    util::Json doc = svc::serviceReport("x", cfg, res);
+    std::string why;
+    ASSERT_TRUE(svc::validateServiceReport(doc, &why)) << why;
+
+    util::Json wrongSchema = util::Json::parse(doc.dump());
+    wrongSchema.set("schema", "cables-bench-report");
+    EXPECT_FALSE(svc::validateServiceReport(wrongSchema, &why));
+
+    util::Json noLatency = util::Json::parse(doc.dump());
+    noLatency.set("latency_us", util::Json());
+    EXPECT_FALSE(svc::validateServiceReport(noLatency, &why));
+
+    util::Json badVersion = util::Json::parse(doc.dump());
+    badVersion.set("schema_version", 999);
+    EXPECT_FALSE(svc::validateServiceReport(badVersion, &why));
+}

@@ -89,6 +89,72 @@ TEST(Stats, MergePreservesEdgePercentiles)
     EXPECT_EQ(a.percentile(100.0), 64.0);
 }
 
+// ---------------------------------------------------------------------
+// p999 / nearest-rank edges
+// ---------------------------------------------------------------------
+
+TEST(Stats, NearestRankCeilsTheSampleIndex)
+{
+    // Two samples in well-separated buckets: p50's nearest rank is
+    // ceil(0.5 * 2) = 1 (the small sample); anything above 50% must
+    // jump to rank 2 (the large one).
+    Stat s;
+    s.sample(1.0);
+    s.sample(1024.0);
+    EXPECT_LT(s.percentile(50.0), 2.0);
+    EXPECT_GT(s.percentile(51.0), 512.0);
+}
+
+TEST(Stats, P999IgnoresRarerThanOneInThousand)
+{
+    // 1999 bulk samples + 1 outlier (a 1-in-2000 tail): rank
+    // ceil(0.999 * 2000) = 1999 still lands in the bulk bucket, so
+    // p999 must not be dragged to the outlier.
+    Stat s;
+    for (int i = 0; i < 1999; ++i)
+        s.sample(1.0);
+    s.sample(4096.0);
+    EXPECT_LT(s.p999(), 2.0);
+    EXPECT_EQ(s.percentile(100.0), 4096.0);
+}
+
+TEST(Stats, P999CatchesAOneInThousandTail)
+{
+    // At exactly 1-in-1000 the nearest rank (ceil) crosses into the
+    // tail bucket: the outlier is the 1000th of 1000 samples.
+    Stat s;
+    for (int i = 0; i < 999; ++i)
+        s.sample(1.0);
+    s.sample(4096.0);
+    EXPECT_GT(s.p999(), 1000.0);
+    EXPECT_LE(s.p999(), 4096.0);
+}
+
+TEST(Stats, P999IsMonotoneAboveP99)
+{
+    Stat s;
+    for (int i = 1; i <= 10000; ++i)
+        s.sample(static_cast<double>(i));
+    EXPECT_GE(s.p99(), s.p90());
+    EXPECT_GE(s.p999(), s.p99());
+    EXPECT_LE(s.p999(), s.max());
+    // Relative error of the log-histogram stays within one quartile
+    // octave (~9%) plus nearest-rank granularity.
+    EXPECT_NEAR(s.p999(), 9990.0, 0.1 * 9990.0);
+}
+
+TEST(Stats, P999OfSingleAndDegenerateIsExact)
+{
+    Stat one;
+    one.sample(3.25);
+    EXPECT_EQ(one.p999(), 3.25);
+
+    Stat dup;
+    for (int i = 0; i < 2000; ++i)
+        dup.sample(0.125);
+    EXPECT_EQ(dup.p999(), 0.125);
+}
+
 TEST(Stats, MergeIntoEmptyEqualsOriginal)
 {
     Stat a, b;
